@@ -1,0 +1,102 @@
+// Ablation (DESIGN.md §5): band shape — the paper's Sakoe-Chiba band vs the
+// Itakura parallelogram at matched area. The envelope-transform machinery is
+// band-agnostic (BandEnvelope + Lemma 3), so both shapes index identically;
+// this measures which buys tighter lower bounds per unit of warping freedom.
+#include <cstdio>
+
+#include "common.h"
+#include "transform/feature_scheme.h"
+#include "ts/band.h"
+#include "ts/dtw.h"
+#include "ts/lower_bound.h"
+#include "util/random.h"
+
+namespace humdex::bench {
+namespace {
+
+std::size_t BandArea(const WarpingBand& band) {
+  std::size_t area = 0;
+  for (std::size_t i = 0; i < band.rows(); ++i) {
+    area += band.hi[i] - band.lo[i] + 1;
+  }
+  return area;
+}
+
+int Run() {
+  const std::size_t kLen = 128;
+  const std::size_t kDim = 8;
+  const std::size_t kPairs = 400;
+
+  PrintBanner("Ablation: Sakoe-Chiba band vs Itakura parallelogram",
+              "random walk, n=128, New_PAA 8 dims; matched by band area");
+
+  auto series = RandomWalkSet(100, kLen, /*seed=*/777111);
+  auto scheme = MakeNewPaaScheme(kLen, kDim);
+
+  Table table({"Itakura slope", "area", "matched SC k", "T(raw) Ita",
+               "T(raw) SC", "T(PAA) Ita", "T(PAA) SC"});
+  int violations = 0;
+  for (double slope : {1.2, 1.5, 2.0, 3.0}) {
+    WarpingBand itakura = WarpingBand::Itakura(kLen, slope);
+    std::size_t target_area = BandArea(itakura);
+    // Find the Sakoe-Chiba radius with the closest area.
+    std::size_t best_k = 0;
+    std::size_t best_gap = SIZE_MAX;
+    for (std::size_t k = 0; k <= kLen; ++k) {
+      std::size_t area = BandArea(WarpingBand::SakoeChiba(kLen, kLen, k));
+      std::size_t gap = area > target_area ? area - target_area : target_area - area;
+      if (gap < best_gap) {
+        best_gap = gap;
+        best_k = k;
+      }
+    }
+    WarpingBand sakoe = WarpingBand::SakoeChiba(kLen, kLen, best_k);
+
+    Rng rng(4242 + static_cast<std::uint64_t>(slope * 10));
+    double t_raw_ita = 0.0, t_raw_sc = 0.0, t_paa_ita = 0.0, t_paa_sc = 0.0;
+    std::size_t used = 0;
+    for (std::size_t p = 0; p < kPairs; ++p) {
+      std::size_t i = rng.NextBounded(100), j = rng.NextBounded(100);
+      if (i == j) continue;
+      const Series& x = series[i];
+      const Series& y = series[j];
+      double d_ita = BandedDtwDistance(x, y, itakura);
+      double d_sc = BandedDtwDistance(x, y, sakoe);
+      if (d_ita <= 0.0 || d_sc <= 0.0) continue;
+      Envelope e_ita = BandEnvelope(y, itakura);
+      Envelope e_sc = BandEnvelope(y, sakoe);
+      double raw_ita = DistanceToEnvelope(x, e_ita);
+      double raw_sc = DistanceToEnvelope(x, e_sc);
+      double paa_ita = DistanceToEnvelope(scheme->Features(x),
+                                          scheme->ReduceEnvelope(e_ita));
+      double paa_sc = DistanceToEnvelope(scheme->Features(x),
+                                         scheme->ReduceEnvelope(e_sc));
+      if (raw_ita > d_ita + 1e-9 || raw_sc > d_sc + 1e-9 ||
+          paa_ita > d_ita + 1e-9 || paa_sc > d_sc + 1e-9) {
+        ++violations;
+      }
+      t_raw_ita += raw_ita / d_ita;
+      t_raw_sc += raw_sc / d_sc;
+      t_paa_ita += paa_ita / d_ita;
+      t_paa_sc += paa_sc / d_sc;
+      ++used;
+    }
+    double n = static_cast<double>(used);
+    table.AddRow({Table::Num(slope, 1), Table::Int(target_area),
+                  Table::Int(best_k), Table::Num(t_raw_ita / n),
+                  Table::Num(t_raw_sc / n), Table::Num(t_paa_ita / n),
+                  Table::Num(t_paa_sc / n)});
+  }
+  table.Print();
+
+  std::printf("\nLower-bound violations (must be 0): %d\n", violations);
+  std::printf("Reading: at equal warping area the Itakura band concentrates "
+              "freedom mid-sequence; both shapes plug into the same envelope "
+              "transform index unchanged.\n");
+  return violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace humdex::bench
+
+int main() { return humdex::bench::Run(); }

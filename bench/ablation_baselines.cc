@@ -1,0 +1,113 @@
+// Ablation: the paper's §2 related-work claims, measured.
+//
+// 1. Filter power: survivors of each lower-bound filter on the same range
+//    workload — the global bound of Yi et al. [33], Keogh_PAA, New_PAA, and
+//    the raw envelope bound. Tighter bound -> fewer exact DTW computations.
+// 2. FastMap [33]: recall of range queries filtered through the FastMap
+//    embedding — demonstrably below 100% ("might result in false
+//    negatives"), while every envelope-transform scheme is exact.
+#include <cstdio>
+
+#include "common.h"
+#include "gemini/fastmap.h"
+#include "music/hummer.h"
+#include "ts/normal_form.h"
+#include "transform/feature_scheme.h"
+#include "ts/dtw.h"
+#include "ts/lower_bound.h"
+
+namespace humdex::bench {
+namespace {
+
+int Run() {
+  const std::size_t kCorpusSize = 2000;
+  const std::size_t kLen = 128;
+  const std::size_t kDim = 8;
+  const std::size_t kQueries = 40;
+  const double kWidth = 0.1;
+  const std::size_t kBand = BandRadiusForWidth(kWidth, kLen);
+
+  PrintBanner("Ablation: prior filters and FastMap vs envelope transforms",
+              std::to_string(kCorpusSize) + " melodies, width 0.1, " +
+                  std::to_string(kQueries) + " range queries");
+
+  auto corpus = PhraseCorpus(kCorpusSize, /*seed=*/777);
+  auto normals = CorpusNormalForms(corpus, kLen);
+  // Queries are noisy hums of database melodies, so every query has genuine
+  // close matches — the regime where false negatives actually cost recall.
+  std::vector<Series> queries;
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    Hummer hummer(HummerProfile::Good(), 9000 + q);
+    Series hum = hummer.Hum(corpus[q * (kCorpusSize / kQueries)]);
+    queries.push_back(NormalForm(hum, kLen));
+  }
+
+  auto new_paa = MakeNewPaaScheme(kLen, kDim);
+  auto keogh_paa = MakeKeoghPaaScheme(kLen, kDim);
+
+  std::printf("Building FastMap embedding (%zu DTW calls)...\n",
+              kCorpusSize * 3 * kDim);
+  FastMapEmbedding fastmap(normals, kDim, kBand, /*seed=*/5);
+  std::vector<Series> embedded;
+  embedded.reserve(normals.size());
+  for (const Series& s : normals) embedded.push_back(fastmap.Embed(s));
+
+  const double kEps = 10.0;
+  double yi_sum = 0.0, keogh_sum = 0.0, new_sum = 0.0, raw_sum = 0.0,
+         truth_sum = 0.0;
+  std::size_t fastmap_found = 0, fastmap_true = 0;
+  for (const Series& q : queries) {
+    Envelope env = BuildEnvelope(q, kBand);
+    Envelope fe_new = new_paa->ReduceEnvelope(env);
+    Envelope fe_keogh = keogh_paa->ReduceEnvelope(env);
+    Series fm_q = fastmap.Embed(q);
+    for (std::size_t i = 0; i < normals.size(); ++i) {
+      const Series& s = normals[i];
+      double truth = LdtwDistance(q, s, kBand);
+      bool is_result = truth <= kEps;
+      truth_sum += is_result ? 1.0 : 0.0;
+      if (LbYi(s, q) <= kEps) yi_sum += 1.0;
+      Series f = new_paa->Features(s);  // PAA features shared by both schemes
+      if (DistanceToEnvelope(f, fe_keogh) <= kEps) keogh_sum += 1.0;
+      if (DistanceToEnvelope(f, fe_new) <= kEps) new_sum += 1.0;
+      if (LbKeogh(s, env) <= kEps) raw_sum += 1.0;
+      bool fm_pass = EuclideanDistance(embedded[i], fm_q) <= kEps;
+      if (is_result) {
+        ++fastmap_true;
+        if (fm_pass) ++fastmap_found;
+      }
+    }
+  }
+
+  double nq = static_cast<double>(kQueries);
+  Table table({"Filter", "avg survivors / query", "exactness"});
+  table.AddRow({"LB_Yi (global) [33]", Table::Num(yi_sum / nq, 1), "exact"});
+  table.AddRow({"Keogh_PAA [13]", Table::Num(keogh_sum / nq, 1), "exact"});
+  table.AddRow({"New_PAA (paper)", Table::Num(new_sum / nq, 1), "exact"});
+  table.AddRow({"LB envelope (raw)", Table::Num(raw_sum / nq, 1), "exact"});
+  table.AddRow({"true answer", Table::Num(truth_sum / nq, 1), "-"});
+  table.Print();
+
+  double recall = fastmap_true == 0
+                      ? 1.0
+                      : static_cast<double>(fastmap_found) /
+                            static_cast<double>(fastmap_true);
+  std::printf("\nFastMap [33] filter recall at the same radius: %.1f%% "
+              "(%zu of %zu true matches retrieved) — false negatives, as the "
+              "paper's related-work section states. Every envelope filter "
+              "above has 100%% recall by Theorem 1.\n",
+              100.0 * recall, fastmap_found, fastmap_true);
+
+  // Guaranteed dominance chain (pointwise bound ordering); LB_Yi is not
+  // comparable to the reduced bounds in general and is reported only.
+  bool ordering = new_sum <= keogh_sum + 1e-9 && raw_sum <= new_sum + 1e-9 &&
+                  truth_sum <= raw_sum + 1e-9;
+  std::printf("Shape check (truth <= raw <= New_PAA <= Keogh_PAA survivors): %s\n",
+              ordering ? "HOLDS" : "VIOLATED");
+  return ordering ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace humdex::bench
+
+int main() { return humdex::bench::Run(); }

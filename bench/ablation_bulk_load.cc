@@ -1,0 +1,89 @@
+// Ablation (DESIGN.md §5): R*-tree construction — incremental insertion with
+// forced reinsert (what the paper's LibGist setup does) vs STR bulk loading.
+// Measures build time, node count, and query page accesses on the music
+// feature workload.
+#include <chrono>
+#include <cstdio>
+
+#include "common.h"
+#include "index/rstar_tree.h"
+#include "transform/feature_scheme.h"
+#include "ts/dtw.h"
+
+namespace humdex::bench {
+namespace {
+
+int Run() {
+  const std::size_t kCorpusSize = 30000;
+  const std::size_t kLen = 128;
+  const std::size_t kDim = 8;
+  const std::size_t kQueries = 100;
+
+  PrintBanner("Ablation: incremental R*-tree insertion vs STR bulk load",
+              std::to_string(kCorpusSize) + " melody feature vectors, 8 dims");
+
+  auto corpus = PhraseCorpus(kCorpusSize, /*seed=*/123123);
+  auto normals = CorpusNormalForms(corpus, kLen);
+  auto scheme = MakeNewPaaScheme(kLen, kDim);
+  std::vector<Series> features;
+  std::vector<std::int64_t> ids;
+  for (std::size_t i = 0; i < normals.size(); ++i) {
+    features.push_back(scheme->Features(normals[i]));
+    ids.push_back(static_cast<std::int64_t>(i));
+  }
+
+  using Clock = std::chrono::steady_clock;
+  auto t0 = Clock::now();
+  RStarTree incremental(kDim);
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    incremental.Insert(features[i], ids[i]);
+  }
+  auto t1 = Clock::now();
+  auto packed = RStarTree::BulkLoad(kDim, features, ids);
+  auto t2 = Clock::now();
+
+  auto ms = [](auto a, auto b) {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(b - a).count();
+  };
+
+  // Query workload: envelope range queries from held-out melodies.
+  auto query_corpus = PhraseCorpus(kQueries, /*seed=*/321321);
+  auto queries = CorpusNormalForms(query_corpus, kLen);
+  std::size_t band = BandRadiusForWidth(0.1, kLen);
+  double incr_pages = 0.0, packed_pages = 0.0;
+  std::size_t incr_results = 0, packed_results = 0;
+  for (const Series& q : queries) {
+    Envelope fe = scheme->ReduceEnvelope(BuildEnvelope(q, band));
+    Rect rect = Rect::FromEnvelope(fe);
+    IndexStats is, ps;
+    incr_results += incremental.RangeQuery(rect, 6.0, &is).size();
+    packed_results += packed->RangeQuery(rect, 6.0, &ps).size();
+    incr_pages += static_cast<double>(is.page_accesses);
+    packed_pages += static_cast<double>(ps.page_accesses);
+  }
+
+  Table table({"Metric", "Incremental insert", "STR bulk load"});
+  table.AddRow({"build time (ms)", Table::Int(static_cast<std::size_t>(ms(t0, t1))),
+                Table::Int(static_cast<std::size_t>(ms(t1, t2)))});
+  table.AddRow({"nodes", Table::Int(incremental.NodeCount()),
+                Table::Int(packed->NodeCount())});
+  table.AddRow({"height", Table::Int(incremental.Height()),
+                Table::Int(packed->Height())});
+  table.AddRow({"avg pages / query",
+                Table::Num(incr_pages / static_cast<double>(kQueries), 1),
+                Table::Num(packed_pages / static_cast<double>(kQueries), 1)});
+  table.Print();
+
+  bool same_answers = incr_results == packed_results;
+  bool bulk_faster_build = ms(t1, t2) < ms(t0, t1);
+  bool bulk_fewer_nodes = packed->NodeCount() <= incremental.NodeCount();
+  std::printf("\nIdentical query answers: %s\n", same_answers ? "YES" : "NO (BUG)");
+  std::printf("Shape check (bulk load builds faster with fewer nodes): %s\n",
+              (bulk_faster_build && bulk_fewer_nodes) ? "HOLDS" : "VIOLATED");
+  return (same_answers && bulk_faster_build && bulk_fewer_nodes) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace humdex::bench
+
+int main() { return humdex::bench::Run(); }

@@ -1,0 +1,83 @@
+// Ablation (beyond the paper's figures, called out in DESIGN.md §5): how the
+// reduced dimensionality N trades lower-bound tightness against index width.
+// The paper fixes N=4 (tightness experiments) and N=8 (scalability); this
+// sweep shows the whole curve for every scheme.
+#include <cstdio>
+
+#include "common.h"
+#include "transform/feature_scheme.h"
+#include "transform/poly.h"
+#include "ts/dtw.h"
+#include "ts/lower_bound.h"
+#include "util/random.h"
+
+namespace humdex::bench {
+namespace {
+
+int Run() {
+  const std::size_t kLen = 128;
+  const std::size_t kSeriesCount = 80;
+  const std::size_t kPairs = 400;
+  const double kWidth = 0.1;
+  const std::size_t kBand = BandRadiusForWidth(kWidth, kLen);
+
+  PrintBanner("Ablation: tightness vs reduced dimensionality N",
+              "random walk, n=128, warping width 0.1, all schemes");
+
+  auto series = RandomWalkSet(kSeriesCount, kLen, /*seed=*/20212);
+
+  Table table({"N", "New_PAA", "Keogh_PAA", "DFT", "DWT", "SVD", "Poly",
+               "LB(raw)"});
+  double prev_new = 0.0;
+  bool monotone = true;
+  for (std::size_t dim : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    auto new_paa = MakeNewPaaScheme(kLen, dim);
+    auto keogh = MakeKeoghPaaScheme(kLen, dim);
+    auto dft = MakeDftScheme(kLen, dim);
+    auto dwt = MakeDwtScheme(kLen, dim);
+    auto svd = MakeSvdScheme(series, dim);
+    auto poly = MakePolyScheme(kLen, dim);
+
+    Rng rng(555 + dim);
+    double s_new = 0.0, s_keogh = 0.0, s_dft = 0.0, s_dwt = 0.0, s_svd = 0.0,
+           s_poly = 0.0, s_raw = 0.0;
+    std::size_t used = 0;
+    for (std::size_t p = 0; p < kPairs; ++p) {
+      std::size_t i = rng.NextBounded(kSeriesCount);
+      std::size_t j = rng.NextBounded(kSeriesCount);
+      if (i == j) continue;
+      double dtw = LdtwDistance(series[i], series[j], kBand);
+      if (dtw <= 0.0) continue;
+      Envelope env = BuildEnvelope(series[j], kBand);
+      auto t = [&](const std::shared_ptr<FeatureScheme>& s) {
+        return DistanceToEnvelope(s->Features(series[i]), s->ReduceEnvelope(env)) /
+               dtw;
+      };
+      s_new += t(new_paa);
+      s_keogh += t(keogh);
+      s_dft += t(dft);
+      s_dwt += t(dwt);
+      s_svd += t(svd);
+      s_poly += t(poly);
+      s_raw += LbKeogh(series[i], env) / dtw;
+      ++used;
+    }
+    double n = static_cast<double>(used);
+    table.AddRow({Table::Int(dim), Table::Num(s_new / n), Table::Num(s_keogh / n),
+                  Table::Num(s_dft / n), Table::Num(s_dwt / n),
+                  Table::Num(s_svd / n), Table::Num(s_poly / n),
+                  Table::Num(s_raw / n)});
+    if (s_new / n + 1e-9 < prev_new) monotone = false;
+    prev_new = s_new / n;
+  }
+  table.Print();
+
+  std::printf("\nShape check (New_PAA tightness grows with N): %s\n",
+              monotone ? "HOLDS" : "VIOLATED");
+  return monotone ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace humdex::bench
+
+int main() { return humdex::bench::Run(); }

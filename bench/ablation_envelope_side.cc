@@ -1,0 +1,80 @@
+// Ablation: which side gets the envelope? The paper's pipeline envelopes the
+// *query* (§4.3 step 3), so the index stores plain feature points and one
+// envelope is built per query. The alternative (Keogh's original proposal)
+// envelopes every *data* series, storing rectangles. Both are exact; this
+// measures the tightness of the two bounds and the MBR inflation the
+// data-side envelope forces on the index.
+#include <cstdio>
+
+#include "common.h"
+#include "index/rect.h"
+#include "transform/feature_scheme.h"
+#include "ts/dtw.h"
+
+namespace humdex::bench {
+namespace {
+
+int Run() {
+  const std::size_t kLen = 128;
+  const std::size_t kDim = 8;
+  const std::size_t kPairs = 500;
+
+  PrintBanner("Ablation: envelope on the query vs envelope on the data",
+              "random walk, n=128, New_PAA 8 dims");
+
+  auto series = RandomWalkSet(120, kLen, /*seed=*/31415);
+  auto scheme = MakeNewPaaScheme(kLen, kDim);
+
+  Table table({"Width", "T(env on query)", "T(env on data)", "data rect margin",
+               "point margin"});
+  for (double width : {0.02, 0.05, 0.10, 0.20}) {
+    std::size_t band = BandRadiusForWidth(width, kLen);
+    Rng rng(99 + static_cast<std::uint64_t>(width * 100));
+    double t_query = 0.0, t_data = 0.0;
+    std::size_t used = 0;
+    for (std::size_t p = 0; p < kPairs; ++p) {
+      std::size_t i = rng.NextBounded(120), j = rng.NextBounded(120);
+      if (i == j) continue;
+      const Series& q = series[i];
+      const Series& d = series[j];
+      double dtw = LdtwDistance(q, d, band);
+      if (dtw <= 0.0) continue;
+      // Query-side: distance from the data's feature point to the reduced
+      // query envelope (what our index computes).
+      Envelope fe_q = scheme->ReduceEnvelope(BuildEnvelope(q, band));
+      t_query += DistanceToEnvelope(scheme->Features(d), fe_q) / dtw;
+      // Data-side: distance from the query's feature point to the reduced
+      // data envelope.
+      Envelope fe_d = scheme->ReduceEnvelope(BuildEnvelope(d, band));
+      t_data += DistanceToEnvelope(scheme->Features(q), fe_d) / dtw;
+      ++used;
+    }
+
+    // Storage geometry: data-side envelopes store rectangles whose margin
+    // inflates node MBRs; query-side stores points (margin 0).
+    double rect_margin = 0.0;
+    for (const Series& s : series) {
+      Envelope fe = scheme->ReduceEnvelope(BuildEnvelope(s, band));
+      rect_margin += Rect::FromEnvelope(fe).Margin();
+    }
+    double n = static_cast<double>(used);
+    table.AddRow({Table::Num(width, 2), Table::Num(t_query / n),
+                  Table::Num(t_data / n),
+                  Table::Num(rect_margin / static_cast<double>(series.size()), 2),
+                  "0.00"});
+  }
+  table.Print();
+
+  std::printf("\nReading: the two bounds are symmetric in tightness (DTW is\n"
+              "symmetric), but enveloping the query keeps the index storing\n"
+              "points — zero MBR inflation, one envelope built per query —\n"
+              "which is why §4.3 transforms the query envelope and why DTW\n"
+              "support can be added to an existing Euclidean index without\n"
+              "rebuilding it.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace humdex::bench
+
+int main() { return humdex::bench::Run(); }

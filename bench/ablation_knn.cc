@@ -1,0 +1,75 @@
+// Ablation (DESIGN.md §5): kNN algorithms on the DTW index — the two-step
+// scheme of Korn et al. [17] (seed an upper bound, one range query) vs the
+// optimal multi-step scheme of Seidl-Kriegel [26] (stream candidates in
+// lower-bound order, stop optimally). Both are exact; they differ in how
+// many exact DTW computations and page accesses they spend.
+#include <cstdio>
+
+#include "common.h"
+#include "gemini/query_engine.h"
+
+namespace humdex::bench {
+namespace {
+
+int Run() {
+  const std::size_t kCorpusSize = 10000;
+  const std::size_t kLen = 128;
+  const std::size_t kDim = 8;
+  const std::size_t kQueries = 50;
+
+  PrintBanner("Ablation: two-step kNN vs optimal multi-step kNN",
+              std::to_string(kCorpusSize) + " melodies, New_PAA 128 -> 8 dims, "
+              "width 0.1, " + std::to_string(kQueries) + " queries");
+
+  auto corpus = PhraseCorpus(kCorpusSize, /*seed=*/171717);
+  auto normals = CorpusNormalForms(corpus, kLen);
+  auto query_corpus = PhraseCorpus(kQueries, /*seed=*/818181);
+  auto queries = CorpusNormalForms(query_corpus, kLen);
+
+  QueryEngineOptions opts;
+  opts.normal_len = kLen;
+  opts.warping_width = 0.1;
+  DtwQueryEngine engine(MakeNewPaaScheme(kLen, kDim), opts);
+  for (std::size_t i = 0; i < normals.size(); ++i) {
+    engine.Add(normals[i], static_cast<std::int64_t>(i));
+  }
+
+  Table table({"k", "2-step DTW calls", "optimal DTW calls", "saving",
+               "2-step pages", "optimal pages"});
+  bool exact_agree = true, optimal_wins = true;
+  for (std::size_t k : {1u, 5u, 10u, 20u, 50u}) {
+    std::size_t calls2 = 0, calls_opt = 0, pages2 = 0, pages_opt = 0;
+    for (const Series& q : queries) {
+      QueryStats s2, so;
+      auto a = engine.KnnQuery(q, k, &s2);
+      auto b = engine.KnnQueryOptimal(q, k, &so);
+      calls2 += s2.exact_dtw_calls;
+      calls_opt += so.exact_dtw_calls;
+      pages2 += s2.page_accesses;
+      pages_opt += so.page_accesses;
+      if (a.size() != b.size()) exact_agree = false;
+      for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        if (std::abs(a[i].distance - b[i].distance) > 1e-9) exact_agree = false;
+      }
+    }
+    if (calls_opt > calls2) optimal_wins = false;
+    table.AddRow({Table::Int(k), Table::Int(calls2 / kQueries),
+                  Table::Int(calls_opt / kQueries),
+                  Table::Num(static_cast<double>(calls2) /
+                                 static_cast<double>(std::max<std::size_t>(1, calls_opt)),
+                             2) + "x",
+                  Table::Int(pages2 / kQueries), Table::Int(pages_opt / kQueries)});
+  }
+  table.Print();
+
+  std::printf("\nBoth algorithms return identical (exact) answers: %s\n",
+              exact_agree ? "YES" : "NO (BUG)");
+  std::printf("Shape check (optimal multi-step never computes more exact DTW): %s\n",
+              optimal_wins ? "HOLDS" : "VIOLATED");
+  return (exact_agree && optimal_wins) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace humdex::bench
+
+int main() { return humdex::bench::Run(); }

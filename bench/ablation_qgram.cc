@@ -1,0 +1,109 @@
+// Ablation: the q-gram inverted index as a speed-up for the contour
+// baseline (§2: "techniques for string matching such as q-grams can be used
+// to speed up the similarity query"). Measures edit-distance computations
+// per query for the full scan vs the count-filtered iterative deepening,
+// verifying identical answers.
+#include <cstdio>
+
+#include "common.h"
+#include "music/hummer.h"
+#include "qbh/contour_system.h"
+
+namespace humdex::bench {
+namespace {
+
+int Run() {
+  const std::size_t kCorpusSize = 5000;
+  const std::size_t kQueries = 30;
+
+  PrintBanner("Ablation: q-gram inverted index for the contour baseline",
+              std::to_string(kCorpusSize) + " contour strings, " +
+                  std::to_string(kQueries) + " hummed queries");
+
+  auto corpus = PhraseCorpus(kCorpusSize, /*seed=*/727272);
+  ContourSystem system;
+  for (const Melody& m : corpus) system.AddMelody(m);
+
+  Table table({"top_k", "scan ed-computations", "q-gram ed-computations",
+               "speedup", "answers agree"});
+  bool all_agree = true, all_faster = true;
+  for (std::size_t k : {1u, 5u, 20u}) {
+    std::size_t scan_total = 0, fast_total = 0;
+    bool agree = true;
+    for (std::size_t q = 0; q < kQueries; ++q) {
+      Hummer hummer(HummerProfile::Good(), 4000 + q);
+      Series hum = hummer.Hum(corpus[q * (kCorpusSize / kQueries)]);
+      auto slow = system.Query(hum, k);
+      std::size_t examined = 0;
+      auto fast = system.QueryFast(hum, k, &examined);
+      scan_total += kCorpusSize;  // full scan computes every edit distance
+      fast_total += examined;
+      if (slow.size() != fast.size()) {
+        agree = false;
+      } else {
+        for (std::size_t i = 0; i < slow.size(); ++i) {
+          // Edit-distance multisets must match (ties may reorder ids).
+          if (slow[i].edit_distance != fast[i].edit_distance) agree = false;
+        }
+      }
+    }
+    all_agree &= agree;
+    if (fast_total >= scan_total) all_faster = false;
+    table.AddRow({Table::Int(k), Table::Int(scan_total / kQueries),
+                  Table::Int(fast_total / kQueries),
+                  Table::Num(static_cast<double>(scan_total) /
+                                 static_cast<double>(std::max<std::size_t>(1, fast_total)),
+                             1) + "x",
+                  agree ? "YES" : "NO"});
+  }
+  table.Print();
+
+  // Second regime: near-exact queries — the paper's "piano input" case where
+  // each note is cleanly articulated, so the query contour is 1-2 edits from
+  // the stored one. The count filter prunes almost everything here.
+  std::printf("\n-- near-exact queries (paper's piano-input scenario) --\n");
+  Table table2({"top_k", "scan ed-computations", "q-gram ed-computations",
+                "speedup"});
+  Rng rng(4242);
+  bool clean_faster = true;
+  QGramInvertedIndex contour_index(3);
+  for (const Melody& m : corpus) contour_index.Add(ContourOf(m));
+  for (std::size_t k : {1u, 5u}) {
+    std::size_t fast_total = 0, scan_total = 0;
+    for (std::size_t q = 0; q < kQueries; ++q) {
+      std::string contour = ContourOf(corpus[q * (kCorpusSize / kQueries)]);
+      if (!contour.empty()) {
+        // One random substitution: a cleanly-played wrong note.
+        static const char kAlphabet[] = "UuSdD";
+        contour[rng.NextBounded(static_cast<std::uint32_t>(contour.size()))] =
+            kAlphabet[rng.NextBounded(5)];
+      }
+      std::size_t examined = 0;
+      contour_index.TopK(contour, k, &examined);
+      fast_total += examined;
+      scan_total += kCorpusSize;
+    }
+    if (fast_total >= scan_total) clean_faster = false;
+    table2.AddRow({Table::Int(k), Table::Int(scan_total / kQueries),
+                   Table::Int(fast_total / kQueries),
+                   Table::Num(static_cast<double>(scan_total) /
+                                  static_cast<double>(std::max<std::size_t>(
+                                      1, fast_total)),
+                              1) + "x"});
+  }
+  table2.Print();
+
+  std::printf("\nReading: on noisy hums the deepening reaches large radii and "
+              "the filter bound goes vacuous (~1x); on near-exact queries it "
+              "prunes nearly everything. Exactly why §2 pairs q-grams with "
+              "note-based (not hum-based) input.\n");
+  std::printf("Shape check (identical answers; near-exact queries strongly "
+              "accelerated): %s\n",
+              (all_agree && all_faster && clean_faster) ? "HOLDS" : "VIOLATED");
+  return (all_agree && all_faster && clean_faster) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace humdex::bench
+
+int main() { return humdex::bench::Run(); }

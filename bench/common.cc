@@ -1,0 +1,108 @@
+#include "common.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "music/song_generator.h"
+#include "ts/dtw.h"
+#include "ts/normal_form.h"
+#include "util/status.h"
+
+namespace humdex::bench {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  HUMDEX_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  std::printf("|");
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Int(std::size_t v) { return std::to_string(v); }
+
+void PrintBanner(const std::string& title, const std::string& subtitle) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+  std::printf("================================================================\n");
+}
+
+std::vector<Series> RandomWalkSet(std::size_t count, std::size_t len,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Series> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Series x(len);
+    double v = 0.0;
+    for (std::size_t j = 0; j < len; ++j) {
+      v += rng.Gaussian();
+      x[j] = v;
+    }
+    out.push_back(SubtractMean(x));
+  }
+  return out;
+}
+
+std::vector<Melody> PhraseCorpus(std::size_t count, std::uint64_t seed) {
+  SongGenerator gen(seed);
+  return gen.GeneratePhrases(count);
+}
+
+std::vector<Series> CorpusNormalForms(const std::vector<Melody>& corpus,
+                                      std::size_t len) {
+  std::vector<Series> out;
+  out.reserve(corpus.size());
+  for (const Melody& m : corpus) {
+    out.push_back(NormalForm(MelodyToSeries(m, 8.0), len));
+  }
+  return out;
+}
+
+double MeanTightness(
+    const std::vector<Series>& series, std::size_t k,
+    const std::function<double(const Series&, const Series&, std::size_t)>& lb) {
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (std::size_t j = 0; j < series.size(); ++j) {
+      if (i == j) continue;
+      double dtw = LdtwDistance(series[i], series[j], k);
+      if (dtw <= 0.0) continue;
+      sum += lb(series[i], series[j], k) / dtw;
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : sum / static_cast<double>(pairs);
+}
+
+}  // namespace humdex::bench

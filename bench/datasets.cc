@@ -1,0 +1,169 @@
+#include "datasets.h"
+
+#include <cmath>
+
+#include "ts/normal_form.h"
+#include "util/random.h"
+
+namespace humdex::bench {
+
+namespace {
+
+// ---- shape primitives --------------------------------------------------
+
+// Noisy periodic cycle (sunspot / tide / soil-temperature shapes).
+Series Periodic(Rng* rng, std::size_t n, double cycles, double noise,
+                double harmonics) {
+  Series x(n);
+  double phase = rng->Uniform(0.0, 2.0 * M_PI);
+  double amp2 = harmonics * rng->Uniform(0.2, 0.6);
+  for (std::size_t i = 0; i < n; ++i) {
+    double t = 2.0 * M_PI * cycles * static_cast<double>(i) / static_cast<double>(n);
+    x[i] = std::sin(t + phase) + amp2 * std::sin(2.0 * t + phase * 1.7) +
+           rng->Gaussian(0.0, noise);
+  }
+  return x;
+}
+
+// AR(1) process (water discharge / EEG-like textures).
+Series Ar1(Rng* rng, std::size_t n, double rho, double noise) {
+  Series x(n);
+  double v = rng->Gaussian();
+  for (std::size_t i = 0; i < n; ++i) {
+    v = rho * v + rng->Gaussian(0.0, noise);
+    x[i] = v;
+  }
+  return x;
+}
+
+// Logistic-map chaos (the "Chaotic" dataset).
+Series Chaotic(Rng* rng, std::size_t n) {
+  Series x(n);
+  double v = rng->Uniform(0.1, 0.9);
+  for (std::size_t i = 0; i < n; ++i) {
+    v = 3.97 * v * (1.0 - v);
+    x[i] = v;
+  }
+  return x;
+}
+
+// Piecewise-constant with occasional level shifts (shuttle telemetry).
+Series Steps(Rng* rng, std::size_t n, double shift_prob, double noise) {
+  Series x(n);
+  double level = rng->Gaussian();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng->Bernoulli(shift_prob)) level = rng->Gaussian(0.0, 2.0);
+    x[i] = level + rng->Gaussian(0.0, noise);
+  }
+  return x;
+}
+
+// Random walk / geometric-random-walk (exchange rates, S&P).
+Series Walk(Rng* rng, std::size_t n, double drift, double vol) {
+  Series x(n);
+  double v = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v += drift + rng->Gaussian(0.0, vol);
+    x[i] = v;
+  }
+  return x;
+}
+
+// Step response of a damped second-order system (CSTR / winding / dryer rig
+// shapes: industrial process data).
+Series StepResponse(Rng* rng, std::size_t n, double wn, double zeta,
+                    double noise) {
+  Series x(n);
+  double t_step = rng->Uniform(0.05, 0.4) * static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double t = static_cast<double>(i) - t_step;
+    double v = 0.0;
+    if (t > 0) {
+      double wd = wn * std::sqrt(std::max(1e-9, 1.0 - zeta * zeta));
+      v = 1.0 - std::exp(-zeta * wn * t) * std::cos(wd * t);
+    }
+    x[i] = v + rng->Gaussian(0.0, noise);
+  }
+  return x;
+}
+
+// Amplitude-modulated oscillation bursts (infrasound / burst datasets).
+Series Bursts(Rng* rng, std::size_t n, double burst_prob, double freq) {
+  Series x(n);
+  double envelope = 0.0;
+  double phase = rng->Uniform(0.0, 2.0 * M_PI);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng->Bernoulli(burst_prob)) envelope = rng->Uniform(0.5, 2.0);
+    envelope *= 0.97;
+    x[i] = envelope * std::sin(freq * static_cast<double>(i) + phase) +
+           rng->Gaussian(0.0, 0.05);
+  }
+  return x;
+}
+
+// Trend plus seasonal plus noise (power demand / plant output).
+Series TrendSeasonal(Rng* rng, std::size_t n, double cycles, double trend,
+                     double noise) {
+  Series x(n);
+  double slope = rng->Uniform(-trend, trend);
+  double phase = rng->Uniform(0.0, 2.0 * M_PI);
+  for (std::size_t i = 0; i < n; ++i) {
+    double t = static_cast<double>(i) / static_cast<double>(n);
+    x[i] = slope * t * 10.0 +
+           std::sin(2.0 * M_PI * cycles * t + phase) + rng->Gaussian(0.0, noise);
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<NamedDataset> Figure6Datasets(std::size_t per_set, std::size_t len,
+                                          std::uint64_t seed) {
+  struct Spec {
+    const char* name;
+    Series (*make)(Rng*, std::size_t);
+  };
+  // Each lambda-free thunk binds one family's parameters.
+  static const Spec kSpecs[] = {
+      {"Sunspot", [](Rng* r, std::size_t n) { return Periodic(r, n, 6.0, 0.15, 1.0); }},
+      {"Power", [](Rng* r, std::size_t n) { return TrendSeasonal(r, n, 12.0, 0.2, 0.2); }},
+      {"Spot Exrates", [](Rng* r, std::size_t n) { return Walk(r, n, 0.0, 0.4); }},
+      {"Shuttle", [](Rng* r, std::size_t n) { return Steps(r, n, 0.03, 0.05); }},
+      {"Water", [](Rng* r, std::size_t n) { return Ar1(r, n, 0.9, 0.5); }},
+      {"Chaotic", [](Rng* r, std::size_t n) { return Chaotic(r, n); }},
+      {"Streamgen", [](Rng* r, std::size_t n) { return TrendSeasonal(r, n, 4.0, 0.5, 0.3); }},
+      {"Ocean", [](Rng* r, std::size_t n) { return Periodic(r, n, 3.0, 0.25, 0.5); }},
+      {"Tide", [](Rng* r, std::size_t n) { return Periodic(r, n, 8.0, 0.05, 0.8); }},
+      {"CSTR", [](Rng* r, std::size_t n) { return StepResponse(r, n, 0.15, 0.4, 0.03); }},
+      {"Winding", [](Rng* r, std::size_t n) { return StepResponse(r, n, 0.3, 0.15, 0.08); }},
+      {"Dryer2", [](Rng* r, std::size_t n) { return StepResponse(r, n, 0.08, 0.7, 0.05); }},
+      {"Ph Data", [](Rng* r, std::size_t n) { return Steps(r, n, 0.015, 0.10); }},
+      {"Power Plant", [](Rng* r, std::size_t n) { return TrendSeasonal(r, n, 2.0, 0.8, 0.15); }},
+      {"Balleam", [](Rng* r, std::size_t n) { return Ar1(r, n, 0.97, 0.2); }},
+      {"Standard&Poor", [](Rng* r, std::size_t n) { return Walk(r, n, 0.02, 0.6); }},
+      {"Soil Temp", [](Rng* r, std::size_t n) { return Periodic(r, n, 2.0, 0.1, 0.3); }},
+      {"Wool", [](Rng* r, std::size_t n) { return Walk(r, n, 0.05, 0.3); }},
+      {"Infrasound", [](Rng* r, std::size_t n) { return Bursts(r, n, 0.02, 0.8); }},
+      {"EEG", [](Rng* r, std::size_t n) { return Ar1(r, n, 0.6, 1.0); }},
+      {"Koski EEG", [](Rng* r, std::size_t n) { return Ar1(r, n, 0.8, 0.8); }},
+      {"Buoy Sensor", [](Rng* r, std::size_t n) { return Periodic(r, n, 5.0, 0.4, 0.4); }},
+      {"Burst", [](Rng* r, std::size_t n) { return Bursts(r, n, 0.05, 0.5); }},
+      {"Random walk", [](Rng* r, std::size_t n) { return Walk(r, n, 0.0, 1.0); }},
+  };
+
+  Rng rng(seed);
+  std::vector<NamedDataset> out;
+  for (const Spec& spec : kSpecs) {
+    NamedDataset ds;
+    ds.name = spec.name;
+    ds.series.reserve(per_set);
+    Rng local = rng.Fork(static_cast<std::uint64_t>(out.size()) + 1);
+    for (std::size_t i = 0; i < per_set; ++i) {
+      ds.series.push_back(SubtractMean(spec.make(&local, len)));
+    }
+    out.push_back(std::move(ds));
+  }
+  return out;
+}
+
+}  // namespace humdex::bench

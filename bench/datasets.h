@@ -1,0 +1,31 @@
+// Synthetic stand-ins for the 24 UCR-archive datasets of Figure 6 (see
+// DESIGN.md substitutions). Each family reproduces the qualitative shape of
+// its namesake — periodic, autoregressive, chaotic, bursty, piecewise, random
+// walk — because Figure 6 measures lower-bound tightness *across
+// heterogeneous data shapes*, not against the archive's exact values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace humdex::bench {
+
+struct NamedDataset {
+  std::string name;
+  std::vector<Series> series;
+};
+
+/// The 24 dataset families of Figure 6, in the paper's order:
+/// 1.Sunspot 2.Power 3.Spot Exrates 4.Shuttle 5.Water 6.Chaotic 7.Streamgen
+/// 8.Ocean 9.Tide 10.CSTR 11.Winding 12.Dryer2 13.Ph Data 14.Power Plant
+/// 15.Balleam 16.Standard&Poor 17.Soil Temp 18.Wool 19.Infrasound 20.EEG
+/// 21.Koski EEG 22.Buoy Sensor 23.Burst 24.Random walk.
+/// Every series has length `len` and is mean-subtracted; `per_set` series per
+/// dataset (the paper uses 50 random series of length 256).
+std::vector<NamedDataset> Figure6Datasets(std::size_t per_set, std::size_t len,
+                                          std::uint64_t seed);
+
+}  // namespace humdex::bench

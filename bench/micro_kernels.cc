@@ -1,0 +1,158 @@
+// google-benchmark microbenchmarks of the computational kernels: banded and
+// full DTW, envelope construction, transforms, the raw envelope bound, and
+// R*-tree operations. These explain *why* the index pipeline is fast: the
+// cascade replaces O(kn) DTW calls with O(N) feature-space tests.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "gemini/feature_index.h"
+#include "ts/dtw.h"
+#include "ts/envelope.h"
+#include "ts/lower_bound.h"
+#include "util/random.h"
+
+namespace humdex::bench {
+namespace {
+
+std::vector<Series> Data(std::size_t count, std::size_t len) {
+  static auto cache = RandomWalkSet(512, 1024, 5);
+  std::vector<Series> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.emplace_back(cache[i % cache.size()].begin(),
+                     cache[i % cache.size()].begin() + static_cast<long>(len));
+  }
+  return out;
+}
+
+void BM_FullDtw(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto d = Data(2, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DtwDistance(d[0], d[1]));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullDtw)->Range(64, 1024)->Complexity(benchmark::oNSquared);
+
+void BM_BandedLdtw(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto d = Data(2, n);
+  std::size_t k = BandRadiusForWidth(0.1, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LdtwDistance(d[0], d[1], k));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BandedLdtw)->Range(64, 1024)->Complexity();
+
+void BM_BuildEnvelope(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto d = Data(1, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildEnvelope(d[0], n / 10));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildEnvelope)->Range(64, 4096)->Complexity(benchmark::oN);
+
+void BM_LbKeogh(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto d = Data(2, n);
+  Envelope env = BuildEnvelope(d[1], n / 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LbKeogh(d[0], env));
+  }
+}
+BENCHMARK(BM_LbKeogh)->Range(64, 1024);
+
+void BM_PaaFeatures(benchmark::State& state) {
+  auto d = Data(1, 128);
+  auto scheme = MakeNewPaaScheme(128, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->Features(d[0]));
+  }
+}
+BENCHMARK(BM_PaaFeatures);
+
+void BM_NewPaaEnvelopeReduce(benchmark::State& state) {
+  auto d = Data(1, 128);
+  auto scheme = MakeNewPaaScheme(128, 8);
+  Envelope env = BuildEnvelope(d[0], 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->ReduceEnvelope(env));
+  }
+}
+BENCHMARK(BM_NewPaaEnvelopeReduce);
+
+void BM_DftFeatures(benchmark::State& state) {
+  auto d = Data(1, 128);
+  auto scheme = MakeDftScheme(128, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->Features(d[0]));
+  }
+}
+BENCHMARK(BM_DftFeatures);
+
+void BM_RStarInsert(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    RStarTree tree(8);
+    state.ResumeTiming();
+    for (std::int64_t i = 0; i < 2000; ++i) {
+      Series p(8);
+      for (double& v : p) v = rng.Uniform(-10, 10);
+      tree.Insert(p, i);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_RStarInsert);
+
+void BM_RStarRangeQuery(benchmark::State& state) {
+  Rng rng(5);
+  RStarTree tree(8);
+  for (std::int64_t i = 0; i < 50000; ++i) {
+    Series p(8);
+    for (double& v : p) v = rng.Uniform(-10, 10);
+    tree.Insert(p, i);
+  }
+  Series q(8, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.RangeQuery(Rect::FromPoint(q), 3.0));
+  }
+}
+BENCHMARK(BM_RStarRangeQuery);
+
+void BM_EndToEndIndexedRangeQuery(benchmark::State& state) {
+  auto data = RandomWalkSet(10000, 128, 7);
+  FeatureIndex index(MakeNewPaaScheme(128, 8));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    index.Add(data[i], static_cast<std::int64_t>(i));
+  }
+  auto queries = RandomWalkSet(16, 128, 9);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    Envelope env = BuildEnvelope(queries[qi++ % queries.size()], 6);
+    benchmark::DoNotOptimize(index.CandidatesForEnvelope(env, 5.0));
+  }
+}
+BENCHMARK(BM_EndToEndIndexedRangeQuery);
+
+void BM_LinearScanDtwBaseline(benchmark::State& state) {
+  // The brute-force cost the index pipeline avoids (Mazzoni-style matching).
+  auto data = RandomWalkSet(256, 128, 11);
+  auto q = RandomWalkSet(1, 128, 13)[0];
+  for (auto _ : state) {
+    double best = kInfiniteDistance;
+    for (const Series& s : data) {
+      best = std::min(best, LdtwDistance(q, s, 6));
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_LinearScanDtwBaseline);
+
+}  // namespace
+}  // namespace humdex::bench

@@ -1,0 +1,83 @@
+// Table 2: melodies correctly retrieved by 20 good-singer hum queries —
+// time series (DTW) approach vs contour-string approach, rank histogram
+// over a 1000-phrase corpus.
+//
+// Paper's result:  rank 1: 16 vs 2 | 2-3: 2 vs 0 | 4-5: 2 vs 0 |
+//                  6-10: 0 vs 4 | >10: 0 vs 14.
+#include <cstdio>
+
+#include "common.h"
+#include "music/hummer.h"
+#include "music/pitch_tracker.h"
+#include "qbh/contour_system.h"
+#include "qbh/qbh_system.h"
+
+namespace humdex::bench {
+namespace {
+
+struct RankHistogram {
+  int r1 = 0, r2_3 = 0, r4_5 = 0, r6_10 = 0, r10_plus = 0;
+
+  void Add(std::size_t rank) {
+    if (rank == 1) {
+      ++r1;
+    } else if (rank <= 3) {
+      ++r2_3;
+    } else if (rank <= 5) {
+      ++r4_5;
+    } else if (rank <= 10) {
+      ++r6_10;
+    } else {
+      ++r10_plus;
+    }
+  }
+};
+
+int Run() {
+  const std::size_t kCorpusSize = 1000;
+  const int kQueries = 20;
+  PrintBanner("Table 2: retrieval quality, good singers",
+              "Time series (DTW, delta=0.1) vs contour approach; " +
+                  std::to_string(kCorpusSize) + " phrases, " +
+                  std::to_string(kQueries) + " hum queries");
+
+  auto corpus = PhraseCorpus(kCorpusSize, /*seed=*/20030609);
+  QbhSystem dtw_system;
+  ContourSystem contour_system;
+  for (const Melody& m : corpus) {
+    dtw_system.AddMelody(m);
+    contour_system.AddMelody(m);
+  }
+  dtw_system.Build();
+
+  RankHistogram dtw_hist, contour_hist;
+  PitchTracker tracker(PitchTrackerOptions(), /*seed=*/5);
+  for (int q = 0; q < kQueries; ++q) {
+    std::size_t target = static_cast<std::size_t>(q) * (kCorpusSize / kQueries);
+    Hummer hummer(HummerProfile::Good(), 4000 + static_cast<std::uint64_t>(q));
+    Series hum = tracker.Track(hummer.Hum(corpus[target]));
+    dtw_hist.Add(dtw_system.RankOf(hum, static_cast<std::int64_t>(target)));
+    contour_hist.Add(
+        contour_system.RankOf(hum, static_cast<std::int64_t>(target)));
+  }
+
+  Table table({"Rank", "Time series Approach", "Contour Approach",
+               "Paper (TS)", "Paper (Contour)"});
+  table.AddRow({"1", Table::Int(dtw_hist.r1), Table::Int(contour_hist.r1), "16", "2"});
+  table.AddRow({"2-3", Table::Int(dtw_hist.r2_3), Table::Int(contour_hist.r2_3), "2", "0"});
+  table.AddRow({"4-5", Table::Int(dtw_hist.r4_5), Table::Int(contour_hist.r4_5), "2", "0"});
+  table.AddRow({"6-10", Table::Int(dtw_hist.r6_10), Table::Int(contour_hist.r6_10), "0", "4"});
+  table.AddRow({"10-", Table::Int(dtw_hist.r10_plus), Table::Int(contour_hist.r10_plus), "0", "14"});
+  table.Print();
+
+  bool shape_holds = dtw_hist.r1 > contour_hist.r1 &&
+                     (dtw_hist.r1 + dtw_hist.r2_3) >= kQueries * 3 / 4;
+  std::printf("\nShape check (TS approach dominates contour at rank 1): %s\n",
+              shape_holds ? "HOLDS" : "VIOLATED");
+  return shape_holds ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace humdex::bench
+
+int main() { return humdex::bench::Run(); }

@@ -1,0 +1,100 @@
+// Table 3: melodies correctly retrieved by 20 poor-singer hum queries at
+// warping widths delta in {0.05, 0.1, 0.2}. The paper's point: quality peaks
+// at the intermediate width (0.1) — too little warping cannot absorb timing
+// errors, too much lets unrelated melodies match.
+//
+// Paper's result (rank 1 / 2-3 / 4-5 / 6-10 / >10):
+//   delta=0.05: 2/2/4/3/9   delta=0.1: 4/3/5/5/3   delta=0.2: 2/5/7/4/2.
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "music/hummer.h"
+#include "music/pitch_tracker.h"
+#include "qbh/qbh_system.h"
+
+namespace humdex::bench {
+namespace {
+
+struct RankHistogram {
+  int r1 = 0, r2_3 = 0, r4_5 = 0, r6_10 = 0, r10_plus = 0;
+
+  void Add(std::size_t rank) {
+    if (rank == 1) {
+      ++r1;
+    } else if (rank <= 3) {
+      ++r2_3;
+    } else if (rank <= 5) {
+      ++r4_5;
+    } else if (rank <= 10) {
+      ++r6_10;
+    } else {
+      ++r10_plus;
+    }
+  }
+
+  int Top10() const { return r1 + r2_3 + r4_5 + r6_10; }
+};
+
+int Run() {
+  const std::size_t kCorpusSize = 1000;
+  const int kQueries = 20;
+  const std::vector<double> kWidths = {0.05, 0.1, 0.2};
+  PrintBanner("Table 3: retrieval quality, poor singers, by warping width",
+              std::to_string(kCorpusSize) + " phrases, " +
+                  std::to_string(kQueries) + " poor-singer hum queries");
+
+  auto corpus = PhraseCorpus(kCorpusSize, /*seed=*/20030609);
+
+  // Pre-render the hums once so every width sees identical queries.
+  PitchTracker tracker(PitchTrackerOptions(), /*seed=*/9);
+  std::vector<Series> hums;
+  std::vector<std::int64_t> targets;
+  for (int q = 0; q < kQueries; ++q) {
+    std::size_t target = static_cast<std::size_t>(q) * (kCorpusSize / kQueries);
+    Hummer hummer(HummerProfile::Poor(), 8000 + static_cast<std::uint64_t>(q));
+    hums.push_back(tracker.Track(hummer.Hum(corpus[target])));
+    targets.push_back(static_cast<std::int64_t>(target));
+  }
+
+  std::vector<RankHistogram> hists;
+  for (double width : kWidths) {
+    QbhOptions opt;
+    opt.warping_width = width;
+    QbhSystem system(opt);
+    for (const Melody& m : corpus) system.AddMelody(m);
+    system.Build();
+    RankHistogram hist;
+    for (int q = 0; q < kQueries; ++q) {
+      hist.Add(system.RankOf(hums[static_cast<std::size_t>(q)],
+                             targets[static_cast<std::size_t>(q)]));
+    }
+    hists.push_back(hist);
+  }
+
+  Table table({"Rank", "delta=0.05", "delta=0.1", "delta=0.2"});
+  auto row = [&](const char* label, int RankHistogram::* field) {
+    table.AddRow({label, Table::Int(static_cast<std::size_t>(hists[0].*field)),
+                  Table::Int(static_cast<std::size_t>(hists[1].*field)),
+                  Table::Int(static_cast<std::size_t>(hists[2].*field))});
+  };
+  row("1", &RankHistogram::r1);
+  row("2-3", &RankHistogram::r2_3);
+  row("4-5", &RankHistogram::r4_5);
+  row("6-10", &RankHistogram::r6_10);
+  row("10-", &RankHistogram::r10_plus);
+  table.Print();
+
+  std::printf("\nTop-10 totals: delta=0.05: %d, delta=0.1: %d, delta=0.2: %d\n",
+              hists[0].Top10(), hists[1].Top10(), hists[2].Top10());
+  bool shape_holds = hists[1].Top10() >= hists[0].Top10();
+  std::printf("Shape check (delta=0.1 puts at least as many queries in the "
+              "top 10 as delta=0.05): %s\n",
+              shape_holds ? "HOLDS" : "VIOLATED");
+  return shape_holds ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace humdex::bench
+
+int main() { return humdex::bench::Run(); }

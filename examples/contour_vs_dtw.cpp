@@ -1,0 +1,52 @@
+// Contour vs DTW head-to-head (the Table 2 story as a runnable demo): the
+// same hums are answered by the contour-string baseline and the time series
+// system; prints both rank lists side by side and the note-segmentation
+// output that explains the contour method's failures.
+#include <cstdio>
+
+#include "music/contour.h"
+#include "music/hummer.h"
+#include "music/song_generator.h"
+#include "qbh/contour_system.h"
+#include "qbh/qbh_system.h"
+
+int main() {
+  using namespace humdex;
+
+  SongGenerator generator(/*seed=*/88);
+  auto corpus = generator.GeneratePhrases(500);
+
+  QbhSystem dtw_system;
+  ContourSystem contour_system;
+  for (const Melody& m : corpus) {
+    dtw_system.AddMelody(m);
+    contour_system.AddMelody(m);
+  }
+  dtw_system.Build();
+
+  std::printf("  query  true contour (from score)   segmented contour (from hum)"
+              "      DTW rank  contour rank\n");
+  int dtw_better = 0, contour_better = 0;
+  for (int q = 0; q < 12; ++q) {
+    std::size_t target = static_cast<std::size_t>(q) * 41 % corpus.size();
+    Hummer hummer(HummerProfile::Good(), 600 + static_cast<std::uint64_t>(q));
+    Series hum = hummer.Hum(corpus[target]);
+
+    std::string truth = ContourOf(corpus[target]);
+    std::string extracted = contour_system.HumToContour(hum);
+    std::size_t dtw_rank = dtw_system.RankOf(hum, static_cast<std::int64_t>(target));
+    std::size_t contour_rank =
+        contour_system.RankOf(hum, static_cast<std::int64_t>(target));
+    if (dtw_rank < contour_rank) ++dtw_better;
+    if (contour_rank < dtw_rank) ++contour_better;
+
+    std::printf("  %5d  %-28.28s  %-32.32s  %8zu  %12zu\n", q, truth.c_str(),
+                extracted.c_str(), dtw_rank, contour_rank);
+  }
+  std::printf("\nDTW better on %d queries, contour better on %d.\n", dtw_better,
+              contour_better);
+  std::printf("Note how the segmented contour drops repeated notes and splits "
+              "held ones — the preprocessing error the paper's approach "
+              "avoids entirely.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Hum-query demo: the full noisy channel of the paper's Figure 1 — a melody
+// is hummed by singers of different skill, corrupted by a pitch tracker
+// (dropouts, octave errors), and still retrieved from a 1000-phrase database.
+// Prints the rank the system achieves for each singer and warping width.
+#include <cstdio>
+
+#include "music/hummer.h"
+#include "music/pitch_tracker.h"
+#include "music/song_generator.h"
+#include "qbh/qbh_system.h"
+
+int main() {
+  using namespace humdex;
+
+  SongGenerator generator(/*seed=*/2003);
+  std::vector<Melody> corpus = generator.GeneratePhrases(1000);
+
+  std::printf("Building three systems (warping widths 0.05 / 0.10 / 0.20) over "
+              "%zu melodies...\n", corpus.size());
+  std::vector<double> widths = {0.05, 0.10, 0.20};
+  std::vector<QbhSystem> systems;
+  systems.reserve(widths.size());
+  for (double w : widths) {
+    QbhOptions opt;
+    opt.warping_width = w;
+    systems.emplace_back(opt);
+    for (const Melody& m : corpus) systems.back().AddMelody(m);
+    systems.back().Build();
+  }
+
+  struct Singer {
+    const char* label;
+    HummerProfile profile;
+  };
+  Singer singers[] = {
+      {"perfect singer", HummerProfile::Perfect()},
+      {"good singer   ", HummerProfile::Good()},
+      {"poor singer   ", HummerProfile::Poor()},
+  };
+
+  PitchTracker tracker(PitchTrackerOptions(), /*seed=*/17);
+  const std::int64_t target = 321;
+
+  std::printf("\nEveryone hums melody #%lld; rank of the true melody:\n\n",
+              static_cast<long long>(target));
+  std::printf("  singer            width=0.05  width=0.10  width=0.20\n");
+  bool ok = true;
+  for (const Singer& singer : singers) {
+    Hummer hummer(singer.profile, /*seed=*/99);
+    Series hum =
+        tracker.Track(hummer.Hum(corpus[static_cast<std::size_t>(target)]));
+    std::printf("  %s ", singer.label);
+    for (std::size_t s = 0; s < systems.size(); ++s) {
+      std::size_t rank = systems[s].RankOf(hum, target);
+      std::printf("     rank %-4zu", rank);
+      if (singer.profile.note_pitch_stddev == 0.0 && rank != 1) ok = false;
+    }
+    std::printf("\n");
+  }
+  std::printf("\nThe perfect singer must always rank 1; noisy singers improve "
+              "with a wider (but not too wide) warping band — Table 3's story.\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,185 @@
+// humdex_cli — command-line front end for the library. A downstream user's
+// whole workflow without writing C++:
+//
+//   humdex_cli generate <corpus.melodies> [count] [seed]
+//       write a synthetic melody corpus file
+//   humdex_cli build <corpus.melodies> <out.db> [--scheme S] [--width W]
+//       build and persist a QBH database
+//   humdex_cli hum <corpus.melodies> <index> <out.wav> [--skill good|poor]
+//       synthesize a hum of melody #index to a WAV file
+//   humdex_cli query <db> <hum.wav> [top_k]
+//       search the database with a hum recording
+//   humdex_cli info <db>
+//       print database configuration and size
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "audio/synth.h"
+#include "audio/wav_io.h"
+#include "music/hummer.h"
+#include "music/melody_io.h"
+#include "music/song_generator.h"
+#include "qbh/storage.h"
+
+namespace {
+
+using namespace humdex;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  humdex_cli generate <corpus.melodies> [count] [seed]\n"
+               "  humdex_cli build <corpus.melodies> <out.db> [--scheme "
+               "new_paa|keogh_paa|dft|dwt|svd] [--width W]\n"
+               "  humdex_cli hum <corpus.melodies> <index> <out.wav> [--skill "
+               "good|poor|perfect] [--seed N]\n"
+               "  humdex_cli query <db> <hum.wav> [top_k]\n"
+               "  humdex_cli info <db>\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::size_t count = argc >= 2 ? std::strtoul(argv[1], nullptr, 10) : 1000;
+  std::uint64_t seed = argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  SongGenerator gen(seed);
+  std::vector<Melody> corpus = gen.GeneratePhrases(count);
+  Status st = SaveMelodiesToFile(argv[0], corpus);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %zu melodies to %s\n", corpus.size(), argv[0]);
+  return 0;
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  QbhOptions opt;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string flag = argv[i], value = argv[i + 1];
+    if (flag == "--scheme") {
+      if (value == "new_paa") {
+        opt.scheme = SchemeKind::kNewPaa;
+      } else if (value == "keogh_paa") {
+        opt.scheme = SchemeKind::kKeoghPaa;
+      } else if (value == "dft") {
+        opt.scheme = SchemeKind::kDft;
+      } else if (value == "dwt") {
+        opt.scheme = SchemeKind::kDwt;
+      } else if (value == "svd") {
+        opt.scheme = SchemeKind::kSvd;
+      } else {
+        return Usage();
+      }
+    } else if (flag == "--width") {
+      opt.warping_width = std::strtod(value.c_str(), nullptr);
+    } else {
+      return Usage();
+    }
+  }
+  std::vector<Melody> corpus;
+  Status st = LoadMelodiesFromFile(argv[0], &corpus);
+  if (!st.ok()) return Fail(st);
+  QbhSystem system(opt);
+  for (Melody& m : corpus) system.AddMelody(std::move(m));
+  system.Build();
+  st = SaveQbhDatabase(argv[1], system);
+  if (!st.ok()) return Fail(st);
+  std::printf("built database: %zu melodies -> %s\n", system.size(), argv[1]);
+  return 0;
+}
+
+int CmdHum(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  HummerProfile profile = HummerProfile::Good();
+  std::uint64_t seed = 7;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    std::string flag = argv[i], value = argv[i + 1];
+    if (flag == "--skill") {
+      if (value == "good") {
+        profile = HummerProfile::Good();
+      } else if (value == "poor") {
+        profile = HummerProfile::Poor();
+      } else if (value == "perfect") {
+        profile = HummerProfile::Perfect();
+      } else {
+        return Usage();
+      }
+    } else if (flag == "--seed") {
+      seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      return Usage();
+    }
+  }
+  std::vector<Melody> corpus;
+  Status st = LoadMelodiesFromFile(argv[0], &corpus);
+  if (!st.ok()) return Fail(st);
+  std::size_t index = std::strtoul(argv[1], nullptr, 10);
+  if (index >= corpus.size()) {
+    std::fprintf(stderr, "error: index %zu out of range (corpus has %zu)\n",
+                 index, corpus.size());
+    return 1;
+  }
+  Hummer hummer(profile, seed);
+  SynthOptions sopt;
+  Series pcm = SynthesizeHum(hummer.Hum(corpus[index]), sopt);
+  st = WriteWavFile(argv[2], pcm, sopt.sample_rate);
+  if (!st.ok()) return Fail(st);
+  std::printf("hummed '%s' (%.1fs of audio) -> %s\n", corpus[index].name.c_str(),
+              static_cast<double>(pcm.size()) / sopt.sample_rate, argv[2]);
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::size_t top_k = argc >= 3 ? std::strtoul(argv[2], nullptr, 10) : 5;
+  Result<QbhSystem> system = LoadQbhDatabase(argv[0]);
+  if (!system.ok()) return Fail(system.status());
+  WavData wav;
+  Status st = ReadWavFile(argv[1], &wav);
+  if (!st.ok()) return Fail(st);
+  QueryStats stats;
+  auto matches = system.value().QueryAudio(wav.samples, wav.sample_rate, top_k,
+                                           &stats);
+  std::printf("top %zu matches:\n", matches.size());
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    std::printf("  %2zu. %-24s  distance %.3f\n", i + 1, matches[i].name.c_str(),
+                matches[i].distance);
+  }
+  std::printf("(%zu candidates from index, %zu exact DTW computations, %zu "
+              "page accesses)\n",
+              stats.index_candidates, stats.exact_dtw_calls, stats.page_accesses);
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  Result<QbhSystem> system = LoadQbhDatabase(argv[0]);
+  if (!system.ok()) return Fail(system.status());
+  const QbhOptions& opt = system.value().options();
+  std::printf("humdex database: %s\n", argv[0]);
+  std::printf("  melodies:        %zu\n", system.value().size());
+  std::printf("  normal_len:      %zu\n", opt.normal_len);
+  std::printf("  warping_width:   %.3f\n", opt.warping_width);
+  std::printf("  feature_dim:     %zu\n", opt.feature_dim);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(argc - 2, argv + 2);
+  if (cmd == "build") return CmdBuild(argc - 2, argv + 2);
+  if (cmd == "hum") return CmdHum(argc - 2, argv + 2);
+  if (cmd == "query") return CmdQuery(argc - 2, argv + 2);
+  if (cmd == "info") return CmdInfo(argc - 2, argv + 2);
+  return Usage();
+}

@@ -1,0 +1,68 @@
+// Index tuning explorer: compares feature schemes (New_PAA, Keogh_PAA, DFT,
+// DWT, SVD) and index substrates on one corpus — candidates, page accesses,
+// and exact-DTW calls per query. The knobs downstream users actually turn.
+#include <cstdio>
+
+#include "gemini/query_engine.h"
+#include "music/song_generator.h"
+#include "ts/normal_form.h"
+
+int main() {
+  using namespace humdex;
+
+  const std::size_t kLen = 128;
+  const std::size_t kDim = 8;
+  SongGenerator generator(/*seed=*/51);
+  auto corpus = generator.GeneratePhrases(5000);
+  std::vector<Series> normals;
+  normals.reserve(corpus.size());
+  for (const Melody& m : corpus) {
+    normals.push_back(NormalForm(MelodyToSeries(m, 8.0), kLen));
+  }
+  auto query_melodies = SongGenerator(/*seed=*/52).GeneratePhrases(20);
+  std::vector<Series> queries;
+  for (const Melody& m : query_melodies) {
+    queries.push_back(NormalForm(MelodyToSeries(m, 8.0), kLen));
+  }
+
+  struct SchemeChoice {
+    const char* label;
+    std::shared_ptr<FeatureScheme> scheme;
+  };
+  SchemeChoice schemes[] = {
+      {"new_paa  ", MakeNewPaaScheme(kLen, kDim)},
+      {"keogh_paa", MakeKeoghPaaScheme(kLen, kDim)},
+      {"dft      ", MakeDftScheme(kLen, kDim)},
+      {"dwt      ", MakeDwtScheme(kLen, kDim)},
+      {"svd      ", MakeSvdScheme(normals, kDim)},
+  };
+
+  std::printf("%zu melodies, %zu queries, range radius 6.0, width 0.1\n\n",
+              normals.size(), queries.size());
+  std::printf("  scheme      candidates  lb_survivors  dtw_calls  pages  results\n");
+  for (const SchemeChoice& choice : schemes) {
+    QueryEngineOptions opts;
+    opts.normal_len = kLen;
+    opts.warping_width = 0.1;
+    DtwQueryEngine engine(choice.scheme, opts);
+    for (std::size_t i = 0; i < normals.size(); ++i) {
+      engine.Add(normals[i], static_cast<std::int64_t>(i));
+    }
+    std::size_t cand = 0, lb = 0, calls = 0, pages = 0, results = 0;
+    for (const Series& q : queries) {
+      QueryStats stats;
+      engine.RangeQuery(q, 6.0, &stats);
+      cand += stats.index_candidates;
+      lb += stats.lb_survivors;
+      calls += stats.exact_dtw_calls;
+      pages += stats.page_accesses;
+      results += stats.results;
+    }
+    std::printf("  %s %9zu %13zu %10zu %6zu %8zu\n", choice.label,
+                cand / queries.size(), lb / queries.size(), calls / queries.size(),
+                pages / queries.size(), results / queries.size());
+  }
+  std::printf("\nEvery scheme returns identical results (exactness); they "
+              "differ only in how much work the filters discard.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Renders the paper's illustrative figures as ASCII plots:
+//   Figure 1 — a hummed pitch time series ("Hey Jude", first phrases)
+//   Figure 2 — a melody's score as its time series representation
+//   Figure 3 — hum and melody after normal-form transformation (overlaid)
+//   Figure 4 — a warping path under the local (Sakoe-Chiba) constraint
+//   Figure 5 — envelope + PAA bounds: Keogh's reduction vs the paper's
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "music/hummer.h"
+#include "transform/paa.h"
+#include "ts/dtw.h"
+#include "ts/envelope.h"
+#include "ts/normal_form.h"
+
+namespace {
+
+using namespace humdex;
+
+// Tiny ASCII plotter: each series is drawn with its own glyph.
+void Plot(const std::string& title, const std::vector<Series>& curves,
+          const std::string& glyphs, std::size_t width = 100,
+          std::size_t height = 18) {
+  std::printf("\n--- %s ---\n", title.c_str());
+  double lo = 1e300, hi = -1e300;
+  std::size_t max_len = 0;
+  for (const Series& c : curves) {
+    for (double v : c) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    max_len = std::max(max_len, c.size());
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t ci = 0; ci < curves.size(); ++ci) {
+    const Series& c = curves[ci];
+    for (std::size_t x = 0; x < width; ++x) {
+      std::size_t i = x * c.size() / width;
+      if (i >= c.size()) continue;
+      double frac = (c[i] - lo) / (hi - lo);
+      std::size_t y = height - 1 -
+                      std::min(height - 1,
+                               static_cast<std::size_t>(frac * (height - 1) + 0.5));
+      grid[y][x] = glyphs[ci % glyphs.size()];
+    }
+  }
+  std::printf("%7.1f +%s\n", hi, std::string(width, '-').c_str());
+  for (const std::string& row : grid) std::printf("        |%s\n", row.c_str());
+  std::printf("%7.1f +%s\n", lo, std::string(width, '-').c_str());
+}
+
+// The first two phrases of "Hey Jude" (paper Figures 1 and 2).
+Melody HeyJude() {
+  Melody m;
+  m.name = "hey_jude_opening";
+  // "Hey Jude, don't make it bad; take a sad song and make it better"
+  m.notes = {{60, 1.5}, {57, 2.5}, {57, 0.5}, {60, 0.5}, {62, 1.0}, {55, 2.5},
+             {55, 1.0}, {57, 1.0}, {58, 2.0}, {65, 1.5}, {65, 1.0}, {64, 1.0},
+             {60, 1.0}, {62, 1.0}, {58, 0.5}, {57, 0.5}, {55, 2.0}};
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  Melody tune = HeyJude();
+
+  // Figure 1: an amateur hums the tune — glides, vibrato, timing wobble.
+  Hummer hummer(HummerProfile::Good(), /*seed=*/20030609);
+  Series hum = hummer.Hum(tune);
+  Plot("Figure 1: pitch time series of a hummed 'Hey Jude' (~" +
+           std::to_string(hum.size() / 100) + "s)",
+       {hum}, "*");
+
+  // Figure 2: the score's exact time series representation.
+  Series score = MelodyToSeries(tune, 8.0);
+  Plot("Figure 2: 'Hey Jude' melody as a time series (from the score)", {score},
+       "#");
+
+  // Figure 3: both after shift + UTW normalization — now comparable.
+  Series hum_nf = NormalForm(hum, 128);
+  Series score_nf = NormalForm(score, 128);
+  Plot("Figure 3: hum (*) and melody (#) normal forms, overlaid",
+       {hum_nf, score_nf}, "*#");
+  std::printf("    banded DTW distance between the normal forms: %.3f\n",
+              LdtwDistance(hum_nf, score_nf, 6));
+
+  // Figure 4: the warping path of the alignment, in the DTW grid.
+  {
+    Series a = UtwNormalForm(score, 36), b = UtwNormalForm(hum, 36);
+    WarpingPath path;
+    DtwDistanceWithPath(SubtractMean(a), SubtractMean(b), &path);
+    std::printf("\n--- Figure 4: warping path in the 36x36 grid "
+                "(. = Sakoe-Chiba band k=4, # = path) ---\n");
+    std::vector<std::string> grid(36, std::string(36, ' '));
+    for (std::size_t i = 0; i < 36; ++i) {
+      for (std::size_t j = 0; j < 36; ++j) {
+        if ((i > j ? i - j : j - i) <= 4) grid[i][j] = '.';
+      }
+    }
+    for (const auto& [i, j] : path) grid[i][j] = '#';
+    for (std::size_t i = 36; i-- > 0;) std::printf("    %s\n", grid[i].c_str());
+  }
+
+  // Figure 5: the envelope of the hum normal form and the two PAA
+  // reductions of it.
+  {
+    Envelope env = BuildEnvelope(score_nf, 10);
+    PaaTransform paa(128, 8);
+    Envelope new_env = paa.ApplyToEnvelope(env);
+    Envelope keogh_env = KeoghPaaEnvelope(env, 8);
+    // Upsample the 8-dim feature envelopes back to 128 for display, undoing
+    // the sqrt(frame) feature scaling.
+    auto expand = [&](const Series& f) {
+      Series out(128);
+      for (std::size_t i = 0; i < 128; ++i) out[i] = f[i / 16] / 4.0;
+      return out;
+    };
+    Plot("Figure 5a: series (#), envelope (.), Keogh PAA bounds (k)",
+         {score_nf, env.lower, env.upper, expand(keogh_env.lower),
+          expand(keogh_env.upper)},
+         "#..kk");
+    Plot("Figure 5b: series (#), envelope (.), New PAA bounds (n) — tighter",
+         {score_nf, env.lower, env.upper, expand(new_env.lower),
+          expand(new_env.upper)},
+         "#..nn");
+  }
+  return 0;
+}

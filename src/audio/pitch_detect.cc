@@ -1,0 +1,115 @@
+#include "audio/pitch_detect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "audio/synth.h"
+#include "music/pitch_tracker.h"
+#include "util/fft.h"
+#include "util/status.h"
+
+namespace humdex {
+
+PitchDetector::PitchDetector(PitchDetectorOptions options) : options_(options) {
+  HUMDEX_CHECK(options_.sample_rate > 0.0);
+  HUMDEX_CHECK(options_.hop_seconds > 0.0);
+  HUMDEX_CHECK(options_.window_seconds >= options_.hop_seconds);
+  HUMDEX_CHECK(options_.min_hz > 0.0 && options_.max_hz > options_.min_hz);
+  HUMDEX_CHECK(options_.median_window >= 1 && options_.median_window % 2 == 1);
+  window_samples_ =
+      static_cast<std::size_t>(options_.window_seconds * options_.sample_rate);
+  hop_samples_ =
+      static_cast<std::size_t>(options_.hop_seconds * options_.sample_rate);
+  HUMDEX_CHECK(window_samples_ >= 8 && hop_samples_ >= 1);
+  // FFT size: at least 2x the window for linear (non-circular) correlation.
+  fft_size_ = 1;
+  while (fft_size_ < 2 * window_samples_) fft_size_ <<= 1;
+}
+
+double PitchDetector::DetectFrameHz(const Series& frame) const {
+  HUMDEX_CHECK(frame.size() == window_samples_);
+  const std::size_t n = window_samples_;
+
+  // Energy gate.
+  double mean = SeriesMean(frame);
+  double energy = 0.0;
+  for (double v : frame) energy += (v - mean) * (v - mean);
+  energy /= static_cast<double>(n);
+  if (energy < options_.energy_threshold) return 0.0;
+
+  // Autocorrelation via FFT of the mean-removed frame.
+  std::vector<Complex> buf(fft_size_, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < n; ++i) buf[i] = Complex(frame[i] - mean, 0.0);
+  Fft(&buf);
+  for (Complex& c : buf) c = Complex(std::norm(c), 0.0);
+  Fft(&buf, /*inverse=*/true);
+  // buf[lag].real() / fft_size_ is the raw autocorrelation at `lag`.
+  const double r0 = buf[0].real();
+  if (r0 <= 0.0) return 0.0;
+
+  auto lag_lo = static_cast<std::size_t>(options_.sample_rate / options_.max_hz);
+  auto lag_hi = static_cast<std::size_t>(options_.sample_rate / options_.min_hz);
+  lag_hi = std::min(lag_hi, n - 1);
+  if (lag_lo < 2) lag_lo = 2;
+  if (lag_lo >= lag_hi) return 0.0;
+
+  // Normalized ACF (overlap-corrected so long lags are not penalized).
+  auto norm_at = [&](std::size_t lag) {
+    double overlap = static_cast<double>(n - lag) / static_cast<double>(n);
+    return buf[lag].real() / (r0 * overlap);
+  };
+
+  // A periodic signal peaks at every multiple of its period, all with
+  // near-equal normalized value; the pitch is the *smallest* such lag. Find
+  // the global maximum, then take the first local maximum that comes within
+  // a factor of it.
+  double best_val = 0.0;
+  for (std::size_t lag = lag_lo; lag <= lag_hi; ++lag) {
+    best_val = std::max(best_val, norm_at(lag));
+  }
+  if (best_val < options_.clarity_threshold) return 0.0;
+
+  std::size_t best_lag = 0;
+  for (std::size_t lag = lag_lo; lag <= lag_hi; ++lag) {
+    double v = norm_at(lag);
+    bool local_max = v >= norm_at(lag - 1) &&
+                     (lag + 1 > lag_hi || v >= norm_at(lag + 1));
+    if (local_max && v >= 0.85 * best_val) {
+      best_lag = lag;
+      break;
+    }
+  }
+  if (best_lag == 0) return 0.0;
+
+  // Parabolic interpolation around the peak for sub-sample lag accuracy.
+  double lag = static_cast<double>(best_lag);
+  if (best_lag + 1 <= lag_hi && best_lag >= 1) {
+    double ym = buf[best_lag - 1].real(), y0 = buf[best_lag].real(),
+           yp = buf[best_lag + 1].real();
+    double denom = ym - 2.0 * y0 + yp;
+    if (std::fabs(denom) > 1e-12) {
+      double delta = 0.5 * (ym - yp) / denom;
+      if (std::fabs(delta) <= 1.0) lag += delta;
+    }
+  }
+  return options_.sample_rate / lag;
+}
+
+Series PitchDetector::Detect(const Series& audio) const {
+  Series out;
+  if (audio.size() < window_samples_) return out;
+  out.reserve((audio.size() - window_samples_) / hop_samples_ + 1);
+  Series frame(window_samples_);
+  for (std::size_t start = 0; start + window_samples_ <= audio.size();
+       start += hop_samples_) {
+    for (std::size_t i = 0; i < window_samples_; ++i) frame[i] = audio[start + i];
+    double hz = DetectFrameHz(frame);
+    out.push_back(hz > 0.0 ? HzToMidi(hz) : SilentFrame());
+  }
+
+  // Median smoothing of voiced frames: isolated octave errors at note
+  // transitions are replaced by their neighborhood consensus.
+  return MedianFilterVoiced(out, options_.median_window);
+}
+
+}  // namespace humdex

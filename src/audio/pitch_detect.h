@@ -1,0 +1,44 @@
+// Frame-level pitch detection from PCM audio — the acoustic front end the
+// paper delegates to Tolonen-Karjalainen [27]. Implements the classic
+// autocorrelation method: window the signal into overlapping frames, compute
+// the normalized autocorrelation via FFT, pick the strongest peak lag inside
+// the humming range, refine it by parabolic interpolation, and emit one MIDI
+// pitch per 10ms hop (silent frames for unvoiced/low-energy audio).
+#pragma once
+
+#include "ts/time_series.h"
+
+namespace humdex {
+
+struct PitchDetectorOptions {
+  double sample_rate = 8000.0;
+  double hop_seconds = 0.010;      ///< one output frame per hop
+  double window_seconds = 0.030;   ///< analysis window
+  double min_hz = 70.0;            ///< lowest detectable pitch
+  double max_hz = 1100.0;          ///< highest detectable pitch (MIDI ~84)
+  double energy_threshold = 1e-4;  ///< below: silent frame
+  double clarity_threshold = 0.5;  ///< normalized ACF peak below: unvoiced
+  int median_window = 5;           ///< odd post-smoothing window (1 = off);
+                                   ///< removes isolated transition-frame
+                                   ///< octave errors
+};
+
+/// Autocorrelation pitch detector. Deterministic, stateless between calls.
+class PitchDetector {
+ public:
+  explicit PitchDetector(PitchDetectorOptions options = PitchDetectorOptions());
+
+  /// One MIDI pitch per hop; SilentFrame() where no pitch is detected.
+  Series Detect(const Series& audio) const;
+
+  /// Pitch of a single frame in Hz, or 0 when unvoiced. Exposed for tests.
+  double DetectFrameHz(const Series& frame) const;
+
+ private:
+  PitchDetectorOptions options_;
+  std::size_t window_samples_;
+  std::size_t hop_samples_;
+  std::size_t fft_size_;
+};
+
+}  // namespace humdex

@@ -1,0 +1,66 @@
+#include "audio/synth.h"
+
+#include <cmath>
+
+#include "music/pitch_tracker.h"
+#include "util/status.h"
+
+namespace humdex {
+
+double MidiToHz(double midi) { return 440.0 * std::pow(2.0, (midi - 69.0) / 12.0); }
+
+double HzToMidi(double hz) {
+  HUMDEX_CHECK(hz > 0.0);
+  return 69.0 + 12.0 * std::log2(hz / 440.0);
+}
+
+Series SynthesizeHum(const Series& pitch_frames, SynthOptions options) {
+  HUMDEX_CHECK(options.sample_rate > 0.0);
+  HUMDEX_CHECK(options.frames_per_second > 0.0);
+  HUMDEX_CHECK(options.harmonics >= 1);
+  const double samples_per_frame = options.sample_rate / options.frames_per_second;
+  HUMDEX_CHECK(samples_per_frame >= 1.0);
+
+  Rng rng(options.noise_seed);
+  Series audio;
+  audio.reserve(static_cast<std::size_t>(
+      static_cast<double>(pitch_frames.size()) * samples_per_frame) + 16);
+
+  // Harmonic amplitude normalization so the voiced signal peaks near
+  // options.amplitude regardless of the harmonic count.
+  double amp_norm = 0.0;
+  for (int h = 1; h <= options.harmonics; ++h) amp_norm += 1.0 / h;
+
+  double phase = 0.0;  // fundamental phase, radians
+  double envelope = 0.0;
+  const double attack_step =
+      1.0 / (options.attack_seconds * options.sample_rate + 1.0);
+
+  double produced = 0.0;  // fractional samples emitted so far
+  for (std::size_t f = 0; f < pitch_frames.size(); ++f) {
+    double target = (static_cast<double>(f) + 1.0) * samples_per_frame;
+    bool voiced = !IsSilentFrame(pitch_frames[f]);
+    double hz = voiced ? MidiToHz(pitch_frames[f]) : 0.0;
+    double dphase = voiced ? 2.0 * M_PI * hz / options.sample_rate : 0.0;
+
+    while (produced < target) {
+      envelope += voiced ? attack_step : -attack_step;
+      envelope = std::min(1.0, std::max(0.0, envelope));
+      double s = 0.0;
+      if (envelope > 0.0 && voiced) {
+        for (int h = 1; h <= options.harmonics; ++h) {
+          s += std::sin(phase * h) / h;
+        }
+        s *= options.amplitude * envelope / amp_norm;
+      }
+      s += rng.Gaussian(0.0, options.breath_noise);
+      audio.push_back(s);
+      phase += dphase;
+      if (phase > 2.0 * M_PI) phase -= 2.0 * M_PI;
+      produced += 1.0;
+    }
+  }
+  return audio;
+}
+
+}  // namespace humdex

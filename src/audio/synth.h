@@ -1,0 +1,38 @@
+// Hum audio synthesis: renders a frame-level pitch series (the Hummer's
+// output) into a PCM waveform — the signal a real microphone would capture.
+// Together with the pitch detector this closes the loop on the paper's
+// acoustic front end: audio in, pitch time series out (§3.1, Figure 1).
+//
+// The voice model is additive: a handful of harmonics with 1/h rolloff, a
+// soft attack/release per voiced region, and optional breath noise.
+#pragma once
+
+#include <cstdint>
+
+#include "ts/time_series.h"
+#include "util/random.h"
+
+namespace humdex {
+
+struct SynthOptions {
+  double sample_rate = 8000.0;       ///< Hz
+  double frames_per_second = 100.0;  ///< pitch-frame rate of the input
+  int harmonics = 5;                 ///< partials per voiced frame
+  double amplitude = 0.5;            ///< peak amplitude of the fundamental sum
+  double breath_noise = 0.01;        ///< white noise floor
+  double attack_seconds = 0.01;      ///< fade-in after silence
+  std::uint64_t noise_seed = 1;
+};
+
+/// MIDI note number -> frequency in Hz (A4 = 69 = 440 Hz).
+double MidiToHz(double midi);
+
+/// Frequency in Hz -> (fractional) MIDI note number.
+double HzToMidi(double hz);
+
+/// Render a pitch series (MIDI per frame; silent frames allowed, see
+/// pitch_tracker.h) to mono PCM samples in [-1, 1]. Phase-continuous across
+/// frames, so pitch glides do not click.
+Series SynthesizeHum(const Series& pitch_frames, SynthOptions options = SynthOptions());
+
+}  // namespace humdex

@@ -1,0 +1,138 @@
+#include "audio/wav_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace humdex {
+
+namespace {
+
+void AppendU32(std::string* s, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) s->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void AppendU16(std::string* s, std::uint16_t v) {
+  s->push_back(static_cast<char>(v & 0xff));
+  s->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+std::uint32_t ReadU32(const std::string& s, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(s[off + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+std::uint16_t ReadU16(const std::string& s, std::size_t off) {
+  return static_cast<std::uint16_t>(
+      static_cast<unsigned char>(s[off]) |
+      (static_cast<unsigned char>(s[off + 1]) << 8));
+}
+
+}  // namespace
+
+std::string EncodeWav(const Series& samples, double sample_rate) {
+  HUMDEX_CHECK(sample_rate > 0.0);
+  const std::uint32_t rate = static_cast<std::uint32_t>(sample_rate);
+  const std::uint32_t data_bytes = static_cast<std::uint32_t>(samples.size() * 2);
+
+  std::string out;
+  out.reserve(44 + data_bytes);
+  out += "RIFF";
+  AppendU32(&out, 36 + data_bytes);
+  out += "WAVE";
+  out += "fmt ";
+  AppendU32(&out, 16);          // PCM fmt chunk size
+  AppendU16(&out, 1);           // PCM
+  AppendU16(&out, 1);           // mono
+  AppendU32(&out, rate);
+  AppendU32(&out, rate * 2);    // byte rate
+  AppendU16(&out, 2);           // block align
+  AppendU16(&out, 16);          // bits per sample
+  out += "data";
+  AppendU32(&out, data_bytes);
+  for (double v : samples) {
+    double clamped = std::max(-1.0, std::min(1.0, v));
+    auto q = static_cast<std::int16_t>(std::lround(clamped * 32767.0));
+    AppendU16(&out, static_cast<std::uint16_t>(q));
+  }
+  return out;
+}
+
+Status DecodeWav(const std::string& bytes, WavData* out) {
+  HUMDEX_CHECK(out != nullptr);
+  if (bytes.size() < 44) return Status::InvalidArgument("WAV too short for header");
+  if (bytes.compare(0, 4, "RIFF") != 0 || bytes.compare(8, 4, "WAVE") != 0) {
+    return Status::InvalidArgument("not a RIFF/WAVE file");
+  }
+
+  // Walk chunks; require one fmt and one data chunk.
+  std::size_t pos = 12;
+  bool have_fmt = false;
+  std::uint32_t rate = 0;
+  std::uint16_t channels = 0, bits = 0, format = 0;
+  std::size_t data_off = 0, data_len = 0;
+  while (pos + 8 <= bytes.size()) {
+    std::string tag = bytes.substr(pos, 4);
+    std::uint32_t len = ReadU32(bytes, pos + 4);
+    std::size_t body = pos + 8;
+    if (body + len > bytes.size()) {
+      return Status::InvalidArgument("chunk '" + tag + "' overruns file");
+    }
+    if (tag == "fmt ") {
+      if (len < 16) return Status::InvalidArgument("fmt chunk too small");
+      format = ReadU16(bytes, body);
+      channels = ReadU16(bytes, body + 2);
+      rate = ReadU32(bytes, body + 4);
+      bits = ReadU16(bytes, body + 14);
+      have_fmt = true;
+    } else if (tag == "data") {
+      data_off = body;
+      data_len = len;
+    }
+    pos = body + len + (len & 1);  // chunks are word-aligned
+  }
+  if (!have_fmt) return Status::InvalidArgument("missing fmt chunk");
+  if (data_off == 0) return Status::InvalidArgument("missing data chunk");
+  if (format != 1) return Status::InvalidArgument("only PCM (format 1) supported");
+  if (channels != 1) return Status::InvalidArgument("only mono supported");
+  if (bits != 16) return Status::InvalidArgument("only 16-bit supported");
+  if (rate == 0) return Status::InvalidArgument("zero sample rate");
+  if (data_len % 2 != 0) return Status::InvalidArgument("odd data length");
+
+  out->sample_rate = rate;
+  out->samples.clear();
+  out->samples.reserve(data_len / 2);
+  for (std::size_t i = 0; i + 2 <= data_len; i += 2) {
+    auto q = static_cast<std::int16_t>(ReadU16(bytes, data_off + i));
+    out->samples.push_back(static_cast<double>(q) / 32767.0);
+  }
+  return Status::OK();
+}
+
+Status WriteWavFile(const std::string& path, const Series& samples,
+                    double sample_rate) {
+  std::string bytes = EncodeWav(samples, sample_rate);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot write '" + path + "'");
+  std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (wrote != bytes.size()) return Status::Internal("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Status ReadWavFile(const std::string& path, WavData* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open '" + path + "'");
+  std::string bytes;
+  char buf[1 << 14];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, got);
+  std::fclose(f);
+  return DecodeWav(bytes, out);
+}
+
+}  // namespace humdex

@@ -1,0 +1,30 @@
+// Minimal RIFF/WAVE reader and writer (16-bit mono PCM) so hum recordings
+// can enter and leave the system as ordinary .wav files. Status-based: a
+// malformed header reports what is wrong instead of aborting.
+#pragma once
+
+#include <string>
+
+#include "ts/time_series.h"
+#include "util/status.h"
+
+namespace humdex {
+
+/// Decoded audio: samples in [-1, 1] plus the sample rate.
+struct WavData {
+  Series samples;
+  double sample_rate = 0.0;
+};
+
+/// Encode samples (clamped to [-1, 1]) as 16-bit mono PCM WAV bytes.
+std::string EncodeWav(const Series& samples, double sample_rate);
+
+/// Decode a 16-bit mono PCM WAV byte string.
+Status DecodeWav(const std::string& bytes, WavData* out);
+
+/// File wrappers.
+Status WriteWavFile(const std::string& path, const Series& samples,
+                    double sample_rate);
+Status ReadWavFile(const std::string& path, WavData* out);
+
+}  // namespace humdex

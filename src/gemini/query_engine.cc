@@ -1,0 +1,236 @@
+#include "gemini/query_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "ts/envelope.h"
+#include "ts/lower_bound.h"
+#include "util/status.h"
+
+namespace humdex {
+
+DtwQueryEngine::DtwQueryEngine(std::shared_ptr<const FeatureScheme> scheme,
+                               QueryEngineOptions options)
+    : scheme_(std::move(scheme)),
+      options_(options),
+      band_k_(BandRadiusForWidth(options.warping_width, options.normal_len)),
+      feature_index_(scheme_, options.index) {
+  HUMDEX_CHECK(scheme_ != nullptr);
+  HUMDEX_CHECK(scheme_->input_dim() == options_.normal_len);
+}
+
+void DtwQueryEngine::Add(Series normal_form, std::int64_t id) {
+  HUMDEX_CHECK(normal_form.size() == options_.normal_len);
+  HUMDEX_CHECK(id >= 0);
+  feature_index_.Add(normal_form, id);
+  if (static_cast<std::size_t>(id) >= id_to_pos_.size()) {
+    id_to_pos_.resize(static_cast<std::size_t>(id) + 1, SIZE_MAX);
+  }
+  HUMDEX_CHECK_MSG(id_to_pos_[static_cast<std::size_t>(id)] == SIZE_MAX,
+                   "duplicate id");
+  id_to_pos_[static_cast<std::size_t>(id)] = data_.size();
+  data_.push_back({std::move(normal_form), id});
+}
+
+void DtwQueryEngine::AddAll(std::vector<Series> normal_forms) {
+  HUMDEX_CHECK_MSG(data_.empty(), "AddAll on a non-empty engine");
+  std::vector<std::int64_t> ids(normal_forms.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<std::int64_t>(i);
+  feature_index_.AddBatch(normal_forms, ids);
+  id_to_pos_.resize(normal_forms.size());
+  data_.reserve(normal_forms.size());
+  for (std::size_t i = 0; i < normal_forms.size(); ++i) {
+    id_to_pos_[i] = i;
+    data_.push_back({std::move(normal_forms[i]), static_cast<std::int64_t>(i)});
+  }
+}
+
+bool DtwQueryEngine::Remove(std::int64_t id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= id_to_pos_.size()) return false;
+  std::size_t pos = id_to_pos_[static_cast<std::size_t>(id)];
+  if (pos == SIZE_MAX) return false;
+  bool removed = feature_index_.Remove(data_[pos].series, id);
+  HUMDEX_CHECK_MSG(removed, "engine data and feature index out of sync");
+  // Swap-remove from the dense store.
+  if (pos != data_.size() - 1) {
+    data_[pos] = std::move(data_.back());
+    id_to_pos_[static_cast<std::size_t>(data_[pos].id)] = pos;
+  }
+  data_.pop_back();
+  id_to_pos_[static_cast<std::size_t>(id)] = SIZE_MAX;
+  return true;
+}
+
+const DtwQueryEngine::Item& DtwQueryEngine::ItemFor(std::int64_t id) const {
+  HUMDEX_CHECK(id >= 0 && static_cast<std::size_t>(id) < id_to_pos_.size());
+  std::size_t pos = id_to_pos_[static_cast<std::size_t>(id)];
+  HUMDEX_CHECK(pos != SIZE_MAX);
+  return data_[pos];
+}
+
+std::vector<Neighbor> DtwQueryEngine::RangeQuery(const Series& query,
+                                                 double epsilon,
+                                                 QueryStats* stats) const {
+  HUMDEX_CHECK(query.size() == options_.normal_len);
+  HUMDEX_CHECK(epsilon >= 0.0);
+  QueryStats local;
+
+  // Steps 2-3: transformed query envelope, feature-space range query.
+  Envelope env = BuildEnvelope(query, band_k_);
+  IndexStats istats;
+  std::vector<std::int64_t> candidates =
+      feature_index_.CandidatesForEnvelope(env, epsilon, &istats);
+  local.index_candidates = candidates.size();
+  local.page_accesses = istats.page_accesses;
+
+  // Step 4: raw-space envelope bound (tighter, uses full resolution).
+  // LbKeogh(data, Env(query)) <= DTW(query, data) by Lemma 2 + symmetry.
+  std::vector<std::int64_t> survivors;
+  survivors.reserve(candidates.size());
+  for (std::int64_t id : candidates) {
+    if (LbKeogh(ItemFor(id).series, env) <= epsilon) survivors.push_back(id);
+  }
+  local.lb_survivors = survivors.size();
+
+  // Step 5: exact banded DTW with early abandoning.
+  std::vector<Neighbor> out;
+  for (std::int64_t id : survivors) {
+    ++local.exact_dtw_calls;
+    double d = LdtwDistanceEarlyAbandon(query, ItemFor(id).series, band_k_, epsilon);
+    if (d <= epsilon) out.push_back({id, d});
+  }
+  std::sort(out.begin(), out.end());
+  local.results = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<Neighbor> DtwQueryEngine::KnnQuery(const Series& query, std::size_t k,
+                                               QueryStats* stats) const {
+  HUMDEX_CHECK(query.size() == options_.normal_len);
+  QueryStats local;
+  if (data_.empty() || k == 0) {
+    if (stats != nullptr) *stats = local;
+    return {};
+  }
+  k = std::min(k, data_.size());
+
+  // Step 1: heuristic seed — exact DTW of the k nearest feature vectors
+  // yields a valid upper bound radius for the true kNN distance.
+  IndexStats istats;
+  std::vector<Neighbor> seeds = feature_index_.NearestFeatures(query, k, &istats);
+  local.page_accesses += istats.page_accesses;
+  double radius = 0.0;
+  for (const Neighbor& s : seeds) {
+    ++local.exact_dtw_calls;
+    double d = LdtwDistance(query, ItemFor(s.id).series, band_k_);
+    radius = std::max(radius, d);
+  }
+  if (!std::isfinite(radius)) {
+    // Degenerate: no path in band for seeds (cannot happen for equal-length
+    // normal forms, but keep the fallback total).
+    radius = kInfiniteDistance;
+  }
+
+  // Step 2: one guaranteed-superset range query, then rank exactly.
+  QueryStats range_stats;
+  std::vector<Neighbor> in_range = RangeQuery(query, radius, &range_stats);
+  local.index_candidates = range_stats.index_candidates;
+  local.lb_survivors = range_stats.lb_survivors;
+  local.page_accesses += range_stats.page_accesses;
+  local.exact_dtw_calls += range_stats.exact_dtw_calls;
+
+  if (in_range.size() > k) in_range.resize(k);
+  local.results = in_range.size();
+  if (stats != nullptr) *stats = local;
+  return in_range;
+}
+
+std::vector<Neighbor> DtwQueryEngine::KnnQueryOptimal(const Series& query,
+                                                      std::size_t k,
+                                                      QueryStats* stats) const {
+  HUMDEX_CHECK(query.size() == options_.normal_len);
+  QueryStats local;
+  if (data_.empty() || k == 0) {
+    if (stats != nullptr) *stats = local;
+    return {};
+  }
+  k = std::min(k, data_.size());
+  Envelope env = BuildEnvelope(query, band_k_);
+
+  // Candidates stream in increasing feature-space lower-bound order. The
+  // index is re-queried with a doubling prefix; each re-query is cheap
+  // relative to the exact DTW computations it saves.
+  std::priority_queue<Neighbor> best;  // max-heap: kth best exact on top
+  std::size_t consumed = 0;
+  std::size_t fetch = std::max<std::size_t>(2 * k, 16);
+  bool done = false;
+  while (!done) {
+    fetch = std::min(fetch, data_.size());
+    IndexStats istats;
+    std::vector<Neighbor> ranked =
+        feature_index_.NearestToEnvelope(env, fetch, &istats);
+    local.page_accesses += istats.page_accesses;
+    for (std::size_t i = consumed; i < ranked.size(); ++i) {
+      ++local.index_candidates;
+      double lb_feature = ranked[i].distance;
+      if (best.size() == k && lb_feature >= best.top().distance) {
+        done = true;  // optimal stopping condition
+        break;
+      }
+      const Item& item = ItemFor(ranked[i].id);
+      // Second filter: the tighter raw-space envelope bound.
+      double lb_raw = LbKeogh(item.series, env);
+      if (best.size() == k && lb_raw >= best.top().distance) continue;
+      ++local.lb_survivors;
+      ++local.exact_dtw_calls;
+      double threshold =
+          best.size() == k ? best.top().distance : kInfiniteDistance;
+      double d = std::isinf(threshold)
+                     ? LdtwDistance(query, item.series, band_k_)
+                     : LdtwDistanceEarlyAbandon(query, item.series, band_k_,
+                                                threshold);
+      if (best.size() < k) {
+        if (std::isinf(d)) d = LdtwDistance(query, item.series, band_k_);
+        best.push({ranked[i].id, d});
+      } else if (d < best.top().distance) {
+        best.pop();
+        best.push({ranked[i].id, d});
+      }
+    }
+    if (done) break;
+    if (ranked.size() >= data_.size()) break;  // everything consumed
+    consumed = ranked.size();
+    fetch = std::min(fetch * 2, data_.size());
+  }
+
+  std::vector<Neighbor> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  local.results = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::size_t DtwQueryEngine::RankOf(const Series& query,
+                                   std::int64_t target_id) const {
+  double target_dist = ExactDistance(query, target_id);
+  std::size_t rank = 1;
+  for (const Item& item : data_) {
+    if (item.id == target_id) continue;
+    double d = LdtwDistance(query, item.series, band_k_);
+    if (d < target_dist) ++rank;
+  }
+  return rank;
+}
+
+double DtwQueryEngine::ExactDistance(const Series& query, std::int64_t id) const {
+  return LdtwDistance(query, ItemFor(id).series, band_k_);
+}
+
+}  // namespace humdex

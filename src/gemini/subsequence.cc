@@ -1,0 +1,114 @@
+#include "gemini/subsequence.h"
+
+#include <algorithm>
+#include <set>
+
+#include "music/pitch_tracker.h"
+#include "ts/normal_form.h"
+#include "util/status.h"
+
+namespace humdex {
+
+namespace {
+
+// Notes of `song` overlapping [start, end) in beat time, trimmed to fit.
+Melody SliceMelody(const Melody& song, double start, double end) {
+  Melody out;
+  double t = 0.0;
+  for (const Note& n : song.notes) {
+    double note_start = t;
+    double note_end = t + n.duration;
+    t = note_end;
+    double lo = std::max(note_start, start);
+    double hi = std::min(note_end, end);
+    if (hi - lo > 1e-9) out.notes.push_back({n.pitch, hi - lo});
+    if (note_start >= end) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<Melody, double>> CutWindows(const Melody& song,
+                                                  double window_beats,
+                                                  double stride_beats) {
+  HUMDEX_CHECK(window_beats > 0.0 && stride_beats > 0.0);
+  std::vector<std::pair<Melody, double>> out;
+  const double total = song.TotalBeats();
+  if (total <= window_beats) {
+    Melody whole = song;
+    if (!whole.empty()) out.emplace_back(std::move(whole), 0.0);
+    return out;
+  }
+  for (double offset = 0.0; offset + window_beats <= total + 1e-9;
+       offset += stride_beats) {
+    Melody w = SliceMelody(song, offset, offset + window_beats);
+    if (!w.empty()) out.emplace_back(std::move(w), offset);
+  }
+  return out;
+}
+
+SubsequenceIndex::SubsequenceIndex(SubsequenceOptions options)
+    : options_(options) {
+  HUMDEX_CHECK(options_.window_beats > 0.0);
+  HUMDEX_CHECK(options_.stride_beats > 0.0);
+}
+
+std::int64_t SubsequenceIndex::AddSong(Melody song) {
+  HUMDEX_CHECK_MSG(engine_ == nullptr, "AddSong after Build()");
+  HUMDEX_CHECK(!song.empty());
+  songs_.push_back(std::move(song));
+  return static_cast<std::int64_t>(songs_.size()) - 1;
+}
+
+void SubsequenceIndex::Build() {
+  HUMDEX_CHECK_MSG(engine_ == nullptr, "Build() called twice");
+  HUMDEX_CHECK_MSG(!songs_.empty(), "no songs added");
+
+  QueryEngineOptions eopts;
+  eopts.normal_len = options_.normal_len;
+  eopts.warping_width = options_.warping_width;
+  engine_ = std::make_unique<DtwQueryEngine>(
+      MakeNewPaaScheme(options_.normal_len, options_.feature_dim), eopts);
+
+  for (std::size_t s = 0; s < songs_.size(); ++s) {
+    auto windows =
+        CutWindows(songs_[s], options_.window_beats, options_.stride_beats);
+    for (auto& [melody, offset] : windows) {
+      Series nf = NormalForm(MelodyToSeries(melody, options_.samples_per_beat),
+                             options_.normal_len);
+      engine_->Add(std::move(nf), static_cast<std::int64_t>(windows_.size()));
+      windows_.push_back({static_cast<std::int64_t>(s), offset});
+    }
+  }
+}
+
+std::size_t SubsequenceIndex::window_count() const { return windows_.size(); }
+
+std::vector<SubsequenceMatch> SubsequenceIndex::Query(const Series& hum_pitch,
+                                                      std::size_t top_k,
+                                                      bool dedup_songs,
+                                                      QueryStats* stats) const {
+  HUMDEX_CHECK_MSG(engine_ != nullptr, "Query before Build()");
+  Series voiced = RemoveSilence(hum_pitch);
+  HUMDEX_CHECK_MSG(!voiced.empty(), "hum query contains no voiced frames");
+  Series q = NormalForm(voiced, options_.normal_len);
+
+  // Over-fetch when deduplicating: adjacent windows of the same song crowd
+  // the top of the list.
+  std::size_t fetch = dedup_songs ? std::min(top_k * 8, windows_.size()) : top_k;
+  std::vector<Neighbor> nn = engine_->KnnQuery(q, fetch, stats);
+
+  std::vector<SubsequenceMatch> out;
+  std::set<std::int64_t> seen_songs;
+  for (const Neighbor& n : nn) {
+    const WindowRef& ref = windows_[static_cast<std::size_t>(n.id)];
+    if (dedup_songs && !seen_songs.insert(ref.song_id).second) continue;
+    out.push_back({ref.song_id, songs_[static_cast<std::size_t>(ref.song_id)].name,
+                   ref.offset_beats, n.distance});
+    if (out.size() == top_k) break;
+  }
+  return out;
+}
+
+}  // namespace humdex

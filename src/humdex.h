@@ -1,0 +1,65 @@
+// Umbrella header: the full humdex public API in one include.
+//
+//   #include "humdex.h"
+//
+// Layered as in DESIGN.md: time series core -> envelope transforms ->
+// multidimensional indexes -> GEMINI DTW engine -> music substrate ->
+// acoustic front end -> the query-by-humming system.
+#pragma once
+
+// S1: numeric substrate
+#include "util/eigen.h"
+#include "util/fft.h"
+#include "util/matrix.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+// S2: time series core
+#include "ts/band.h"
+#include "ts/dtw.h"
+#include "ts/envelope.h"
+#include "ts/lower_bound.h"
+#include "ts/normal_form.h"
+#include "ts/smoothing.h"
+#include "ts/time_series.h"
+
+// S3: envelope transforms
+#include "transform/dft.h"
+#include "transform/dwt.h"
+#include "transform/feature_scheme.h"
+#include "transform/linear_transform.h"
+#include "transform/paa.h"
+#include "transform/poly.h"
+#include "transform/svd_transform.h"
+
+// S4: multidimensional indexes
+#include "index/grid_file.h"
+#include "index/linear_scan.h"
+#include "index/rect.h"
+#include "index/rstar_tree.h"
+
+// S5: GEMINI DTW engine
+#include "gemini/fastmap.h"
+#include "gemini/feature_index.h"
+#include "gemini/query_engine.h"
+#include "gemini/subsequence.h"
+
+// S6: music substrate
+#include "music/contour.h"
+#include "music/hummer.h"
+#include "music/melody.h"
+#include "music/melody_io.h"
+#include "music/pitch_tracker.h"
+#include "music/segmenter.h"
+#include "music/song_generator.h"
+
+// S7: query-by-humming system
+#include "qbh/contour_system.h"
+#include "qbh/qbh_system.h"
+#include "qbh/storage.h"
+
+// S8: acoustic front end
+#include "audio/pitch_detect.h"
+#include "audio/synth.h"
+#include "audio/wav_io.h"

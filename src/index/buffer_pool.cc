@@ -1,0 +1,43 @@
+#include "index/buffer_pool.h"
+
+#include "util/status.h"
+
+namespace humdex {
+
+LruBufferPool::LruBufferPool(std::size_t capacity) : capacity_(capacity) {
+  HUMDEX_CHECK(capacity_ >= 1);
+}
+
+bool LruBufferPool::Access(std::uint64_t page_id) {
+  auto it = where_.find(page_id);
+  if (it != where_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++misses_;
+  if (lru_.size() == capacity_) {
+    where_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page_id);
+  where_[page_id] = lru_.begin();
+  return false;
+}
+
+void LruBufferPool::Clear() {
+  lru_.clear();
+  where_.clear();
+}
+
+void LruBufferPool::ResetStats() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+double LruBufferPool::MissRate() const {
+  std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(total);
+}
+
+}  // namespace humdex

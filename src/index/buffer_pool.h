@@ -1,0 +1,48 @@
+// LRU buffer pool simulation. The paper uses page accesses as its
+// implementation-bias-free IO measure; a buffer pool refines that into
+// actual disk IO: hot pages (the root and upper levels of the R*-tree) stay
+// resident, so the miss count is what a real system would pay. Attach one to
+// an RStarTree and read hit/miss statistics per workload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace humdex {
+
+/// Classic LRU page cache over abstract page ids.
+class LruBufferPool {
+ public:
+  /// `capacity` pages are kept resident; capacity >= 1.
+  explicit LruBufferPool(std::size_t capacity);
+
+  /// Record an access. Returns true on a hit (page was resident). On a miss
+  /// the page is loaded, evicting the least-recently-used page if full.
+  bool Access(std::uint64_t page_id);
+
+  /// Drop every resident page (statistics are kept).
+  void Clear();
+
+  /// Zero the statistics (residency is kept).
+  void ResetStats();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t resident() const { return lru_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  /// Miss fraction over all accesses so far (0 when no accesses).
+  double MissRate() const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  // Most-recently-used at the front.
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> where_;
+};
+
+}  // namespace humdex

@@ -1,0 +1,223 @@
+#include "index/grid_file.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "ts/time_series.h"
+#include "util/status.h"
+
+namespace humdex {
+
+GridFile::GridFile(std::size_t dims, GridFileOptions options)
+    : dims_(dims), options_(options) {
+  HUMDEX_CHECK(dims_ >= 1);
+  HUMDEX_CHECK(options_.bucket_capacity >= 2);
+  options_.grid_dims = std::min(options_.grid_dims, dims_);
+  HUMDEX_CHECK(options_.grid_dims >= 1);
+  boundaries_.assign(options_.grid_dims, {});
+  buckets_.resize(1);
+}
+
+std::size_t GridFile::IntervalOf(std::size_t dim, double v) const {
+  const std::vector<double>& b = boundaries_[dim];
+  return static_cast<std::size_t>(
+      std::upper_bound(b.begin(), b.end(), v) - b.begin());
+}
+
+std::size_t GridFile::CellIndex(const Series& p) const {
+  std::size_t idx = 0;
+  for (std::size_t d = 0; d < options_.grid_dims; ++d) {
+    idx = idx * (boundaries_[d].size() + 1) + IntervalOf(d, p[d]);
+  }
+  return idx;
+}
+
+std::size_t GridFile::CellCount() const {
+  std::size_t n = 1;
+  for (const auto& b : boundaries_) n *= (b.size() + 1);
+  return n;
+}
+
+void GridFile::SplitDimension(std::size_t dim) {
+  // Collect all stored values on `dim` and split at the median.
+  std::vector<double> values;
+  values.reserve(size_);
+  for (const Bucket& b : buckets_) {
+    for (const Series& p : b.points) values.push_back(p[dim]);
+  }
+  if (values.empty()) return;
+  std::nth_element(values.begin(), values.begin() + values.size() / 2, values.end());
+  double split = values[values.size() / 2];
+  const std::vector<double>& b = boundaries_[dim];
+  if (std::binary_search(b.begin(), b.end(), split)) return;  // no progress
+
+  std::vector<std::vector<double>> new_boundaries = boundaries_;
+  auto& nb = new_boundaries[dim];
+  nb.insert(std::upper_bound(nb.begin(), nb.end(), split), split);
+
+  // Redistribute every point into the refined directory.
+  std::vector<Bucket> old = std::move(buckets_);
+  boundaries_ = std::move(new_boundaries);
+  buckets_.assign(CellCount(), Bucket());
+  for (Bucket& ob : old) {
+    for (std::size_t i = 0; i < ob.points.size(); ++i) {
+      std::size_t cell = CellIndex(ob.points[i]);
+      buckets_[cell].points.push_back(std::move(ob.points[i]));
+      buckets_[cell].ids.push_back(ob.ids[i]);
+    }
+  }
+}
+
+void GridFile::MaybeSplit(std::size_t cell) {
+  if (buckets_[cell].points.size() <= options_.bucket_capacity) return;
+  // Round-robin over grid dimensions, bounded refinement.
+  for (std::size_t attempt = 0; attempt < options_.grid_dims; ++attempt) {
+    std::size_t dim = next_split_dim_;
+    next_split_dim_ = (next_split_dim_ + 1) % options_.grid_dims;
+    if (boundaries_[dim].size() >= options_.max_splits_per_dim) continue;
+    SplitDimension(dim);
+    return;  // one split per overflow; residual overflow is tolerated
+  }
+}
+
+void GridFile::Insert(const Series& point, std::int64_t id) {
+  HUMDEX_CHECK(point.size() == dims_);
+  std::size_t cell = CellIndex(point);
+  buckets_[cell].points.push_back(point);
+  buckets_[cell].ids.push_back(id);
+  ++size_;
+  MaybeSplit(cell);
+}
+
+bool GridFile::Delete(const Series& point, std::int64_t id) {
+  HUMDEX_CHECK(point.size() == dims_);
+  Bucket& b = buckets_[CellIndex(point)];
+  for (std::size_t i = 0; i < b.points.size(); ++i) {
+    if (b.ids[i] == id && b.points[i] == point) {
+      b.points.erase(b.points.begin() + static_cast<std::ptrdiff_t>(i));
+      b.ids.erase(b.ids.begin() + static_cast<std::ptrdiff_t>(i));
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::int64_t> GridFile::RangeQuery(const Rect& query, double radius,
+                                               IndexStats* stats) const {
+  HUMDEX_CHECK(query.dims() == dims_);
+  const double r2 = radius * radius;
+  std::vector<std::int64_t> out;
+  std::size_t pages = 0;
+
+  // Per grid dimension, the contiguous interval range that can intersect the
+  // expanded query; cells outside are pruned without an access.
+  std::vector<std::size_t> lo_iv(options_.grid_dims), hi_iv(options_.grid_dims);
+  for (std::size_t d = 0; d < options_.grid_dims; ++d) {
+    lo_iv[d] = IntervalOf(d, query.lo[d] - radius);
+    hi_iv[d] = IntervalOf(d, query.hi[d] + radius);
+  }
+
+  // Enumerate the cartesian product of candidate intervals.
+  std::vector<std::size_t> iv(lo_iv);
+  for (;;) {
+    std::size_t cell = 0;
+    for (std::size_t d = 0; d < options_.grid_dims; ++d) {
+      cell = cell * (boundaries_[d].size() + 1) + iv[d];
+    }
+    const Bucket& b = buckets_[cell];
+    if (!b.points.empty()) {
+      ++pages;
+      for (std::size_t i = 0; i < b.points.size(); ++i) {
+        if (query.MinDistSq(b.points[i]) <= r2) out.push_back(b.ids[i]);
+      }
+    }
+    // Advance the mixed-radix counter.
+    std::size_t d = options_.grid_dims;
+    while (d > 0) {
+      --d;
+      if (iv[d] < hi_iv[d]) {
+        ++iv[d];
+        for (std::size_t e = d + 1; e < options_.grid_dims; ++e) iv[e] = lo_iv[e];
+        break;
+      }
+      if (d == 0) {
+        if (stats != nullptr) stats->page_accesses = pages;
+        return out;
+      }
+    }
+  }
+}
+
+std::vector<Neighbor> GridFile::KnnQuery(const Series& query, std::size_t k,
+                                         IndexStats* stats) const {
+  return NearestToRect(Rect::FromPoint(query), k, stats);
+}
+
+std::vector<Neighbor> GridFile::NearestToRect(const Rect& query, std::size_t k,
+                                              IndexStats* stats) const {
+  HUMDEX_CHECK(query.dims() == dims_);
+  // Cell MINDIST uses only the grid dimensions (the rest are unbounded).
+  const std::size_t cells = CellCount();
+  struct CellRef {
+    double mindist_sq;
+    std::size_t cell;
+    bool operator>(const CellRef& o) const { return mindist_sq > o.mindist_sq; }
+  };
+  std::priority_queue<CellRef, std::vector<CellRef>, std::greater<CellRef>> pq;
+  for (std::size_t c = 0; c < cells; ++c) {
+    if (buckets_[c].points.empty()) continue;
+    // Decompose the cell id into per-dimension intervals and accumulate the
+    // interval-to-interval gap against the query rectangle.
+    std::size_t rem = c;
+    double d2 = 0.0;
+    for (std::size_t d = options_.grid_dims; d > 0; --d) {
+      std::size_t radix = boundaries_[d - 1].size() + 1;
+      std::size_t iv = rem % radix;
+      rem /= radix;
+      const std::vector<double>& b = boundaries_[d - 1];
+      double lo = iv == 0 ? -std::numeric_limits<double>::infinity() : b[iv - 1];
+      double hi = iv == b.size() ? std::numeric_limits<double>::infinity() : b[iv];
+      double g = 0.0;
+      if (query.hi[d - 1] < lo) {
+        g = lo - query.hi[d - 1];
+      } else if (query.lo[d - 1] > hi) {
+        g = query.lo[d - 1] - hi;
+      }
+      d2 += g * g;
+    }
+    pq.push({d2, c});
+  }
+
+  std::priority_queue<Neighbor> best;  // max-heap on distance
+  std::size_t pages = 0;
+  while (!pq.empty()) {
+    CellRef ref = pq.top();
+    pq.pop();
+    if (best.size() == k && std::sqrt(ref.mindist_sq) > best.top().distance) break;
+    const Bucket& b = buckets_[ref.cell];
+    ++pages;
+    for (std::size_t i = 0; i < b.points.size(); ++i) {
+      double dist = std::sqrt(query.MinDistSq(b.points[i]));
+      if (best.size() < k) {
+        best.push({b.ids[i], dist});
+      } else if (dist < best.top().distance) {
+        best.pop();
+        best.push({b.ids[i], dist});
+      }
+    }
+  }
+  std::vector<Neighbor> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  if (stats != nullptr) stats->page_accesses = pages;
+  return out;
+}
+
+}  // namespace humdex

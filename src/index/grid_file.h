@@ -1,0 +1,68 @@
+// Grid file index (Nievergelt et al.), the alternative the paper mentions
+// alongside the R* tree (citing the StatStream use [35]). This implementation
+// partitions the first `grid_dims` feature dimensions into per-dimension
+// intervals (split adaptively as buckets overflow) and keeps the remaining
+// dimensions unindexed inside the buckets. Each bucket visited counts as one
+// page access.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "index/rect.h"
+
+namespace humdex {
+
+struct GridFileOptions {
+  std::size_t grid_dims = 3;        ///< leading dims carried by the directory
+  std::size_t bucket_capacity = 64; ///< max points per bucket before a split
+  std::size_t max_splits_per_dim = 64;
+};
+
+/// Adaptive grid file over points in a fixed-dimension space.
+class GridFile : public SpatialIndex {
+ public:
+  explicit GridFile(std::size_t dims, GridFileOptions options = GridFileOptions());
+
+  void Insert(const Series& point, std::int64_t id) override;
+
+  bool Delete(const Series& point, std::int64_t id) override;
+
+  std::vector<std::int64_t> RangeQuery(const Rect& query, double radius,
+                                       IndexStats* stats = nullptr) const override;
+
+  std::vector<Neighbor> KnnQuery(const Series& query, std::size_t k,
+                                 IndexStats* stats = nullptr) const override;
+
+  std::vector<Neighbor> NearestToRect(const Rect& query, std::size_t k,
+                                      IndexStats* stats = nullptr) const override;
+
+  std::size_t size() const override { return size_; }
+
+  /// Number of directory cells (product of per-dimension interval counts).
+  std::size_t CellCount() const;
+
+ private:
+  struct Bucket {
+    std::vector<Series> points;
+    std::vector<std::int64_t> ids;
+  };
+
+  std::size_t CellIndex(const Series& p) const;
+  std::size_t IntervalOf(std::size_t dim, double v) const;
+  void SplitDimension(std::size_t dim);
+  void MaybeSplit(std::size_t cell);
+
+  std::size_t dims_;
+  GridFileOptions options_;
+  // boundaries_[d] are the interior split points of grid dimension d; a value
+  // v falls in interval upper_bound(boundaries, v).
+  std::vector<std::vector<double>> boundaries_;
+  std::vector<Bucket> buckets_;
+  std::size_t size_ = 0;
+  std::size_t next_split_dim_ = 0;
+};
+
+}  // namespace humdex

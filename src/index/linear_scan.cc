@@ -1,0 +1,73 @@
+#include "index/linear_scan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ts/time_series.h"
+#include "util/status.h"
+
+namespace humdex {
+
+LinearScanIndex::LinearScanIndex(std::size_t dims, std::size_t points_per_page)
+    : dims_(dims), points_per_page_(points_per_page) {
+  HUMDEX_CHECK(dims_ >= 1);
+  HUMDEX_CHECK(points_per_page_ >= 1);
+}
+
+void LinearScanIndex::Insert(const Series& point, std::int64_t id) {
+  HUMDEX_CHECK(point.size() == dims_);
+  points_.push_back(point);
+  ids_.push_back(id);
+}
+
+bool LinearScanIndex::Delete(const Series& point, std::int64_t id) {
+  HUMDEX_CHECK(point.size() == dims_);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (ids_[i] == id && points_[i] == point) {
+      points_.erase(points_.begin() + static_cast<std::ptrdiff_t>(i));
+      ids_.erase(ids_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::int64_t> LinearScanIndex::RangeQuery(const Rect& query,
+                                                      double radius,
+                                                      IndexStats* stats) const {
+  HUMDEX_CHECK(query.dims() == dims_);
+  const double r2 = radius * radius;
+  std::vector<std::int64_t> out;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (query.MinDistSq(points_[i]) <= r2) out.push_back(ids_[i]);
+  }
+  if (stats != nullptr) {
+    stats->page_accesses = (points_.size() + points_per_page_ - 1) / points_per_page_;
+  }
+  return out;
+}
+
+std::vector<Neighbor> LinearScanIndex::KnnQuery(const Series& query, std::size_t k,
+                                                IndexStats* stats) const {
+  return NearestToRect(Rect::FromPoint(query), k, stats);
+}
+
+std::vector<Neighbor> LinearScanIndex::NearestToRect(const Rect& query,
+                                                     std::size_t k,
+                                                     IndexStats* stats) const {
+  HUMDEX_CHECK(query.dims() == dims_);
+  std::vector<Neighbor> all;
+  all.reserve(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    all.push_back({ids_[i], std::sqrt(query.MinDistSq(points_[i]))});
+  }
+  std::size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end());
+  all.resize(take);
+  if (stats != nullptr) {
+    stats->page_accesses = (points_.size() + points_per_page_ - 1) / points_per_page_;
+  }
+  return all;
+}
+
+}  // namespace humdex

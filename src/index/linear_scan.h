@@ -1,0 +1,42 @@
+// Baseline "index": a flat array scanned in full on every query. Its page
+// accesses model sequential IO (points packed into fixed-size pages), giving
+// the yardstick the tree indexes must beat.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "index/rect.h"
+
+namespace humdex {
+
+/// Linear scan over all stored points.
+class LinearScanIndex : public SpatialIndex {
+ public:
+  /// `points_per_page` controls the page-access accounting only.
+  explicit LinearScanIndex(std::size_t dims, std::size_t points_per_page = 64);
+
+  void Insert(const Series& point, std::int64_t id) override;
+
+  bool Delete(const Series& point, std::int64_t id) override;
+
+  std::vector<std::int64_t> RangeQuery(const Rect& query, double radius,
+                                       IndexStats* stats = nullptr) const override;
+
+  std::vector<Neighbor> KnnQuery(const Series& query, std::size_t k,
+                                 IndexStats* stats = nullptr) const override;
+
+  std::vector<Neighbor> NearestToRect(const Rect& query, std::size_t k,
+                                      IndexStats* stats = nullptr) const override;
+
+  std::size_t size() const override { return ids_.size(); }
+
+ private:
+  std::size_t dims_;
+  std::size_t points_per_page_;
+  std::vector<Series> points_;
+  std::vector<std::int64_t> ids_;
+};
+
+}  // namespace humdex

@@ -1,0 +1,114 @@
+// Axis-aligned rectangles in feature space and the SpatialIndex interface.
+//
+// A transformed query envelope is exactly an axis-aligned rectangle, so the
+// index primitive the GEMINI engine needs is: "all points whose MINDIST to a
+// rectangle is <= radius". Indexes count node/bucket visits as page accesses,
+// the implementation-bias-free IO measure used in Figures 9 and 10.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ts/envelope.h"
+#include "ts/time_series.h"
+
+namespace humdex {
+
+/// Axis-aligned hyper-rectangle [lo, hi] (inclusive).
+struct Rect {
+  Series lo;
+  Series hi;
+
+  Rect() = default;
+  Rect(Series lo_in, Series hi_in);
+
+  /// Degenerate rectangle around a point.
+  static Rect FromPoint(const Series& p) { return Rect(p, p); }
+
+  /// Rectangle form of a feature-space envelope. Tolerates (and repairs)
+  /// tiny lower>upper inversions from floating-point rounding.
+  static Rect FromEnvelope(const Envelope& e);
+
+  std::size_t dims() const { return lo.size(); }
+
+  /// Squared MINDIST from a point to this rectangle (0 if inside).
+  double MinDistSq(const Series& p) const;
+
+  /// Squared MINDIST between two rectangles (0 if they intersect).
+  double MinDistSq(const Rect& other) const;
+
+  /// Grow to cover `other`.
+  void Enlarge(const Rect& other);
+
+  /// Grow to cover a point.
+  void EnlargePoint(const Series& p);
+
+  /// Product of side lengths.
+  double Area() const;
+
+  /// Sum of side lengths (the R*-tree margin measure).
+  double Margin() const;
+
+  /// Area of the intersection with `other` (0 if disjoint).
+  double OverlapArea(const Rect& other) const;
+
+  /// Area increase needed to cover `other`.
+  double Enlargement(const Rect& other) const;
+
+  /// Center coordinate along dimension d.
+  double Center(std::size_t d) const { return 0.5 * (lo[d] + hi[d]); }
+
+  bool Contains(const Series& p) const;
+};
+
+/// A query result: data item id and its feature-space distance to the query.
+struct Neighbor {
+  std::int64_t id;
+  double distance;
+
+  bool operator<(const Neighbor& other) const {
+    return distance < other.distance ||
+           (distance == other.distance && id < other.id);
+  }
+};
+
+/// Counters reported by an index after each query.
+struct IndexStats {
+  std::size_t page_accesses = 0;  // nodes / buckets / pages touched
+};
+
+/// Common interface for the R*-tree, grid file, and linear scan.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Insert a point with an id. All points must share the index's dims.
+  virtual void Insert(const Series& point, std::int64_t id) = 0;
+
+  /// Remove the entry with this exact point and id. Returns false when no
+  /// such entry exists (the index is unchanged).
+  virtual bool Delete(const Series& point, std::int64_t id) = 0;
+
+  /// Ids of all points p with MINDIST(p, query) <= radius. The query
+  /// rectangle is a transformed envelope; a point query is a degenerate rect.
+  /// Fills `stats` (page accesses for this query) when non-null.
+  virtual std::vector<std::int64_t> RangeQuery(const Rect& query, double radius,
+                                               IndexStats* stats = nullptr) const = 0;
+
+  /// The k nearest stored points to `query` by Euclidean distance,
+  /// ascending. Returns fewer when the index holds fewer than k points.
+  virtual std::vector<Neighbor> KnnQuery(const Series& query, std::size_t k,
+                                         IndexStats* stats = nullptr) const = 0;
+
+  /// The k stored points with smallest MINDIST to the query rectangle,
+  /// ascending. With a transformed-envelope rectangle this ranks candidates
+  /// by their feature-space DTW lower bound — the primitive behind the
+  /// optimal multi-step kNN algorithm (Seidl-Kriegel [26]).
+  virtual std::vector<Neighbor> NearestToRect(const Rect& query, std::size_t k,
+                                              IndexStats* stats = nullptr) const = 0;
+
+  virtual std::size_t size() const = 0;
+};
+
+}  // namespace humdex

@@ -1,0 +1,656 @@
+#include "index/rstar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/status.h"
+
+namespace humdex {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+struct RStarTree::Entry {
+  Rect mbr;
+  std::int64_t id = -1;          // set for leaf entries
+  std::unique_ptr<Node> child;   // set for internal entries
+};
+
+struct RStarTree::Node {
+  int level = 0;  // 0 = leaf
+  std::uint64_t page_id = 0;
+  Node* parent = nullptr;
+  Rect mbr;
+  std::vector<Entry> entries;
+
+  bool IsLeaf() const { return level == 0; }
+
+  void RecomputeMbr() {
+    mbr = Rect();
+    for (const Entry& e : entries) mbr.Enlarge(e.mbr);
+  }
+};
+
+RStarTree::RStarTree(std::size_t dims, RStarOptions options)
+    : dims_(dims), options_(options) {
+  HUMDEX_CHECK(dims_ >= 1);
+  HUMDEX_CHECK(options_.max_entries >= 4);
+  HUMDEX_CHECK(options_.min_entries >= 2 &&
+               options_.min_entries <= options_.max_entries / 2);
+  HUMDEX_CHECK(options_.reinsert_count >= 1 &&
+               options_.reinsert_count < options_.max_entries);
+  // Forced reinsert must never drive a node below the minimum occupancy.
+  HUMDEX_CHECK(options_.max_entries + 1 - options_.reinsert_count >=
+               options_.min_entries);
+  root_ = NewNode();
+}
+
+RStarTree::~RStarTree() = default;
+
+std::unique_ptr<RStarTree::Node> RStarTree::NewNode() {
+  auto node = std::make_unique<Node>();
+  node->page_id = next_page_id_++;
+  return node;
+}
+
+namespace {
+
+// Recursive sort-tile ordering: order `idx[lo, hi)` so that consecutive runs
+// of `run` entries are spatially coherent. Sorts by the center on `dim`,
+// splits into slabs sized to hold whole runs, recurses on the next dim.
+void StrOrder(std::vector<std::size_t>* idx, std::size_t lo, std::size_t hi,
+              const std::vector<Series>& centers, std::size_t dim,
+              std::size_t max_dim, std::size_t run) {
+  const std::size_t count = hi - lo;
+  if (count <= run || dim >= max_dim) return;
+  std::sort(idx->begin() + static_cast<std::ptrdiff_t>(lo),
+            idx->begin() + static_cast<std::ptrdiff_t>(hi),
+            [&](std::size_t a, std::size_t b) {
+              return centers[a][dim] < centers[b][dim];
+            });
+  std::size_t runs = (count + run - 1) / run;
+  double per_dim = std::pow(static_cast<double>(runs),
+                            1.0 / static_cast<double>(max_dim - dim));
+  std::size_t slabs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(per_dim)));
+  std::size_t runs_per_slab = (runs + slabs - 1) / slabs;
+  std::size_t slab_size = runs_per_slab * run;
+  for (std::size_t start = lo; start < hi; start += slab_size) {
+    StrOrder(idx, start, std::min(hi, start + slab_size), centers, dim + 1,
+             max_dim, run);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<RStarTree> RStarTree::BulkLoad(std::size_t dims,
+                                               const std::vector<Series>& points,
+                                               const std::vector<std::int64_t>& ids,
+                                               RStarOptions options) {
+  HUMDEX_CHECK(points.size() == ids.size());
+  auto tree = std::make_unique<RStarTree>(dims, options);
+  if (points.empty()) return tree;
+  const std::size_t fill = options.max_entries;
+
+  // Pack one level of entries into parent nodes at `level`.
+  auto pack_level = [&](std::vector<Entry> entries, int level) {
+    std::vector<Series> centers(entries.size(), Series(dims));
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      for (std::size_t d = 0; d < dims; ++d) {
+        centers[i][d] = entries[i].mbr.Center(d);
+      }
+    }
+    std::vector<std::size_t> idx(entries.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    StrOrder(&idx, 0, idx.size(), centers, 0, dims, fill);
+
+    std::vector<Entry> parents;
+    for (std::size_t start = 0; start < idx.size(); start += fill) {
+      auto node = tree->NewNode();
+      node->level = level;
+      std::size_t end = std::min(idx.size(), start + fill);
+      for (std::size_t i = start; i < end; ++i) {
+        Entry& e = entries[idx[i]];
+        if (e.child) e.child->parent = node.get();
+        node->entries.push_back(std::move(e));
+      }
+      node->RecomputeMbr();
+      Entry parent;
+      parent.mbr = node->mbr;
+      parent.child = std::move(node);
+      parents.push_back(std::move(parent));
+    }
+    return parents;
+  };
+
+  std::vector<Entry> level_entries;
+  level_entries.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    HUMDEX_CHECK(points[i].size() == dims);
+    Entry e;
+    e.mbr = Rect::FromPoint(points[i]);
+    e.id = ids[i];
+    level_entries.push_back(std::move(e));
+  }
+
+  int level = 0;
+  while (level_entries.size() > fill) {
+    level_entries = pack_level(std::move(level_entries), level);
+    ++level;
+  }
+  auto root = tree->NewNode();
+  root->level = level;
+  for (Entry& e : level_entries) {
+    if (e.child) e.child->parent = root.get();
+    root->entries.push_back(std::move(e));
+  }
+  root->RecomputeMbr();
+  tree->root_ = std::move(root);
+  tree->size_ = points.size();
+  tree->bulk_loaded_ = true;
+  return tree;
+}
+
+namespace {
+
+double CenterDistSq(const Rect& a, const Rect& b) {
+  double s = 0.0;
+  for (std::size_t d = 0; d < a.dims(); ++d) {
+    double g = a.Center(d) - b.Center(d);
+    s += g * g;
+  }
+  return s;
+}
+
+}  // namespace
+
+RStarTree::Node* RStarTree::ChooseSubtree(Node* node, const Rect& rect,
+                                          int target_level) const {
+  while (node->level > target_level) {
+    std::size_t best = 0;
+    if (node->level == 1) {
+      // Children are leaves: minimize overlap enlargement (R* heuristic),
+      // ties by area enlargement, then by area.
+      double best_overlap = kInf, best_enl = kInf,
+             best_area = kInf;
+      for (std::size_t i = 0; i < node->entries.size(); ++i) {
+        Rect grown = node->entries[i].mbr;
+        grown.Enlarge(rect);
+        double overlap_delta = 0.0;
+        for (std::size_t j = 0; j < node->entries.size(); ++j) {
+          if (j == i) continue;
+          overlap_delta += grown.OverlapArea(node->entries[j].mbr) -
+                           node->entries[i].mbr.OverlapArea(node->entries[j].mbr);
+        }
+        double enl = node->entries[i].mbr.Enlargement(rect);
+        double area = node->entries[i].mbr.Area();
+        if (overlap_delta < best_overlap ||
+            (overlap_delta == best_overlap &&
+             (enl < best_enl || (enl == best_enl && area < best_area)))) {
+          best = i;
+          best_overlap = overlap_delta;
+          best_enl = enl;
+          best_area = area;
+        }
+      }
+    } else {
+      // Minimize area enlargement, ties by area.
+      double best_enl = kInf, best_area = kInf;
+      for (std::size_t i = 0; i < node->entries.size(); ++i) {
+        double enl = node->entries[i].mbr.Enlargement(rect);
+        double area = node->entries[i].mbr.Area();
+        if (enl < best_enl || (enl == best_enl && area < best_area)) {
+          best = i;
+          best_enl = enl;
+          best_area = area;
+        }
+      }
+    }
+    node = node->entries[best].child.get();
+  }
+  return node;
+}
+
+void RStarTree::AdjustUpward(Node* node) {
+  node->RecomputeMbr();
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    // Refresh the parent's copy of this child's MBR before recomputing.
+    for (Entry& e : parent->entries) {
+      if (e.child.get() == node) {
+        e.mbr = node->mbr;
+        break;
+      }
+    }
+    parent->RecomputeMbr();
+    node = parent;
+  }
+}
+
+void RStarTree::Insert(const Series& point, std::int64_t id) {
+  HUMDEX_CHECK(point.size() == dims_);
+  Entry e;
+  e.mbr = Rect::FromPoint(point);
+  e.id = id;
+  InsertEntry(std::move(e), 0);
+  ++size_;
+}
+
+bool RStarTree::Delete(const Series& point, std::int64_t id) {
+  HUMDEX_CHECK(point.size() == dims_);
+  // Find the leaf holding the exact (point, id) entry.
+  Node* leaf = nullptr;
+  std::size_t entry_pos = 0;
+  {
+    std::vector<Node*> stack{root_.get()};
+    while (!stack.empty() && leaf == nullptr) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (n->IsLeaf()) {
+        for (std::size_t i = 0; i < n->entries.size(); ++i) {
+          if (n->entries[i].id == id && n->entries[i].mbr.lo == point) {
+            leaf = n;
+            entry_pos = i;
+            break;
+          }
+        }
+      } else {
+        for (Entry& e : n->entries) {
+          if (e.mbr.MinDistSq(Rect::FromPoint(point)) == 0.0) {
+            stack.push_back(e.child.get());
+          }
+        }
+      }
+    }
+  }
+  if (leaf == nullptr) return false;
+
+  leaf->entries.erase(leaf->entries.begin() +
+                      static_cast<std::ptrdiff_t>(entry_pos));
+  AdjustUpward(leaf);
+  --size_;
+
+  // Condense: dissolve underfull nodes bottom-up, collecting orphans.
+  const std::size_t min_fill = bulk_loaded_ ? 1 : options_.min_entries;
+  struct Orphan {
+    Entry entry;
+    int level;
+  };
+  std::vector<Orphan> orphans;
+  Node* node = leaf;
+  while (node != root_.get() && node->entries.size() < min_fill) {
+    Node* parent = node->parent;
+    // Detach this node from its parent, keeping its entries as orphans.
+    std::size_t child_pos = SIZE_MAX;
+    for (std::size_t i = 0; i < parent->entries.size(); ++i) {
+      if (parent->entries[i].child.get() == node) {
+        child_pos = i;
+        break;
+      }
+    }
+    HUMDEX_CHECK(child_pos != SIZE_MAX);
+    std::unique_ptr<Node> detached = std::move(parent->entries[child_pos].child);
+    parent->entries.erase(parent->entries.begin() +
+                          static_cast<std::ptrdiff_t>(child_pos));
+    for (Entry& e : detached->entries) {
+      orphans.push_back({std::move(e), detached->level});
+    }
+    AdjustUpward(parent);
+    node = parent;
+  }
+
+  // Collapse a single-child internal root.
+  while (!root_->IsLeaf() && root_->entries.size() == 1) {
+    std::unique_ptr<Node> child = std::move(root_->entries[0].child);
+    child->parent = nullptr;
+    root_ = std::move(child);
+  }
+
+  // Reinsert orphans at their original levels (entry level = node level).
+  for (Orphan& o : orphans) {
+    if (root_->level < o.level) {
+      // The tree shrank below the orphan's level; descend into its subtree
+      // and reinsert the leaves instead. (Rare: only tiny trees.)
+      std::vector<Entry> pending;
+      pending.push_back(std::move(o.entry));
+      while (!pending.empty()) {
+        Entry e = std::move(pending.back());
+        pending.pop_back();
+        if (e.child == nullptr) {
+          InsertEntry(std::move(e), 0);
+        } else if (e.child->level < root_->level) {
+          InsertEntry(std::move(e), e.child->level + 1);
+        } else {
+          for (Entry& sub : e.child->entries) pending.push_back(std::move(sub));
+        }
+      }
+    } else {
+      InsertEntry(std::move(o.entry), o.level);
+    }
+  }
+  return true;
+}
+
+void RStarTree::InsertEntry(Entry entry, int level) {
+  std::set<int> reinserted_levels;
+  // Queue of pending (entry, level) pairs: forced reinsertion feeds back here.
+  struct Pending {
+    Entry entry;
+    int level;
+  };
+  std::vector<Pending> pending;
+  pending.push_back({std::move(entry), level});
+
+  while (!pending.empty()) {
+    Pending p = std::move(pending.back());
+    pending.pop_back();
+    HUMDEX_CHECK(root_->level >= p.level);
+    Node* target = ChooseSubtree(root_.get(), p.entry.mbr, p.level);
+    if (p.entry.child) p.entry.child->parent = target;
+    target->entries.push_back(std::move(p.entry));
+    AdjustUpward(target);
+
+    // Overflow treatment, possibly cascading to ancestors.
+    Node* node = target;
+    while (node != nullptr && node->entries.size() > options_.max_entries) {
+      if (node != root_.get() &&
+          reinserted_levels.find(node->level) == reinserted_levels.end()) {
+        reinserted_levels.insert(node->level);
+        // Forced reinsert: remove the p entries whose centers are farthest
+        // from the node center, then re-queue them (closest first).
+        Rect node_mbr = node->mbr;
+        std::stable_sort(node->entries.begin(), node->entries.end(),
+                         [&](const Entry& a, const Entry& b) {
+                           return CenterDistSq(a.mbr, node_mbr) <
+                                  CenterDistSq(b.mbr, node_mbr);
+                         });
+        std::size_t keep = node->entries.size() - options_.reinsert_count;
+        std::vector<Entry> removed;
+        removed.reserve(options_.reinsert_count);
+        for (std::size_t i = keep; i < node->entries.size(); ++i) {
+          removed.push_back(std::move(node->entries[i]));
+        }
+        node->entries.resize(keep);
+        AdjustUpward(node);
+        // Closest-first reinsertion: pending is a LIFO stack, so push the
+        // farthest first.
+        for (std::size_t i = removed.size(); i > 0; --i) {
+          pending.push_back({std::move(removed[i - 1]), node->level});
+        }
+        break;  // this node no longer overflows
+      }
+      Node* parent = node->parent;
+      SplitNode(node);
+      node = parent;
+    }
+  }
+}
+
+void RStarTree::SplitNode(Node* node) {
+  const std::size_t total = node->entries.size();
+  const std::size_t m = options_.min_entries;
+  HUMDEX_CHECK(total >= 2 * m);
+
+  // R* split. Step 1: choose the split axis by minimum total margin over all
+  // candidate distributions of entries sorted by lower then by upper bound.
+  std::size_t best_axis = 0;
+  bool best_axis_by_upper = false;
+  double best_margin_sum = kInf;
+  std::vector<std::size_t> order(total);
+
+  auto sort_order = [&](std::size_t axis, bool by_upper) {
+    for (std::size_t i = 0; i < total; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const Rect& ra = node->entries[a].mbr;
+      const Rect& rb = node->entries[b].mbr;
+      return by_upper ? ra.hi[axis] < rb.hi[axis] : ra.lo[axis] < rb.lo[axis];
+    });
+  };
+
+  auto margin_sum_for = [&]() {
+    // Prefix/suffix MBRs across the sorted order.
+    std::vector<Rect> prefix(total), suffix(total);
+    Rect acc;
+    for (std::size_t i = 0; i < total; ++i) {
+      acc.Enlarge(node->entries[order[i]].mbr);
+      prefix[i] = acc;
+    }
+    acc = Rect();
+    for (std::size_t i = total; i > 0; --i) {
+      acc.Enlarge(node->entries[order[i - 1]].mbr);
+      suffix[i - 1] = acc;
+    }
+    double sum = 0.0;
+    for (std::size_t split = m; split + m <= total; ++split) {
+      sum += prefix[split - 1].Margin() + suffix[split].Margin();
+    }
+    return sum;
+  };
+
+  for (std::size_t axis = 0; axis < dims_; ++axis) {
+    for (bool by_upper : {false, true}) {
+      sort_order(axis, by_upper);
+      double s = margin_sum_for();
+      if (s < best_margin_sum) {
+        best_margin_sum = s;
+        best_axis = axis;
+        best_axis_by_upper = by_upper;
+      }
+    }
+  }
+
+  // Step 2: along the chosen axis, pick the distribution with minimum
+  // overlap, ties by total area.
+  sort_order(best_axis, best_axis_by_upper);
+  std::vector<Rect> prefix(total), suffix(total);
+  {
+    Rect acc;
+    for (std::size_t i = 0; i < total; ++i) {
+      acc.Enlarge(node->entries[order[i]].mbr);
+      prefix[i] = acc;
+    }
+    acc = Rect();
+    for (std::size_t i = total; i > 0; --i) {
+      acc.Enlarge(node->entries[order[i - 1]].mbr);
+      suffix[i - 1] = acc;
+    }
+  }
+  std::size_t best_split = m;
+  double best_overlap = kInf, best_area = kInf;
+  for (std::size_t split = m; split + m <= total; ++split) {
+    double overlap = prefix[split - 1].OverlapArea(suffix[split]);
+    double area = prefix[split - 1].Area() + suffix[split].Area();
+    if (overlap < best_overlap || (overlap == best_overlap && area < best_area)) {
+      best_overlap = overlap;
+      best_area = area;
+      best_split = split;
+    }
+  }
+
+  // Materialize the two groups.
+  std::vector<Entry> group_a, group_b;
+  group_a.reserve(best_split);
+  group_b.reserve(total - best_split);
+  for (std::size_t i = 0; i < total; ++i) {
+    Entry& e = node->entries[order[i]];
+    (i < best_split ? group_a : group_b).push_back(std::move(e));
+  }
+
+  auto sibling = NewNode();
+  sibling->level = node->level;
+  sibling->entries = std::move(group_b);
+  for (Entry& e : sibling->entries) {
+    if (e.child) e.child->parent = sibling.get();
+  }
+  sibling->RecomputeMbr();
+
+  node->entries = std::move(group_a);
+  for (Entry& e : node->entries) {
+    if (e.child) e.child->parent = node;
+  }
+  node->RecomputeMbr();
+
+  if (node == root_.get()) {
+    // Grow the tree: new root adopts the old root and its sibling.
+    auto new_root = NewNode();
+    new_root->level = node->level + 1;
+    Entry left;
+    left.mbr = node->mbr;
+    left.child = std::move(root_);
+    left.child->parent = new_root.get();
+    Entry right;
+    right.mbr = sibling->mbr;
+    right.child = std::move(sibling);
+    right.child->parent = new_root.get();
+    new_root->entries.push_back(std::move(left));
+    new_root->entries.push_back(std::move(right));
+    new_root->RecomputeMbr();
+    root_ = std::move(new_root);
+  } else {
+    Node* parent = node->parent;
+    Entry sib_entry;
+    sib_entry.mbr = sibling->mbr;
+    sibling->parent = parent;
+    sib_entry.child = std::move(sibling);
+    parent->entries.push_back(std::move(sib_entry));
+    // Starting at `node` also refreshes the parent's stale entry for it.
+    AdjustUpward(node);
+  }
+}
+
+std::vector<std::int64_t> RStarTree::RangeQuery(const Rect& query, double radius,
+                                                IndexStats* stats) const {
+  HUMDEX_CHECK(query.dims() == dims_);
+  HUMDEX_CHECK(radius >= 0.0);
+  const double r2 = radius * radius;
+  std::vector<std::int64_t> out;
+  std::size_t pages = 0;
+
+  std::vector<const Node*> stack;
+  stack.push_back(root_.get());
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++pages;
+    if (pool_ != nullptr) pool_->Access(node->page_id);
+    if (node->IsLeaf()) {
+      for (const Entry& e : node->entries) {
+        if (query.MinDistSq(e.mbr.lo) <= r2) out.push_back(e.id);
+      }
+    } else {
+      for (const Entry& e : node->entries) {
+        if (query.MinDistSq(e.mbr) <= r2) stack.push_back(e.child.get());
+      }
+    }
+  }
+  if (stats != nullptr) stats->page_accesses = pages;
+  return out;
+}
+
+std::vector<Neighbor> RStarTree::KnnQuery(const Series& query, std::size_t k,
+                                          IndexStats* stats) const {
+  return NearestToRect(Rect::FromPoint(query), k, stats);
+}
+
+std::vector<Neighbor> RStarTree::NearestToRect(const Rect& query, std::size_t k,
+                                               IndexStats* stats) const {
+  HUMDEX_CHECK(query.dims() == dims_);
+  // Hjaltason-Samet best-first search over both nodes and points, keyed by
+  // squared MINDIST to the query rectangle.
+  struct PqItem {
+    double key;
+    const Node* node;          // non-null for node items
+    const Entry* point_entry;  // non-null for point items
+
+    bool operator>(const PqItem& other) const { return key > other.key; }
+  };
+  std::priority_queue<PqItem, std::vector<PqItem>, std::greater<PqItem>> pq;
+  pq.push({0.0, root_.get(), nullptr});
+  std::vector<Neighbor> out;
+  std::size_t pages = 0;
+
+  while (!pq.empty() && out.size() < k) {
+    PqItem item = pq.top();
+    pq.pop();
+    if (item.point_entry != nullptr) {
+      out.push_back({item.point_entry->id, std::sqrt(item.key)});
+      continue;
+    }
+    const Node* node = item.node;
+    ++pages;
+    if (pool_ != nullptr) pool_->Access(node->page_id);
+    if (node->IsLeaf()) {
+      for (const Entry& e : node->entries) {
+        pq.push({query.MinDistSq(e.mbr.lo), nullptr, &e});
+      }
+    } else {
+      for (const Entry& e : node->entries) {
+        pq.push({query.MinDistSq(e.mbr), e.child.get(), nullptr});
+      }
+    }
+  }
+  if (stats != nullptr) stats->page_accesses = pages;
+  return out;
+}
+
+std::size_t RStarTree::Height() const {
+  return static_cast<std::size_t>(root_->level) + 1;
+}
+
+std::size_t RStarTree::NodeCount() const {
+  // Simple recursive walk (iterative to avoid exposing Node in the header).
+  std::size_t count = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    ++count;
+    if (!n->IsLeaf()) {
+      for (const Entry& e : n->entries) stack.push_back(e.child.get());
+    }
+  }
+  return count;
+}
+
+void RStarTree::CheckInvariants() const {
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n != root_.get()) {
+      // STR packing legitimately leaves one underfull tail node per level.
+      std::size_t min_fill = bulk_loaded_ ? 1 : options_.min_entries;
+      HUMDEX_CHECK_MSG(n->entries.size() >= min_fill, "underfull non-root node");
+    }
+    HUMDEX_CHECK_MSG(n->entries.size() <= options_.max_entries, "overfull node");
+    if (!n->entries.empty()) {
+      Rect expect;
+      for (const Entry& e : n->entries) expect.Enlarge(e.mbr);
+      for (std::size_t d = 0; d < dims_; ++d) {
+        HUMDEX_CHECK_MSG(std::fabs(expect.lo[d] - n->mbr.lo[d]) < 1e-9 &&
+                             std::fabs(expect.hi[d] - n->mbr.hi[d]) < 1e-9,
+                         "stale MBR");
+      }
+    }
+    for (const Entry& e : n->entries) {
+      if (n->IsLeaf()) {
+        HUMDEX_CHECK_MSG(e.child == nullptr, "leaf entry with child");
+      } else {
+        HUMDEX_CHECK_MSG(e.child != nullptr, "internal entry without child");
+        HUMDEX_CHECK_MSG(e.child->level == n->level - 1, "level mismatch");
+        HUMDEX_CHECK_MSG(e.child->parent == n, "bad parent pointer");
+        for (std::size_t d = 0; d < dims_; ++d) {
+          HUMDEX_CHECK_MSG(e.mbr.lo[d] == e.child->mbr.lo[d] &&
+                               e.mbr.hi[d] == e.child->mbr.hi[d],
+                           "stale child MBR copy in parent entry");
+        }
+        stack.push_back(e.child.get());
+      }
+    }
+  }
+}
+
+}  // namespace humdex

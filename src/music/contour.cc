@@ -1,0 +1,117 @@
+#include "music/contour.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/status.h"
+
+namespace humdex {
+
+std::vector<Note> SegmentNotes(const Series& pitch, NoteSegmenterOptions options) {
+  HUMDEX_CHECK(options.frames_per_second > 0.0);
+  HUMDEX_CHECK(options.min_note_frames >= 1);
+  HUMDEX_CHECK(options.change_confirm_frames >= 1);
+  std::vector<Note> notes;
+  if (pitch.empty()) return notes;
+
+  // Running segment state: mean pitch and frame count. Frames that deviate
+  // from the running mean are buffered in `pending` until the change is
+  // either confirmed (they start the next note) or abandoned (folded back).
+  double seg_sum = pitch[0];
+  std::size_t seg_frames = 1;
+  std::vector<double> pending;
+
+  auto flush = [&]() {
+    if (static_cast<int>(seg_frames) >= options.min_note_frames) {
+      double mean = seg_sum / static_cast<double>(seg_frames);
+      double beats = static_cast<double>(seg_frames) / options.frames_per_second;
+      notes.push_back({mean, beats});
+    }
+  };
+
+  for (std::size_t i = 1; i < pitch.size(); ++i) {
+    double mean = seg_sum / static_cast<double>(seg_frames);
+    if (std::fabs(pitch[i] - mean) > options.pitch_change_threshold) {
+      pending.push_back(pitch[i]);
+      if (static_cast<int>(pending.size()) >= options.change_confirm_frames) {
+        // Confirmed new note: the pending run becomes the new segment.
+        flush();
+        seg_sum = 0.0;
+        seg_frames = 0;
+        for (double v : pending) {
+          seg_sum += v;
+          ++seg_frames;
+        }
+        pending.clear();
+      }
+    } else {
+      // Transient deviation (vibrato, noise): fold it back into the note.
+      for (double v : pending) {
+        seg_sum += v;
+        ++seg_frames;
+      }
+      pending.clear();
+      seg_sum += pitch[i];
+      ++seg_frames;
+    }
+  }
+  for (double v : pending) {
+    seg_sum += v;
+    ++seg_frames;
+  }
+  flush();
+  return notes;
+}
+
+char ContourLetter(double interval) {
+  double a = std::fabs(interval);
+  if (a < 0.5) return 'S';
+  if (a < 2.5) return interval > 0 ? 'u' : 'd';
+  return interval > 0 ? 'U' : 'D';
+}
+
+std::string ContourOf(const std::vector<Note>& notes) {
+  std::string s;
+  if (notes.size() < 2) return s;
+  s.reserve(notes.size() - 1);
+  for (std::size_t i = 1; i < notes.size(); ++i) {
+    s.push_back(ContourLetter(notes[i].pitch - notes[i - 1].pitch));
+  }
+  return s;
+}
+
+std::string ContourOf(const Melody& melody) { return ContourOf(melody.notes); }
+
+std::size_t EditDistance(const std::string& a, const std::string& b) {
+  const std::size_t n = a.size(), m = b.size();
+  std::vector<std::size_t> prev(m + 1), cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+std::size_t SharedQGrams(const std::string& a, const std::string& b, std::size_t q) {
+  HUMDEX_CHECK(q >= 1);
+  if (a.size() < q || b.size() < q) return 0;
+  std::map<std::string, std::size_t> counts;
+  for (std::size_t i = 0; i + q <= a.size(); ++i) ++counts[a.substr(i, q)];
+  std::size_t shared = 0;
+  for (std::size_t i = 0; i + q <= b.size(); ++i) {
+    auto it = counts.find(b.substr(i, q));
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      ++shared;
+    }
+  }
+  return shared;
+}
+
+}  // namespace humdex

@@ -1,0 +1,48 @@
+// The contour-string baseline (paper §2): note segmentation of the hummed
+// pitch series, a 5-letter contour alphabet (U/u/S/d/D), Levenshtein edit
+// distance, and a q-gram count filter. This is the approach the time series
+// system is compared against in Table 2 — and note segmentation is the
+// error-prone stage the paper's whole design avoids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "music/melody.h"
+#include "ts/time_series.h"
+
+namespace humdex {
+
+struct NoteSegmenterOptions {
+  double frames_per_second = 100.0;
+  double pitch_change_threshold = 0.6;  ///< semitones triggering a new note
+  int min_note_frames = 5;              ///< shorter segments are discarded
+  int change_confirm_frames = 3;        ///< frames of sustained change required
+};
+
+/// Segment a (silence-free) pitch series into discrete notes by detecting
+/// sustained pitch changes. Deliberately imperfect — exactly as imperfect as
+/// the real preprocessing the contour method depends on: vibrato splits
+/// notes, small intervals merge notes.
+std::vector<Note> SegmentNotes(const Series& pitch,
+                               NoteSegmenterOptions options = NoteSegmenterOptions());
+
+/// Contour letter for a pitch interval (successor minus predecessor):
+/// 'S' for |d| < 0.5 semitones, 'u'/'d' for |d| in [0.5, 2.5), 'U'/'D' above.
+char ContourLetter(double interval);
+
+/// Contour string of a note sequence (length = notes - 1; empty for < 2).
+std::string ContourOf(const std::vector<Note>& notes);
+
+/// Ground-truth contour of a symbolic melody.
+std::string ContourOf(const Melody& melody);
+
+/// Levenshtein edit distance (unit costs).
+std::size_t EditDistance(const std::string& a, const std::string& b);
+
+/// Count of q-grams the two strings share (multiset intersection). A cheap
+/// upper-bound filter for edit distance: ed(a,b) <= e implies the shared
+/// q-gram count is at least max(|a|,|b|) - q + 1 - q*e.
+std::size_t SharedQGrams(const std::string& a, const std::string& b, std::size_t q);
+
+}  // namespace humdex

@@ -1,0 +1,114 @@
+#include "music/hummer.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace humdex {
+
+HummerProfile HummerProfile::Good() {
+  HummerProfile p;
+  p.transpose_stddev = 3.0;
+  p.tempo_min = 0.8;
+  p.tempo_max = 1.3;
+  p.duration_jitter = 0.08;
+  p.note_pitch_stddev = 0.20;
+  p.wrong_note_prob = 0.005;
+  p.frame_noise_stddev = 0.06;
+  p.vibrato_depth = 0.12;
+  p.octave_glitch_prob = 0.0;
+  p.glide_fraction = 0.22;
+  return p;
+}
+
+HummerProfile HummerProfile::Poor() {
+  HummerProfile p;
+  p.transpose_stddev = 5.0;
+  p.tempo_min = 0.55;
+  p.tempo_max = 1.8;
+  p.duration_jitter = 0.55;
+  p.note_pitch_stddev = 1.2;
+  p.wrong_note_prob = 0.15;
+  p.frame_noise_stddev = 0.15;
+  p.vibrato_depth = 0.3;
+  p.octave_glitch_prob = 0.02;
+  p.glide_fraction = 0.4;
+  return p;
+}
+
+HummerProfile HummerProfile::Perfect() {
+  HummerProfile p;
+  p.transpose_stddev = 0.0;
+  p.tempo_min = 1.0;
+  p.tempo_max = 1.0;
+  p.duration_jitter = 0.0;
+  p.note_pitch_stddev = 0.0;
+  p.wrong_note_prob = 0.0;
+  p.frame_noise_stddev = 0.0;
+  p.vibrato_depth = 0.0;
+  p.octave_glitch_prob = 0.0;
+  p.glide_fraction = 0.0;
+  return p;
+}
+
+Hummer::Hummer(HummerProfile profile, std::uint64_t seed, HummerOptions options)
+    : profile_(profile), options_(options), rng_(seed) {
+  HUMDEX_CHECK(options_.frames_per_second > 0.0);
+  HUMDEX_CHECK(options_.seconds_per_beat > 0.0);
+  HUMDEX_CHECK(profile_.tempo_min > 0.0 && profile_.tempo_max >= profile_.tempo_min);
+}
+
+Series Hummer::Hum(const Melody& melody) {
+  HUMDEX_CHECK(!melody.empty());
+  // Performance-level errors (one draw per performance).
+  double transpose = rng_.Gaussian(0.0, profile_.transpose_stddev);
+  double tempo = rng_.Uniform(profile_.tempo_min,
+                              profile_.tempo_max + 1e-12);
+  double frames_per_beat = options_.frames_per_second * options_.seconds_per_beat;
+
+  Series out;
+  out.reserve(static_cast<std::size_t>(melody.TotalBeats() * frames_per_beat * 2.0));
+  double t_seconds = 0.0;
+  double prev_pitch = 0.0;
+  bool have_prev = false;
+  for (const Note& note : melody.notes) {
+    // Per-note errors.
+    double pitch = note.pitch + transpose +
+                   rng_.Gaussian(0.0, profile_.note_pitch_stddev);
+    if (rng_.Bernoulli(profile_.wrong_note_prob)) {
+      // A wrong scale step: off by one or two semitones in either direction.
+      pitch += (rng_.Bernoulli(0.5) ? 1.0 : -1.0) * rng_.UniformInt(1, 2);
+    }
+    if (rng_.Bernoulli(profile_.octave_glitch_prob)) {
+      pitch += rng_.Bernoulli(0.5) ? 12.0 : -12.0;
+    }
+    double duration_beats =
+        note.duration * std::exp(rng_.Gaussian(0.0, profile_.duration_jitter));
+    // Local warping is per-note; the uniform tempo scale divides the speed.
+    auto frames = static_cast<std::size_t>(
+        std::llround(duration_beats * frames_per_beat * tempo));
+    if (frames == 0) frames = 1;
+    // Portamento into the note from the previous pitch.
+    auto glide_frames = static_cast<std::size_t>(
+        profile_.glide_fraction * static_cast<double>(frames));
+    if (!have_prev) glide_frames = 0;
+    for (std::size_t f = 0; f < frames; ++f) {
+      double base = pitch;
+      if (f < glide_frames) {
+        double frac = (static_cast<double>(f) + 1.0) /
+                      (static_cast<double>(glide_frames) + 1.0);
+        base = prev_pitch + (pitch - prev_pitch) * frac;
+      }
+      double vibrato = profile_.vibrato_depth *
+                       std::sin(2.0 * M_PI * profile_.vibrato_rate * t_seconds);
+      double noise = rng_.Gaussian(0.0, profile_.frame_noise_stddev);
+      out.push_back(base + vibrato + noise);
+      t_seconds += 1.0 / options_.frames_per_second;
+    }
+    prev_pitch = pitch;
+    have_prev = true;
+  }
+  return out;
+}
+
+}  // namespace humdex

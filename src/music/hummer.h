@@ -1,0 +1,69 @@
+// Hummer simulator — the stand-in for real singers (see DESIGN.md
+// substitutions). Produces the frame-level pitch time series a pitch tracker
+// would emit for a person humming a melody, injecting exactly the error
+// classes the paper's matching pipeline must absorb (§3.3):
+//   1. absolute pitch:   global transposition (often several semitones off);
+//   2. tempo:            a uniform time-scale factor in [0.5, 2.0];
+//   3. relative pitch:   per-note interval errors;
+//   4. local timing:     per-note duration jitter (the reason for DTW);
+// plus frame-level texture: vibrato, tracking noise, octave glitches.
+#pragma once
+
+#include <cstdint>
+
+#include "music/melody.h"
+#include "util/random.h"
+
+namespace humdex {
+
+/// Error magnitudes for one singer. All pitch units are semitones, durations
+/// are multiplicative.
+struct HummerProfile {
+  double transpose_stddev = 3.0;     ///< absolute-pitch offset ~ N(0, s)
+  double tempo_min = 0.7;            ///< uniform tempo scale lower bound
+  double tempo_max = 1.4;            ///< uniform tempo scale upper bound
+  double duration_jitter = 0.10;     ///< per-note lognormal sigma (local warping)
+  double note_pitch_stddev = 0.25;   ///< per-note interval error
+  double wrong_note_prob = 0.01;     ///< chance of singing a wrong scale step
+  double frame_noise_stddev = 0.08;  ///< per-frame tracker noise
+  double vibrato_depth = 0.15;       ///< vibrato amplitude
+  double vibrato_rate = 5.5;         ///< vibrato cycles per second
+  double octave_glitch_prob = 0.0;   ///< chance a note jumps an octave
+  /// Portamento: fraction of each note spent gliding from the previous
+  /// pitch. Humans slide between notes instead of stepping — harmless for
+  /// DTW matching, fatal for note segmentation (the paper's §2 point).
+  double glide_fraction = 0.20;
+
+  /// A singer who keeps intervals and timing mostly right.
+  static HummerProfile Good();
+
+  /// "One of the authors": large pitch and timing errors (paper §5.1).
+  static HummerProfile Poor();
+
+  /// No errors at all — the hum is the melody (for tests).
+  static HummerProfile Perfect();
+};
+
+struct HummerOptions {
+  double frames_per_second = 100.0;  ///< pitch-tracker frame rate (10ms frames)
+  double seconds_per_beat = 0.5;     ///< nominal tempo before scaling (120 bpm)
+};
+
+/// Deterministic singer: same seed, same performance.
+class Hummer {
+ public:
+  Hummer(HummerProfile profile, std::uint64_t seed,
+         HummerOptions options = HummerOptions());
+
+  /// The pitch time series of one performance of `melody`.
+  Series Hum(const Melody& melody);
+
+  const HummerProfile& profile() const { return profile_; }
+
+ private:
+  HummerProfile profile_;
+  HummerOptions options_;
+  Rng rng_;
+};
+
+}  // namespace humdex

@@ -1,0 +1,35 @@
+#include "music/melody.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace humdex {
+
+double Melody::TotalBeats() const {
+  double s = 0.0;
+  for (const Note& n : notes) s += n.duration;
+  return s;
+}
+
+Melody Melody::Transposed(double semitones) const {
+  Melody out = *this;
+  for (Note& n : out.notes) n.pitch += semitones;
+  return out;
+}
+
+Series MelodyToSeries(const Melody& melody, double samples_per_beat) {
+  HUMDEX_CHECK(samples_per_beat > 0.0);
+  Series out;
+  out.reserve(static_cast<std::size_t>(melody.TotalBeats() * samples_per_beat) +
+              melody.size());
+  for (const Note& n : melody.notes) {
+    HUMDEX_CHECK(n.duration > 0.0);
+    auto samples = static_cast<std::size_t>(std::llround(n.duration * samples_per_beat));
+    if (samples == 0) samples = 1;
+    for (std::size_t i = 0; i < samples; ++i) out.push_back(n.pitch);
+  }
+  return out;
+}
+
+}  // namespace humdex

@@ -1,0 +1,41 @@
+// Symbolic melody representation (paper §3.2): a sequence of (Note, Duration)
+// tuples rendered to a piecewise-constant pitch time series.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace humdex {
+
+/// One melody note: pitch in MIDI semitones (possibly fractional for hummed
+/// pitch), duration in beats.
+struct Note {
+  double pitch = 0.0;
+  double duration = 1.0;
+};
+
+/// A monophonic melody: exactly one note sounding at a time; rests are
+/// dropped (the paper ignores silence in both the database and the humming).
+struct Melody {
+  std::vector<Note> notes;
+  std::string name;
+
+  std::size_t size() const { return notes.size(); }
+  bool empty() const { return notes.empty(); }
+
+  /// Sum of note durations in beats.
+  double TotalBeats() const;
+
+  /// Transpose every pitch by `semitones`.
+  Melody Transposed(double semitones) const;
+};
+
+/// Render a melody to its time series form (§3.2):
+///   N1 repeated round(d1 * samples_per_beat) times, then N2, ...
+/// Every note contributes at least one sample. samples_per_beat must be > 0.
+Series MelodyToSeries(const Melody& melody, double samples_per_beat);
+
+}  // namespace humdex

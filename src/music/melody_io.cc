@@ -1,0 +1,119 @@
+#include "music/melody_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace humdex {
+
+namespace {
+
+Status LineError(std::size_t line_no, const std::string& what) {
+  return Status::InvalidArgument("line " + std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+Status ParseMelodies(const std::string& text, std::vector<Melody>* out) {
+  HUMDEX_CHECK(out != nullptr);
+  out->clear();
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool in_melody = false;
+  Melody current;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip trailing CR and surrounding whitespace.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ' ||
+                             line.back() == '\t')) {
+      line.pop_back();
+    }
+    std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;  // blank
+    line = line.substr(start);
+    if (line[0] == '#') continue;  // comment
+
+    if (line.rfind("melody", 0) == 0 &&
+        (line.size() == 6 || line[6] == ' ' || line[6] == '\t')) {
+      if (in_melody) return LineError(line_no, "nested 'melody' block");
+      in_melody = true;
+      current = Melody();
+      std::size_t name_start = line.find_first_not_of(" \t", 6);
+      if (name_start != std::string::npos) current.name = line.substr(name_start);
+      continue;
+    }
+    if (line == "end") {
+      if (!in_melody) return LineError(line_no, "'end' outside a melody block");
+      if (current.empty()) return LineError(line_no, "melody with no notes");
+      out->push_back(std::move(current));
+      in_melody = false;
+      continue;
+    }
+    if (!in_melody) {
+      return LineError(line_no, "note data outside a melody block: '" + line + "'");
+    }
+    std::istringstream fields(line);
+    double pitch, duration;
+    if (!(fields >> pitch >> duration)) {
+      return LineError(line_no, "expected '<pitch> <duration>', got '" + line + "'");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      return LineError(line_no, "trailing data after note: '" + extra + "'");
+    }
+    if (!std::isfinite(pitch) || !std::isfinite(duration)) {
+      return LineError(line_no, "non-finite note values");
+    }
+    if (duration <= 0.0) {
+      return LineError(line_no, "note duration must be positive");
+    }
+    current.notes.push_back({pitch, duration});
+  }
+  if (in_melody) {
+    return Status::InvalidArgument("unterminated melody block '" + current.name +
+                                   "' at end of input");
+  }
+  return Status::OK();
+}
+
+std::string SerializeMelodies(const std::vector<Melody>& melodies) {
+  std::string out;
+  out += "# humdex melody corpus: " + std::to_string(melodies.size()) +
+         " melodies\n";
+  char buf[80];
+  for (const Melody& m : melodies) {
+    out += "melody " + m.name + "\n";
+    for (const Note& n : m.notes) {
+      std::snprintf(buf, sizeof(buf), "%.17g %.17g\n", n.pitch, n.duration);
+      out += buf;
+    }
+    out += "end\n";
+  }
+  return out;
+}
+
+Status LoadMelodiesFromFile(const std::string& path, std::vector<Melody>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open '" + path + "'");
+  std::string text;
+  char buf[1 << 14];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  return ParseMelodies(text, out);
+}
+
+Status SaveMelodiesToFile(const std::string& path,
+                          const std::vector<Melody>& melodies) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot write '" + path + "'");
+  std::string text = SerializeMelodies(melodies);
+  std::size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (wrote != text.size()) return Status::Internal("short write to '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace humdex

@@ -1,0 +1,36 @@
+// Textual melody corpus format: load and store melody databases. The format
+// is deliberately minimal — one melody block per tune, one (pitch, duration)
+// pair per line:
+//
+//   # comment
+//   melody hey_jude/phrase_0
+//   60 1.0
+//   62 0.5
+//   end
+//
+// Parsing is Status-based: malformed input reports line numbers, never
+// aborts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "music/melody.h"
+#include "util/status.h"
+
+namespace humdex {
+
+/// Parse a corpus from text. On success fills `out` (cleared first).
+/// Errors carry the offending 1-based line number.
+Status ParseMelodies(const std::string& text, std::vector<Melody>* out);
+
+/// Serialize a corpus to the textual format; round-trips through
+/// ParseMelodies bit-exactly for finite pitches/durations.
+std::string SerializeMelodies(const std::vector<Melody>& melodies);
+
+/// File convenience wrappers.
+Status LoadMelodiesFromFile(const std::string& path, std::vector<Melody>* out);
+Status SaveMelodiesToFile(const std::string& path,
+                          const std::vector<Melody>& melodies);
+
+}  // namespace humdex

@@ -1,0 +1,82 @@
+#include "music/pitch_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/status.h"
+
+namespace humdex {
+
+bool IsSilentFrame(double v) { return std::isnan(v); }
+
+double SilentFrame() { return std::numeric_limits<double>::quiet_NaN(); }
+
+PitchTracker::PitchTracker(PitchTrackerOptions options, std::uint64_t seed)
+    : options_(options), rng_(seed) {
+  HUMDEX_CHECK(options_.median_window >= 1 && options_.median_window % 2 == 1);
+  HUMDEX_CHECK(options_.mean_dropout_frames >= 1.0);
+  HUMDEX_CHECK(options_.mean_octave_frames >= 1.0);
+}
+
+Series PitchTracker::Track(const Series& true_pitch) {
+  Series out = true_pitch;
+  const std::size_t n = out.size();
+
+  // Octave-halving runs: the classic tracker failure (the detector locks on
+  // a subharmonic), one octave down for a short stretch.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng_.Bernoulli(options_.octave_error_prob)) {
+      std::size_t len = 1;
+      while (rng_.Bernoulli(1.0 - 1.0 / options_.mean_octave_frames)) ++len;
+      for (std::size_t j = i; j < std::min(n, i + len); ++j) out[j] -= 12.0;
+      i += len;
+    }
+  }
+
+  // Dropout runs: frames classified unvoiced.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng_.Bernoulli(options_.dropout_prob)) {
+      std::size_t len = 1;
+      while (rng_.Bernoulli(1.0 - 1.0 / options_.mean_dropout_frames)) ++len;
+      for (std::size_t j = i; j < std::min(n, i + len); ++j) out[j] = SilentFrame();
+      i += len;
+    }
+  }
+
+  return MedianFilterVoiced(out, options_.median_window);
+}
+
+Series MedianFilterVoiced(const Series& x, int window_size) {
+  HUMDEX_CHECK(window_size >= 1 && window_size % 2 == 1);
+  if (window_size == 1) return x;
+  const std::size_t n = x.size();
+  const int half = window_size / 2;
+  Series smoothed = x;
+  Series window;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (IsSilentFrame(x[i])) continue;
+    window.clear();
+    for (int d = -half; d <= half; ++d) {
+      std::ptrdiff_t j = static_cast<std::ptrdiff_t>(i) + d;
+      if (j < 0 || j >= static_cast<std::ptrdiff_t>(n)) continue;
+      if (!IsSilentFrame(x[static_cast<std::size_t>(j)])) {
+        window.push_back(x[static_cast<std::size_t>(j)]);
+      }
+    }
+    std::sort(window.begin(), window.end());
+    smoothed[i] = window[window.size() / 2];
+  }
+  return smoothed;
+}
+
+Series RemoveSilence(const Series& x) {
+  Series out;
+  out.reserve(x.size());
+  for (double v : x) {
+    if (!IsSilentFrame(v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace humdex

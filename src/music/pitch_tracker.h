@@ -1,0 +1,50 @@
+// Simulated pitch tracker (the role of Tolonen-Karjalainen [27] in the
+// paper's pipeline). Real trackers resolve each 10ms frame to a pitch but
+// suffer dropouts (frames classified silent) and octave errors in short
+// runs. Track() injects those artifacts; RemoveSilence() implements the
+// paper's policy of ignoring silence entirely.
+#pragma once
+
+#include <cstdint>
+
+#include "ts/time_series.h"
+#include "util/random.h"
+
+namespace humdex {
+
+/// Frame value marking "no pitch detected" (silence / unvoiced).
+bool IsSilentFrame(double v);
+double SilentFrame();
+
+struct PitchTrackerOptions {
+  double dropout_prob = 0.015;     ///< chance a dropout run starts at a frame
+  double mean_dropout_frames = 3.0;///< geometric mean length of a dropout
+  double octave_error_prob = 0.004;///< chance an octave-halving run starts
+  double mean_octave_frames = 5.0; ///< geometric mean length of an octave run
+  int median_window = 5;           ///< odd post-smoothing window (1 = off)
+};
+
+/// Deterministic pitch-tracking corruption model.
+class PitchTracker {
+ public:
+  PitchTracker(PitchTrackerOptions options, std::uint64_t seed);
+
+  /// The tracked series: input pitches with dropouts (silent frames), octave
+  /// error runs, and median smoothing of voiced regions.
+  Series Track(const Series& true_pitch);
+
+ private:
+  PitchTrackerOptions options_;
+  Rng rng_;
+};
+
+/// Drop silent frames (paper §3.2: rests and silences are ignored).
+Series RemoveSilence(const Series& x);
+
+/// Median-filter the voiced frames of a pitch series with an odd `window`
+/// (1 = identity). Silent frames pass through untouched and are excluded
+/// from their neighbors' medians. Shared by the tracker error model and the
+/// real autocorrelation detector.
+Series MedianFilterVoiced(const Series& x, int window);
+
+}  // namespace humdex

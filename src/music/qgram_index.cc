@@ -1,0 +1,98 @@
+#include "music/qgram_index.h"
+
+#include <algorithm>
+
+#include "music/contour.h"
+#include "util/status.h"
+
+namespace humdex {
+
+QGramInvertedIndex::QGramInvertedIndex(std::size_t q) : q_(q) {
+  HUMDEX_CHECK(q_ >= 1);
+}
+
+std::int64_t QGramInvertedIndex::Add(const std::string& s) {
+  std::int64_t id = static_cast<std::int64_t>(lengths_.size());
+  lengths_.push_back(s.size());
+  strings_.push_back(s);
+  if (s.size() >= q_) {
+    // Count multiplicities locally, then append one posting per distinct gram.
+    std::unordered_map<std::string, std::uint32_t> counts;
+    for (std::size_t i = 0; i + q_ <= s.size(); ++i) ++counts[s.substr(i, q_)];
+    for (auto& [gram, count] : counts) {
+      postings_[gram].emplace_back(id, count);
+    }
+  }
+  return id;
+}
+
+std::vector<std::int64_t> QGramInvertedIndex::Candidates(
+    const std::string& query, std::size_t max_ed) const {
+  // Shared-gram counts via the inverted lists.
+  std::unordered_map<std::int64_t, std::size_t> shared;
+  if (query.size() >= q_) {
+    std::unordered_map<std::string, std::uint32_t> qcounts;
+    for (std::size_t i = 0; i + q_ <= query.size(); ++i) {
+      ++qcounts[query.substr(i, q_)];
+    }
+    for (const auto& [gram, qc] : qcounts) {
+      auto it = postings_.find(gram);
+      if (it == postings_.end()) continue;
+      for (const auto& [id, sc] : it->second) {
+        shared[id] += std::min<std::size_t>(qc, sc);
+      }
+    }
+  }
+
+  std::vector<std::int64_t> out;
+  for (std::size_t i = 0; i < lengths_.size(); ++i) {
+    auto id = static_cast<std::int64_t>(i);
+    std::size_t longer = std::max(lengths_[i], query.size());
+    std::ptrdiff_t required = static_cast<std::ptrdiff_t>(longer) -
+                              static_cast<std::ptrdiff_t>(q_) + 1 -
+                              static_cast<std::ptrdiff_t>(q_ * max_ed);
+    if (required <= 0) {
+      out.push_back(id);  // bound vacuous: cannot prune
+      continue;
+    }
+    auto it = shared.find(id);
+    std::size_t have = it == shared.end() ? 0 : it->second;
+    if (have >= static_cast<std::size_t>(required)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::int64_t, std::size_t>> QGramInvertedIndex::TopK(
+    const std::string& query, std::size_t k, std::size_t* examined) const {
+  std::vector<std::pair<std::int64_t, std::size_t>> verified;  // (id, ed)
+  std::vector<bool> seen(lengths_.size(), false);
+  std::size_t checks = 0;
+
+  // Deepen the allowed edit distance until k answers are certain: every
+  // string with ed <= e is a candidate at radius e, so once `verified`
+  // contains k entries with ed <= e the ranking below e+1 is final.
+  std::size_t max_possible = query.size();
+  for (const std::string& s : strings_) max_possible = std::max(max_possible, s.size());
+  for (std::size_t e = 0; e <= max_possible; ++e) {
+    for (std::int64_t id : Candidates(query, e)) {
+      if (seen[static_cast<std::size_t>(id)]) continue;
+      seen[static_cast<std::size_t>(id)] = true;
+      ++checks;
+      verified.emplace_back(id,
+                            EditDistance(query, strings_[static_cast<std::size_t>(id)]));
+    }
+    std::size_t within = 0;
+    for (const auto& [id, ed] : verified) within += ed <= e ? 1 : 0;
+    if (within >= k || verified.size() == lengths_.size()) break;
+  }
+
+  std::sort(verified.begin(), verified.end(),
+            [](const auto& a, const auto& b) {
+              return a.second < b.second || (a.second == b.second && a.first < b.first);
+            });
+  if (verified.size() > k) verified.resize(k);
+  if (examined != nullptr) *examined = checks;
+  return verified;
+}
+
+}  // namespace humdex

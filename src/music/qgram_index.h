@@ -1,0 +1,51 @@
+// Inverted q-gram index for contour strings — the string-matching speed-up
+// the paper's §2 mentions for the contour baseline ("techniques for string
+// matching such as q-grams can be used to speed up the similarity query").
+// Exact for edit distance by the count-filtering lemma:
+//   ed(a, b) <= e  =>  shared q-grams >= max(|a|,|b|) - q + 1 - q*e,
+// so strings failing the bound are pruned without computing edit distance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace humdex {
+
+/// Inverted index over the q-grams of a string collection.
+class QGramInvertedIndex {
+ public:
+  explicit QGramInvertedIndex(std::size_t q = 3);
+
+  /// Register a string. Returns its id (dense, starting at 0).
+  std::int64_t Add(const std::string& s);
+
+  std::size_t size() const { return lengths_.size(); }
+  std::size_t q() const { return q_; }
+
+  /// Ids that can possibly be within edit distance `max_ed` of `query`
+  /// (count filter; no false negatives). Strings too short to carry enough
+  /// q-grams for the bound are always candidates.
+  std::vector<std::int64_t> Candidates(const std::string& query,
+                                       std::size_t max_ed) const;
+
+  /// Exact top-k by edit distance using iterative-deepening over the filter:
+  /// probes max_ed = 0, 1, 2, ... until k strings with ed <= max_ed are
+  /// verified, so only a fraction of the collection is ever compared.
+  /// Returns (id, edit distance) pairs ascending by distance then id;
+  /// `examined` (optional) reports how many edit distances were computed.
+  std::vector<std::pair<std::int64_t, std::size_t>> TopK(
+      const std::string& query, std::size_t k,
+      std::size_t* examined = nullptr) const;
+
+ private:
+  std::size_t q_;
+  std::vector<std::size_t> lengths_;
+  std::vector<std::string> strings_;
+  // q-gram -> postings of (id, multiplicity in that string).
+  std::unordered_map<std::string, std::vector<std::pair<std::int64_t, std::uint32_t>>>
+      postings_;
+};
+
+}  // namespace humdex

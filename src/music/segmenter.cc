@@ -1,0 +1,39 @@
+#include "music/segmenter.h"
+
+#include <string>
+
+#include "util/status.h"
+
+namespace humdex {
+
+std::vector<Melody> SegmentMelody(const Melody& song, SegmenterOptions options) {
+  HUMDEX_CHECK(options.min_notes >= 1);
+  HUMDEX_CHECK(options.max_notes >= options.min_notes);
+  std::vector<Melody> out;
+  Melody current;
+  for (const Note& n : song.notes) {
+    current.notes.push_back(n);
+    bool full = static_cast<int>(current.notes.size()) >= options.max_notes;
+    bool at_boundary = static_cast<int>(current.notes.size()) >= options.min_notes &&
+                       n.duration >= options.boundary_duration;
+    if (full || at_boundary) {
+      out.push_back(std::move(current));
+      current = Melody();
+    }
+  }
+  if (!current.notes.empty()) {
+    if (static_cast<int>(current.notes.size()) < options.min_notes && !out.empty()) {
+      // Merge the short tail into the previous phrase.
+      Melody& prev = out.back();
+      prev.notes.insert(prev.notes.end(), current.notes.begin(), current.notes.end());
+    } else {
+      out.push_back(std::move(current));
+    }
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].name = song.name + "/phrase_" + std::to_string(i);
+  }
+  return out;
+}
+
+}  // namespace humdex

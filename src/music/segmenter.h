@@ -1,0 +1,28 @@
+// Phrase segmentation of full songs (paper §3.2, "whole sequence matching"):
+// the database stores melodic sections, because users hum sections. Splits at
+// long notes (phrase-final lengthening) while keeping each piece within a
+// note-count budget.
+#pragma once
+
+#include <vector>
+
+#include "music/melody.h"
+
+namespace humdex {
+
+struct SegmenterOptions {
+  int min_notes = 15;
+  int max_notes = 30;
+  /// A note at least this many beats long ends a phrase (if the minimum
+  /// length is already met).
+  double boundary_duration = 2.0;
+};
+
+/// Split a song into phrases. Every input note lands in exactly one phrase;
+/// every phrase has between min_notes and max_notes notes, except possibly
+/// the last (which is merged into its predecessor when shorter than
+/// min_notes and a predecessor exists).
+std::vector<Melody> SegmentMelody(const Melody& song,
+                                  SegmenterOptions options = SegmenterOptions());
+
+}  // namespace humdex

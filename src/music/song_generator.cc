@@ -1,0 +1,111 @@
+#include "music/song_generator.h"
+
+#include <array>
+#include <string>
+
+#include "util/status.h"
+
+namespace humdex {
+
+namespace {
+
+constexpr std::array<int, 7> kMajorScale = {0, 2, 4, 5, 7, 9, 11};
+constexpr std::array<int, 7> kMinorScale = {0, 2, 3, 5, 7, 8, 10};
+
+// Degree-step distribution: mostly stepwise motion, some repeats, rare leaps.
+int SampleDegreeStep(Rng* rng) {
+  double u = rng->NextDouble();
+  if (u < 0.18) return 0;             // repeated note
+  if (u < 0.44) return 1;             // step up
+  if (u < 0.70) return -1;            // step down
+  if (u < 0.80) return 2;             // third up
+  if (u < 0.90) return -2;            // third down
+  if (u < 0.95) return rng->Bernoulli(0.5) ? 4 : 3;   // leap up
+  return rng->Bernoulli(0.5) ? -4 : -3;               // leap down
+}
+
+// Rhythmic grammar: durations in beats with pop-melody weights.
+double SampleDuration(Rng* rng) {
+  double u = rng->NextDouble();
+  if (u < 0.35) return 0.5;
+  if (u < 0.70) return 1.0;
+  if (u < 0.82) return 1.5;
+  if (u < 0.94) return 2.0;
+  if (u < 0.98) return 3.0;
+  return 4.0;
+}
+
+}  // namespace
+
+SongGenerator::SongGenerator(std::uint64_t seed, SongGeneratorOptions options)
+    : rng_(seed), options_(options) {
+  HUMDEX_CHECK(options_.min_phrase_notes >= 2);
+  HUMDEX_CHECK(options_.max_phrase_notes >= options_.min_phrase_notes);
+  HUMDEX_CHECK(options_.tonic_max >= options_.tonic_min);
+}
+
+Melody SongGenerator::GeneratePhraseInKey(int tonic, bool minor, Rng* rng) const {
+  const auto& scale = minor ? kMinorScale : kMajorScale;
+  int num_notes = rng->UniformInt(options_.min_phrase_notes, options_.max_phrase_notes);
+
+  Melody m;
+  m.notes.reserve(static_cast<std::size_t>(num_notes));
+  // Start near the tonic octave, wander within ~1.5 octaves of it.
+  int degree = rng->UniformInt(0, 6);
+  int octave = 0;
+  for (int i = 0; i < num_notes; ++i) {
+    int step = SampleDegreeStep(rng);
+    degree += step;
+    while (degree >= 7) {
+      degree -= 7;
+      ++octave;
+    }
+    while (degree < 0) {
+      degree += 7;
+      --octave;
+    }
+    // Soft range clamp: pull back toward the home octave at the extremes.
+    if (octave > 1) {
+      octave = 1;
+    } else if (octave < -1) {
+      octave = -1;
+    }
+    double pitch = tonic + 12 * octave + scale[static_cast<std::size_t>(degree)];
+    m.notes.push_back({pitch, SampleDuration(rng)});
+  }
+  // Phrases tend to end on a long tonic-chord tone.
+  m.notes.back().duration = 2.0 + 2.0 * rng->NextDouble();
+  return m;
+}
+
+Melody SongGenerator::GeneratePhrase() {
+  int tonic = rng_.UniformInt(options_.tonic_min, options_.tonic_max);
+  bool minor = rng_.Bernoulli(0.35);
+  return GeneratePhraseInKey(tonic, minor, &rng_);
+}
+
+Melody SongGenerator::GenerateSong(int song_index) {
+  Rng rng = rng_.Fork(static_cast<std::uint64_t>(song_index) + 1);
+  int tonic = rng.UniformInt(options_.tonic_min, options_.tonic_max);
+  bool minor = rng.Bernoulli(0.35);
+  Melody song;
+  song.name = "song_" + std::to_string(song_index);
+  for (int p = 0; p < options_.phrases_per_song; ++p) {
+    Melody phrase = GeneratePhraseInKey(tonic, minor, &rng);
+    song.notes.insert(song.notes.end(), phrase.notes.begin(), phrase.notes.end());
+  }
+  return song;
+}
+
+std::vector<Melody> SongGenerator::GeneratePhrases(std::size_t count) {
+  std::vector<Melody> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Melody m = GeneratePhrase();
+    m.name = "phrase_" + std::to_string(i);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace humdex

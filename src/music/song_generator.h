@@ -1,0 +1,48 @@
+// Synthetic melody corpus generator — the stand-in for the paper's
+// hand-entered Beatles songs and its 35,000 internet MIDI melodies (see
+// DESIGN.md substitutions). Generates tonal phrases: a random key and mode,
+// a degree-level random walk dominated by steps with occasional leaps, and
+// durations drawn from a rhythmic grammar. Phrase statistics (15-30 notes)
+// match the paper's corpus.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "music/melody.h"
+#include "util/random.h"
+
+namespace humdex {
+
+struct SongGeneratorOptions {
+  int min_phrase_notes = 15;
+  int max_phrase_notes = 30;
+  int phrases_per_song = 20;
+  int tonic_min = 55;  ///< lowest tonic (MIDI)
+  int tonic_max = 70;  ///< highest tonic (MIDI)
+};
+
+/// Deterministic generator of synthetic songs and phrases.
+class SongGenerator {
+ public:
+  explicit SongGenerator(std::uint64_t seed,
+                         SongGeneratorOptions options = SongGeneratorOptions());
+
+  /// One phrase of min..max notes in a fresh random key.
+  Melody GeneratePhrase();
+
+  /// A full song: phrases_per_song phrases concatenated, sharing one key and
+  /// motif vocabulary (so segmentation yields coherent pieces).
+  Melody GenerateSong(int song_index);
+
+  /// `count` independent phrases — the unit the QBH database indexes.
+  std::vector<Melody> GeneratePhrases(std::size_t count);
+
+ private:
+  Melody GeneratePhraseInKey(int tonic, bool minor, Rng* rng) const;
+
+  Rng rng_;
+  SongGeneratorOptions options_;
+};
+
+}  // namespace humdex

@@ -1,0 +1,97 @@
+#include "qbh/contour_system.h"
+
+#include <algorithm>
+
+#include "music/pitch_tracker.h"
+#include "util/status.h"
+
+namespace humdex {
+
+ContourSystem::ContourSystem(ContourSystemOptions options)
+    : options_(options), qgram_index_(options.qgram_q) {}
+
+std::int64_t ContourSystem::AddMelody(const Melody& melody) {
+  contours_.push_back(ContourOf(melody));
+  names_.push_back(melody.name);
+  std::int64_t id = qgram_index_.Add(contours_.back());
+  HUMDEX_CHECK(id == static_cast<std::int64_t>(contours_.size()) - 1);
+  return id;
+}
+
+std::string ContourSystem::HumToContour(const Series& hum_pitch) const {
+  Series voiced = RemoveSilence(hum_pitch);
+  std::vector<Note> notes = SegmentNotes(voiced, options_.segmenter);
+  return ContourOf(notes);
+}
+
+std::vector<ContourMatch> ContourSystem::Query(const Series& hum_pitch,
+                                               std::size_t top_k) const {
+  std::string q = HumToContour(hum_pitch);
+  std::vector<ContourMatch> all;
+  all.reserve(contours_.size());
+  for (std::size_t i = 0; i < contours_.size(); ++i) {
+    all.push_back({static_cast<std::int64_t>(i), names_[i],
+                   EditDistance(q, contours_[i])});
+  }
+  std::size_t take = std::min(top_k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    [](const ContourMatch& a, const ContourMatch& b) {
+                      return a.edit_distance < b.edit_distance ||
+                             (a.edit_distance == b.edit_distance && a.id < b.id);
+                    });
+  all.resize(take);
+  return all;
+}
+
+std::vector<ContourMatch> ContourSystem::QueryFast(const Series& hum_pitch,
+                                                   std::size_t top_k,
+                                                   std::size_t* examined) const {
+  std::string q = HumToContour(hum_pitch);
+  auto ranked = qgram_index_.TopK(q, top_k, examined);
+  std::vector<ContourMatch> out;
+  out.reserve(ranked.size());
+  for (const auto& [id, ed] : ranked) {
+    out.push_back({id, names_[static_cast<std::size_t>(id)], ed});
+  }
+  return out;
+}
+
+std::size_t ContourSystem::RankOf(const Series& hum_pitch,
+                                  std::int64_t target_id) const {
+  HUMDEX_CHECK(target_id >= 0 &&
+               static_cast<std::size_t>(target_id) < contours_.size());
+  std::string q = HumToContour(hum_pitch);
+  std::size_t target_ed = EditDistance(q, contours_[static_cast<std::size_t>(target_id)]);
+  std::size_t rank = 1;
+  for (std::size_t i = 0; i < contours_.size(); ++i) {
+    if (static_cast<std::int64_t>(i) == target_id) continue;
+    if (EditDistance(q, contours_[i]) <= target_ed) ++rank;
+  }
+  return rank;
+}
+
+std::vector<std::int64_t> ContourSystem::QGramCandidates(
+    const std::string& query_contour, std::size_t max_ed) const {
+  const std::size_t q = options_.qgram_q;
+  std::vector<std::int64_t> out;
+  for (std::size_t i = 0; i < contours_.size(); ++i) {
+    std::size_t longer = std::max(query_contour.size(), contours_[i].size());
+    if (longer + 1 < q) {
+      out.push_back(static_cast<std::int64_t>(i));
+      continue;
+    }
+    // ed(a,b) <= e implies shared q-grams >= longer - q + 1 - q*e; keep any
+    // string meeting that necessary condition.
+    std::ptrdiff_t required = static_cast<std::ptrdiff_t>(longer) -
+                              static_cast<std::ptrdiff_t>(q) + 1 -
+                              static_cast<std::ptrdiff_t>(q * max_ed);
+    if (required <= 0 ||
+        SharedQGrams(query_contour, contours_[i], q) >=
+            static_cast<std::size_t>(required)) {
+      out.push_back(static_cast<std::int64_t>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace humdex

@@ -1,0 +1,70 @@
+// The contour-string baseline system (paper §2 and Table 2): melodies are
+// stored as contour strings; a hum query is note-segmented, contour-encoded,
+// and ranked by edit distance. Retrieval quality is limited by the
+// note-segmentation stage — the point Table 2 makes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "music/contour.h"
+#include "music/melody.h"
+#include "music/qgram_index.h"
+
+namespace humdex {
+
+struct ContourSystemOptions {
+  NoteSegmenterOptions segmenter;
+  std::size_t qgram_q = 3;  ///< q-gram length for the pre-filter
+};
+
+/// Match result for the contour baseline.
+struct ContourMatch {
+  std::int64_t id;
+  std::string name;
+  std::size_t edit_distance;
+};
+
+/// Contour-based QBH baseline.
+class ContourSystem {
+ public:
+  explicit ContourSystem(ContourSystemOptions options = ContourSystemOptions());
+
+  /// Register a melody; its ground-truth contour string is stored.
+  std::int64_t AddMelody(const Melody& melody);
+
+  std::size_t size() const { return contours_.size(); }
+
+  /// Contour string the system extracts from a hummed pitch series (via note
+  /// segmentation). Exposed for tests.
+  std::string HumToContour(const Series& hum_pitch) const;
+
+  /// Top-k melodies by edit distance between contour strings (full scan).
+  std::vector<ContourMatch> Query(const Series& hum_pitch, std::size_t top_k) const;
+
+  /// Identical answers to Query() via the q-gram inverted index with
+  /// iterative deepening — computes edit distance for only a fraction of the
+  /// collection (`examined` reports how many). The "q-grams" speed-up of §2.
+  std::vector<ContourMatch> QueryFast(const Series& hum_pitch, std::size_t top_k,
+                                      std::size_t* examined = nullptr) const;
+
+  /// Rank (1 = best) of `target_id` for the hummed query. Ties count against
+  /// the target (a tied melody ranks ahead), matching the pessimism of a
+  /// returned-set rank.
+  std::size_t RankOf(const Series& hum_pitch, std::int64_t target_id) const;
+
+  /// Candidate ids whose shared-q-gram count with the query contour is
+  /// compatible with edit distance <= max_ed (the "q-grams" speed-up the
+  /// paper mentions for string matching).
+  std::vector<std::int64_t> QGramCandidates(const std::string& query_contour,
+                                            std::size_t max_ed) const;
+
+ private:
+  ContourSystemOptions options_;
+  std::vector<std::string> contours_;
+  std::vector<std::string> names_;
+  QGramInvertedIndex qgram_index_;
+};
+
+}  // namespace humdex

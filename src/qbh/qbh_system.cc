@@ -1,0 +1,100 @@
+#include "qbh/qbh_system.h"
+
+#include "audio/pitch_detect.h"
+#include "music/pitch_tracker.h"
+#include "ts/normal_form.h"
+#include "util/status.h"
+
+namespace humdex {
+
+QbhSystem::QbhSystem(QbhOptions options) : options_(options) {
+  HUMDEX_CHECK(options_.normal_len >= options_.feature_dim);
+  HUMDEX_CHECK(options_.warping_width >= 0.0 && options_.warping_width <= 1.0);
+}
+
+std::int64_t QbhSystem::AddMelody(Melody melody) {
+  HUMDEX_CHECK_MSG(engine_ == nullptr, "AddMelody after Build()");
+  HUMDEX_CHECK(!melody.empty());
+  melodies_.push_back(std::move(melody));
+  return static_cast<std::int64_t>(melodies_.size()) - 1;
+}
+
+const Melody& QbhSystem::melody(std::int64_t id) const {
+  HUMDEX_CHECK(id >= 0 && static_cast<std::size_t>(id) < melodies_.size());
+  return melodies_[static_cast<std::size_t>(id)];
+}
+
+void QbhSystem::Build() {
+  HUMDEX_CHECK_MSG(engine_ == nullptr, "Build() called twice");
+  HUMDEX_CHECK_MSG(!melodies_.empty(), "empty database");
+
+  // Normal forms of every melody.
+  std::vector<Series> normals;
+  normals.reserve(melodies_.size());
+  for (const Melody& m : melodies_) {
+    normals.push_back(
+        NormalForm(MelodyToSeries(m, options_.samples_per_beat), options_.normal_len));
+  }
+
+  std::shared_ptr<FeatureScheme> scheme;
+  switch (options_.scheme) {
+    case SchemeKind::kNewPaa:
+      scheme = MakeNewPaaScheme(options_.normal_len, options_.feature_dim);
+      break;
+    case SchemeKind::kKeoghPaa:
+      scheme = MakeKeoghPaaScheme(options_.normal_len, options_.feature_dim);
+      break;
+    case SchemeKind::kDft:
+      scheme = MakeDftScheme(options_.normal_len, options_.feature_dim);
+      break;
+    case SchemeKind::kDwt:
+      scheme = MakeDwtScheme(options_.normal_len, options_.feature_dim);
+      break;
+    case SchemeKind::kSvd:
+      scheme = MakeSvdScheme(normals, options_.feature_dim);
+      break;
+  }
+
+  QueryEngineOptions eopts;
+  eopts.normal_len = options_.normal_len;
+  eopts.warping_width = options_.warping_width;
+  eopts.index.kind = options_.index;
+  engine_ = std::make_unique<DtwQueryEngine>(std::move(scheme), eopts);
+  engine_->AddAll(std::move(normals));
+}
+
+Series QbhSystem::HumToNormalForm(const Series& hum_pitch) const {
+  Series voiced = RemoveSilence(hum_pitch);
+  HUMDEX_CHECK_MSG(!voiced.empty(), "hum query contains no voiced frames");
+  return NormalForm(voiced, options_.normal_len);
+}
+
+std::vector<QbhMatch> QbhSystem::Query(const Series& hum_pitch, std::size_t top_k,
+                                       QueryStats* stats) const {
+  HUMDEX_CHECK_MSG(engine_ != nullptr, "Query before Build()");
+  Series q = HumToNormalForm(hum_pitch);
+  std::vector<Neighbor> nn = engine_->KnnQuery(q, top_k, stats);
+  std::vector<QbhMatch> out;
+  out.reserve(nn.size());
+  for (const Neighbor& n : nn) {
+    out.push_back({n.id, melody(n.id).name, n.distance});
+  }
+  return out;
+}
+
+std::vector<QbhMatch> QbhSystem::QueryAudio(const Series& pcm, double sample_rate,
+                                            std::size_t top_k,
+                                            QueryStats* stats) const {
+  PitchDetectorOptions dopt;
+  dopt.sample_rate = sample_rate;
+  PitchDetector detector(dopt);
+  return Query(detector.Detect(pcm), top_k, stats);
+}
+
+std::size_t QbhSystem::RankOf(const Series& hum_pitch,
+                              std::int64_t target_id) const {
+  HUMDEX_CHECK_MSG(engine_ != nullptr, "RankOf before Build()");
+  return engine_->RankOf(HumToNormalForm(hum_pitch), target_id);
+}
+
+}  // namespace humdex

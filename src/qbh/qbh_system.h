@@ -1,0 +1,80 @@
+// The complete query-by-humming system (paper §3): a melody database indexed
+// under DTW via envelope transforms, queried with raw pitch series.
+//
+// Ingest:  melody -> time series (§3.2) -> normal form (shift + UTW, §3.3)
+//          -> feature vector -> R*-tree.
+// Query:   pitch series -> silence removal -> normal form -> GEMINI DTW
+//          search (envelope transform range/kNN with exact verification).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gemini/query_engine.h"
+#include "music/melody.h"
+
+namespace humdex {
+
+/// Which dimensionality-reduction scheme the system indexes with.
+enum class SchemeKind { kNewPaa, kKeoghPaa, kDft, kDwt, kSvd };
+
+struct QbhOptions {
+  std::size_t normal_len = 128;    ///< UTW normal form length
+  double warping_width = 0.1;      ///< delta (Table 3 tunes this)
+  std::size_t feature_dim = 8;     ///< reduced dimensionality
+  SchemeKind scheme = SchemeKind::kNewPaa;
+  IndexKind index = IndexKind::kRStarTree;
+  double samples_per_beat = 8.0;   ///< melody rendering rate
+};
+
+/// A query answer: melody id, its name, and the DTW distance to the query.
+struct QbhMatch {
+  std::int64_t id;
+  std::string name;
+  double distance;
+};
+
+/// Query-by-humming database. Add melodies, Build(), then Query().
+class QbhSystem {
+ public:
+  explicit QbhSystem(QbhOptions options = QbhOptions());
+
+  /// Register a melody. Returns its id. Must be called before Build().
+  std::int64_t AddMelody(Melody melody);
+
+  /// Fit the feature scheme (SVD needs the corpus) and build the index.
+  void Build();
+
+  bool built() const { return engine_ != nullptr; }
+  std::size_t size() const { return melodies_.size(); }
+  const Melody& melody(std::int64_t id) const;
+  const QbhOptions& options() const { return options_; }
+
+  /// Top-k melodies for a hummed pitch series (silent frames tolerated).
+  std::vector<QbhMatch> Query(const Series& hum_pitch, std::size_t top_k,
+                              QueryStats* stats = nullptr) const;
+
+  /// Top-k melodies for raw hum *audio* (mono PCM in [-1,1] at
+  /// `sample_rate`): the paper's §3.1 front end — frame-level pitch tracking
+  /// feeding the time series pipeline.
+  std::vector<QbhMatch> QueryAudio(const Series& pcm, double sample_rate,
+                                   std::size_t top_k,
+                                   QueryStats* stats = nullptr) const;
+
+  /// Rank (1 = best) of melody `target_id` for the hummed query; the quality
+  /// measure of Tables 2 and 3. Full scan, exact.
+  std::size_t RankOf(const Series& hum_pitch, std::int64_t target_id) const;
+
+  /// The normal form the system derives from a hum (exposed for tests and
+  /// diagnostics).
+  Series HumToNormalForm(const Series& hum_pitch) const;
+
+ private:
+  QbhOptions options_;
+  std::vector<Melody> melodies_;
+  std::unique_ptr<DtwQueryEngine> engine_;
+};
+
+}  // namespace humdex

@@ -1,0 +1,174 @@
+#include "qbh/storage.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "music/melody_io.h"
+
+namespace humdex {
+
+namespace {
+
+const char* SchemeName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kNewPaa:
+      return "new_paa";
+    case SchemeKind::kKeoghPaa:
+      return "keogh_paa";
+    case SchemeKind::kDft:
+      return "dft";
+    case SchemeKind::kDwt:
+      return "dwt";
+    case SchemeKind::kSvd:
+      return "svd";
+  }
+  return "new_paa";
+}
+
+bool SchemeFromName(const std::string& name, SchemeKind* out) {
+  if (name == "new_paa") {
+    *out = SchemeKind::kNewPaa;
+  } else if (name == "keogh_paa") {
+    *out = SchemeKind::kKeoghPaa;
+  } else if (name == "dft") {
+    *out = SchemeKind::kDft;
+  } else if (name == "dwt") {
+    *out = SchemeKind::kDwt;
+  } else if (name == "svd") {
+    *out = SchemeKind::kSvd;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* IndexName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kRStarTree:
+      return "rstar";
+    case IndexKind::kGridFile:
+      return "grid";
+    case IndexKind::kLinearScan:
+      return "linear";
+  }
+  return "rstar";
+}
+
+bool IndexFromName(const std::string& name, IndexKind* out) {
+  if (name == "rstar") {
+    *out = IndexKind::kRStarTree;
+  } else if (name == "grid") {
+    *out = IndexKind::kGridFile;
+  } else if (name == "linear") {
+    *out = IndexKind::kLinearScan;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeQbhDatabase(const QbhSystem& system) {
+  const QbhOptions& opt = system.options();
+  std::string out = "humdex-db v1\n";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "option normal_len %zu\n", opt.normal_len);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "option warping_width %.17g\n",
+                opt.warping_width);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "option feature_dim %zu\n", opt.feature_dim);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "option scheme %s\n", SchemeName(opt.scheme));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "option index %s\n", IndexName(opt.index));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "option samples_per_beat %.17g\n",
+                opt.samples_per_beat);
+  out += buf;
+
+  std::vector<Melody> corpus;
+  corpus.reserve(system.size());
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    corpus.push_back(system.melody(static_cast<std::int64_t>(i)));
+  }
+  out += SerializeMelodies(corpus);
+  return out;
+}
+
+Result<QbhSystem> ParseQbhDatabase(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("humdex-db v1", 0) != 0) {
+    return Status::InvalidArgument("missing 'humdex-db v1' header");
+  }
+
+  QbhOptions opt;
+  std::ostringstream rest;
+  bool in_header = true;
+  while (std::getline(in, line)) {
+    if (in_header && line.rfind("option ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string key, value;
+      if (!(fields >> key >> value)) {
+        return Status::InvalidArgument("malformed option line: '" + line + "'");
+      }
+      if (key == "normal_len") {
+        opt.normal_len = static_cast<std::size_t>(std::stoul(value));
+      } else if (key == "warping_width") {
+        opt.warping_width = std::stod(value);
+      } else if (key == "feature_dim") {
+        opt.feature_dim = static_cast<std::size_t>(std::stoul(value));
+      } else if (key == "scheme") {
+        if (!SchemeFromName(value, &opt.scheme)) {
+          return Status::InvalidArgument("unknown scheme '" + value + "'");
+        }
+      } else if (key == "index") {
+        if (!IndexFromName(value, &opt.index)) {
+          return Status::InvalidArgument("unknown index '" + value + "'");
+        }
+      } else if (key == "samples_per_beat") {
+        opt.samples_per_beat = std::stod(value);
+      } else {
+        return Status::InvalidArgument("unknown option '" + key + "'");
+      }
+    } else {
+      in_header = false;
+      rest << line << '\n';
+    }
+  }
+
+  std::vector<Melody> corpus;
+  Status st = ParseMelodies(rest.str(), &corpus);
+  if (!st.ok()) return st;
+  if (corpus.empty()) return Status::InvalidArgument("database has no melodies");
+
+  QbhSystem system(opt);
+  for (Melody& m : corpus) system.AddMelody(std::move(m));
+  system.Build();
+  return system;
+}
+
+Status SaveQbhDatabase(const std::string& path, const QbhSystem& system) {
+  std::string text = SerializeQbhDatabase(system);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot write '" + path + "'");
+  std::size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (wrote != text.size()) return Status::Internal("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Result<QbhSystem> LoadQbhDatabase(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open '" + path + "'");
+  std::string text;
+  char buf[1 << 14];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  return ParseQbhDatabase(text);
+}
+
+}  // namespace humdex

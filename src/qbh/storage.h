@@ -1,0 +1,31 @@
+// Persistence for QBH databases: the melody corpus plus the indexing
+// configuration in one self-describing text file. Loading rebuilds the index
+// (index construction is fast relative to IO at this corpus scale; the
+// melodies are the ground truth worth persisting).
+//
+//   humdex-db v1
+//   option normal_len 128
+//   option warping_width 0.1
+//   ...
+//   melody <name>
+//   ...
+#pragma once
+
+#include <string>
+
+#include "qbh/qbh_system.h"
+#include "util/status.h"
+
+namespace humdex {
+
+/// Serialize a built or unbuilt system's corpus and options.
+std::string SerializeQbhDatabase(const QbhSystem& system);
+
+/// Parse a database and return a *built* QbhSystem.
+Result<QbhSystem> ParseQbhDatabase(const std::string& text);
+
+/// File wrappers.
+Status SaveQbhDatabase(const std::string& path, const QbhSystem& system);
+Result<QbhSystem> LoadQbhDatabase(const std::string& path);
+
+}  // namespace humdex

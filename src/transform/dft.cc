@@ -1,0 +1,33 @@
+#include "transform/dft.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace humdex {
+
+DftTransform::DftTransform(std::size_t input_dim, std::size_t output_dim) {
+  HUMDEX_CHECK(output_dim >= 1 && output_dim <= input_dim);
+  const double n = static_cast<double>(input_dim);
+  const double unit = 1.0 / std::sqrt(n);
+  const double sqrt2 = std::sqrt(2.0);
+
+  Matrix coeffs(output_dim, input_dim);
+  for (std::size_t f = 0; f < output_dim; ++f) {
+    // Feature 0 -> DC real part; feature 2t-1 -> Re bin t; 2t -> Im bin t.
+    std::size_t bin = (f + 1) / 2;
+    bool is_imag = (f != 0) && (f % 2 == 0);
+    // sqrt(2) boost is only valid for bins strictly between 0 and n/2 (their
+    // conjugate twin n-bin carries equal energy).
+    bool boosted = bin >= 1 && 2 * bin < input_dim;
+    double w = unit * (boosted ? sqrt2 : 1.0);
+    for (std::size_t i = 0; i < input_dim; ++i) {
+      double ang = 2.0 * M_PI * static_cast<double>(bin) * static_cast<double>(i) / n;
+      coeffs(f, i) = is_imag ? -w * std::sin(ang) : w * std::cos(ang);
+    }
+  }
+  set_coeffs(std::move(coeffs));
+  set_name("dft");
+}
+
+}  // namespace humdex

@@ -1,0 +1,27 @@
+// Discrete Fourier Transform features. Uses the unitary DFT so that, by
+// Parseval, keeping any subset of bins is lower-bounding. For real input the
+// bins k and n-k are conjugate, so the retained bins k in [1, n/2) get a
+// sqrt(2) boost — tighter, still a lower bound. Feature layout for
+// output_dim = N:
+//   [ Re c_0, sqrt2*Re c_1, sqrt2*Im c_1, sqrt2*Re c_2, sqrt2*Im c_2, ... ]
+// Coefficients have mixed signs (cosines/sines), so the Lemma 3 sign-split
+// envelope applies — this is why DFT envelopes are looser than PAA envelopes
+// at large warping widths (paper §4.3, Fig. 7).
+#pragma once
+
+#include <cstddef>
+
+#include "transform/linear_transform.h"
+
+namespace humdex {
+
+/// DFT feature transform from `input_dim` to `output_dim` real features.
+/// Requires output_dim <= input_dim. output_dim must be odd-free shape-wise:
+/// any value >= 1 works; feature 0 is the DC bin, features 2t-1/2t are the
+/// real/imag parts of bin t.
+class DftTransform : public LinearTransform {
+ public:
+  DftTransform(std::size_t input_dim, std::size_t output_dim);
+};
+
+}  // namespace humdex

@@ -1,0 +1,51 @@
+#include "transform/dwt.h"
+
+#include <cmath>
+
+#include "util/fft.h"
+#include "util/status.h"
+
+namespace humdex {
+
+Series HaarTransform(const Series& x) {
+  const std::size_t n = x.size();
+  HUMDEX_CHECK_MSG(IsPowerOfTwo(n), "Haar transform requires power-of-two length");
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+
+  Series work = x;
+  Series out(n);
+  std::size_t len = n;
+  // Repeatedly split `work[0..len)` into averages and details. Details at
+  // level L occupy out[len/2 .. len).
+  while (len > 1) {
+    std::size_t half = len / 2;
+    Series approx(half);
+    for (std::size_t i = 0; i < half; ++i) {
+      approx[i] = (work[2 * i] + work[2 * i + 1]) * inv_sqrt2;
+      out[half + i] = (work[2 * i] - work[2 * i + 1]) * inv_sqrt2;
+    }
+    for (std::size_t i = 0; i < half; ++i) work[i] = approx[i];
+    len = half;
+  }
+  out[0] = work[0];
+  return out;
+}
+
+DwtTransform::DwtTransform(std::size_t input_dim, std::size_t output_dim) {
+  HUMDEX_CHECK(IsPowerOfTwo(input_dim));
+  HUMDEX_CHECK(output_dim >= 1 && output_dim <= input_dim);
+  // Row f of the coefficient matrix is the Haar transform applied to the f-th
+  // basis vector, i.e. column f of the full transform matrix, transposed.
+  Matrix coeffs(output_dim, input_dim);
+  Series basis(input_dim, 0.0);
+  for (std::size_t i = 0; i < input_dim; ++i) {
+    basis[i] = 1.0;
+    Series h = HaarTransform(basis);
+    for (std::size_t f = 0; f < output_dim; ++f) coeffs(f, i) = h[f];
+    basis[i] = 0.0;
+  }
+  set_coeffs(std::move(coeffs));
+  set_name("dwt");
+}
+
+}  // namespace humdex

@@ -1,0 +1,26 @@
+// Orthonormal Haar Discrete Wavelet Transform features. The full Haar
+// transform is an isometry, so keeping the first `output_dim` coefficients
+// (approximation first, then details coarse-to-fine) is lower-bounding.
+// Coefficients have mixed signs, so Lemma 3 sign-splitting applies to the
+// envelope transform.
+#pragma once
+
+#include <cstddef>
+
+#include "transform/linear_transform.h"
+
+namespace humdex {
+
+/// Haar DWT feature transform. input_dim must be a power of two;
+/// output_dim <= input_dim. Coefficient ordering: [approx at coarsest level,
+/// detail at coarsest, ..., details at finest].
+class DwtTransform : public LinearTransform {
+ public:
+  DwtTransform(std::size_t input_dim, std::size_t output_dim);
+};
+
+/// Full orthonormal Haar transform of x (x.size() a power of two), in the
+/// coarse-to-fine coefficient ordering described above. Exposed for tests.
+Series HaarTransform(const Series& x);
+
+}  // namespace humdex

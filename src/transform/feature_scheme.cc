@@ -1,0 +1,44 @@
+#include "transform/feature_scheme.h"
+
+#include "transform/dft.h"
+#include "transform/dwt.h"
+#include "transform/svd_transform.h"
+#include "util/status.h"
+
+namespace humdex {
+
+LinearScheme::LinearScheme(std::shared_ptr<const LinearTransform> transform,
+                           std::string name)
+    : transform_(std::move(transform)), name_(std::move(name)) {
+  HUMDEX_CHECK(transform_ != nullptr);
+}
+
+KeoghPaaScheme::KeoghPaaScheme(std::size_t input_dim, std::size_t output_dim)
+    : paa_(input_dim, output_dim), name_("keogh_paa") {}
+
+std::shared_ptr<FeatureScheme> MakeNewPaaScheme(std::size_t n, std::size_t dim) {
+  return std::make_shared<LinearScheme>(std::make_shared<PaaTransform>(n, dim),
+                                        "new_paa");
+}
+
+std::shared_ptr<FeatureScheme> MakeKeoghPaaScheme(std::size_t n, std::size_t dim) {
+  return std::make_shared<KeoghPaaScheme>(n, dim);
+}
+
+std::shared_ptr<FeatureScheme> MakeDftScheme(std::size_t n, std::size_t dim) {
+  return std::make_shared<LinearScheme>(std::make_shared<DftTransform>(n, dim),
+                                        "dft");
+}
+
+std::shared_ptr<FeatureScheme> MakeDwtScheme(std::size_t n, std::size_t dim) {
+  return std::make_shared<LinearScheme>(std::make_shared<DwtTransform>(n, dim),
+                                        "dwt");
+}
+
+std::shared_ptr<FeatureScheme> MakeSvdScheme(const std::vector<Series>& corpus,
+                                             std::size_t dim) {
+  return std::make_shared<LinearScheme>(
+      std::make_shared<SvdTransform>(corpus, dim), "svd");
+}
+
+}  // namespace humdex

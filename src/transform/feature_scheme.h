@@ -1,0 +1,86 @@
+// A FeatureScheme bundles a dimensionality-reduction transform with its
+// envelope-reduction rule. The GEMINI engine is parameterized on this
+// interface, so the paper's New_PAA (Lemma 3 averages) and the prior-art
+// Keogh_PAA (per-frame min/max) — as well as DFT/DWT/SVD envelope transforms
+// — are directly interchangeable and comparable.
+//
+// Contract (verified by the property tests):
+//  - Features() is lower-bounding for Euclidean distance;
+//  - ReduceEnvelope() is container-invariant: x inside e implies Features(x)
+//    inside ReduceEnvelope(e).
+// Together these give Theorem 1: no false negatives under DTW.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "transform/linear_transform.h"
+#include "transform/paa.h"
+
+namespace humdex {
+
+/// Transform + envelope reduction policy used by the GEMINI engine.
+class FeatureScheme {
+ public:
+  virtual ~FeatureScheme() = default;
+
+  virtual std::size_t input_dim() const = 0;
+  virtual std::size_t output_dim() const = 0;
+  virtual const std::string& name() const = 0;
+
+  /// Feature vector of a raw series.
+  virtual Series Features(const Series& x) const = 0;
+
+  /// Feature-space envelope containing Features(z) for every z inside e.
+  virtual Envelope ReduceEnvelope(const Envelope& e) const = 0;
+};
+
+/// Scheme wrapping any LinearTransform with its Lemma 3 envelope transform.
+/// With a PaaTransform this is exactly the paper's New_PAA.
+class LinearScheme : public FeatureScheme {
+ public:
+  LinearScheme(std::shared_ptr<const LinearTransform> transform, std::string name);
+
+  std::size_t input_dim() const override { return transform_->input_dim(); }
+  std::size_t output_dim() const override { return transform_->output_dim(); }
+  const std::string& name() const override { return name_; }
+
+  Series Features(const Series& x) const override { return transform_->Apply(x); }
+  Envelope ReduceEnvelope(const Envelope& e) const override {
+    return transform_->ApplyToEnvelope(e);
+  }
+
+ private:
+  std::shared_ptr<const LinearTransform> transform_;
+  std::string name_;
+};
+
+/// Keogh's PAA scheme [13]: PAA features, per-frame min/max envelope
+/// reduction. The baseline New_PAA is measured against.
+class KeoghPaaScheme : public FeatureScheme {
+ public:
+  KeoghPaaScheme(std::size_t input_dim, std::size_t output_dim);
+
+  std::size_t input_dim() const override { return paa_.input_dim(); }
+  std::size_t output_dim() const override { return paa_.output_dim(); }
+  const std::string& name() const override { return name_; }
+
+  Series Features(const Series& x) const override { return paa_.Apply(x); }
+  Envelope ReduceEnvelope(const Envelope& e) const override {
+    return KeoghPaaEnvelope(e, paa_.output_dim());
+  }
+
+ private:
+  PaaTransform paa_;
+  std::string name_;
+};
+
+/// Convenience factories for the schemes used throughout benches/examples.
+std::shared_ptr<FeatureScheme> MakeNewPaaScheme(std::size_t n, std::size_t dim);
+std::shared_ptr<FeatureScheme> MakeKeoghPaaScheme(std::size_t n, std::size_t dim);
+std::shared_ptr<FeatureScheme> MakeDftScheme(std::size_t n, std::size_t dim);
+std::shared_ptr<FeatureScheme> MakeDwtScheme(std::size_t n, std::size_t dim);
+std::shared_ptr<FeatureScheme> MakeSvdScheme(const std::vector<Series>& corpus,
+                                             std::size_t dim);
+
+}  // namespace humdex

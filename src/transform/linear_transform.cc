@@ -1,0 +1,47 @@
+#include "transform/linear_transform.h"
+
+#include "util/status.h"
+
+namespace humdex {
+
+LinearTransform::LinearTransform(Matrix coeffs, std::string name)
+    : coeffs_(std::move(coeffs)), name_(std::move(name)) {}
+
+Series LinearTransform::Apply(const Series& x) const {
+  return coeffs_.MultiplyVector(x);
+}
+
+Envelope LinearTransform::ApplyToEnvelope(const Envelope& e) const {
+  HUMDEX_CHECK(e.size() == input_dim());
+  const std::size_t n = input_dim();
+  const std::size_t out = output_dim();
+  Envelope fe;
+  fe.lower.assign(out, 0.0);
+  fe.upper.assign(out, 0.0);
+  for (std::size_t j = 0; j < out; ++j) {
+    const double* row = coeffs_.Row(j);
+    double up = 0.0, lo = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double a = row[i];
+      if (a >= 0.0) {
+        up += a * e.upper[i];
+        lo += a * e.lower[i];
+      } else {
+        up += a * e.lower[i];
+        lo += a * e.upper[i];
+      }
+    }
+    fe.upper[j] = up;
+    fe.lower[j] = lo;
+  }
+  return fe;
+}
+
+double ReducedDtwLowerBound(const LinearTransform& t, const Series& x,
+                            const Series& y, std::size_t k) {
+  Series fx = t.Apply(x);
+  Envelope fe = t.ApplyToEnvelope(BuildEnvelope(y, k));
+  return DistanceToEnvelope(fx, fe);
+}
+
+}  // namespace humdex

@@ -1,0 +1,73 @@
+// The envelope-transform framework (paper §4.3, Definition 8, Lemma 3,
+// Theorem 1). Any linear dimensionality-reduction transform X = A x extends
+// to a *container-invariant* transform on envelopes by splitting each
+// coefficient by sign:
+//
+//   E^U_j = sum_i ( a_ij >= 0 ?  a_ij * upper_i : a_ij * lower_i )
+//   E^L_j = sum_i ( a_ij >= 0 ?  a_ij * lower_i : a_ij * upper_i )
+//
+// If additionally the transform is lower-bounding for Euclidean distance
+// (true for all transforms in this library: scaling is folded into the
+// coefficients so plain Euclidean distance in feature space lower-bounds the
+// original distance), Theorem 1 gives
+//
+//   D(T(x), T(Env_k(y))) <= D_DTW(k)(x, y)
+//
+// i.e. range queries in feature space have no false negatives under DTW.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "ts/envelope.h"
+#include "ts/time_series.h"
+#include "util/matrix.h"
+
+namespace humdex {
+
+/// A linear, lower-bounding dimensionality-reduction transform together with
+/// its container-invariant extension to envelopes. Concrete transforms (PAA,
+/// DFT, DWT, SVD) construct the coefficient matrix; subclasses may override
+/// Apply with a faster equivalent path.
+class LinearTransform {
+ public:
+  /// `coeffs` is N x n: feature j is the dot product of row j with the input.
+  /// The transform must be lower-bounding: ||A u|| <= ||u|| for all u.
+  /// (Concrete transforms guarantee this by construction; it is validated by
+  /// the property tests, not at runtime.)
+  explicit LinearTransform(Matrix coeffs, std::string name = "linear");
+  virtual ~LinearTransform() = default;
+
+  std::size_t input_dim() const { return coeffs_.cols(); }
+  std::size_t output_dim() const { return coeffs_.rows(); }
+  const std::string& name() const { return name_; }
+  const Matrix& coefficients() const { return coeffs_; }
+
+  /// Feature vector A x. x.size() must equal input_dim().
+  virtual Series Apply(const Series& x) const;
+
+  /// Container-invariant envelope transform (Lemma 3). The result is an
+  /// axis-aligned rectangle in feature space containing T(z) for every z
+  /// inside e.
+  virtual Envelope ApplyToEnvelope(const Envelope& e) const;
+
+ protected:
+  LinearTransform() = default;
+
+  void set_coeffs(Matrix coeffs) { coeffs_ = std::move(coeffs); }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  Matrix coeffs_;
+  std::string name_;
+};
+
+/// Reduced-dimension DTW lower bound via Theorem 1:
+///   D(T(x), T(Env_k(y))).
+/// This is the quantity indexed by the GEMINI engine and measured as
+/// "tightness" in Figures 6 and 7.
+double ReducedDtwLowerBound(const LinearTransform& t, const Series& x,
+                            const Series& y, std::size_t k);
+
+}  // namespace humdex

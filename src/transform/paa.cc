@@ -1,0 +1,86 @@
+#include "transform/paa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace humdex {
+
+PaaTransform::PaaTransform(std::size_t input_dim, std::size_t output_dim) {
+  HUMDEX_CHECK(output_dim >= 1 && input_dim >= output_dim);
+  HUMDEX_CHECK_MSG(input_dim % output_dim == 0,
+                   "PAA requires input_dim divisible by output_dim");
+  frame_ = input_dim / output_dim;
+  scale_ = std::sqrt(static_cast<double>(frame_));
+  // Coefficient a_ji = 1/sqrt(f) for i in frame j: X_j = sqrt(f) * mean_j.
+  Matrix coeffs(output_dim, input_dim);
+  double a = 1.0 / scale_;
+  for (std::size_t j = 0; j < output_dim; ++j) {
+    for (std::size_t i = j * frame_; i < (j + 1) * frame_; ++i) {
+      coeffs(j, i) = a;
+    }
+  }
+  set_coeffs(std::move(coeffs));
+  set_name("paa");
+}
+
+Series PaaTransform::Apply(const Series& x) const {
+  HUMDEX_CHECK(x.size() == input_dim());
+  Series out(output_dim());
+  for (std::size_t j = 0; j < output_dim(); ++j) {
+    double s = 0.0;
+    for (std::size_t i = j * frame_; i < (j + 1) * frame_; ++i) s += x[i];
+    out[j] = s / scale_;
+  }
+  return out;
+}
+
+Envelope PaaTransform::ApplyToEnvelope(const Envelope& e) const {
+  HUMDEX_CHECK(e.size() == input_dim());
+  Envelope fe;
+  fe.lower.resize(output_dim());
+  fe.upper.resize(output_dim());
+  for (std::size_t j = 0; j < output_dim(); ++j) {
+    double su = 0.0, sl = 0.0;
+    for (std::size_t i = j * frame_; i < (j + 1) * frame_; ++i) {
+      su += e.upper[i];
+      sl += e.lower[i];
+    }
+    fe.upper[j] = su / scale_;
+    fe.lower[j] = sl / scale_;
+  }
+  return fe;
+}
+
+Envelope KeoghPaaEnvelope(const Envelope& e, std::size_t output_dim) {
+  const std::size_t n = e.size();
+  HUMDEX_CHECK(output_dim >= 1 && n % output_dim == 0);
+  const std::size_t frame = n / output_dim;
+  const double scale = std::sqrt(static_cast<double>(frame));
+  Envelope fe;
+  fe.lower.resize(output_dim);
+  fe.upper.resize(output_dim);
+  for (std::size_t j = 0; j < output_dim; ++j) {
+    double mx = e.upper[j * frame];
+    double mn = e.lower[j * frame];
+    for (std::size_t i = j * frame; i < (j + 1) * frame; ++i) {
+      mx = std::max(mx, e.upper[i]);
+      mn = std::min(mn, e.lower[i]);
+    }
+    // The piecewise-constant bound max_j must be scaled like a frame of
+    // constant value: its feature is sqrt(f) * value.
+    fe.upper[j] = scale * mx;
+    fe.lower[j] = scale * mn;
+  }
+  return fe;
+}
+
+double KeoghPaaLowerBound(const PaaTransform& paa, const Series& x,
+                          const Series& y, std::size_t k) {
+  Series fx = paa.Apply(x);
+  Envelope fe = KeoghPaaEnvelope(BuildEnvelope(y, k), paa.output_dim());
+  return DistanceToEnvelope(fx, fe);
+}
+
+}  // namespace humdex

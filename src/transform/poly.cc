@@ -1,0 +1,47 @@
+#include "transform/poly.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace humdex {
+
+PolyTransform::PolyTransform(std::size_t input_dim, std::size_t output_dim) {
+  HUMDEX_CHECK(output_dim >= 1 && output_dim <= input_dim);
+  const std::size_t n = input_dim;
+
+  // Stieltjes construction: each new row is t * (previous orthonormal row),
+  // re-orthogonalized against all earlier rows. Numerically stable for far
+  // higher degrees than Gram-Schmidt on raw monomials.
+  Matrix rows(output_dim, n);
+  std::vector<double> t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = n == 1 ? 0.0
+                  : -1.0 + 2.0 * static_cast<double>(i) /
+                               static_cast<double>(n - 1);
+  }
+  for (std::size_t d = 0; d < output_dim; ++d) {
+    for (std::size_t i = 0; i < n; ++i) {
+      rows(d, i) = d == 0 ? 1.0 : t[i] * rows(d - 1, i);
+    }
+    for (std::size_t p = 0; p < d; ++p) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) dot += rows(d, i) * rows(p, i);
+      for (std::size_t i = 0; i < n; ++i) rows(d, i) -= dot * rows(p, i);
+    }
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) norm += rows(d, i) * rows(d, i);
+    norm = std::sqrt(norm);
+    HUMDEX_CHECK_MSG(norm > 1e-12, "degenerate polynomial basis (n too small)");
+    for (std::size_t i = 0; i < n; ++i) rows(d, i) /= norm;
+  }
+  set_coeffs(std::move(rows));
+  set_name("poly");
+}
+
+std::shared_ptr<FeatureScheme> MakePolyScheme(std::size_t n, std::size_t dim) {
+  return std::make_shared<LinearScheme>(std::make_shared<PolyTransform>(n, dim),
+                                        "poly");
+}
+
+}  // namespace humdex

@@ -1,0 +1,27 @@
+// Orthonormal polynomial features (discrete Legendre basis): the first N
+// polynomials orthonormalized over the n sample points. Captures trend and
+// low-order curvature — a classic alternative to DFT/DWT for smooth series —
+// and another instance of the Lemma 3 envelope-transform framework (mixed
+// signs, so the sign-split applies). Lower-bounding because the basis rows
+// are orthonormal.
+#pragma once
+
+#include <memory>
+
+#include "transform/feature_scheme.h"
+#include "transform/linear_transform.h"
+
+namespace humdex {
+
+/// Polynomial feature transform: output_dim orthonormal polynomial rows of
+/// degree 0 .. output_dim-1 over input_dim sample points.
+/// output_dim <= input_dim.
+class PolyTransform : public LinearTransform {
+ public:
+  PolyTransform(std::size_t input_dim, std::size_t output_dim);
+};
+
+/// Factory matching the other schemes (see feature_scheme.h).
+std::shared_ptr<FeatureScheme> MakePolyScheme(std::size_t n, std::size_t dim);
+
+}  // namespace humdex

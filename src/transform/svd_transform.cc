@@ -1,0 +1,22 @@
+#include "transform/svd_transform.h"
+
+#include "util/eigen.h"
+#include "util/status.h"
+
+namespace humdex {
+
+SvdTransform::SvdTransform(const std::vector<Series>& corpus,
+                           std::size_t output_dim) {
+  HUMDEX_CHECK(corpus.size() >= 2);
+  const std::size_t n = corpus[0].size();
+  HUMDEX_CHECK(output_dim >= 1 && output_dim <= n);
+  Matrix data(corpus.size(), n);
+  for (std::size_t r = 0; r < corpus.size(); ++r) {
+    HUMDEX_CHECK(corpus[r].size() == n);
+    for (std::size_t c = 0; c < n; ++c) data(r, c) = corpus[r][c];
+  }
+  set_coeffs(PrincipalComponents(data, output_dim));
+  set_name("svd");
+}
+
+}  // namespace humdex

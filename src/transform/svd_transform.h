@@ -1,0 +1,25 @@
+// Data-adaptive SVD features: projection onto the top principal components
+// of a training corpus. Projection onto an orthonormal basis is a contraction
+// and hence lower-bounding; coefficients have mixed signs so the Lemma 3
+// envelope applies. Optimal for Euclidean distance (warping width 0) but
+// loses to PAA as the width grows (paper Fig. 7).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "transform/linear_transform.h"
+
+namespace humdex {
+
+/// SVD feature transform fit to a corpus.
+class SvdTransform : public LinearTransform {
+ public:
+  /// Fit to `corpus` (all series of equal length n), keeping the top
+  /// `output_dim` principal directions. The projection is applied without
+  /// mean-centering so it stays linear (distances are unaffected by the
+  /// shared offset). corpus must contain at least 2 series.
+  SvdTransform(const std::vector<Series>& corpus, std::size_t output_dim);
+};
+
+}  // namespace humdex

@@ -1,0 +1,127 @@
+#include "ts/band.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ts/dtw.h"
+#include "util/status.h"
+
+namespace humdex {
+
+bool WarpingBand::Valid() const {
+  if (lo.size() != hi.size() || lo.empty()) return false;
+  if (lo.front() != 0) return false;
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    if (lo[i] > hi[i]) return false;
+    if (i > 0 && (lo[i] < lo[i - 1] || hi[i] < hi[i - 1])) return false;
+    // Continuity: consecutive rows must share or abut columns.
+    if (i > 0 && lo[i] > hi[i - 1] + 1) return false;
+  }
+  return true;
+}
+
+WarpingBand WarpingBand::SakoeChiba(std::size_t n, std::size_t m, std::size_t k) {
+  HUMDEX_CHECK(n >= 1 && m >= 1);
+  WarpingBand band;
+  band.lo.resize(n);
+  band.hi.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    band.lo[i] = i > k ? i - k : 0;
+    band.hi[i] = std::min(m - 1, i + k);
+    if (i == n - 1) band.hi[i] = m - 1;  // path must end at (n-1, m-1)
+  }
+  // Ensure the final column is reachable even when |n - m| > k: widen the
+  // tail minimally (callers who want strict bands should check lengths).
+  for (std::size_t i = n; i-- > 1;) {
+    if (band.lo[i] > band.hi[i - 1] + 1) band.lo[i] = band.hi[i - 1] + 1;
+    if (band.lo[i - 1] > band.lo[i]) band.lo[i - 1] = band.lo[i];
+  }
+  return band;
+}
+
+WarpingBand WarpingBand::Itakura(std::size_t n, double slope) {
+  HUMDEX_CHECK(n >= 1);
+  HUMDEX_CHECK(slope > 1.0);
+  WarpingBand band;
+  band.lo.resize(n);
+  band.hi.resize(n);
+  const double last = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    double t = static_cast<double>(i);
+    // From the start: j in [t/slope, t*slope].
+    double lo1 = t / slope;
+    double hi1 = t * slope;
+    // From the end: (last - j) in [(last - t)/slope, (last - t)*slope].
+    double lo2 = last - (last - t) * slope;
+    double hi2 = last - (last - t) / slope;
+    double lo = std::max(lo1, lo2);
+    double hi = std::min(hi1, hi2);
+    band.lo[i] = static_cast<std::size_t>(std::max(0.0, std::ceil(lo - 1e-9)));
+    band.hi[i] = static_cast<std::size_t>(
+        std::min(last, std::floor(hi + 1e-9)));
+    if (band.lo[i] > band.hi[i]) band.lo[i] = band.hi[i];
+  }
+  band.lo.front() = 0;
+  band.hi.front() = std::max(band.hi.front(), band.lo.front());
+  band.hi.back() = n - 1;
+  // Repair any continuity gaps from rounding.
+  for (std::size_t i = 1; i < n; ++i) {
+    if (band.lo[i] > band.hi[i - 1] + 1) band.lo[i] = band.hi[i - 1] + 1;
+    if (band.hi[i] < band.hi[i - 1]) band.hi[i] = band.hi[i - 1];
+  }
+  return band;
+}
+
+double BandedDtwDistance(const Series& x, const Series& y,
+                         const WarpingBand& band) {
+  HUMDEX_CHECK(x.size() == band.rows());
+  HUMDEX_CHECK(!y.empty());
+  HUMDEX_CHECK(band.cols() <= y.size());
+  const std::size_t n = x.size(), m = y.size();
+  HUMDEX_CHECK_MSG(band.hi.back() == m - 1, "band does not reach the last column");
+
+  std::vector<double> prev(m, kInfiniteDistance), cur(m, kInfiniteDistance);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t jlo = band.lo[i], jhi = band.hi[i];
+    std::size_t clear_lo = jlo > 0 ? jlo - 1 : 0;
+    for (std::size_t j = clear_lo; j <= jhi; ++j) cur[j] = kInfiniteDistance;
+    for (std::size_t j = jlo; j <= jhi; ++j) {
+      double d = x[i] - y[j];
+      double cost = d * d;
+      double best;
+      if (i == 0 && j == 0) {
+        best = 0.0;
+      } else {
+        best = kInfiniteDistance;
+        if (i > 0) best = std::min(best, prev[j]);
+        if (j > 0) best = std::min(best, cur[j - 1]);
+        if (i > 0 && j > 0) best = std::min(best, prev[j - 1]);
+      }
+      cur[j] = best == kInfiniteDistance ? kInfiniteDistance : cost + best;
+    }
+    std::swap(prev, cur);
+  }
+  double sq = prev[m - 1];
+  return std::isinf(sq) ? kInfiniteDistance : std::sqrt(sq);
+}
+
+Envelope BandEnvelope(const Series& y, const WarpingBand& band) {
+  HUMDEX_CHECK(!y.empty());
+  HUMDEX_CHECK(band.cols() <= y.size());
+  const std::size_t n = band.rows();
+  Envelope e;
+  e.lower.resize(n);
+  e.upper.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double mn = y[band.lo[i]], mx = y[band.lo[i]];
+    for (std::size_t j = band.lo[i]; j <= band.hi[i]; ++j) {
+      mn = std::min(mn, y[j]);
+      mx = std::max(mx, y[j]);
+    }
+    e.lower[i] = mn;
+    e.upper[i] = mx;
+  }
+  return e;
+}
+
+}  // namespace humdex

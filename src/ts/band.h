@@ -1,0 +1,54 @@
+// Generalized warping bands. The paper uses the Sakoe-Chiba band (a constant
+// radius k, §4.2) and notes that "other similar constraints are also
+// discussed in [13]" — the best known being the Itakura parallelogram. This
+// module generalizes LDTW and the envelope construction to an arbitrary
+// per-row band, so every result in the library (Lemma 2, Lemma 3, Theorem 1)
+// applies to any band shape: the k-envelope simply becomes a band envelope.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ts/envelope.h"
+#include "ts/time_series.h"
+
+namespace humdex {
+
+/// A warping band for aligning an n-series against an m-series: row i may
+/// align with columns j in [lo[i], hi[i]] (inclusive). Invariants: lo and hi
+/// are non-decreasing, lo[i] <= hi[i], row 0 starts at column 0, the last
+/// row ends at column m-1.
+struct WarpingBand {
+  std::vector<std::size_t> lo;
+  std::vector<std::size_t> hi;
+
+  std::size_t rows() const { return lo.size(); }
+
+  /// Column count implied by the band (hi of the last row + 1).
+  std::size_t cols() const { return lo.empty() ? 0 : hi.back() + 1; }
+
+  /// Checks the structural invariants above.
+  bool Valid() const;
+
+  /// The paper's constant-radius band: |i - j| <= k over an n x m grid.
+  static WarpingBand SakoeChiba(std::size_t n, std::size_t m, std::size_t k);
+
+  /// The Itakura parallelogram over an n x n grid: path slope constrained to
+  /// [1/slope, slope], slope > 1 (classically 2.0). Pinched at both ends,
+  /// widest in the middle.
+  static WarpingBand Itakura(std::size_t n, double slope = 2.0);
+};
+
+/// DTW distance constrained to an arbitrary band. Lengths must match the
+/// band's rows()/cols(). Returns kInfiniteDistance when the band admits no
+/// path (cannot happen for a Valid() band).
+double BandedDtwDistance(const Series& x, const Series& y, const WarpingBand& band);
+
+/// Band envelope of y: upper[i] = max of y over band row i, lower[i] = min.
+/// With SakoeChiba(n, n, k) this is exactly BuildEnvelope(y, k); with any
+/// band, D(x, BandEnvelope(y, band)) <= BandedDtwDistance(x, y, band) — the
+/// band generalization of Lemma 2, feeding the same container-invariant
+/// transforms (Theorem 1 unchanged).
+Envelope BandEnvelope(const Series& y, const WarpingBand& band);
+
+}  // namespace humdex

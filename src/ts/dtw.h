@@ -1,0 +1,68 @@
+// Dynamic Time Warping distances (paper §4):
+//   - full DTW (Definition 1), O(nm) dynamic programming;
+//   - Uniform Time Warping (Definition 2), the diagonal-path special case;
+//   - k-Local DTW (Definition 4), a Sakoe-Chiba band, O(kn);
+//   - the paper's combined DTW (Definition 5): LDTW between UTW normal forms.
+//
+// All distances are Euclidean-style: sqrt of the summed squared alignment
+// costs. Squared variants are exposed where the extra sqrt matters.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace humdex {
+
+/// Alignment produced by a DTW computation: (i, j) index pairs, monotone and
+/// continuous per the path constraints in §4.
+using WarpingPath = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/// Sentinel for "no path satisfies the constraint".
+inline constexpr double kInfiniteDistance = std::numeric_limits<double>::infinity();
+
+/// Full (unconstrained) DTW distance, Definition 1. O(nm) time, O(min(n,m))
+/// space. Inputs must be non-empty.
+double DtwDistance(const Series& x, const Series& y);
+
+/// Squared full DTW distance.
+double SquaredDtwDistance(const Series& x, const Series& y);
+
+/// k-Local DTW distance (Definition 4): cells with |i - j| > k cost infinity.
+/// Returns kInfiniteDistance when no path fits in the band (possible when the
+/// lengths differ by more than k). O(k * max(n,m)) time.
+double LdtwDistance(const Series& x, const Series& y, std::size_t k);
+
+/// Squared k-Local DTW distance.
+double SquaredLdtwDistance(const Series& x, const Series& y, std::size_t k);
+
+/// Uniform Time Warping distance (Definition 2):
+///   D^2_UTW(x, y) = D^2(U_m(x), U_n(y)) / (mn).
+/// Computed without materializing the length-mn upsampled series.
+double UtwDistance(const Series& x, const Series& y);
+
+/// The paper's combined DTW (Definition 5): stretch both series to
+/// `normal_len` (UTW normal form), then banded LDTW with band radius k.
+double DtwNormalFormDistance(const Series& x, const Series& y,
+                             std::size_t normal_len, std::size_t k);
+
+/// Band radius for a warping width delta = (2k+1)/n (paper §4.2).
+std::size_t BandRadiusForWidth(double delta, std::size_t n);
+
+/// Warping width delta for a band radius k.
+double WidthForBandRadius(std::size_t k, std::size_t n);
+
+/// Full DTW with path recovery. Costlier (O(nm) space); intended for
+/// diagnostics and tests. The path runs from (0,0) to (n-1,m-1).
+double DtwDistanceWithPath(const Series& x, const Series& y, WarpingPath* path);
+
+/// LDTW with early abandoning: returns kInfiniteDistance as soon as every
+/// cell of a DP row exceeds `threshold` (squared-space comparison), which is
+/// exact for range queries "distance <= threshold".
+double LdtwDistanceEarlyAbandon(const Series& x, const Series& y, std::size_t k,
+                                double threshold);
+
+}  // namespace humdex

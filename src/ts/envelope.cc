@@ -1,0 +1,72 @@
+#include "ts/envelope.h"
+
+#include <cmath>
+#include <deque>
+
+#include "util/status.h"
+
+namespace humdex {
+
+bool Envelope::Contains(const Series& x, double eps) const {
+  if (x.size() != lower.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < lower[i] - eps || x[i] > upper[i] + eps) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Sliding-window extremum over window [i-k, i+k] via monotonic deque.
+// cmp(a, b) true means a should evict b from the back of the deque.
+template <typename Cmp>
+Series SlidingExtremum(const Series& x, std::size_t k, Cmp cmp) {
+  const std::size_t n = x.size();
+  Series out(n);
+  std::deque<std::size_t> dq;  // indices, extremum at front
+  // Window for position i covers [i-k, i+k]; process arrival of index j and
+  // emit position i = j - k once j >= k.
+  for (std::size_t j = 0; j < n + k; ++j) {
+    if (j < n) {
+      while (!dq.empty() && !cmp(x[dq.back()], x[j])) dq.pop_back();
+      dq.push_back(j);
+    }
+    if (j >= k) {
+      std::size_t i = j - k;
+      while (!dq.empty() && dq.front() + k < i) dq.pop_front();
+      out[i] = x[dq.front()];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Envelope BuildEnvelope(const Series& x, std::size_t k) {
+  HUMDEX_CHECK(!x.empty());
+  Envelope e;
+  e.upper = SlidingExtremum(x, k, [](double a, double b) { return a > b; });
+  e.lower = SlidingExtremum(x, k, [](double a, double b) { return a < b; });
+  return e;
+}
+
+double SquaredDistanceToEnvelope(const Series& x, const Envelope& e) {
+  HUMDEX_CHECK(x.size() == e.lower.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double d = 0.0;
+    if (x[i] > e.upper[i]) {
+      d = x[i] - e.upper[i];
+    } else if (x[i] < e.lower[i]) {
+      d = e.lower[i] - x[i];
+    }
+    s += d * d;
+  }
+  return s;
+}
+
+double DistanceToEnvelope(const Series& x, const Envelope& e) {
+  return std::sqrt(SquaredDistanceToEnvelope(x, e));
+}
+
+}  // namespace humdex

@@ -1,0 +1,37 @@
+// k-Envelopes (paper Definition 6) and the series-to-envelope distance
+// (Definition 7), which is Keogh's LB for banded DTW (Lemma 2).
+#pragma once
+
+#include <cstddef>
+
+#include "ts/time_series.h"
+
+namespace humdex {
+
+/// Upper/lower running-extremum envelope of a series. Invariant:
+/// lower[i] <= upper[i] for all i, and a series is "inside" its own envelope.
+struct Envelope {
+  Series lower;
+  Series upper;
+
+  std::size_t size() const { return lower.size(); }
+
+  /// True iff lower[i] <= x[i] <= upper[i] for all i (within +/- eps).
+  bool Contains(const Series& x, double eps = 1e-12) const;
+};
+
+/// Build the k-envelope (Definition 6):
+///   upper[i] = max_{|j| <= k} x[i+j],  lower[i] = min_{|j| <= k} x[i+j],
+/// with window indices clamped to [0, n). Runs in O(n) using the
+/// Lemire ascending-minima algorithm, so large k costs the same as small k.
+Envelope BuildEnvelope(const Series& x, std::size_t k);
+
+/// Distance between a series and an envelope (Definition 7):
+///   min over all z inside e of D(x, z)
+/// which evaluates pointwise to the clamp distance. Lengths must match.
+double DistanceToEnvelope(const Series& x, const Envelope& e);
+
+/// Squared version of DistanceToEnvelope.
+double SquaredDistanceToEnvelope(const Series& x, const Envelope& e);
+
+}  // namespace humdex

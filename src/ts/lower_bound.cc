@@ -1,0 +1,47 @@
+#include "ts/lower_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace humdex {
+
+double LbYi(const Series& x, const Series& y) {
+  HUMDEX_CHECK(!x.empty() && !y.empty());
+  double lo = SeriesMin(y), hi = SeriesMax(y);
+  double s = 0.0;
+  for (double v : x) {
+    double d = 0.0;
+    if (v > hi) {
+      d = v - hi;
+    } else if (v < lo) {
+      d = lo - v;
+    }
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double LbYiSymmetric(const Series& x, const Series& y) {
+  return std::max(LbYi(x, y), LbYi(y, x));
+}
+
+double LbKim(const Series& x, const Series& y) {
+  HUMDEX_CHECK(!x.empty() && !y.empty());
+  double d_first = std::fabs(x.front() - y.front());
+  double d_last = std::fabs(x.back() - y.back());
+  double d_max = std::fabs(SeriesMax(x) - SeriesMax(y));
+  double d_min = std::fabs(SeriesMin(x) - SeriesMin(y));
+  return std::max({d_first, d_last, d_max, d_min});
+}
+
+double LbKeogh(const Series& x, const Series& y, std::size_t k) {
+  return DistanceToEnvelope(x, BuildEnvelope(y, k));
+}
+
+double LbKeogh(const Series& x, const Envelope& env_y) {
+  return DistanceToEnvelope(x, env_y);
+}
+
+}  // namespace humdex

@@ -1,0 +1,36 @@
+// Raw-space lower bounds for DTW: the global bound of Yi et al. [33], the
+// constant-space Kim bound, and Keogh's envelope bound (Lemma 2). The
+// reduced-dimension bounds (Keogh_PAA / New_PAA / DFT / SVD) live in
+// src/transform since they require the envelope-transform machinery.
+#pragma once
+
+#include <cstddef>
+
+#include "ts/envelope.h"
+#include "ts/time_series.h"
+
+namespace humdex {
+
+/// Yi et al.'s global lower bound for (unconstrained and banded) DTW: every
+/// point of x that lies outside [min(y), max(y)] must pay at least its excess.
+/// Equivalent to LbKeogh with k = infinity; uses only 2 values of y.
+double LbYi(const Series& x, const Series& y);
+
+/// Symmetric Yi bound: max of LbYi(x, y) and LbYi(y, x). Still a lower bound
+/// of DTW because DTW is symmetric.
+double LbYiSymmetric(const Series& x, const Series& y);
+
+/// Kim-style constant-time bound: first and last elements of any warping path
+/// are aligned, so |x_0 - y_0| and |x_{n-1} - y_{m-1}| each lower-bound DTW,
+/// as do the differences of the global extrema.
+double LbKim(const Series& x, const Series& y);
+
+/// Keogh's envelope lower bound (Lemma 2): distance from x to the k-envelope
+/// of y. Lengths must match. This is the tightest raw-space bound and is the
+/// paper's "LB" curve in Figures 6 and 7.
+double LbKeogh(const Series& x, const Series& y, std::size_t k);
+
+/// LbKeogh against a precomputed envelope of y.
+double LbKeogh(const Series& x, const Envelope& env_y);
+
+}  // namespace humdex

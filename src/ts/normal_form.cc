@@ -1,0 +1,39 @@
+#include "ts/normal_form.h"
+
+#include "util/status.h"
+
+namespace humdex {
+
+Series SubtractMean(const Series& x) {
+  Series out = x;
+  double m = SeriesMean(x);
+  for (double& v : out) v -= m;
+  return out;
+}
+
+Series Upsample(const Series& x, std::size_t w) {
+  HUMDEX_CHECK(w >= 1);
+  Series out;
+  out.reserve(x.size() * w);
+  for (double v : x) {
+    for (std::size_t i = 0; i < w; ++i) out.push_back(v);
+  }
+  return out;
+}
+
+Series UtwNormalForm(const Series& x, std::size_t target_len) {
+  HUMDEX_CHECK(!x.empty());
+  HUMDEX_CHECK(target_len >= 1);
+  const std::size_t n = x.size();
+  Series out(target_len);
+  for (std::size_t i = 0; i < target_len; ++i) {
+    out[i] = x[i * n / target_len];
+  }
+  return out;
+}
+
+Series NormalForm(const Series& x, std::size_t target_len) {
+  return SubtractMean(UtwNormalForm(x, target_len));
+}
+
+}  // namespace humdex

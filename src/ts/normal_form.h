@@ -1,0 +1,30 @@
+// Normal forms (paper §3.3, §4.1): the transformations that make melody
+// matching invariant to absolute pitch (shift) and tempo (uniform time
+// warping). The system's similarity measure is banded LDTW between normal
+// forms of fixed length.
+#pragma once
+
+#include <cstddef>
+
+#include "ts/time_series.h"
+
+namespace humdex {
+
+/// Shift normal form: subtract the mean so absolute pitch is ignored
+/// (paper §3.3 item 1). Empty input yields empty output.
+Series SubtractMean(const Series& x);
+
+/// w-upsample (Definition 3): repeat every value w times. w must be >= 1.
+Series Upsample(const Series& x, std::size_t w);
+
+/// UTW normal form (paper §4.1): piecewise-constant stretch of `x` to exactly
+/// `target_len` samples. Element i of the result is x[floor(i*n/target_len)],
+/// which equals Definition 3 upsampling whenever target_len is a multiple of
+/// n. x must be non-empty; target_len >= 1.
+Series UtwNormalForm(const Series& x, std::size_t target_len);
+
+/// Full normal form used by the humming system: UTW stretch to `target_len`
+/// followed by mean subtraction. Invariant to shifting and uniform tempo.
+Series NormalForm(const Series& x, std::size_t target_len);
+
+}  // namespace humdex

@@ -1,0 +1,56 @@
+#include "ts/smoothing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace humdex {
+
+Series MovingAverage(const Series& x, std::size_t half) {
+  if (half == 0 || x.empty()) return x;
+  const std::size_t n = x.size();
+  // Prefix sums for O(n) total.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + x[i];
+  Series out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t lo = i >= half ? i - half : 0;
+    std::size_t hi = std::min(n - 1, i + half);
+    out[i] = (prefix[hi + 1] - prefix[lo]) / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+Series ExponentialSmooth(const Series& x, double alpha) {
+  HUMDEX_CHECK(alpha > 0.0 && alpha <= 1.0);
+  Series out(x.size());
+  if (x.empty()) return out;
+  out[0] = x[0];
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    out[i] = alpha * x[i] + (1.0 - alpha) * out[i - 1];
+  }
+  return out;
+}
+
+Series ZNormalize(const Series& x) {
+  if (x.empty()) return x;
+  double mean = SeriesMean(x);
+  double var = 0.0;
+  for (double v : x) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(x.size());
+  double sd = std::sqrt(var);
+  Series out(x.size());
+  if (sd < 1e-12) return out;  // constant series -> zeros
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = (x[i] - mean) / sd;
+  return out;
+}
+
+Series Difference(const Series& x) {
+  if (x.size() < 2) return {};
+  Series out(x.size() - 1);
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) out[i] = x[i + 1] - x[i];
+  return out;
+}
+
+}  // namespace humdex

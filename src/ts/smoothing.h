@@ -1,0 +1,32 @@
+// Series transformations from the similarity-query literature the paper
+// builds on (Rafiei-Mendelzon [25]; Goldin-Kanellakis normal forms [9]):
+// moving average, exponential smoothing, and the shift-and-scale (z-score)
+// normal form. The QBH system itself needs only the shift normal form —
+// transposition is a pitch *shift*, not a scale — but downstream users of the
+// DTW index (finance, sensors) routinely need these.
+#pragma once
+
+#include <cstddef>
+
+#include "ts/time_series.h"
+
+namespace humdex {
+
+/// Centered moving average with window 2*half+1 (window clipped at the
+/// edges). half = 0 returns the input unchanged.
+Series MovingAverage(const Series& x, std::size_t half);
+
+/// Exponential smoothing: y[0] = x[0], y[i] = alpha*x[i] + (1-alpha)*y[i-1].
+/// alpha in (0, 1].
+Series ExponentialSmooth(const Series& x, double alpha);
+
+/// Shift-and-scale normal form: (x - mean) / stddev. A constant series maps
+/// to all zeros. Matching z-normalized series is invariant to any affine
+/// transform of the values.
+Series ZNormalize(const Series& x);
+
+/// First differences: y[i] = x[i+1] - x[i] (length n-1). The series analogue
+/// of melodic intervals — shift-invariant by construction.
+Series Difference(const Series& x);
+
+}  // namespace humdex

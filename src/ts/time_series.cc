@@ -1,0 +1,51 @@
+#include "ts/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace humdex {
+
+double SquaredEuclideanDistance(const Series& x, const Series& y) {
+  HUMDEX_CHECK(x.size() == y.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double d = x[i] - y[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double EuclideanDistance(const Series& x, const Series& y) {
+  return std::sqrt(SquaredEuclideanDistance(x, y));
+}
+
+double LpDistance(const Series& x, const Series& y, double p) {
+  HUMDEX_CHECK(x.size() == y.size());
+  HUMDEX_CHECK(p >= 1.0);
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    s += std::pow(std::fabs(x[i] - y[i]), p);
+  }
+  return std::pow(s, 1.0 / p);
+}
+
+double SeriesMean(const Series& x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double SeriesMin(const Series& x) {
+  HUMDEX_CHECK(!x.empty());
+  return *std::min_element(x.begin(), x.end());
+}
+
+double SeriesMax(const Series& x) {
+  HUMDEX_CHECK(!x.empty());
+  return *std::max_element(x.begin(), x.end());
+}
+
+}  // namespace humdex

@@ -1,0 +1,34 @@
+// Time series fundamentals: the Series type and point-to-point distances.
+//
+// A time series is a plain std::vector<double>; pitch series, melody series
+// and feature vectors all share this representation so the transform and
+// index layers compose without adapters.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace humdex {
+
+/// A time series (or feature vector): ordered real values at uniform spacing.
+using Series = std::vector<double>;
+
+/// Euclidean (L2) distance. Lengths must match.
+double EuclideanDistance(const Series& x, const Series& y);
+
+/// Squared Euclidean distance. Lengths must match.
+double SquaredEuclideanDistance(const Series& x, const Series& y);
+
+/// Lp distance for p >= 1. Lengths must match.
+double LpDistance(const Series& x, const Series& y, double p);
+
+/// Arithmetic mean of the series; 0 for an empty series.
+double SeriesMean(const Series& x);
+
+/// Minimum element. Series must be non-empty.
+double SeriesMin(const Series& x);
+
+/// Maximum element. Series must be non-empty.
+double SeriesMax(const Series& x);
+
+}  // namespace humdex

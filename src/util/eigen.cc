@@ -1,0 +1,115 @@
+#include "util/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace humdex {
+
+EigenDecomposition SymmetricEigen(const Matrix& a_in, int max_sweeps) {
+  const std::size_t n = a_in.rows();
+  HUMDEX_CHECK(a_in.cols() == n);
+  Matrix a = a_in;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      HUMDEX_CHECK_MSG(std::fabs(a(i, j) - a(j, i)) < 1e-8, "matrix not symmetric");
+    }
+  }
+
+  Matrix v = Matrix::Identity(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-24) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double apq = a(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        double app = a(p, p), aqq = a(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort by descending eigenvalue; v's columns are eigenvectors.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.eigenvalues[i] = diag[order[i]];
+    for (std::size_t k = 0; k < n; ++k) out.eigenvectors(i, k) = v(k, order[i]);
+  }
+  return out;
+}
+
+Matrix PrincipalComponents(const Matrix& data, std::size_t k) {
+  const std::size_t rows = data.rows();
+  const std::size_t dims = data.cols();
+  HUMDEX_CHECK(k <= dims);
+  HUMDEX_CHECK(rows >= 2);
+
+  std::vector<double> mean(dims, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < dims; ++c) mean[c] += data(r, c);
+  }
+  for (double& m : mean) m /= static_cast<double>(rows);
+
+  Matrix cov(dims, dims);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < dims; ++i) {
+      double di = data(r, i) - mean[i];
+      if (di == 0.0) continue;
+      for (std::size_t j = i; j < dims; ++j) {
+        cov(i, j) += di * (data(r, j) - mean[j]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < dims; ++i) {
+    for (std::size_t j = i; j < dims; ++j) {
+      double c = cov(i, j) / static_cast<double>(rows - 1);
+      cov(i, j) = c;
+      cov(j, i) = c;
+    }
+  }
+
+  EigenDecomposition eig = SymmetricEigen(cov);
+  Matrix basis(k, dims);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < dims; ++j) basis(i, j) = eig.eigenvectors(i, j);
+  }
+  return basis;
+}
+
+}  // namespace humdex

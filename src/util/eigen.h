@@ -1,0 +1,30 @@
+// Symmetric eigendecomposition (cyclic Jacobi) and a principal-component
+// helper built on it. Used by the SVD dimensionality-reduction transform:
+// the top-N eigenvectors of the data covariance matrix are the SVD basis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace humdex {
+
+/// Eigenvalues (descending) and matching unit eigenvectors (rows of
+/// `eigenvectors`) of a symmetric matrix.
+struct EigenDecomposition {
+  std::vector<double> eigenvalues;
+  Matrix eigenvectors;  // row i is the eigenvector for eigenvalues[i]
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix. `a` must be square
+/// and symmetric (checked up to a tolerance). Converges to machine precision
+/// for the small (<= a few hundred) dimensions we use.
+EigenDecomposition SymmetricEigen(const Matrix& a, int max_sweeps = 64);
+
+/// Top-`k` principal component directions of `data` (rows = observations),
+/// computed about the column means. Returns a k x dims matrix whose rows are
+/// orthonormal. k must not exceed dims.
+Matrix PrincipalComponents(const Matrix& data, std::size_t k);
+
+}  // namespace humdex

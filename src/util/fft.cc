@@ -1,0 +1,68 @@
+#include "util/fft.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace humdex {
+
+bool IsPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void Fft(std::vector<Complex>* data, bool inverse) {
+  std::vector<Complex>& a = *data;
+  const std::size_t n = a.size();
+  HUMDEX_CHECK_MSG(IsPowerOfTwo(n), "Fft requires power-of-two length");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    double ang = 2.0 * M_PI / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        Complex u = a[i + k];
+        Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<Complex> RealFft(const std::vector<double>& x) {
+  std::vector<Complex> a(x.begin(), x.end());
+  Fft(&a, /*inverse=*/false);
+  return a;
+}
+
+std::vector<Complex> InverseFft(std::vector<Complex> x) {
+  const std::size_t n = x.size();
+  Fft(&x, /*inverse=*/true);
+  for (Complex& c : x) c /= static_cast<double>(n);
+  return x;
+}
+
+std::vector<Complex> NaiveDft(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex s(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      double ang = -2.0 * M_PI * static_cast<double>(j) * static_cast<double>(k) /
+                   static_cast<double>(n);
+      s += x[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = s;
+  }
+  return out;
+}
+
+}  // namespace humdex

@@ -1,0 +1,32 @@
+// Fast Fourier Transform used by the DFT feature transform and its tests.
+// Radix-2 Cooley-Tukey for power-of-two lengths; a reference O(n^2) DFT is
+// exposed for arbitrary lengths and for testing the fast path.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace humdex {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 FFT. data.size() must be a power of two.
+/// When inverse is true computes the unscaled inverse transform; divide by n
+/// yourself (InverseFft does this for you).
+void Fft(std::vector<Complex>* data, bool inverse = false);
+
+/// Forward FFT of a real sequence (power-of-two length), unnormalized:
+/// X_k = sum_j x_j e^{-2 pi i jk / n}.
+std::vector<Complex> RealFft(const std::vector<double>& x);
+
+/// Inverse FFT returning a complex sequence scaled by 1/n.
+std::vector<Complex> InverseFft(std::vector<Complex> x);
+
+/// Reference O(n^2) DFT for any length (unnormalized, forward).
+std::vector<Complex> NaiveDft(const std::vector<double>& x);
+
+/// True iff n is a nonzero power of two.
+bool IsPowerOfTwo(std::size_t n);
+
+}  // namespace humdex

@@ -1,0 +1,68 @@
+#include "util/matrix.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace humdex {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  HUMDEX_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      const double* brow = other.Row(k);
+      double* orow = out.Row(r);
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        orow[c] += a * brow[c];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
+  HUMDEX_CHECK(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += row[c] * v[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  HUMDEX_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      m = std::max(m, std::fabs(a(r, c) - b(r, c)));
+    }
+  }
+  return m;
+}
+
+}  // namespace humdex

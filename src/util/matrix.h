@@ -1,0 +1,47 @@
+// Minimal dense row-major matrix used by the SVD transform and the linear
+// envelope-transform framework. Not a general linear-algebra library: only the
+// operations the indexing math needs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace humdex {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Raw pointer to row r (cols() contiguous doubles).
+  const double* Row(std::size_t r) const { return data_.data() + r * cols_; }
+  double* Row(std::size_t r) { return data_.data() + r * cols_; }
+
+  Matrix Transposed() const;
+
+  /// this * other. Dimensions must agree (checked).
+  Matrix Multiply(const Matrix& other) const;
+
+  /// this * v for a column vector v of size cols().
+  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+  /// Identity matrix of size n.
+  static Matrix Identity(std::size_t n);
+
+  /// Max |a_ij - b_ij|; matrices must have equal shape.
+  static double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace humdex

@@ -1,0 +1,82 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace humdex {
+
+namespace {
+constexpr std::uint64_t kPcgMultiplier = 6364136223846793005ULL;
+constexpr std::uint64_t kDefaultStream = 1442695040888963407ULL;
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : state_(0), inc_(kDefaultStream | 1ULL) {
+  // Standard PCG32 seeding sequence.
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+std::uint32_t Rng::NextU32() {
+  std::uint64_t old = state_;
+  state_ = old * kPcgMultiplier + inc_;
+  std::uint32_t xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Rng::NextBounded(std::uint32_t bound) {
+  HUMDEX_CHECK(bound > 0);
+  // Debiased modulo (Lemire-style threshold rejection).
+  std::uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    std::uint32_t r = NextU32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0,1).
+  std::uint64_t hi = NextU32();
+  std::uint64_t lo = NextU32();
+  std::uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) { return mean + stddev * Gaussian(); }
+
+int Rng::UniformInt(int lo, int hi) {
+  HUMDEX_CHECK(lo <= hi);
+  return lo + static_cast<int>(
+                  NextBounded(static_cast<std::uint32_t>(hi - lo + 1)));
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork(std::uint64_t salt) {
+  std::uint64_t child_seed = state_ ^ (salt * 0x9e3779b97f4a7c15ULL);
+  NextU32();  // advance parent so successive forks differ
+  return Rng(child_seed);
+}
+
+}  // namespace humdex

@@ -1,0 +1,43 @@
+// Descriptive statistics over double sequences, used by benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace humdex {
+
+/// Incremental mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& v);
+
+/// Sample standard deviation (n-1); 0 for fewer than two samples.
+double Stddev(const std::vector<double>& v);
+
+/// Linear-interpolated percentile, p in [0,100]. Input need not be sorted.
+double Percentile(std::vector<double> v, double p);
+
+/// Median convenience wrapper.
+double Median(std::vector<double> v);
+
+}  // namespace humdex

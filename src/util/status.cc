@@ -1,0 +1,40 @@
+#include "util/status.h"
+
+namespace humdex {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Status::Code::kNotFound:
+      return "NOT_FOUND";
+    case Status::Code::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case Status::Code::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case Status::Code::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+void CheckFailed(const char* file, int line, const char* expr, const char* msg) {
+  std::fprintf(stderr, "HUMDEX_CHECK failed at %s:%d: %s %s\n", file, line, expr, msg);
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace humdex

@@ -1,0 +1,120 @@
+// Status / Result error handling, in the RocksDB idiom: fallible operations
+// return a Status (or Result<T>); programming errors abort via HUMDEX_CHECK.
+// No exceptions cross the public API.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace humdex {
+
+/// Outcome of a fallible operation. Cheap to copy when OK.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kFailedPrecondition,
+    kInternal,
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string, "OK" when ok().
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// A value or the Status explaining why there is none.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {}    // NOLINT: implicit by design
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return value_;
+  }
+  T& value() & {
+    CheckOk();
+    return value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(value_);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n", status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  T value_{};
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const char* msg);
+}  // namespace internal
+
+}  // namespace humdex
+
+/// Abort with a diagnostic when `cond` is false. For programming errors only.
+#define HUMDEX_CHECK(cond)                                                \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::humdex::internal::CheckFailed(__FILE__, __LINE__, #cond, "");     \
+    }                                                                     \
+  } while (0)
+
+#define HUMDEX_CHECK_MSG(cond, msg)                                      \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::humdex::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                    \
+  } while (0)
+
+/// Propagate a non-OK Status to the caller.
+#define HUMDEX_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::humdex::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audio/pitch_detect.h"
+#include "audio/synth.h"
+#include "music/hummer.h"
+#include "music/pitch_tracker.h"
+#include "ts/time_series.h"
+
+namespace humdex {
+namespace {
+
+Series ConstantPitchFrames(double midi, std::size_t frames) {
+  return Series(frames, midi);
+}
+
+TEST(MidiHzTest, ReferencePitches) {
+  EXPECT_NEAR(MidiToHz(69), 440.0, 1e-9);         // A4
+  EXPECT_NEAR(MidiToHz(57), 220.0, 1e-9);         // A3
+  EXPECT_NEAR(MidiToHz(60), 261.6256, 1e-3);      // C4
+  EXPECT_NEAR(HzToMidi(440.0), 69.0, 1e-12);
+  EXPECT_NEAR(HzToMidi(MidiToHz(64.37)), 64.37, 1e-9);
+}
+
+TEST(SynthTest, OutputLengthMatchesFrames) {
+  SynthOptions opt;
+  Series audio = SynthesizeHum(ConstantPitchFrames(60, 50), opt);
+  // 50 frames at 100 fps = 0.5s at 8000 Hz = 4000 samples.
+  EXPECT_EQ(audio.size(), 4000u);
+}
+
+TEST(SynthTest, VoicedAudioHasEnergySilenceDoesNot) {
+  SynthOptions opt;
+  opt.breath_noise = 0.0;
+  Series voiced = SynthesizeHum(ConstantPitchFrames(60, 30), opt);
+  double energy = 0.0;
+  for (double v : voiced) energy += v * v;
+  EXPECT_GT(energy / static_cast<double>(voiced.size()), 0.01);
+
+  Series silent_frames(30, SilentFrame());
+  Series silent = SynthesizeHum(silent_frames, opt);
+  double silent_energy = 0.0;
+  for (double v : silent) silent_energy += v * v;
+  EXPECT_LT(silent_energy / static_cast<double>(silent.size()), 1e-6);
+}
+
+TEST(SynthTest, FundamentalPeriodCorrect) {
+  // Count zero crossings of a 1-harmonic synthesis: ~2 per period.
+  SynthOptions opt;
+  opt.harmonics = 1;
+  opt.breath_noise = 0.0;
+  Series audio = SynthesizeHum(ConstantPitchFrames(69, 100), opt);  // 440 Hz
+  std::size_t crossings = 0;
+  for (std::size_t i = 1; i < audio.size(); ++i) {
+    if ((audio[i - 1] < 0.0) != (audio[i] < 0.0)) ++crossings;
+  }
+  double seconds = static_cast<double>(audio.size()) / opt.sample_rate;
+  double estimated_hz = static_cast<double>(crossings) / (2.0 * seconds);
+  EXPECT_NEAR(estimated_hz, 440.0, 10.0);
+}
+
+TEST(SynthTest, AmplitudeBounded) {
+  SynthOptions opt;
+  opt.amplitude = 0.5;
+  opt.breath_noise = 0.0;
+  Series audio = SynthesizeHum(ConstantPitchFrames(55, 100), opt);
+  for (double v : audio) EXPECT_LE(std::fabs(v), 1.0);
+}
+
+class DetectorPitchSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DetectorPitchSweep, RecoversConstantPitch) {
+  const double midi = GetParam();
+  SynthOptions sopt;
+  sopt.breath_noise = 0.002;
+  Series audio = SynthesizeHum(ConstantPitchFrames(midi, 60), sopt);
+  PitchDetector detector;
+  Series pitches = RemoveSilence(detector.Detect(audio));
+  ASSERT_GT(pitches.size(), 20u);
+  // Median detected pitch within 0.3 semitones of the truth.
+  std::sort(pitches.begin(), pitches.end());
+  EXPECT_NEAR(pitches[pitches.size() / 2], midi, 0.3) << "midi=" << midi;
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, DetectorPitchSweep,
+                         ::testing::Values(48.0, 55.0, 60.0, 64.0, 69.0, 72.0));
+
+TEST(DetectorTest, SilenceYieldsSilentFrames) {
+  PitchDetector detector;
+  Series quiet(8000, 0.0);
+  Series pitches = detector.Detect(quiet);
+  for (double p : pitches) EXPECT_TRUE(IsSilentFrame(p));
+}
+
+TEST(DetectorTest, TracksAStepChange) {
+  SynthOptions sopt;
+  sopt.breath_noise = 0.0;
+  Series frames;
+  for (int i = 0; i < 60; ++i) frames.push_back(60.0);
+  for (int i = 0; i < 60; ++i) frames.push_back(67.0);
+  Series audio = SynthesizeHum(frames, sopt);
+  PitchDetector detector;
+  Series pitches = detector.Detect(audio);
+  ASSERT_GT(pitches.size(), 80u);
+  // First quarter ~60, last quarter ~67.
+  double early = 0.0, late = 0.0;
+  std::size_t quarter = pitches.size() / 4;
+  std::size_t early_n = 0, late_n = 0;
+  for (std::size_t i = 0; i < quarter; ++i) {
+    if (!IsSilentFrame(pitches[i])) {
+      early += pitches[i];
+      ++early_n;
+    }
+  }
+  for (std::size_t i = pitches.size() - quarter; i < pitches.size(); ++i) {
+    if (!IsSilentFrame(pitches[i])) {
+      late += pitches[i];
+      ++late_n;
+    }
+  }
+  ASSERT_GT(early_n, 0u);
+  ASSERT_GT(late_n, 0u);
+  EXPECT_NEAR(early / static_cast<double>(early_n), 60.0, 0.5);
+  EXPECT_NEAR(late / static_cast<double>(late_n), 67.0, 0.5);
+}
+
+TEST(DetectorTest, RoundTripThroughRealHum) {
+  // Full acoustic loop: hummer pitch frames -> audio -> detector -> frames.
+  // The recovered contour must stay close to the hummer's (median |error|
+  // well under a semitone).
+  Melody m;
+  m.notes = {{60, 1}, {62, 1}, {64, 2}, {62, 1}, {60, 2}};
+  Hummer hummer(HummerProfile::Good(), 11);
+  Series true_frames = hummer.Hum(m);
+  Series audio = SynthesizeHum(true_frames);
+  PitchDetector detector;
+  Series detected = RemoveSilence(detector.Detect(audio));
+  ASSERT_GT(detected.size(), true_frames.size() / 2);
+
+  // Compare medians of thirds (alignment between hop grids is inexact).
+  auto median_of = [](Series v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  Series true_third(true_frames.begin(),
+                    true_frames.begin() + static_cast<long>(true_frames.size() / 3));
+  Series det_third(detected.begin(),
+                   detected.begin() + static_cast<long>(detected.size() / 3));
+  EXPECT_NEAR(median_of(det_third), median_of(true_third), 0.5);
+}
+
+}  // namespace
+}  // namespace humdex

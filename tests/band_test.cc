@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "transform/feature_scheme.h"
+#include "ts/band.h"
+#include "ts/dtw.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+Series RandomWalk(Rng* rng, std::size_t n) {
+  Series x(n);
+  double v = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v += rng->Gaussian();
+    x[i] = v;
+  }
+  return x;
+}
+
+TEST(WarpingBandTest, SakoeChibaMatchesDefinition) {
+  WarpingBand band = WarpingBand::SakoeChiba(10, 10, 2);
+  ASSERT_TRUE(band.Valid());
+  EXPECT_EQ(band.lo[0], 0u);
+  EXPECT_EQ(band.hi[0], 2u);
+  EXPECT_EQ(band.lo[5], 3u);
+  EXPECT_EQ(band.hi[5], 7u);
+  EXPECT_EQ(band.hi[9], 9u);
+}
+
+TEST(WarpingBandTest, ItakuraValidAndPinched) {
+  for (std::size_t n : {8u, 64u, 129u}) {
+    WarpingBand band = WarpingBand::Itakura(n, 2.0);
+    ASSERT_TRUE(band.Valid()) << "n=" << n;
+    // Pinched at the ends, widest near the middle.
+    EXPECT_EQ(band.lo[0], 0u);
+    EXPECT_EQ(band.hi[n - 1], n - 1);
+    if (n >= 16) {
+      std::size_t mid_width = band.hi[n / 2] - band.lo[n / 2];
+      std::size_t edge_width = band.hi[1] - band.lo[1];
+      EXPECT_GT(mid_width, edge_width);
+    }
+  }
+}
+
+TEST(BandedDtwTest, SakoeChibaEqualsLdtw) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::size_t n = static_cast<std::size_t>(rng.UniformInt(4, 40));
+    std::size_t k = static_cast<std::size_t>(rng.UniformInt(0, 8));
+    Series x = RandomWalk(&rng, n), y = RandomWalk(&rng, n);
+    WarpingBand band = WarpingBand::SakoeChiba(n, n, k);
+    EXPECT_NEAR(BandedDtwDistance(x, y, band), LdtwDistance(x, y, k), 1e-9);
+  }
+}
+
+TEST(BandedDtwTest, FullWidthBandEqualsUnconstrainedDtw) {
+  Rng rng(5);
+  Series x = RandomWalk(&rng, 20), y = RandomWalk(&rng, 20);
+  WarpingBand band = WarpingBand::SakoeChiba(20, 20, 20);
+  EXPECT_NEAR(BandedDtwDistance(x, y, band), DtwDistance(x, y), 1e-9);
+}
+
+TEST(BandedDtwTest, ItakuraBetweenEuclideanAndFullDtw) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    Series x = RandomWalk(&rng, 32), y = RandomWalk(&rng, 32);
+    double d = BandedDtwDistance(x, y, WarpingBand::Itakura(32));
+    EXPECT_GE(d, DtwDistance(x, y) - 1e-9);
+    EXPECT_LE(d, EuclideanDistance(x, y) + 1e-9);
+  }
+}
+
+TEST(BandEnvelopeTest, SakoeChibaEqualsKEnvelope) {
+  Rng rng(9);
+  Series y = RandomWalk(&rng, 50);
+  for (std::size_t k : {0u, 2u, 7u}) {
+    Envelope a = BandEnvelope(y, WarpingBand::SakoeChiba(50, 50, k));
+    Envelope b = BuildEnvelope(y, k);
+    EXPECT_EQ(a.lower, b.lower);
+    EXPECT_EQ(a.upper, b.upper);
+  }
+}
+
+TEST(BandEnvelopeTest, Lemma2GeneralizesToAnyBand) {
+  // D(x, BandEnvelope(y, B)) <= BandedDtw(x, y, B) for Itakura bands.
+  Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    Series x = RandomWalk(&rng, 48), y = RandomWalk(&rng, 48);
+    WarpingBand band = WarpingBand::Itakura(48);
+    double lb = DistanceToEnvelope(x, BandEnvelope(y, band));
+    EXPECT_LE(lb, BandedDtwDistance(x, y, band) + 1e-9);
+  }
+}
+
+TEST(BandEnvelopeTest, Theorem1HoldsForItakuraThroughEveryScheme) {
+  // The container-invariant transforms compose with any band envelope: the
+  // full index pipeline works unchanged under the Itakura constraint.
+  Rng rng(13);
+  const std::size_t n = 64;
+  std::vector<Series> corpus;
+  for (int i = 0; i < 30; ++i) corpus.push_back(RandomWalk(&rng, n));
+  std::vector<std::shared_ptr<FeatureScheme>> schemes = {
+      MakeNewPaaScheme(n, 8), MakeKeoghPaaScheme(n, 8), MakeDftScheme(n, 8),
+      MakeDwtScheme(n, 8), MakeSvdScheme(corpus, 8)};
+  WarpingBand band = WarpingBand::Itakura(n);
+  for (int trial = 0; trial < 20; ++trial) {
+    Series x = RandomWalk(&rng, n), y = RandomWalk(&rng, n);
+    double dtw = BandedDtwDistance(x, y, band);
+    Envelope env = BandEnvelope(y, band);
+    for (const auto& scheme : schemes) {
+      double lb = DistanceToEnvelope(scheme->Features(x),
+                                     scheme->ReduceEnvelope(env));
+      EXPECT_LE(lb, dtw + 1e-9) << scheme->name();
+    }
+  }
+}
+
+TEST(BandedDtwTest, TighterBandNeverSmaller) {
+  // Itakura(slope 1.5) constrains more than Itakura(slope 3): distance is
+  // monotone in band inclusion.
+  Rng rng(15);
+  for (int trial = 0; trial < 20; ++trial) {
+    Series x = RandomWalk(&rng, 40), y = RandomWalk(&rng, 40);
+    double tight = BandedDtwDistance(x, y, WarpingBand::Itakura(40, 1.5));
+    double loose = BandedDtwDistance(x, y, WarpingBand::Itakura(40, 3.0));
+    EXPECT_GE(tight, loose - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace humdex

@@ -1,0 +1,107 @@
+// The benchmark harness is part of the reproduction apparatus, so its
+// generators get the same scrutiny: dataset families must be deterministic,
+// mean-centered, the right shape, and genuinely distinct from one another.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common.h"
+#include "datasets.h"
+#include "ts/time_series.h"
+#include "util/stats.h"
+
+namespace humdex::bench {
+namespace {
+
+TEST(BenchDatasetsTest, TwentyFourFamiliesInPaperOrder) {
+  auto datasets = Figure6Datasets(5, 64, 1);
+  ASSERT_EQ(datasets.size(), 24u);
+  EXPECT_EQ(datasets.front().name, "Sunspot");
+  EXPECT_EQ(datasets[23].name, "Random walk");
+  std::set<std::string> names;
+  for (const auto& ds : datasets) names.insert(ds.name);
+  EXPECT_EQ(names.size(), 24u);  // all distinct
+}
+
+TEST(BenchDatasetsTest, SeriesAreMeanCenteredAndSized) {
+  auto datasets = Figure6Datasets(10, 128, 2);
+  for (const auto& ds : datasets) {
+    ASSERT_EQ(ds.series.size(), 10u) << ds.name;
+    for (const Series& s : ds.series) {
+      ASSERT_EQ(s.size(), 128u) << ds.name;
+      EXPECT_NEAR(SeriesMean(s), 0.0, 1e-9) << ds.name;
+      for (double v : s) EXPECT_TRUE(std::isfinite(v)) << ds.name;
+    }
+  }
+}
+
+TEST(BenchDatasetsTest, DeterministicForSeed) {
+  auto a = Figure6Datasets(3, 64, 7);
+  auto b = Figure6Datasets(3, 64, 7);
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    for (std::size_t s = 0; s < a[d].series.size(); ++s) {
+      EXPECT_EQ(a[d].series[s], b[d].series[s]);
+    }
+  }
+  auto c = Figure6Datasets(3, 64, 8);
+  EXPECT_NE(a[0].series[0], c[0].series[0]);
+}
+
+TEST(BenchDatasetsTest, FamiliesHaveDistinctShapes) {
+  // Lag-1 autocorrelation separates the families: white-noise-like vs
+  // random-walk-like vs periodic.
+  auto datasets = Figure6Datasets(20, 256, 3);
+  auto lag1 = [](const Series& s) {
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) num += s[i] * s[i + 1];
+    for (double v : s) den += v * v;
+    return den == 0.0 ? 0.0 : num / den;
+  };
+  auto mean_lag1 = [&](const NamedDataset& ds) {
+    double sum = 0.0;
+    for (const Series& s : ds.series) sum += lag1(s);
+    return sum / static_cast<double>(ds.series.size());
+  };
+  double walk = 0.0, eeg = 0.0;
+  for (const auto& ds : datasets) {
+    if (ds.name == "Random walk") walk = mean_lag1(ds);
+    if (ds.name == "EEG") eeg = mean_lag1(ds);
+  }
+  EXPECT_GT(walk, 0.9);  // near-unit-root
+  EXPECT_LT(eeg, 0.8);   // noisier AR texture
+}
+
+TEST(BenchCommonTest, RandomWalkSetProperties) {
+  auto set = RandomWalkSet(10, 64, 5);
+  ASSERT_EQ(set.size(), 10u);
+  for (const Series& s : set) {
+    ASSERT_EQ(s.size(), 64u);
+    EXPECT_NEAR(SeriesMean(s), 0.0, 1e-9);
+  }
+  EXPECT_EQ(RandomWalkSet(10, 64, 5)[3], set[3]);
+}
+
+TEST(BenchCommonTest, PhraseCorpusMatchesPaperShape) {
+  auto corpus = PhraseCorpus(100, 9);
+  ASSERT_EQ(corpus.size(), 100u);
+  for (const Melody& m : corpus) {
+    EXPECT_GE(m.size(), 15u);
+    EXPECT_LE(m.size(), 30u);
+  }
+  auto normals = CorpusNormalForms(corpus, 128);
+  ASSERT_EQ(normals.size(), 100u);
+  for (const Series& s : normals) {
+    EXPECT_EQ(s.size(), 128u);
+    EXPECT_NEAR(SeriesMean(s), 0.0, 1e-9);
+  }
+}
+
+TEST(BenchCommonTest, TableFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(-0.5, 3), "-0.500");
+  EXPECT_EQ(Table::Int(42), "42");
+}
+
+}  // namespace
+}  // namespace humdex::bench

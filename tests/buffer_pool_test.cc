@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "index/buffer_pool.h"
+#include "index/rstar_tree.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+TEST(LruBufferPoolTest, ColdMissesThenHits) {
+  LruBufferPool pool(4);
+  EXPECT_FALSE(pool.Access(1));
+  EXPECT_FALSE(pool.Access(2));
+  EXPECT_TRUE(pool.Access(1));
+  EXPECT_TRUE(pool.Access(2));
+  EXPECT_EQ(pool.hits(), 2u);
+  EXPECT_EQ(pool.misses(), 2u);
+  EXPECT_DOUBLE_EQ(pool.MissRate(), 0.5);
+}
+
+TEST(LruBufferPoolTest, EvictsLeastRecentlyUsed) {
+  LruBufferPool pool(2);
+  pool.Access(1);  // miss
+  pool.Access(2);  // miss
+  pool.Access(1);  // hit; order: 1, 2
+  pool.Access(3);  // miss; evicts 2
+  EXPECT_TRUE(pool.Access(1));
+  EXPECT_FALSE(pool.Access(2));  // was evicted
+  EXPECT_EQ(pool.resident(), 2u);
+}
+
+TEST(LruBufferPoolTest, CapacityOneThrashes) {
+  LruBufferPool pool(1);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_FALSE(pool.Access(1));
+    EXPECT_FALSE(pool.Access(2));
+  }
+  EXPECT_EQ(pool.hits(), 0u);
+}
+
+TEST(LruBufferPoolTest, ClearAndResetStats) {
+  LruBufferPool pool(8);
+  pool.Access(1);
+  pool.Access(1);
+  pool.Clear();
+  EXPECT_EQ(pool.resident(), 0u);
+  EXPECT_EQ(pool.hits(), 1u);  // stats survive Clear
+  pool.ResetStats();
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 0u);
+  EXPECT_DOUBLE_EQ(pool.MissRate(), 0.0);
+}
+
+TEST(LruBufferPoolTest, WorkingSetWithinCapacityHasNoSteadyStateMisses) {
+  LruBufferPool pool(16);
+  Rng rng(3);
+  for (int i = 0; i < 16; ++i) pool.Access(static_cast<std::uint64_t>(i));
+  pool.ResetStats();
+  for (int op = 0; op < 1000; ++op) {
+    pool.Access(rng.NextBounded(16));
+  }
+  EXPECT_EQ(pool.misses(), 0u);
+}
+
+TEST(RStarBufferPoolTest, UpperLevelsStayResident) {
+  // With a pool holding a fraction of the tree, repeated queries hit the
+  // root path: miss rate well below 1, and a larger pool misses less.
+  Rng rng(5);
+  RStarTree tree(8);
+  for (std::int64_t id = 0; id < 20000; ++id) {
+    Series p(8);
+    for (double& v : p) v = rng.Uniform(-10, 10);
+    tree.Insert(p, id);
+  }
+  auto run = [&](std::size_t pool_pages) {
+    LruBufferPool pool(pool_pages);
+    tree.AttachBufferPool(&pool);
+    Rng qrng(9);
+    for (int q = 0; q < 200; ++q) {
+      Series c(8);
+      for (double& v : c) v = qrng.Uniform(-10, 10);
+      tree.RangeQuery(Rect::FromPoint(c), 3.0);
+    }
+    tree.AttachBufferPool(nullptr);
+    return pool.MissRate();
+  };
+  double small = run(tree.NodeCount() / 4);
+  double large = run(tree.NodeCount());
+  EXPECT_LT(small, 1.0);
+  EXPECT_LT(large, small);
+  // A pool the size of the tree only cold-misses.
+  EXPECT_LT(large, 0.2);
+}
+
+TEST(RStarBufferPoolTest, AccessCountMatchesPageStats) {
+  Rng rng(7);
+  RStarTree tree(4);
+  for (std::int64_t id = 0; id < 2000; ++id) {
+    Series p(4);
+    for (double& v : p) v = rng.Uniform(-10, 10);
+    tree.Insert(p, id);
+  }
+  LruBufferPool pool(1000000);  // everything resident
+  tree.AttachBufferPool(&pool);
+  IndexStats stats;
+  tree.RangeQuery(Rect::FromPoint(Series(4, 0.0)), 5.0, &stats);
+  tree.AttachBufferPool(nullptr);
+  EXPECT_EQ(pool.hits() + pool.misses(), stats.page_accesses);
+}
+
+}  // namespace
+}  // namespace humdex

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/linear_scan.h"
+#include "index/rstar_tree.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+std::pair<std::vector<Series>, std::vector<std::int64_t>> RandomPoints(
+    Rng* rng, std::size_t count, std::size_t dims) {
+  std::vector<Series> pts;
+  std::vector<std::int64_t> ids;
+  for (std::size_t i = 0; i < count; ++i) {
+    Series p(dims);
+    for (double& v : p) v = rng->Uniform(-10, 10);
+    pts.push_back(std::move(p));
+    ids.push_back(static_cast<std::int64_t>(i));
+  }
+  return {pts, ids};
+}
+
+TEST(BulkLoadTest, EmptyAndTiny) {
+  auto empty = RStarTree::BulkLoad(3, {}, {});
+  EXPECT_EQ(empty->size(), 0u);
+  EXPECT_TRUE(empty->KnnQuery({0, 0, 0}, 1).empty());
+
+  auto one = RStarTree::BulkLoad(2, {{1.0, 2.0}}, {7});
+  EXPECT_EQ(one->size(), 1u);
+  auto nn = one->KnnQuery({0, 0}, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 7);
+  one->CheckInvariants();
+}
+
+class BulkLoadAgreementTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BulkLoadAgreementTest, QueriesMatchLinearScan) {
+  const std::size_t count = GetParam();
+  Rng rng(100 + count);
+  auto [pts, ids] = RandomPoints(&rng, count, 6);
+  auto tree = RStarTree::BulkLoad(6, pts, ids);
+  tree->CheckInvariants();
+  EXPECT_EQ(tree->size(), count);
+
+  LinearScanIndex scan(6);
+  for (std::size_t i = 0; i < pts.size(); ++i) scan.Insert(pts[i], ids[i]);
+
+  for (int q = 0; q < 20; ++q) {
+    Series center(6);
+    for (double& v : center) v = rng.Uniform(-10, 10);
+    double radius = rng.Uniform(0.5, 6.0);
+    auto t = tree->RangeQuery(Rect::FromPoint(center), radius);
+    auto s = scan.RangeQuery(Rect::FromPoint(center), radius);
+    std::sort(t.begin(), t.end());
+    std::sort(s.begin(), s.end());
+    EXPECT_EQ(t, s) << "count=" << count;
+
+    auto tn = tree->KnnQuery(center, 5);
+    auto sn = scan.KnnQuery(center, 5);
+    ASSERT_EQ(tn.size(), sn.size());
+    for (std::size_t i = 0; i < tn.size(); ++i) {
+      EXPECT_NEAR(tn[i].distance, sn[i].distance, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, BulkLoadAgreementTest,
+                         ::testing::Values(5, 64, 65, 1000, 10000));
+
+TEST(BulkLoadTest, FewerNodesThanIncrementalInsert) {
+  Rng rng(7);
+  auto [pts, ids] = RandomPoints(&rng, 20000, 8);
+  auto packed = RStarTree::BulkLoad(8, pts, ids);
+  RStarTree incremental(8);
+  for (std::size_t i = 0; i < pts.size(); ++i) incremental.Insert(pts[i], ids[i]);
+  EXPECT_LT(packed->NodeCount(), incremental.NodeCount());
+  // Near-full packing: node count close to the ceil(N/M) floor.
+  std::size_t min_leaves = (pts.size() + 63) / 64;
+  EXPECT_LE(packed->NodeCount(), min_leaves + min_leaves / 2 + 8);
+}
+
+TEST(BulkLoadTest, InsertAfterBulkLoadStillCorrect) {
+  Rng rng(9);
+  auto [pts, ids] = RandomPoints(&rng, 2000, 4);
+  auto tree = RStarTree::BulkLoad(4, pts, ids);
+  LinearScanIndex scan(4);
+  for (std::size_t i = 0; i < pts.size(); ++i) scan.Insert(pts[i], ids[i]);
+  // Grow both by another 2000 incremental points.
+  for (std::int64_t id = 2000; id < 4000; ++id) {
+    Series p(4);
+    for (double& v : p) v = rng.Uniform(-10, 10);
+    tree->Insert(p, id);
+    scan.Insert(p, id);
+  }
+  tree->CheckInvariants();
+  for (int q = 0; q < 15; ++q) {
+    Series center(4);
+    for (double& v : center) v = rng.Uniform(-10, 10);
+    auto t = tree->RangeQuery(Rect::FromPoint(center), 3.0);
+    auto s = scan.RangeQuery(Rect::FromPoint(center), 3.0);
+    std::sort(t.begin(), t.end());
+    std::sort(s.begin(), s.end());
+    EXPECT_EQ(t, s);
+  }
+}
+
+TEST(BulkLoadTest, PackedTreeTouchesFewerPages) {
+  Rng rng(11);
+  auto [pts, ids] = RandomPoints(&rng, 30000, 8);
+  auto packed = RStarTree::BulkLoad(8, pts, ids);
+  RStarTree incremental(8);
+  for (std::size_t i = 0; i < pts.size(); ++i) incremental.Insert(pts[i], ids[i]);
+
+  std::size_t packed_pages = 0, incr_pages = 0;
+  for (int q = 0; q < 20; ++q) {
+    Series center(8);
+    for (double& v : center) v = rng.Uniform(-10, 10);
+    IndexStats ps, is;
+    packed->RangeQuery(Rect::FromPoint(center), 4.0, &ps);
+    incremental.RangeQuery(Rect::FromPoint(center), 4.0, &is);
+    packed_pages += ps.page_accesses;
+    incr_pages += is.page_accesses;
+  }
+  EXPECT_LT(packed_pages, incr_pages);
+}
+
+}  // namespace
+}  // namespace humdex

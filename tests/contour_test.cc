@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "music/contour.h"
+#include "music/hummer.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+TEST(ContourLetterTest, AlphabetThresholds) {
+  EXPECT_EQ(ContourLetter(0.0), 'S');
+  EXPECT_EQ(ContourLetter(0.4), 'S');
+  EXPECT_EQ(ContourLetter(-0.4), 'S');
+  EXPECT_EQ(ContourLetter(1.0), 'u');
+  EXPECT_EQ(ContourLetter(-2.0), 'd');
+  EXPECT_EQ(ContourLetter(3.0), 'U');
+  EXPECT_EQ(ContourLetter(-12.0), 'D');
+}
+
+TEST(ContourOfTest, MelodyGroundTruth) {
+  Melody m;
+  m.notes = {{60, 1}, {62, 1}, {62, 1}, {67, 1}, {60, 1}};
+  EXPECT_EQ(ContourOf(m), "uSUD");
+}
+
+TEST(ContourOfTest, ShortInputs) {
+  EXPECT_EQ(ContourOf(std::vector<Note>{}), "");
+  EXPECT_EQ(ContourOf(std::vector<Note>{{60, 1}}), "");
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "ab"), 2u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("uudd", "uudd"), 0u);
+  EXPECT_EQ(EditDistance("uudd", "uuds"), 1u);
+}
+
+TEST(EditDistanceTest, MetricProperties) {
+  Rng rng(3);
+  const char alphabet[] = "UuSdD";
+  auto random_string = [&](std::size_t len) {
+    std::string s;
+    for (std::size_t i = 0; i < len; ++i) {
+      s.push_back(alphabet[rng.UniformInt(0, 4)]);
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string a = random_string(static_cast<std::size_t>(rng.UniformInt(0, 12)));
+    std::string b = random_string(static_cast<std::size_t>(rng.UniformInt(0, 12)));
+    std::string c = random_string(static_cast<std::size_t>(rng.UniformInt(0, 12)));
+    EXPECT_EQ(EditDistance(a, b), EditDistance(b, a));
+    EXPECT_EQ(EditDistance(a, a), 0u);
+    EXPECT_LE(EditDistance(a, c), EditDistance(a, b) + EditDistance(b, c));
+  }
+}
+
+TEST(QGramTest, SharedCounts) {
+  EXPECT_EQ(SharedQGrams("uuddu", "uuddu", 2), 4u);
+  EXPECT_EQ(SharedQGrams("uudd", "dduu", 2), 2u);  // "uu" and "dd"
+  EXPECT_EQ(SharedQGrams("ab", "cd", 2), 0u);
+  EXPECT_EQ(SharedQGrams("a", "abc", 2), 0u);  // too short
+}
+
+TEST(QGramTest, FilterIsSoundForEditDistance) {
+  // Necessary condition: ed(a,b) <= e  =>  shared >= max(|a|,|b|) - q + 1 - qe.
+  Rng rng(7);
+  const char alphabet[] = "UuSdD";
+  auto random_string = [&](std::size_t len) {
+    std::string s;
+    for (std::size_t i = 0; i < len; ++i) {
+      s.push_back(alphabet[rng.UniformInt(0, 4)]);
+    }
+    return s;
+  };
+  const std::size_t q = 3;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string a = random_string(static_cast<std::size_t>(rng.UniformInt(3, 20)));
+    std::string b = random_string(static_cast<std::size_t>(rng.UniformInt(3, 20)));
+    std::size_t e = EditDistance(a, b);
+    std::ptrdiff_t required =
+        static_cast<std::ptrdiff_t>(std::max(a.size(), b.size())) -
+        static_cast<std::ptrdiff_t>(q) + 1 - static_cast<std::ptrdiff_t>(q * e);
+    if (required > 0) {
+      EXPECT_GE(SharedQGrams(a, b, q), static_cast<std::size_t>(required))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(SegmentNotesTest, CleanStepsRecovered) {
+  // 60 x50 frames, 64 x50, 62 x50: clean plateaus segment exactly.
+  Series pitch;
+  for (double p : {60.0, 64.0, 62.0}) {
+    for (int i = 0; i < 50; ++i) pitch.push_back(p);
+  }
+  auto notes = SegmentNotes(pitch);
+  ASSERT_EQ(notes.size(), 3u);
+  EXPECT_NEAR(notes[0].pitch, 60.0, 0.01);
+  EXPECT_NEAR(notes[1].pitch, 64.0, 0.01);
+  EXPECT_NEAR(notes[2].pitch, 62.0, 0.01);
+  EXPECT_NEAR(notes[0].duration, 0.5, 0.05);  // 50 frames at 100 fps
+}
+
+TEST(SegmentNotesTest, RepeatedPitchMerges) {
+  // Two consecutive notes at the same pitch are indistinguishable without
+  // articulation — the fundamental contour-method weakness.
+  Series pitch;
+  for (int i = 0; i < 100; ++i) pitch.push_back(60.0);
+  auto notes = SegmentNotes(pitch);
+  EXPECT_EQ(notes.size(), 1u);
+}
+
+TEST(SegmentNotesTest, SmallIntervalsMerge) {
+  // A 0.4-semitone step is below the threshold: merged (segmentation error).
+  Series pitch;
+  for (int i = 0; i < 50; ++i) pitch.push_back(60.0);
+  for (int i = 0; i < 50; ++i) pitch.push_back(60.4);
+  auto notes = SegmentNotes(pitch);
+  EXPECT_EQ(notes.size(), 1u);
+}
+
+TEST(SegmentNotesTest, TransientSpikesDoNotSplit) {
+  Series pitch(100, 60.0);
+  pitch[50] = 63.0;  // 1-frame spike < change_confirm_frames
+  auto notes = SegmentNotes(pitch);
+  EXPECT_EQ(notes.size(), 1u);
+}
+
+TEST(SegmentNotesTest, EmptyAndTinyInputs) {
+  EXPECT_TRUE(SegmentNotes({}).empty());
+  EXPECT_TRUE(SegmentNotes({60.0, 60.0}).empty());  // below min_note_frames
+}
+
+TEST(SegmentNotesTest, NoisyHumProducesImperfectContour) {
+  // The paper's core observation: segmentation of a real (noisy) hum rarely
+  // recovers the true contour. Hum a melody with a Good profile and check
+  // the extracted contour differs from ground truth at least sometimes.
+  Melody m;
+  m.notes = {{60, 1}, {62, 1}, {64, 1}, {60, 1}, {65, 1},
+             {64, 1}, {62, 1}, {60, 1}, {67, 1}, {64, 1}};
+  std::string truth = ContourOf(m);
+  int exact = 0;
+  for (int i = 0; i < 20; ++i) {
+    Hummer hummer(HummerProfile::Poor(), 500 + static_cast<std::uint64_t>(i));
+    auto notes = SegmentNotes(hummer.Hum(m));
+    if (ContourOf(notes) == truth) ++exact;
+  }
+  EXPECT_LT(exact, 20);
+}
+
+}  // namespace
+}  // namespace humdex

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ts/dtw.h"
+#include "ts/normal_form.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+// Direct implementation of the paper's recursive Definition 1 (exponential;
+// tiny inputs only) used to validate the DP.
+double RecursiveDtwSq(const Series& x, const Series& y, std::size_t i,
+                      std::size_t j) {
+  double cost = (x[i] - y[j]) * (x[i] - y[j]);
+  if (i == 0 && j == 0) return cost;
+  double best = kInfiniteDistance;
+  if (j > 0) best = std::min(best, RecursiveDtwSq(x, y, i, j - 1));
+  if (i > 0) best = std::min(best, RecursiveDtwSq(x, y, i - 1, j));
+  if (i > 0 && j > 0) best = std::min(best, RecursiveDtwSq(x, y, i - 1, j - 1));
+  return cost + best;
+}
+
+TEST(DtwTest, IdenticalSeriesZeroDistance) {
+  Series x{1, 2, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(DtwDistance(x, x), 0.0);
+  EXPECT_DOUBLE_EQ(LdtwDistance(x, x, 0), 0.0);
+}
+
+TEST(DtwTest, MatchesRecursiveDefinition) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::size_t n = static_cast<std::size_t>(rng.UniformInt(1, 7));
+    std::size_t m = static_cast<std::size_t>(rng.UniformInt(1, 7));
+    Series x(n), y(m);
+    for (double& v : x) v = rng.Gaussian();
+    for (double& v : y) v = rng.Gaussian();
+    double expect = std::sqrt(RecursiveDtwSq(x, y, n - 1, m - 1));
+    EXPECT_NEAR(DtwDistance(x, y), expect, 1e-9);
+  }
+}
+
+TEST(DtwTest, Symmetric) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Series x(20), y(25);
+    for (double& v : x) v = rng.Gaussian();
+    for (double& v : y) v = rng.Gaussian();
+    EXPECT_NEAR(DtwDistance(x, y), DtwDistance(y, x), 1e-9);
+  }
+}
+
+TEST(DtwTest, AbsorbsLocalTimeWarp) {
+  // Stretching one plateau of a step series should cost nothing under DTW
+  // while costing a lot point-to-point.
+  Series x{0, 0, 0, 5, 5, 5, 0, 0, 0};
+  Series y{0, 0, 0, 5, 5, 5, 5, 5, 0};
+  EXPECT_GT(EuclideanDistance(x, y), 5.0);
+  EXPECT_DOUBLE_EQ(DtwDistance(x, y), 0.0);
+}
+
+TEST(DtwTest, AtMostEuclideanForEqualLengths) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Series x(30), y(30);
+    for (double& v : x) v = rng.Gaussian();
+    for (double& v : y) v = rng.Gaussian();
+    EXPECT_LE(DtwDistance(x, y), EuclideanDistance(x, y) + 1e-9);
+  }
+}
+
+TEST(LdtwTest, ZeroBandIsEuclidean) {
+  Rng rng(9);
+  Series x(16), y(16);
+  for (double& v : x) v = rng.Gaussian();
+  for (double& v : y) v = rng.Gaussian();
+  EXPECT_NEAR(LdtwDistance(x, y, 0), EuclideanDistance(x, y), 1e-9);
+}
+
+TEST(LdtwTest, MonotoneInBandWidth) {
+  Rng rng(11);
+  Series x(40), y(40);
+  for (double& v : x) v = rng.Gaussian();
+  for (double& v : y) v = rng.Gaussian();
+  double prev = LdtwDistance(x, y, 0);
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u, 40u}) {
+    double d = LdtwDistance(x, y, k);
+    EXPECT_LE(d, prev + 1e-9);
+    prev = d;
+  }
+}
+
+TEST(LdtwTest, HugeBandEqualsFullDtw) {
+  Rng rng(13);
+  Series x(24), y(31);
+  for (double& v : x) v = rng.Gaussian();
+  for (double& v : y) v = rng.Gaussian();
+  EXPECT_NEAR(LdtwDistance(x, y, 64), DtwDistance(x, y), 1e-9);
+}
+
+TEST(LdtwTest, InfiniteWhenBandTooNarrowForLengths) {
+  Series x(10, 1.0), y(20, 1.0);
+  EXPECT_TRUE(std::isinf(LdtwDistance(x, y, 5)));
+  EXPECT_FALSE(std::isinf(LdtwDistance(x, y, 10)));
+}
+
+TEST(LdtwTest, LowerBoundsFullDtwAlways) {
+  // Banded DTW >= unconstrained DTW (fewer paths).
+  Rng rng(15);
+  for (int trial = 0; trial < 30; ++trial) {
+    Series x(20), y(20);
+    for (double& v : x) v = rng.Gaussian();
+    for (double& v : y) v = rng.Gaussian();
+    std::size_t k = static_cast<std::size_t>(rng.UniformInt(0, 20));
+    EXPECT_GE(LdtwDistance(x, y, k), DtwDistance(x, y) - 1e-9);
+  }
+}
+
+TEST(EarlyAbandonTest, AgreesWithExactUnderThreshold) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    Series x(32), y(32);
+    for (double& v : x) v = rng.Gaussian();
+    for (double& v : y) v = rng.Gaussian();
+    double exact = LdtwDistance(x, y, 4);
+    double thr = rng.Uniform(0.0, 2.0 * exact + 0.1);
+    double got = LdtwDistanceEarlyAbandon(x, y, 4, thr);
+    if (exact <= thr) {
+      EXPECT_NEAR(got, exact, 1e-9);
+    } else {
+      // Abandoned or exact; either way it must exceed the threshold.
+      EXPECT_GT(got, thr);
+    }
+  }
+}
+
+TEST(EarlyAbandonTest, ThresholdExactlyAtDistanceIsNotAbandoned) {
+  // Regression: range-based kNN issues queries whose radius EQUALS the exact
+  // distance of a stored item; (sqrt(d2))^2 can round below d2 and must not
+  // trigger a spurious abandon.
+  Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    Series x(32), y(32);
+    for (double& v : x) v = rng.Gaussian();
+    for (double& v : y) v = rng.Gaussian();
+    double exact = LdtwDistance(x, y, 4);
+    double got = LdtwDistanceEarlyAbandon(x, y, 4, exact);
+    EXPECT_FALSE(std::isinf(got));
+    EXPECT_NEAR(got, exact, 1e-12);
+  }
+}
+
+TEST(UtwTest, EqualSeriesZero) {
+  Series x{1, 2, 3};
+  EXPECT_DOUBLE_EQ(UtwDistance(x, x), 0.0);
+}
+
+TEST(UtwTest, MatchesLemma1Definition) {
+  // D^2_UTW = D^2(U_m(x), U_n(y)) / (mn), materialized explicitly.
+  Rng rng(19);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t n = static_cast<std::size_t>(rng.UniformInt(1, 12));
+    std::size_t m = static_cast<std::size_t>(rng.UniformInt(1, 12));
+    Series x(n), y(m);
+    for (double& v : x) v = rng.Gaussian();
+    for (double& v : y) v = rng.Gaussian();
+    Series ux = Upsample(x, m), uy = Upsample(y, n);
+    double expect =
+        std::sqrt(SquaredEuclideanDistance(ux, uy) / static_cast<double>(n * m));
+    EXPECT_NEAR(UtwDistance(x, y), expect, 1e-9);
+  }
+}
+
+TEST(UtwTest, TimeScalingInvariance) {
+  // UTW(x, Upsample(x, w)) == 0: same melody at w-times-slower tempo.
+  Series x{2, 4, 6, 4};
+  for (std::size_t w : {2u, 3u, 5u}) {
+    EXPECT_NEAR(UtwDistance(x, Upsample(x, w)), 0.0, 1e-12);
+  }
+}
+
+TEST(BandRadiusTest, WidthRoundTrip) {
+  // delta = (2k+1)/n.
+  EXPECT_EQ(BandRadiusForWidth(0.1, 128), 6u);   // (12.8-1)/2 = 5.9 -> 6
+  EXPECT_EQ(BandRadiusForWidth(0.0, 128), 0u);
+  EXPECT_EQ(BandRadiusForWidth(1.0, 9), 4u);
+  EXPECT_DOUBLE_EQ(WidthForBandRadius(4, 9), 1.0);
+  EXPECT_NEAR(WidthForBandRadius(BandRadiusForWidth(0.2, 200), 200), 0.2, 0.01);
+}
+
+TEST(NormalFormDistanceTest, CombinedDefinitionMatchesManualPipeline) {
+  Rng rng(23);
+  Series x(20), y(35);
+  for (double& v : x) v = rng.Gaussian();
+  for (double& v : y) v = rng.Gaussian();
+  Series xs = UtwNormalForm(x, 100), ys = UtwNormalForm(y, 100);
+  EXPECT_NEAR(DtwNormalFormDistance(x, y, 100, 5), LdtwDistance(xs, ys, 5), 1e-12);
+}
+
+TEST(WarpingPathTest, PathIsValidAndMatchesDistance) {
+  Rng rng(29);
+  for (int trial = 0; trial < 20; ++trial) {
+    Series x(12), y(15);
+    for (double& v : x) v = rng.Gaussian();
+    for (double& v : y) v = rng.Gaussian();
+    WarpingPath path;
+    double d = DtwDistanceWithPath(x, y, &path);
+    EXPECT_NEAR(d, DtwDistance(x, y), 1e-9);
+    // Endpoints.
+    EXPECT_EQ(path.front(), (std::pair<std::size_t, std::size_t>(0, 0)));
+    EXPECT_EQ(path.back(), (std::pair<std::size_t, std::size_t>(11, 14)));
+    // Monotone + continuous steps; path cost equals the distance.
+    double cost = 0.0;
+    for (std::size_t t = 0; t < path.size(); ++t) {
+      if (t > 0) {
+        std::size_t di = path[t].first - path[t - 1].first;
+        std::size_t dj = path[t].second - path[t - 1].second;
+        EXPECT_LE(di, 1u);
+        EXPECT_LE(dj, 1u);
+        EXPECT_GE(di + dj, 1u);
+      }
+      double g = x[path[t].first] - y[path[t].second];
+      cost += g * g;
+    }
+    EXPECT_NEAR(std::sqrt(cost), d, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace humdex

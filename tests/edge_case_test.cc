@@ -1,0 +1,156 @@
+// Pathological inputs across the stack: constant/impulse/alternating series
+// through every transform, extreme values through DTW, id reuse in the
+// engine, and degenerate corpora.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gemini/query_engine.h"
+#include "transform/dft.h"
+#include "transform/dwt.h"
+#include "transform/paa.h"
+#include "transform/poly.h"
+#include "ts/dtw.h"
+#include "ts/envelope.h"
+#include "ts/lower_bound.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+TEST(EdgeCaseTest, ConstantSeriesThroughEveryTransform) {
+  Series x(64, 3.0);
+  // PAA: every feature equals sqrt(8)*3.
+  PaaTransform paa(64, 8);
+  for (double f : paa.Apply(x)) EXPECT_NEAR(f, std::sqrt(8.0) * 3.0, 1e-12);
+  // DFT: only the DC feature is nonzero.
+  DftTransform dft(64, 8);
+  Series fd = dft.Apply(x);
+  EXPECT_NEAR(fd[0], 3.0 * 64.0 / 8.0, 1e-9);  // 3*n/sqrt(n) = 3*sqrt(n)
+  for (std::size_t i = 1; i < fd.size(); ++i) EXPECT_NEAR(fd[i], 0.0, 1e-9);
+  // DWT: only the approximation coefficient is nonzero.
+  DwtTransform dwt(64, 8);
+  Series fw = dwt.Apply(x);
+  EXPECT_NEAR(fw[0], 3.0 * 8.0, 1e-9);  // 3*sqrt(64)
+  for (std::size_t i = 1; i < fw.size(); ++i) EXPECT_NEAR(fw[i], 0.0, 1e-9);
+  // Poly: only degree 0.
+  PolyTransform poly(64, 4);
+  Series fp = poly.Apply(x);
+  EXPECT_NEAR(fp[0], 3.0 * 8.0, 1e-9);
+  for (std::size_t i = 1; i < fp.size(); ++i) EXPECT_NEAR(fp[i], 0.0, 1e-9);
+}
+
+TEST(EdgeCaseTest, DtwOnConstantAndImpulseSeries) {
+  Series flat(32, 1.0);
+  Series impulse(32, 1.0);
+  impulse[16] = 100.0;
+  // DTW cannot warp away a value difference: the impulse must cost at least
+  // its minimum single-alignment penalty.
+  EXPECT_GE(DtwDistance(flat, impulse), 99.0 - 1e-9);
+  EXPECT_DOUBLE_EQ(DtwDistance(flat, flat), 0.0);
+}
+
+TEST(EdgeCaseTest, DtwWithExtremeMagnitudes) {
+  Series a{1e150, 1e150};
+  Series b{-1e150, -1e150};
+  double d = DtwDistance(a, b);
+  EXPECT_TRUE(std::isfinite(d) || std::isinf(d));  // no NaN
+  Series c{1e-300, 2e-300};
+  EXPECT_GE(DtwDistance(c, c), 0.0);
+}
+
+TEST(EdgeCaseTest, SingleElementSeries) {
+  Series x{5.0}, y{7.0};
+  EXPECT_DOUBLE_EQ(DtwDistance(x, y), 2.0);
+  EXPECT_DOUBLE_EQ(LdtwDistance(x, y, 0), 2.0);
+  EXPECT_DOUBLE_EQ(UtwDistance(x, y), 2.0);
+  Envelope e = BuildEnvelope(x, 3);
+  EXPECT_DOUBLE_EQ(e.lower[0], 5.0);
+  EXPECT_DOUBLE_EQ(e.upper[0], 5.0);
+  EXPECT_DOUBLE_EQ(LbKeogh(y, e), 2.0);
+}
+
+TEST(EdgeCaseTest, AlternatingSeriesEnvelopeAndBounds) {
+  Series x(64);
+  for (std::size_t i = 0; i < 64; ++i) x[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  // Any k >= 1 envelope spans [-1, 1] everywhere.
+  Envelope e = BuildEnvelope(x, 1);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(e.lower[i], -1.0);
+    EXPECT_DOUBLE_EQ(e.upper[i], 1.0);
+  }
+  // A flat series inside that envelope has LB 0 but positive DTW.
+  Series flat(64, 0.0);
+  EXPECT_DOUBLE_EQ(LbKeogh(flat, e), 0.0);
+  EXPECT_GT(LdtwDistance(flat, x, 1), 0.0);
+}
+
+TEST(EdgeCaseTest, EngineIdReuseAfterRemove) {
+  QueryEngineOptions opts;
+  DtwQueryEngine engine(MakeNewPaaScheme(128, 8), opts);
+  Series a(128, 1.0), b(128, 2.0);
+  engine.Add(a, 7);
+  EXPECT_TRUE(engine.Remove(7));
+  engine.Add(b, 7);  // id slot is free again
+  EXPECT_EQ(engine.size(), 1u);
+  auto nn = engine.KnnQuery(b, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 7);
+  EXPECT_DOUBLE_EQ(nn[0].distance, 0.0);
+  // The engine must serve the new series, not the old one.
+  EXPECT_DOUBLE_EQ(engine.ExactDistance(b, 7), 0.0);
+  EXPECT_GT(engine.ExactDistance(a, 7), 0.0);
+}
+
+TEST(EdgeCaseTest, DegenerateCorpusOfIdenticalSeriesInEngine) {
+  QueryEngineOptions opts;
+  DtwQueryEngine engine(MakeNewPaaScheme(128, 8), opts);
+  Series same(128, 5.0);
+  for (std::int64_t id = 0; id < 50; ++id) engine.Add(same, id);
+  auto range = engine.RangeQuery(same, 0.0);
+  EXPECT_EQ(range.size(), 50u);
+  auto nn = engine.KnnQuery(same, 10);
+  EXPECT_EQ(nn.size(), 10u);
+  for (const Neighbor& n : nn) EXPECT_DOUBLE_EQ(n.distance, 0.0);
+}
+
+TEST(EdgeCaseTest, EnvelopeOfMonotoneSeries) {
+  Series x{1, 2, 3, 4, 5, 6, 7, 8};
+  Envelope e = BuildEnvelope(x, 2);
+  // Upper = shifted-forward max, lower = shifted-back min, clamped.
+  Series expect_upper{3, 4, 5, 6, 7, 8, 8, 8};
+  Series expect_lower{1, 1, 1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(e.upper, expect_upper);
+  EXPECT_EQ(e.lower, expect_lower);
+}
+
+TEST(EdgeCaseTest, LbKimDegenerateSeries) {
+  Series x{5.0};
+  Series y{5.0};
+  EXPECT_DOUBLE_EQ(LbKim(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(LbYi(x, y), 0.0);
+}
+
+TEST(EdgeCaseTest, PaaOfNegativeSeriesKeepsSigns) {
+  PaaTransform paa(8, 2);
+  Series x{-1, -2, -3, -4, 4, 3, 2, 1};
+  Series f = paa.Apply(x);
+  EXPECT_NEAR(f[0], std::sqrt(4.0) * -2.5, 1e-12);
+  EXPECT_NEAR(f[1], std::sqrt(4.0) * 2.5, 1e-12);
+}
+
+TEST(EdgeCaseTest, RangeQueryWithZeroRadius) {
+  Rng rng(3);
+  QueryEngineOptions opts;
+  DtwQueryEngine engine(MakeNewPaaScheme(128, 8), opts);
+  Series stored(128);
+  for (double& v : stored) v = rng.Gaussian();
+  engine.Add(stored, 0);
+  // Exact-match query at radius 0 returns the stored series.
+  auto hits = engine.RangeQuery(stored, 0.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_DOUBLE_EQ(hits[0].distance, 0.0);
+}
+
+}  // namespace
+}  // namespace humdex

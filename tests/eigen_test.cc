@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/eigen.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 5.0;
+  a(2, 2) = 3.0;
+  EigenDecomposition e = SymmetricEigen(a);
+  ASSERT_EQ(e.eigenvalues.size(), 3u);
+  EXPECT_NEAR(e.eigenvalues[0], 5.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[1], 3.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(EigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  EigenDecomposition e = SymmetricEigen(a);
+  EXPECT_NEAR(e.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  double s = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::fabs(e.eigenvectors(0, 0)), s, 1e-9);
+  EXPECT_NEAR(std::fabs(e.eigenvectors(0, 1)), s, 1e-9);
+}
+
+TEST(EigenTest, ReconstructsMatrix) {
+  // A = V^T diag(w) V for random symmetric A.
+  Rng rng(5);
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double v = rng.Gaussian();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  EigenDecomposition e = SymmetricEigen(a);
+  Matrix recon(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        s += e.eigenvalues[k] * e.eigenvectors(k, i) * e.eigenvectors(k, j);
+      }
+      recon(i, j) = s;
+    }
+  }
+  EXPECT_LT(Matrix::MaxAbsDiff(a, recon), 1e-8);
+}
+
+TEST(EigenTest, EigenvectorsOrthonormal) {
+  Rng rng(9);
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double v = rng.Uniform(-1, 1);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  EigenDecomposition e = SymmetricEigen(a);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        dot += e.eigenvectors(p, k) * e.eigenvectors(q, k);
+      }
+      EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points spread along (1,1)/sqrt(2) with small orthogonal noise.
+  Rng rng(21);
+  const std::size_t rows = 500;
+  Matrix data(rows, 2);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double t = rng.Gaussian(0.0, 10.0);
+    double noise = rng.Gaussian(0.0, 0.1);
+    data(r, 0) = t + noise;
+    data(r, 1) = t - noise;
+  }
+  Matrix basis = PrincipalComponents(data, 1);
+  double s = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::fabs(basis(0, 0)), s, 0.01);
+  EXPECT_NEAR(std::fabs(basis(0, 1)), s, 0.01);
+}
+
+TEST(PcaTest, BasisRowsOrthonormal) {
+  Rng rng(33);
+  const std::size_t rows = 100, dims = 10;
+  Matrix data(rows, dims);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < dims; ++c) data(r, c) = rng.Gaussian();
+  }
+  Matrix basis = PrincipalComponents(data, 4);
+  ASSERT_EQ(basis.rows(), 4u);
+  for (std::size_t p = 0; p < 4; ++p) {
+    for (std::size_t q = 0; q < 4; ++q) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < dims; ++k) dot += basis(p, k) * basis(q, k);
+      EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(PcaTest, ProjectionIsContraction) {
+  // ||B u|| <= ||u|| for any u when B has orthonormal rows.
+  Rng rng(47);
+  const std::size_t rows = 60, dims = 16;
+  Matrix data(rows, dims);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < dims; ++c) data(r, c) = rng.Gaussian();
+  }
+  Matrix basis = PrincipalComponents(data, 5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> u(dims);
+    double norm_u = 0.0;
+    for (double& v : u) {
+      v = rng.Gaussian();
+      norm_u += v * v;
+    }
+    auto proj = basis.MultiplyVector(u);
+    double norm_p = 0.0;
+    for (double v : proj) norm_p += v * v;
+    EXPECT_LE(norm_p, norm_u + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace humdex

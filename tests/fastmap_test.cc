@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gemini/fastmap.h"
+#include "ts/dtw.h"
+#include "ts/time_series.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+Series RandomWalk(Rng* rng, std::size_t n) {
+  Series x(n);
+  double v = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v += rng->Gaussian();
+    x[i] = v;
+  }
+  return x;
+}
+
+TEST(FastMapTest, EmbeddingHasRequestedDims) {
+  Rng rng(3);
+  std::vector<Series> corpus;
+  for (int i = 0; i < 50; ++i) corpus.push_back(RandomWalk(&rng, 64));
+  FastMapEmbedding fm(corpus, 6, 4, 1);
+  EXPECT_EQ(fm.dims(), 6u);
+  EXPECT_EQ(fm.Embed(corpus[0]).size(), 6u);
+}
+
+TEST(FastMapTest, EmbeddingRoughlyPreservesDistances) {
+  // FastMap is a heuristic: embedded distances should correlate with DTW
+  // (rank correlation over pairs clearly positive) without any guarantee.
+  Rng rng(5);
+  std::vector<Series> corpus;
+  for (int i = 0; i < 60; ++i) corpus.push_back(RandomWalk(&rng, 64));
+  FastMapEmbedding fm(corpus, 8, 4, 2);
+  std::vector<Series> embedded;
+  for (const Series& s : corpus) embedded.push_back(fm.Embed(s));
+
+  int concordant = 0, discordant = 0;
+  Rng pair_rng(7);
+  for (int t = 0; t < 300; ++t) {
+    std::size_t a = pair_rng.NextBounded(60), b = pair_rng.NextBounded(60);
+    std::size_t c = pair_rng.NextBounded(60), d = pair_rng.NextBounded(60);
+    if (a == b || c == d) continue;
+    double dtw1 = LdtwDistance(corpus[a], corpus[b], 4);
+    double dtw2 = LdtwDistance(corpus[c], corpus[d], 4);
+    double emb1 = EuclideanDistance(embedded[a], embedded[b]);
+    double emb2 = EuclideanDistance(embedded[c], embedded[d]);
+    if ((dtw1 < dtw2) == (emb1 < emb2)) {
+      ++concordant;
+    } else {
+      ++discordant;
+    }
+  }
+  EXPECT_GT(concordant, discordant * 2);
+}
+
+TEST(FastMapTest, NotLowerBoundingUnderDtw) {
+  // The paper's §2 point, as an executable fact: the FastMap embedding
+  // distance EXCEEDS the true DTW distance for some pairs (so filtering with
+  // it loses true matches), unlike every envelope-transform bound.
+  Rng rng(9);
+  std::vector<Series> corpus;
+  for (int i = 0; i < 80; ++i) corpus.push_back(RandomWalk(&rng, 64));
+  FastMapEmbedding fm(corpus, 8, 6, 3);
+  std::vector<Series> embedded;
+  for (const Series& s : corpus) embedded.push_back(fm.Embed(s));
+
+  int overestimates = 0;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    for (std::size_t j = i + 1; j < corpus.size(); ++j) {
+      double dtw = LdtwDistance(corpus[i], corpus[j], 6);
+      double emb = EuclideanDistance(embedded[i], embedded[j]);
+      if (emb > dtw + 1e-9) ++overestimates;
+    }
+  }
+  EXPECT_GT(overestimates, 0);
+}
+
+TEST(FastMapTest, SelfDistanceNearZero) {
+  Rng rng(11);
+  std::vector<Series> corpus;
+  for (int i = 0; i < 40; ++i) corpus.push_back(RandomWalk(&rng, 64));
+  FastMapEmbedding fm(corpus, 4, 4, 4);
+  // The same series embeds to the same point regardless of call order.
+  Series e1 = fm.Embed(corpus[10]);
+  Series e2 = fm.Embed(corpus[10]);
+  EXPECT_NEAR(EuclideanDistance(e1, e2), 0.0, 1e-12);
+}
+
+TEST(FastMapTest, DegenerateCorpusOfIdenticalSeries) {
+  std::vector<Series> corpus(10, Series(32, 1.0));
+  FastMapEmbedding fm(corpus, 3, 2, 5);
+  Series e = fm.Embed(corpus[0]);
+  for (double v : e) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace humdex

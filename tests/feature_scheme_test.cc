@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "transform/feature_scheme.h"
+#include "ts/dtw.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+Series RandomWalk(Rng* rng, std::size_t n) {
+  Series x(n);
+  double v = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v += rng->Gaussian();
+    x[i] = v;
+  }
+  return x;
+}
+
+std::vector<std::shared_ptr<FeatureScheme>> AllSchemes(Rng* rng) {
+  std::vector<Series> corpus;
+  for (int i = 0; i < 40; ++i) corpus.push_back(RandomWalk(rng, 64));
+  return {MakeNewPaaScheme(64, 8), MakeKeoghPaaScheme(64, 8), MakeDftScheme(64, 8),
+          MakeDwtScheme(64, 8), MakeSvdScheme(corpus, 8)};
+}
+
+TEST(FeatureSchemeTest, NamesAndDims) {
+  Rng rng(1);
+  auto schemes = AllSchemes(&rng);
+  std::vector<std::string> names;
+  for (const auto& s : schemes) {
+    names.push_back(s->name());
+    EXPECT_EQ(s->input_dim(), 64u);
+    EXPECT_EQ(s->output_dim(), 8u);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"new_paa", "keogh_paa", "dft", "dwt",
+                                             "svd"}));
+}
+
+TEST(FeatureSchemeTest, EverySchemeSatisfiesTheorem1) {
+  Rng rng(2);
+  auto schemes = AllSchemes(&rng);
+  for (const auto& scheme : schemes) {
+    for (std::size_t k : {0u, 3u, 8u}) {
+      for (int trial = 0; trial < 20; ++trial) {
+        Series x = RandomWalk(&rng, 64), y = RandomWalk(&rng, 64);
+        Series fx = scheme->Features(x);
+        Envelope fe = scheme->ReduceEnvelope(BuildEnvelope(y, k));
+        double lb = DistanceToEnvelope(fx, fe);
+        EXPECT_LE(lb, LdtwDistance(x, y, k) + 1e-9)
+            << scheme->name() << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(FeatureSchemeTest, EverySchemeContainerInvariant) {
+  Rng rng(3);
+  auto schemes = AllSchemes(&rng);
+  for (const auto& scheme : schemes) {
+    Series y = RandomWalk(&rng, 64);
+    Envelope e = BuildEnvelope(y, 4);
+    Envelope fe = scheme->ReduceEnvelope(e);
+    for (int trial = 0; trial < 50; ++trial) {
+      Series z(64);
+      for (std::size_t i = 0; i < 64; ++i) {
+        z[i] = rng.Uniform(e.lower[i], e.upper[i] + 1e-15);
+      }
+      EXPECT_TRUE(fe.Contains(scheme->Features(z), 1e-7)) << scheme->name();
+    }
+  }
+}
+
+TEST(FeatureSchemeTest, NewPaaEnvelopeTighterThanKeogh) {
+  Rng rng(4);
+  auto new_paa = MakeNewPaaScheme(64, 8);
+  auto keogh = MakeKeoghPaaScheme(64, 8);
+  for (int trial = 0; trial < 30; ++trial) {
+    Envelope e = BuildEnvelope(RandomWalk(&rng, 64), 5);
+    Envelope ne = new_paa->ReduceEnvelope(e);
+    Envelope ke = keogh->ReduceEnvelope(e);
+    double new_volume = 0.0, keogh_volume = 0.0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      new_volume += ne.upper[i] - ne.lower[i];
+      keogh_volume += ke.upper[i] - ke.lower[i];
+    }
+    EXPECT_LE(new_volume, keogh_volume + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace humdex

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/fft.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+TEST(FftTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(1000));
+}
+
+TEST(FftTest, MatchesNaiveDftOnRandomInput) {
+  Rng rng(42);
+  for (std::size_t n : {4u, 8u, 64u, 256u}) {
+    std::vector<double> x(n);
+    for (double& v : x) v = rng.Gaussian();
+    auto fast = RealFft(x);
+    auto naive = NaiveDft(x);
+    ASSERT_EQ(fast.size(), naive.size());
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(fast[k].real(), naive[k].real(), 1e-8) << "n=" << n << " k=" << k;
+      EXPECT_NEAR(fast[k].imag(), naive[k].imag(), 1e-8) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(FftTest, InverseRecoversInput) {
+  Rng rng(7);
+  std::vector<double> x(128);
+  for (double& v : x) v = rng.Uniform(-5, 5);
+  auto spec = RealFft(x);
+  auto back = InverseFft(spec);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i].real(), x[i], 1e-9);
+    EXPECT_NEAR(back[i].imag(), 0.0, 1e-9);
+  }
+}
+
+TEST(FftTest, ImpulseHasFlatSpectrum) {
+  std::vector<double> x(16, 0.0);
+  x[0] = 1.0;
+  auto spec = RealFft(x);
+  for (const auto& c : spec) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, ConstantHasOnlyDc) {
+  std::vector<double> x(32, 3.0);
+  auto spec = RealFft(x);
+  EXPECT_NEAR(spec[0].real(), 96.0, 1e-9);
+  for (std::size_t k = 1; k < spec.size(); ++k) {
+    EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  Rng rng(11);
+  std::vector<double> x(64);
+  double time_energy = 0.0;
+  for (double& v : x) {
+    v = rng.Gaussian();
+    time_energy += v * v;
+  }
+  auto spec = RealFft(x);
+  double freq_energy = 0.0;
+  for (const auto& c : spec) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / 64.0, time_energy, 1e-8);
+}
+
+TEST(FftTest, RealInputConjugateSymmetry) {
+  Rng rng(13);
+  std::vector<double> x(32);
+  for (double& v : x) v = rng.Gaussian();
+  auto spec = RealFft(x);
+  for (std::size_t k = 1; k < 16; ++k) {
+    EXPECT_NEAR(spec[k].real(), spec[32 - k].real(), 1e-9);
+    EXPECT_NEAR(spec[k].imag(), -spec[32 - k].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, LinearityOfTransform) {
+  Rng rng(17);
+  std::vector<double> x(16), y(16), z(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    x[i] = rng.Gaussian();
+    y[i] = rng.Gaussian();
+    z[i] = 2.0 * x[i] - 3.0 * y[i];
+  }
+  auto fx = RealFft(x), fy = RealFft(y), fz = RealFft(z);
+  for (std::size_t k = 0; k < 16; ++k) {
+    Complex expect = 2.0 * fx[k] - 3.0 * fy[k];
+    EXPECT_NEAR(std::abs(fz[k] - expect), 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace humdex

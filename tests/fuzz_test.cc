@@ -1,0 +1,163 @@
+// Deterministic fuzzing of every parser and of the index under adversarial
+// workloads: random garbage must produce clean Status errors (or parse), and
+// the structures must never corrupt or crash.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "audio/wav_io.h"
+#include "index/rstar_tree.h"
+#include "music/melody_io.h"
+#include "qbh/storage.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+std::string RandomBytes(Rng* rng, std::size_t len) {
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>(rng->NextBounded(256)));
+  }
+  return s;
+}
+
+std::string RandomTextLines(Rng* rng, std::size_t lines) {
+  static const char* kTokens[] = {"melody", "end",   "60",   "1.0",  "abc",
+                                  "-5",     "nan",   "inf",  "#x",   "",
+                                  "melody a", "1e308", "0.5", "60 1", "60 1 2"};
+  std::string s;
+  for (std::size_t i = 0; i < lines; ++i) {
+    int parts = rng->UniformInt(0, 3);
+    for (int p = 0; p < parts; ++p) {
+      if (p > 0) s.push_back(' ');
+      s += kTokens[rng->NextBounded(15)];
+    }
+    s.push_back('\n');
+  }
+  return s;
+}
+
+TEST(FuzzTest, ParseMelodiesNeverCrashesOnGarbage) {
+  Rng rng(1);
+  std::vector<Melody> out;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text = RandomBytes(&rng, static_cast<std::size_t>(
+                                             rng.UniformInt(0, 500)));
+    Status st = ParseMelodies(text, &out);  // must return, never abort
+    if (st.ok()) {
+      for (const Melody& m : out) EXPECT_FALSE(m.empty());
+    }
+  }
+}
+
+TEST(FuzzTest, ParseMelodiesOnStructuredGarbage) {
+  Rng rng(2);
+  std::vector<Melody> out;
+  int ok_count = 0;
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::string text = RandomTextLines(&rng, static_cast<std::size_t>(
+                                                 rng.UniformInt(0, 20)));
+    if (ParseMelodies(text, &out).ok()) {
+      ++ok_count;
+      // Whatever parses must re-serialize and re-parse identically.
+      std::vector<Melody> again;
+      EXPECT_TRUE(ParseMelodies(SerializeMelodies(out), &again).ok());
+      EXPECT_EQ(again.size(), out.size());
+    }
+  }
+  // Structured garbage should occasionally parse (empty corpus at least).
+  EXPECT_GT(ok_count, 0);
+}
+
+TEST(FuzzTest, DecodeWavNeverCrashesOnGarbage) {
+  Rng rng(3);
+  WavData out;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string bytes = RandomBytes(&rng, static_cast<std::size_t>(
+                                              rng.UniformInt(0, 300)));
+    DecodeWav(bytes, &out);  // Status either way; no crash
+  }
+}
+
+TEST(FuzzTest, DecodeWavOnMutatedValidFiles) {
+  Rng rng(4);
+  Series samples(200, 0.25);
+  std::string good = EncodeWav(samples, 8000);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = good;
+    int flips = rng.UniformInt(1, 8);
+    for (int f = 0; f < flips; ++f) {
+      std::size_t pos = rng.NextBounded(static_cast<std::uint32_t>(mutated.size()));
+      mutated[pos] = static_cast<char>(rng.NextBounded(256));
+    }
+    WavData out;
+    Status st = DecodeWav(mutated, &out);
+    if (st.ok()) {
+      // If it still decodes, the payload must be bounded.
+      for (double v : out.samples) {
+        EXPECT_GE(v, -1.001);
+        EXPECT_LE(v, 1.001);
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, ParseQbhDatabaseNeverCrashes) {
+  Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text = "humdex-db v1\n" +
+                       RandomTextLines(&rng, static_cast<std::size_t>(
+                                                 rng.UniformInt(0, 15)));
+    ParseQbhDatabase(text);  // Result either way; no crash
+  }
+}
+
+TEST(FuzzTest, RStarTreeAdversarialInsertOrders) {
+  // Sorted, reverse-sorted, duplicate-heavy, and clustered insert orders all
+  // keep the invariants.
+  for (int mode = 0; mode < 4; ++mode) {
+    Rng rng(10 + mode);
+    RStarTree tree(3);
+    for (std::int64_t id = 0; id < 3000; ++id) {
+      Series p(3);
+      switch (mode) {
+        case 0:  // sorted along a line
+          p = {static_cast<double>(id), static_cast<double>(id) * 0.5, 0.0};
+          break;
+        case 1:  // reverse sorted
+          p = {static_cast<double>(3000 - id), 0.0, static_cast<double>(id % 7)};
+          break;
+        case 2:  // heavy duplicates
+          p = {static_cast<double>(id % 5), static_cast<double>(id % 3), 1.0};
+          break;
+        default:  // tight clusters far apart
+          p = {rng.Gaussian(static_cast<double>(id % 10) * 1000.0, 0.01),
+               rng.Gaussian(), rng.Gaussian()};
+          break;
+      }
+      tree.Insert(p, id);
+    }
+    tree.CheckInvariants();
+    EXPECT_EQ(tree.size(), 3000u);
+    // Everything must be retrievable.
+    IndexStats stats;
+    auto all = tree.RangeQuery(Rect(Series(3, -1e7), Series(3, 1e7)), 0.0, &stats);
+    EXPECT_EQ(all.size(), 3000u) << "mode=" << mode;
+  }
+}
+
+TEST(FuzzTest, GridFileAdversarialInsertOrders) {
+  GridFile grid(2);
+  for (std::int64_t id = 0; id < 5000; ++id) {
+    // All points identical: splits can make no progress and must not loop.
+    grid.Insert({1.0, 1.0}, id);
+  }
+  EXPECT_EQ(grid.size(), 5000u);
+  auto all = grid.RangeQuery(Rect::FromPoint({1.0, 1.0}), 0.0);
+  EXPECT_EQ(all.size(), 5000u);
+}
+
+}  // namespace
+}  // namespace humdex

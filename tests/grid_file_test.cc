@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/grid_file.h"
+#include "index/linear_scan.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+Series RandomPoint(Rng* rng, std::size_t dims, double scale = 10.0) {
+  Series p(dims);
+  for (double& v : p) v = rng->Uniform(-scale, scale);
+  return p;
+}
+
+TEST(GridFileTest, EmptyQueries) {
+  GridFile grid(2);
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_TRUE(grid.RangeQuery(Rect({0, 0}, {1, 1}), 1.0).empty());
+  EXPECT_TRUE(grid.KnnQuery({0, 0}, 3).empty());
+}
+
+TEST(GridFileTest, SplitsUnderLoad) {
+  Rng rng(5);
+  GridFileOptions opt;
+  opt.bucket_capacity = 16;
+  GridFile grid(4, opt);
+  for (std::int64_t id = 0; id < 2000; ++id) grid.Insert(RandomPoint(&rng, 4), id);
+  EXPECT_GT(grid.CellCount(), 1u);
+}
+
+class GridFileAgreementTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GridFileAgreementTest, RangeQueryMatchesLinearScan) {
+  const std::size_t dims = GetParam();
+  Rng rng(100 + dims);
+  GridFile grid(dims);
+  LinearScanIndex scan(dims);
+  for (std::int64_t id = 0; id < 3000; ++id) {
+    Series p = RandomPoint(&rng, dims);
+    grid.Insert(p, id);
+    scan.Insert(p, id);
+  }
+  for (int q = 0; q < 40; ++q) {
+    Series a = RandomPoint(&rng, dims), b = RandomPoint(&rng, dims);
+    Series lo(dims), hi(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      lo[d] = std::min(a[d], b[d]);
+      hi[d] = std::max(a[d], b[d]);
+    }
+    double radius = rng.Uniform(0.0, 4.0);
+    auto g = grid.RangeQuery(Rect(lo, hi), radius);
+    auto s = scan.RangeQuery(Rect(lo, hi), radius);
+    std::sort(g.begin(), g.end());
+    std::sort(s.begin(), s.end());
+    EXPECT_EQ(g, s) << "dims=" << dims;
+  }
+}
+
+TEST_P(GridFileAgreementTest, KnnMatchesLinearScan) {
+  const std::size_t dims = GetParam();
+  Rng rng(200 + dims);
+  GridFile grid(dims);
+  LinearScanIndex scan(dims);
+  for (std::int64_t id = 0; id < 2000; ++id) {
+    Series p = RandomPoint(&rng, dims);
+    grid.Insert(p, id);
+    scan.Insert(p, id);
+  }
+  for (int q = 0; q < 25; ++q) {
+    Series query = RandomPoint(&rng, dims);
+    for (std::size_t k : {1u, 4u, 10u}) {
+      auto g = grid.KnnQuery(query, k);
+      auto s = scan.KnnQuery(query, k);
+      ASSERT_EQ(g.size(), s.size());
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        EXPECT_NEAR(g[i].distance, s[i].distance, 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, GridFileAgreementTest, ::testing::Values(1, 3, 8));
+
+TEST(GridFileTest, PageAccessesPruneDistantCells) {
+  // Two clusters far apart: a tight query near one should not touch every
+  // occupied bucket.
+  Rng rng(7);
+  GridFileOptions opt;
+  opt.bucket_capacity = 32;
+  GridFile grid(3, opt);
+  for (std::int64_t id = 0; id < 4000; ++id) {
+    Series p = RandomPoint(&rng, 3, 1.0);
+    if (id % 2 == 1) {
+      for (double& v : p) v += 500.0;
+    }
+    grid.Insert(p, id);
+  }
+  IndexStats near_stats, all_stats;
+  grid.RangeQuery(Rect::FromPoint(Series(3, 0.0)), 1.0, &near_stats);
+  grid.RangeQuery(Rect({-600, -600, -600}, {600, 600, 600}), 0.0, &all_stats);
+  EXPECT_LT(near_stats.page_accesses, all_stats.page_accesses);
+}
+
+TEST(GridFileTest, KnnOnDuplicatePoints) {
+  GridFile grid(2);
+  for (std::int64_t id = 0; id < 50; ++id) grid.Insert({2.0, 2.0}, id);
+  auto nn = grid.KnnQuery({2.0, 2.0}, 5);
+  ASSERT_EQ(nn.size(), 5u);
+  for (const Neighbor& n : nn) EXPECT_DOUBLE_EQ(n.distance, 0.0);
+}
+
+TEST(LinearScanTest, PageAccountingCeilDivision) {
+  LinearScanIndex scan(2, /*points_per_page=*/10);
+  for (std::int64_t id = 0; id < 25; ++id) scan.Insert({0.0, 0.0}, id);
+  IndexStats stats;
+  scan.RangeQuery(Rect({0, 0}, {1, 1}), 1.0, &stats);
+  EXPECT_EQ(stats.page_accesses, 3u);
+}
+
+}  // namespace
+}  // namespace humdex

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/linear_scan.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+TEST(LinearScanTest, RangeQuerySemanticsPointQuery) {
+  LinearScanIndex scan(2);
+  scan.Insert({0, 0}, 0);
+  scan.Insert({3, 4}, 1);
+  scan.Insert({6, 8}, 2);
+  auto r = scan.RangeQuery(Rect::FromPoint({0, 0}), 5.0);
+  std::sort(r.begin(), r.end());
+  EXPECT_EQ(r, (std::vector<std::int64_t>{0, 1}));
+}
+
+TEST(LinearScanTest, RangeQueryRectSemantics) {
+  LinearScanIndex scan(1);
+  scan.Insert({0.0}, 0);
+  scan.Insert({5.0}, 1);
+  scan.Insert({10.0}, 2);
+  // Rect [4,6] radius 1.5 covers [2.5, 7.5].
+  auto r = scan.RangeQuery(Rect({4.0}, {6.0}), 1.5);
+  EXPECT_EQ(r, (std::vector<std::int64_t>{1}));
+}
+
+TEST(LinearScanTest, KnnOrderingAndTruncation) {
+  LinearScanIndex scan(1);
+  for (std::int64_t id = 0; id < 10; ++id) {
+    scan.Insert({static_cast<double>(id)}, id);
+  }
+  auto nn = scan.KnnQuery({3.2}, 3);
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0].id, 3);
+  EXPECT_EQ(nn[1].id, 4);
+  EXPECT_EQ(nn[2].id, 2);
+  // k larger than the index returns everything.
+  EXPECT_EQ(scan.KnnQuery({0.0}, 100).size(), 10u);
+}
+
+TEST(LinearScanTest, KnnTieBreaksById) {
+  LinearScanIndex scan(1);
+  scan.Insert({1.0}, 7);
+  scan.Insert({1.0}, 3);
+  auto nn = scan.KnnQuery({1.0}, 2);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].id, 3);
+  EXPECT_EQ(nn[1].id, 7);
+}
+
+TEST(LinearScanTest, SizeTracksInserts) {
+  LinearScanIndex scan(3);
+  EXPECT_EQ(scan.size(), 0u);
+  for (std::int64_t id = 0; id < 17; ++id) scan.Insert({0, 0, 0}, id);
+  EXPECT_EQ(scan.size(), 17u);
+}
+
+}  // namespace
+}  // namespace humdex

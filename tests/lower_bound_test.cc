@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ts/dtw.h"
+#include "ts/lower_bound.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+Series RandomWalk(Rng* rng, std::size_t n) {
+  Series x(n);
+  double v = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v += rng->Gaussian();
+    x[i] = v;
+  }
+  return x;
+}
+
+class LowerBoundPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LowerBoundPropertyTest, LbKeoghLowerBoundsBandedDtw) {
+  const std::size_t k = GetParam();
+  Rng rng(100 + k);
+  for (int trial = 0; trial < 40; ++trial) {
+    Series x = RandomWalk(&rng, 64), y = RandomWalk(&rng, 64);
+    double lb = LbKeogh(x, y, k);
+    double dtw = LdtwDistance(x, y, k);
+    EXPECT_LE(lb, dtw + 1e-9) << "k=" << k;
+  }
+}
+
+TEST_P(LowerBoundPropertyTest, LbYiLowerBoundsBandedDtw) {
+  const std::size_t k = GetParam();
+  Rng rng(200 + k);
+  for (int trial = 0; trial < 40; ++trial) {
+    Series x = RandomWalk(&rng, 64), y = RandomWalk(&rng, 64);
+    EXPECT_LE(LbYi(x, y), LdtwDistance(x, y, k) + 1e-9);
+    EXPECT_LE(LbYiSymmetric(x, y), LdtwDistance(x, y, k) + 1e-9);
+  }
+}
+
+TEST_P(LowerBoundPropertyTest, LbKimLowerBoundsFullDtw) {
+  const std::size_t k = GetParam();
+  Rng rng(300 + k);
+  for (int trial = 0; trial < 40; ++trial) {
+    Series x = RandomWalk(&rng, 48), y = RandomWalk(&rng, 48);
+    EXPECT_LE(LbKim(x, y), DtwDistance(x, y) + 1e-9);
+    EXPECT_LE(LbKim(x, y), LdtwDistance(x, y, k) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BandWidths, LowerBoundPropertyTest,
+                         ::testing::Values(0, 1, 3, 6, 12, 25));
+
+TEST(LowerBoundTest, LbKeoghTighterThanLbYi) {
+  // The envelope bound dominates the global bound (it uses more information).
+  Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    Series x = RandomWalk(&rng, 64), y = RandomWalk(&rng, 64);
+    // LbYi(x, y) equals LbKeogh with infinite k; finite k is tighter.
+    EXPECT_GE(LbKeogh(x, y, 6), LbYi(x, y) - 1e-9);
+  }
+}
+
+TEST(LowerBoundTest, LbKeoghZeroForIdentical) {
+  Rng rng(9);
+  Series x = RandomWalk(&rng, 32);
+  EXPECT_DOUBLE_EQ(LbKeogh(x, x, 4), 0.0);
+}
+
+TEST(LowerBoundTest, LbKeoghWithZeroRadiusIsEuclidean) {
+  Rng rng(11);
+  Series x = RandomWalk(&rng, 32), y = RandomWalk(&rng, 32);
+  EXPECT_NEAR(LbKeogh(x, y, 0), EuclideanDistance(x, y), 1e-9);
+}
+
+TEST(LowerBoundTest, LbKeoghDecreasesWithRadius) {
+  Rng rng(13);
+  Series x = RandomWalk(&rng, 64), y = RandomWalk(&rng, 64);
+  double prev = LbKeogh(x, y, 0);
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    double lb = LbKeogh(x, y, k);
+    EXPECT_LE(lb, prev + 1e-12);
+    prev = lb;
+  }
+}
+
+TEST(LowerBoundTest, LbYiWithEnvelopeIntuition) {
+  // Points of x inside [min(y), max(y)] contribute nothing.
+  Series y{0.0, 10.0};
+  Series x{5.0, 12.0, -3.0, 7.0};
+  // Contributions: 0, 2, 3, 0.
+  EXPECT_NEAR(LbYi(x, y), std::sqrt(4.0 + 9.0), 1e-12);
+}
+
+TEST(LowerBoundTest, LbKimExactComponents) {
+  Series x{1, 5, 2}, y{4, 7, 0};
+  // first diff 3, last diff 2, max diff |5-7|=2, min diff |1-0|=1.
+  EXPECT_DOUBLE_EQ(LbKim(x, y), 3.0);
+}
+
+TEST(LowerBoundTest, PrecomputedEnvelopeOverloadAgrees) {
+  Rng rng(15);
+  Series x = RandomWalk(&rng, 40), y = RandomWalk(&rng, 40);
+  Envelope env = BuildEnvelope(y, 5);
+  EXPECT_DOUBLE_EQ(LbKeogh(x, env), LbKeogh(x, y, 5));
+}
+
+}  // namespace
+}  // namespace humdex

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "music/melody_io.h"
+#include "music/song_generator.h"
+
+namespace humdex {
+namespace {
+
+TEST(MelodyIoTest, ParseMinimalCorpus) {
+  std::string text =
+      "# a comment\n"
+      "melody tune_a\n"
+      "60 1.0\n"
+      "62 0.5\n"
+      "end\n"
+      "\n"
+      "melody tune_b\n"
+      "55.5 2\n"
+      "end\n";
+  std::vector<Melody> melodies;
+  ASSERT_TRUE(ParseMelodies(text, &melodies).ok());
+  ASSERT_EQ(melodies.size(), 2u);
+  EXPECT_EQ(melodies[0].name, "tune_a");
+  EXPECT_EQ(melodies[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(melodies[0].notes[1].pitch, 62.0);
+  EXPECT_DOUBLE_EQ(melodies[0].notes[1].duration, 0.5);
+  EXPECT_EQ(melodies[1].name, "tune_b");
+  EXPECT_DOUBLE_EQ(melodies[1].notes[0].pitch, 55.5);
+}
+
+TEST(MelodyIoTest, ToleratesWhitespaceAndCrLf) {
+  std::string text = "melody x\r\n  60 1 \r\n\tend\r\n";
+  std::vector<Melody> melodies;
+  ASSERT_TRUE(ParseMelodies(text, &melodies).ok());
+  ASSERT_EQ(melodies.size(), 1u);
+  EXPECT_EQ(melodies[0].size(), 1u);
+}
+
+TEST(MelodyIoTest, ErrorsCarryLineNumbers) {
+  std::vector<Melody> melodies;
+  Status s = ParseMelodies("melody a\n60 oops\nend\n", &melodies);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+
+  s = ParseMelodies("60 1\n", &melodies);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("line 1"), std::string::npos);
+  EXPECT_NE(s.message().find("outside a melody block"), std::string::npos);
+}
+
+TEST(MelodyIoTest, RejectsStructuralErrors) {
+  std::vector<Melody> melodies;
+  EXPECT_FALSE(ParseMelodies("melody a\nmelody b\nend\n", &melodies).ok());
+  EXPECT_FALSE(ParseMelodies("end\n", &melodies).ok());
+  EXPECT_FALSE(ParseMelodies("melody a\nend\n", &melodies).ok());  // empty
+  EXPECT_FALSE(ParseMelodies("melody a\n60 1\n", &melodies).ok());  // no end
+  EXPECT_FALSE(ParseMelodies("melody a\n60 1 extra\nend\n", &melodies).ok());
+  EXPECT_FALSE(ParseMelodies("melody a\n60 -1\nend\n", &melodies).ok());
+  EXPECT_FALSE(ParseMelodies("melody a\n60 0\nend\n", &melodies).ok());
+}
+
+TEST(MelodyIoTest, RoundTripPreservesCorpus) {
+  SongGenerator gen(5);
+  std::vector<Melody> corpus = gen.GeneratePhrases(25);
+  std::string text = SerializeMelodies(corpus);
+  std::vector<Melody> parsed;
+  ASSERT_TRUE(ParseMelodies(text, &parsed).ok());
+  ASSERT_EQ(parsed.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, corpus[i].name);
+    ASSERT_EQ(parsed[i].size(), corpus[i].size());
+    for (std::size_t j = 0; j < corpus[i].size(); ++j) {
+      EXPECT_DOUBLE_EQ(parsed[i].notes[j].pitch, corpus[i].notes[j].pitch);
+      EXPECT_DOUBLE_EQ(parsed[i].notes[j].duration, corpus[i].notes[j].duration);
+    }
+  }
+}
+
+TEST(MelodyIoTest, FileRoundTrip) {
+  SongGenerator gen(9);
+  std::vector<Melody> corpus = gen.GeneratePhrases(5);
+  std::string path = ::testing::TempDir() + "/humdex_io_test.melodies";
+  ASSERT_TRUE(SaveMelodiesToFile(path, corpus).ok());
+  std::vector<Melody> loaded;
+  ASSERT_TRUE(LoadMelodiesFromFile(path, &loaded).ok());
+  EXPECT_EQ(loaded.size(), corpus.size());
+  std::remove(path.c_str());
+}
+
+TEST(MelodyIoTest, MissingFileIsNotFound) {
+  std::vector<Melody> melodies;
+  Status s = LoadMelodiesFromFile("/nonexistent/humdex.melodies", &melodies);
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+}
+
+TEST(MelodyIoTest, MelodyWithoutNameParses) {
+  std::vector<Melody> melodies;
+  ASSERT_TRUE(ParseMelodies("melody\n60 1\nend\n", &melodies).ok());
+  EXPECT_EQ(melodies[0].name, "");
+}
+
+}  // namespace
+}  // namespace humdex

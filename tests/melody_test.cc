@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "music/melody.h"
+#include "music/segmenter.h"
+
+namespace humdex {
+namespace {
+
+TEST(MelodyTest, TotalBeats) {
+  Melody m;
+  m.notes = {{60, 1.0}, {62, 0.5}, {64, 2.0}};
+  EXPECT_DOUBLE_EQ(m.TotalBeats(), 3.5);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_FALSE(m.empty());
+  EXPECT_TRUE(Melody().empty());
+}
+
+TEST(MelodyTest, Transposed) {
+  Melody m;
+  m.notes = {{60, 1.0}, {64, 1.0}};
+  Melody t = m.Transposed(-5.0);
+  EXPECT_DOUBLE_EQ(t.notes[0].pitch, 55.0);
+  EXPECT_DOUBLE_EQ(t.notes[1].pitch, 59.0);
+  EXPECT_DOUBLE_EQ(t.notes[0].duration, 1.0);
+}
+
+TEST(MelodyToSeriesTest, RepeatsNoteForDuration) {
+  Melody m;
+  m.notes = {{60, 1.0}, {62, 2.0}};
+  Series s = MelodyToSeries(m, 2.0);
+  Series expect{60, 60, 62, 62, 62, 62};
+  EXPECT_EQ(s, expect);
+}
+
+TEST(MelodyToSeriesTest, ShortNotesGetAtLeastOneSample) {
+  Melody m;
+  m.notes = {{60, 0.01}, {62, 0.01}};
+  Series s = MelodyToSeries(m, 1.0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 60);
+  EXPECT_DOUBLE_EQ(s[1], 62);
+}
+
+TEST(MelodyToSeriesTest, FractionalDurationsRound) {
+  Melody m;
+  m.notes = {{60, 0.75}};
+  Series s = MelodyToSeries(m, 4.0);  // 3 samples
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(SegmenterTest, SplitsAtLongNotes) {
+  Melody song;
+  SegmenterOptions opt;
+  opt.min_notes = 3;
+  opt.max_notes = 10;
+  opt.boundary_duration = 2.0;
+  // 4 short notes, a long note, 4 short notes, a long note.
+  for (int phrase = 0; phrase < 2; ++phrase) {
+    for (int i = 0; i < 4; ++i) song.notes.push_back({60.0 + i, 1.0});
+    song.notes.push_back({70.0, 3.0});
+  }
+  auto phrases = SegmentMelody(song, opt);
+  ASSERT_EQ(phrases.size(), 2u);
+  EXPECT_EQ(phrases[0].size(), 5u);
+  EXPECT_EQ(phrases[1].size(), 5u);
+}
+
+TEST(SegmenterTest, EnforcesMaxNotes) {
+  Melody song;
+  for (int i = 0; i < 100; ++i) song.notes.push_back({60.0, 0.5});
+  SegmenterOptions opt;
+  opt.min_notes = 5;
+  opt.max_notes = 10;
+  auto phrases = SegmentMelody(song, opt);
+  EXPECT_EQ(phrases.size(), 10u);
+  for (const Melody& p : phrases) EXPECT_LE(p.size(), 10u);
+}
+
+TEST(SegmenterTest, NoNoteLost) {
+  Melody song;
+  song.name = "s";
+  for (int i = 0; i < 57; ++i) {
+    song.notes.push_back({60.0 + (i % 12), (i % 7 == 0) ? 2.5 : 1.0});
+  }
+  auto phrases = SegmentMelody(song);
+  std::size_t total = 0;
+  for (const Melody& p : phrases) total += p.size();
+  EXPECT_EQ(total, 57u);
+}
+
+TEST(SegmenterTest, ShortTailMergedIntoPredecessor) {
+  Melody song;
+  SegmenterOptions opt;
+  opt.min_notes = 4;
+  opt.max_notes = 6;
+  for (int i = 0; i < 8; ++i) song.notes.push_back({60.0, 1.0});
+  // Splits at 6, leaving a 2-note tail < min_notes -> merged.
+  auto phrases = SegmentMelody(song, opt);
+  ASSERT_EQ(phrases.size(), 1u);
+  EXPECT_EQ(phrases[0].size(), 8u);
+}
+
+TEST(SegmenterTest, PhraseNamesDerivedFromSong) {
+  Melody song;
+  song.name = "hey_jude";
+  for (int i = 0; i < 40; ++i) song.notes.push_back({60.0, 1.0});
+  auto phrases = SegmentMelody(song);
+  ASSERT_FALSE(phrases.empty());
+  EXPECT_EQ(phrases[0].name, "hey_jude/phrase_0");
+}
+
+}  // namespace
+}  // namespace humdex

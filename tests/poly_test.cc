@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "transform/dft.h"
+#include "transform/poly.h"
+#include "ts/dtw.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+Series RandomWalk(Rng* rng, std::size_t n) {
+  Series x(n);
+  double v = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v += rng->Gaussian();
+    x[i] = v;
+  }
+  return x;
+}
+
+TEST(PolyTransformTest, RowsOrthonormal) {
+  for (std::size_t dim : {2u, 4u, 8u, 16u}) {
+    PolyTransform t(64, dim);
+    const Matrix& a = t.coefficients();
+    for (std::size_t p = 0; p < dim; ++p) {
+      for (std::size_t q = 0; q < dim; ++q) {
+        double dot = 0.0;
+        for (std::size_t i = 0; i < 64; ++i) dot += a(p, i) * a(q, i);
+        EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-9) << "dim=" << dim;
+      }
+    }
+  }
+}
+
+TEST(PolyTransformTest, DegreeZeroIsScaledMean) {
+  PolyTransform t(16, 1);
+  Series x(16, 3.0);
+  Series f = t.Apply(x);
+  // Constant row = 1/sqrt(16); feature = 16 * 3 / 4 = 12.
+  EXPECT_NEAR(f[0], 12.0, 1e-9);
+}
+
+TEST(PolyTransformTest, CapturesLinearTrendExactly) {
+  // A straight line lies in the degree-<=1 span: 2 features preserve its
+  // full energy.
+  PolyTransform t(32, 2);
+  Series x(32);
+  for (std::size_t i = 0; i < 32; ++i) x[i] = 2.0 * static_cast<double>(i) - 7.0;
+  Series f = t.Apply(x);
+  double feat_energy = f[0] * f[0] + f[1] * f[1];
+  double raw_energy = 0.0;
+  for (double v : x) raw_energy += v * v;
+  EXPECT_NEAR(feat_energy, raw_energy, 1e-6);
+}
+
+TEST(PolyTransformTest, LowerBoundsEuclidean) {
+  Rng rng(3);
+  PolyTransform t(64, 8);
+  for (int trial = 0; trial < 50; ++trial) {
+    Series x = RandomWalk(&rng, 64), y = RandomWalk(&rng, 64);
+    EXPECT_LE(EuclideanDistance(t.Apply(x), t.Apply(y)),
+              EuclideanDistance(x, y) + 1e-9);
+  }
+}
+
+TEST(PolyTransformTest, SchemeSatisfiesTheorem1) {
+  Rng rng(5);
+  auto scheme = MakePolyScheme(64, 8);
+  EXPECT_EQ(scheme->name(), "poly");
+  for (std::size_t k : {0u, 4u, 9u}) {
+    for (int trial = 0; trial < 25; ++trial) {
+      Series x = RandomWalk(&rng, 64), y = RandomWalk(&rng, 64);
+      Envelope fe = scheme->ReduceEnvelope(BuildEnvelope(y, k));
+      double lb = DistanceToEnvelope(scheme->Features(x), fe);
+      EXPECT_LE(lb, LdtwDistance(x, y, k) + 1e-9) << "k=" << k;
+    }
+  }
+}
+
+TEST(PolyTransformTest, ContainerInvariant) {
+  Rng rng(7);
+  PolyTransform t(64, 6);
+  Series y = RandomWalk(&rng, 64);
+  Envelope e = BuildEnvelope(y, 5);
+  Envelope fe = t.ApplyToEnvelope(e);
+  for (int trial = 0; trial < 40; ++trial) {
+    Series z(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+      z[i] = rng.Uniform(e.lower[i], e.upper[i] + 1e-15);
+    }
+    EXPECT_TRUE(fe.Contains(t.Apply(z), 1e-7));
+  }
+}
+
+TEST(PolyTransformTest, BeatsDftOnSmoothTrendData) {
+  // Smooth trending series concentrate energy in low-degree polynomials.
+  Rng rng(9);
+  PolyTransform poly(64, 4);
+  DftTransform dft(64, 4);
+  double poly_sum = 0.0, dft_sum = 0.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    Series x(64), y(64);
+    double ax = rng.Gaussian(), bx = rng.Gaussian();
+    double ay = rng.Gaussian(), by = rng.Gaussian();
+    for (std::size_t i = 0; i < 64; ++i) {
+      double t = static_cast<double>(i) / 63.0;
+      x[i] = ax * t + bx * t * t + rng.Gaussian(0.0, 0.05);
+      y[i] = ay * t + by * t * t + rng.Gaussian(0.0, 0.05);
+    }
+    poly_sum += EuclideanDistance(poly.Apply(x), poly.Apply(y));
+    dft_sum += EuclideanDistance(dft.Apply(x), dft.Apply(y));
+  }
+  EXPECT_GT(poly_sum, dft_sum);
+}
+
+}  // namespace
+}  // namespace humdex

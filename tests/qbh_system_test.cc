@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "audio/synth.h"
+#include "music/hummer.h"
+#include "music/pitch_tracker.h"
+#include "music/song_generator.h"
+#include "qbh/contour_system.h"
+#include "qbh/qbh_system.h"
+
+namespace humdex {
+namespace {
+
+std::vector<Melody> SmallCorpus(std::size_t count, std::uint64_t seed = 1) {
+  SongGenerator gen(seed);
+  return gen.GeneratePhrases(count);
+}
+
+TEST(QbhSystemTest, PerfectHumFindsItsMelodyAtRankOne) {
+  auto corpus = SmallCorpus(100);
+  QbhSystem system;
+  for (Melody& m : corpus) system.AddMelody(m);
+  system.Build();
+
+  Hummer hummer(HummerProfile::Perfect(), 3);
+  for (std::int64_t target : {0, 17, 42, 99}) {
+    Series hum = hummer.Hum(corpus[static_cast<std::size_t>(target)]);
+    auto matches = system.Query(hum, 3);
+    ASSERT_FALSE(matches.empty());
+    EXPECT_EQ(matches[0].id, target);
+    EXPECT_EQ(system.RankOf(hum, target), 1u);
+  }
+}
+
+TEST(QbhSystemTest, QueryReturnsAscendingDistances) {
+  auto corpus = SmallCorpus(80);
+  QbhSystem system;
+  for (Melody& m : corpus) system.AddMelody(m);
+  system.Build();
+  Hummer hummer(HummerProfile::Good(), 5);
+  auto matches = system.Query(hummer.Hum(corpus[10]), 10);
+  ASSERT_EQ(matches.size(), 10u);
+  for (std::size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GE(matches[i].distance, matches[i - 1].distance);
+  }
+}
+
+TEST(QbhSystemTest, GoodSingerMostlyTopRank) {
+  auto corpus = SmallCorpus(200);
+  QbhSystem system;
+  for (Melody& m : corpus) system.AddMelody(m);
+  system.Build();
+
+  int top1 = 0;
+  const int queries = 20;
+  for (int q = 0; q < queries; ++q) {
+    std::int64_t target = q * 10;
+    Hummer hummer(HummerProfile::Good(), 1000 + static_cast<std::uint64_t>(q));
+    Series hum = hummer.Hum(corpus[static_cast<std::size_t>(target)]);
+    if (system.RankOf(hum, target) == 1) ++top1;
+  }
+  // Table 2 shape: the vast majority of good-singer queries hit rank 1.
+  EXPECT_GE(top1, queries * 6 / 10);
+}
+
+TEST(QbhSystemTest, MatchCarriesMelodyName) {
+  auto corpus = SmallCorpus(30);
+  QbhSystem system;
+  for (Melody& m : corpus) system.AddMelody(m);
+  system.Build();
+  Hummer hummer(HummerProfile::Perfect(), 7);
+  auto matches = system.Query(hummer.Hum(corpus[5]), 1);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].name, "phrase_5");
+}
+
+TEST(QbhSystemTest, SilentFramesIgnored) {
+  auto corpus = SmallCorpus(30);
+  QbhSystem system;
+  for (Melody& m : corpus) system.AddMelody(m);
+  system.Build();
+  Hummer hummer(HummerProfile::Perfect(), 9);
+  Series hum = hummer.Hum(corpus[3]);
+  // Interleave silence (breaths) into the hum.
+  Series with_silence;
+  for (std::size_t i = 0; i < hum.size(); ++i) {
+    with_silence.push_back(hum[i]);
+    if (i % 50 == 0) with_silence.push_back(SilentFrame());
+  }
+  auto matches = system.Query(with_silence, 1);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].id, 3);
+}
+
+TEST(QbhSystemTest, AllSchemesGiveSameRanking) {
+  auto corpus = SmallCorpus(60);
+  Hummer hummer(HummerProfile::Good(), 11);
+  Series hum = hummer.Hum(corpus[20]);
+
+  std::vector<std::vector<std::int64_t>> rankings;
+  for (SchemeKind scheme : {SchemeKind::kNewPaa, SchemeKind::kKeoghPaa,
+                            SchemeKind::kDft, SchemeKind::kDwt, SchemeKind::kSvd}) {
+    QbhOptions opt;
+    opt.scheme = scheme;
+    QbhSystem system(opt);
+    for (const Melody& m : corpus) system.AddMelody(m);
+    system.Build();
+    auto matches = system.Query(hum, 5);
+    std::vector<std::int64_t> ids;
+    for (const auto& match : matches) ids.push_back(match.id);
+    rankings.push_back(ids);
+  }
+  for (std::size_t i = 1; i < rankings.size(); ++i) {
+    EXPECT_EQ(rankings[i], rankings[0]) << "scheme " << i;
+  }
+}
+
+TEST(QbhSystemTest, WiderWarpingWidthNeverIncreasesDistance) {
+  auto corpus = SmallCorpus(40);
+  Hummer hummer(HummerProfile::Poor(), 13);
+  Series hum = hummer.Hum(corpus[7]);
+  double prev = kInfiniteDistance;
+  for (double width : {0.05, 0.1, 0.2, 0.4}) {
+    QbhOptions opt;
+    opt.warping_width = width;
+    QbhSystem system(opt);
+    for (const Melody& m : corpus) system.AddMelody(m);
+    system.Build();
+    auto matches = system.Query(hum, 1);
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_LE(matches[0].distance, prev + 1e-9);
+    prev = matches[0].distance;
+  }
+}
+
+TEST(ContourSystemTest, ExactContourQueryRanksFirst) {
+  // A repeat-free melody segments cleanly, so a perfect hum recovers its
+  // contour exactly and must rank first. (Melodies with repeated notes are
+  // precisely where segmentation fails — see NoisyHumProducesImperfectContour.)
+  auto corpus = SmallCorpus(100, 21);
+  Melody unique;
+  unique.name = "unique";
+  unique.notes = {{60, 1}, {67, 1}, {59, 1}, {71, 1}, {58, 1}, {65, 1},
+                  {61, 1}, {72, 1}, {57, 1}, {64, 1}, {69, 1}, {56, 1},
+                  {68, 1}, {62, 1}, {73, 1}, {55, 1}};
+  ContourSystem system;
+  for (const Melody& m : corpus) system.AddMelody(m);
+  std::int64_t target = system.AddMelody(unique);
+  Hummer hummer(HummerProfile::Perfect(), 3);
+  Series hum = hummer.Hum(unique);
+  auto matches = system.Query(hum, 5);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].id, target);
+  EXPECT_EQ(matches[0].edit_distance, 0u);
+}
+
+TEST(ContourSystemTest, RankOfIsPessimisticOnTies) {
+  Melody a, b;
+  a.notes = {{60, 1}, {62, 1}, {64, 1}};   // contour "uu"
+  b.notes = {{50, 1}, {51.5, 1}, {53, 1}};  // contour "uu" as well
+  ContourSystem system;
+  system.AddMelody(a);
+  system.AddMelody(b);
+  Hummer hummer(HummerProfile::Perfect(), 5);
+  Series hum = hummer.Hum(a);
+  // Both melodies tie at edit distance 0; rank counts the tie against us.
+  EXPECT_EQ(system.RankOf(hum, 0), 2u);
+}
+
+TEST(ContourSystemTest, QGramCandidatesContainTrueMatch) {
+  auto corpus = SmallCorpus(150, 23);
+  ContourSystem system;
+  for (const Melody& m : corpus) system.AddMelody(m);
+  Hummer hummer(HummerProfile::Good(), 7);
+  for (std::int64_t target : {5, 50, 100}) {
+    Series hum = hummer.Hum(corpus[static_cast<std::size_t>(target)]);
+    std::string qc = system.HumToContour(hum);
+    std::size_t true_ed = EditDistance(
+        qc, ContourOf(corpus[static_cast<std::size_t>(target)]));
+    auto candidates = system.QGramCandidates(qc, true_ed);
+    bool found = false;
+    for (std::int64_t id : candidates) found |= (id == target);
+    EXPECT_TRUE(found) << "target " << target;
+  }
+}
+
+TEST(QbhSystemTest, QueryAudioFindsHummedMelody) {
+  auto corpus = SmallCorpus(80, 31);
+  QbhSystem system;
+  for (Melody& m : corpus) system.AddMelody(m);
+  system.Build();
+
+  Hummer hummer(HummerProfile::Good(), 17);
+  Series pitch = hummer.Hum(corpus[44]);
+  SynthOptions sopt;
+  Series pcm = SynthesizeHum(pitch, sopt);
+  auto matches = system.QueryAudio(pcm, sopt.sample_rate, 3);
+  ASSERT_FALSE(matches.empty());
+  bool found = false;
+  for (const auto& m : matches) found |= (m.id == 44);
+  EXPECT_TRUE(found);
+}
+
+TEST(QbhSystemTest, ChecksMisuse) {
+  QbhSystem system;
+  Melody m;
+  m.notes = {{60, 1}, {62, 1}};
+  system.AddMelody(m);
+  EXPECT_FALSE(system.built());
+  system.Build();
+  EXPECT_TRUE(system.built());
+  EXPECT_EQ(system.size(), 1u);
+  EXPECT_EQ(system.melody(0).notes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace humdex

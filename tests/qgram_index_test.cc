@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "music/contour.h"
+#include "music/qgram_index.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+std::string RandomContour(Rng* rng, std::size_t len) {
+  static const char kAlphabet[] = "UuSdD";
+  std::string s;
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(kAlphabet[rng->NextBounded(5)]);
+  }
+  return s;
+}
+
+TEST(QGramIndexTest, AddAssignsDenseIds) {
+  QGramInvertedIndex index(2);
+  EXPECT_EQ(index.Add("uudd"), 0);
+  EXPECT_EQ(index.Add("dduu"), 1);
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_EQ(index.q(), 2u);
+}
+
+TEST(QGramIndexTest, CandidatesNeverMissWithinRadius) {
+  // No false negatives: every string with ed <= max_ed is a candidate.
+  Rng rng(3);
+  QGramInvertedIndex index(3);
+  std::vector<std::string> strings;
+  for (int i = 0; i < 300; ++i) {
+    strings.push_back(RandomContour(&rng, static_cast<std::size_t>(
+                                              rng.UniformInt(5, 25))));
+    index.Add(strings.back());
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string query = RandomContour(&rng, static_cast<std::size_t>(
+                                                rng.UniformInt(5, 25)));
+    for (std::size_t max_ed : {0u, 2u, 5u}) {
+      auto cands = index.Candidates(query, max_ed);
+      std::vector<bool> in(strings.size(), false);
+      for (std::int64_t id : cands) in[static_cast<std::size_t>(id)] = true;
+      for (std::size_t i = 0; i < strings.size(); ++i) {
+        if (EditDistance(query, strings[i]) <= max_ed) {
+          EXPECT_TRUE(in[i]) << "missed '" << strings[i] << "' for '" << query
+                             << "' at e=" << max_ed;
+        }
+      }
+    }
+  }
+}
+
+TEST(QGramIndexTest, CandidatesActuallyPrune) {
+  Rng rng(5);
+  QGramInvertedIndex index(3);
+  for (int i = 0; i < 500; ++i) {
+    index.Add(RandomContour(&rng, 20));
+  }
+  std::string query = RandomContour(&rng, 20);
+  auto tight = index.Candidates(query, 1);
+  EXPECT_LT(tight.size(), 250u);  // random 5-letter strings rarely collide
+}
+
+TEST(QGramIndexTest, TopKMatchesBruteForce) {
+  Rng rng(7);
+  QGramInvertedIndex index(3);
+  std::vector<std::string> strings;
+  for (int i = 0; i < 200; ++i) {
+    strings.push_back(RandomContour(&rng, static_cast<std::size_t>(
+                                              rng.UniformInt(8, 24))));
+    index.Add(strings.back());
+  }
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string query = RandomContour(&rng, 16);
+    for (std::size_t k : {1u, 5u, 20u}) {
+      std::size_t examined = 0;
+      auto got = index.TopK(query, k, &examined);
+      ASSERT_EQ(got.size(), k);
+      EXPECT_LE(examined, strings.size());
+
+      std::vector<std::size_t> all;
+      for (const std::string& s : strings) all.push_back(EditDistance(query, s));
+      std::sort(all.begin(), all.end());
+      for (std::size_t i = 0; i < k; ++i) {
+        EXPECT_EQ(got[i].second, all[i]) << "k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(QGramIndexTest, TopKOnNearDuplicateCollection) {
+  // A planted near-duplicate must surface first and be found cheaply.
+  Rng rng(9);
+  QGramInvertedIndex index(3);
+  std::string base = RandomContour(&rng, 20);
+  std::int64_t planted = index.Add(base);
+  for (int i = 0; i < 400; ++i) index.Add(RandomContour(&rng, 20));
+
+  std::string query = base;
+  query[5] = query[5] == 'U' ? 'D' : 'U';  // one substitution
+  std::size_t examined = 0;
+  auto got = index.TopK(query, 1, &examined);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, planted);
+  EXPECT_EQ(got[0].second, 1u);
+  EXPECT_LT(examined, 200u);  // far fewer than the full collection
+}
+
+TEST(QGramIndexTest, ShortStringsAlwaysCandidates) {
+  QGramInvertedIndex index(3);
+  index.Add("U");   // shorter than q: no grams at all
+  index.Add("ud");
+  auto cands = index.Candidates("D", 0);
+  EXPECT_EQ(cands.size(), 2u);  // bound vacuous for both
+}
+
+TEST(QGramIndexTest, KLargerThanCollection) {
+  QGramInvertedIndex index(2);
+  index.Add("uudd");
+  index.Add("dduu");
+  auto got = index.TopK("uudd", 10);
+  EXPECT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].second, 0u);
+}
+
+}  // namespace
+}  // namespace humdex

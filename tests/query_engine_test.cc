@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gemini/query_engine.h"
+#include "ts/dtw.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+Series RandomWalk(Rng* rng, std::size_t n) {
+  Series x(n);
+  double v = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v += rng->Gaussian();
+    x[i] = v;
+  }
+  return x;
+}
+
+struct EngineCase {
+  const char* name;
+  std::shared_ptr<FeatureScheme> (*make)(const std::vector<Series>& corpus);
+  IndexKind index;
+};
+
+std::shared_ptr<FeatureScheme> NewPaa(const std::vector<Series>&) {
+  return MakeNewPaaScheme(128, 8);
+}
+std::shared_ptr<FeatureScheme> KeoghPaa(const std::vector<Series>&) {
+  return MakeKeoghPaaScheme(128, 8);
+}
+std::shared_ptr<FeatureScheme> Dft(const std::vector<Series>&) {
+  return MakeDftScheme(128, 8);
+}
+std::shared_ptr<FeatureScheme> Svd(const std::vector<Series>& corpus) {
+  return MakeSvdScheme(corpus, 8);
+}
+
+class QueryEngineSchemeTest : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(QueryEngineSchemeTest, RangeQueryExactVsBruteForce) {
+  Rng rng(42);
+  std::vector<Series> corpus;
+  for (int i = 0; i < 300; ++i) corpus.push_back(RandomWalk(&rng, 128));
+
+  QueryEngineOptions opts;
+  opts.normal_len = 128;
+  opts.warping_width = 0.1;
+  opts.index.kind = GetParam().index;
+  DtwQueryEngine engine(GetParam().make(corpus), opts);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    engine.Add(corpus[i], static_cast<std::int64_t>(i));
+  }
+  const std::size_t k = engine.band_radius();
+
+  for (int q = 0; q < 10; ++q) {
+    Series query = RandomWalk(&rng, 128);
+    double eps = rng.Uniform(2.0, 15.0);
+    QueryStats stats;
+    auto got = engine.RangeQuery(query, eps, &stats);
+
+    // Brute force ground truth.
+    std::set<std::int64_t> expect;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      if (LdtwDistance(query, corpus[i], k) <= eps) {
+        expect.insert(static_cast<std::int64_t>(i));
+      }
+    }
+    std::set<std::int64_t> got_ids;
+    for (const Neighbor& n : got) got_ids.insert(n.id);
+    EXPECT_EQ(got_ids, expect) << GetParam().name;
+
+    // Filter cascade sanity: results <= lb survivors <= index candidates.
+    EXPECT_LE(stats.results, stats.lb_survivors);
+    EXPECT_LE(stats.lb_survivors, stats.index_candidates);
+    EXPECT_EQ(stats.results, got.size());
+
+    // Distances are exact and ascending.
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].distance, LdtwDistance(query, corpus[static_cast<std::size_t>(got[i].id)], k), 1e-9);
+      if (i > 0) {
+        EXPECT_GE(got[i].distance, got[i - 1].distance);
+      }
+    }
+  }
+}
+
+TEST_P(QueryEngineSchemeTest, KnnQueryExactVsBruteForce) {
+  Rng rng(77);
+  std::vector<Series> corpus;
+  for (int i = 0; i < 250; ++i) corpus.push_back(RandomWalk(&rng, 128));
+
+  QueryEngineOptions opts;
+  opts.normal_len = 128;
+  opts.warping_width = 0.1;
+  opts.index.kind = GetParam().index;
+  DtwQueryEngine engine(GetParam().make(corpus), opts);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    engine.Add(corpus[i], static_cast<std::int64_t>(i));
+  }
+  const std::size_t band = engine.band_radius();
+
+  for (int q = 0; q < 8; ++q) {
+    Series query = RandomWalk(&rng, 128);
+    for (std::size_t k : {1u, 5u, 10u}) {
+      auto got = engine.KnnQuery(query, k);
+      ASSERT_EQ(got.size(), k);
+
+      std::vector<double> all;
+      for (const Series& s : corpus) all.push_back(LdtwDistance(query, s, band));
+      std::sort(all.begin(), all.end());
+      for (std::size_t i = 0; i < k; ++i) {
+        EXPECT_NEAR(got[i].distance, all[i], 1e-9) << GetParam().name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, QueryEngineSchemeTest,
+    ::testing::Values(EngineCase{"new_paa_rstar", NewPaa, IndexKind::kRStarTree},
+                      EngineCase{"keogh_paa_rstar", KeoghPaa, IndexKind::kRStarTree},
+                      EngineCase{"dft_rstar", Dft, IndexKind::kRStarTree},
+                      EngineCase{"svd_rstar", Svd, IndexKind::kRStarTree},
+                      EngineCase{"new_paa_grid", NewPaa, IndexKind::kGridFile},
+                      EngineCase{"new_paa_linear", NewPaa, IndexKind::kLinearScan}),
+    [](const ::testing::TestParamInfo<EngineCase>& info) { return info.param.name; });
+
+TEST(QueryEngineTest, NewPaaRetrievesFewerCandidatesThanKeogh) {
+  Rng rng(5);
+  std::vector<Series> corpus;
+  for (int i = 0; i < 800; ++i) corpus.push_back(RandomWalk(&rng, 128));
+
+  QueryEngineOptions opts;
+  opts.normal_len = 128;
+  opts.warping_width = 0.1;
+  DtwQueryEngine new_engine(MakeNewPaaScheme(128, 8), opts);
+  DtwQueryEngine keogh_engine(MakeKeoghPaaScheme(128, 8), opts);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    new_engine.Add(corpus[i], static_cast<std::int64_t>(i));
+    keogh_engine.Add(corpus[i], static_cast<std::int64_t>(i));
+  }
+  std::size_t new_total = 0, keogh_total = 0;
+  for (int q = 0; q < 20; ++q) {
+    Series query = RandomWalk(&rng, 128);
+    QueryStats ns, ks;
+    new_engine.RangeQuery(query, 8.0, &ns);
+    keogh_engine.RangeQuery(query, 8.0, &ks);
+    new_total += ns.index_candidates;
+    keogh_total += ks.index_candidates;
+    // Identical final results regardless of scheme.
+    EXPECT_EQ(ns.results, ks.results);
+  }
+  EXPECT_LT(new_total, keogh_total);
+}
+
+TEST(QueryEngineTest, RankOfSelfQueryIsOne) {
+  Rng rng(9);
+  std::vector<Series> corpus;
+  for (int i = 0; i < 100; ++i) corpus.push_back(RandomWalk(&rng, 128));
+  QueryEngineOptions opts;
+  DtwQueryEngine engine(MakeNewPaaScheme(128, 8), opts);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    engine.Add(corpus[i], static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(engine.RankOf(corpus[17], 17), 1u);
+  EXPECT_DOUBLE_EQ(engine.ExactDistance(corpus[17], 17), 0.0);
+}
+
+TEST(QueryEngineTest, EmptyAndZeroKQueries) {
+  QueryEngineOptions opts;
+  DtwQueryEngine engine(MakeNewPaaScheme(128, 8), opts);
+  Series q(128, 0.0);
+  EXPECT_TRUE(engine.KnnQuery(q, 5).empty());
+  engine.Add(Series(128, 1.0), 0);
+  EXPECT_TRUE(engine.KnnQuery(q, 0).empty());
+}
+
+TEST(QueryEngineTest, StatsPageAccessesPositive) {
+  Rng rng(11);
+  QueryEngineOptions opts;
+  DtwQueryEngine engine(MakeNewPaaScheme(128, 8), opts);
+  for (int i = 0; i < 200; ++i) {
+    engine.Add(RandomWalk(&rng, 128), i);
+  }
+  QueryStats stats;
+  engine.RangeQuery(RandomWalk(&rng, 128), 5.0, &stats);
+  EXPECT_GE(stats.page_accesses, 1u);
+}
+
+}  // namespace
+}  // namespace humdex

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ts/smoothing.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+TEST(MovingAverageTest, IdentityForZeroHalf) {
+  Series x{1, 2, 3};
+  EXPECT_EQ(MovingAverage(x, 0), x);
+}
+
+TEST(MovingAverageTest, KnownValues) {
+  Series x{1, 2, 3, 4, 5};
+  Series out = MovingAverage(x, 1);
+  EXPECT_DOUBLE_EQ(out[0], 1.5);  // clipped window {1,2}
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+  EXPECT_DOUBLE_EQ(out[4], 4.5);
+}
+
+TEST(MovingAverageTest, PreservesConstantSeries) {
+  Series x(20, 7.0);
+  for (std::size_t half : {1u, 3u, 10u, 100u}) {
+    Series out = MovingAverage(x, half);
+    for (double v : out) EXPECT_DOUBLE_EQ(v, 7.0);
+  }
+}
+
+TEST(MovingAverageTest, ReducesVariance) {
+  Rng rng(3);
+  Series x(200);
+  for (double& v : x) v = rng.Gaussian();
+  auto variance = [](const Series& s) {
+    double m = SeriesMean(s), v = 0.0;
+    for (double e : s) v += (e - m) * (e - m);
+    return v / static_cast<double>(s.size());
+  };
+  EXPECT_LT(variance(MovingAverage(x, 3)), variance(x));
+}
+
+TEST(ExponentialSmoothTest, AlphaOneIsIdentity) {
+  Series x{3, 1, 4, 1, 5};
+  EXPECT_EQ(ExponentialSmooth(x, 1.0), x);
+}
+
+TEST(ExponentialSmoothTest, ConvergesToConstant) {
+  Series x(100, 2.0);
+  x[0] = 10.0;
+  Series out = ExponentialSmooth(x, 0.5);
+  EXPECT_NEAR(out.back(), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(out[0], 10.0);
+}
+
+TEST(ZNormalizeTest, UnitVarianceZeroMean) {
+  Rng rng(7);
+  Series x(64);
+  for (double& v : x) v = rng.Uniform(10, 20);
+  Series z = ZNormalize(x);
+  EXPECT_NEAR(SeriesMean(z), 0.0, 1e-10);
+  double var = 0.0;
+  for (double v : z) var += v * v;
+  EXPECT_NEAR(var / 64.0, 1.0, 1e-10);
+}
+
+TEST(ZNormalizeTest, AffineInvariance) {
+  Rng rng(9);
+  Series x(32);
+  for (double& v : x) v = rng.Gaussian();
+  Series scaled = x;
+  for (double& v : scaled) v = 3.5 * v - 12.0;
+  Series zx = ZNormalize(x), zs = ZNormalize(scaled);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(zx[i], zs[i], 1e-9);
+}
+
+TEST(ZNormalizeTest, ConstantSeriesToZeros) {
+  Series x(10, 42.0);
+  Series z = ZNormalize(x);
+  for (double v : z) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(DifferenceTest, IntervalsOfAMelodyLine) {
+  Series x{60, 62, 62, 59};
+  Series d = Difference(x);
+  Series expect{2, 0, -3};
+  EXPECT_EQ(d, expect);
+}
+
+TEST(DifferenceTest, ShiftInvariance) {
+  Series x{1, 4, 2, 8};
+  Series shifted = x;
+  for (double& v : shifted) v += 100.0;
+  EXPECT_EQ(Difference(x), Difference(shifted));
+}
+
+TEST(DifferenceTest, ShortInputs) {
+  EXPECT_TRUE(Difference({}).empty());
+  EXPECT_TRUE(Difference({1.0}).empty());
+}
+
+}  // namespace
+}  // namespace humdex

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "music/segmenter.h"
+#include "music/song_generator.h"
+
+namespace humdex {
+namespace {
+
+TEST(SongGeneratorTest, PhraseNoteCountWithinBounds) {
+  SongGenerator gen(1);
+  for (int i = 0; i < 100; ++i) {
+    Melody m = gen.GeneratePhrase();
+    EXPECT_GE(m.size(), 15u);
+    EXPECT_LE(m.size(), 30u);
+  }
+}
+
+TEST(SongGeneratorTest, DeterministicForSeed) {
+  SongGenerator a(42), b(42);
+  for (int i = 0; i < 10; ++i) {
+    Melody ma = a.GeneratePhrase(), mb = b.GeneratePhrase();
+    ASSERT_EQ(ma.size(), mb.size());
+    for (std::size_t j = 0; j < ma.size(); ++j) {
+      EXPECT_DOUBLE_EQ(ma.notes[j].pitch, mb.notes[j].pitch);
+      EXPECT_DOUBLE_EQ(ma.notes[j].duration, mb.notes[j].duration);
+    }
+  }
+}
+
+TEST(SongGeneratorTest, PitchesInSingableRange) {
+  SongGenerator gen(7);
+  for (int i = 0; i < 50; ++i) {
+    Melody m = gen.GeneratePhrase();
+    for (const Note& n : m.notes) {
+      EXPECT_GE(n.pitch, 55.0 - 12.0);
+      EXPECT_LE(n.pitch, 70.0 + 24.0);
+      EXPECT_GT(n.duration, 0.0);
+    }
+  }
+}
+
+TEST(SongGeneratorTest, PhrasesAreDistinct) {
+  SongGenerator gen(11);
+  auto phrases = gen.GeneratePhrases(50);
+  std::set<std::size_t> sizes;
+  std::set<double> first_pitches;
+  for (const Melody& m : phrases) {
+    sizes.insert(m.size());
+    first_pitches.insert(m.notes[0].pitch);
+  }
+  EXPECT_GT(sizes.size(), 3u);
+  EXPECT_GT(first_pitches.size(), 5u);
+}
+
+TEST(SongGeneratorTest, MotionIsMostlyStepwise) {
+  // Tonal melodies move by small intervals most of the time.
+  SongGenerator gen(13);
+  int small = 0, total = 0;
+  for (int i = 0; i < 50; ++i) {
+    Melody m = gen.GeneratePhrase();
+    for (std::size_t j = 1; j < m.size(); ++j) {
+      double iv = std::abs(m.notes[j].pitch - m.notes[j - 1].pitch);
+      if (iv <= 4.0) ++small;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(small) / total, 0.6);
+}
+
+TEST(SongGeneratorTest, SongSegmentsIntoPaperScalePhrases) {
+  // 50 songs -> ~1000 phrases of 15-30 notes, the paper's corpus shape.
+  SongGenerator gen(17);
+  std::size_t phrase_count = 0;
+  for (int s = 0; s < 50; ++s) {
+    Melody song = gen.GenerateSong(s);
+    auto phrases = SegmentMelody(song);
+    for (const Melody& p : phrases) {
+      EXPECT_GE(p.size(), 15u);
+      // max_notes + merged tail can slightly exceed 30.
+      EXPECT_LE(p.size(), 45u);
+    }
+    phrase_count += phrases.size();
+  }
+  EXPECT_GT(phrase_count, 500u);
+  EXPECT_LT(phrase_count, 2000u);
+}
+
+TEST(SongGeneratorTest, NamedPhrases) {
+  SongGenerator gen(19);
+  auto phrases = gen.GeneratePhrases(3);
+  EXPECT_EQ(phrases[0].name, "phrase_0");
+  EXPECT_EQ(phrases[2].name, "phrase_2");
+  Melody song = gen.GenerateSong(4);
+  EXPECT_EQ(song.name, "song_4");
+}
+
+}  // namespace
+}  // namespace humdex

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "music/hummer.h"
+#include "music/song_generator.h"
+#include "qbh/storage.h"
+
+namespace humdex {
+namespace {
+
+QbhSystem MakeSystem(QbhOptions opt, std::size_t corpus_size,
+                     std::uint64_t seed = 3) {
+  SongGenerator gen(seed);
+  QbhSystem system(opt);
+  for (Melody& m : gen.GeneratePhrases(corpus_size)) system.AddMelody(std::move(m));
+  system.Build();
+  return system;
+}
+
+TEST(StorageTest, RoundTripPreservesOptionsAndCorpus) {
+  QbhOptions opt;
+  opt.normal_len = 64;
+  opt.warping_width = 0.15;
+  opt.feature_dim = 4;
+  opt.scheme = SchemeKind::kDwt;
+  opt.index = IndexKind::kGridFile;
+  opt.samples_per_beat = 4.0;
+  QbhSystem original = MakeSystem(opt, 40);
+
+  Result<QbhSystem> loaded = ParseQbhDatabase(SerializeQbhDatabase(original));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const QbhSystem& sys = loaded.value();
+  EXPECT_TRUE(sys.built());
+  EXPECT_EQ(sys.size(), original.size());
+  EXPECT_EQ(sys.options().normal_len, 64u);
+  EXPECT_DOUBLE_EQ(sys.options().warping_width, 0.15);
+  EXPECT_EQ(sys.options().feature_dim, 4u);
+  EXPECT_EQ(sys.options().scheme, SchemeKind::kDwt);
+  EXPECT_EQ(sys.options().index, IndexKind::kGridFile);
+  EXPECT_EQ(sys.melody(7).name, original.melody(7).name);
+}
+
+TEST(StorageTest, LoadedSystemAnswersQueriesIdentically) {
+  QbhSystem original = MakeSystem(QbhOptions(), 120, 9);
+  Result<QbhSystem> loaded = ParseQbhDatabase(SerializeQbhDatabase(original));
+  ASSERT_TRUE(loaded.ok());
+
+  Hummer hummer(HummerProfile::Good(), 5);
+  Series hum = hummer.Hum(original.melody(33));
+  auto a = original.Query(hum, 5);
+  auto b = loaded.value().Query(hum, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_NEAR(a[i].distance, b[i].distance, 1e-9);
+  }
+}
+
+TEST(StorageTest, FileRoundTrip) {
+  QbhSystem original = MakeSystem(QbhOptions(), 20, 11);
+  std::string path = ::testing::TempDir() + "/humdex_storage_test.db";
+  ASSERT_TRUE(SaveQbhDatabase(path, original).ok());
+  Result<QbhSystem> loaded = LoadQbhDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 20u);
+  std::remove(path.c_str());
+}
+
+TEST(StorageTest, RejectsMalformedDatabases) {
+  EXPECT_FALSE(ParseQbhDatabase("").ok());
+  EXPECT_FALSE(ParseQbhDatabase("not a db\n").ok());
+  EXPECT_FALSE(ParseQbhDatabase("humdex-db v1\n").ok());  // no melodies
+  EXPECT_FALSE(
+      ParseQbhDatabase("humdex-db v1\noption scheme martian\nmelody a\n60 1\nend\n")
+          .ok());
+  EXPECT_FALSE(
+      ParseQbhDatabase("humdex-db v1\noption bogus 1\nmelody a\n60 1\nend\n").ok());
+  EXPECT_FALSE(ParseQbhDatabase("humdex-db v1\nmelody a\n60 oops\nend\n").ok());
+}
+
+TEST(StorageTest, MissingFileIsNotFound) {
+  Result<QbhSystem> r = LoadQbhDatabase("/nonexistent/humdex.db");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace humdex

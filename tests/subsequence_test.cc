@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gemini/subsequence.h"
+#include "music/hummer.h"
+#include "music/song_generator.h"
+
+namespace humdex {
+namespace {
+
+TEST(CutWindowsTest, ShortSongIsOneWindow) {
+  Melody song;
+  song.notes = {{60, 2}, {62, 2}};
+  auto windows = CutWindows(song, 16.0, 4.0);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(windows[0].second, 0.0);
+  EXPECT_EQ(windows[0].first.size(), 2u);
+}
+
+TEST(CutWindowsTest, WindowsCoverSongAtStride) {
+  Melody song;
+  for (int i = 0; i < 32; ++i) song.notes.push_back({60.0 + (i % 5), 1.0});
+  auto windows = CutWindows(song, 16.0, 4.0);
+  // Offsets 0, 4, 8, 12, 16 (16+16=32 <= 32).
+  ASSERT_EQ(windows.size(), 5u);
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    EXPECT_DOUBLE_EQ(windows[w].second, 4.0 * static_cast<double>(w));
+    EXPECT_NEAR(windows[w].first.TotalBeats(), 16.0, 1e-9);
+  }
+}
+
+TEST(CutWindowsTest, NotesSplitAtBorders) {
+  Melody song;
+  song.notes = {{60, 10}, {67, 10}};
+  auto windows = CutWindows(song, 8.0, 4.0);
+  // Window at offset 4 covers [4, 12): 6 beats of 60, 2 beats of 67.
+  ASSERT_GE(windows.size(), 2u);
+  const Melody& w1 = windows[1].first;
+  ASSERT_EQ(w1.size(), 2u);
+  EXPECT_DOUBLE_EQ(w1.notes[0].pitch, 60.0);
+  EXPECT_NEAR(w1.notes[0].duration, 6.0, 1e-9);
+  EXPECT_DOUBLE_EQ(w1.notes[1].pitch, 67.0);
+  EXPECT_NEAR(w1.notes[1].duration, 2.0, 1e-9);
+}
+
+TEST(SubsequenceIndexTest, FindsHummedFragmentInsideSong) {
+  SongGenerator gen(99);
+  SubsequenceIndex index;
+  std::vector<Melody> songs;
+  for (int s = 0; s < 20; ++s) {
+    Melody song = gen.GenerateSong(s);
+    songs.push_back(song);
+    index.AddSong(std::move(song));
+  }
+  index.Build();
+  EXPECT_EQ(index.song_count(), 20u);
+  EXPECT_GT(index.window_count(), 20u);
+
+  // Hum a 16-beat fragment from the middle of song 7.
+  auto fragments = CutWindows(songs[7], 16.0, 4.0);
+  ASSERT_GT(fragments.size(), 4u);
+  const auto& [fragment, offset] = fragments[4];
+  Hummer hummer(HummerProfile::Good(), 5);
+  Series hum = hummer.Hum(fragment);
+
+  auto matches = index.Query(hum, 3);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].song_id, 7);
+  // The located offset should be near where the fragment was cut.
+  EXPECT_NEAR(matches[0].offset_beats, offset, 8.0);
+}
+
+TEST(SubsequenceIndexTest, DedupCollapsesAdjacentWindows) {
+  SongGenerator gen(7);
+  SubsequenceIndex index;
+  for (int s = 0; s < 5; ++s) index.AddSong(gen.GenerateSong(s));
+  index.Build();
+
+  Melody song0_again = SongGenerator(7).GenerateSong(0);
+  auto fragments = CutWindows(song0_again, 16.0, 4.0);
+  Hummer hummer(HummerProfile::Perfect(), 3);
+  Series hum = hummer.Hum(fragments[2].first);
+
+  auto dedup = index.Query(hum, 5, /*dedup_songs=*/true);
+  std::set<std::int64_t> ids;
+  for (const auto& m : dedup) EXPECT_TRUE(ids.insert(m.song_id).second);
+
+  auto raw = index.Query(hum, 5, /*dedup_songs=*/false);
+  EXPECT_EQ(raw.size(), 5u);
+}
+
+TEST(SubsequenceIndexTest, PerfectFragmentScoresNearZero) {
+  SongGenerator gen(55);
+  SubsequenceIndex index;
+  Melody song = gen.GenerateSong(0);
+  index.AddSong(song);
+  for (int s = 1; s < 10; ++s) index.AddSong(gen.GenerateSong(s));
+  index.Build();
+
+  auto fragments = CutWindows(song, 16.0, 4.0);
+  Hummer hummer(HummerProfile::Perfect(), 1);
+  Series hum = hummer.Hum(fragments[0].first);
+  auto matches = index.Query(hum, 1);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].song_id, 0);
+  EXPECT_LT(matches[0].distance, 2.0);
+}
+
+TEST(SubsequenceIndexTest, MatchesCarrySongNames) {
+  SubsequenceIndex index;
+  Melody song;
+  song.name = "yellow_submarine";
+  for (int i = 0; i < 40; ++i) song.notes.push_back({60.0 + (i * 3) % 7, 1.0});
+  index.AddSong(song);
+  index.Build();
+  Hummer hummer(HummerProfile::Perfect(), 2);
+  auto matches = index.Query(hummer.Hum(song), 1);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].song_name, "yellow_submarine");
+}
+
+}  // namespace
+}  // namespace humdex

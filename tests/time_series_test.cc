@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ts/normal_form.h"
+#include "ts/time_series.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+TEST(DistanceTest, EuclideanKnownValues) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1, 1, 1}, {1, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(SquaredEuclideanDistance({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(DistanceTest, LpGeneralizesEuclidean) {
+  Series x{1, 2, 3}, y{4, 6, 3};
+  EXPECT_NEAR(LpDistance(x, y, 2.0), EuclideanDistance(x, y), 1e-12);
+  EXPECT_DOUBLE_EQ(LpDistance(x, y, 1.0), 7.0);
+}
+
+TEST(DistanceTest, TriangleInequalityRandom) {
+  Rng rng(3);
+  for (int t = 0; t < 100; ++t) {
+    Series a(16), b(16), c(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+      a[i] = rng.Gaussian();
+      b[i] = rng.Gaussian();
+      c[i] = rng.Gaussian();
+    }
+    EXPECT_LE(EuclideanDistance(a, c),
+              EuclideanDistance(a, b) + EuclideanDistance(b, c) + 1e-9);
+  }
+}
+
+TEST(SeriesOpsTest, MeanMinMax) {
+  Series x{3, 1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(SeriesMean(x), 2.8);
+  EXPECT_DOUBLE_EQ(SeriesMin(x), 1.0);
+  EXPECT_DOUBLE_EQ(SeriesMax(x), 5.0);
+  EXPECT_EQ(SeriesMean({}), 0.0);
+}
+
+TEST(NormalFormTest, SubtractMeanCentersSeries) {
+  Series x{1, 2, 3, 4};
+  Series c = SubtractMean(x);
+  EXPECT_NEAR(SeriesMean(c), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c[0], -1.5);
+  EXPECT_DOUBLE_EQ(c[3], 1.5);
+}
+
+TEST(NormalFormTest, SubtractMeanShiftInvariance) {
+  // The paper's shift invariance: x and x + const share a normal form.
+  Rng rng(5);
+  Series x(32);
+  for (double& v : x) v = rng.Uniform(50, 70);
+  Series shifted = x;
+  for (double& v : shifted) v += 7.3;
+  Series a = SubtractMean(x), b = SubtractMean(shifted);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-10);
+}
+
+TEST(NormalFormTest, UpsampleRepeatsValues) {
+  Series x{1, 2, 3};
+  Series u = Upsample(x, 3);
+  Series expect{1, 1, 1, 2, 2, 2, 3, 3, 3};
+  EXPECT_EQ(u, expect);
+  EXPECT_EQ(Upsample(x, 1), x);
+}
+
+TEST(NormalFormTest, UtwNormalFormMultipleLength) {
+  // When target is a multiple of n, UTW normal form equals upsampling.
+  Series x{5, 7, 9};
+  EXPECT_EQ(UtwNormalForm(x, 9), Upsample(x, 3));
+}
+
+TEST(NormalFormTest, UtwNormalFormNonMultiple) {
+  Series x{10, 20};
+  Series out = UtwNormalForm(x, 5);
+  // Indices 0,1 -> x[0]; 2 -> x[0*2... floor(2*2/5)=0]? floor(4/5)=0; 3,4 -> x[1].
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_DOUBLE_EQ(out[0], 10);
+  EXPECT_DOUBLE_EQ(out[1], 10);
+  EXPECT_DOUBLE_EQ(out[2], 10);
+  EXPECT_DOUBLE_EQ(out[3], 20);
+  EXPECT_DOUBLE_EQ(out[4], 20);
+}
+
+TEST(NormalFormTest, UtwPreservesFirstAndLast) {
+  Rng rng(7);
+  for (int t = 0; t < 20; ++t) {
+    std::size_t n = static_cast<std::size_t>(rng.UniformInt(2, 40));
+    Series x(n);
+    for (double& v : x) v = rng.Gaussian();
+    Series out = UtwNormalForm(x, 128);
+    EXPECT_DOUBLE_EQ(out.front(), x.front());
+    EXPECT_DOUBLE_EQ(out.back(), x.back());
+  }
+}
+
+TEST(NormalFormTest, TempoInvariance) {
+  // A series and its 2x upsample (same melody, half tempo) share the UTW
+  // normal form — the paper's tempo invariance.
+  Series x{1, 3, 2, 5, 4, 4, 2, 1};
+  Series slow = Upsample(x, 2);
+  EXPECT_EQ(UtwNormalForm(x, 64), UtwNormalForm(slow, 64));
+}
+
+TEST(NormalFormTest, FullNormalFormCombinesBoth) {
+  Series x{60, 62, 64, 62};
+  Series transposed_slow = Upsample(x, 3);
+  for (double& v : transposed_slow) v += 5.0;
+  Series a = NormalForm(x, 48);
+  Series b = NormalForm(transposed_slow, 48);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-10);
+  EXPECT_NEAR(SeriesMean(a), 0.0, 1e-12);
+}
+
+TEST(NormalFormTest, DownsamplingPath) {
+  // target_len smaller than n picks a subsequence.
+  Series x{1, 2, 3, 4, 5, 6, 7, 8};
+  Series out = UtwNormalForm(x, 4);
+  Series expect{1, 3, 5, 7};
+  EXPECT_EQ(out, expect);
+}
+
+}  // namespace
+}  // namespace humdex

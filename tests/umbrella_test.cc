@@ -1,0 +1,36 @@
+// Compile-and-link check for the umbrella header: every public type is
+// reachable through one include and the layers compose.
+#include "humdex.h"
+
+#include <gtest/gtest.h>
+
+namespace humdex {
+namespace {
+
+TEST(UmbrellaTest, EndToEndThroughSingleInclude) {
+  SongGenerator gen(1);
+  QbhSystem system;
+  for (Melody& m : gen.GeneratePhrases(30)) system.AddMelody(std::move(m));
+  system.Build();
+
+  Hummer hummer(HummerProfile::Perfect(), 2);
+  Series hum = hummer.Hum(system.melody(12));
+  Series pcm = SynthesizeHum(hum);
+  auto matches = system.QueryAudio(pcm, SynthOptions().sample_rate, 1);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].id, 12);
+}
+
+TEST(UmbrellaTest, EveryLayerNameResolves) {
+  // One token per layer, to catch accidental header removal.
+  EXPECT_TRUE(IsPowerOfTwo(64));                          // util
+  EXPECT_EQ(BandRadiusForWidth(0.1, 128), 6u);            // ts
+  EXPECT_EQ(PaaTransform(8, 2).output_dim(), 2u);         // transform
+  EXPECT_EQ(RStarTree(2).size(), 0u);                     // index
+  EXPECT_EQ(WarpingBand::Itakura(16).rows(), 16u);        // ts/band
+  EXPECT_EQ(ContourLetter(3.0), 'U');                     // music
+  EXPECT_NEAR(MidiToHz(69), 440.0, 1e-9);                 // audio
+}
+
+}  // namespace
+}  // namespace humdex

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/matrix.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace humdex {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(StatusTest, AllCodesStringify) {
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NOT_FOUND: x");
+  EXPECT_EQ(Status::OutOfRange("x").ToString(), "OUT_OF_RANGE: x");
+  EXPECT_EQ(Status::FailedPrecondition("x").ToString(), "FAILED_PRECONDITION: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "INTERNAL: x");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = r.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRange) {
+  Rng r(9);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint32_t v = r.NextBounded(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int v = r.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng r(13);
+  RunningStats st;
+  for (int i = 0; i < 50000; ++i) st.Add(r.Gaussian());
+  EXPECT_NEAR(st.mean(), 0.0, 0.02);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng r(17);
+  RunningStats st;
+  for (int i = 0; i < 50000; ++i) st.Add(r.Gaussian(5.0, 2.0));
+  EXPECT_NEAR(st.mean(), 5.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng r(19);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += r.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork(1);
+  Rng child2 = parent.Fork(1);
+  // Same salt at a different parent state gives a different stream.
+  EXPECT_NE(child.NextU32(), child2.NextU32());
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng r(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  r.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RunningStatsTest, Basics) {
+  RunningStats st;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.Add(v);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+  EXPECT_NEAR(st.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats st;
+  EXPECT_EQ(st.count(), 0u);
+  EXPECT_EQ(st.mean(), 0.0);
+  EXPECT_EQ(st.variance(), 0.0);
+  st.Add(3.0);
+  EXPECT_EQ(st.variance(), 0.0);
+  EXPECT_EQ(st.mean(), 3.0);
+}
+
+TEST(StatsTest, MeanAndStddev) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_NEAR(Stddev(v), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Stddev({1.0}), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v{4, 1, 3, 2};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 2.5);
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+}
+
+TEST(MatrixTest, MultiplyIdentity) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Matrix i3 = Matrix::Identity(3);
+  Matrix prod = a.Multiply(i3);
+  EXPECT_EQ(Matrix::MaxAbsDiff(a, prod), 0.0);
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a(3, 2);
+  int k = 0;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) a(r, c) = ++k;
+  }
+  Matrix att = a.Transposed().Transposed();
+  EXPECT_EQ(Matrix::MaxAbsDiff(a, att), 0.0);
+  EXPECT_EQ(a.Transposed().rows(), 2u);
+  EXPECT_EQ(a.Transposed().cols(), 3u);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 0;
+  a(0, 2) = -1;
+  a(1, 0) = 2;
+  a(1, 1) = 2;
+  a(1, 2) = 2;
+  std::vector<double> v{3, 4, 5};
+  auto out = a.MultiplyVector(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], -2.0);
+  EXPECT_DOUBLE_EQ(out[1], 24.0);
+}
+
+}  // namespace
+}  // namespace humdex

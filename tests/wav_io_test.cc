@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "audio/synth.h"
+#include "audio/wav_io.h"
+
+namespace humdex {
+namespace {
+
+TEST(WavIoTest, EncodeHeaderLayout) {
+  Series samples{0.0, 0.5, -0.5, 1.0};
+  std::string bytes = EncodeWav(samples, 8000);
+  ASSERT_EQ(bytes.size(), 44u + 8u);
+  EXPECT_EQ(bytes.substr(0, 4), "RIFF");
+  EXPECT_EQ(bytes.substr(8, 4), "WAVE");
+  EXPECT_EQ(bytes.substr(12, 4), "fmt ");
+  EXPECT_EQ(bytes.substr(36, 4), "data");
+}
+
+TEST(WavIoTest, RoundTripPreservesSamples) {
+  Series samples;
+  for (int i = 0; i < 1000; ++i) {
+    samples.push_back(std::sin(2.0 * M_PI * i / 50.0) * 0.8);
+  }
+  WavData decoded;
+  ASSERT_TRUE(DecodeWav(EncodeWav(samples, 44100), &decoded).ok());
+  EXPECT_DOUBLE_EQ(decoded.sample_rate, 44100.0);
+  ASSERT_EQ(decoded.samples.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_NEAR(decoded.samples[i], samples[i], 1.0 / 32767.0);
+  }
+}
+
+TEST(WavIoTest, ClampsOutOfRangeSamples) {
+  Series samples{5.0, -5.0};
+  WavData decoded;
+  ASSERT_TRUE(DecodeWav(EncodeWav(samples, 8000), &decoded).ok());
+  EXPECT_NEAR(decoded.samples[0], 1.0, 1e-4);
+  EXPECT_NEAR(decoded.samples[1], -1.0, 1e-4);
+}
+
+TEST(WavIoTest, RejectsMalformedInput) {
+  WavData out;
+  EXPECT_FALSE(DecodeWav("", &out).ok());
+  EXPECT_FALSE(DecodeWav("RIFFxxxxWAVE", &out).ok());
+  EXPECT_FALSE(DecodeWav(std::string(44, 'x'), &out).ok());
+
+  // Truncated data chunk.
+  std::string good = EncodeWav({0.1, 0.2, 0.3}, 8000);
+  std::string truncated = good.substr(0, good.size() - 2);
+  EXPECT_FALSE(DecodeWav(truncated, &out).ok());
+
+  // Stereo is rejected.
+  std::string stereo = good;
+  stereo[22] = 2;
+  EXPECT_FALSE(DecodeWav(stereo, &out).ok());
+
+  // Non-PCM format code is rejected.
+  std::string alaw = good;
+  alaw[20] = 6;
+  EXPECT_FALSE(DecodeWav(alaw, &out).ok());
+}
+
+TEST(WavIoTest, FileRoundTrip) {
+  Series hum_frames(50, 60.0);
+  Series pcm = SynthesizeHum(hum_frames);
+  std::string path = ::testing::TempDir() + "/humdex_wav_test.wav";
+  ASSERT_TRUE(WriteWavFile(path, pcm, 8000).ok());
+  WavData loaded;
+  ASSERT_TRUE(ReadWavFile(path, &loaded).ok());
+  EXPECT_EQ(loaded.samples.size(), pcm.size());
+  EXPECT_DOUBLE_EQ(loaded.sample_rate, 8000.0);
+  std::remove(path.c_str());
+}
+
+TEST(WavIoTest, MissingFileIsNotFound) {
+  WavData out;
+  EXPECT_EQ(ReadWavFile("/nonexistent/foo.wav", &out).code(),
+            Status::Code::kNotFound);
+}
+
+TEST(WavIoTest, EmptyAudioIsValid) {
+  WavData out;
+  ASSERT_TRUE(DecodeWav(EncodeWav({}, 8000), &out).ok());
+  EXPECT_TRUE(out.samples.empty());
+}
+
+}  // namespace
+}  // namespace humdex
