@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_band_shape.dir/ablation_band_shape.cc.o"
+  "CMakeFiles/ablation_band_shape.dir/ablation_band_shape.cc.o.d"
+  "ablation_band_shape"
+  "ablation_band_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_band_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dimensionality.dir/ablation_dimensionality.cc.o"
+  "CMakeFiles/ablation_dimensionality.dir/ablation_dimensionality.cc.o.d"
+  "ablation_dimensionality"
+  "ablation_dimensionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_envelope_side.cc" "bench/CMakeFiles/ablation_envelope_side.dir/ablation_envelope_side.cc.o" "gcc" "bench/CMakeFiles/ablation_envelope_side.dir/ablation_envelope_side.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/humdex_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_qbh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_gemini.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_music.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

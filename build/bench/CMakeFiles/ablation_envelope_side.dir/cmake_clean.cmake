@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_envelope_side.dir/ablation_envelope_side.cc.o"
+  "CMakeFiles/ablation_envelope_side.dir/ablation_envelope_side.cc.o.d"
+  "ablation_envelope_side"
+  "ablation_envelope_side.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_envelope_side.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

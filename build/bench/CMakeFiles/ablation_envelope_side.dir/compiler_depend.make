@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_envelope_side.
+# This may be replaced when dependencies are built.

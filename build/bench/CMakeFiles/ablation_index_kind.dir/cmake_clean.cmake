@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_index_kind.dir/ablation_index_kind.cc.o"
+  "CMakeFiles/ablation_index_kind.dir/ablation_index_kind.cc.o.d"
+  "ablation_index_kind"
+  "ablation_index_kind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_index_kind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_knn.dir/ablation_knn.cc.o"
+  "CMakeFiles/ablation_knn.dir/ablation_knn.cc.o.d"
+  "ablation_knn"
+  "ablation_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_qgram.dir/ablation_qgram.cc.o"
+  "CMakeFiles/ablation_qgram.dir/ablation_qgram.cc.o.d"
+  "ablation_qgram"
+  "ablation_qgram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qgram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_randomwalk_scale.dir/fig10_randomwalk_scale.cc.o"
+  "CMakeFiles/fig10_randomwalk_scale.dir/fig10_randomwalk_scale.cc.o.d"
+  "fig10_randomwalk_scale"
+  "fig10_randomwalk_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_randomwalk_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_tightness.dir/fig6_tightness.cc.o"
+  "CMakeFiles/fig6_tightness.dir/fig6_tightness.cc.o.d"
+  "fig6_tightness"
+  "fig6_tightness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tightness_vs_width.dir/fig7_tightness_vs_width.cc.o"
+  "CMakeFiles/fig7_tightness_vs_width.dir/fig7_tightness_vs_width.cc.o.d"
+  "fig7_tightness_vs_width"
+  "fig7_tightness_vs_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tightness_vs_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

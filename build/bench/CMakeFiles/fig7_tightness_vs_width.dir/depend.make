@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_tightness_vs_width.
+# This may be replaced when dependencies are built.

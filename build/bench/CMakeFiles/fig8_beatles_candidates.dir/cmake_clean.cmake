@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_beatles_candidates.dir/fig8_beatles_candidates.cc.o"
+  "CMakeFiles/fig8_beatles_candidates.dir/fig8_beatles_candidates.cc.o.d"
+  "fig8_beatles_candidates"
+  "fig8_beatles_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_beatles_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

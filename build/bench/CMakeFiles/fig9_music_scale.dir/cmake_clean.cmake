@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_music_scale.dir/fig9_music_scale.cc.o"
+  "CMakeFiles/fig9_music_scale.dir/fig9_music_scale.cc.o.d"
+  "fig9_music_scale"
+  "fig9_music_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_music_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

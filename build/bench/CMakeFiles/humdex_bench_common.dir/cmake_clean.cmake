@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libhumdex_bench_common.a"
+  "../lib/libhumdex_bench_common.pdb"
+  "CMakeFiles/humdex_bench_common.dir/common.cc.o"
+  "CMakeFiles/humdex_bench_common.dir/common.cc.o.d"
+  "CMakeFiles/humdex_bench_common.dir/datasets.cc.o"
+  "CMakeFiles/humdex_bench_common.dir/datasets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/humdex_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libhumdex_bench_common.a"
+)

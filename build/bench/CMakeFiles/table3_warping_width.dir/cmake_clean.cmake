@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_warping_width.dir/table3_warping_width.cc.o"
+  "CMakeFiles/table3_warping_width.dir/table3_warping_width.cc.o.d"
+  "table3_warping_width"
+  "table3_warping_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_warping_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contour_vs_dtw.dir/contour_vs_dtw.cpp.o"
+  "CMakeFiles/contour_vs_dtw.dir/contour_vs_dtw.cpp.o.d"
+  "contour_vs_dtw"
+  "contour_vs_dtw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contour_vs_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hum_query_demo.dir/hum_query_demo.cpp.o"
+  "CMakeFiles/hum_query_demo.dir/hum_query_demo.cpp.o.d"
+  "hum_query_demo"
+  "hum_query_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hum_query_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/humdex_cli.dir/humdex_cli.cpp.o"
+  "CMakeFiles/humdex_cli.dir/humdex_cli.cpp.o.d"
+  "humdex_cli"
+  "humdex_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/humdex_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsequence_search.dir/subsequence_search.cpp.o"
+  "CMakeFiles/subsequence_search.dir/subsequence_search.cpp.o.d"
+  "subsequence_search"
+  "subsequence_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsequence_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audio/pitch_detect.cc" "src/CMakeFiles/humdex_audio.dir/audio/pitch_detect.cc.o" "gcc" "src/CMakeFiles/humdex_audio.dir/audio/pitch_detect.cc.o.d"
+  "/root/repo/src/audio/synth.cc" "src/CMakeFiles/humdex_audio.dir/audio/synth.cc.o" "gcc" "src/CMakeFiles/humdex_audio.dir/audio/synth.cc.o.d"
+  "/root/repo/src/audio/wav_io.cc" "src/CMakeFiles/humdex_audio.dir/audio/wav_io.cc.o" "gcc" "src/CMakeFiles/humdex_audio.dir/audio/wav_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/humdex_music.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

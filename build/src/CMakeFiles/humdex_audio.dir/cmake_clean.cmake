@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/humdex_audio.dir/audio/pitch_detect.cc.o"
+  "CMakeFiles/humdex_audio.dir/audio/pitch_detect.cc.o.d"
+  "CMakeFiles/humdex_audio.dir/audio/synth.cc.o"
+  "CMakeFiles/humdex_audio.dir/audio/synth.cc.o.d"
+  "CMakeFiles/humdex_audio.dir/audio/wav_io.cc.o"
+  "CMakeFiles/humdex_audio.dir/audio/wav_io.cc.o.d"
+  "libhumdex_audio.a"
+  "libhumdex_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/humdex_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gemini/fastmap.cc" "src/CMakeFiles/humdex_gemini.dir/gemini/fastmap.cc.o" "gcc" "src/CMakeFiles/humdex_gemini.dir/gemini/fastmap.cc.o.d"
+  "/root/repo/src/gemini/feature_index.cc" "src/CMakeFiles/humdex_gemini.dir/gemini/feature_index.cc.o" "gcc" "src/CMakeFiles/humdex_gemini.dir/gemini/feature_index.cc.o.d"
+  "/root/repo/src/gemini/query_engine.cc" "src/CMakeFiles/humdex_gemini.dir/gemini/query_engine.cc.o" "gcc" "src/CMakeFiles/humdex_gemini.dir/gemini/query_engine.cc.o.d"
+  "/root/repo/src/gemini/subsequence.cc" "src/CMakeFiles/humdex_gemini.dir/gemini/subsequence.cc.o" "gcc" "src/CMakeFiles/humdex_gemini.dir/gemini/subsequence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/humdex_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_music.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

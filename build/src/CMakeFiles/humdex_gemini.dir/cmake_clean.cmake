@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/humdex_gemini.dir/gemini/fastmap.cc.o"
+  "CMakeFiles/humdex_gemini.dir/gemini/fastmap.cc.o.d"
+  "CMakeFiles/humdex_gemini.dir/gemini/feature_index.cc.o"
+  "CMakeFiles/humdex_gemini.dir/gemini/feature_index.cc.o.d"
+  "CMakeFiles/humdex_gemini.dir/gemini/query_engine.cc.o"
+  "CMakeFiles/humdex_gemini.dir/gemini/query_engine.cc.o.d"
+  "CMakeFiles/humdex_gemini.dir/gemini/subsequence.cc.o"
+  "CMakeFiles/humdex_gemini.dir/gemini/subsequence.cc.o.d"
+  "libhumdex_gemini.a"
+  "libhumdex_gemini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/humdex_gemini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

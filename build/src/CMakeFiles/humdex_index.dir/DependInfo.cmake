@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/buffer_pool.cc" "src/CMakeFiles/humdex_index.dir/index/buffer_pool.cc.o" "gcc" "src/CMakeFiles/humdex_index.dir/index/buffer_pool.cc.o.d"
+  "/root/repo/src/index/grid_file.cc" "src/CMakeFiles/humdex_index.dir/index/grid_file.cc.o" "gcc" "src/CMakeFiles/humdex_index.dir/index/grid_file.cc.o.d"
+  "/root/repo/src/index/linear_scan.cc" "src/CMakeFiles/humdex_index.dir/index/linear_scan.cc.o" "gcc" "src/CMakeFiles/humdex_index.dir/index/linear_scan.cc.o.d"
+  "/root/repo/src/index/rect.cc" "src/CMakeFiles/humdex_index.dir/index/rect.cc.o" "gcc" "src/CMakeFiles/humdex_index.dir/index/rect.cc.o.d"
+  "/root/repo/src/index/rstar_tree.cc" "src/CMakeFiles/humdex_index.dir/index/rstar_tree.cc.o" "gcc" "src/CMakeFiles/humdex_index.dir/index/rstar_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/humdex_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/humdex_index.dir/index/buffer_pool.cc.o"
+  "CMakeFiles/humdex_index.dir/index/buffer_pool.cc.o.d"
+  "CMakeFiles/humdex_index.dir/index/grid_file.cc.o"
+  "CMakeFiles/humdex_index.dir/index/grid_file.cc.o.d"
+  "CMakeFiles/humdex_index.dir/index/linear_scan.cc.o"
+  "CMakeFiles/humdex_index.dir/index/linear_scan.cc.o.d"
+  "CMakeFiles/humdex_index.dir/index/rect.cc.o"
+  "CMakeFiles/humdex_index.dir/index/rect.cc.o.d"
+  "CMakeFiles/humdex_index.dir/index/rstar_tree.cc.o"
+  "CMakeFiles/humdex_index.dir/index/rstar_tree.cc.o.d"
+  "libhumdex_index.a"
+  "libhumdex_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/humdex_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

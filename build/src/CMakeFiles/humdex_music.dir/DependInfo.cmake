@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/music/contour.cc" "src/CMakeFiles/humdex_music.dir/music/contour.cc.o" "gcc" "src/CMakeFiles/humdex_music.dir/music/contour.cc.o.d"
+  "/root/repo/src/music/hummer.cc" "src/CMakeFiles/humdex_music.dir/music/hummer.cc.o" "gcc" "src/CMakeFiles/humdex_music.dir/music/hummer.cc.o.d"
+  "/root/repo/src/music/melody.cc" "src/CMakeFiles/humdex_music.dir/music/melody.cc.o" "gcc" "src/CMakeFiles/humdex_music.dir/music/melody.cc.o.d"
+  "/root/repo/src/music/melody_io.cc" "src/CMakeFiles/humdex_music.dir/music/melody_io.cc.o" "gcc" "src/CMakeFiles/humdex_music.dir/music/melody_io.cc.o.d"
+  "/root/repo/src/music/pitch_tracker.cc" "src/CMakeFiles/humdex_music.dir/music/pitch_tracker.cc.o" "gcc" "src/CMakeFiles/humdex_music.dir/music/pitch_tracker.cc.o.d"
+  "/root/repo/src/music/qgram_index.cc" "src/CMakeFiles/humdex_music.dir/music/qgram_index.cc.o" "gcc" "src/CMakeFiles/humdex_music.dir/music/qgram_index.cc.o.d"
+  "/root/repo/src/music/segmenter.cc" "src/CMakeFiles/humdex_music.dir/music/segmenter.cc.o" "gcc" "src/CMakeFiles/humdex_music.dir/music/segmenter.cc.o.d"
+  "/root/repo/src/music/song_generator.cc" "src/CMakeFiles/humdex_music.dir/music/song_generator.cc.o" "gcc" "src/CMakeFiles/humdex_music.dir/music/song_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/humdex_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

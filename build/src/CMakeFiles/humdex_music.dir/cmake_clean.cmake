@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/humdex_music.dir/music/contour.cc.o"
+  "CMakeFiles/humdex_music.dir/music/contour.cc.o.d"
+  "CMakeFiles/humdex_music.dir/music/hummer.cc.o"
+  "CMakeFiles/humdex_music.dir/music/hummer.cc.o.d"
+  "CMakeFiles/humdex_music.dir/music/melody.cc.o"
+  "CMakeFiles/humdex_music.dir/music/melody.cc.o.d"
+  "CMakeFiles/humdex_music.dir/music/melody_io.cc.o"
+  "CMakeFiles/humdex_music.dir/music/melody_io.cc.o.d"
+  "CMakeFiles/humdex_music.dir/music/pitch_tracker.cc.o"
+  "CMakeFiles/humdex_music.dir/music/pitch_tracker.cc.o.d"
+  "CMakeFiles/humdex_music.dir/music/qgram_index.cc.o"
+  "CMakeFiles/humdex_music.dir/music/qgram_index.cc.o.d"
+  "CMakeFiles/humdex_music.dir/music/segmenter.cc.o"
+  "CMakeFiles/humdex_music.dir/music/segmenter.cc.o.d"
+  "CMakeFiles/humdex_music.dir/music/song_generator.cc.o"
+  "CMakeFiles/humdex_music.dir/music/song_generator.cc.o.d"
+  "libhumdex_music.a"
+  "libhumdex_music.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/humdex_music.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/humdex_qbh.dir/qbh/contour_system.cc.o"
+  "CMakeFiles/humdex_qbh.dir/qbh/contour_system.cc.o.d"
+  "CMakeFiles/humdex_qbh.dir/qbh/qbh_system.cc.o"
+  "CMakeFiles/humdex_qbh.dir/qbh/qbh_system.cc.o.d"
+  "CMakeFiles/humdex_qbh.dir/qbh/storage.cc.o"
+  "CMakeFiles/humdex_qbh.dir/qbh/storage.cc.o.d"
+  "libhumdex_qbh.a"
+  "libhumdex_qbh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/humdex_qbh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for humdex_qbh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/dft.cc" "src/CMakeFiles/humdex_transform.dir/transform/dft.cc.o" "gcc" "src/CMakeFiles/humdex_transform.dir/transform/dft.cc.o.d"
+  "/root/repo/src/transform/dwt.cc" "src/CMakeFiles/humdex_transform.dir/transform/dwt.cc.o" "gcc" "src/CMakeFiles/humdex_transform.dir/transform/dwt.cc.o.d"
+  "/root/repo/src/transform/feature_scheme.cc" "src/CMakeFiles/humdex_transform.dir/transform/feature_scheme.cc.o" "gcc" "src/CMakeFiles/humdex_transform.dir/transform/feature_scheme.cc.o.d"
+  "/root/repo/src/transform/linear_transform.cc" "src/CMakeFiles/humdex_transform.dir/transform/linear_transform.cc.o" "gcc" "src/CMakeFiles/humdex_transform.dir/transform/linear_transform.cc.o.d"
+  "/root/repo/src/transform/paa.cc" "src/CMakeFiles/humdex_transform.dir/transform/paa.cc.o" "gcc" "src/CMakeFiles/humdex_transform.dir/transform/paa.cc.o.d"
+  "/root/repo/src/transform/poly.cc" "src/CMakeFiles/humdex_transform.dir/transform/poly.cc.o" "gcc" "src/CMakeFiles/humdex_transform.dir/transform/poly.cc.o.d"
+  "/root/repo/src/transform/svd_transform.cc" "src/CMakeFiles/humdex_transform.dir/transform/svd_transform.cc.o" "gcc" "src/CMakeFiles/humdex_transform.dir/transform/svd_transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/humdex_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/humdex_transform.dir/transform/dft.cc.o"
+  "CMakeFiles/humdex_transform.dir/transform/dft.cc.o.d"
+  "CMakeFiles/humdex_transform.dir/transform/dwt.cc.o"
+  "CMakeFiles/humdex_transform.dir/transform/dwt.cc.o.d"
+  "CMakeFiles/humdex_transform.dir/transform/feature_scheme.cc.o"
+  "CMakeFiles/humdex_transform.dir/transform/feature_scheme.cc.o.d"
+  "CMakeFiles/humdex_transform.dir/transform/linear_transform.cc.o"
+  "CMakeFiles/humdex_transform.dir/transform/linear_transform.cc.o.d"
+  "CMakeFiles/humdex_transform.dir/transform/paa.cc.o"
+  "CMakeFiles/humdex_transform.dir/transform/paa.cc.o.d"
+  "CMakeFiles/humdex_transform.dir/transform/poly.cc.o"
+  "CMakeFiles/humdex_transform.dir/transform/poly.cc.o.d"
+  "CMakeFiles/humdex_transform.dir/transform/svd_transform.cc.o"
+  "CMakeFiles/humdex_transform.dir/transform/svd_transform.cc.o.d"
+  "libhumdex_transform.a"
+  "libhumdex_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/humdex_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/band.cc" "src/CMakeFiles/humdex_ts.dir/ts/band.cc.o" "gcc" "src/CMakeFiles/humdex_ts.dir/ts/band.cc.o.d"
+  "/root/repo/src/ts/dtw.cc" "src/CMakeFiles/humdex_ts.dir/ts/dtw.cc.o" "gcc" "src/CMakeFiles/humdex_ts.dir/ts/dtw.cc.o.d"
+  "/root/repo/src/ts/envelope.cc" "src/CMakeFiles/humdex_ts.dir/ts/envelope.cc.o" "gcc" "src/CMakeFiles/humdex_ts.dir/ts/envelope.cc.o.d"
+  "/root/repo/src/ts/lower_bound.cc" "src/CMakeFiles/humdex_ts.dir/ts/lower_bound.cc.o" "gcc" "src/CMakeFiles/humdex_ts.dir/ts/lower_bound.cc.o.d"
+  "/root/repo/src/ts/normal_form.cc" "src/CMakeFiles/humdex_ts.dir/ts/normal_form.cc.o" "gcc" "src/CMakeFiles/humdex_ts.dir/ts/normal_form.cc.o.d"
+  "/root/repo/src/ts/smoothing.cc" "src/CMakeFiles/humdex_ts.dir/ts/smoothing.cc.o" "gcc" "src/CMakeFiles/humdex_ts.dir/ts/smoothing.cc.o.d"
+  "/root/repo/src/ts/time_series.cc" "src/CMakeFiles/humdex_ts.dir/ts/time_series.cc.o" "gcc" "src/CMakeFiles/humdex_ts.dir/ts/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/humdex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

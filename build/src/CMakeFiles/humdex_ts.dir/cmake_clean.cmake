@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/humdex_ts.dir/ts/band.cc.o"
+  "CMakeFiles/humdex_ts.dir/ts/band.cc.o.d"
+  "CMakeFiles/humdex_ts.dir/ts/dtw.cc.o"
+  "CMakeFiles/humdex_ts.dir/ts/dtw.cc.o.d"
+  "CMakeFiles/humdex_ts.dir/ts/envelope.cc.o"
+  "CMakeFiles/humdex_ts.dir/ts/envelope.cc.o.d"
+  "CMakeFiles/humdex_ts.dir/ts/lower_bound.cc.o"
+  "CMakeFiles/humdex_ts.dir/ts/lower_bound.cc.o.d"
+  "CMakeFiles/humdex_ts.dir/ts/normal_form.cc.o"
+  "CMakeFiles/humdex_ts.dir/ts/normal_form.cc.o.d"
+  "CMakeFiles/humdex_ts.dir/ts/smoothing.cc.o"
+  "CMakeFiles/humdex_ts.dir/ts/smoothing.cc.o.d"
+  "CMakeFiles/humdex_ts.dir/ts/time_series.cc.o"
+  "CMakeFiles/humdex_ts.dir/ts/time_series.cc.o.d"
+  "libhumdex_ts.a"
+  "libhumdex_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/humdex_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/humdex_util.dir/util/eigen.cc.o"
+  "CMakeFiles/humdex_util.dir/util/eigen.cc.o.d"
+  "CMakeFiles/humdex_util.dir/util/fft.cc.o"
+  "CMakeFiles/humdex_util.dir/util/fft.cc.o.d"
+  "CMakeFiles/humdex_util.dir/util/matrix.cc.o"
+  "CMakeFiles/humdex_util.dir/util/matrix.cc.o.d"
+  "CMakeFiles/humdex_util.dir/util/random.cc.o"
+  "CMakeFiles/humdex_util.dir/util/random.cc.o.d"
+  "CMakeFiles/humdex_util.dir/util/stats.cc.o"
+  "CMakeFiles/humdex_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/humdex_util.dir/util/status.cc.o"
+  "CMakeFiles/humdex_util.dir/util/status.cc.o.d"
+  "libhumdex_util.a"
+  "libhumdex_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/humdex_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

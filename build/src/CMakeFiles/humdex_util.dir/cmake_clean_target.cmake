@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhumdex_util.a"
+)

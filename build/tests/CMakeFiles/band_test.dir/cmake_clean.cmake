@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/band_test.dir/band_test.cc.o"
+  "CMakeFiles/band_test.dir/band_test.cc.o.d"
+  "band_test"
+  "band_test.pdb"
+  "band_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/band_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fastmap_test.cc" "tests/CMakeFiles/fastmap_test.dir/fastmap_test.cc.o" "gcc" "tests/CMakeFiles/fastmap_test.dir/fastmap_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/humdex_gemini.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_music.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/humdex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastmap_test.dir/fastmap_test.cc.o"
+  "CMakeFiles/fastmap_test.dir/fastmap_test.cc.o.d"
+  "fastmap_test"
+  "fastmap_test.pdb"
+  "fastmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_scheme_test.dir/feature_scheme_test.cc.o"
+  "CMakeFiles/feature_scheme_test.dir/feature_scheme_test.cc.o.d"
+  "feature_scheme_test"
+  "feature_scheme_test.pdb"
+  "feature_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hummer_test.dir/hummer_test.cc.o"
+  "CMakeFiles/hummer_test.dir/hummer_test.cc.o.d"
+  "hummer_test"
+  "hummer_test.pdb"
+  "hummer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hummer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/melody_io_test.dir/melody_io_test.cc.o"
+  "CMakeFiles/melody_io_test.dir/melody_io_test.cc.o.d"
+  "melody_io_test"
+  "melody_io_test.pdb"
+  "melody_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/melody_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

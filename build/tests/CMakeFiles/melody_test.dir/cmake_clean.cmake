@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/melody_test.dir/melody_test.cc.o"
+  "CMakeFiles/melody_test.dir/melody_test.cc.o.d"
+  "melody_test"
+  "melody_test.pdb"
+  "melody_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/melody_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

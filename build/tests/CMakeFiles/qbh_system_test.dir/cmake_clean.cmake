@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbh_system_test.dir/qbh_system_test.cc.o"
+  "CMakeFiles/qbh_system_test.dir/qbh_system_test.cc.o.d"
+  "qbh_system_test"
+  "qbh_system_test.pdb"
+  "qbh_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbh_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

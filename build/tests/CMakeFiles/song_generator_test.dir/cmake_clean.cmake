@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/song_generator_test.dir/song_generator_test.cc.o"
+  "CMakeFiles/song_generator_test.dir/song_generator_test.cc.o.d"
+  "song_generator_test"
+  "song_generator_test.pdb"
+  "song_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/song_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

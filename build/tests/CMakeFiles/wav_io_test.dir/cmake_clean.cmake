@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wav_io_test.dir/wav_io_test.cc.o"
+  "CMakeFiles/wav_io_test.dir/wav_io_test.cc.o.d"
+  "wav_io_test"
+  "wav_io_test.pdb"
+  "wav_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wav_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
