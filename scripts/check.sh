@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the concurrency gate:
+#   1. plain RelWithDebInfo build, full ctest suite;
+#   2. ThreadSanitizer build (-DHUMDEX_SANITIZE=thread), running the
+#      parallel-read-path tests (thread pool, batch queries, buffer pool
+#      stress) so the thread-safety guarantees are mechanically checked.
+# Usage: scripts/check.sh [jobs]   (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== [1/2] plain build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== [2/2] ThreadSanitizer build + concurrency tests =="
+cmake -B build-tsan -S . -DHUMDEX_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target \
+  thread_pool_test parallel_query_test buffer_pool_stress_test buffer_pool_test
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'ThreadPool|ParallelQuery|QbhQueryBatch|BufferPool'
+
+echo "All checks passed."

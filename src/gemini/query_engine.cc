@@ -147,6 +147,52 @@ std::vector<Neighbor> DtwQueryEngine::KnnQuery(const Series& query, std::size_t 
   return in_range;
 }
 
+std::vector<std::vector<Neighbor>> DtwQueryEngine::RangeQueryBatch(
+    const std::vector<Series>& queries, double epsilon, ThreadPool& pool,
+    QueryStats* aggregate) const {
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  std::vector<QueryStats> stats(queries.size());
+  ParallelFor(pool, queries.size(), [&](std::size_t i) {
+    results[i] = RangeQuery(queries[i], epsilon, &stats[i]);
+  });
+  if (aggregate != nullptr) {
+    QueryStats total;
+    for (const QueryStats& s : stats) total += s;
+    *aggregate = total;
+  }
+  return results;
+}
+
+std::vector<std::vector<Neighbor>> DtwQueryEngine::RangeQueryBatch(
+    const std::vector<Series>& queries, double epsilon, std::size_t threads,
+    QueryStats* aggregate) const {
+  ThreadPool pool(threads == 0 ? ThreadPool::DefaultThreadCount() : threads);
+  return RangeQueryBatch(queries, epsilon, pool, aggregate);
+}
+
+std::vector<std::vector<Neighbor>> DtwQueryEngine::KnnQueryBatch(
+    const std::vector<Series>& queries, std::size_t k, ThreadPool& pool,
+    QueryStats* aggregate) const {
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  std::vector<QueryStats> stats(queries.size());
+  ParallelFor(pool, queries.size(), [&](std::size_t i) {
+    results[i] = KnnQuery(queries[i], k, &stats[i]);
+  });
+  if (aggregate != nullptr) {
+    QueryStats total;
+    for (const QueryStats& s : stats) total += s;
+    *aggregate = total;
+  }
+  return results;
+}
+
+std::vector<std::vector<Neighbor>> DtwQueryEngine::KnnQueryBatch(
+    const std::vector<Series>& queries, std::size_t k, std::size_t threads,
+    QueryStats* aggregate) const {
+  ThreadPool pool(threads == 0 ? ThreadPool::DefaultThreadCount() : threads);
+  return KnnQueryBatch(queries, k, pool, aggregate);
+}
+
 std::vector<Neighbor> DtwQueryEngine::KnnQueryOptimal(const Series& query,
                                                       std::size_t k,
                                                       QueryStats* stats) const {

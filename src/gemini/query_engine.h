@@ -18,6 +18,7 @@
 
 #include "gemini/feature_index.h"
 #include "ts/dtw.h"
+#include "util/thread_pool.h"
 
 namespace humdex {
 
@@ -29,6 +30,16 @@ struct QueryStats {
   std::size_t results = 0;           ///< ids verified by exact DTW
   std::size_t page_accesses = 0;     ///< index pages touched
   std::size_t exact_dtw_calls = 0;   ///< banded DTW computations performed
+
+  /// Accumulate another query's counters (batch aggregation).
+  QueryStats& operator+=(const QueryStats& other) {
+    index_candidates += other.index_candidates;
+    lb_survivors += other.lb_survivors;
+    results += other.results;
+    page_accesses += other.page_accesses;
+    exact_dtw_calls += other.exact_dtw_calls;
+    return *this;
+  }
 };
 
 /// Engine options. Data and queries must be normal forms of length
@@ -70,6 +81,32 @@ class DtwQueryEngine {
   /// feature-space kNN, then one range query plus exact verification.
   std::vector<Neighbor> KnnQuery(const Series& query, std::size_t k,
                                  QueryStats* stats = nullptr) const;
+
+  /// Batch form of RangeQuery: queries fan out across `pool`'s workers; the
+  /// i-th result is exactly RangeQuery(queries[i], epsilon) — same ids, same
+  /// distances, independent of worker count. The read path is const and
+  /// thread-safe after the corpus is built (see DESIGN.md, threading model).
+  /// When non-null, `aggregate` receives the per-query stats summed in query
+  /// order.
+  std::vector<std::vector<Neighbor>> RangeQueryBatch(
+      const std::vector<Series>& queries, double epsilon, ThreadPool& pool,
+      QueryStats* aggregate = nullptr) const;
+
+  /// Convenience overload running on a transient pool of `threads` workers
+  /// (0 = ThreadPool::DefaultThreadCount()).
+  std::vector<std::vector<Neighbor>> RangeQueryBatch(
+      const std::vector<Series>& queries, double epsilon,
+      std::size_t threads = 0, QueryStats* aggregate = nullptr) const;
+
+  /// Batch form of KnnQuery, with the same exactness and determinism
+  /// guarantees as RangeQueryBatch.
+  std::vector<std::vector<Neighbor>> KnnQueryBatch(
+      const std::vector<Series>& queries, std::size_t k, ThreadPool& pool,
+      QueryStats* aggregate = nullptr) const;
+
+  std::vector<std::vector<Neighbor>> KnnQueryBatch(
+      const std::vector<Series>& queries, std::size_t k,
+      std::size_t threads = 0, QueryStats* aggregate = nullptr) const;
 
   /// The same k nearest ids via the *optimal multi-step* algorithm of
   /// Seidl-Kriegel [26]: candidates stream in increasing DTW-lower-bound

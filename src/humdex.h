@@ -14,6 +14,7 @@
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 // S2: time series core
 #include "ts/band.h"

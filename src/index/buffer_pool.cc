@@ -4,40 +4,161 @@
 
 namespace humdex {
 
-LruBufferPool::LruBufferPool(std::size_t capacity) : capacity_(capacity) {
+LruBufferPool::LruBufferPool(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
   HUMDEX_CHECK(capacity_ >= 1);
+  HUMDEX_CHECK(shards >= 1 && shards <= capacity_);
+  shards_.reserve(shards);
+  // Split capacity as evenly as possible; the first (capacity % shards)
+  // shards take one extra page so the shares sum to exactly `capacity`.
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = capacity_ / shards + (s < capacity_ % shards ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
 }
 
-bool LruBufferPool::Access(std::uint64_t page_id) {
-  auto it = where_.find(page_id);
-  if (it != where_.end()) {
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);
+LruBufferPool::Shard& LruBufferPool::ShardFor(std::uint64_t page_id) {
+  // Multiplicative hash so sequential page ids spread across shards.
+  std::uint64_t h = page_id * 0x9e3779b97f4a7c15ULL;
+  return *shards_[static_cast<std::size_t>(h >> 32) % shards_.size()];
+}
+
+const LruBufferPool::Shard& LruBufferPool::ShardFor(std::uint64_t page_id) const {
+  std::uint64_t h = page_id * 0x9e3779b97f4a7c15ULL;
+  return *shards_[static_cast<std::size_t>(h >> 32) % shards_.size()];
+}
+
+bool LruBufferPool::Touch(std::uint64_t page_id, bool pin) {
+  Shard& shard = ShardFor(page_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(page_id);
+  if (it != shard.frames.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    if (pin) ++it->second.pins;
     return true;
   }
-  ++misses_;
-  if (lru_.size() == capacity_) {
-    where_.erase(lru_.back());
-    lru_.pop_back();
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Evict least-recently-used unpinned pages until there is room. If every
+  // resident page is pinned the shard transiently exceeds its share (a real
+  // buffer manager would block; the simulation just over-allocates).
+  while (shard.lru.size() >= shard.capacity) {
+    auto victim = shard.lru.end();
+    for (auto rit = shard.lru.rbegin(); rit != shard.lru.rend(); ++rit) {
+      if (shard.frames.at(*rit).pins == 0) {
+        victim = std::prev(rit.base());
+        break;
+      }
+    }
+    if (victim == shard.lru.end()) break;  // everything pinned
+    shard.frames.erase(*victim);
+    shard.lru.erase(victim);
   }
-  lru_.push_front(page_id);
-  where_[page_id] = lru_.begin();
+  shard.lru.push_front(page_id);
+  Frame frame;
+  frame.lru_it = shard.lru.begin();
+  frame.pins = pin ? 1 : 0;
+  shard.frames.emplace(page_id, frame);
   return false;
 }
 
+bool LruBufferPool::Access(std::uint64_t page_id) {
+  return Touch(page_id, /*pin=*/false);
+}
+
+LruBufferPool::PageGuard LruBufferPool::Pin(std::uint64_t page_id) {
+  bool hit = Touch(page_id, /*pin=*/true);
+  return PageGuard(this, page_id, hit);
+}
+
+void LruBufferPool::Unpin(std::uint64_t page_id) {
+  Shard& shard = ShardFor(page_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(page_id);
+  HUMDEX_CHECK_MSG(it != shard.frames.end(), "unpin of a non-resident page");
+  HUMDEX_CHECK_MSG(it->second.pins > 0, "unbalanced unpin");
+  --it->second.pins;
+}
+
+LruBufferPool::PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_), page_(other.page_), hit_(other.hit_) {
+  other.pool_ = nullptr;
+}
+
+LruBufferPool::PageGuard& LruBufferPool::PageGuard::operator=(
+    PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    page_ = other.page_;
+    hit_ = other.hit_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+LruBufferPool::PageGuard::~PageGuard() { Release(); }
+
+void LruBufferPool::PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(page_);
+    pool_ = nullptr;
+  }
+}
+
 void LruBufferPool::Clear() {
-  lru_.clear();
-  where_.clear();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [page, frame] : shard->frames) {
+      HUMDEX_CHECK_MSG(frame.pins == 0, "Clear() with pinned pages");
+    }
+    shard->lru.clear();
+    shard->frames.clear();
+  }
 }
 
 void LruBufferPool::ResetStats() {
-  hits_ = 0;
-  misses_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t LruBufferPool::resident() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->frames.size();
+  }
+  return total;
+}
+
+std::size_t LruBufferPool::pinned() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [page, frame] : shard->frames) total += frame.pins;
+  }
+  return total;
 }
 
 double LruBufferPool::MissRate() const {
-  std::uint64_t total = hits_ + misses_;
-  return total == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(total);
+  std::uint64_t h = hits();
+  std::uint64_t m = misses();
+  std::uint64_t total = h + m;
+  return total == 0 ? 0.0 : static_cast<double>(m) / static_cast<double>(total);
+}
+
+void LruBufferPool::CheckInvariants() const {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    HUMDEX_CHECK_MSG(shard->frames.size() == shard->lru.size(),
+                     "frame map and LRU list disagree");
+    for (auto it = shard->lru.begin(); it != shard->lru.end(); ++it) {
+      auto fit = shard->frames.find(*it);
+      HUMDEX_CHECK_MSG(fit != shard->frames.end(), "LRU page missing a frame");
+      HUMDEX_CHECK_MSG(fit->second.lru_it == it, "stale LRU iterator");
+    }
+  }
 }
 
 }  // namespace humdex

@@ -3,46 +3,118 @@
 // actual disk IO: hot pages (the root and upper levels of the R*-tree) stay
 // resident, so the miss count is what a real system would pay. Attach one to
 // an RStarTree and read hit/miss statistics per workload.
+//
+// The pool is thread-safe for concurrent readers: residency is split into
+// hash-addressed shards (each with its own mutex, LRU list, and capacity
+// share) and the hit/miss counters are atomic, so parallel batch queries can
+// share one pool. Pages read through Pin() are held non-evictable until the
+// returned guard dies — the concurrency-safe analogue of a real buffer
+// manager's pin/unpin protocol.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 namespace humdex {
 
-/// Classic LRU page cache over abstract page ids.
+/// Classic LRU page cache over abstract page ids, sharded for concurrency.
 class LruBufferPool {
  public:
-  /// `capacity` pages are kept resident; capacity >= 1.
-  explicit LruBufferPool(std::size_t capacity);
+  /// `capacity` pages are kept resident in total; capacity >= 1. With
+  /// `shards` > 1 the capacity is divided evenly across shards (pages map to
+  /// shards by hash), trading exact global LRU order for lower lock
+  /// contention. `shards` = 1 reproduces a single global LRU exactly.
+  explicit LruBufferPool(std::size_t capacity, std::size_t shards = 1);
 
   /// Record an access. Returns true on a hit (page was resident). On a miss
-  /// the page is loaded, evicting the least-recently-used page if full.
+  /// the page is loaded, evicting the least-recently-used unpinned page of
+  /// its shard if the shard is full. Thread-safe.
   bool Access(std::uint64_t page_id);
 
-  /// Drop every resident page (statistics are kept).
+  /// RAII pin on a resident page: while alive, the page cannot be evicted.
+  class PageGuard {
+   public:
+    PageGuard() = default;
+    PageGuard(PageGuard&& other) noexcept;
+    PageGuard& operator=(PageGuard&& other) noexcept;
+    PageGuard(const PageGuard&) = delete;
+    PageGuard& operator=(const PageGuard&) = delete;
+    ~PageGuard();
+
+    /// Whether the pinning access was a hit.
+    bool hit() const { return hit_; }
+    /// True when this guard actually holds a pin.
+    explicit operator bool() const { return pool_ != nullptr; }
+    /// Drop the pin early.
+    void Release();
+
+   private:
+    friend class LruBufferPool;
+    PageGuard(LruBufferPool* pool, std::uint64_t page, bool hit)
+        : pool_(pool), page_(page), hit_(hit) {}
+
+    LruBufferPool* pool_ = nullptr;
+    std::uint64_t page_ = 0;
+    bool hit_ = false;
+  };
+
+  /// Access `page_id` (counting a hit or miss exactly like Access) and pin it
+  /// until the returned guard is destroyed. Pins nest: the same page may be
+  /// pinned by many threads at once. Thread-safe.
+  PageGuard Pin(std::uint64_t page_id);
+
+  /// Drop every resident page (statistics are kept). No page may be pinned.
   void Clear();
 
   /// Zero the statistics (residency is kept).
   void ResetStats();
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t resident() const { return lru_.size(); }
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t resident() const;
+  /// Total outstanding pin count across all pages (0 when no guard is alive).
+  std::size_t pinned() const;
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
   /// Miss fraction over all accesses so far (0 when no accesses).
   double MissRate() const;
 
+  /// Validates shard bookkeeping (map/list agreement, pin accounting).
+  /// Aborts via HUMDEX_CHECK on violation. Test hook.
+  void CheckInvariants() const;
+
  private:
+  struct Frame {
+    // Position in the shard's LRU list (most-recently-used at the front).
+    std::list<std::uint64_t>::iterator lru_it;
+    std::uint32_t pins = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::size_t capacity = 0;
+    std::list<std::uint64_t> lru;
+    std::unordered_map<std::uint64_t, Frame> frames;
+  };
+
+  Shard& ShardFor(std::uint64_t page_id);
+  const Shard& ShardFor(std::uint64_t page_id) const;
+  /// Shared hit/miss + LRU logic; pins the frame when `pin` is set.
+  bool Touch(std::uint64_t page_id, bool pin);
+  void Unpin(std::uint64_t page_id);
+
   std::size_t capacity_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  // Most-recently-used at the front.
-  std::list<std::uint64_t> lru_;
-  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> where_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  // unique_ptr because Shard holds a mutex and must not move.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace humdex

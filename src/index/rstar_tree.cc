@@ -535,7 +535,10 @@ std::vector<std::int64_t> RStarTree::RangeQuery(const Rect& query, double radius
     const Node* node = stack.back();
     stack.pop_back();
     ++pages;
-    if (pool_ != nullptr) pool_->Access(node->page_id);
+    // Pin while the node is scanned so a concurrent reader's miss cannot
+    // evict a page that is actively being read.
+    LruBufferPool::PageGuard guard;
+    if (pool_ != nullptr) guard = pool_->Pin(node->page_id);
     if (node->IsLeaf()) {
       for (const Entry& e : node->entries) {
         if (query.MinDistSq(e.mbr.lo) <= r2) out.push_back(e.id);
@@ -581,7 +584,8 @@ std::vector<Neighbor> RStarTree::NearestToRect(const Rect& query, std::size_t k,
     }
     const Node* node = item.node;
     ++pages;
-    if (pool_ != nullptr) pool_->Access(node->page_id);
+    LruBufferPool::PageGuard guard;
+    if (pool_ != nullptr) guard = pool_->Pin(node->page_id);
     if (node->IsLeaf()) {
       for (const Entry& e : node->entries) {
         pq.push({query.MinDistSq(e.mbr.lo), nullptr, &e});

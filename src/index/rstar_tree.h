@@ -73,8 +73,10 @@ class RStarTree : public SpatialIndex {
   void CheckInvariants() const;
 
   /// Route every node visit of subsequent queries through `pool` (each node
-  /// is one page). Pass nullptr to detach. The pool must outlive its use;
-  /// hit/miss statistics are read from the pool itself.
+  /// is one page, pinned while it is scanned). Pass nullptr to detach. The
+  /// pool must outlive its use; hit/miss statistics are read from the pool
+  /// itself. Queries through a shared pool are safe from multiple threads;
+  /// Attach/Detach itself must not race with in-flight queries.
   void AttachBufferPool(LruBufferPool* pool) { pool_ = pool; }
 
  private:

@@ -82,6 +82,30 @@ std::vector<QbhMatch> QbhSystem::Query(const Series& hum_pitch, std::size_t top_
   return out;
 }
 
+std::vector<std::vector<QbhMatch>> QbhSystem::QueryBatch(
+    const std::vector<Series>& hum_pitches, std::size_t top_k, ThreadPool& pool,
+    QueryStats* aggregate) const {
+  HUMDEX_CHECK_MSG(engine_ != nullptr, "QueryBatch before Build()");
+  std::vector<std::vector<QbhMatch>> results(hum_pitches.size());
+  std::vector<QueryStats> stats(hum_pitches.size());
+  ParallelFor(pool, hum_pitches.size(), [&](std::size_t i) {
+    results[i] = Query(hum_pitches[i], top_k, &stats[i]);
+  });
+  if (aggregate != nullptr) {
+    QueryStats total;
+    for (const QueryStats& s : stats) total += s;
+    *aggregate = total;
+  }
+  return results;
+}
+
+std::vector<std::vector<QbhMatch>> QbhSystem::QueryBatch(
+    const std::vector<Series>& hum_pitches, std::size_t top_k,
+    std::size_t threads, QueryStats* aggregate) const {
+  ThreadPool pool(threads == 0 ? ThreadPool::DefaultThreadCount() : threads);
+  return QueryBatch(hum_pitches, top_k, pool, aggregate);
+}
+
 std::vector<QbhMatch> QbhSystem::QueryAudio(const Series& pcm, double sample_rate,
                                             std::size_t top_k,
                                             QueryStats* stats) const {

@@ -56,6 +56,20 @@ class QbhSystem {
   std::vector<QbhMatch> Query(const Series& hum_pitch, std::size_t top_k,
                               QueryStats* stats = nullptr) const;
 
+  /// Batch form of Query: hums fan out across `pool`'s workers; the i-th
+  /// result is exactly Query(hum_pitches[i], top_k) regardless of worker
+  /// count. `aggregate`, when non-null, receives the per-query stats summed
+  /// in query order.
+  std::vector<std::vector<QbhMatch>> QueryBatch(
+      const std::vector<Series>& hum_pitches, std::size_t top_k,
+      ThreadPool& pool, QueryStats* aggregate = nullptr) const;
+
+  /// Convenience overload on a transient pool of `threads` workers
+  /// (0 = ThreadPool::DefaultThreadCount()).
+  std::vector<std::vector<QbhMatch>> QueryBatch(
+      const std::vector<Series>& hum_pitches, std::size_t top_k,
+      std::size_t threads = 0, QueryStats* aggregate = nullptr) const;
+
   /// Top-k melodies for raw hum *audio* (mono PCM in [-1,1] at
   /// `sample_rate`): the paper's §3.1 front end — frame-level pitch tracking
   /// feeding the time series pipeline.

@@ -1,0 +1,70 @@
+// Fixed-size worker pool for the batch query path. Tasks are submitted as
+// callables and observed through std::future, so exceptions thrown inside a
+// task surface at future.get() in the submitting thread rather than killing a
+// worker. Destruction drains the queue: every task submitted before ~ThreadPool
+// runs to completion.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace humdex {
+
+/// Fixed pool of worker threads with a futures-based submit interface.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains all pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Hardware concurrency, clamped to at least 1 (the value used when a batch
+  /// API is called with `threads == 0`).
+  static std::size_t DefaultThreadCount();
+
+  /// Enqueue `fn` for execution on some worker. The returned future yields
+  /// fn's result, or rethrows whatever fn threw.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Run fn(i) for every i in [0, count) across the pool and wait for all of
+/// them. Iteration results are joined in index order, so if several
+/// iterations throw, the one with the smallest index is rethrown.
+void ParallelFor(ThreadPool& pool, std::size_t count,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace humdex

@@ -1,0 +1,231 @@
+// The paper's exactness guarantee (Theorem 1: no false dismissals through the
+// envelope-transform filter cascade) must survive parallelization bit for
+// bit: a batch query fanned across N workers has to return exactly the ids
+// and distances the serial engine returns, for every index backend and
+// feature scheme. These tests drive the batch APIs with 8 workers against a
+// seeded corpus and require equality with the serial answers — run them under
+// -DHUMDEX_SANITIZE=thread to check the read path for data races as well.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gemini/query_engine.h"
+#include "music/hummer.h"
+#include "music/song_generator.h"
+#include "qbh/qbh_system.h"
+#include "ts/normal_form.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace humdex {
+namespace {
+
+constexpr std::size_t kLen = 64;
+constexpr std::size_t kDim = 8;
+constexpr std::size_t kThreads = 8;
+
+std::vector<Series> RandomWalkNormalForms(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Series> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Series walk(kLen);
+    double v = 0.0;
+    for (double& x : walk) {
+      v += rng.Uniform(-1.0, 1.0);
+      x = v;
+    }
+    out.push_back(NormalForm(walk, kLen));
+  }
+  return out;
+}
+
+// Queries near (but not identical to) corpus members, so range queries have
+// non-trivial result sets.
+std::vector<Series> NoisyQueries(const std::vector<Series>& corpus,
+                                 std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Series> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Series q = corpus[i % corpus.size()];
+    for (double& x : q) x += rng.Uniform(-0.3, 0.3);
+    out.push_back(NormalForm(q, kLen));
+  }
+  return out;
+}
+
+std::shared_ptr<FeatureScheme> SchemeFor(const std::string& name) {
+  if (name == "new_paa") return MakeNewPaaScheme(kLen, kDim);
+  return MakeDftScheme(kLen, kDim);
+}
+
+class ParallelQueryTest
+    : public ::testing::TestWithParam<std::tuple<IndexKind, std::string>> {};
+
+TEST_P(ParallelQueryTest, BatchRangeQueryMatchesSerialExactly) {
+  auto [kind, scheme_name] = GetParam();
+  QueryEngineOptions opts;
+  opts.normal_len = kLen;
+  opts.index.kind = kind;
+  DtwQueryEngine engine(SchemeFor(scheme_name), opts);
+  engine.AddAll(RandomWalkNormalForms(300, 11));
+  std::vector<Series> queries = NoisyQueries(RandomWalkNormalForms(300, 11), 24, 77);
+
+  // Epsilon calibrated from the corpus so result sets are non-empty but not
+  // everything.
+  double epsilon = engine.KnnQuery(queries[0], 5).back().distance;
+
+  std::vector<std::vector<Neighbor>> serial(queries.size());
+  std::vector<QueryStats> serial_stats(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    serial[i] = engine.RangeQuery(queries[i], epsilon, &serial_stats[i]);
+  }
+  std::size_t nonempty = 0;
+  for (const auto& r : serial) nonempty += r.empty() ? 0 : 1;
+  ASSERT_GT(nonempty, queries.size() / 2) << "epsilon too small to exercise anything";
+
+  QueryStats aggregate;
+  std::vector<std::vector<Neighbor>> batch =
+      engine.RangeQueryBatch(queries, epsilon, kThreads, &aggregate);
+
+  ASSERT_EQ(batch.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(batch[i].size(), serial[i].size()) << "query " << i;
+    for (std::size_t j = 0; j < serial[i].size(); ++j) {
+      EXPECT_EQ(batch[i][j].id, serial[i][j].id) << "query " << i;
+      EXPECT_EQ(batch[i][j].distance, serial[i][j].distance) << "query " << i;
+    }
+  }
+
+  QueryStats expected;
+  for (const QueryStats& s : serial_stats) expected += s;
+  EXPECT_EQ(aggregate.index_candidates, expected.index_candidates);
+  EXPECT_EQ(aggregate.lb_survivors, expected.lb_survivors);
+  EXPECT_EQ(aggregate.results, expected.results);
+  EXPECT_EQ(aggregate.page_accesses, expected.page_accesses);
+  EXPECT_EQ(aggregate.exact_dtw_calls, expected.exact_dtw_calls);
+}
+
+TEST_P(ParallelQueryTest, BatchKnnQueryMatchesSerialExactly) {
+  auto [kind, scheme_name] = GetParam();
+  QueryEngineOptions opts;
+  opts.normal_len = kLen;
+  opts.index.kind = kind;
+  DtwQueryEngine engine(SchemeFor(scheme_name), opts);
+  engine.AddAll(RandomWalkNormalForms(250, 23));
+  std::vector<Series> queries = NoisyQueries(RandomWalkNormalForms(250, 23), 20, 91);
+
+  const std::size_t k = 7;
+  std::vector<std::vector<Neighbor>> serial(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    serial[i] = engine.KnnQuery(queries[i], k);
+    ASSERT_EQ(serial[i].size(), k);
+  }
+
+  std::vector<std::vector<Neighbor>> batch = engine.KnnQueryBatch(queries, k, kThreads);
+  ASSERT_EQ(batch.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(batch[i].size(), serial[i].size()) << "query " << i;
+    for (std::size_t j = 0; j < serial[i].size(); ++j) {
+      EXPECT_EQ(batch[i][j].id, serial[i][j].id) << "query " << i;
+      EXPECT_EQ(batch[i][j].distance, serial[i][j].distance) << "query " << i;
+    }
+  }
+}
+
+TEST_P(ParallelQueryTest, BatchResultsIndependentOfWorkerCount) {
+  auto [kind, scheme_name] = GetParam();
+  QueryEngineOptions opts;
+  opts.normal_len = kLen;
+  opts.index.kind = kind;
+  DtwQueryEngine engine(SchemeFor(scheme_name), opts);
+  engine.AddAll(RandomWalkNormalForms(200, 5));
+  std::vector<Series> queries = NoisyQueries(RandomWalkNormalForms(200, 5), 16, 3);
+
+  std::vector<std::vector<Neighbor>> one = engine.KnnQueryBatch(queries, 5, 1);
+  for (std::size_t threads : {2u, 8u}) {
+    std::vector<std::vector<Neighbor>> many = engine.KnnQueryBatch(queries, 5, threads);
+    ASSERT_EQ(many.size(), one.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+      ASSERT_EQ(many[i].size(), one[i].size());
+      for (std::size_t j = 0; j < one[i].size(); ++j) {
+        EXPECT_EQ(many[i][j].id, one[i][j].id);
+        EXPECT_EQ(many[i][j].distance, one[i][j].distance);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAndSchemes, ParallelQueryTest,
+    ::testing::Combine(::testing::Values(IndexKind::kRStarTree,
+                                         IndexKind::kGridFile,
+                                         IndexKind::kLinearScan),
+                       ::testing::Values(std::string("new_paa"),
+                                         std::string("dft"))),
+    [](const ::testing::TestParamInfo<ParallelQueryTest::ParamType>& info) {
+      const char* kind = "";
+      switch (std::get<0>(info.param)) {
+        case IndexKind::kRStarTree: kind = "rstar"; break;
+        case IndexKind::kGridFile: kind = "grid"; break;
+        case IndexKind::kLinearScan: kind = "linear"; break;
+      }
+      return std::string(kind) + "_" + std::get<1>(info.param);
+    });
+
+// End-to-end: QbhSystem::QueryBatch over hummed queries equals serial Query
+// for a couple of feature schemes.
+class QbhQueryBatchTest : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(QbhQueryBatchTest, BatchEqualsSerial) {
+  QbhOptions opts;
+  opts.scheme = GetParam();
+  QbhSystem system(opts);
+  SongGenerator gen(29);
+  std::vector<Melody> corpus = gen.GeneratePhrases(80);
+  for (Melody& m : corpus) system.AddMelody(std::move(m));
+  system.Build();
+
+  std::vector<Series> hums;
+  for (std::size_t i = 0; i < 12; ++i) {
+    Hummer hummer(HummerProfile::Good(), 100 + i);
+    hums.push_back(hummer.Hum(system.melody(static_cast<std::int64_t>(i * 5))));
+  }
+
+  std::vector<std::vector<QbhMatch>> serial(hums.size());
+  std::vector<QueryStats> serial_stats(hums.size());
+  for (std::size_t i = 0; i < hums.size(); ++i) {
+    serial[i] = system.Query(hums[i], 5, &serial_stats[i]);
+  }
+
+  QueryStats aggregate;
+  std::vector<std::vector<QbhMatch>> batch =
+      system.QueryBatch(hums, 5, kThreads, &aggregate);
+
+  ASSERT_EQ(batch.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(batch[i].size(), serial[i].size());
+    for (std::size_t j = 0; j < serial[i].size(); ++j) {
+      EXPECT_EQ(batch[i][j].id, serial[i][j].id);
+      EXPECT_EQ(batch[i][j].name, serial[i][j].name);
+      EXPECT_EQ(batch[i][j].distance, serial[i][j].distance);
+    }
+  }
+  QueryStats expected;
+  for (const QueryStats& s : serial_stats) expected += s;
+  EXPECT_EQ(aggregate.exact_dtw_calls, expected.exact_dtw_calls);
+  EXPECT_EQ(aggregate.page_accesses, expected.page_accesses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, QbhQueryBatchTest,
+                         ::testing::Values(SchemeKind::kNewPaa, SchemeKind::kDft),
+                         [](const ::testing::TestParamInfo<SchemeKind>& info) {
+                           return info.param == SchemeKind::kNewPaa ? "new_paa"
+                                                                    : "dft";
+                         });
+
+}  // namespace
+}  // namespace humdex

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace humdex {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&ran] { ++ran; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsTaskValue) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+  auto g = pool.Submit([] { return std::string("ok"); });
+  EXPECT_EQ(g.get(), "ok");
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    // One long task at the head keeps the rest queued when ~ThreadPool runs.
+    pool.Submit([] { std::this_thread::sleep_for(std::chrono::milliseconds(50)); });
+    for (int i = 0; i < 20; ++i) pool.Submit([&ran] { ++ran; });
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(
+      {
+        try {
+          f.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The worker that ran the throwing task is still alive.
+  EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> counts(1000);
+  ParallelFor(pool, counts.size(), [&](std::size_t i) { ++counts[i]; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestFailingIndex) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      {
+        try {
+          ParallelFor(pool, 64, [](std::size_t i) {
+            if (i == 7 || i == 31) {
+              throw std::runtime_error("fail " + std::to_string(i));
+            }
+          });
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "fail 7");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+// The determinism contract behind the batch query APIs: output slots are
+// keyed by submission index, so the collected results are identical no matter
+// how many workers race over the tasks or in what order they finish.
+TEST(ThreadPoolTest, OutputOrderingIndependentOfWorkerCount) {
+  auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> out(200, 0);
+    ParallelFor(pool, out.size(), [&](std::size_t i) {
+      // Skewed busy work so completion order differs from submission order;
+      // the result is still a pure function of i.
+      std::uint64_t acc = i;
+      std::uint64_t spins = (i % 7) * 1000 + 1;
+      for (std::uint64_t s = 0; s < spins; ++s) {
+        acc = acc * 2862933555777941757ULL + 3037000493ULL;
+      }
+      out[i] = acc;
+    });
+    return out;
+  };
+  std::vector<std::uint64_t> serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+}  // namespace
+}  // namespace humdex
