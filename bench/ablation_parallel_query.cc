@@ -9,6 +9,7 @@
 
 #include "common.h"
 #include "gemini/query_engine.h"
+#include "obs/metrics.h"
 #include "ts/normal_form.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -48,8 +49,16 @@ int Run() {
   DtwQueryEngine engine(MakeNewPaaScheme(kLen, kDim), opts);
   engine.AddAll(std::move(normals));
 
+  // Per-query wall times land in this registry histogram inside
+  // KnnQueryBatch; resetting between runs isolates each thread count's
+  // latency distribution (p50/p95/p99 expose the tail the mean hides).
+  humdex::obs::Histogram& per_query =
+      humdex::obs::MetricsRegistry::Default().GetHistogram(
+          "query.batch.knn.per_query_ns");
+
   auto run_batch = [&](std::size_t threads) {
     ThreadPool pool(threads);
+    per_query.Reset();
     auto start = std::chrono::steady_clock::now();
     auto results = engine.KnnQueryBatch(queries, kTopK, pool);
     auto stop = std::chrono::steady_clock::now();
@@ -60,11 +69,13 @@ int Run() {
   // Warm-up + reference answers.
   auto [base_seconds, reference] = run_batch(1);
 
-  Table table({"threads", "batch sec", "queries/s", "speedup", "identical"});
+  Table table({"threads", "batch sec", "queries/s", "speedup", "p50 ms",
+               "p95 ms", "p99 ms", "identical"});
   bool all_identical = true;
   for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
                               std::size_t{8}}) {
     auto [seconds, results] = run_batch(threads);
+    humdex::obs::HistogramSnapshot lat = per_query.Snapshot();
     bool identical = results.size() == reference.size();
     for (std::size_t i = 0; identical && i < results.size(); ++i) {
       identical = results[i].size() == reference[i].size();
@@ -77,6 +88,9 @@ int Run() {
     table.AddRow({Table::Int(threads), Table::Num(seconds, 3),
                   Table::Num(static_cast<double>(queries.size()) / seconds, 1),
                   Table::Num(base_seconds / seconds, 2),
+                  Table::Num(lat.Percentile(50.0) / 1e6, 3),
+                  Table::Num(lat.Percentile(95.0) / 1e6, 3),
+                  Table::Num(lat.Percentile(99.0) / 1e6, 3),
                   identical ? "yes" : "NO"});
   }
   table.Print();
@@ -91,4 +105,6 @@ int Run() {
 }  // namespace
 }  // namespace humdex::bench
 
-int main() { return humdex::bench::Run(); }
+int main(int argc, char** argv) {
+  return humdex::bench::BenchMain(argc, argv, humdex::bench::Run);
+}

@@ -2,13 +2,35 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "music/song_generator.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "ts/dtw.h"
 #include "ts/normal_form.h"
 #include "util/status.h"
 
 namespace humdex::bench {
+
+int BenchMain(int argc, char** argv, const std::function<int()>& run) {
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const char* kFlag = "--metrics_out=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      metrics_out = argv[i] + std::strlen(kFlag);
+    }
+  }
+  int rc = run();
+  if (!metrics_out.empty()) {
+    if (obs::WriteJsonSnapshot(obs::MetricsRegistry::Default(), metrics_out)) {
+      std::printf("\nMetrics snapshot written to %s\n", metrics_out.c_str());
+    } else if (rc == 0) {
+      rc = 1;
+    }
+  }
+  return rc;
+}
 
 Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
 

@@ -14,6 +14,19 @@
 
 namespace humdex::bench {
 
+/// Shared entry point for every bench binary:
+///
+///   int main(int argc, char** argv) {
+///     return humdex::bench::BenchMain(argc, argv, humdex::bench::Run);
+///   }
+///
+/// Understands `--metrics_out=<path>`: after `run` returns, the default
+/// metrics registry (stage-latency histograms, buffer-pool and thread-pool
+/// counters accumulated during the run) is written to `path` as a JSON
+/// snapshot, so every figure/ablation bench produces a machine-readable
+/// perf artifact alongside its table. Unknown arguments are ignored.
+int BenchMain(int argc, char** argv, const std::function<int()>& run);
+
 /// Fixed-width console table.
 class Table {
  public:

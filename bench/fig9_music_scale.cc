@@ -92,4 +92,6 @@ int Run() {
 }  // namespace
 }  // namespace humdex::bench
 
-int main() { return humdex::bench::Run(); }
+int main(int argc, char** argv) {
+  return humdex::bench::BenchMain(argc, argv, humdex::bench::Run);
+}

@@ -18,8 +18,9 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "== [2/2] ThreadSanitizer build + concurrency tests =="
 cmake -B build-tsan -S . -DHUMDEX_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
-  thread_pool_test parallel_query_test buffer_pool_stress_test buffer_pool_test
+  thread_pool_test parallel_query_test buffer_pool_stress_test buffer_pool_test \
+  metrics_stress_test
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ParallelQuery|QbhQueryBatch|BufferPool'
+  -R 'ThreadPool|ParallelQuery|QbhQueryBatch|BufferPool|MetricsStress'
 
 echo "All checks passed."

@@ -4,11 +4,23 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ts/envelope.h"
 #include "ts/lower_bound.h"
 #include "util/status.h"
 
 namespace humdex {
+namespace {
+
+// Stage-latency histograms, resolved once per call site (registry entries
+// are immortal, so the references stay valid).
+obs::Histogram& RangeHistogram(const char* stage) {
+  return obs::MetricsRegistry::Default().GetHistogram(
+      std::string("query.range.") + stage);
+}
+
+}  // namespace
 
 DtwQueryEngine::DtwQueryEngine(std::shared_ptr<const FeatureScheme> scheme,
                                QueryEngineOptions options)
@@ -75,33 +87,72 @@ std::vector<Neighbor> DtwQueryEngine::RangeQuery(const Series& query,
   HUMDEX_CHECK(query.size() == options_.normal_len);
   HUMDEX_CHECK(epsilon >= 0.0);
   QueryStats local;
+  HUMDEX_SPAN(query_span, "query.range");
+  const std::uint64_t t_start = obs::MonotonicNowNs();
 
   // Steps 2-3: transformed query envelope, feature-space range query.
-  Envelope env = BuildEnvelope(query, band_k_);
-  IndexStats istats;
-  std::vector<std::int64_t> candidates =
-      feature_index_.CandidatesForEnvelope(env, epsilon, &istats);
-  local.index_candidates = candidates.size();
-  local.page_accesses = istats.page_accesses;
+  std::vector<std::int64_t> candidates;
+  Envelope env;
+  {
+    HUMDEX_SPAN(span, "query.range.index_probe");
+    env = BuildEnvelope(query, band_k_);
+    IndexStats istats;
+    candidates = feature_index_.CandidatesForEnvelope(env, epsilon, &istats);
+    local.index_candidates = candidates.size();
+    local.page_accesses = istats.page_accesses;
+    HUMDEX_SPAN_ATTR(span, "candidates",
+                     static_cast<double>(local.index_candidates));
+    HUMDEX_SPAN_ATTR(span, "page_accesses",
+                     static_cast<double>(local.page_accesses));
+  }
+  const std::uint64_t t_index = obs::MonotonicNowNs();
+  local.index_ns = t_index - t_start;
 
   // Step 4: raw-space envelope bound (tighter, uses full resolution).
   // LbKeogh(data, Env(query)) <= DTW(query, data) by Lemma 2 + symmetry.
   std::vector<std::int64_t> survivors;
-  survivors.reserve(candidates.size());
-  for (std::int64_t id : candidates) {
-    if (LbKeogh(ItemFor(id).series, env) <= epsilon) survivors.push_back(id);
+  {
+    HUMDEX_SPAN(span, "query.range.lb_filter");
+    survivors.reserve(candidates.size());
+    for (std::int64_t id : candidates) {
+      if (LbKeogh(ItemFor(id).series, env) <= epsilon) survivors.push_back(id);
+    }
+    local.lb_survivors = survivors.size();
+    HUMDEX_SPAN_ATTR(span, "survivors",
+                     static_cast<double>(local.lb_survivors));
   }
-  local.lb_survivors = survivors.size();
+  const std::uint64_t t_lb = obs::MonotonicNowNs();
+  local.lb_ns = t_lb - t_index;
 
   // Step 5: exact banded DTW with early abandoning.
   std::vector<Neighbor> out;
-  for (std::int64_t id : survivors) {
-    ++local.exact_dtw_calls;
-    double d = LdtwDistanceEarlyAbandon(query, ItemFor(id).series, band_k_, epsilon);
-    if (d <= epsilon) out.push_back({id, d});
+  {
+    HUMDEX_SPAN(span, "query.range.exact_dtw");
+    for (std::int64_t id : survivors) {
+      ++local.exact_dtw_calls;
+      double d =
+          LdtwDistanceEarlyAbandon(query, ItemFor(id).series, band_k_, epsilon);
+      if (d <= epsilon) out.push_back({id, d});
+    }
+    std::sort(out.begin(), out.end());
+    local.results = out.size();
+    HUMDEX_SPAN_ATTR(span, "dtw_calls",
+                     static_cast<double>(local.exact_dtw_calls));
+    HUMDEX_SPAN_ATTR(span, "results", static_cast<double>(local.results));
   }
-  std::sort(out.begin(), out.end());
-  local.results = out.size();
+  const std::uint64_t t_end = obs::MonotonicNowNs();
+  local.dtw_ns = t_end - t_lb;
+  local.total_ns = t_end - t_start;
+
+  static obs::Histogram& h_index = RangeHistogram("index_ns");
+  static obs::Histogram& h_lb = RangeHistogram("lb_ns");
+  static obs::Histogram& h_dtw = RangeHistogram("dtw_ns");
+  static obs::Histogram& h_total = RangeHistogram("total_ns");
+  h_index.Record(local.index_ns);
+  h_lb.Record(local.lb_ns);
+  h_dtw.Record(local.dtw_ns);
+  h_total.Record(local.total_ns);
+
   if (stats != nullptr) *stats = local;
   return out;
 }
@@ -115,23 +166,32 @@ std::vector<Neighbor> DtwQueryEngine::KnnQuery(const Series& query, std::size_t 
     return {};
   }
   k = std::min(k, data_.size());
+  HUMDEX_SPAN(query_span, "query.knn");
+  const std::uint64_t t_start = obs::MonotonicNowNs();
 
   // Step 1: heuristic seed — exact DTW of the k nearest feature vectors
   // yields a valid upper bound radius for the true kNN distance.
-  IndexStats istats;
-  std::vector<Neighbor> seeds = feature_index_.NearestFeatures(query, k, &istats);
-  local.page_accesses += istats.page_accesses;
   double radius = 0.0;
-  for (const Neighbor& s : seeds) {
-    ++local.exact_dtw_calls;
-    double d = LdtwDistance(query, ItemFor(s.id).series, band_k_);
-    radius = std::max(radius, d);
+  {
+    HUMDEX_SPAN(span, "query.knn.seed");
+    IndexStats istats;
+    std::vector<Neighbor> seeds =
+        feature_index_.NearestFeatures(query, k, &istats);
+    local.page_accesses += istats.page_accesses;
+    for (const Neighbor& s : seeds) {
+      ++local.exact_dtw_calls;
+      double d = LdtwDistance(query, ItemFor(s.id).series, band_k_);
+      radius = std::max(radius, d);
+    }
+    if (!std::isfinite(radius)) {
+      // Degenerate: no path in band for seeds (cannot happen for equal-length
+      // normal forms, but keep the fallback total).
+      radius = kInfiniteDistance;
+    }
+    HUMDEX_SPAN_ATTR(span, "k", static_cast<double>(k));
+    HUMDEX_SPAN_ATTR(span, "radius", radius);
   }
-  if (!std::isfinite(radius)) {
-    // Degenerate: no path in band for seeds (cannot happen for equal-length
-    // normal forms, but keep the fallback total).
-    radius = kInfiniteDistance;
-  }
+  const std::uint64_t t_seed = obs::MonotonicNowNs();
 
   // Step 2: one guaranteed-superset range query, then rank exactly.
   QueryStats range_stats;
@@ -140,9 +200,19 @@ std::vector<Neighbor> DtwQueryEngine::KnnQuery(const Series& query, std::size_t 
   local.lb_survivors = range_stats.lb_survivors;
   local.page_accesses += range_stats.page_accesses;
   local.exact_dtw_calls += range_stats.exact_dtw_calls;
+  // The seed stage is exact-DTW-dominated; bill it to the DTW stage.
+  local.index_ns = range_stats.index_ns;
+  local.lb_ns = range_stats.lb_ns;
+  local.dtw_ns = range_stats.dtw_ns + (t_seed - t_start);
 
   if (in_range.size() > k) in_range.resize(k);
   local.results = in_range.size();
+  local.total_ns = obs::MonotonicNowNs() - t_start;
+
+  static obs::Histogram& h_total =
+      obs::MetricsRegistry::Default().GetHistogram("query.knn.total_ns");
+  h_total.Record(local.total_ns);
+
   if (stats != nullptr) *stats = local;
   return in_range;
 }
@@ -155,6 +225,12 @@ std::vector<std::vector<Neighbor>> DtwQueryEngine::RangeQueryBatch(
   ParallelFor(pool, queries.size(), [&](std::size_t i) {
     results[i] = RangeQuery(queries[i], epsilon, &stats[i]);
   });
+  // Per-query latency distribution: a summed aggregate hides the tail, so
+  // every query's wall time also lands in a registry histogram.
+  static obs::Histogram& h_per_query =
+      obs::MetricsRegistry::Default().GetHistogram(
+          "query.batch.range.per_query_ns");
+  for (const QueryStats& s : stats) h_per_query.Record(s.total_ns);
   if (aggregate != nullptr) {
     QueryStats total;
     for (const QueryStats& s : stats) total += s;
@@ -178,6 +254,10 @@ std::vector<std::vector<Neighbor>> DtwQueryEngine::KnnQueryBatch(
   ParallelFor(pool, queries.size(), [&](std::size_t i) {
     results[i] = KnnQuery(queries[i], k, &stats[i]);
   });
+  static obs::Histogram& h_per_query =
+      obs::MetricsRegistry::Default().GetHistogram(
+          "query.batch.knn.per_query_ns");
+  for (const QueryStats& s : stats) h_per_query.Record(s.total_ns);
   if (aggregate != nullptr) {
     QueryStats total;
     for (const QueryStats& s : stats) total += s;
@@ -203,6 +283,16 @@ std::vector<Neighbor> DtwQueryEngine::KnnQueryOptimal(const Series& query,
     return {};
   }
   k = std::min(k, data_.size());
+  HUMDEX_SPAN(query_span, "query.knn_optimal");
+  const std::uint64_t t_start = obs::MonotonicNowNs();
+  std::uint64_t stage_mark = t_start;
+  // The cascade stages interleave per candidate here, so the stage timings
+  // are accumulated across the loop rather than measured as one block each.
+  auto bill_stage = [&stage_mark](std::uint64_t& bucket) {
+    std::uint64_t now = obs::MonotonicNowNs();
+    bucket += now - stage_mark;
+    stage_mark = now;
+  };
   Envelope env = BuildEnvelope(query, band_k_);
 
   // Candidates stream in increasing feature-space lower-bound order. The
@@ -215,8 +305,14 @@ std::vector<Neighbor> DtwQueryEngine::KnnQueryOptimal(const Series& query,
   while (!done) {
     fetch = std::min(fetch, data_.size());
     IndexStats istats;
-    std::vector<Neighbor> ranked =
-        feature_index_.NearestToEnvelope(env, fetch, &istats);
+    std::vector<Neighbor> ranked;
+    {
+      HUMDEX_SPAN(span, "query.knn_optimal.index_probe");
+      stage_mark = obs::MonotonicNowNs();
+      ranked = feature_index_.NearestToEnvelope(env, fetch, &istats);
+      bill_stage(local.index_ns);
+      HUMDEX_SPAN_ATTR(span, "fetch", static_cast<double>(fetch));
+    }
     local.page_accesses += istats.page_accesses;
     for (std::size_t i = consumed; i < ranked.size(); ++i) {
       ++local.index_candidates;
@@ -227,7 +323,9 @@ std::vector<Neighbor> DtwQueryEngine::KnnQueryOptimal(const Series& query,
       }
       const Item& item = ItemFor(ranked[i].id);
       // Second filter: the tighter raw-space envelope bound.
+      stage_mark = obs::MonotonicNowNs();
       double lb_raw = LbKeogh(item.series, env);
+      bill_stage(local.lb_ns);
       if (best.size() == k && lb_raw >= best.top().distance) continue;
       ++local.lb_survivors;
       ++local.exact_dtw_calls;
@@ -237,6 +335,7 @@ std::vector<Neighbor> DtwQueryEngine::KnnQueryOptimal(const Series& query,
                      ? LdtwDistance(query, item.series, band_k_)
                      : LdtwDistanceEarlyAbandon(query, item.series, band_k_,
                                                 threshold);
+      bill_stage(local.dtw_ns);
       if (best.size() < k) {
         if (std::isinf(d)) d = LdtwDistance(query, item.series, band_k_);
         best.push({ranked[i].id, d});
@@ -259,6 +358,19 @@ std::vector<Neighbor> DtwQueryEngine::KnnQueryOptimal(const Series& query,
   }
   std::reverse(out.begin(), out.end());
   local.results = out.size();
+  local.total_ns = obs::MonotonicNowNs() - t_start;
+  HUMDEX_SPAN_ATTR(query_span, "candidates",
+                   static_cast<double>(local.index_candidates));
+  HUMDEX_SPAN_ATTR(query_span, "survivors",
+                   static_cast<double>(local.lb_survivors));
+  HUMDEX_SPAN_ATTR(query_span, "dtw_calls",
+                   static_cast<double>(local.exact_dtw_calls));
+
+  static obs::Histogram& h_total =
+      obs::MetricsRegistry::Default().GetHistogram(
+          "query.knn_optimal.total_ns");
+  h_total.Record(local.total_ns);
+
   if (stats != nullptr) *stats = local;
   return out;
 }

@@ -22,8 +22,11 @@
 
 namespace humdex {
 
-/// Per-query instrumentation, the implementation-bias-free cost measures of
-/// §5.3 plus the filter-cascade breakdown.
+/// Per-query instrumentation: the implementation-bias-free cost measures of
+/// §5.3 plus the filter-cascade breakdown, and the wall-clock side — per-stage
+/// monotonic-clock nanoseconds, always collected (a handful of clock reads per
+/// query). For distributions rather than sums, the engine also feeds the
+/// stage latencies into the obs metrics registry; see DESIGN.md §7.
 struct QueryStats {
   std::size_t index_candidates = 0;  ///< ids returned by the feature index
   std::size_t lb_survivors = 0;      ///< ids surviving the raw envelope bound
@@ -31,13 +34,22 @@ struct QueryStats {
   std::size_t page_accesses = 0;     ///< index pages touched
   std::size_t exact_dtw_calls = 0;   ///< banded DTW computations performed
 
-  /// Accumulate another query's counters (batch aggregation).
+  std::uint64_t index_ns = 0;  ///< envelope build + feature-index probe time
+  std::uint64_t lb_ns = 0;     ///< raw-space envelope LB filter time
+  std::uint64_t dtw_ns = 0;    ///< exact banded DTW verification time
+  std::uint64_t total_ns = 0;  ///< whole-query wall time (>= the stage sum)
+
+  /// Accumulate another query's counters and timings (batch aggregation).
   QueryStats& operator+=(const QueryStats& other) {
     index_candidates += other.index_candidates;
     lb_survivors += other.lb_survivors;
     results += other.results;
     page_accesses += other.page_accesses;
     exact_dtw_calls += other.exact_dtw_calls;
+    index_ns += other.index_ns;
+    lb_ns += other.lb_ns;
+    dtw_ns += other.dtw_ns;
+    total_ns += other.total_ns;
     return *this;
   }
 };

@@ -1,13 +1,29 @@
 #include "index/buffer_pool.h"
 
+#include <atomic>
+
 #include "util/status.h"
 
 namespace humdex {
+namespace {
 
-LruBufferPool::LruBufferPool(std::size_t capacity, std::size_t shards)
-    : capacity_(capacity) {
+std::string NextPoolLabel() {
+  static std::atomic<std::uint64_t> next{0};
+  return "pool" + std::to_string(next.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+LruBufferPool::LruBufferPool(std::size_t capacity, std::size_t shards,
+                             std::string metrics_label)
+    : capacity_(capacity),
+      metrics_label_(metrics_label.empty() ? NextPoolLabel()
+                                           : std::move(metrics_label)) {
   HUMDEX_CHECK(capacity_ >= 1);
   HUMDEX_CHECK(shards >= 1 && shards <= capacity_);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  hits_ = &registry.GetCounter("buffer_pool." + metrics_label_ + ".hits");
+  misses_ = &registry.GetCounter("buffer_pool." + metrics_label_ + ".misses");
   shards_.reserve(shards);
   // Split capacity as evenly as possible; the first (capacity % shards)
   // shards take one extra page so the shares sum to exactly `capacity`.
@@ -34,12 +50,12 @@ bool LruBufferPool::Touch(std::uint64_t page_id, bool pin) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.frames.find(page_id);
   if (it != shard.frames.end()) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_->Increment();
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
     if (pin) ++it->second.pins;
     return true;
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_->Increment();
   // Evict least-recently-used unpinned pages until there is room. If every
   // resident page is pinned the shard transiently exceeds its share (a real
   // buffer manager would block; the simulation just over-allocates).
@@ -119,8 +135,8 @@ void LruBufferPool::Clear() {
 }
 
 void LruBufferPool::ResetStats() {
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
+  hits_->Reset();
+  misses_->Reset();
 }
 
 std::size_t LruBufferPool::resident() const {

@@ -12,14 +12,16 @@
 // manager's pin/unpin protocol.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace humdex {
 
@@ -30,7 +32,14 @@ class LruBufferPool {
   /// `shards` > 1 the capacity is divided evenly across shards (pages map to
   /// shards by hash), trading exact global LRU order for lower lock
   /// contention. `shards` = 1 reproduces a single global LRU exactly.
-  explicit LruBufferPool(std::size_t capacity, std::size_t shards = 1);
+  ///
+  /// The hit/miss counters are registered with the default metrics registry
+  /// as `buffer_pool.<label>.hits` / `.misses`, so every pool shows up in
+  /// metric exports without plumbing. `metrics_label` defaults to a
+  /// process-unique "pool<N>"; pass a stable label for pools whose metrics
+  /// you chart across runs. Two pools sharing a label share counters.
+  explicit LruBufferPool(std::size_t capacity, std::size_t shards = 1,
+                         std::string metrics_label = "");
 
   /// Record an access. Returns true on a hit (page was resident). On a miss
   /// the page is loaded, evicting the least-recently-used unpinned page of
@@ -77,11 +86,13 @@ class LruBufferPool {
 
   std::size_t capacity() const { return capacity_; }
   std::size_t shard_count() const { return shards_.size(); }
+  /// Label under which this pool's counters appear in the metrics registry.
+  const std::string& metrics_label() const { return metrics_label_; }
   std::size_t resident() const;
   /// Total outstanding pin count across all pages (0 when no guard is alive).
   std::size_t pinned() const;
-  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::uint64_t hits() const { return hits_->value(); }
+  std::uint64_t misses() const { return misses_->value(); }
 
   /// Miss fraction over all accesses so far (0 when no accesses).
   double MissRate() const;
@@ -111,8 +122,11 @@ class LruBufferPool {
   void Unpin(std::uint64_t page_id);
 
   std::size_t capacity_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
+  std::string metrics_label_;
+  // Registry-owned counters (immortal): the pool's own statistics and the
+  // metrics export read the same atomics.
+  obs::Counter* hits_;
+  obs::Counter* misses_;
   // unique_ptr because Shard holds a mutex and must not move.
   std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -1,0 +1,144 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+namespace humdex::obs {
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = "humdex_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string Num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string Num(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    std::string p = PromName(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + Num(value) + "\n";
+  }
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    std::string p = PromName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + Num(value) + "\n";
+  }
+  for (const auto& [name, snap] : registry.HistogramSnapshots()) {
+    std::string p = PromName(name);
+    out += "# TYPE " + p + " summary\n";
+    for (double q : {50.0, 90.0, 95.0, 99.0}) {
+      out += p + "{quantile=\"" + Num(q / 100.0) + "\"} " +
+             Num(snap.Percentile(q)) + "\n";
+    }
+    out += p + "_count " + Num(snap.count) + "\n";
+    out += p + "_sum " + Num(snap.sum) + "\n";
+    out += p + "_max " + Num(snap.max) + "\n";
+  }
+  return out;
+}
+
+std::string ExportJson(const MetricsRegistry& registry) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    out += first ? "\n" : ",\n";
+    out += "    " + JsonString(name) + ": " + Num(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    out += first ? "\n" : ",\n";
+    out += "    " + JsonString(name) + ": " + Num(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, snap] : registry.HistogramSnapshots()) {
+    out += first ? "\n" : ",\n";
+    out += "    " + JsonString(name) + ": {";
+    out += "\"count\": " + Num(snap.count);
+    out += ", \"sum\": " + Num(snap.sum);
+    out += ", \"mean\": " + Num(snap.mean());
+    out += ", \"p50\": " + Num(snap.Percentile(50.0));
+    out += ", \"p90\": " + Num(snap.Percentile(90.0));
+    out += ", \"p95\": " + Num(snap.Percentile(95.0));
+    out += ", \"p99\": " + Num(snap.Percentile(99.0));
+    out += ", \"max\": " + Num(snap.max);
+    out += "}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool WriteJsonSnapshot(const MetricsRegistry& registry,
+                       const std::string& path) {
+  std::string body = ExportJson(registry);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot open metrics snapshot file %s\n",
+                 path.c_str());
+    return false;
+  }
+  bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::fprintf(stderr, "obs: short write to metrics snapshot file %s\n",
+                 path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace humdex::obs

@@ -1,0 +1,31 @@
+// Machine-readable views of a MetricsRegistry: a Prometheus-style text page
+// for scraping and a JSON snapshot for bench artifacts (`--metrics_out=`).
+// Both are point-in-time, lock the registry only to list entries, and are
+// deterministic for a quiescent registry (entries sorted by name).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace humdex::obs {
+
+/// Prometheus exposition-style text. Dots in metric names become
+/// underscores; histograms render as summaries:
+///   humdex_query_range_total_ns_count 64
+///   humdex_query_range_total_ns_sum 5120000
+///   humdex_query_range_total_ns{quantile="0.5"} 73216
+///   humdex_query_range_total_ns_max 131072
+std::string ExportPrometheus(const MetricsRegistry& registry);
+
+/// JSON object with "counters", "gauges", and "histograms" sections;
+/// histograms carry count/sum/mean/p50/p90/p95/p99/max. Empty buckets are
+/// not serialized.
+std::string ExportJson(const MetricsRegistry& registry);
+
+/// Write ExportJson(registry) to `path`. Returns false (and prints to
+/// stderr) when the file cannot be written.
+bool WriteJsonSnapshot(const MetricsRegistry& registry,
+                       const std::string& path);
+
+}  // namespace humdex::obs

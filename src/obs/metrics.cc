@@ -1,0 +1,170 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <thread>
+
+#include "util/status.h"
+
+namespace humdex::obs {
+
+std::size_t Histogram::BucketFor(std::uint64_t value) {
+  if (value < 2 * kSubCount) return static_cast<std::size_t>(value);
+  int msb = 63 - std::countl_zero(value);
+  int shift = msb - kSubBits;
+  return ((static_cast<std::size_t>(msb - kSubBits)) << kSubBits) +
+         static_cast<std::size_t>(value >> shift);
+}
+
+std::uint64_t Histogram::BucketLowerBound(std::size_t index) {
+  HUMDEX_CHECK(index < kBucketCount);
+  if (index < 2 * kSubCount) return index;
+  std::size_t g = index - kSubCount;
+  int shift = static_cast<int>(g >> kSubBits);
+  std::uint64_t sub = g & (kSubCount - 1);
+  return (kSubCount + sub) << shift;
+}
+
+std::uint64_t Histogram::BucketUpperBound(std::size_t index) {
+  // The top bucket's exclusive bound would be 2^64; saturate (that bucket is
+  // inclusive of UINT64_MAX).
+  if (index == kBucketCount - 1) return ~std::uint64_t{0};
+  if (index < 2 * kSubCount) return index + 1;
+  std::size_t g = index - kSubCount;
+  int shift = static_cast<int>(g >> kSubBits);
+  return BucketLowerBound(index) + (std::uint64_t{1} << shift);
+}
+
+Histogram::Shard& Histogram::ShardForThisThread() {
+  static thread_local const std::size_t idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return shards_[idx];
+}
+
+void Histogram::Record(std::uint64_t value) {
+  Shard& shard = ShardForThisThread();
+  shard.counts[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t observed = max_.load(std::memory_order_relaxed);
+  while (observed < value &&
+         !max_.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kBucketCount, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      std::uint64_t c = shard.counts[b].load(std::memory_order_relaxed);
+      snap.buckets[b] += c;
+      snap.count += c;
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (auto& c : shard.counts) c.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+  }
+  max_.store(0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  HUMDEX_CHECK(p >= 0.0 && p <= 100.0);
+  if (count == 0) return 0.0;
+  // Rank of the target sample, 1-based; p=100 selects the last sample.
+  double target = p / 100.0 * static_cast<double>(count);
+  if (target < 1.0) target = 1.0;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    double before = static_cast<double>(cumulative);
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) >= target) {
+      double lo = static_cast<double>(Histogram::BucketLowerBound(b));
+      double hi = static_cast<double>(Histogram::BucketUpperBound(b));
+      double frac = (target - before) / static_cast<double>(buckets[b]);
+      double v = lo + frac * (hi - lo);
+      // The true max is tracked exactly; never report beyond it.
+      return std::min(v, static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> MetricsRegistry::GaugeValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::HistogramSnapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h->Snapshot());
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->Reset();
+  for (const auto& [name, g] : gauges_) g->Reset();
+  for (const auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace humdex::obs

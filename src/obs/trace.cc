@@ -1,0 +1,90 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace humdex::obs {
+namespace {
+
+thread_local QueryTrace* g_active_trace = nullptr;
+
+}  // namespace
+
+std::uint64_t MonotonicNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double TraceSpan::Attribute(std::string_view key, double missing) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return missing;
+}
+
+const TraceSpan* QueryTrace::Find(std::string_view name) const {
+  for (const TraceSpan& s : spans_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string QueryTrace::ToString() const {
+  std::string out;
+  for (const TraceSpan& s : spans_) {
+    out.append(static_cast<std::size_t>(s.depth) * 2, ' ');
+    out += s.name;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  %llu ns",
+                  static_cast<unsigned long long>(s.duration_ns));
+    out += buf;
+    for (const auto& [k, v] : s.attributes) {
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      out += "  " + k + "=" + buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void QueryTrace::Clear() {
+  spans_.clear();
+  open_ = -1;
+}
+
+ScopedTrace::ScopedTrace(QueryTrace* trace) : prev_(g_active_trace) {
+  g_active_trace = trace;
+}
+
+ScopedTrace::~ScopedTrace() { g_active_trace = prev_; }
+
+QueryTrace* ScopedTrace::Active() { return g_active_trace; }
+
+ScopedSpan::ScopedSpan(const char* name) : trace_(g_active_trace) {
+  if (trace_ == nullptr) return;
+  TraceSpan span;
+  span.name = name;
+  span.parent = trace_->open_;
+  span.depth =
+      span.parent < 0 ? 0 : trace_->spans_[span.parent].depth + 1;
+  span.start_ns = MonotonicNowNs() - trace_->base_ns_;
+  index_ = static_cast<int>(trace_->spans_.size());
+  trace_->spans_.push_back(std::move(span));
+  trace_->open_ = index_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (trace_ == nullptr) return;
+  TraceSpan& span = trace_->spans_[index_];
+  span.duration_ns = MonotonicNowNs() - trace_->base_ns_ - span.start_ns;
+  trace_->open_ = span.parent;
+}
+
+void ScopedSpan::AddAttribute(const char* key, double value) {
+  if (trace_ == nullptr) return;
+  trace_->spans_[index_].attributes.emplace_back(key, value);
+}
+
+}  // namespace humdex::obs

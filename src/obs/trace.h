@@ -1,0 +1,127 @@
+// Per-query tracing: RAII scoped spans with monotonic-clock timings and
+// parent nesting, collected into a QueryTrace that records the full filter
+// cascade (feature-index probe -> envelope LB filter -> exact banded DTW)
+// with per-stage durations and candidate counts as span attributes.
+//
+// Activation is per thread and opt-in: installing a ScopedTrace makes the
+// HUMDEX_SPAN macros on that thread record into the given QueryTrace; with
+// no active trace each span is a single thread-local pointer test. The whole
+// span path compiles out when HUMDEX_TRACING_ENABLED is 0 (CMake
+// -DHUMDEX_TRACING=OFF), leaving a disabled build with literally zero trace
+// overhead — see DESIGN.md §7 for the overhead budget.
+//
+//   obs::QueryTrace trace;
+//   {
+//     obs::ScopedTrace activate(&trace);
+//     engine.RangeQuery(query, epsilon, &stats);
+//   }
+//   std::puts(trace.ToString().c_str());
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#ifndef HUMDEX_TRACING_ENABLED
+#define HUMDEX_TRACING_ENABLED 1
+#endif
+
+namespace humdex::obs {
+
+/// Nanoseconds on the monotonic (steady) clock.
+std::uint64_t MonotonicNowNs();
+
+/// One finished (or still-open) span. Times are relative to the owning
+/// trace's creation, so spans within a trace are directly comparable.
+struct TraceSpan {
+  std::string name;
+  int parent = -1;  ///< index into QueryTrace::spans(), -1 for a root span
+  int depth = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;  ///< 0 while the span is still open
+  std::vector<std::pair<std::string, double>> attributes;
+
+  /// Value of the named attribute, or `missing` when absent.
+  double Attribute(std::string_view key, double missing = -1.0) const;
+};
+
+/// An append-only collection of spans from one logical operation. Not
+/// thread-safe: one trace belongs to the one thread that installed it via
+/// ScopedTrace (batch workers each need their own trace).
+class QueryTrace {
+ public:
+  QueryTrace() : base_ns_(MonotonicNowNs()) {}
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+
+  /// First span with the given name, or nullptr.
+  const TraceSpan* Find(std::string_view name) const;
+
+  /// Indented one-line-per-span rendering for logs and debugging.
+  std::string ToString() const;
+
+  /// Drop all spans (the base timestamp is kept).
+  void Clear();
+
+ private:
+  friend class ScopedSpan;
+
+  std::uint64_t base_ns_;
+  std::vector<TraceSpan> spans_;
+  int open_ = -1;  // innermost span still open, -1 at top level
+};
+
+/// Installs a QueryTrace as this thread's active trace for its lifetime.
+/// Nests: the previous active trace (if any) is restored on destruction.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(QueryTrace* trace);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+  /// The calling thread's active trace, or nullptr.
+  static QueryTrace* Active();
+
+ private:
+  QueryTrace* prev_;
+};
+
+/// RAII span on the calling thread's active trace; a no-op (one thread-local
+/// load) when no trace is active. Created via HUMDEX_SPAN so that disabled
+/// builds compile the whole thing away.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach a key/value attribute (candidate counts, radii, ...).
+  void AddAttribute(const char* key, double value);
+
+ private:
+  QueryTrace* trace_;
+  int index_ = -1;
+};
+
+}  // namespace humdex::obs
+
+#if HUMDEX_TRACING_ENABLED
+/// Open a span named `name` for the rest of the enclosing scope; `var` is the
+/// local variable naming it for HUMDEX_SPAN_ATTR.
+#define HUMDEX_SPAN(var, name) ::humdex::obs::ScopedSpan var(name)
+/// Attach an attribute to a span opened in this scope. The value expression
+/// is not evaluated in disabled builds.
+#define HUMDEX_SPAN_ATTR(var, key, value) var.AddAttribute((key), (value))
+#else
+#define HUMDEX_SPAN(var, name) \
+  do {                         \
+  } while (0)
+#define HUMDEX_SPAN_ATTR(var, key, value) \
+  do {                                    \
+  } while (0)
+#endif

@@ -2,6 +2,8 @@
 
 #include "audio/pitch_detect.h"
 #include "music/pitch_tracker.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ts/normal_form.h"
 #include "util/status.h"
 
@@ -72,13 +74,26 @@ Series QbhSystem::HumToNormalForm(const Series& hum_pitch) const {
 std::vector<QbhMatch> QbhSystem::Query(const Series& hum_pitch, std::size_t top_k,
                                        QueryStats* stats) const {
   HUMDEX_CHECK_MSG(engine_ != nullptr, "Query before Build()");
-  Series q = HumToNormalForm(hum_pitch);
+  // Top-level span over the whole pipeline: pitch track -> normal form ->
+  // engine query (whose cascade spans nest underneath).
+  HUMDEX_SPAN(query_span, "qbh.query");
+  const std::uint64_t t_start = obs::MonotonicNowNs();
+  Series q;
+  {
+    HUMDEX_SPAN(span, "qbh.normal_form");
+    q = HumToNormalForm(hum_pitch);
+  }
   std::vector<Neighbor> nn = engine_->KnnQuery(q, top_k, stats);
   std::vector<QbhMatch> out;
   out.reserve(nn.size());
   for (const Neighbor& n : nn) {
     out.push_back({n.id, melody(n.id).name, n.distance});
   }
+  HUMDEX_SPAN_ATTR(query_span, "top_k", static_cast<double>(top_k));
+  HUMDEX_SPAN_ATTR(query_span, "matches", static_cast<double>(out.size()));
+  static obs::Histogram& h_total =
+      obs::MetricsRegistry::Default().GetHistogram("qbh.query.total_ns");
+  h_total.Record(obs::MonotonicNowNs() - t_start);
   return out;
 }
 

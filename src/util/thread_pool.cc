@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 // ThreadSanitizer cannot see the atomic reference counting inside the
@@ -22,6 +24,32 @@ extern "C" const char* __tsan_default_suppressions() {
 #endif
 
 namespace humdex {
+namespace {
+
+// One set of counters for every pool in the process; batch APIs spin up
+// transient pools, so per-instance entries would flood the registry.
+obs::Counter& TasksSubmitted() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("thread_pool.tasks_submitted");
+  return c;
+}
+obs::Counter& TasksExecuted() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("thread_pool.tasks_executed");
+  return c;
+}
+obs::Counter& WorkerBusyNs() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("thread_pool.worker_busy_ns");
+  return c;
+}
+obs::Gauge& QueueDepth() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Default().GetGauge("thread_pool.queue_depth");
+  return g;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   HUMDEX_CHECK(num_threads >= 1);
@@ -44,6 +72,11 @@ std::size_t ThreadPool::DefaultThreadCount() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
+void ThreadPool::NoteSubmitted() {
+  TasksSubmitted().Increment();
+  QueueDepth().Add(1);
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -54,7 +87,11 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    QueueDepth().Add(-1);
+    const std::uint64_t t0 = obs::MonotonicNowNs();
     task();  // exceptions land in the packaged_task's future
+    WorkerBusyNs().Increment(obs::MonotonicNowNs() - t0);
+    TasksExecuted().Increment();
   }
 }
 

@@ -47,12 +47,19 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(mu_);
       queue_.push([task] { (*task)(); });
     }
+    NoteSubmitted();
     cv_.notify_one();
     return future;
   }
 
  private:
   void WorkerLoop();
+  // Metrics hooks (process-wide registry counters shared by all pools, so
+  // transient batch pools do not mint registry entries):
+  //   thread_pool.tasks_submitted / tasks_executed  counters
+  //   thread_pool.worker_busy_ns                    counter
+  //   thread_pool.queue_depth                       gauge
+  void NoteSubmitted();
 
   std::mutex mu_;
   std::condition_variable cv_;

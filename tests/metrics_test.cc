@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace humdex::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.value(), -3);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(HistogramTest, BucketBoundsTile) {
+  // Buckets must tile the value range: upper(i) == lower(i+1), and every
+  // value must land in the bucket whose bounds contain it.
+  for (std::size_t b = 0; b + 1 < Histogram::kBucketCount; ++b) {
+    EXPECT_EQ(Histogram::BucketUpperBound(b), Histogram::BucketLowerBound(b + 1))
+        << "bucket " << b;
+  }
+  for (std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{7},
+        std::uint64_t{8}, std::uint64_t{15}, std::uint64_t{16},
+        std::uint64_t{17}, std::uint64_t{1000}, std::uint64_t{123456789},
+        std::uint64_t{1} << 40, (std::uint64_t{1} << 63) + 5,
+        ~std::uint64_t{0}}) {
+    std::size_t b = Histogram::BucketFor(v);
+    ASSERT_LT(b, Histogram::kBucketCount) << v;
+    EXPECT_GE(v, Histogram::BucketLowerBound(b)) << v;
+    if (b == Histogram::kBucketCount - 1) {
+      EXPECT_LE(v, Histogram::BucketUpperBound(b)) << v;  // inclusive top
+    } else {
+      EXPECT_LT(v, Histogram::BucketUpperBound(b)) << v;
+    }
+  }
+  // Bucket width never exceeds 1/8 of the lower bound (12.5% relative error).
+  for (std::size_t b = 2 * Histogram::kSubCount; b < Histogram::kBucketCount;
+       ++b) {
+    std::uint64_t lo = Histogram::BucketLowerBound(b);
+    std::uint64_t width = Histogram::BucketUpperBound(b) - lo;
+    EXPECT_LE(width * Histogram::kSubCount, lo) << "bucket " << b;
+  }
+}
+
+TEST(HistogramTest, CountSumMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  h.Record(3);
+  h.Record(100);
+  h.Record(100000);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 100103u);
+  EXPECT_EQ(snap.max, 100000u);
+  h.Reset();
+  snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.Percentile(50.0), 0.0);
+}
+
+TEST(HistogramTest, ExactForSmallValues) {
+  // Values below 16 map to width-1 buckets, so percentiles are near-exact.
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(5);
+  HistogramSnapshot snap = h.Snapshot();
+  double p50 = snap.Percentile(50.0);
+  EXPECT_GE(p50, 5.0);
+  EXPECT_LE(p50, 6.0);
+  EXPECT_EQ(snap.max, 5u);
+  EXPECT_EQ(snap.Percentile(100.0), 5.0);  // clamped to the exact max
+}
+
+// Percentile math against the exact reference in util/stats.h: the histogram
+// estimate must stay within one bucket width (12.5% relative) plus the
+// rank-convention slack of the exact linear-interpolated percentile.
+TEST(HistogramTest, PercentilesMatchExactReference) {
+  Rng rng(987);
+  Histogram h;
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform latencies spanning ~4 decades, like real stage timings.
+    double v = std::exp(rng.Uniform(std::log(100.0), std::log(1e7)));
+    auto ns = static_cast<std::uint64_t>(v);
+    samples.push_back(static_cast<double>(ns));
+    h.Record(ns);
+  }
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.count, samples.size());
+  for (double p : {50.0, 90.0, 95.0, 99.0}) {
+    double exact = Percentile(samples, p);
+    double est = snap.Percentile(p);
+    EXPECT_NEAR(est, exact, 0.15 * exact) << "p" << p;
+  }
+  EXPECT_EQ(static_cast<double>(snap.max),
+            *std::max_element(samples.begin(), samples.end()));
+}
+
+TEST(MetricsRegistryTest, GetReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& c1 = registry.GetCounter("a.count");
+  Counter& c2 = registry.GetCounter("a.count");
+  EXPECT_EQ(&c1, &c2);
+  c1.Increment(5);
+  EXPECT_EQ(c2.value(), 5u);
+
+  Gauge& g = registry.GetGauge("a.depth");
+  g.Set(3);
+  Histogram& h = registry.GetHistogram("a.latency_ns");
+  h.Record(77);
+
+  auto counters = registry.CounterValues();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].first, "a.count");
+  EXPECT_EQ(counters[0].second, 5u);
+  auto gauges = registry.GaugeValues();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].second, 3);
+  auto hists = registry.HistogramSnapshots();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].second.count, 1u);
+
+  registry.ResetAll();
+  EXPECT_EQ(c1.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsRegistryTest, DefaultIsProcessWide) {
+  Counter& c = MetricsRegistry::Default().GetCounter("metrics_test.probe");
+  std::uint64_t before = c.value();
+  MetricsRegistry::Default().GetCounter("metrics_test.probe").Increment();
+  EXPECT_EQ(c.value(), before + 1);
+}
+
+// Pull "key": <number> back out of the JSON text (first occurrence).
+double JsonNumber(const std::string& json, const std::string& key) {
+  std::string needle = "\"" + key + "\": ";
+  std::size_t pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << json;
+  if (pos == std::string::npos) return -1.0;
+  return std::stod(json.substr(pos + needle.size()));
+}
+
+TEST(ExportTest, JsonRoundTripsValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("rt.count").Increment(1234);
+  registry.GetGauge("rt.depth").Set(-7);
+  Histogram& h = registry.GetHistogram("rt.latency_ns");
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<std::uint64_t>(i));
+
+  std::string json = ExportJson(registry);
+  EXPECT_EQ(JsonNumber(json, "rt.count"), 1234.0);
+  EXPECT_EQ(JsonNumber(json, "rt.depth"), -7.0);
+  EXPECT_EQ(JsonNumber(json, "count"), 100.0);
+  EXPECT_EQ(JsonNumber(json, "sum"), 5050.0);
+  EXPECT_EQ(JsonNumber(json, "max"), 100.0);
+  double p50 = JsonNumber(json, "p50");
+  double exact = 50.0;
+  EXPECT_NEAR(p50, exact, 0.15 * exact);
+  // Structurally balanced object.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  // Sections always present, even when a kind is empty.
+  MetricsRegistry empty_registry;
+  std::string empty = ExportJson(empty_registry);
+  EXPECT_NE(empty.find("\"counters\""), std::string::npos);
+  EXPECT_NE(empty.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(empty.find("\"histograms\""), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusPage) {
+  MetricsRegistry registry;
+  registry.GetCounter("q.range.count").Increment(3);
+  registry.GetGauge("pool.depth").Set(11);
+  Histogram& h = registry.GetHistogram("q.range.total_ns");
+  h.Record(1000);
+  h.Record(2000);
+
+  std::string page = ExportPrometheus(registry);
+  EXPECT_NE(page.find("# TYPE humdex_q_range_count counter"),
+            std::string::npos);
+  EXPECT_NE(page.find("humdex_q_range_count 3"), std::string::npos);
+  EXPECT_NE(page.find("# TYPE humdex_pool_depth gauge"), std::string::npos);
+  EXPECT_NE(page.find("humdex_pool_depth 11"), std::string::npos);
+  EXPECT_NE(page.find("# TYPE humdex_q_range_total_ns summary"),
+            std::string::npos);
+  EXPECT_NE(page.find("humdex_q_range_total_ns_count 2"), std::string::npos);
+  EXPECT_NE(page.find("humdex_q_range_total_ns_sum 3000"), std::string::npos);
+  EXPECT_NE(page.find("quantile=\"0.5\""), std::string::npos);
+}
+
+TEST(ExportTest, WriteJsonSnapshotToFile) {
+  MetricsRegistry registry;
+  registry.GetCounter("file.count").Increment(9);
+  std::string path = ::testing::TempDir() + "/metrics_snapshot.json";
+  ASSERT_TRUE(WriteJsonSnapshot(registry, path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string body;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+  std::fclose(f);
+  EXPECT_EQ(JsonNumber(body, "file.count"), 9.0);
+  EXPECT_FALSE(WriteJsonSnapshot(registry, "/nonexistent-dir/x/y.json"));
+}
+
+}  // namespace
+}  // namespace humdex::obs
