@@ -1,26 +1,37 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the concurrency gate:
+# Tier-1 verification plus the concurrency and robustness gates:
 #   1. plain RelWithDebInfo build, full ctest suite;
 #   2. ThreadSanitizer build (-DHUMDEX_SANITIZE=thread), running the
 #      parallel-read-path tests (thread pool, batch queries, buffer pool
-#      stress) so the thread-safety guarantees are mechanically checked.
+#      stress) so the thread-safety guarantees are mechanically checked;
+#   3. ASan+UBSan build (-DHUMDEX_SANITIZE=address+undefined), running the
+#      storage, corruption, fault-injection, and fuzz tests so "no corrupt
+#      input throws, aborts, or touches bad memory" is mechanically checked.
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/2] plain build + full test suite =="
+echo "== [1/3] plain build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/2] ThreadSanitizer build + concurrency tests =="
+echo "== [2/3] ThreadSanitizer build + concurrency tests =="
 cmake -B build-tsan -S . -DHUMDEX_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   thread_pool_test parallel_query_test buffer_pool_stress_test buffer_pool_test \
   metrics_stress_test
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ThreadPool|ParallelQuery|QbhQueryBatch|BufferPool|MetricsStress'
+
+echo "== [3/3] ASan+UBSan build + robustness tests =="
+cmake -B build-asan -S . -DHUMDEX_SANITIZE=address+undefined >/dev/null
+cmake --build build-asan -j "$JOBS" --target \
+  env_test corruption_test deadline_test storage_test fuzz_test melody_io_test \
+  wav_io_test
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+  -R 'PosixEnv|FaultInjectingEnv|Retry|Corruption|CrashSafety|Salvage|Deadline|Cancel|Shedding|Observability|Storage|Fuzz|MelodyIo|WavIo'
 
 echo "All checks passed."

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/retry.h"
+
 namespace humdex {
 
 namespace {
@@ -114,24 +116,16 @@ Status DecodeWav(const std::string& bytes, WavData* out) {
 }
 
 Status WriteWavFile(const std::string& path, const Series& samples,
-                    double sample_rate) {
-  std::string bytes = EncodeWav(samples, sample_rate);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::Internal("cannot write '" + path + "'");
-  std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (wrote != bytes.size()) return Status::Internal("short write to '" + path + "'");
-  return Status::OK();
+                    double sample_rate, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  return env->AtomicWriteFile(path, EncodeWav(samples, sample_rate));
 }
 
-Status ReadWavFile(const std::string& path, WavData* out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("cannot open '" + path + "'");
+Status ReadWavFile(const std::string& path, WavData* out, Env* env) {
+  if (env == nullptr) env = Env::Default();
   std::string bytes;
-  char buf[1 << 14];
-  std::size_t got;
-  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, got);
-  std::fclose(f);
+  HUMDEX_RETURN_IF_ERROR(RetryWithBackoff(
+      RetryPolicy(), [&] { return env->ReadFile(path, &bytes); }));
   return DecodeWav(bytes, out);
 }
 

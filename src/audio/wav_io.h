@@ -6,6 +6,7 @@
 #include <string>
 
 #include "ts/time_series.h"
+#include "util/env.h"
 #include "util/status.h"
 
 namespace humdex {
@@ -22,9 +23,10 @@ std::string EncodeWav(const Series& samples, double sample_rate);
 /// Decode a 16-bit mono PCM WAV byte string.
 Status DecodeWav(const std::string& bytes, WavData* out);
 
-/// File wrappers.
+/// File wrappers. `env` defaults to Env::Default(); reads retry transient
+/// faults, writes are atomic (temp + fsync + rename).
 Status WriteWavFile(const std::string& path, const Series& samples,
-                    double sample_rate);
-Status ReadWavFile(const std::string& path, WavData* out);
+                    double sample_rate, Env* env = nullptr);
+Status ReadWavFile(const std::string& path, WavData* out, Env* env = nullptr);
 
 }  // namespace humdex

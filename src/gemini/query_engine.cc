@@ -20,6 +20,52 @@ obs::Histogram& RangeHistogram(const char* stage) {
       std::string("query.range.") + stage);
 }
 
+obs::Counter& DeadlineExpiredCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("deadline.expired");
+  return c;
+}
+
+obs::Counter& QueryCancelledCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("query.cancelled");
+  return c;
+}
+
+// The LB filter checks the clock only every kLbCheckStride candidates: an
+// LbKeogh call is a few hundred ns, so a per-candidate clock read would be
+// measurable there. Exact DTW is microseconds per candidate, so the DTW
+// stage checks every candidate.
+constexpr std::size_t kLbCheckStride = 16;
+
+/// Per-query stop tracker: answers "should this query keep going?" and, on
+/// the first expiry, marks the stats truncated and bumps the right counter
+/// exactly once. All checks short-circuit to zero work when no deadline or
+/// cancel token is installed.
+class StopGuard {
+ public:
+  explicit StopGuard(const QueryOptions& qopts) : qopts_(qopts) {}
+
+  bool Stopped(QueryStats* local) {
+    if (stopped_) return true;
+    if (!qopts_.active() || !qopts_.ShouldStop()) return false;
+    stopped_ = true;
+    local->truncated = true;
+    if (qopts_.cancel != nullptr && qopts_.cancel->cancelled()) {
+      QueryCancelledCounter().Increment();
+    } else {
+      DeadlineExpiredCounter().Increment();
+    }
+    return true;
+  }
+
+  bool stopped() const { return stopped_; }
+
+ private:
+  const QueryOptions& qopts_;
+  bool stopped_ = false;
+};
+
 }  // namespace
 
 DtwQueryEngine::DtwQueryEngine(std::shared_ptr<const FeatureScheme> scheme,
@@ -84,16 +130,25 @@ const DtwQueryEngine::Item& DtwQueryEngine::ItemFor(std::int64_t id) const {
 std::vector<Neighbor> DtwQueryEngine::RangeQuery(const Series& query,
                                                  double epsilon,
                                                  QueryStats* stats) const {
+  return RangeQuery(query, epsilon, QueryOptions(), stats);
+}
+
+std::vector<Neighbor> DtwQueryEngine::RangeQuery(const Series& query,
+                                                 double epsilon,
+                                                 const QueryOptions& qopts,
+                                                 QueryStats* stats) const {
   HUMDEX_CHECK(query.size() == options_.normal_len);
   HUMDEX_CHECK(epsilon >= 0.0);
   QueryStats local;
   HUMDEX_SPAN(query_span, "query.range");
   const std::uint64_t t_start = obs::MonotonicNowNs();
+  StopGuard guard(qopts);
 
-  // Steps 2-3: transformed query envelope, feature-space range query.
+  // Steps 2-3: transformed query envelope, feature-space range query. An
+  // already-expired deadline returns before any work.
   std::vector<std::int64_t> candidates;
   Envelope env;
-  {
+  if (!guard.Stopped(&local)) {
     HUMDEX_SPAN(span, "query.range.index_probe");
     env = BuildEnvelope(query, band_k_);
     IndexStats istats;
@@ -111,10 +166,12 @@ std::vector<Neighbor> DtwQueryEngine::RangeQuery(const Series& query,
   // Step 4: raw-space envelope bound (tighter, uses full resolution).
   // LbKeogh(data, Env(query)) <= DTW(query, data) by Lemma 2 + symmetry.
   std::vector<std::int64_t> survivors;
-  {
+  if (!guard.Stopped(&local)) {
     HUMDEX_SPAN(span, "query.range.lb_filter");
     survivors.reserve(candidates.size());
-    for (std::int64_t id : candidates) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (i % kLbCheckStride == 0 && guard.Stopped(&local)) break;
+      std::int64_t id = candidates[i];
       if (LbKeogh(ItemFor(id).series, env) <= epsilon) survivors.push_back(id);
     }
     local.lb_survivors = survivors.size();
@@ -124,11 +181,13 @@ std::vector<Neighbor> DtwQueryEngine::RangeQuery(const Series& query,
   const std::uint64_t t_lb = obs::MonotonicNowNs();
   local.lb_ns = t_lb - t_index;
 
-  // Step 5: exact banded DTW with early abandoning.
+  // Step 5: exact banded DTW with early abandoning. Checked per candidate:
+  // whatever verified before expiry is returned (still exact for those ids).
   std::vector<Neighbor> out;
-  {
+  if (!guard.stopped()) {
     HUMDEX_SPAN(span, "query.range.exact_dtw");
     for (std::int64_t id : survivors) {
+      if (guard.Stopped(&local)) break;
       ++local.exact_dtw_calls;
       double d =
           LdtwDistanceEarlyAbandon(query, ItemFor(id).series, band_k_, epsilon);
@@ -143,6 +202,7 @@ std::vector<Neighbor> DtwQueryEngine::RangeQuery(const Series& query,
   const std::uint64_t t_end = obs::MonotonicNowNs();
   local.dtw_ns = t_end - t_lb;
   local.total_ns = t_end - t_start;
+  HUMDEX_SPAN_ATTR(query_span, "truncated", local.truncated ? 1.0 : 0.0);
 
   static obs::Histogram& h_index = RangeHistogram("index_ns");
   static obs::Histogram& h_lb = RangeHistogram("lb_ns");
@@ -159,9 +219,16 @@ std::vector<Neighbor> DtwQueryEngine::RangeQuery(const Series& query,
 
 std::vector<Neighbor> DtwQueryEngine::KnnQuery(const Series& query, std::size_t k,
                                                QueryStats* stats) const {
+  return KnnQuery(query, k, QueryOptions(), stats);
+}
+
+std::vector<Neighbor> DtwQueryEngine::KnnQuery(const Series& query, std::size_t k,
+                                               const QueryOptions& qopts,
+                                               QueryStats* stats) const {
   HUMDEX_CHECK(query.size() == options_.normal_len);
   QueryStats local;
-  if (data_.empty() || k == 0) {
+  StopGuard guard(qopts);
+  if (data_.empty() || k == 0 || guard.Stopped(&local)) {
     if (stats != nullptr) *stats = local;
     return {};
   }
@@ -170,17 +237,23 @@ std::vector<Neighbor> DtwQueryEngine::KnnQuery(const Series& query, std::size_t 
   const std::uint64_t t_start = obs::MonotonicNowNs();
 
   // Step 1: heuristic seed — exact DTW of the k nearest feature vectors
-  // yields a valid upper bound radius for the true kNN distance.
+  // yields a valid upper bound radius for the true kNN distance. The exact
+  // seed distances are kept so an expiry mid-seed still has something exact
+  // to return.
   double radius = 0.0;
+  std::vector<Neighbor> seed_exact;
   {
     HUMDEX_SPAN(span, "query.knn.seed");
     IndexStats istats;
     std::vector<Neighbor> seeds =
         feature_index_.NearestFeatures(query, k, &istats);
     local.page_accesses += istats.page_accesses;
+    seed_exact.reserve(seeds.size());
     for (const Neighbor& s : seeds) {
+      if (guard.Stopped(&local)) break;
       ++local.exact_dtw_calls;
       double d = LdtwDistance(query, ItemFor(s.id).series, band_k_);
+      seed_exact.push_back({s.id, d});
       radius = std::max(radius, d);
     }
     if (!std::isfinite(radius)) {
@@ -193,21 +266,36 @@ std::vector<Neighbor> DtwQueryEngine::KnnQuery(const Series& query, std::size_t 
   }
   const std::uint64_t t_seed = obs::MonotonicNowNs();
 
-  // Step 2: one guaranteed-superset range query, then rank exactly.
-  QueryStats range_stats;
-  std::vector<Neighbor> in_range = RangeQuery(query, radius, &range_stats);
-  local.index_candidates = range_stats.index_candidates;
-  local.lb_survivors = range_stats.lb_survivors;
-  local.page_accesses += range_stats.page_accesses;
-  local.exact_dtw_calls += range_stats.exact_dtw_calls;
-  // The seed stage is exact-DTW-dominated; bill it to the DTW stage.
-  local.index_ns = range_stats.index_ns;
-  local.lb_ns = range_stats.lb_ns;
-  local.dtw_ns = range_stats.dtw_ns + (t_seed - t_start);
+  std::vector<Neighbor> in_range;
+  if (!guard.stopped()) {
+    // Step 2: one guaranteed-superset range query, then rank exactly.
+    QueryStats range_stats;
+    in_range = RangeQuery(query, radius, qopts, &range_stats);
+    local.index_candidates = range_stats.index_candidates;
+    local.lb_survivors = range_stats.lb_survivors;
+    local.page_accesses += range_stats.page_accesses;
+    local.exact_dtw_calls += range_stats.exact_dtw_calls;
+    local.truncated = local.truncated || range_stats.truncated;
+    // The seed stage is exact-DTW-dominated; bill it to the DTW stage.
+    local.index_ns = range_stats.index_ns;
+    local.lb_ns = range_stats.lb_ns;
+    local.dtw_ns = range_stats.dtw_ns + (t_seed - t_start);
+  }
 
+  if (local.truncated) {
+    // Best effort: merge the exact seed distances with whatever the range
+    // query verified before the cutoff (all distances exact; dedup by id).
+    for (const Neighbor& s : seed_exact) {
+      bool seen = false;
+      for (const Neighbor& r : in_range) seen = seen || r.id == s.id;
+      if (!seen) in_range.push_back(s);
+    }
+    std::sort(in_range.begin(), in_range.end());
+  }
   if (in_range.size() > k) in_range.resize(k);
   local.results = in_range.size();
   local.total_ns = obs::MonotonicNowNs() - t_start;
+  HUMDEX_SPAN_ATTR(query_span, "truncated", local.truncated ? 1.0 : 0.0);
 
   static obs::Histogram& h_total =
       obs::MetricsRegistry::Default().GetHistogram("query.knn.total_ns");
@@ -220,10 +308,16 @@ std::vector<Neighbor> DtwQueryEngine::KnnQuery(const Series& query, std::size_t 
 std::vector<std::vector<Neighbor>> DtwQueryEngine::RangeQueryBatch(
     const std::vector<Series>& queries, double epsilon, ThreadPool& pool,
     QueryStats* aggregate) const {
+  return RangeQueryBatch(queries, epsilon, pool, QueryOptions(), aggregate);
+}
+
+std::vector<std::vector<Neighbor>> DtwQueryEngine::RangeQueryBatch(
+    const std::vector<Series>& queries, double epsilon, ThreadPool& pool,
+    const QueryOptions& qopts, QueryStats* aggregate) const {
   std::vector<std::vector<Neighbor>> results(queries.size());
   std::vector<QueryStats> stats(queries.size());
   ParallelFor(pool, queries.size(), [&](std::size_t i) {
-    results[i] = RangeQuery(queries[i], epsilon, &stats[i]);
+    results[i] = RangeQuery(queries[i], epsilon, qopts, &stats[i]);
   });
   // Per-query latency distribution: a summed aggregate hides the tail, so
   // every query's wall time also lands in a registry histogram.
@@ -249,10 +343,16 @@ std::vector<std::vector<Neighbor>> DtwQueryEngine::RangeQueryBatch(
 std::vector<std::vector<Neighbor>> DtwQueryEngine::KnnQueryBatch(
     const std::vector<Series>& queries, std::size_t k, ThreadPool& pool,
     QueryStats* aggregate) const {
+  return KnnQueryBatch(queries, k, pool, QueryOptions(), aggregate);
+}
+
+std::vector<std::vector<Neighbor>> DtwQueryEngine::KnnQueryBatch(
+    const std::vector<Series>& queries, std::size_t k, ThreadPool& pool,
+    const QueryOptions& qopts, QueryStats* aggregate) const {
   std::vector<std::vector<Neighbor>> results(queries.size());
   std::vector<QueryStats> stats(queries.size());
   ParallelFor(pool, queries.size(), [&](std::size_t i) {
-    results[i] = KnnQuery(queries[i], k, &stats[i]);
+    results[i] = KnnQuery(queries[i], k, qopts, &stats[i]);
   });
   static obs::Histogram& h_per_query =
       obs::MetricsRegistry::Default().GetHistogram(
@@ -276,9 +376,17 @@ std::vector<std::vector<Neighbor>> DtwQueryEngine::KnnQueryBatch(
 std::vector<Neighbor> DtwQueryEngine::KnnQueryOptimal(const Series& query,
                                                       std::size_t k,
                                                       QueryStats* stats) const {
+  return KnnQueryOptimal(query, k, QueryOptions(), stats);
+}
+
+std::vector<Neighbor> DtwQueryEngine::KnnQueryOptimal(const Series& query,
+                                                      std::size_t k,
+                                                      const QueryOptions& qopts,
+                                                      QueryStats* stats) const {
   HUMDEX_CHECK(query.size() == options_.normal_len);
   QueryStats local;
-  if (data_.empty() || k == 0) {
+  StopGuard guard(qopts);
+  if (data_.empty() || k == 0 || guard.Stopped(&local)) {
     if (stats != nullptr) *stats = local;
     return {};
   }
@@ -303,6 +411,7 @@ std::vector<Neighbor> DtwQueryEngine::KnnQueryOptimal(const Series& query,
   std::size_t fetch = std::max<std::size_t>(2 * k, 16);
   bool done = false;
   while (!done) {
+    if (guard.Stopped(&local)) break;
     fetch = std::min(fetch, data_.size());
     IndexStats istats;
     std::vector<Neighbor> ranked;
@@ -315,6 +424,11 @@ std::vector<Neighbor> DtwQueryEngine::KnnQueryOptimal(const Series& query,
     }
     local.page_accesses += istats.page_accesses;
     for (std::size_t i = consumed; i < ranked.size(); ++i) {
+      // Per-candidate stop check: the best-so-far heap is already exact.
+      if (guard.Stopped(&local)) {
+        done = true;
+        break;
+      }
       ++local.index_candidates;
       double lb_feature = ranked[i].distance;
       if (best.size() == k && lb_feature >= best.top().distance) {
@@ -365,6 +479,7 @@ std::vector<Neighbor> DtwQueryEngine::KnnQueryOptimal(const Series& query,
                    static_cast<double>(local.lb_survivors));
   HUMDEX_SPAN_ATTR(query_span, "dtw_calls",
                    static_cast<double>(local.exact_dtw_calls));
+  HUMDEX_SPAN_ATTR(query_span, "truncated", local.truncated ? 1.0 : 0.0);
 
   static obs::Histogram& h_total =
       obs::MetricsRegistry::Default().GetHistogram(

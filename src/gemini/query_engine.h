@@ -18,6 +18,7 @@
 
 #include "gemini/feature_index.h"
 #include "ts/dtw.h"
+#include "util/deadline.h"
 #include "util/thread_pool.h"
 
 namespace humdex {
@@ -39,6 +40,11 @@ struct QueryStats {
   std::uint64_t dtw_ns = 0;    ///< exact banded DTW verification time
   std::uint64_t total_ns = 0;  ///< whole-query wall time (>= the stage sum)
 
+  /// True when the query stopped early (deadline expired, cancelled, or
+  /// shed under overload) and the results are best-effort: exact for every
+  /// candidate examined, but possibly missing candidates never reached.
+  bool truncated = false;
+
   /// Accumulate another query's counters and timings (batch aggregation).
   QueryStats& operator+=(const QueryStats& other) {
     index_candidates += other.index_candidates;
@@ -50,6 +56,7 @@ struct QueryStats {
     lb_ns += other.lb_ns;
     dtw_ns += other.dtw_ns;
     total_ns += other.total_ns;
+    truncated = truncated || other.truncated;
     return *this;
   }
 };
@@ -88,10 +95,27 @@ class DtwQueryEngine {
   std::vector<Neighbor> RangeQuery(const Series& query, double epsilon,
                                    QueryStats* stats = nullptr) const;
 
+  /// RangeQuery under serving controls: the deadline/cancel token in `qopts`
+  /// is checked at candidate granularity through the filter cascade. When it
+  /// fires, the query returns the results verified so far (each still exact)
+  /// with `stats->truncated` set; an already-expired deadline returns
+  /// immediately with zero exact-DTW work. With default QueryOptions the
+  /// answers are bit-identical to the uncontrolled overload.
+  std::vector<Neighbor> RangeQuery(const Series& query, double epsilon,
+                                   const QueryOptions& qopts,
+                                   QueryStats* stats = nullptr) const;
+
   /// The k nearest ids under DTW_k, ascending by distance. Exact.
   /// Two-step algorithm (Korn et al. [17]): seed an upper bound from the
   /// feature-space kNN, then one range query plus exact verification.
   std::vector<Neighbor> KnnQuery(const Series& query, std::size_t k,
+                                 QueryStats* stats = nullptr) const;
+
+  /// KnnQuery under serving controls (see the RangeQuery overload). On
+  /// expiry the best exact matches found so far are returned, flagged
+  /// truncated.
+  std::vector<Neighbor> KnnQuery(const Series& query, std::size_t k,
+                                 const QueryOptions& qopts,
                                  QueryStats* stats = nullptr) const;
 
   /// Batch form of RangeQuery: queries fan out across `pool`'s workers; the
@@ -103,6 +127,12 @@ class DtwQueryEngine {
   std::vector<std::vector<Neighbor>> RangeQueryBatch(
       const std::vector<Series>& queries, double epsilon, ThreadPool& pool,
       QueryStats* aggregate = nullptr) const;
+
+  /// Batch RangeQuery under serving controls; `qopts` (deadline, cancel)
+  /// applies to every query in the batch.
+  std::vector<std::vector<Neighbor>> RangeQueryBatch(
+      const std::vector<Series>& queries, double epsilon, ThreadPool& pool,
+      const QueryOptions& qopts, QueryStats* aggregate = nullptr) const;
 
   /// Convenience overload running on a transient pool of `threads` workers
   /// (0 = ThreadPool::DefaultThreadCount()).
@@ -117,6 +147,10 @@ class DtwQueryEngine {
       QueryStats* aggregate = nullptr) const;
 
   std::vector<std::vector<Neighbor>> KnnQueryBatch(
+      const std::vector<Series>& queries, std::size_t k, ThreadPool& pool,
+      const QueryOptions& qopts, QueryStats* aggregate = nullptr) const;
+
+  std::vector<std::vector<Neighbor>> KnnQueryBatch(
       const std::vector<Series>& queries, std::size_t k,
       std::size_t threads = 0, QueryStats* aggregate = nullptr) const;
 
@@ -127,6 +161,13 @@ class DtwQueryEngine {
   /// Performs the provably minimal number of exact computations for the
   /// lower bound in use. Exact; same answers as KnnQuery.
   std::vector<Neighbor> KnnQueryOptimal(const Series& query, std::size_t k,
+                                        QueryStats* stats = nullptr) const;
+
+  /// KnnQueryOptimal under serving controls: the candidate stream is checked
+  /// per candidate; on expiry the current best-so-far set is returned,
+  /// flagged truncated.
+  std::vector<Neighbor> KnnQueryOptimal(const Series& query, std::size_t k,
+                                        const QueryOptions& qopts,
                                         QueryStats* stats = nullptr) const;
 
   /// Rank of `target_id` in the DTW ordering for `query` (1 = best). Uses a

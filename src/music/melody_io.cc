@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "util/retry.h"
+
 namespace humdex {
 
 namespace {
@@ -94,26 +96,67 @@ std::string SerializeMelodies(const std::vector<Melody>& melodies) {
   return out;
 }
 
-Status LoadMelodiesFromFile(const std::string& path, std::vector<Melody>* out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("cannot open '" + path + "'");
+void ParseMelodiesSalvage(const std::string& text, std::vector<Melody>* out,
+                          std::size_t* dropped) {
+  HUMDEX_CHECK(out != nullptr);
+  HUMDEX_CHECK(dropped != nullptr);
+  out->clear();
+  *dropped = 0;
+  std::istringstream in(text);
+  std::string line, block;
+  bool in_block = false;
+
+  auto close_block = [&]() {
+    std::vector<Melody> one;
+    if (ParseMelodies(block, &one).ok() && one.size() == 1) {
+      out->push_back(std::move(one[0]));
+    } else {
+      ++*dropped;
+    }
+    block.clear();
+    in_block = false;
+  };
+
+  while (std::getline(in, line)) {
+    // Same trimming as ParseMelodies so block boundaries agree.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ' ||
+                             line.back() == '\t')) {
+      line.pop_back();
+    }
+    std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    std::string trimmed = line.substr(start);
+    if (trimmed[0] == '#') continue;
+
+    bool is_melody = trimmed.rfind("melody", 0) == 0 &&
+                     (trimmed.size() == 6 || trimmed[6] == ' ' ||
+                      trimmed[6] == '\t');
+    if (is_melody) {
+      if (in_block) close_block();  // previous block had no 'end': dropped
+      in_block = true;
+      block = trimmed + "\n";
+      continue;
+    }
+    if (!in_block) continue;  // stray content between blocks: ignored
+    block += trimmed + "\n";
+    if (trimmed == "end") close_block();
+  }
+  if (in_block) close_block();  // unterminated final block
+}
+
+Status LoadMelodiesFromFile(const std::string& path, std::vector<Melody>* out,
+                            Env* env) {
+  if (env == nullptr) env = Env::Default();
   std::string text;
-  char buf[1 << 14];
-  std::size_t got;
-  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
-  std::fclose(f);
+  HUMDEX_RETURN_IF_ERROR(RetryWithBackoff(
+      RetryPolicy(), [&] { return env->ReadFile(path, &text); }));
   return ParseMelodies(text, out);
 }
 
 Status SaveMelodiesToFile(const std::string& path,
-                          const std::vector<Melody>& melodies) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::Internal("cannot write '" + path + "'");
-  std::string text = SerializeMelodies(melodies);
-  std::size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
-  if (wrote != text.size()) return Status::Internal("short write to '" + path + "'");
-  return Status::OK();
+                          const std::vector<Melody>& melodies, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  return env->AtomicWriteFile(path, SerializeMelodies(melodies));
 }
 
 }  // namespace humdex

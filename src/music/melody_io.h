@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "music/melody.h"
+#include "util/env.h"
 #include "util/status.h"
 
 namespace humdex {
@@ -24,13 +25,23 @@ namespace humdex {
 /// Errors carry the offending 1-based line number.
 Status ParseMelodies(const std::string& text, std::vector<Melody>* out);
 
+/// Best-effort parse of a damaged corpus: each melody block is parsed
+/// independently; blocks that fail (bad notes, missing 'end', ...) are
+/// skipped and counted in `*dropped` instead of failing the whole parse.
+/// Content outside melody blocks is ignored.
+void ParseMelodiesSalvage(const std::string& text, std::vector<Melody>* out,
+                          std::size_t* dropped);
+
 /// Serialize a corpus to the textual format; round-trips through
 /// ParseMelodies bit-exactly for finite pitches/durations.
 std::string SerializeMelodies(const std::vector<Melody>& melodies);
 
-/// File convenience wrappers.
-Status LoadMelodiesFromFile(const std::string& path, std::vector<Melody>* out);
+/// File convenience wrappers. `env` defaults to Env::Default(); loads retry
+/// transient read faults, saves are atomic (temp + fsync + rename).
+Status LoadMelodiesFromFile(const std::string& path, std::vector<Melody>* out,
+                            Env* env = nullptr);
 Status SaveMelodiesToFile(const std::string& path,
-                          const std::vector<Melody>& melodies);
+                          const std::vector<Melody>& melodies,
+                          Env* env = nullptr);
 
 }  // namespace humdex

@@ -73,6 +73,12 @@ Series QbhSystem::HumToNormalForm(const Series& hum_pitch) const {
 
 std::vector<QbhMatch> QbhSystem::Query(const Series& hum_pitch, std::size_t top_k,
                                        QueryStats* stats) const {
+  return Query(hum_pitch, top_k, QueryOptions(), stats);
+}
+
+std::vector<QbhMatch> QbhSystem::Query(const Series& hum_pitch, std::size_t top_k,
+                                       const QueryOptions& qopts,
+                                       QueryStats* stats) const {
   HUMDEX_CHECK_MSG(engine_ != nullptr, "Query before Build()");
   // Top-level span over the whole pipeline: pitch track -> normal form ->
   // engine query (whose cascade spans nest underneath).
@@ -83,7 +89,7 @@ std::vector<QbhMatch> QbhSystem::Query(const Series& hum_pitch, std::size_t top_
     HUMDEX_SPAN(span, "qbh.normal_form");
     q = HumToNormalForm(hum_pitch);
   }
-  std::vector<Neighbor> nn = engine_->KnnQuery(q, top_k, stats);
+  std::vector<Neighbor> nn = engine_->KnnQuery(q, top_k, qopts, stats);
   std::vector<QbhMatch> out;
   out.reserve(nn.size());
   for (const Neighbor& n : nn) {
@@ -100,12 +106,44 @@ std::vector<QbhMatch> QbhSystem::Query(const Series& hum_pitch, std::size_t top_
 std::vector<std::vector<QbhMatch>> QbhSystem::QueryBatch(
     const std::vector<Series>& hum_pitches, std::size_t top_k, ThreadPool& pool,
     QueryStats* aggregate) const {
+  return QueryBatch(hum_pitches, top_k, pool, QueryOptions(), aggregate);
+}
+
+std::vector<std::vector<QbhMatch>> QbhSystem::QueryBatch(
+    const std::vector<Series>& hum_pitches, std::size_t top_k, ThreadPool& pool,
+    const QueryOptions& qopts, QueryStats* aggregate) const {
   HUMDEX_CHECK_MSG(engine_ != nullptr, "QueryBatch before Build()");
+  static obs::Counter& shed_counter =
+      obs::MetricsRegistry::Default().GetCounter("qbh.queries_shed");
   std::vector<std::vector<QbhMatch>> results(hum_pitches.size());
   std::vector<QueryStats> stats(hum_pitches.size());
-  ParallelFor(pool, hum_pitches.size(), [&](std::size_t i) {
-    results[i] = Query(hum_pitches[i], top_k, &stats[i]);
-  });
+  std::vector<std::future<void>> futures;
+  futures.reserve(hum_pitches.size());
+  for (std::size_t i = 0; i < hum_pitches.size(); ++i) {
+    // Overload shedding: refuse work the pool is too far behind on, rather
+    // than queueing it to miss its deadline anyway.
+    if (qopts.max_queue_depth > 0 &&
+        pool.queue_depth() >= qopts.max_queue_depth) {
+      stats[i].truncated = true;
+      shed_counter.Increment();
+      continue;
+    }
+    futures.push_back(pool.Submit([this, &hum_pitches, &results, &stats, &qopts,
+                                   top_k, i] {
+      results[i] = Query(hum_pitches[i], top_k, qopts, &stats[i]);
+    }));
+  }
+  // Collect in submission order; the first failing query wins (matches
+  // ParallelFor's exception contract).
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
   if (aggregate != nullptr) {
     QueryStats total;
     for (const QueryStats& s : stats) total += s;

@@ -56,6 +56,14 @@ class QbhSystem {
   std::vector<QbhMatch> Query(const Series& hum_pitch, std::size_t top_k,
                               QueryStats* stats = nullptr) const;
 
+  /// Query under serving controls: `qopts.deadline` / `qopts.cancel` stop
+  /// the engine's filter cascade at candidate granularity; best-effort
+  /// matches (exact for every candidate examined) come back with
+  /// `stats->truncated` set. See DESIGN.md §8 for the failure model.
+  std::vector<QbhMatch> Query(const Series& hum_pitch, std::size_t top_k,
+                              const QueryOptions& qopts,
+                              QueryStats* stats = nullptr) const;
+
   /// Batch form of Query: hums fan out across `pool`'s workers; the i-th
   /// result is exactly Query(hum_pitches[i], top_k) regardless of worker
   /// count. `aggregate`, when non-null, receives the per-query stats summed
@@ -63,6 +71,18 @@ class QbhSystem {
   std::vector<std::vector<QbhMatch>> QueryBatch(
       const std::vector<Series>& hum_pitches, std::size_t top_k,
       ThreadPool& pool, QueryStats* aggregate = nullptr) const;
+
+  /// Batch form under serving controls. Besides the per-query deadline and
+  /// cancel token, `qopts.max_queue_depth` enables overload shedding: a
+  /// query whose submission would push `pool`'s queue past the bound is not
+  /// run at all — its slot returns an empty, truncated result and the
+  /// `qbh.queries_shed` counter is incremented. Shedding is load-dependent
+  /// and therefore non-deterministic; leave max_queue_depth at 0 for the
+  /// exactness guarantees of the plain overload.
+  std::vector<std::vector<QbhMatch>> QueryBatch(
+      const std::vector<Series>& hum_pitches, std::size_t top_k,
+      ThreadPool& pool, const QueryOptions& qopts,
+      QueryStats* aggregate = nullptr) const;
 
   /// Convenience overload on a transient pool of `threads` workers
   /// (0 = ThreadPool::DefaultThreadCount()).

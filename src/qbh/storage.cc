@@ -4,10 +4,37 @@
 #include <sstream>
 
 #include "music/melody_io.h"
+#include "obs/metrics.h"
+#include "util/crc32c.h"
+#include "util/parse_number.h"
+#include "util/retry.h"
 
 namespace humdex {
 
 namespace {
+
+// Sanity bounds on parsed options: a corrupt v1 file (no checksum) must not
+// be able to request a multi-gigabyte normal form or a NaN width and drive
+// Build() into an abort or OOM.
+constexpr std::size_t kMaxNormalLen = 1 << 20;
+constexpr double kMaxSamplesPerBeat = 1e6;
+
+obs::Counter& CorruptionCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("storage.corruption_detected");
+  return c;
+}
+
+obs::Counter& SalvagedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("storage.salvaged_records");
+  return c;
+}
+
+Status Corruption(std::string msg) {
+  CorruptionCounter().Increment();
+  return Status::Corruption(std::move(msg));
+}
 
 const char* SchemeName(SchemeKind kind) {
   switch (kind) {
@@ -67,11 +94,139 @@ bool IndexFromName(const std::string& name, IndexKind* out) {
   return true;
 }
 
+/// Apply one `option <key> <value>` pair to `opt`. Exception-free: numeric
+/// values go through the checked parsers and out-of-range values are
+/// rejected here, before they can reach a HUMDEX_CHECK in QbhSystem.
+Status ApplyOption(const std::string& key, const std::string& value,
+                   QbhOptions* opt) {
+  if (key == "normal_len") {
+    HUMDEX_RETURN_IF_ERROR(ParseSize(value, &opt->normal_len));
+    if (opt->normal_len < 2 || opt->normal_len > kMaxNormalLen) {
+      return Status::InvalidArgument("normal_len out of range: " + value);
+    }
+  } else if (key == "warping_width") {
+    HUMDEX_RETURN_IF_ERROR(ParseDouble(value, &opt->warping_width));
+    if (opt->warping_width < 0.0 || opt->warping_width > 1.0) {
+      return Status::InvalidArgument("warping_width out of range: " + value);
+    }
+  } else if (key == "feature_dim") {
+    HUMDEX_RETURN_IF_ERROR(ParseSize(value, &opt->feature_dim));
+    if (opt->feature_dim < 1 || opt->feature_dim > kMaxNormalLen) {
+      return Status::InvalidArgument("feature_dim out of range: " + value);
+    }
+  } else if (key == "scheme") {
+    if (!SchemeFromName(value, &opt->scheme)) {
+      return Status::InvalidArgument("unknown scheme '" + value + "'");
+    }
+  } else if (key == "index") {
+    if (!IndexFromName(value, &opt->index)) {
+      return Status::InvalidArgument("unknown index '" + value + "'");
+    }
+  } else if (key == "samples_per_beat") {
+    HUMDEX_RETURN_IF_ERROR(ParseDouble(value, &opt->samples_per_beat));
+    if (opt->samples_per_beat <= 0.0 ||
+        opt->samples_per_beat > kMaxSamplesPerBeat) {
+      return Status::InvalidArgument("samples_per_beat out of range: " + value);
+    }
+  } else {
+    return Status::InvalidArgument("unknown option '" + key + "'");
+  }
+  return Status::OK();
+}
+
+/// The inter-option constraints QbhSystem::Build() CHECKs: a corrupt file
+/// must fail here with a Status, not abort inside a scheme constructor.
+Status ValidateOptions(const QbhOptions& opt) {
+  if (opt.normal_len < opt.feature_dim) {
+    return Status::InvalidArgument("normal_len < feature_dim");
+  }
+  switch (opt.scheme) {
+    case SchemeKind::kNewPaa:
+    case SchemeKind::kKeoghPaa:
+      if (opt.normal_len % opt.feature_dim != 0) {
+        return Status::InvalidArgument(
+            "PAA schemes need normal_len divisible by feature_dim");
+      }
+      break;
+    case SchemeKind::kDwt:
+      if ((opt.normal_len & (opt.normal_len - 1)) != 0) {
+        return Status::InvalidArgument("DWT needs a power-of-two normal_len");
+      }
+      break;
+    case SchemeKind::kDft:
+    case SchemeKind::kSvd:
+      break;
+  }
+  return Status::OK();
+}
+
+/// Split off a v2 trailer: on success `*body` is everything before the
+/// trailer line and `*stored_crc` its checksum. Structural trailer damage is
+/// kCorruption.
+Status SplitV2Trailer(const std::string& text, std::string_view* body,
+                      std::uint32_t* stored_crc) {
+  std::size_t tpos = text.rfind("\ncrc32c ");
+  if (tpos == std::string::npos) {
+    return Status::Corruption("missing crc32c trailer");
+  }
+  std::size_t line_start = tpos + 1;
+  std::string trailer = text.substr(line_start);
+  if (!trailer.empty() && trailer.back() == '\n') trailer.pop_back();
+  if (trailer.find('\n') != std::string::npos) {
+    return Status::Corruption("data after crc32c trailer");
+  }
+  Status st = ParseU32Hex8(trailer.substr(7), stored_crc);
+  if (!st.ok()) return Status::Corruption("malformed crc32c trailer");
+  *body = std::string_view(text).substr(0, line_start);
+  return Status::OK();
+}
+
+/// Parse the option header and melody body shared by v1 and v2 (the caller
+/// has already stripped the trailer). `body` excludes the version line.
+Status ParseBody(std::istream& in, QbhOptions* opt, std::string* melodies) {
+  std::string line;
+  std::ostringstream rest;
+  bool in_header = true;
+  while (std::getline(in, line)) {
+    if (in_header && line.rfind("option ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string key, value;
+      if (!(fields >> key >> value)) {
+        return Status::InvalidArgument("malformed option line: '" + line + "'");
+      }
+      HUMDEX_RETURN_IF_ERROR(ApplyOption(key, value, opt));
+    } else {
+      in_header = false;
+      rest << line << '\n';
+    }
+  }
+  HUMDEX_RETURN_IF_ERROR(ValidateOptions(*opt));
+  *melodies = rest.str();
+  return Status::OK();
+}
+
+Result<QbhSystem> BuildSystem(QbhOptions opt, std::vector<Melody> corpus) {
+  if (opt.scheme == SchemeKind::kSvd && corpus.size() < 2) {
+    return Status::InvalidArgument("SVD scheme needs at least 2 melodies");
+  }
+  QbhSystem system(opt);
+  for (Melody& m : corpus) system.AddMelody(std::move(m));
+  system.Build();
+  return system;
+}
+
+Status ReadFileWithRetry(Env* env, const std::string& path, std::string* out) {
+  if (env == nullptr) env = Env::Default();
+  RetryPolicy policy;
+  return RetryWithBackoff(policy,
+                          [&] { return env->ReadFile(path, out); });
+}
+
 }  // namespace
 
 std::string SerializeQbhDatabase(const QbhSystem& system) {
   const QbhOptions& opt = system.options();
-  std::string out = "humdex-db v1\n";
+  std::string out = "humdex-db v2\n";
   char buf[128];
   std::snprintf(buf, sizeof(buf), "option normal_len %zu\n", opt.normal_len);
   out += buf;
@@ -94,81 +249,140 @@ std::string SerializeQbhDatabase(const QbhSystem& system) {
     corpus.push_back(system.melody(static_cast<std::int64_t>(i)));
   }
   out += SerializeMelodies(corpus);
+
+  std::snprintf(buf, sizeof(buf), "crc32c %08x\n", Crc32c(out));
+  out += buf;
   return out;
 }
 
 Result<QbhSystem> ParseQbhDatabase(const std::string& text) {
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line.rfind("humdex-db v1", 0) != 0) {
-    return Status::InvalidArgument("missing 'humdex-db v1' header");
+  if (!std::getline(in, line)) {
+    return Corruption("empty database file");
+  }
+  bool v2;
+  if (line.rfind("humdex-db v2", 0) == 0) {
+    v2 = true;
+  } else if (line.rfind("humdex-db v1", 0) == 0) {
+    v2 = false;
+  } else {
+    return Status::InvalidArgument("missing 'humdex-db v1/v2' header");
   }
 
   QbhOptions opt;
-  std::ostringstream rest;
-  bool in_header = true;
-  while (std::getline(in, line)) {
-    if (in_header && line.rfind("option ", 0) == 0) {
-      std::istringstream fields(line.substr(7));
-      std::string key, value;
-      if (!(fields >> key >> value)) {
-        return Status::InvalidArgument("malformed option line: '" + line + "'");
-      }
-      if (key == "normal_len") {
-        opt.normal_len = static_cast<std::size_t>(std::stoul(value));
-      } else if (key == "warping_width") {
-        opt.warping_width = std::stod(value);
-      } else if (key == "feature_dim") {
-        opt.feature_dim = static_cast<std::size_t>(std::stoul(value));
-      } else if (key == "scheme") {
-        if (!SchemeFromName(value, &opt.scheme)) {
-          return Status::InvalidArgument("unknown scheme '" + value + "'");
-        }
-      } else if (key == "index") {
-        if (!IndexFromName(value, &opt.index)) {
-          return Status::InvalidArgument("unknown index '" + value + "'");
-        }
-      } else if (key == "samples_per_beat") {
-        opt.samples_per_beat = std::stod(value);
-      } else {
-        return Status::InvalidArgument("unknown option '" + key + "'");
-      }
-    } else {
-      in_header = false;
-      rest << line << '\n';
+  std::string melody_text;
+  if (v2) {
+    std::string_view body;
+    std::uint32_t stored_crc = 0;
+    Status st = SplitV2Trailer(text, &body, &stored_crc);
+    if (!st.ok()) {
+      CorruptionCounter().Increment();
+      return st;
     }
+    std::uint32_t actual = Crc32c(body);
+    if (actual != stored_crc) {
+      char msg[96];
+      std::snprintf(msg, sizeof(msg),
+                    "checksum mismatch: stored %08x, computed %08x", stored_crc,
+                    actual);
+      return Corruption(msg);
+    }
+    // Re-parse from the checksummed body only (drops the trailer line).
+    std::istringstream body_in{std::string(body)};
+    std::getline(body_in, line);  // skip version header
+    HUMDEX_RETURN_IF_ERROR(ParseBody(body_in, &opt, &melody_text));
+  } else {
+    HUMDEX_RETURN_IF_ERROR(ParseBody(in, &opt, &melody_text));
   }
 
   std::vector<Melody> corpus;
-  Status st = ParseMelodies(rest.str(), &corpus);
+  Status st = ParseMelodies(melody_text, &corpus);
   if (!st.ok()) return st;
   if (corpus.empty()) return Status::InvalidArgument("database has no melodies");
-
-  QbhSystem system(opt);
-  for (Melody& m : corpus) system.AddMelody(std::move(m));
-  system.Build();
-  return system;
+  return BuildSystem(opt, std::move(corpus));
 }
 
-Status SaveQbhDatabase(const std::string& path, const QbhSystem& system) {
-  std::string text = SerializeQbhDatabase(system);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::Internal("cannot write '" + path + "'");
-  std::size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
-  if (wrote != text.size()) return Status::Internal("short write to '" + path + "'");
-  return Status::OK();
+Result<QbhSystem> ParseQbhDatabaseSalvage(const std::string& text,
+                                          SalvageReport* report) {
+  SalvageReport local;
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("humdex-db v", 0) != 0) {
+    if (report != nullptr) *report = local;
+    return Status::InvalidArgument("missing 'humdex-db' header");
+  }
+  bool v2 = line.rfind("humdex-db v2", 0) == 0;
+
+  // Checksum is advisory in salvage mode: verify when possible, note the
+  // result, and keep going either way.
+  std::string parse_text = text;
+  if (v2) {
+    std::string_view body;
+    std::uint32_t stored_crc = 0;
+    Status st = SplitV2Trailer(text, &body, &stored_crc);
+    if (st.ok()) {
+      local.crc_ok = Crc32c(body) == stored_crc;
+      parse_text = std::string(body);
+    }
+    if (!local.crc_ok) CorruptionCounter().Increment();
+  }
+
+  // Lenient header scan: malformed option lines fall back to the default
+  // value instead of failing the load.
+  QbhOptions opt;
+  std::istringstream body_in(parse_text);
+  std::getline(body_in, line);  // version header
+  std::ostringstream rest;
+  bool in_header = true;
+  while (std::getline(body_in, line)) {
+    if (in_header && line.rfind("option ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string key, value;
+      if (fields >> key >> value) {
+        QbhOptions trial = opt;
+        if (ApplyOption(key, value, &trial).ok()) opt = trial;
+      }
+      continue;
+    }
+    in_header = false;
+    rest << line << '\n';
+  }
+  if (!ValidateOptions(opt).ok()) opt = QbhOptions();
+
+  std::vector<Melody> corpus;
+  std::size_t dropped = 0;
+  ParseMelodiesSalvage(rest.str(), &corpus, &dropped);
+  local.melodies_loaded = corpus.size();
+  local.melodies_dropped = dropped;
+  if (dropped > 0) SalvagedCounter().Increment(dropped);
+  if (report != nullptr) *report = local;
+  if (corpus.empty()) {
+    return Status::InvalidArgument("salvage recovered no melodies");
+  }
+  if (opt.scheme == SchemeKind::kSvd && corpus.size() < 2) {
+    opt.scheme = SchemeKind::kDft;  // SVD cannot fit a 1-melody salvage
+  }
+  return BuildSystem(opt, std::move(corpus));
 }
 
-Result<QbhSystem> LoadQbhDatabase(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("cannot open '" + path + "'");
+Status SaveQbhDatabase(const std::string& path, const QbhSystem& system,
+                       Env* env) {
+  if (env == nullptr) env = Env::Default();
+  return env->AtomicWriteFile(path, SerializeQbhDatabase(system));
+}
+
+Result<QbhSystem> LoadQbhDatabase(const std::string& path, Env* env) {
   std::string text;
-  char buf[1 << 14];
-  std::size_t got;
-  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
-  std::fclose(f);
+  HUMDEX_RETURN_IF_ERROR(ReadFileWithRetry(env, path, &text));
   return ParseQbhDatabase(text);
+}
+
+Result<QbhSystem> LoadQbhDatabaseSalvage(const std::string& path,
+                                         SalvageReport* report, Env* env) {
+  std::string text;
+  HUMDEX_RETURN_IF_ERROR(ReadFileWithRetry(env, path, &text));
+  return ParseQbhDatabaseSalvage(text, report);
 }
 
 }  // namespace humdex

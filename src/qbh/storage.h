@@ -3,29 +3,58 @@
 // (index construction is fast relative to IO at this corpus scale; the
 // melodies are the ground truth worth persisting).
 //
-//   humdex-db v1
+//   humdex-db v2
 //   option normal_len 128
 //   option warping_width 0.1
 //   ...
 //   melody <name>
 //   ...
+//   crc32c <8 hex digits>
+//
+// The v2 trailer is a CRC32C over every byte before it, so bit rot, torn
+// writes, and silently truncated reads surface as Status kCorruption instead
+// of a half-parsed database. v1 files (no trailer) still load. Saves go
+// through Env::AtomicWriteFile (temp + fsync + rename): a crash mid-save
+// leaves the previous database intact. Parsing is exception-free: every
+// failure is a Status, never a throw or abort.
 #pragma once
 
 #include <string>
 
 #include "qbh/qbh_system.h"
+#include "util/env.h"
 #include "util/status.h"
 
 namespace humdex {
 
-/// Serialize a built or unbuilt system's corpus and options.
+/// What LoadQbhDatabaseSalvage recovered and what it had to give up.
+struct SalvageReport {
+  std::size_t melodies_loaded = 0;
+  std::size_t melodies_dropped = 0;  ///< unparsable melody blocks skipped
+  bool crc_ok = false;  ///< v2 trailer present and valid (false for v1)
+};
+
+/// Serialize a built or unbuilt system's corpus and options (v2 format).
 std::string SerializeQbhDatabase(const QbhSystem& system);
 
-/// Parse a database and return a *built* QbhSystem.
+/// Parse a database and return a *built* QbhSystem. Accepts v1 and v2;
+/// a v2 body that fails its checksum is kCorruption.
 Result<QbhSystem> ParseQbhDatabase(const std::string& text);
 
-/// File wrappers.
-Status SaveQbhDatabase(const std::string& path, const QbhSystem& system);
-Result<QbhSystem> LoadQbhDatabase(const std::string& path);
+/// Best-effort parse of a damaged database: a failed checksum is tolerated
+/// (reported via `report->crc_ok`), malformed option lines fall back to
+/// defaults, and unparsable melody blocks are skipped and counted. Fails
+/// only when no melody at all can be recovered.
+Result<QbhSystem> ParseQbhDatabaseSalvage(const std::string& text,
+                                          SalvageReport* report = nullptr);
+
+/// File wrappers. `env` defaults to Env::Default(); loads retry transient
+/// read faults with exponential backoff, saves are atomic and durable.
+Status SaveQbhDatabase(const std::string& path, const QbhSystem& system,
+                       Env* env = nullptr);
+Result<QbhSystem> LoadQbhDatabase(const std::string& path, Env* env = nullptr);
+Result<QbhSystem> LoadQbhDatabaseSalvage(const std::string& path,
+                                         SalvageReport* report = nullptr,
+                                         Env* env = nullptr);
 
 }  // namespace humdex

@@ -1,0 +1,21 @@
+// CRC32C (Castagnoli polynomial, reflected 0x82F63B78): the checksum the
+// humdex-db v2 trailer uses to detect bit rot and torn writes. Table-driven
+// software implementation — database files here are tens of kilobytes, so
+// hardware CRC instructions would be noise next to parsing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace humdex {
+
+/// Extend a running CRC32C with `n` more bytes. Start from crc = 0.
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data, std::size_t n);
+
+/// CRC32C of a whole buffer.
+inline std::uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+}  // namespace humdex

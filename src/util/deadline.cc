@@ -1,0 +1,30 @@
+#include "util/deadline.h"
+
+#include "obs/trace.h"
+
+namespace humdex {
+
+Deadline Deadline::FromNowNs(std::uint64_t ns) {
+  // Saturate instead of wrapping for absurd budgets; 0 is reserved for
+  // "infinite", so a zero-budget deadline lands 1ns in the past instead.
+  std::uint64_t now = obs::MonotonicNowNs();
+  std::uint64_t at = now + ns < now ? UINT64_MAX : now + ns;
+  return Deadline(at == 0 ? 1 : at);
+}
+
+Deadline Deadline::Expired() {
+  return Deadline(1);  // monotonic clocks start well past 1ns
+}
+
+bool Deadline::expired() const {
+  if (deadline_ns_ == 0) return false;
+  return obs::MonotonicNowNs() >= deadline_ns_;
+}
+
+std::uint64_t Deadline::remaining_ns() const {
+  if (deadline_ns_ == 0) return UINT64_MAX;
+  std::uint64_t now = obs::MonotonicNowNs();
+  return now >= deadline_ns_ ? 0 : deadline_ns_ - now;
+}
+
+}  // namespace humdex

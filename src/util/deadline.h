@@ -1,0 +1,75 @@
+// Query deadlines and cooperative cancellation. A Deadline is an absolute
+// point on the monotonic clock; the query engine checks it at candidate
+// granularity and, when it expires, stops early and returns the (still
+// exact) results for the candidates it examined, flagged
+// QueryStats::truncated. A CancelToken lets another thread stop a query the
+// same way.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace humdex {
+
+/// Absolute monotonic-clock deadline. Default-constructed = never expires.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ns` from now.
+  static Deadline FromNowNs(std::uint64_t ns);
+  static Deadline FromNowMillis(std::uint64_t ms) {
+    return FromNowNs(ms * 1000000ULL);
+  }
+
+  /// Already in the past: queries bail out before doing any work.
+  static Deadline Expired();
+
+  bool infinite() const { return deadline_ns_ == 0; }
+
+  /// One monotonic clock read.
+  bool expired() const;
+
+  /// Nanoseconds left; 0 when expired, UINT64_MAX when infinite.
+  std::uint64_t remaining_ns() const;
+
+ private:
+  explicit Deadline(std::uint64_t deadline_ns) : deadline_ns_(deadline_ns) {}
+
+  std::uint64_t deadline_ns_ = 0;  // absolute monotonic ns; 0 = infinite
+};
+
+/// Thread-safe cancellation flag shared between a query and its canceller.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Per-query serving controls, threaded through the query engine and the
+/// QbhSystem batch path.
+struct QueryOptions {
+  Deadline deadline;                  ///< stop and truncate when expired
+  const CancelToken* cancel = nullptr;  ///< optional external cancellation
+
+  /// Batch-only: shed queries whose submission would push the thread pool's
+  /// queue past this depth (they return empty, truncated results instead of
+  /// adding load). 0 disables shedding.
+  std::size_t max_queue_depth = 0;
+
+  /// True when the query should stop now (cancelled or past deadline).
+  bool ShouldStop() const {
+    if (cancel != nullptr && cancel->cancelled()) return true;
+    return deadline.expired();
+  }
+
+  /// True when any control is active (lets hot loops skip the clock read).
+  bool active() const { return cancel != nullptr || !deadline.infinite(); }
+};
+
+}  // namespace humdex

@@ -1,0 +1,195 @@
+#include "util/env.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace humdex {
+
+namespace {
+
+obs::Counter& FaultsInjectedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("io.faults_injected");
+  return c;
+}
+
+std::string TempPathFor(const std::string& path) { return path + ".tmp"; }
+
+// Plain (non-durable, non-atomic) whole-file write; the building block the
+// fault injector uses to stage crash debris.
+Status WritePlain(const std::string& path, const char* data, std::size_t n) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open '" + path + "' for write");
+  std::size_t wrote = std::fwrite(data, 1, n, f);
+  if (std::fclose(f) != 0 || wrote != n) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+Status PosixEnv::ReadFile(const std::string& path, std::string* out) {
+  HUMDEX_CHECK(out != nullptr);
+  out->clear();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open '" + path + "'");
+  char buf[1 << 14];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, got);
+  // fread returns a short count on both EOF and error; without this check a
+  // failing disk read would hand the caller a silently truncated file.
+  if (std::ferror(f)) {
+    std::fclose(f);
+    out->clear();
+    return Status::IoError("read failed on '" + path + "'");
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status PosixEnv::AtomicWriteFile(const std::string& path,
+                                 const std::string& data) {
+  const std::string tmp = TempPathFor(path);
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open temp '" + tmp + "'");
+  std::size_t wrote = std::fwrite(data.data(), 1, data.size(), f);
+  if (wrote != data.size() || std::fflush(f) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IoError("short write to temp '" + tmp + "'");
+  }
+  if (::fsync(::fileno(f)) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IoError("fsync failed on temp '" + tmp + "'");
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("close failed on temp '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+bool PosixEnv::Exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status PosixEnv::Delete(const std::string& path) {
+  if (std::remove(path.c_str()) != 0) {
+    return Status::NotFound("cannot delete '" + path + "'");
+  }
+  return Status::OK();
+}
+
+void FaultInjectingEnv::ClearFaults() {
+  read_failures_pending_ = 0;
+  read_fail_period_ = 0;
+  random_state_ = 0;
+  random_denominator_ = 0;
+  truncate_next_read_ = false;
+  open_failure_pending_ = false;
+  crash_pending_ = false;
+  short_write_pending_ = false;
+}
+
+void FaultInjectingEnv::FailReadsRandomly(std::uint64_t seed,
+                                          std::uint32_t denominator) {
+  // splitmix-style seeded stream: deterministic across platforms, and a
+  // zero seed still yields a nonzero state.
+  random_state_ = seed + 0x9E3779B97F4A7C15ULL;
+  random_denominator_ = denominator;
+}
+
+void FaultInjectingEnv::NoteFault() {
+  ++faults_injected_;
+  FaultsInjectedCounter().Increment();
+}
+
+Status FaultInjectingEnv::ReadFile(const std::string& path, std::string* out) {
+  HUMDEX_CHECK(out != nullptr);
+  const std::uint64_t seq = reads_++;
+  if (open_failure_pending_) {
+    open_failure_pending_ = false;
+    NoteFault();
+    out->clear();
+    return Status::IoError("injected open failure on '" + path + "'");
+  }
+  if (read_failures_pending_ > 0) {
+    --read_failures_pending_;
+    NoteFault();
+    out->clear();
+    return Status::IoError("injected read failure on '" + path + "'");
+  }
+  if (read_fail_period_ != 0 && seq % read_fail_period_ == read_fail_phase_) {
+    NoteFault();
+    out->clear();
+    return Status::IoError("injected periodic read failure on '" + path + "'");
+  }
+  if (random_denominator_ != 0) {
+    random_state_ = random_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    if ((random_state_ >> 33) % random_denominator_ == 0) {
+      NoteFault();
+      out->clear();
+      return Status::IoError("injected random read failure on '" + path + "'");
+    }
+  }
+  Status st = base_->ReadFile(path, out);
+  if (st.ok() && truncate_next_read_) {
+    truncate_next_read_ = false;
+    NoteFault();
+    if (out->size() > truncate_to_) out->resize(truncate_to_);
+  }
+  return st;
+}
+
+Status FaultInjectingEnv::AtomicWriteFile(const std::string& path,
+                                          const std::string& data) {
+  ++writes_;
+  if (crash_pending_) {
+    crash_pending_ = false;
+    NoteFault();
+    const std::string tmp = TempPathFor(path);
+    switch (crash_step_) {
+      case WriteStep::kOpenTemp:
+        // Died before the temp file was created: no debris at all.
+        break;
+      case WriteStep::kWriteBody: {
+        // Died mid-write: the temp file holds a torn prefix.
+        std::size_t n = std::min(crash_torn_bytes_, data.size());
+        WritePlain(tmp, data.data(), n);
+        break;
+      }
+      case WriteStep::kSync:
+      case WriteStep::kRename:
+        // Died after the body was staged but before rename: complete temp
+        // file, destination untouched.
+        WritePlain(tmp, data.data(), data.size());
+        break;
+    }
+    return Status::IoError("injected crash during write of '" + path + "'");
+  }
+  if (short_write_pending_) {
+    short_write_pending_ = false;
+    NoteFault();
+    std::string torn = data.substr(0, std::min(short_write_bytes_, data.size()));
+    return base_->AtomicWriteFile(path, torn);
+  }
+  return base_->AtomicWriteFile(path, data);
+}
+
+}  // namespace humdex

@@ -1,0 +1,155 @@
+// Pluggable file-system abstraction for everything humdex persists. All
+// storage code (qbh/storage, music/melody_io, audio/wav_io) performs file
+// I/O through an Env, so tests can swap in FaultInjectingEnv and exercise
+// disk failures, torn writes, and crashes that are impossible to stage
+// reliably against a real file system.
+//
+// The write path is crash-safe by construction: AtomicWriteFile stages the
+// bytes in a temp file, fsyncs it, and renames it over the destination, so a
+// crash at any point leaves either the complete old file or the complete new
+// file — never a prefix of the new one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace humdex {
+
+/// Minimal file-system interface. Implementations must be safe to call from
+/// multiple threads on distinct paths; concurrent writers of the *same* path
+/// get last-rename-wins semantics.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Read the whole file into `*out` (cleared first). A missing file is
+  /// kNotFound; a read that fails mid-way is kIoError — a truncated read is
+  /// never silently returned as success.
+  virtual Status ReadFile(const std::string& path, std::string* out) = 0;
+
+  /// Durably replace `path` with `data`: temp file + fsync + rename. On any
+  /// failure the previous file content is untouched.
+  virtual Status AtomicWriteFile(const std::string& path,
+                                 const std::string& data) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+
+  /// Remove a file. Deleting a missing file is kNotFound.
+  virtual Status Delete(const std::string& path) = 0;
+
+  /// The process-wide PosixEnv. Storage APIs use it when no Env is given.
+  static Env* Default();
+};
+
+/// The real file system via C stdio + POSIX fsync/rename.
+class PosixEnv : public Env {
+ public:
+  Status ReadFile(const std::string& path, std::string* out) override;
+  Status AtomicWriteFile(const std::string& path,
+                         const std::string& data) override;
+  bool Exists(const std::string& path) override;
+  Status Delete(const std::string& path) override;
+};
+
+/// Test double that delegates to a base Env but injects faults at
+/// deterministic, seedable points. Reads can fail outright, fail
+/// transiently, or come back truncated; AtomicWriteFile can "crash" at each
+/// step of its pipeline (open temp / write body / fsync / rename), leaving
+/// exactly the debris a real crash would: an absent, short, or complete temp
+/// file — and the destination always untouched. Every injected fault
+/// increments the `io.faults_injected` registry counter.
+class FaultInjectingEnv : public Env {
+ public:
+  /// Steps of the atomic-write pipeline, in execution order. A crash at step
+  /// S means every step before S completed and nothing at or after S ran.
+  enum class WriteStep {
+    kOpenTemp = 0,   ///< crash before the temp file exists
+    kWriteBody = 1,  ///< crash mid-write: temp holds a torn prefix
+    kSync = 2,       ///< crash before fsync: temp complete but not durable
+    kRename = 3,     ///< crash before rename: temp durable, dest still old
+  };
+  static constexpr int kWriteStepCount = 4;
+
+  explicit FaultInjectingEnv(Env* base = Env::Default()) : base_(base) {}
+
+  /// Fail the next `n` ReadFile calls with kIoError (a transient disk
+  /// hiccup: the retry layer should absorb these).
+  void FailNextReads(int n) { read_failures_pending_ = n; }
+
+  /// Deterministically fail every read whose 0-based sequence number
+  /// satisfies `seq % period == phase`. period == 0 disables.
+  void FailReadsPeriodically(std::uint64_t period, std::uint64_t phase) {
+    read_fail_period_ = period;
+    read_fail_phase_ = phase;
+  }
+
+  /// Fail each read with probability 1/denominator, drawn from a seeded
+  /// deterministic stream (same seed => same fault sequence). 0 disables.
+  void FailReadsRandomly(std::uint64_t seed, std::uint32_t denominator);
+
+  /// The next read returns only the first `bytes` bytes with an OK status —
+  /// the silent-truncation bug a missing ferror check lets through. Parsers
+  /// must catch this via their own framing (e.g. the v2 CRC trailer).
+  void TruncateNextRead(std::size_t bytes) {
+    truncate_next_read_ = true;
+    truncate_to_ = bytes;
+  }
+
+  /// The next ReadFile fails as if open(2) failed on an existing file.
+  void FailNextOpen() { open_failure_pending_ = true; }
+
+  /// Crash the next AtomicWriteFile at `step`. For kWriteBody, `torn_bytes`
+  /// of the body land in the temp file first.
+  void CrashNextWriteAt(WriteStep step, std::size_t torn_bytes = 0) {
+    crash_pending_ = true;
+    crash_step_ = step;
+    crash_torn_bytes_ = torn_bytes;
+  }
+
+  /// The next AtomicWriteFile writes only `bytes` of the body but otherwise
+  /// completes (short write that goes undetected until load).
+  void ShortNextWrite(std::size_t bytes) {
+    short_write_pending_ = true;
+    short_write_bytes_ = bytes;
+  }
+
+  void ClearFaults();
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t faults_injected() const { return faults_injected_; }
+
+  Status ReadFile(const std::string& path, std::string* out) override;
+  Status AtomicWriteFile(const std::string& path,
+                         const std::string& data) override;
+  bool Exists(const std::string& path) override { return base_->Exists(path); }
+  Status Delete(const std::string& path) override { return base_->Delete(path); }
+
+ private:
+  void NoteFault();
+
+  Env* base_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t faults_injected_ = 0;
+
+  int read_failures_pending_ = 0;
+  std::uint64_t read_fail_period_ = 0;
+  std::uint64_t read_fail_phase_ = 0;
+  std::uint64_t random_state_ = 0;  // simple seeded LCG stream; 0 = off
+  std::uint32_t random_denominator_ = 0;
+  bool truncate_next_read_ = false;
+  std::size_t truncate_to_ = 0;
+  bool open_failure_pending_ = false;
+
+  bool crash_pending_ = false;
+  WriteStep crash_step_ = WriteStep::kOpenTemp;
+  std::size_t crash_torn_bytes_ = 0;
+  bool short_write_pending_ = false;
+  std::size_t short_write_bytes_ = 0;
+};
+
+}  // namespace humdex

@@ -1,0 +1,70 @@
+#include "util/parse_number.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace humdex {
+
+Status ParseSize(const std::string& token, std::size_t* out) {
+  HUMDEX_CHECK(out != nullptr);
+  if (token.empty()) return Status::InvalidArgument("empty integer");
+  // strtoull accepts leading whitespace and signs; the format does not.
+  if (token[0] < '0' || token[0] > '9') {
+    return Status::InvalidArgument("not an unsigned integer: '" + token + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) {
+    return Status::InvalidArgument("trailing garbage in integer: '" + token + "'");
+  }
+  if (errno == ERANGE || v > std::numeric_limits<std::size_t>::max()) {
+    return Status::InvalidArgument("integer out of range: '" + token + "'");
+  }
+  *out = static_cast<std::size_t>(v);
+  return Status::OK();
+}
+
+Status ParseDouble(const std::string& token, double* out) {
+  HUMDEX_CHECK(out != nullptr);
+  if (token.empty()) return Status::InvalidArgument("empty number");
+  if (token[0] == ' ' || token[0] == '\t') {
+    return Status::InvalidArgument("leading whitespace in number: '" + token + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || end == token.c_str()) {
+    return Status::InvalidArgument("not a number: '" + token + "'");
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    return Status::InvalidArgument("number out of range: '" + token + "'");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseU32Hex8(const std::string& token, std::uint32_t* out) {
+  HUMDEX_CHECK(out != nullptr);
+  if (token.size() != 8) {
+    return Status::InvalidArgument("expected 8 hex digits, got '" + token + "'");
+  }
+  std::uint32_t v = 0;
+  for (char c : token) {
+    std::uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(c - 'a') + 10;
+    } else {
+      return Status::InvalidArgument("bad hex digit in '" + token + "'");
+    }
+    v = (v << 4) | digit;
+  }
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace humdex

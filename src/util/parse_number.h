@@ -1,0 +1,26 @@
+// Checked, exception-free numeric parsing for file formats. std::stoul and
+// std::stod throw on malformed or out-of-range input, which turns a flipped
+// bit in a database file into an uncaught exception; these helpers return a
+// Status instead and require the whole token to be consumed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace humdex {
+
+/// Parse a non-negative decimal integer. Rejects empty input, trailing
+/// garbage, signs, and values that overflow std::size_t.
+Status ParseSize(const std::string& token, std::size_t* out);
+
+/// Parse a finite double (decimal or scientific notation). Rejects empty
+/// input, trailing garbage, overflow, nan, and inf.
+Status ParseDouble(const std::string& token, double* out);
+
+/// Parse exactly eight lowercase hex digits into a 32-bit value (the
+/// humdex-db v2 CRC trailer encoding).
+Status ParseU32Hex8(const std::string& token, std::uint32_t* out);
+
+}  // namespace humdex

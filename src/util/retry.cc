@@ -1,0 +1,48 @@
+#include "util/retry.h"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace humdex {
+
+namespace {
+
+obs::Counter& RetriesCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("io.retries");
+  return c;
+}
+
+}  // namespace
+
+bool IsTransient(const Status& status) {
+  return status.code() == Status::Code::kIoError;
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy,
+                        const std::function<Status()>& op) {
+  HUMDEX_CHECK(policy.max_attempts >= 1);
+  std::uint64_t backoff = policy.initial_backoff_ns;
+  Status st;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      RetriesCounter().Increment();
+      if (policy.sleep) {
+        policy.sleep(backoff);
+      } else {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+      }
+      backoff = std::min(
+          policy.max_backoff_ns,
+          static_cast<std::uint64_t>(static_cast<double>(backoff) *
+                                     policy.multiplier));
+    }
+    st = op();
+    if (st.ok() || !IsTransient(st)) return st;
+  }
+  return st;
+}
+
+}  // namespace humdex

@@ -1,0 +1,34 @@
+// Retry-with-exponential-backoff for transient storage faults. Only
+// kIoError is considered transient: a kNotFound, kCorruption, or parse error
+// will not change on a second attempt, so retrying it only adds latency.
+// Every re-attempt increments the `io.retries` registry counter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/status.h"
+
+namespace humdex {
+
+/// Backoff schedule: attempt i (0-based) sleeps initial * multiplier^i
+/// before retrying, capped at max_backoff_ns.
+struct RetryPolicy {
+  int max_attempts = 3;                       ///< total tries, not re-tries
+  std::uint64_t initial_backoff_ns = 1000000;  ///< 1ms before the 2nd try
+  double multiplier = 2.0;
+  std::uint64_t max_backoff_ns = 100000000;   ///< 100ms cap
+
+  /// Test hook: when set, called with each backoff instead of sleeping.
+  std::function<void(std::uint64_t)> sleep;
+};
+
+/// True for Status codes a retry can plausibly fix.
+bool IsTransient(const Status& status);
+
+/// Run `op` until it returns OK or a non-transient Status, or the attempt
+/// budget is exhausted (then the last Status is returned).
+Status RetryWithBackoff(const RetryPolicy& policy,
+                        const std::function<Status()>& op);
+
+}  // namespace humdex

@@ -17,6 +17,10 @@ const char* CodeName(Status::Code code) {
       return "FAILED_PRECONDITION";
     case Status::Code::kInternal:
       return "INTERNAL";
+    case Status::Code::kIoError:
+      return "IO_ERROR";
+    case Status::Code::kCorruption:
+      return "CORRUPTION";
   }
   return "UNKNOWN";
 }

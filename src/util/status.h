@@ -20,6 +20,8 @@ class Status {
     kOutOfRange,
     kFailedPrecondition,
     kInternal,
+    kIoError,      ///< the storage layer failed (possibly transiently)
+    kCorruption,   ///< the bytes read are not the bytes written
   };
 
   Status() = default;
@@ -39,6 +41,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

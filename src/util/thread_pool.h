@@ -32,6 +32,13 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Tasks queued on this pool but not yet picked up by a worker. The value
+  /// is instantaneous (overload shedding compares it against a bound).
+  std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
   /// Hardware concurrency, clamped to at least 1 (the value used when a batch
   /// API is called with `threads == 0`).
   static std::size_t DefaultThreadCount();
@@ -61,7 +68,7 @@ class ThreadPool {
   //   thread_pool.queue_depth                       gauge
   void NoteSubmitted();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::queue<std::function<void()>> queue_;
   bool stopping_ = false;

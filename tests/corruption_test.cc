@@ -1,0 +1,273 @@
+// Corruption robustness: no damaged database input may throw or abort — every
+// failure is a Status — and a crash at any point during a save must leave the
+// previous database bit-identical on disk. Run under -DHUMDEX_SANITIZE=address
+// (see scripts/check.sh) to also catch latent memory errors on these paths.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "music/hummer.h"
+#include "music/song_generator.h"
+#include "obs/metrics.h"
+#include "qbh/storage.h"
+#include "util/env.h"
+
+namespace humdex {
+namespace {
+
+QbhSystem MakeSystem(std::size_t corpus_size, std::uint64_t seed = 3) {
+  SongGenerator gen(seed);
+  QbhSystem system;
+  for (Melody& m : gen.GeneratePhrases(corpus_size)) {
+    system.AddMelody(std::move(m));
+  }
+  system.Build();
+  return system;
+}
+
+std::string SmallDbText() {
+  static const std::string text = SerializeQbhDatabase(MakeSystem(3));
+  return text;
+}
+
+// Strip the v2 trailer and rewrite the header: the legacy format this release
+// must keep loading.
+std::string ToV1(const std::string& v2_text) {
+  std::string body = v2_text.substr(0, v2_text.rfind("crc32c "));
+  std::size_t header_end = body.find('\n');
+  return "humdex-db v1" + body.substr(header_end);
+}
+
+TEST(CorruptionMatrixTest, EverysingleBitFlipIsDetected) {
+  const std::string good = SmallDbText();
+  ASSERT_TRUE(ParseQbhDatabase(good).ok());
+
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = good;
+      bad[i] = static_cast<char>(bad[i] ^ (1 << bit));
+      Result<QbhSystem> r = ParseQbhDatabase(bad);  // must not throw or abort
+      EXPECT_FALSE(r.ok()) << "undetected flip: byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(CorruptionMatrixTest, EveryTruncationIsDetected) {
+  const std::string good = SmallDbText();
+  // Every proper prefix, which covers each section boundary (mid-header,
+  // after options, inside a melody block, inside the CRC trailer) and the
+  // empty file. The one exception is dropping only the final newline: no
+  // byte of data or checksum is lost, and the parser accepts it.
+  for (std::size_t len = 0; len + 1 < good.size(); ++len) {
+    Result<QbhSystem> r = ParseQbhDatabase(good.substr(0, len));
+    EXPECT_FALSE(r.ok()) << "undetected truncation at byte " << len;
+  }
+  Result<QbhSystem> no_final_newline =
+      ParseQbhDatabase(good.substr(0, good.size() - 1));
+  EXPECT_TRUE(no_final_newline.ok());
+}
+
+TEST(CorruptionMatrixTest, GarbageAppendedAfterTrailerIsDetected) {
+  EXPECT_FALSE(ParseQbhDatabase(SmallDbText() + "trailing junk\n").ok());
+}
+
+TEST(CorruptionMatrixTest, DetectionIncrementsCorruptionCounter) {
+  obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("storage.corruption_detected");
+  std::uint64_t before = c.value();
+  std::string bad = SmallDbText();
+  bad[bad.size() / 2] ^= 0x01;
+  EXPECT_FALSE(ParseQbhDatabase(bad).ok());
+  EXPECT_GT(c.value(), before);
+}
+
+TEST(CorruptionMatrixTest, TruncatedReadSurfacesAsCorruptionNotData) {
+  // The silent-fread failure mode: the Env returns a prefix of the file with
+  // an OK status. The CRC trailer is what catches it.
+  FaultInjectingEnv env;
+  std::string path = ::testing::TempDir() + "/truncated_read.db";
+  QbhSystem system = MakeSystem(3);
+  ASSERT_TRUE(SaveQbhDatabase(path, system, &env).ok());
+
+  env.TruncateNextRead(SmallDbText().size() / 2);
+  Result<QbhSystem> r = LoadQbhDatabase(path, &env);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  env.Delete(path);
+}
+
+TEST(CorruptionMatrixTest, V1WithoutTrailerStillLoads) {
+  Result<QbhSystem> r = ParseQbhDatabase(ToV1(SmallDbText()));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+TEST(CorruptionMatrixTest, V1CannotAbortThroughSchemeConstraints) {
+  // Valid-looking but mutually inconsistent options in an unchecksummed v1
+  // file must fail with a Status, not a CHECK-abort inside Build().
+  const char* cases[] = {
+      // PAA needs normal_len % feature_dim == 0.
+      "humdex-db v1\noption normal_len 10\noption feature_dim 4\n"
+      "option scheme new_paa\nmelody a\n60 1\nend\n",
+      // DWT needs a power-of-two normal_len.
+      "humdex-db v1\noption normal_len 12\noption feature_dim 4\n"
+      "option scheme dwt\nmelody a\n60 1\nend\n",
+      // SVD cannot fit on a single melody.
+      "humdex-db v1\noption scheme svd\nmelody a\n60 1\nend\n",
+      // normal_len < feature_dim.
+      "humdex-db v1\noption normal_len 4\noption feature_dim 8\n"
+      "melody a\n60 1\nend\n",
+      // Absurd sizes must be rejected before they can OOM.
+      "humdex-db v1\noption normal_len 99999999999\nmelody a\n60 1\nend\n",
+      "humdex-db v1\noption warping_width nan\nmelody a\n60 1\nend\n",
+      "humdex-db v1\noption samples_per_beat -1\nmelody a\n60 1\nend\n",
+  };
+  for (const char* text : cases) {
+    Result<QbhSystem> r = ParseQbhDatabase(text);
+    EXPECT_FALSE(r.ok()) << text;
+  }
+}
+
+TEST(CrashSafetyTest, CrashAtEveryWriteStepPreservesOldDatabase) {
+  FaultInjectingEnv env;
+  std::string path = ::testing::TempDir() + "/crash_safety.db";
+  QbhSystem db1 = MakeSystem(3, 3);
+  QbhSystem db2 = MakeSystem(5, 17);
+
+  ASSERT_TRUE(SaveQbhDatabase(path, db1, &env).ok());
+  std::string db1_bytes;
+  ASSERT_TRUE(env.ReadFile(path, &db1_bytes).ok());
+
+  using WS = FaultInjectingEnv::WriteStep;
+  for (WS step : {WS::kOpenTemp, WS::kWriteBody, WS::kSync, WS::kRename}) {
+    env.CrashNextWriteAt(step, /*torn_bytes=*/db1_bytes.size() / 3);
+    Status st = SaveQbhDatabase(path, db2, &env);
+    EXPECT_EQ(st.code(), Status::Code::kIoError)
+        << "crash step " << static_cast<int>(step);
+
+    // The previous database is still there, bit for bit, and loadable.
+    std::string after;
+    ASSERT_TRUE(env.ReadFile(path, &after).ok());
+    EXPECT_EQ(after, db1_bytes) << "crash step " << static_cast<int>(step);
+    Result<QbhSystem> r = LoadQbhDatabase(path, &env);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().size(), db1.size());
+  }
+
+  // With faults cleared the pending save goes through.
+  ASSERT_TRUE(SaveQbhDatabase(path, db2, &env).ok());
+  Result<QbhSystem> r2 = LoadQbhDatabase(path, &env);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().size(), db2.size());
+  env.Delete(path);
+  env.Delete(path + ".tmp");
+}
+
+TEST(CrashSafetyTest, TransientReadFaultsAreRetriedOnLoad) {
+  FaultInjectingEnv env;
+  std::string path = ::testing::TempDir() + "/transient_load.db";
+  ASSERT_TRUE(SaveQbhDatabase(path, MakeSystem(3), &env).ok());
+
+  env.FailNextReads(2);  // default policy retries up to 3 attempts
+  Result<QbhSystem> r = LoadQbhDatabase(path, &env);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 3u);
+  env.Delete(path);
+}
+
+TEST(SalvageTest, CleanDatabaseSalvagesCompletely) {
+  SalvageReport report;
+  Result<QbhSystem> r = ParseQbhDatabaseSalvage(SmallDbText(), &report);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(report.crc_ok);
+  EXPECT_EQ(report.melodies_loaded, 3u);
+  EXPECT_EQ(report.melodies_dropped, 0u);
+}
+
+TEST(SalvageTest, RecoversIntactMelodiesAroundADamagedBlock) {
+  // Break one note line inside the second melody block: the strict parser
+  // rejects the file (CRC + parse), salvage recovers the other melodies.
+  std::string text = SmallDbText();
+  std::size_t second = text.find("melody ", text.find("melody ") + 1);
+  ASSERT_NE(second, std::string::npos);
+  std::size_t note = text.find('\n', second) + 1;
+  text.replace(note, 2, "zz");
+
+  EXPECT_FALSE(ParseQbhDatabase(text).ok());
+
+  SalvageReport report;
+  Result<QbhSystem> r = ParseQbhDatabaseSalvage(text, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(report.crc_ok);
+  EXPECT_EQ(report.melodies_loaded, 2u);
+  EXPECT_EQ(report.melodies_dropped, 1u);
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(SalvageTest, MalformedOptionsFallBackToDefaults) {
+  SalvageReport report;
+  Result<QbhSystem> r = ParseQbhDatabaseSalvage(
+      "humdex-db v1\n"
+      "option normal_len banana\n"
+      "option warping_width 0.2\n"
+      "option bogus_key 1\n"
+      "melody a\n60 1\n62 1\nend\n",
+      &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().options().normal_len, QbhOptions().normal_len);
+  EXPECT_DOUBLE_EQ(r.value().options().warping_width, 0.2);  // good line kept
+  EXPECT_EQ(report.melodies_loaded, 1u);
+}
+
+TEST(SalvageTest, SvdFallsBackWhenOnlyOneMelodySurvives) {
+  Result<QbhSystem> r = ParseQbhDatabaseSalvage(
+      "humdex-db v1\noption scheme svd\n"
+      "melody a\n60 1\n62 1\nend\n"
+      "melody b\n60 oops\nend\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 1u);
+  EXPECT_NE(r.value().options().scheme, SchemeKind::kSvd);
+}
+
+TEST(SalvageTest, FailsOnlyWhenNothingIsRecoverable) {
+  EXPECT_FALSE(ParseQbhDatabaseSalvage("").ok());
+  EXPECT_FALSE(ParseQbhDatabaseSalvage("not a database\n").ok());
+  EXPECT_FALSE(ParseQbhDatabaseSalvage("humdex-db v2\n").ok());
+  SalvageReport report;
+  EXPECT_FALSE(ParseQbhDatabaseSalvage(
+                   "humdex-db v1\nmelody a\n60 oops\nend\n", &report)
+                   .ok());
+  EXPECT_EQ(report.melodies_loaded, 0u);
+  EXPECT_EQ(report.melodies_dropped, 1u);
+}
+
+TEST(SalvageTest, CountsSalvagedRecordsInMetrics) {
+  obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("storage.salvaged_records");
+  std::uint64_t before = c.value();
+  ParseQbhDatabaseSalvage(
+      "humdex-db v1\nmelody a\n60 1\nend\nmelody b\n60 oops\nend\n");
+  EXPECT_EQ(c.value(), before + 1);
+}
+
+TEST(SalvageTest, LoadedSalvageAnswersQueries) {
+  QbhSystem original = MakeSystem(12, 5);
+  std::string text = SerializeQbhDatabase(original);
+  std::size_t last = text.rfind("melody ");
+  text.replace(text.find('\n', last) + 1, 2, "xx");  // damage the last melody
+
+  SalvageReport report;
+  Result<QbhSystem> r = ParseQbhDatabaseSalvage(text, &report);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(report.melodies_dropped, 1u);
+
+  Hummer hummer(HummerProfile::Good(), 5);
+  Series hum = hummer.Hum(original.melody(2));
+  auto matches = r.value().Query(hum, 3);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].id, 2);
+}
+
+}  // namespace
+}  // namespace humdex

@@ -1,0 +1,288 @@
+// Serving controls: deadlines, cancellation, and overload shedding. The
+// contracts under test: an already-expired deadline costs zero exact-DTW
+// work; a generous deadline changes nothing (bit-identical answers); every
+// early stop is visible as QueryStats::truncated plus a counter; and shed
+// batch queries never reach the engine at all.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "gemini/query_engine.h"
+#include "music/hummer.h"
+#include "music/song_generator.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "qbh/qbh_system.h"
+#include "qbh/storage.h"
+#include "ts/normal_form.h"
+#include "util/random.h"
+#include "util/retry.h"
+#include "util/thread_pool.h"
+
+namespace humdex {
+namespace {
+
+constexpr std::size_t kLen = 64;
+
+std::vector<Series> RandomWalkNormalForms(std::size_t count,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Series> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Series walk(kLen);
+    double v = 0.0;
+    for (double& x : walk) {
+      v += rng.Uniform(-1.0, 1.0);
+      x = v;
+    }
+    out.push_back(NormalForm(walk, kLen));
+  }
+  return out;
+}
+
+DtwQueryEngine MakeEngine(std::size_t corpus_size = 200) {
+  QueryEngineOptions opts;
+  opts.normal_len = kLen;
+  DtwQueryEngine engine(MakeNewPaaScheme(kLen, 8), opts);
+  engine.AddAll(RandomWalkNormalForms(corpus_size, 11));
+  return engine;
+}
+
+Series MakeQuery() {
+  Series q = RandomWalkNormalForms(1, 99)[0];
+  return NormalForm(q, kLen);
+}
+
+QueryOptions ExpiredOptions() {
+  QueryOptions qopts;
+  qopts.deadline = Deadline::Expired();
+  return qopts;
+}
+
+QueryOptions GenerousOptions() {
+  QueryOptions qopts;
+  qopts.deadline = Deadline::FromNowMillis(600000);  // ten minutes
+  return qopts;
+}
+
+void ExpectSameNeighbors(const std::vector<Neighbor>& a,
+                         const std::vector<Neighbor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].distance, b[i].distance);  // bit-identical, not just near
+  }
+}
+
+TEST(DeadlineTest, ExpiredDeadlineReturnsImmediatelyFromRangeQuery) {
+  DtwQueryEngine engine = MakeEngine();
+  obs::Counter& expired =
+      obs::MetricsRegistry::Default().GetCounter("deadline.expired");
+  std::uint64_t before = expired.value();
+
+  QueryStats stats;
+  std::vector<Neighbor> r =
+      engine.RangeQuery(MakeQuery(), 10.0, ExpiredOptions(), &stats);
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.exact_dtw_calls, 0u);
+  EXPECT_EQ(stats.index_candidates, 0u);
+  EXPECT_EQ(expired.value(), before + 1);
+}
+
+TEST(DeadlineTest, ExpiredDeadlineReturnsImmediatelyFromKnnQuery) {
+  DtwQueryEngine engine = MakeEngine();
+  QueryStats stats;
+  std::vector<Neighbor> r =
+      engine.KnnQuery(MakeQuery(), 5, ExpiredOptions(), &stats);
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.exact_dtw_calls, 0u);
+}
+
+TEST(DeadlineTest, ExpiredDeadlineReturnsImmediatelyFromKnnQueryOptimal) {
+  DtwQueryEngine engine = MakeEngine();
+  QueryStats stats;
+  std::vector<Neighbor> r =
+      engine.KnnQueryOptimal(MakeQuery(), 5, ExpiredOptions(), &stats);
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.exact_dtw_calls, 0u);
+}
+
+TEST(DeadlineTest, GenerousDeadlineIsBitIdenticalToNoDeadline) {
+  DtwQueryEngine engine = MakeEngine();
+  Series q = MakeQuery();
+
+  QueryStats plain_stats, guarded_stats;
+  std::vector<Neighbor> plain = engine.KnnQuery(q, 7, &plain_stats);
+  std::vector<Neighbor> guarded =
+      engine.KnnQuery(q, 7, GenerousOptions(), &guarded_stats);
+  ExpectSameNeighbors(plain, guarded);
+  EXPECT_FALSE(guarded_stats.truncated);
+  EXPECT_EQ(plain_stats.exact_dtw_calls, guarded_stats.exact_dtw_calls);
+
+  double epsilon = plain.back().distance;
+  ExpectSameNeighbors(engine.RangeQuery(q, epsilon),
+                      engine.RangeQuery(q, epsilon, GenerousOptions()));
+  ExpectSameNeighbors(engine.KnnQueryOptimal(q, 7),
+                      engine.KnnQueryOptimal(q, 7, GenerousOptions()));
+}
+
+TEST(DeadlineTest, DefaultQueryOptionsAreInert) {
+  QueryOptions qopts;
+  EXPECT_FALSE(qopts.active());
+  EXPECT_FALSE(qopts.ShouldStop());
+
+  DtwQueryEngine engine = MakeEngine();
+  Series q = MakeQuery();
+  QueryStats stats;
+  ExpectSameNeighbors(engine.KnnQuery(q, 5),
+                      engine.KnnQuery(q, 5, qopts, &stats));
+  EXPECT_FALSE(stats.truncated);
+}
+
+TEST(CancelTest, PreCancelledTokenStopsBeforeAnyWork) {
+  DtwQueryEngine engine = MakeEngine();
+  obs::Counter& cancelled =
+      obs::MetricsRegistry::Default().GetCounter("query.cancelled");
+  std::uint64_t before = cancelled.value();
+
+  CancelToken token;
+  token.Cancel();
+  QueryOptions qopts;
+  qopts.cancel = &token;
+
+  QueryStats stats;
+  std::vector<Neighbor> r = engine.KnnQuery(MakeQuery(), 5, qopts, &stats);
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.exact_dtw_calls, 0u);
+  EXPECT_EQ(cancelled.value(), before + 1);
+}
+
+TEST(CancelTest, UncancelledTokenChangesNothing) {
+  DtwQueryEngine engine = MakeEngine();
+  Series q = MakeQuery();
+  CancelToken token;
+  QueryOptions qopts;
+  qopts.cancel = &token;
+  QueryStats stats;
+  ExpectSameNeighbors(engine.KnnQuery(q, 5),
+                      engine.KnnQuery(q, 5, qopts, &stats));
+  EXPECT_FALSE(stats.truncated);
+}
+
+TEST(DeadlineTest, BatchPropagatesTruncationIntoAggregate) {
+  DtwQueryEngine engine = MakeEngine();
+  std::vector<Series> queries = {MakeQuery(), MakeQuery()};
+  ThreadPool pool(2);
+  QueryStats aggregate;
+  auto results =
+      engine.KnnQueryBatch(queries, 5, pool, ExpiredOptions(), &aggregate);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].empty());
+  EXPECT_TRUE(results[1].empty());
+  EXPECT_TRUE(aggregate.truncated);
+  EXPECT_EQ(aggregate.exact_dtw_calls, 0u);
+}
+
+QbhSystem MakeQbhSystem(std::size_t corpus_size) {
+  SongGenerator gen(7);
+  QbhSystem system;
+  for (Melody& m : gen.GeneratePhrases(corpus_size)) {
+    system.AddMelody(std::move(m));
+  }
+  system.Build();
+  return system;
+}
+
+TEST(SheddingTest, OverloadedPoolShedsDeterministically) {
+  QbhSystem system = MakeQbhSystem(20);
+  Hummer hummer(HummerProfile::Good(), 5);
+  std::vector<Series> hums = {hummer.Hum(system.melody(0)),
+                              hummer.Hum(system.melody(1))};
+
+  obs::Counter& shed =
+      obs::MetricsRegistry::Default().GetCounter("qbh.queries_shed");
+  std::uint64_t before = shed.value();
+
+  // Jam a 1-thread pool: one task blocks the worker, two more sit in the
+  // queue, so the depth the batch observes is stably >= 2.
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::vector<std::future<void>> fillers;
+  for (int i = 0; i < 3; ++i) {
+    fillers.push_back(pool.Submit([gate] { gate.wait(); }));
+  }
+
+  QueryOptions qopts;
+  qopts.max_queue_depth = 1;
+  QueryStats aggregate;
+  auto results = system.QueryBatch(hums, 3, pool, qopts, &aggregate);
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].empty());
+  EXPECT_TRUE(results[1].empty());
+  EXPECT_TRUE(aggregate.truncated);
+  EXPECT_EQ(shed.value(), before + 2);
+
+  release.set_value();
+  for (std::future<void>& f : fillers) f.get();
+
+  // With the pool drained and shedding still configured — at a bound the
+  // batch itself cannot reach, since a just-submitted query counts toward
+  // the depth the next submission observes — the same batch runs normally
+  // and matches the serial answers.
+  qopts.max_queue_depth = hums.size() + 1;
+  QueryStats clean_stats;
+  auto clean = system.QueryBatch(hums, 3, pool, qopts, &clean_stats);
+  EXPECT_FALSE(clean_stats.truncated);
+  for (std::size_t i = 0; i < hums.size(); ++i) {
+    auto serial = system.Query(hums[i], 3);
+    ASSERT_EQ(clean[i].size(), serial.size());
+    for (std::size_t j = 0; j < serial.size(); ++j) {
+      EXPECT_EQ(clean[i][j].id, serial[j].id);
+      EXPECT_EQ(clean[i][j].distance, serial[j].distance);
+    }
+  }
+}
+
+TEST(SheddingTest, ZeroMaxQueueDepthNeverSheds) {
+  QbhSystem system = MakeQbhSystem(10);
+  Hummer hummer(HummerProfile::Good(), 5);
+  std::vector<Series> hums = {hummer.Hum(system.melody(0))};
+  ThreadPool pool(1);
+  QueryStats aggregate;
+  auto results = system.QueryBatch(hums, 3, pool, QueryOptions(), &aggregate);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].empty());
+  EXPECT_FALSE(aggregate.truncated);
+}
+
+TEST(ObservabilityTest, FailureCountersAppearInPrometheusExport) {
+  // Touch each failure path once so the counters exist in the registry.
+  DtwQueryEngine engine = MakeEngine(50);
+  QueryStats stats;
+  engine.KnnQuery(MakeQuery(), 3, ExpiredOptions(), &stats);  // deadline.expired
+
+  std::string bad = "humdex-db v2\ncrc32c 00000000\n";
+  EXPECT_FALSE(ParseQbhDatabase(bad).ok());  // storage.corruption_detected
+
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.sleep = [](std::uint64_t) {};
+  RetryWithBackoff(policy, [] { return Status::IoError("x"); });  // io.retries
+
+  std::string page = obs::ExportPrometheus(obs::MetricsRegistry::Default());
+  EXPECT_NE(page.find("deadline_expired"), std::string::npos) << page;
+  EXPECT_NE(page.find("storage_corruption_detected"), std::string::npos);
+  EXPECT_NE(page.find("io_retries"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace humdex

@@ -1,0 +1,221 @@
+// Env abstraction: PosixEnv file semantics, FaultInjectingEnv determinism,
+// and the retry-with-backoff layer that absorbs transient faults.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/env.h"
+#include "util/retry.h"
+
+namespace humdex {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(PosixEnvTest, WriteReadRoundTrip) {
+  Env* env = Env::Default();
+  std::string path = TempPath("env_round_trip.txt");
+  std::string data = "hello\nworld\0binary too";
+  data.push_back('\xff');
+  ASSERT_TRUE(env->AtomicWriteFile(path, data).ok());
+  std::string back;
+  ASSERT_TRUE(env->ReadFile(path, &back).ok());
+  EXPECT_EQ(back, data);
+  EXPECT_TRUE(env->Exists(path));
+  EXPECT_TRUE(env->Delete(path).ok());
+  EXPECT_FALSE(env->Exists(path));
+}
+
+TEST(PosixEnvTest, ReadMissingFileIsNotFound) {
+  std::string out;
+  Status st = Env::Default()->ReadFile("/nonexistent/env_test_file", &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kNotFound);
+}
+
+TEST(PosixEnvTest, DeleteMissingFileIsNotFound) {
+  EXPECT_EQ(Env::Default()->Delete("/nonexistent/env_test_file").code(),
+            Status::Code::kNotFound);
+}
+
+TEST(PosixEnvTest, AtomicWriteReplacesExistingContent) {
+  Env* env = Env::Default();
+  std::string path = TempPath("env_replace.txt");
+  ASSERT_TRUE(env->AtomicWriteFile(path, "old content").ok());
+  ASSERT_TRUE(env->AtomicWriteFile(path, "new").ok());
+  std::string back;
+  ASSERT_TRUE(env->ReadFile(path, &back).ok());
+  EXPECT_EQ(back, "new");
+  env->Delete(path);
+}
+
+TEST(PosixEnvTest, AtomicWriteLeavesNoTempFileBehind) {
+  Env* env = Env::Default();
+  std::string path = TempPath("env_no_debris.txt");
+  ASSERT_TRUE(env->AtomicWriteFile(path, "data").ok());
+  EXPECT_FALSE(env->Exists(path + ".tmp"));
+  env->Delete(path);
+}
+
+TEST(FaultInjectingEnvTest, FailNextReadsInjectsTransientIoErrors) {
+  FaultInjectingEnv env;
+  std::string path = TempPath("fault_reads.txt");
+  ASSERT_TRUE(env.AtomicWriteFile(path, "payload").ok());
+
+  env.FailNextReads(2);
+  std::string out;
+  EXPECT_EQ(env.ReadFile(path, &out).code(), Status::Code::kIoError);
+  EXPECT_EQ(env.ReadFile(path, &out).code(), Status::Code::kIoError);
+  ASSERT_TRUE(env.ReadFile(path, &out).ok());  // fault budget exhausted
+  EXPECT_EQ(out, "payload");
+  EXPECT_EQ(env.faults_injected(), 2u);
+  env.Delete(path);
+}
+
+TEST(FaultInjectingEnvTest, PeriodicReadFaultsAreDeterministic) {
+  FaultInjectingEnv env;
+  std::string path = TempPath("fault_periodic.txt");
+  ASSERT_TRUE(env.AtomicWriteFile(path, "x").ok());
+
+  env.FailReadsPeriodically(3, 1);  // reads 1, 4, 7, ... fail
+  std::string out;
+  std::vector<bool> ok;
+  for (int i = 0; i < 6; ++i) ok.push_back(env.ReadFile(path, &out).ok());
+  EXPECT_EQ(ok, (std::vector<bool>{true, false, true, true, false, true}));
+  env.ClearFaults();
+  env.Delete(path);
+}
+
+TEST(FaultInjectingEnvTest, SeededRandomFaultsReproduce) {
+  std::string path = TempPath("fault_seeded.txt");
+  ASSERT_TRUE(Env::Default()->AtomicWriteFile(path, "x").ok());
+
+  auto fault_pattern = [&](std::uint64_t seed) {
+    FaultInjectingEnv env;
+    env.FailReadsRandomly(seed, 3);
+    std::string out;
+    std::vector<bool> pattern;
+    for (int i = 0; i < 32; ++i) pattern.push_back(env.ReadFile(path, &out).ok());
+    return pattern;
+  };
+  EXPECT_EQ(fault_pattern(7), fault_pattern(7));      // same seed, same faults
+  EXPECT_NE(fault_pattern(7), fault_pattern(1234));   // different stream
+  Env::Default()->Delete(path);
+}
+
+TEST(FaultInjectingEnvTest, TruncatedReadReturnsPrefix) {
+  FaultInjectingEnv env;
+  std::string path = TempPath("fault_truncate.txt");
+  ASSERT_TRUE(env.AtomicWriteFile(path, "0123456789").ok());
+  env.TruncateNextRead(4);
+  std::string out;
+  ASSERT_TRUE(env.ReadFile(path, &out).ok());  // the dangerous case: OK status
+  EXPECT_EQ(out, "0123");
+  env.Delete(path);
+}
+
+TEST(FaultInjectingEnvTest, CrashLeavesDestinationUntouched) {
+  FaultInjectingEnv env;
+  std::string path = TempPath("fault_crash.txt");
+  ASSERT_TRUE(env.AtomicWriteFile(path, "original").ok());
+
+  using WS = FaultInjectingEnv::WriteStep;
+  for (WS step : {WS::kOpenTemp, WS::kWriteBody, WS::kSync, WS::kRename}) {
+    env.CrashNextWriteAt(step, /*torn_bytes=*/3);
+    EXPECT_EQ(env.AtomicWriteFile(path, "replacement").code(),
+              Status::Code::kIoError);
+    std::string back;
+    ASSERT_TRUE(env.ReadFile(path, &back).ok());
+    EXPECT_EQ(back, "original") << "crash step " << static_cast<int>(step);
+  }
+  env.Delete(path);
+  env.Delete(path + ".tmp");
+}
+
+TEST(FaultInjectingEnvTest, ShortWriteTruncatesPayload) {
+  FaultInjectingEnv env;
+  std::string path = TempPath("fault_short_write.txt");
+  env.ShortNextWrite(5);
+  ASSERT_TRUE(env.AtomicWriteFile(path, "0123456789").ok());
+  std::string back;
+  ASSERT_TRUE(env.ReadFile(path, &back).ok());
+  EXPECT_EQ(back, "01234");
+  env.Delete(path);
+}
+
+TEST(RetryTest, TransientFaultsAreAbsorbed) {
+  FaultInjectingEnv env;
+  std::string path = TempPath("retry_transient.txt");
+  ASSERT_TRUE(env.AtomicWriteFile(path, "payload").ok());
+  env.FailNextReads(2);
+
+  obs::Counter& retries =
+      obs::MetricsRegistry::Default().GetCounter("io.retries");
+  std::uint64_t before = retries.value();
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  std::vector<std::uint64_t> slept;
+  policy.sleep = [&](std::uint64_t ns) { slept.push_back(ns); };
+
+  std::string out;
+  Status st =
+      RetryWithBackoff(policy, [&] { return env.ReadFile(path, &out); });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(out, "payload");
+  // Two re-attempts with exponential backoff, visible in the counter.
+  EXPECT_EQ(slept, (std::vector<std::uint64_t>{1000000, 2000000}));
+  EXPECT_EQ(retries.value(), before + 2);
+  env.Delete(path);
+}
+
+TEST(RetryTest, GivesUpAfterMaxAttempts) {
+  FaultInjectingEnv env;
+  std::string path = TempPath("retry_give_up.txt");
+  ASSERT_TRUE(env.AtomicWriteFile(path, "x").ok());
+  env.FailNextReads(100);
+
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.sleep = [](std::uint64_t) {};
+  std::string out;
+  Status st =
+      RetryWithBackoff(policy, [&] { return env.ReadFile(path, &out); });
+  EXPECT_EQ(st.code(), Status::Code::kIoError);
+  EXPECT_EQ(env.faults_injected(), 4u);  // one per attempt, then give up
+  env.ClearFaults();
+  env.Delete(path);
+}
+
+TEST(RetryTest, NonTransientErrorsReturnImmediately) {
+  int calls = 0;
+  RetryPolicy policy;
+  policy.sleep = [](std::uint64_t) {};
+  Status st = RetryWithBackoff(policy, [&] {
+    ++calls;
+    return Status::Corruption("bit rot");  // retrying cannot fix this
+  });
+  EXPECT_EQ(st.code(), Status::Code::kCorruption);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, BackoffIsCapped) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff_ns = 40000000;  // 40ms, doubling
+  policy.max_backoff_ns = 100000000;     // 100ms cap
+  std::vector<std::uint64_t> slept;
+  policy.sleep = [&](std::uint64_t ns) { slept.push_back(ns); };
+  RetryWithBackoff(policy, [] { return Status::IoError("always"); });
+  ASSERT_EQ(slept.size(), 7u);
+  EXPECT_EQ(slept[0], 40000000u);
+  EXPECT_EQ(slept[1], 80000000u);
+  for (std::size_t i = 2; i < slept.size(); ++i) EXPECT_EQ(slept[i], 100000000u);
+}
+
+}  // namespace
+}  // namespace humdex

@@ -8,6 +8,7 @@
 #include "audio/wav_io.h"
 #include "index/rstar_tree.h"
 #include "music/melody_io.h"
+#include "music/song_generator.h"
 #include "qbh/storage.h"
 #include "util/random.h"
 
@@ -111,6 +112,79 @@ TEST(FuzzTest, ParseQbhDatabaseNeverCrashes) {
                        RandomTextLines(&rng, static_cast<std::size_t>(
                                                  rng.UniformInt(0, 15)));
     ParseQbhDatabase(text);  // Result either way; no crash
+  }
+}
+
+std::string ValidV2Database() {
+  SongGenerator gen(21);
+  QbhSystem system;
+  for (Melody& m : gen.GeneratePhrases(4)) system.AddMelody(std::move(m));
+  system.Build();
+  return SerializeQbhDatabase(system);
+}
+
+TEST(FuzzTest, ParseQbhDatabaseV2OnMutatedValidFiles) {
+  Rng rng(6);
+  const std::string good = ValidV2Database();
+  ASSERT_TRUE(ParseQbhDatabase(good).ok());
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = good;
+    int edits = rng.UniformInt(1, 6);
+    for (int e = 0; e < edits; ++e) {
+      std::size_t pos =
+          rng.NextBounded(static_cast<std::uint32_t>(mutated.size()));
+      switch (rng.NextBounded(3)) {
+        case 0:  // byte replacement
+          mutated[pos] = static_cast<char>(rng.NextBounded(256));
+          break;
+        case 1:  // truncation
+          mutated.resize(pos);
+          break;
+        default:  // garbage insertion
+          mutated.insert(pos, RandomBytes(&rng, 1 + rng.NextBounded(8)));
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    if (mutated == good) continue;
+    // Must never crash; a mutated checksummed file that still parses is a
+    // (vanishingly unlikely) CRC collision, so just require no crash here and
+    // leave single-edit guarantees to corruption_test.
+    ParseQbhDatabase(mutated);
+  }
+}
+
+TEST(FuzzTest, SalvageNeverCrashesAndKeepsItsPromises) {
+  Rng rng(7);
+  const std::string good = ValidV2Database();
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    if (trial % 3 == 0) {
+      text = "humdex-db v2\n" +
+             RandomTextLines(&rng,
+                             static_cast<std::size_t>(rng.UniformInt(0, 15)));
+    } else {
+      text = good;
+      int edits = rng.UniformInt(1, 10);
+      for (int e = 0; e < edits && !text.empty(); ++e) {
+        std::size_t pos =
+            rng.NextBounded(static_cast<std::uint32_t>(text.size()));
+        if (rng.NextBounded(4) == 0) {
+          text.resize(pos);
+        } else {
+          text[pos] = static_cast<char>(rng.NextBounded(256));
+        }
+      }
+    }
+    SalvageReport report;
+    Result<QbhSystem> r = ParseQbhDatabaseSalvage(text, &report);
+    if (r.ok()) {
+      // A successful salvage must hand back a usable, non-empty system whose
+      // size matches the report.
+      EXPECT_TRUE(r.value().built());
+      EXPECT_GT(r.value().size(), 0u);
+      EXPECT_EQ(r.value().size(), report.melodies_loaded);
+    }
   }
 }
 
