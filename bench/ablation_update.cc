@@ -1,0 +1,159 @@
+// Ablation (beyond the paper's figures): the cost of crash-recoverable
+// online updates. Part 1 measures query latency (p50/p95) while a background
+// writer races inserts against the readers — in memory, and with the full
+// WAL + fsync durability path. Part 2 measures recovery time as a function
+// of log length: Open() replays the WAL record by record, so the time to
+// come back after a crash grows with the work done since the last
+// checkpoint, which is exactly the knob Checkpoint() resets.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "music/hummer.h"
+#include "qbh/qbh_system.h"
+#include "util/env.h"
+
+namespace humdex::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+void CleanDb(Env* env, const std::string& path) {
+  for (const std::string& p : {path, QbhSystem::WalPathFor(path)}) {
+    if (env->Exists(p)) {
+      Status st = env->Delete(p);
+      (void)st;
+    }
+  }
+}
+
+QbhSystem BuildFrom(const std::vector<Melody>& corpus) {
+  QbhSystem system;
+  for (const Melody& m : corpus) system.AddMelody(m);
+  system.Build();
+  return system;
+}
+
+int Run() {
+  const std::size_t kCorpusSize = 400;
+  const std::size_t kRounds = 4;
+  const std::size_t kHums = 16;
+  const std::string kDbPath = "/tmp/humdex_ablation_update.db";
+  Env* env = Env::Default();
+
+  std::vector<Melody> corpus = PhraseCorpus(kCorpusSize, /*seed=*/424242);
+  std::vector<Melody> extras = PhraseCorpus(4096, /*seed=*/515151);
+  Hummer hummer(HummerProfile::Good(), 616161);
+  std::vector<Series> hums;
+  for (std::size_t i = 0; i < kHums; ++i) {
+    hums.push_back(hummer.Hum(corpus[i * (kCorpusSize / kHums)]));
+  }
+
+  PrintBanner("Ablation: query latency under online updates, recovery cost",
+              std::to_string(kCorpusSize) + " phrases, New_PAA 128 -> 8, " +
+                  std::to_string(kRounds * kHums) + " kNN queries per row");
+
+  // --- Part 1: query latency with and without a concurrent writer ----------
+  Table lat({"scenario", "p50_ms", "p95_ms", "inserts_during"});
+  for (int scenario = 0; scenario < 3; ++scenario) {
+    QbhSystem system = BuildFrom(corpus);
+    if (scenario == 2) {
+      CleanDb(env, kDbPath);
+      Status st = system.Attach(kDbPath, env);
+      if (!st.ok()) {
+        std::fprintf(stderr, "attach failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> inserted{0};
+    std::thread writer;
+    if (scenario > 0) {
+      writer = std::thread([&] {
+        std::size_t i = 0;
+        while (!stop.load(std::memory_order_relaxed) && i < extras.size()) {
+          if (system.Insert(extras[i]).ok()) {
+            ++i;
+            inserted.store(i, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    // Warm-up pass, then the measured rounds.
+    for (const Series& hum : hums) system.Query(hum, 10);
+    std::vector<double> samples;
+    samples.reserve(kRounds * kHums);
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      for (const Series& hum : hums) {
+        auto start = Clock::now();
+        system.Query(hum, 10);
+        samples.push_back(MsSince(start));
+      }
+    }
+    stop.store(true, std::memory_order_relaxed);
+    if (writer.joinable()) writer.join();
+    static const char* kNames[] = {"read-only", "writer (in-memory)",
+                                   "writer (WAL + fsync)"};
+    lat.AddRow({kNames[scenario], Table::Num(Percentile(samples, 0.50)),
+                Table::Num(Percentile(samples, 0.95)),
+                Table::Int(inserted.load())});
+  }
+  lat.Print();
+
+  // --- Part 2: recovery time vs WAL length ---------------------------------
+  std::printf("\nRecovery time vs log length (records since last checkpoint)\n");
+  Table rec({"wal_records", "open_ms", "replayed", "size_after"});
+  for (std::size_t wal_len : {std::size_t{0}, std::size_t{64},
+                              std::size_t{256}, std::size_t{1024}}) {
+    CleanDb(env, kDbPath);
+    {
+      QbhSystem system = BuildFrom(corpus);
+      Status st = system.Attach(kDbPath, env);
+      if (!st.ok()) {
+        std::fprintf(stderr, "attach failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      for (std::size_t i = 0; i < wal_len; ++i) {
+        if (!system.Insert(extras[i % extras.size()]).ok()) return 1;
+      }
+    }
+    auto start = Clock::now();
+    RecoveryStats rs;
+    Result<QbhSystem> reopened = QbhSystem::Open(kDbPath, env, &rs);
+    const double open_ms = MsSince(start);
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   reopened.status().ToString().c_str());
+      return 1;
+    }
+    rec.AddRow({Table::Int(wal_len), Table::Num(open_ms),
+                Table::Int(rs.records_replayed),
+                Table::Int(reopened.value().size())});
+  }
+  rec.Print();
+  CleanDb(env, kDbPath);
+  return 0;
+}
+
+}  // namespace
+}  // namespace humdex::bench
+
+int main(int argc, char** argv) {
+  return humdex::bench::BenchMain(argc, argv, humdex::bench::Run);
+}

@@ -92,15 +92,28 @@ void DtwQueryEngine::Add(Series normal_form, std::int64_t id) {
 }
 
 void DtwQueryEngine::AddAll(std::vector<Series> normal_forms) {
-  HUMDEX_CHECK_MSG(data_.empty(), "AddAll on a non-empty engine");
   std::vector<std::int64_t> ids(normal_forms.size());
   for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<std::int64_t>(i);
+  AddAll(std::move(normal_forms), ids);
+}
+
+void DtwQueryEngine::AddAll(std::vector<Series> normal_forms,
+                            const std::vector<std::int64_t>& ids) {
+  HUMDEX_CHECK_MSG(data_.empty(), "AddAll on a non-empty engine");
+  HUMDEX_CHECK(normal_forms.size() == ids.size());
+  std::int64_t max_id = -1;
+  for (std::int64_t id : ids) {
+    HUMDEX_CHECK(id >= 0);
+    max_id = std::max(max_id, id);
+  }
   feature_index_.AddBatch(normal_forms, ids);
-  id_to_pos_.resize(normal_forms.size());
+  id_to_pos_.assign(static_cast<std::size_t>(max_id + 1), SIZE_MAX);
   data_.reserve(normal_forms.size());
   for (std::size_t i = 0; i < normal_forms.size(); ++i) {
-    id_to_pos_[i] = i;
-    data_.push_back({std::move(normal_forms[i]), static_cast<std::int64_t>(i)});
+    HUMDEX_CHECK_MSG(id_to_pos_[static_cast<std::size_t>(ids[i])] == SIZE_MAX,
+                     "duplicate id");
+    id_to_pos_[static_cast<std::size_t>(ids[i])] = i;
+    data_.push_back({std::move(normal_forms[i]), ids[i]});
   }
 }
 

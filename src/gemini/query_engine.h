@@ -45,6 +45,11 @@ struct QueryStats {
   /// candidate examined, but possibly missing candidates never reached.
   bool truncated = false;
 
+  /// True when the serving layer refused the input outright (a hum with no
+  /// voiced frames, non-finite samples, an unusable audio rate): the result
+  /// is empty by construction, and the process did not abort.
+  bool rejected = false;
+
   /// Accumulate another query's counters and timings (batch aggregation).
   QueryStats& operator+=(const QueryStats& other) {
     index_candidates += other.index_candidates;
@@ -57,6 +62,7 @@ struct QueryStats {
     dtw_ns += other.dtw_ns;
     total_ns += other.total_ns;
     truncated = truncated || other.truncated;
+    rejected = rejected || other.rejected;
     return *this;
   }
 };
@@ -82,6 +88,12 @@ class DtwQueryEngine {
   /// Bulk-build the engine from a whole corpus (ids 0..n-1). Uses STR
   /// packing on R*-tree backends. Only valid while the engine is empty.
   void AddAll(std::vector<Series> normal_forms);
+
+  /// Bulk-build with explicit (not necessarily dense) non-negative ids, one
+  /// per series — the recovery path, where removed melodies leave gaps in
+  /// the id space. Same bulk-load behavior as the dense overload.
+  void AddAll(std::vector<Series> normal_forms,
+              const std::vector<std::int64_t>& ids);
 
   /// Remove a stored series by id. Returns false when the id is unknown.
   /// Subsequent queries behave as if it was never added.

@@ -1,41 +1,137 @@
 #include "qbh/qbh_system.h"
 
+#include <cmath>
+#include <mutex>
+#include <utility>
+
 #include "audio/pitch_detect.h"
 #include "music/pitch_tracker.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "qbh/storage.h"
+#include "qbh/wal.h"
 #include "ts/normal_form.h"
 #include "util/status.h"
 
 namespace humdex {
 
-QbhSystem::QbhSystem(QbhOptions options) : options_(options) {
+namespace {
+
+// The PitchDetector front end needs enough samples per analysis window and
+// at least one per hop; rates outside this envelope are rejected rather than
+// allowed to trip its constructor CHECKs.
+constexpr double kMinSampleRate = 1000.0;
+constexpr double kMaxSampleRate = 1e6;
+
+obs::Counter& RejectedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("qbh.queries_rejected");
+  return c;
+}
+
+obs::Counter& InsertsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("qbh.inserts");
+  return c;
+}
+
+obs::Counter& RemovesCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("qbh.removes");
+  return c;
+}
+
+void MarkRejected(QueryStats* stats) {
+  RejectedCounter().Increment();
+  if (stats != nullptr) {
+    *stats = QueryStats();
+    stats->rejected = true;
+  }
+}
+
+}  // namespace
+
+QbhSystem::QbhSystem(QbhOptions options)
+    : options_(options), mu_(std::make_unique<std::shared_mutex>()) {
   HUMDEX_CHECK(options_.normal_len >= options_.feature_dim);
   HUMDEX_CHECK(options_.warping_width >= 0.0 && options_.warping_width <= 1.0);
 }
 
+QbhSystem::~QbhSystem() = default;
+QbhSystem::QbhSystem(QbhSystem&&) noexcept = default;
+QbhSystem& QbhSystem::operator=(QbhSystem&&) noexcept = default;
+
 std::int64_t QbhSystem::AddMelody(Melody melody) {
   HUMDEX_CHECK_MSG(engine_ == nullptr, "AddMelody after Build()");
   HUMDEX_CHECK(!melody.empty());
-  melodies_.push_back(std::move(melody));
+  melodies_.emplace_back(std::move(melody));
+  ++live_count_;
   return static_cast<std::int64_t>(melodies_.size()) - 1;
 }
 
-const Melody& QbhSystem::melody(std::int64_t id) const {
-  HUMDEX_CHECK(id >= 0 && static_cast<std::size_t>(id) < melodies_.size());
+Status QbhSystem::AddMelodyWithId(Melody melody, std::int64_t id) {
+  HUMDEX_CHECK_MSG(engine_ == nullptr, "AddMelodyWithId after Build()");
+  if (melody.empty()) {
+    return Status::InvalidArgument("melody has no notes");
+  }
+  if (id < 0) return Status::InvalidArgument("negative melody id");
+  const std::size_t slot = static_cast<std::size_t>(id);
+  if (slot < melodies_.size() && melodies_[slot].has_value()) {
+    return Status::InvalidArgument("duplicate melody id " + std::to_string(id));
+  }
+  if (slot >= melodies_.size()) melodies_.resize(slot + 1);
+  melodies_[slot] = std::move(melody);
+  ++live_count_;
+  return Status::OK();
+}
+
+void QbhSystem::ReserveIds(std::int64_t next_id) {
+  HUMDEX_CHECK_MSG(engine_ == nullptr, "ReserveIds after Build()");
+  HUMDEX_CHECK(next_id >= 0);
+  if (static_cast<std::size_t>(next_id) > melodies_.size()) {
+    melodies_.resize(static_cast<std::size_t>(next_id));
+  }
+}
+
+std::size_t QbhSystem::size() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  return live_count_;
+}
+
+std::int64_t QbhSystem::next_id() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  return static_cast<std::int64_t>(melodies_.size());
+}
+
+std::optional<Melody> QbhSystem::melody(std::int64_t id) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  if (id < 0 || static_cast<std::size_t>(id) >= melodies_.size()) {
+    return std::nullopt;
+  }
   return melodies_[static_cast<std::size_t>(id)];
+}
+
+std::vector<std::optional<Melody>> QbhSystem::CorpusSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  return melodies_;
 }
 
 void QbhSystem::Build() {
   HUMDEX_CHECK_MSG(engine_ == nullptr, "Build() called twice");
-  HUMDEX_CHECK_MSG(!melodies_.empty(), "empty database");
+  HUMDEX_CHECK_MSG(live_count_ > 0, "empty database");
 
-  // Normal forms of every melody.
+  // Normal forms of every live melody, with its id (gaps are tombstones
+  // restored by recovery).
   std::vector<Series> normals;
-  normals.reserve(melodies_.size());
-  for (const Melody& m : melodies_) {
-    normals.push_back(
-        NormalForm(MelodyToSeries(m, options_.samples_per_beat), options_.normal_len));
+  std::vector<std::int64_t> ids;
+  normals.reserve(live_count_);
+  ids.reserve(live_count_);
+  for (std::size_t i = 0; i < melodies_.size(); ++i) {
+    if (!melodies_[i].has_value()) continue;
+    normals.push_back(NormalForm(
+        MelodyToSeries(*melodies_[i], options_.samples_per_beat),
+        options_.normal_len));
+    ids.push_back(static_cast<std::int64_t>(i));
   }
 
   std::shared_ptr<FeatureScheme> scheme;
@@ -62,13 +158,30 @@ void QbhSystem::Build() {
   eopts.warping_width = options_.warping_width;
   eopts.index.kind = options_.index;
   engine_ = std::make_unique<DtwQueryEngine>(std::move(scheme), eopts);
-  engine_->AddAll(std::move(normals));
+  engine_->AddAll(std::move(normals), ids);
 }
 
 Series QbhSystem::HumToNormalForm(const Series& hum_pitch) const {
   Series voiced = RemoveSilence(hum_pitch);
-  HUMDEX_CHECK_MSG(!voiced.empty(), "hum query contains no voiced frames");
+  if (voiced.empty()) return Series();
+  for (double v : voiced) {
+    if (!std::isfinite(v)) return Series();
+  }
   return NormalForm(voiced, options_.normal_len);
+}
+
+Result<Series> QbhSystem::MelodyNormalForm(const Melody& melody) const {
+  if (melody.empty()) return Status::InvalidArgument("melody has no notes");
+  for (const Note& n : melody.notes) {
+    if (!std::isfinite(n.pitch)) {
+      return Status::InvalidArgument("melody note pitch is not finite");
+    }
+    if (!std::isfinite(n.duration) || n.duration <= 0.0) {
+      return Status::InvalidArgument("melody note duration must be positive");
+    }
+  }
+  return NormalForm(MelodyToSeries(melody, options_.samples_per_beat),
+                    options_.normal_len);
 }
 
 std::vector<QbhMatch> QbhSystem::Query(const Series& hum_pitch, std::size_t top_k,
@@ -89,11 +202,24 @@ std::vector<QbhMatch> QbhSystem::Query(const Series& hum_pitch, std::size_t top_
     HUMDEX_SPAN(span, "qbh.normal_form");
     q = HumToNormalForm(hum_pitch);
   }
-  std::vector<Neighbor> nn = engine_->KnnQuery(q, top_k, qopts, stats);
+  if (q.empty()) {
+    // Unservable input (no voiced frames / non-finite samples): reject, never
+    // abort the process over user data.
+    MarkRejected(stats);
+    return {};
+  }
   std::vector<QbhMatch> out;
-  out.reserve(nn.size());
-  for (const Neighbor& n : nn) {
-    out.push_back({n.id, melody(n.id).name, n.distance});
+  {
+    // Reader epoch: the whole cascade plus the name lookup observes one
+    // consistent corpus snapshot against concurrent Insert/Remove.
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    std::vector<Neighbor> nn = engine_->KnnQuery(q, top_k, qopts, stats);
+    out.reserve(nn.size());
+    for (const Neighbor& n : nn) {
+      const std::optional<Melody>& m = melodies_[static_cast<std::size_t>(n.id)];
+      HUMDEX_CHECK(m.has_value());  // the engine only returns live ids
+      out.push_back({n.id, m->name, n.distance});
+    }
   }
   HUMDEX_SPAN_ATTR(query_span, "top_k", static_cast<double>(top_k));
   HUMDEX_SPAN_ATTR(query_span, "matches", static_cast<double>(out.size()));
@@ -162,6 +288,20 @@ std::vector<std::vector<QbhMatch>> QbhSystem::QueryBatch(
 std::vector<QbhMatch> QbhSystem::QueryAudio(const Series& pcm, double sample_rate,
                                             std::size_t top_k,
                                             QueryStats* stats) const {
+  HUMDEX_CHECK_MSG(engine_ != nullptr, "QueryAudio before Build()");
+  // Front-end input validation: anything a client could hand us that would
+  // trip a CHECK deeper in the pipeline is rejected here instead.
+  if (pcm.empty() || !std::isfinite(sample_rate) ||
+      sample_rate < kMinSampleRate || sample_rate > kMaxSampleRate) {
+    MarkRejected(stats);
+    return {};
+  }
+  for (double v : pcm) {
+    if (!std::isfinite(v)) {
+      MarkRejected(stats);
+      return {};
+    }
+  }
   PitchDetectorOptions dopt;
   dopt.sample_rate = sample_rate;
   PitchDetector detector(dopt);
@@ -171,7 +311,232 @@ std::vector<QbhMatch> QbhSystem::QueryAudio(const Series& pcm, double sample_rat
 std::size_t QbhSystem::RankOf(const Series& hum_pitch,
                               std::int64_t target_id) const {
   HUMDEX_CHECK_MSG(engine_ != nullptr, "RankOf before Build()");
-  return engine_->RankOf(HumToNormalForm(hum_pitch), target_id);
+  Series q = HumToNormalForm(hum_pitch);
+  if (q.empty()) return 0;
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  if (target_id < 0 ||
+      static_cast<std::size_t>(target_id) >= melodies_.size() ||
+      !melodies_[static_cast<std::size_t>(target_id)].has_value()) {
+    return 0;
+  }
+  return engine_->RankOf(q, target_id);
+}
+
+// --- Online mutation ---------------------------------------------------------
+
+void QbhSystem::ApplyInsertLocked(Melody melody, std::int64_t id,
+                                  Series normal) {
+  HUMDEX_CHECK(static_cast<std::size_t>(id) == melodies_.size());
+  engine_->Add(std::move(normal), id);
+  melodies_.emplace_back(std::move(melody));
+  ++live_count_;
+  InsertsCounter().Increment();
+}
+
+void QbhSystem::ApplyRemoveLocked(std::int64_t id) {
+  HUMDEX_CHECK(engine_->Remove(id));
+  melodies_[static_cast<std::size_t>(id)].reset();
+  --live_count_;
+  RemovesCounter().Increment();
+}
+
+Result<std::int64_t> QbhSystem::Insert(Melody melody) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("Insert before Build()");
+  }
+  // Validate and compute the normal form outside the writer lock: readers
+  // keep flowing while we do the O(normal_len) math.
+  Result<Series> normal = MelodyNormalForm(melody);
+  HUMDEX_RETURN_IF_ERROR(normal.status());
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  const std::int64_t id = static_cast<std::int64_t>(melodies_.size());
+  if (wal_ != nullptr) {
+    WalMutation mut;
+    mut.kind = WalMutation::Kind::kInsert;
+    mut.id = id;
+    mut.melody = melody;
+    // Log-before-apply: a failed (possibly torn) append leaves the
+    // in-memory state untouched, so disk never runs behind memory.
+    HUMDEX_RETURN_IF_ERROR(wal_->Append(EncodeWalMutation(mut)));
+  }
+  ApplyInsertLocked(std::move(melody), id, std::move(normal).value());
+  return id;
+}
+
+Status QbhSystem::Remove(std::int64_t id) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("Remove before Build()");
+  }
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  if (id < 0 || static_cast<std::size_t>(id) >= melodies_.size() ||
+      !melodies_[static_cast<std::size_t>(id)].has_value()) {
+    return Status::NotFound("no live melody with id " + std::to_string(id));
+  }
+  if (live_count_ <= 1) {
+    return Status::FailedPrecondition(
+        "cannot remove the last live melody (an empty corpus has no valid "
+        "index or checkpoint form)");
+  }
+  if (wal_ != nullptr) {
+    WalMutation mut;
+    mut.kind = WalMutation::Kind::kRemove;
+    mut.id = id;
+    HUMDEX_RETURN_IF_ERROR(wal_->Append(EncodeWalMutation(mut)));
+  }
+  ApplyRemoveLocked(id);
+  return Status::OK();
+}
+
+// --- Durability --------------------------------------------------------------
+
+Status QbhSystem::Attach(const std::string& path, Env* env) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("Attach before Build()");
+  }
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("system is already durable");
+  }
+  if (env == nullptr) env = Env::Default();
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  HUMDEX_RETURN_IF_ERROR(
+      env->AtomicWriteFile(path, SerializeQbhCorpus(options_, melodies_)));
+  const std::string wal_path = WalPathFor(path);
+  if (env->Exists(wal_path)) {
+    // A stale log cannot belong to the checkpoint just written.
+    Status st = env->Delete(wal_path);
+    if (!st.ok() && st.code() != Status::Code::kNotFound) return st;
+  }
+  Result<std::unique_ptr<WriteAheadLog>> wal = WriteAheadLog::Open(wal_path, env);
+  HUMDEX_RETURN_IF_ERROR(wal.status());
+  env_ = env;
+  db_path_ = path;
+  wal_ = std::move(wal).value();
+  return Status::OK();
+}
+
+Status QbhSystem::Checkpoint() {
+  if (engine_ == nullptr || wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Checkpoint needs a durable built system (Attach or Open first)");
+  }
+  static obs::Histogram& h_duration =
+      obs::MetricsRegistry::Default().GetHistogram("checkpoint.duration_ns");
+  const std::uint64_t t_start = obs::MonotonicNowNs();
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  // Step 1: persist the full corpus atomically (temp + fsync + rename). A
+  // crash before the rename leaves the old checkpoint + full log.
+  HUMDEX_RETURN_IF_ERROR(env_->AtomicWriteFile(
+      db_path_, SerializeQbhCorpus(options_, melodies_)));
+  // Step 2: drop the log. A crash between the rename and here leaves the new
+  // checkpoint + the full log, which replay recognizes and skips (records
+  // carry explicit ids). A truncation failure is reported but not fatal to
+  // the state: the checkpoint is already durable.
+  Status st = wal_->Truncate();
+  h_duration.Record(obs::MonotonicNowNs() - t_start);
+  return st;
+}
+
+Result<QbhSystem> QbhSystem::Open(const std::string& path, Env* env,
+                                  RecoveryStats* stats) {
+  if (env == nullptr) env = Env::Default();
+  if (stats != nullptr) *stats = RecoveryStats();
+  Result<QbhSystem> loaded = LoadQbhDatabase(path, env);
+  HUMDEX_RETURN_IF_ERROR(loaded.status());
+  QbhSystem system = std::move(loaded).value();
+
+  const std::string wal_path = WalPathFor(path);
+  WalReadResult log;
+  HUMDEX_RETURN_IF_ERROR(WriteAheadLog::ReadAll(wal_path, env, &log));
+
+  // Replay. Ids in the checkpoint are already final; a record whose id the
+  // checkpoint covers (crash between checkpoint rename and log truncation)
+  // is skipped, one that extends the id space is applied, and anything else
+  // is treated as a corrupt record: replay stops there and the tail is
+  // dropped, exactly as for a torn frame.
+  const std::int64_t start_next_id =
+      static_cast<std::int64_t>(system.melodies_.size());
+  RecoveryStats local;
+  std::size_t keep_bytes = 0;
+  bool tail_corrupt = false;
+  for (const std::string& payload : log.payloads) {
+    WalMutation mut;
+    if (!DecodeWalMutation(payload, &mut).ok()) {
+      tail_corrupt = true;
+      break;
+    }
+    const std::int64_t next_id =
+        static_cast<std::int64_t>(system.melodies_.size());
+    if (mut.kind == WalMutation::Kind::kInsert) {
+      if (mut.id < start_next_id) {
+        ++local.records_skipped;  // already in the checkpoint
+      } else if (mut.id == next_id) {
+        Result<Series> normal = system.MelodyNormalForm(mut.melody);
+        if (!normal.ok()) {
+          tail_corrupt = true;
+          break;
+        }
+        system.ApplyInsertLocked(std::move(mut.melody), mut.id,
+                                 std::move(normal).value());
+        ++local.records_replayed;
+      } else {
+        tail_corrupt = true;  // ids are allocated consecutively
+        break;
+      }
+    } else {
+      const std::size_t slot = static_cast<std::size_t>(mut.id);
+      if (mut.id >= 0 && mut.id < next_id &&
+          system.melodies_[slot].has_value()) {
+        if (system.live_count_ <= 1) {
+          tail_corrupt = true;  // a valid writer never removes the last one
+          break;
+        }
+        system.ApplyRemoveLocked(mut.id);
+        ++local.records_replayed;
+      } else if (mut.id >= 0 && mut.id < start_next_id) {
+        ++local.records_skipped;  // tombstone already in the checkpoint
+      } else {
+        tail_corrupt = true;  // removes an id this history never created
+        break;
+      }
+    }
+    keep_bytes += WriteAheadLog::FrameRecord(payload).size();
+  }
+
+  local.torn_tail = log.torn_tail || tail_corrupt;
+  local.dropped_bytes =
+      log.dropped_bytes + (tail_corrupt ? log.valid_bytes - keep_bytes : 0);
+
+  static obs::Counter& replayed_counter =
+      obs::MetricsRegistry::Default().GetCounter("recovery.records_replayed");
+  static obs::Counter& torn_counter =
+      obs::MetricsRegistry::Default().GetCounter("recovery.torn_tail_dropped");
+  replayed_counter.Increment(local.records_replayed);
+  if (local.torn_tail) torn_counter.Increment();
+
+  if (local.torn_tail) {
+    // Repair: rewrite the log to its replayable prefix so future appends
+    // land behind well-formed records, not behind a torn tail that would
+    // make them unreachable. FrameRecord is deterministic, so re-framing
+    // reproduces the original prefix bytes.
+    std::string prefix;
+    prefix.reserve(keep_bytes);
+    std::size_t kept = 0;
+    for (const std::string& payload : log.payloads) {
+      std::string frame = WriteAheadLog::FrameRecord(payload);
+      if (kept + frame.size() > keep_bytes) break;
+      kept += frame.size();
+      prefix += frame;
+    }
+    HUMDEX_RETURN_IF_ERROR(env->AtomicWriteFile(wal_path, prefix));
+  }
+
+  Result<std::unique_ptr<WriteAheadLog>> wal = WriteAheadLog::Open(wal_path, env);
+  HUMDEX_RETURN_IF_ERROR(wal.status());
+  system.env_ = env;
+  system.db_path_ = path;
+  system.wal_ = std::move(wal).value();
+  if (stats != nullptr) *stats = local;
+  return system;
 }
 
 }  // namespace humdex

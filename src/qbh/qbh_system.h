@@ -5,17 +5,28 @@
 //          -> feature vector -> R*-tree.
 // Query:   pitch series -> silence removal -> normal form -> GEMINI DTW
 //          search (envelope transform range/kNN with exact verification).
+//
+// After Build() the corpus stays mutable: Insert()/Remove() update the live
+// index, and when the system is durable (Attach()/Open()) every mutation is
+// write-ahead logged before it is applied, Checkpoint() persists the state
+// and truncates the log, and Open() recovers checkpoint + log after a crash.
+// See DESIGN.md §9 for the protocol and its invariants.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "gemini/query_engine.h"
 #include "music/melody.h"
+#include "util/env.h"
 
 namespace humdex {
+
+class WriteAheadLog;
 
 /// Which dimensionality-reduction scheme the system indexes with.
 enum class SchemeKind { kNewPaa, kKeoghPaa, kDft, kDwt, kSvd };
@@ -36,23 +47,108 @@ struct QbhMatch {
   double distance;
 };
 
-/// Query-by-humming database. Add melodies, Build(), then Query().
+/// What QbhSystem::Open had to do to bring the corpus back.
+struct RecoveryStats {
+  std::size_t records_replayed = 0;  ///< log mutations applied
+  std::size_t records_skipped = 0;   ///< already in the checkpoint (idempotent)
+  std::size_t dropped_bytes = 0;     ///< torn/corrupt log tail discarded
+  bool torn_tail = false;
+};
+
+/// Query-by-humming database. Add melodies, Build(), then Query(); after
+/// Build() the corpus stays mutable via Insert()/Remove().
+///
+/// Threading model: queries are shared-state readers and may run
+/// concurrently from any number of threads; Insert/Remove/Checkpoint are
+/// writers serialized against them by an internal std::shared_mutex. A query
+/// observes either all or none of any mutation (it holds the reader lock for
+/// its whole cascade), so batch queries stay exact for the snapshot each one
+/// observes. Construction (AddMelody/Build/Attach/Open) is single-threaded.
 class QbhSystem {
  public:
   explicit QbhSystem(QbhOptions options = QbhOptions());
+  ~QbhSystem();  // out of line: WriteAheadLog is incomplete here
+  QbhSystem(QbhSystem&&) noexcept;
+  QbhSystem& operator=(QbhSystem&&) noexcept;
 
   /// Register a melody. Returns its id. Must be called before Build().
   std::int64_t AddMelody(Melody melody);
+
+  /// Storage/recovery plumbing: register a melody under an explicit id
+  /// (gaps become tombstones). Pre-Build only; prefer AddMelody.
+  Status AddMelodyWithId(Melody melody, std::int64_t id);
+
+  /// Storage/recovery plumbing: extend the id space to `next_id`, padding
+  /// with tombstones (a checkpoint whose highest ids were all removed).
+  /// Pre-Build only.
+  void ReserveIds(std::int64_t next_id);
 
   /// Fit the feature scheme (SVD needs the corpus) and build the index.
   void Build();
 
   bool built() const { return engine_ != nullptr; }
-  std::size_t size() const { return melodies_.size(); }
-  const Melody& melody(std::int64_t id) const;
+
+  /// Number of live (non-removed) melodies.
+  std::size_t size() const;
+
+  /// One past the highest id ever allocated; ids are never reused, so
+  /// next_id() - size() is the tombstone count.
+  std::int64_t next_id() const;
+
+  /// The melody stored under `id`, or nullopt when the id was never
+  /// allocated or has been removed. Returns a copy: the reference would not
+  /// survive a concurrent Insert.
+  std::optional<Melody> melody(std::int64_t id) const;
+
   const QbhOptions& options() const { return options_; }
 
+  // --- Online mutation (valid after Build()) -------------------------------
+
+  /// Add a melody to the live index and return its id. When the system is
+  /// durable the mutation is WAL-appended and fsynced first; a storage
+  /// failure leaves the in-memory state untouched and returns the error.
+  Result<std::int64_t> Insert(Melody melody);
+
+  /// Remove a melody by id. kNotFound when the id is unknown or already
+  /// removed. The last live melody cannot be removed (an empty corpus has no
+  /// valid index or checkpoint form).
+  Status Remove(std::int64_t id);
+
+  /// Make a built system durable at `path`: writes the checkpoint
+  /// atomically and opens `path`.wal for write-ahead logging. Any stale log
+  /// at that path is truncated (the fresh checkpoint supersedes it).
+  Status Attach(const std::string& path, Env* env = nullptr);
+
+  /// Persist the current corpus to the attached path (temp + fsync +
+  /// rename) and truncate the log. A crash anywhere inside leaves a state
+  /// Open() recovers exactly: the old checkpoint plus the full log, or the
+  /// new checkpoint plus an idempotently re-replayed log.
+  Status Checkpoint();
+
+  /// Recover a durable system: load the checkpoint at `path`, replay
+  /// `path`.wal up to the first torn or corrupt record (dropping the tail),
+  /// and reattach for further mutation.
+  static Result<QbhSystem> Open(const std::string& path, Env* env = nullptr,
+                                RecoveryStats* stats = nullptr);
+
+  /// True when mutations are write-ahead logged (after Attach/Open).
+  bool durable() const { return wal_ != nullptr; }
+
+  /// The log path for a database path.
+  static std::string WalPathFor(const std::string& db_path) {
+    return db_path + ".wal";
+  }
+
+  /// Consistent copy of the id-indexed corpus (tombstones included) — what
+  /// SerializeQbhDatabase persists.
+  std::vector<std::optional<Melody>> CorpusSnapshot() const;
+
+  // --- Queries -------------------------------------------------------------
+
   /// Top-k melodies for a hummed pitch series (silent frames tolerated).
+  /// Unservable input (no voiced frames, non-finite values) is rejected: the
+  /// result is empty, `stats->rejected` is set, and the process never
+  /// aborts.
   std::vector<QbhMatch> Query(const Series& hum_pitch, std::size_t top_k,
                               QueryStats* stats = nullptr) const;
 
@@ -92,23 +188,46 @@ class QbhSystem {
 
   /// Top-k melodies for raw hum *audio* (mono PCM in [-1,1] at
   /// `sample_rate`): the paper's §3.1 front end — frame-level pitch tracking
-  /// feeding the time series pipeline.
+  /// feeding the time series pipeline. Malformed audio (empty, non-finite
+  /// samples, unusable sample rate) is rejected, never aborted on.
   std::vector<QbhMatch> QueryAudio(const Series& pcm, double sample_rate,
                                    std::size_t top_k,
                                    QueryStats* stats = nullptr) const;
 
   /// Rank (1 = best) of melody `target_id` for the hummed query; the quality
-  /// measure of Tables 2 and 3. Full scan, exact.
+  /// measure of Tables 2 and 3. Full scan, exact. Returns 0 when the hum is
+  /// unservable (see Query) or the target id is not live.
   std::size_t RankOf(const Series& hum_pitch, std::int64_t target_id) const;
 
   /// The normal form the system derives from a hum (exposed for tests and
-  /// diagnostics).
+  /// diagnostics). Empty when the hum has no voiced frames or contains
+  /// non-finite values — the signal Query turns into a rejection.
   Series HumToNormalForm(const Series& hum_pitch) const;
 
  private:
+  /// Compute the indexable normal form of a melody, or an error for notes a
+  /// corpus must not contain (non-finite pitch, non-positive duration).
+  Result<Series> MelodyNormalForm(const Melody& melody) const;
+
+  // Mutation appliers: the caller holds the writer lock; no WAL involved.
+  void ApplyInsertLocked(Melody melody, std::int64_t id, Series normal);
+  void ApplyRemoveLocked(std::int64_t id);
+
   QbhOptions options_;
-  std::vector<Melody> melodies_;
+  // Slot == id; nullopt == tombstone (removed, id never reused).
+  std::vector<std::optional<Melody>> melodies_;
+  std::size_t live_count_ = 0;
   std::unique_ptr<DtwQueryEngine> engine_;
+
+  // Reader/writer epoch: queries take shared, mutations take exclusive.
+  // Behind a unique_ptr so the system stays movable (moving while serving is
+  // undefined, as for any container).
+  std::unique_ptr<std::shared_mutex> mu_;
+
+  // Durable mode (Attach/Open).
+  Env* env_ = nullptr;
+  std::string db_path_;
+  std::unique_ptr<WriteAheadLog> wal_;
 };
 
 }  // namespace humdex

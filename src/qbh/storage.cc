@@ -18,6 +18,31 @@ namespace {
 // Build() into an abort or OOM.
 constexpr std::size_t kMaxNormalLen = 1 << 20;
 constexpr double kMaxSamplesPerBeat = 1e6;
+constexpr std::size_t kMaxNextId = 1 << 24;  // bounds the tombstone vector
+
+/// Id-space metadata for a gapped (tombstoned) corpus; absent in dense files.
+struct DbMeta {
+  std::optional<std::size_t> next_id;
+  std::optional<std::vector<std::size_t>> ids;
+};
+
+Status ParseIdList(const std::string& value, std::vector<std::size_t>* out) {
+  out->clear();
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    std::size_t comma = value.find(',', start);
+    if (comma == std::string::npos) comma = value.size();
+    std::size_t id = 0;
+    HUMDEX_RETURN_IF_ERROR(
+        ParseSize(value.substr(start, comma - start), &id));
+    if (id >= kMaxNextId) {
+      return Status::InvalidArgument("melody id out of range");
+    }
+    out->push_back(id);
+    start = comma + 1;
+  }
+  return Status::OK();
+}
 
 obs::Counter& CorruptionCounter() {
   static obs::Counter& c =
@@ -183,7 +208,8 @@ Status SplitV2Trailer(const std::string& text, std::string_view* body,
 
 /// Parse the option header and melody body shared by v1 and v2 (the caller
 /// has already stripped the trailer). `body` excludes the version line.
-Status ParseBody(std::istream& in, QbhOptions* opt, std::string* melodies) {
+Status ParseBody(std::istream& in, QbhOptions* opt, DbMeta* meta,
+                 std::string* melodies) {
   std::string line;
   std::ostringstream rest;
   bool in_header = true;
@@ -193,6 +219,21 @@ Status ParseBody(std::istream& in, QbhOptions* opt, std::string* melodies) {
       std::string key, value;
       if (!(fields >> key >> value)) {
         return Status::InvalidArgument("malformed option line: '" + line + "'");
+      }
+      if (key == "next_id") {
+        std::size_t next_id = 0;
+        HUMDEX_RETURN_IF_ERROR(ParseSize(value, &next_id));
+        if (next_id == 0 || next_id > kMaxNextId) {
+          return Status::InvalidArgument("next_id out of range: " + value);
+        }
+        meta->next_id = next_id;
+        continue;
+      }
+      if (key == "ids") {
+        std::vector<std::size_t> ids;
+        HUMDEX_RETURN_IF_ERROR(ParseIdList(value, &ids));
+        meta->ids = std::move(ids);
+        continue;
       }
       HUMDEX_RETURN_IF_ERROR(ApplyOption(key, value, opt));
     } else {
@@ -205,12 +246,34 @@ Status ParseBody(std::istream& in, QbhOptions* opt, std::string* melodies) {
   return Status::OK();
 }
 
-Result<QbhSystem> BuildSystem(QbhOptions opt, std::vector<Melody> corpus) {
+Result<QbhSystem> BuildSystem(QbhOptions opt, std::vector<Melody> corpus,
+                              DbMeta meta = DbMeta()) {
   if (opt.scheme == SchemeKind::kSvd && corpus.size() < 2) {
     return Status::InvalidArgument("SVD scheme needs at least 2 melodies");
   }
   QbhSystem system(opt);
-  for (Melody& m : corpus) system.AddMelody(std::move(m));
+  if (meta.ids.has_value()) {
+    if (meta.ids->size() != corpus.size()) {
+      return Corruption("id list length does not match melody count");
+    }
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      const std::size_t id = (*meta.ids)[i];
+      Status st = system.AddMelodyWithId(std::move(corpus[i]),
+                                         static_cast<std::int64_t>(id));
+      if (!st.ok()) return Corruption(st.message());
+    }
+  } else {
+    if (meta.next_id.has_value() && *meta.next_id != corpus.size()) {
+      return Corruption("next_id without an id list must equal melody count");
+    }
+    for (Melody& m : corpus) system.AddMelody(std::move(m));
+  }
+  if (meta.next_id.has_value()) {
+    if (static_cast<std::size_t>(system.next_id()) > *meta.next_id) {
+      return Corruption("next_id smaller than the highest melody id");
+    }
+    system.ReserveIds(static_cast<std::int64_t>(*meta.next_id));
+  }
   system.Build();
   return system;
 }
@@ -225,7 +288,11 @@ Status ReadFileWithRetry(Env* env, const std::string& path, std::string* out) {
 }  // namespace
 
 std::string SerializeQbhDatabase(const QbhSystem& system) {
-  const QbhOptions& opt = system.options();
+  return SerializeQbhCorpus(system.options(), system.CorpusSnapshot());
+}
+
+std::string SerializeQbhCorpus(
+    const QbhOptions& opt, const std::vector<std::optional<Melody>>& slots) {
   std::string out = "humdex-db v2\n";
   char buf[128];
   std::snprintf(buf, sizeof(buf), "option normal_len %zu\n", opt.normal_len);
@@ -244,9 +311,20 @@ std::string SerializeQbhDatabase(const QbhSystem& system) {
   out += buf;
 
   std::vector<Melody> corpus;
-  corpus.reserve(system.size());
-  for (std::size_t i = 0; i < system.size(); ++i) {
-    corpus.push_back(system.melody(static_cast<std::int64_t>(i)));
+  std::string id_list;
+  corpus.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i].has_value()) continue;
+    corpus.push_back(*slots[i]);
+    if (!id_list.empty()) id_list += ',';
+    id_list += std::to_string(i);
+  }
+  // A gapped id space (tombstones, or trailing removed ids) is persisted
+  // explicitly; a dense one stays byte-identical to the classic format.
+  if (corpus.size() != slots.size()) {
+    std::snprintf(buf, sizeof(buf), "option next_id %zu\n", slots.size());
+    out += buf;
+    out += "option ids " + id_list + "\n";
   }
   out += SerializeMelodies(corpus);
 
@@ -271,6 +349,7 @@ Result<QbhSystem> ParseQbhDatabase(const std::string& text) {
   }
 
   QbhOptions opt;
+  DbMeta meta;
   std::string melody_text;
   if (v2) {
     std::string_view body;
@@ -291,16 +370,16 @@ Result<QbhSystem> ParseQbhDatabase(const std::string& text) {
     // Re-parse from the checksummed body only (drops the trailer line).
     std::istringstream body_in{std::string(body)};
     std::getline(body_in, line);  // skip version header
-    HUMDEX_RETURN_IF_ERROR(ParseBody(body_in, &opt, &melody_text));
+    HUMDEX_RETURN_IF_ERROR(ParseBody(body_in, &opt, &meta, &melody_text));
   } else {
-    HUMDEX_RETURN_IF_ERROR(ParseBody(in, &opt, &melody_text));
+    HUMDEX_RETURN_IF_ERROR(ParseBody(in, &opt, &meta, &melody_text));
   }
 
   std::vector<Melody> corpus;
   Status st = ParseMelodies(melody_text, &corpus);
   if (!st.ok()) return st;
   if (corpus.empty()) return Status::InvalidArgument("database has no melodies");
-  return BuildSystem(opt, std::move(corpus));
+  return BuildSystem(opt, std::move(corpus), std::move(meta));
 }
 
 Result<QbhSystem> ParseQbhDatabaseSalvage(const std::string& text,

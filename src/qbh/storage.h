@@ -17,10 +17,21 @@
 // through Env::AtomicWriteFile (temp + fsync + rename): a crash mid-save
 // leaves the previous database intact. Parsing is exception-free: every
 // failure is a Status, never a throw or abort.
+// When melodies have been removed online the id space is gapped; the file
+// then carries two extra header lines so ids survive a round trip:
+//
+//   option next_id <one past the highest id ever allocated>
+//   option ids <comma-separated id of each melody block, in order>
+//
+// A dense corpus (no tombstones) omits both — the bytes are identical to
+// what earlier versions wrote.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "music/melody.h"
 #include "qbh/qbh_system.h"
 #include "util/env.h"
 #include "util/status.h"
@@ -36,6 +47,13 @@ struct SalvageReport {
 
 /// Serialize a built or unbuilt system's corpus and options (v2 format).
 std::string SerializeQbhDatabase(const QbhSystem& system);
+
+/// Serialize an id-indexed corpus (slot == id, nullopt == tombstone) with
+/// `options`. This is the checkpoint writer's entry point: it takes the raw
+/// slots so QbhSystem::Checkpoint can serialize under its own writer lock
+/// without re-entering locking accessors.
+std::string SerializeQbhCorpus(const QbhOptions& options,
+                               const std::vector<std::optional<Melody>>& slots);
 
 /// Parse a database and return a *built* QbhSystem. Accepts v1 and v2;
 /// a v2 body that fails its checksum is kCorruption.

@@ -1,0 +1,185 @@
+#include "qbh/wal.h"
+
+#include <cstdio>
+
+#include "music/melody_io.h"
+#include "obs/metrics.h"
+#include "util/crc32c.h"
+#include "util/parse_number.h"
+#include "util/retry.h"
+
+namespace humdex {
+
+namespace {
+
+// "rec " + 8 hex length + " " + 8 hex crc + "\n"
+constexpr std::size_t kHeaderSize = 22;
+
+obs::Counter& AppendsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("wal.appends");
+  return c;
+}
+
+obs::Counter& BytesCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("wal.bytes");
+  return c;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  std::unique_ptr<AppendableFile> file;
+  HUMDEX_RETURN_IF_ERROR(env->NewAppendableFile(path, &file));
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, env, std::move(file)));
+}
+
+std::string WriteAheadLog::FrameRecord(std::string_view payload) {
+  char header[kHeaderSize + 1];
+  std::snprintf(header, sizeof(header), "rec %08x %08x\n",
+                static_cast<std::uint32_t>(payload.size()),
+                Crc32cExtend(0, payload.data(), payload.size()));
+  std::string out;
+  out.reserve(kHeaderSize + payload.size() + 1);
+  out += header;
+  out += payload;
+  out += '\n';
+  return out;
+}
+
+Status WriteAheadLog::Append(std::string_view payload) {
+  if (!healthy_) {
+    return Status::IoError("append to poisoned log '" + path_ +
+                           "' (truncate via Checkpoint to recover)");
+  }
+  if (payload.size() > 0xFFFFFFFFu) {
+    return Status::InvalidArgument("WAL record too large");
+  }
+  const std::string frame = FrameRecord(payload);
+  Status st = file_->Append(frame);
+  if (st.ok()) st = file_->Sync();
+  if (!st.ok()) {
+    // The tail is now unknowable (possibly torn). Poison until Truncate.
+    healthy_ = false;
+    return st;
+  }
+  ++records_appended_;
+  AppendsCounter().Increment();
+  BytesCounter().Increment(frame.size());
+  return Status::OK();
+}
+
+Status WriteAheadLog::Truncate() {
+  // Close, unlink, reopen fresh. If the unlink fails the old handle is
+  // reattached so the log keeps its (still well-formed) records.
+  file_->Close();
+  Status st = env_->Delete(path_);
+  if (!st.ok() && st.code() != Status::Code::kNotFound) {
+    Status reopen = env_->NewAppendableFile(path_, &file_);
+    if (!reopen.ok()) healthy_ = false;
+    return st;
+  }
+  HUMDEX_RETURN_IF_ERROR(env_->NewAppendableFile(path_, &file_));
+  healthy_ = true;
+  return Status::OK();
+}
+
+void WriteAheadLog::ParseRecords(std::string_view bytes, WalReadResult* out) {
+  HUMDEX_CHECK(out != nullptr);
+  *out = WalReadResult();
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    std::string_view rest = bytes.substr(pos);
+    if (rest.size() < kHeaderSize || rest.substr(0, 4) != "rec " ||
+        rest[12] != ' ' || rest[21] != '\n') {
+      break;
+    }
+    std::uint32_t len = 0, stored_crc = 0;
+    if (!ParseU32Hex8(std::string(rest.substr(4, 8)), &len).ok() ||
+        !ParseU32Hex8(std::string(rest.substr(13, 8)), &stored_crc).ok()) {
+      break;
+    }
+    const std::size_t frame = kHeaderSize + static_cast<std::size_t>(len) + 1;
+    if (rest.size() < frame || rest[frame - 1] != '\n') break;
+    std::string_view payload = rest.substr(kHeaderSize, len);
+    if (Crc32cExtend(0, payload.data(), payload.size()) != stored_crc) break;
+    out->payloads.emplace_back(payload);
+    pos += frame;
+    out->valid_bytes = pos;
+  }
+  out->dropped_bytes = bytes.size() - out->valid_bytes;
+  out->torn_tail = out->dropped_bytes > 0;
+}
+
+Status WriteAheadLog::ReadAll(const std::string& path, Env* env,
+                              WalReadResult* out) {
+  HUMDEX_CHECK(out != nullptr);
+  *out = WalReadResult();
+  if (env == nullptr) env = Env::Default();
+  if (!env->Exists(path)) return Status::OK();  // no log == empty log
+  std::string bytes;
+  Status st = RetryWithBackoff(RetryPolicy(),
+                               [&] { return env->ReadFile(path, &bytes); });
+  if (st.code() == Status::Code::kNotFound) return Status::OK();
+  HUMDEX_RETURN_IF_ERROR(st);
+  ParseRecords(bytes, out);
+  return Status::OK();
+}
+
+std::string EncodeWalMutation(const WalMutation& mutation) {
+  std::string out = mutation.kind == WalMutation::Kind::kInsert
+                        ? "insert "
+                        : "remove ";
+  out += std::to_string(mutation.id);
+  out += '\n';
+  if (mutation.kind == WalMutation::Kind::kInsert) {
+    out += SerializeMelodies({mutation.melody});
+  }
+  return out;
+}
+
+Status DecodeWalMutation(std::string_view payload, WalMutation* out) {
+  HUMDEX_CHECK(out != nullptr);
+  *out = WalMutation();
+  std::size_t eol = payload.find('\n');
+  if (eol == std::string_view::npos) {
+    return Status::InvalidArgument("WAL mutation missing header line");
+  }
+  std::string_view head = payload.substr(0, eol);
+  std::string_view body = payload.substr(eol + 1);
+  std::size_t space = head.find(' ');
+  if (space == std::string_view::npos) {
+    return Status::InvalidArgument("WAL mutation missing id");
+  }
+  std::string_view op = head.substr(0, space);
+  std::size_t id = 0;
+  HUMDEX_RETURN_IF_ERROR(ParseSize(std::string(head.substr(space + 1)), &id));
+  if (id > static_cast<std::size_t>(INT64_MAX)) {
+    return Status::InvalidArgument("WAL mutation id out of range");
+  }
+  out->id = static_cast<std::int64_t>(id);
+  if (op == "insert") {
+    out->kind = WalMutation::Kind::kInsert;
+    std::vector<Melody> parsed;
+    HUMDEX_RETURN_IF_ERROR(ParseMelodies(std::string(body), &parsed));
+    if (parsed.size() != 1) {
+      return Status::InvalidArgument("WAL insert must carry exactly one melody");
+    }
+    out->melody = std::move(parsed[0]);
+  } else if (op == "remove") {
+    if (!body.empty()) {
+      return Status::InvalidArgument("trailing data after WAL remove");
+    }
+    out->kind = WalMutation::Kind::kRemove;
+  } else {
+    return Status::InvalidArgument("unknown WAL mutation '" + std::string(op) +
+                                   "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace humdex

@@ -1,0 +1,103 @@
+// Write-ahead log for online corpus mutation (DESIGN.md §9). Every
+// Insert/Remove is appended here — framed, checksummed, and fsynced —
+// *before* it touches the live index, so a crash at any instant loses at
+// most the record being written, and recovery can tell a complete record
+// from a torn one without guessing.
+//
+// Record frame (header is plain text for debuggability, payload is raw
+// bytes):
+//
+//   rec <len:8 hex> <crc32c:8 hex>\n<payload bytes>\n
+//
+// The CRC covers the payload only; the length makes the scan resynchronize
+// on nothing — the first byte that does not continue a well-formed record
+// ends recovery (the PR 3 crash-safety contract: replay stops cleanly at the
+// first torn or corrupt record, and everything before it is trustworthy).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "music/melody.h"
+#include "util/env.h"
+#include "util/status.h"
+
+namespace humdex {
+
+/// What a scan of the log found: the payloads of every well-formed record,
+/// in append order, plus how the file ended.
+struct WalReadResult {
+  std::vector<std::string> payloads;
+  std::size_t valid_bytes = 0;    ///< prefix length covered by whole records
+  std::size_t dropped_bytes = 0;  ///< bytes after the first bad record
+  bool torn_tail = false;         ///< true when dropped_bytes > 0
+};
+
+/// An append-only, checksummed record log on an Env. One writer at a time;
+/// the QbhSystem serializes access through its writer lock.
+class WriteAheadLog {
+ public:
+  /// Open (creating when missing) the log at `path` for appending. Existing
+  /// records are preserved — read them with ReadAll before appending.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path,
+                                                     Env* env = nullptr);
+
+  /// Frame `payload`, append it, and fsync. On any failure the log is
+  /// poisoned (healthy() goes false and later appends fail): after a failed
+  /// append the on-disk tail is unknown, and appending more records behind
+  /// a torn one would make them unreachable to recovery.
+  Status Append(std::string_view payload);
+
+  /// Drop every record: delete the file and start a fresh one (the
+  /// checkpoint protocol's final step). Clears the poisoned state on
+  /// success.
+  Status Truncate();
+
+  bool healthy() const { return healthy_; }
+  const std::string& path() const { return path_; }
+  std::uint64_t records_appended() const { return records_appended_; }
+
+  /// The exact bytes Append would write for `payload`.
+  static std::string FrameRecord(std::string_view payload);
+
+  /// Scan raw log bytes into records. Never fails: a malformed byte ends the
+  /// scan and the remainder is reported as the torn tail.
+  static void ParseRecords(std::string_view bytes, WalReadResult* out);
+
+  /// Read and scan the log file. A missing file is an empty log; only a
+  /// failing read (after retries) is an error.
+  static Status ReadAll(const std::string& path, Env* env, WalReadResult* out);
+
+ private:
+  WriteAheadLog(std::string path, Env* env,
+                std::unique_ptr<AppendableFile> file)
+      : path_(std::move(path)), env_(env), file_(std::move(file)) {}
+
+  std::string path_;
+  Env* env_;
+  std::unique_ptr<AppendableFile> file_;
+  bool healthy_ = true;
+  std::uint64_t records_appended_ = 0;
+};
+
+/// The mutations QbhSystem logs. Ids are explicit so replay is idempotent:
+/// a record that is already reflected in the checkpoint (crash between
+/// checkpoint rename and log truncation) is recognized and skipped.
+struct WalMutation {
+  enum class Kind { kInsert, kRemove };
+  Kind kind = Kind::kInsert;
+  std::int64_t id = 0;
+  Melody melody;  ///< kInsert only
+};
+
+/// Payload codec. Encode is the inverse of Decode; Decode rejects anything
+/// malformed with a Status (never throws or aborts — fuzzed input reaches
+/// this through recovery).
+std::string EncodeWalMutation(const WalMutation& mutation);
+Status DecodeWalMutation(std::string_view payload, WalMutation* out);
+
+}  // namespace humdex

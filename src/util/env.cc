@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 
 #include "obs/metrics.h"
@@ -18,6 +19,47 @@ obs::Counter& FaultsInjectedCounter() {
 }
 
 std::string TempPathFor(const std::string& path) { return path + ".tmp"; }
+
+// stdio-backed append handle: fwrite buffers, Sync = fflush + fsync.
+class PosixAppendableFile : public AppendableFile {
+ public:
+  PosixAppendableFile(std::FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
+  ~PosixAppendableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) return Status::IoError("append on closed '" + path_ + "'");
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return Status::IoError("short append to '" + path_ + "'");
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (file_ == nullptr) return Status::IoError("sync on closed '" + path_ + "'");
+    if (std::fflush(file_) != 0) {
+      return Status::IoError("flush failed on '" + path_ + "'");
+    }
+    if (::fsync(::fileno(file_)) != 0) {
+      return Status::IoError("fsync failed on '" + path_ + "'");
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) return Status::IoError("close failed on '" + path_ + "'");
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
 
 // Plain (non-durable, non-atomic) whole-file write; the building block the
 // fault injector uses to stage crash debris.
@@ -84,6 +126,17 @@ Status PosixEnv::AtomicWriteFile(const std::string& path,
   return Status::OK();
 }
 
+Status PosixEnv::NewAppendableFile(const std::string& path,
+                                   std::unique_ptr<AppendableFile>* out) {
+  HUMDEX_CHECK(out != nullptr);
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for append");
+  }
+  *out = std::make_unique<PosixAppendableFile>(f, path);
+  return Status::OK();
+}
+
 bool PosixEnv::Exists(const std::string& path) {
   struct stat st;
   return ::stat(path.c_str(), &st) == 0;
@@ -96,6 +149,51 @@ Status PosixEnv::Delete(const std::string& path) {
   return Status::OK();
 }
 
+// Append handle that consults its env's pending faults before every op. A
+// crashed or sync-failed handle stays dead: after a real crash there is no
+// process left to keep appending, and recovery must cope with whatever
+// prefix made it to disk.
+class FaultInjectingAppendableFile : public AppendableFile {
+ public:
+  FaultInjectingAppendableFile(FaultInjectingEnv* env,
+                               std::unique_ptr<AppendableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    ++env_->appends_;
+    if (dead_) return Status::IoError("append on crashed handle");
+    if (env_->append_crash_pending_) {
+      env_->append_crash_pending_ = false;
+      env_->NoteFault();
+      dead_ = true;
+      std::size_t n = std::min(env_->append_crash_torn_bytes_, data.size());
+      // The torn prefix is staged durably: that is the debris recovery sees.
+      base_->Append(data.substr(0, n));
+      base_->Sync();
+      return Status::IoError("injected crash mid-append");
+    }
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    if (dead_) return Status::IoError("sync on crashed handle");
+    if (env_->sync_failure_pending_) {
+      env_->sync_failure_pending_ = false;
+      env_->NoteFault();
+      dead_ = true;  // a failed fsync leaves durability unknown: poison
+      return Status::IoError("injected fsync failure");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<AppendableFile> base_;
+  bool dead_ = false;
+};
+
 void FaultInjectingEnv::ClearFaults() {
   read_failures_pending_ = 0;
   read_fail_period_ = 0;
@@ -105,6 +203,9 @@ void FaultInjectingEnv::ClearFaults() {
   open_failure_pending_ = false;
   crash_pending_ = false;
   short_write_pending_ = false;
+  append_crash_pending_ = false;
+  sync_failure_pending_ = false;
+  delete_failure_pending_ = false;
 }
 
 void FaultInjectingEnv::FailReadsRandomly(std::uint64_t seed,
@@ -190,6 +291,24 @@ Status FaultInjectingEnv::AtomicWriteFile(const std::string& path,
     return base_->AtomicWriteFile(path, torn);
   }
   return base_->AtomicWriteFile(path, data);
+}
+
+Status FaultInjectingEnv::NewAppendableFile(
+    const std::string& path, std::unique_ptr<AppendableFile>* out) {
+  HUMDEX_CHECK(out != nullptr);
+  std::unique_ptr<AppendableFile> base;
+  HUMDEX_RETURN_IF_ERROR(base_->NewAppendableFile(path, &base));
+  *out = std::make_unique<FaultInjectingAppendableFile>(this, std::move(base));
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::Delete(const std::string& path) {
+  if (delete_failure_pending_) {
+    delete_failure_pending_ = false;
+    NoteFault();
+    return Status::IoError("injected delete failure on '" + path + "'");
+  }
+  return base_->Delete(path);
 }
 
 }  // namespace humdex

@@ -12,11 +12,31 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 
 #include "util/status.h"
 
 namespace humdex {
+
+/// A file open for appending — the write-ahead log's primitive. Unlike
+/// AtomicWriteFile, an append is durable only after Sync() returns OK; a
+/// crash in between may leave any prefix of the appended bytes on disk (a
+/// torn record), which the log's per-record framing must detect on recovery.
+class AppendableFile {
+ public:
+  virtual ~AppendableFile() = default;
+
+  /// Buffer `data` at the end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Flush buffers and fsync: everything appended so far is durable.
+  virtual Status Sync() = 0;
+
+  /// Close the handle. Appends after Close are an error.
+  virtual Status Close() = 0;
+};
 
 /// Minimal file-system interface. Implementations must be safe to call from
 /// multiple threads on distinct paths; concurrent writers of the *same* path
@@ -35,6 +55,11 @@ class Env {
   virtual Status AtomicWriteFile(const std::string& path,
                                  const std::string& data) = 0;
 
+  /// Open `path` for appending, creating it when missing. Existing content
+  /// is preserved.
+  virtual Status NewAppendableFile(const std::string& path,
+                                   std::unique_ptr<AppendableFile>* out) = 0;
+
   virtual bool Exists(const std::string& path) = 0;
 
   /// Remove a file. Deleting a missing file is kNotFound.
@@ -50,6 +75,8 @@ class PosixEnv : public Env {
   Status ReadFile(const std::string& path, std::string* out) override;
   Status AtomicWriteFile(const std::string& path,
                          const std::string& data) override;
+  Status NewAppendableFile(const std::string& path,
+                           std::unique_ptr<AppendableFile>* out) override;
   bool Exists(const std::string& path) override;
   Status Delete(const std::string& path) override;
 };
@@ -116,19 +143,43 @@ class FaultInjectingEnv : public Env {
     short_write_bytes_ = bytes;
   }
 
+  /// Crash the next AppendableFile::Append mid-record: only the first
+  /// `torn_bytes` of the data reach the file (durably — exactly the debris a
+  /// power cut leaves), the call fails, and the handle is dead from then on
+  /// (every later Append/Sync fails, as after a real crash). `torn_bytes` may
+  /// equal or exceed the record size: the record lands complete but the
+  /// "process" still dies before acknowledging it.
+  void CrashNextAppendAt(std::size_t torn_bytes) {
+    append_crash_pending_ = true;
+    append_crash_torn_bytes_ = torn_bytes;
+  }
+
+  /// The next AppendableFile::Sync fails and kills the handle (a failed
+  /// fsync means unknown durability; the file must be considered lost).
+  void FailNextSync() { sync_failure_pending_ = true; }
+
+  /// The next Delete fails with kIoError and deletes nothing (models a crash
+  /// between a checkpoint's rename and the log truncation).
+  void FailNextDelete() { delete_failure_pending_ = true; }
+
   void ClearFaults();
 
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
+  std::uint64_t appends() const { return appends_; }
   std::uint64_t faults_injected() const { return faults_injected_; }
 
   Status ReadFile(const std::string& path, std::string* out) override;
   Status AtomicWriteFile(const std::string& path,
                          const std::string& data) override;
+  Status NewAppendableFile(const std::string& path,
+                           std::unique_ptr<AppendableFile>* out) override;
   bool Exists(const std::string& path) override { return base_->Exists(path); }
-  Status Delete(const std::string& path) override { return base_->Delete(path); }
+  Status Delete(const std::string& path) override;
 
  private:
+  friend class FaultInjectingAppendableFile;
+
   void NoteFault();
 
   Env* base_;
@@ -150,6 +201,12 @@ class FaultInjectingEnv : public Env {
   std::size_t crash_torn_bytes_ = 0;
   bool short_write_pending_ = false;
   std::size_t short_write_bytes_ = 0;
+
+  std::uint64_t appends_ = 0;
+  bool append_crash_pending_ = false;
+  std::size_t append_crash_torn_bytes_ = 0;
+  bool sync_failure_pending_ = false;
+  bool delete_failure_pending_ = false;
 };
 
 }  // namespace humdex

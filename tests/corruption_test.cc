@@ -263,7 +263,7 @@ TEST(SalvageTest, LoadedSalvageAnswersQueries) {
   EXPECT_EQ(report.melodies_dropped, 1u);
 
   Hummer hummer(HummerProfile::Good(), 5);
-  Series hum = hummer.Hum(original.melody(2));
+  Series hum = hummer.Hum(*original.melody(2));
   auto matches = r.value().Query(hum, 3);
   ASSERT_FALSE(matches.empty());
   EXPECT_EQ(matches[0].id, 2);

@@ -203,8 +203,8 @@ QbhSystem MakeQbhSystem(std::size_t corpus_size) {
 TEST(SheddingTest, OverloadedPoolShedsDeterministically) {
   QbhSystem system = MakeQbhSystem(20);
   Hummer hummer(HummerProfile::Good(), 5);
-  std::vector<Series> hums = {hummer.Hum(system.melody(0)),
-                              hummer.Hum(system.melody(1))};
+  std::vector<Series> hums = {hummer.Hum(*system.melody(0)),
+                              hummer.Hum(*system.melody(1))};
 
   obs::Counter& shed =
       obs::MetricsRegistry::Default().GetCounter("qbh.queries_shed");
@@ -255,7 +255,7 @@ TEST(SheddingTest, OverloadedPoolShedsDeterministically) {
 TEST(SheddingTest, ZeroMaxQueueDepthNeverSheds) {
   QbhSystem system = MakeQbhSystem(10);
   Hummer hummer(HummerProfile::Good(), 5);
-  std::vector<Series> hums = {hummer.Hum(system.melody(0))};
+  std::vector<Series> hums = {hummer.Hum(*system.melody(0))};
   ThreadPool pool(1);
   QueryStats aggregate;
   auto results = system.QueryBatch(hums, 3, pool, QueryOptions(), &aggregate);

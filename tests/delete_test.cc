@@ -10,6 +10,9 @@
 #include "index/grid_file.h"
 #include "index/linear_scan.h"
 #include "index/rstar_tree.h"
+#include "music/hummer.h"
+#include "music/song_generator.h"
+#include "qbh/qbh_system.h"
 #include "util/random.h"
 
 namespace humdex {
@@ -186,6 +189,66 @@ TEST(EngineRemoveTest, RemoveUnknownIdsReturnsFalse) {
   EXPECT_FALSE(engine.Remove(4));
   EXPECT_TRUE(engine.Remove(5));
 }
+
+// QbhSystem::Remove exercised end to end — through the engine down to each
+// index backend — on every IndexKind.
+class SystemRemoveTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(SystemRemoveTest, RemoveReachesTheIndexBackend) {
+  SongGenerator gen(17);
+  auto corpus = gen.GeneratePhrases(60);
+  QbhOptions opt;
+  opt.index = GetParam();
+  QbhSystem system(opt);
+  for (const Melody& m : corpus) system.AddMelody(m);
+  system.Build();
+
+  Hummer hummer(HummerProfile::Perfect(), 23);
+  // Remove a third of the corpus, scattered.
+  for (std::int64_t id = 0; id < 60; id += 3) {
+    ASSERT_TRUE(system.Remove(id).ok());
+  }
+  EXPECT_EQ(system.size(), 40u);
+  EXPECT_EQ(system.next_id(), 60);
+
+  for (std::int64_t id = 0; id < 60; ++id) {
+    Series hum = hummer.Hum(corpus[static_cast<std::size_t>(id)]);
+    auto matches = system.Query(hum, 5);
+    if (id % 3 == 0) {
+      EXPECT_FALSE(system.melody(id).has_value());
+      for (const QbhMatch& m : matches) EXPECT_NE(m.id, id);
+      EXPECT_EQ(system.RankOf(hum, id), 0u);
+    } else {
+      ASSERT_FALSE(matches.empty());
+      EXPECT_EQ(matches[0].id, id);  // survivors still rank first
+    }
+  }
+
+  // Inserts after removal keep working against the same backend.
+  Melody extra = SongGenerator(29).GeneratePhrases(1)[0];
+  auto id = system.Insert(extra);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 60);
+  auto matches = system.Query(hummer.Hum(extra), 1);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].id, 60);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexKinds, SystemRemoveTest,
+                         ::testing::Values(IndexKind::kRStarTree,
+                                           IndexKind::kGridFile,
+                                           IndexKind::kLinearScan),
+                         [](const ::testing::TestParamInfo<IndexKind>& info) {
+                           switch (info.param) {
+                             case IndexKind::kRStarTree:
+                               return "RStarTree";
+                             case IndexKind::kGridFile:
+                               return "GridFile";
+                             case IndexKind::kLinearScan:
+                               return "LinearScan";
+                           }
+                           return "Unknown";
+                         });
 
 }  // namespace
 }  // namespace humdex

@@ -192,7 +192,7 @@ TEST_P(QbhQueryBatchTest, BatchEqualsSerial) {
   std::vector<Series> hums;
   for (std::size_t i = 0; i < 12; ++i) {
     Hummer hummer(HummerProfile::Good(), 100 + i);
-    hums.push_back(hummer.Hum(system.melody(static_cast<std::int64_t>(i * 5))));
+    hums.push_back(hummer.Hum(*system.melody(static_cast<std::int64_t>(i * 5))));
   }
 
   std::vector<std::vector<QbhMatch>> serial(hums.size());

@@ -209,7 +209,7 @@ TEST(QbhSystemTest, ChecksMisuse) {
   system.Build();
   EXPECT_TRUE(system.built());
   EXPECT_EQ(system.size(), 1u);
-  EXPECT_EQ(system.melody(0).notes.size(), 2u);
+  EXPECT_EQ(system.melody(0)->notes.size(), 2u);
 }
 
 }  // namespace

@@ -38,7 +38,7 @@ TEST(StorageTest, RoundTripPreservesOptionsAndCorpus) {
   EXPECT_EQ(sys.options().feature_dim, 4u);
   EXPECT_EQ(sys.options().scheme, SchemeKind::kDwt);
   EXPECT_EQ(sys.options().index, IndexKind::kGridFile);
-  EXPECT_EQ(sys.melody(7).name, original.melody(7).name);
+  EXPECT_EQ(sys.melody(7)->name, original.melody(7)->name);
 }
 
 TEST(StorageTest, LoadedSystemAnswersQueriesIdentically) {
@@ -47,7 +47,7 @@ TEST(StorageTest, LoadedSystemAnswersQueriesIdentically) {
   ASSERT_TRUE(loaded.ok());
 
   Hummer hummer(HummerProfile::Good(), 5);
-  Series hum = hummer.Hum(original.melody(33));
+  Series hum = hummer.Hum(*original.melody(33));
   auto a = original.Query(hum, 5);
   auto b = loaded.value().Query(hum, 5);
   ASSERT_EQ(a.size(), b.size());

@@ -233,7 +233,7 @@ TEST(QbhTraceTest, QueryProducesTopLevelSpan) {
   for (Melody& m : gen.GeneratePhrases(40)) system.AddMelody(std::move(m));
   system.Build();
 
-  Series hum = MelodyToSeries(system.melody(3), 8.0);
+  Series hum = MelodyToSeries(*system.melody(3), 8.0);
   QueryTrace trace;
   QueryStats stats;
   std::vector<QbhMatch> matches;

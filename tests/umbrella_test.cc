@@ -14,7 +14,7 @@ TEST(UmbrellaTest, EndToEndThroughSingleInclude) {
   system.Build();
 
   Hummer hummer(HummerProfile::Perfect(), 2);
-  Series hum = hummer.Hum(system.melody(12));
+  Series hum = hummer.Hum(*system.melody(12));
   Series pcm = SynthesizeHum(hum);
   auto matches = system.QueryAudio(pcm, SynthOptions().sample_rate, 1);
   ASSERT_EQ(matches.size(), 1u);

@@ -1,0 +1,205 @@
+// WriteAheadLog unit tests: frame/scan round trips, torn and corrupt tails,
+// injected append/sync/delete faults, poisoning, and the mutation codec.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "qbh/wal.h"
+#include "util/env.h"
+
+namespace humdex {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+Melody TwoNoteMelody(const std::string& name) {
+  Melody m;
+  m.name = name;
+  m.notes = {{60.0, 1.0}, {62.5, 0.5}};
+  return m;
+}
+
+void RemoveIfPresent(Env* env, const std::string& path) {
+  if (env->Exists(path)) {
+    Status st = env->Delete(path);
+    (void)st;
+  }
+}
+
+TEST(WalTest, AppendThenReadAllRoundTrips) {
+  const std::string path = TempPath("wal_roundtrip.wal");
+  RemoveIfPresent(Env::Default(), path);
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal.value()->Append("alpha").ok());
+  ASSERT_TRUE(wal.value()->Append("").ok());  // empty payloads are legal
+  ASSERT_TRUE(wal.value()->Append("gamma\nwith\nnewlines").ok());
+  EXPECT_EQ(wal.value()->records_appended(), 3u);
+
+  WalReadResult rr;
+  ASSERT_TRUE(WriteAheadLog::ReadAll(path, nullptr, &rr).ok());
+  ASSERT_EQ(rr.payloads.size(), 3u);
+  EXPECT_EQ(rr.payloads[0], "alpha");
+  EXPECT_EQ(rr.payloads[1], "");
+  EXPECT_EQ(rr.payloads[2], "gamma\nwith\nnewlines");
+  EXPECT_FALSE(rr.torn_tail);
+  EXPECT_EQ(rr.dropped_bytes, 0u);
+}
+
+TEST(WalTest, MissingFileIsEmptyLog) {
+  WalReadResult rr;
+  ASSERT_TRUE(
+      WriteAheadLog::ReadAll(TempPath("wal_never_created.wal"), nullptr, &rr)
+          .ok());
+  EXPECT_TRUE(rr.payloads.empty());
+  EXPECT_FALSE(rr.torn_tail);
+}
+
+TEST(WalTest, TornTailStopsScanAtLastWholeRecord) {
+  std::string bytes = WriteAheadLog::FrameRecord("first") +
+                      WriteAheadLog::FrameRecord("second");
+  const std::size_t whole = bytes.size();
+  bytes += WriteAheadLog::FrameRecord("third").substr(0, 10);  // torn append
+  WalReadResult rr;
+  WriteAheadLog::ParseRecords(bytes, &rr);
+  ASSERT_EQ(rr.payloads.size(), 2u);
+  EXPECT_EQ(rr.valid_bytes, whole);
+  EXPECT_EQ(rr.dropped_bytes, bytes.size() - whole);
+  EXPECT_TRUE(rr.torn_tail);
+}
+
+TEST(WalTest, BitFlipInPayloadDropsRecordAndTail) {
+  std::string bytes = WriteAheadLog::FrameRecord("first") +
+                      WriteAheadLog::FrameRecord("second") +
+                      WriteAheadLog::FrameRecord("third");
+  // Flip one payload byte of the second record.
+  const std::size_t second_payload =
+      WriteAheadLog::FrameRecord("first").size() + 22;
+  bytes[second_payload] ^= 0x40;
+  WalReadResult rr;
+  WriteAheadLog::ParseRecords(bytes, &rr);
+  ASSERT_EQ(rr.payloads.size(), 1u);
+  EXPECT_EQ(rr.payloads[0], "first");
+  EXPECT_TRUE(rr.torn_tail);  // second *and* third are unreachable
+}
+
+TEST(WalTest, BitFlipInHeaderDropsTail) {
+  std::string bytes =
+      WriteAheadLog::FrameRecord("only") + WriteAheadLog::FrameRecord("more");
+  bytes[1] = 'x';  // "rxc ..." is not a record header
+  WalReadResult rr;
+  WriteAheadLog::ParseRecords(bytes, &rr);
+  EXPECT_TRUE(rr.payloads.empty());
+  EXPECT_EQ(rr.valid_bytes, 0u);
+  EXPECT_TRUE(rr.torn_tail);
+}
+
+TEST(WalTest, CrashedAppendLeavesTornPrefixAndPoisonsLog) {
+  FaultInjectingEnv env;
+  const std::string path = TempPath("wal_crash_append.wal");
+  RemoveIfPresent(&env, path);
+  auto wal = WriteAheadLog::Open(path, &env);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal.value()->Append("durable-record").ok());
+
+  env.CrashNextAppendAt(7);  // only 7 bytes of the frame hit the disk
+  EXPECT_FALSE(wal.value()->Append("lost-record").ok());
+  EXPECT_FALSE(wal.value()->healthy());
+  // Poisoned: later appends must fail too, or they would land behind the
+  // torn bytes where recovery can never reach them.
+  EXPECT_FALSE(wal.value()->Append("after-crash").ok());
+
+  WalReadResult rr;
+  ASSERT_TRUE(WriteAheadLog::ReadAll(path, &env, &rr).ok());
+  ASSERT_EQ(rr.payloads.size(), 1u);
+  EXPECT_EQ(rr.payloads[0], "durable-record");
+  EXPECT_TRUE(rr.torn_tail);
+  EXPECT_EQ(rr.dropped_bytes, 7u);
+}
+
+TEST(WalTest, FailedSyncPoisonsLog) {
+  FaultInjectingEnv env;
+  const std::string path = TempPath("wal_failed_sync.wal");
+  RemoveIfPresent(&env, path);
+  auto wal = WriteAheadLog::Open(path, &env);
+  ASSERT_TRUE(wal.ok());
+  env.FailNextSync();
+  EXPECT_FALSE(wal.value()->Append("unacknowledged").ok());
+  EXPECT_FALSE(wal.value()->healthy());
+}
+
+TEST(WalTest, TruncateDropsRecordsAndClearsPoison) {
+  FaultInjectingEnv env;
+  const std::string path = TempPath("wal_truncate.wal");
+  RemoveIfPresent(&env, path);
+  auto wal = WriteAheadLog::Open(path, &env);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal.value()->Append("one").ok());
+  env.CrashNextAppendAt(3);
+  EXPECT_FALSE(wal.value()->Append("two").ok());
+  ASSERT_FALSE(wal.value()->healthy());
+
+  ASSERT_TRUE(wal.value()->Truncate().ok());
+  EXPECT_TRUE(wal.value()->healthy());
+  ASSERT_TRUE(wal.value()->Append("fresh").ok());
+
+  WalReadResult rr;
+  ASSERT_TRUE(WriteAheadLog::ReadAll(path, &env, &rr).ok());
+  ASSERT_EQ(rr.payloads.size(), 1u);
+  EXPECT_EQ(rr.payloads[0], "fresh");
+  EXPECT_FALSE(rr.torn_tail);
+}
+
+TEST(WalTest, TruncateSurvivesFailedDelete) {
+  FaultInjectingEnv env;
+  const std::string path = TempPath("wal_failed_delete.wal");
+  RemoveIfPresent(&env, path);
+  auto wal = WriteAheadLog::Open(path, &env);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal.value()->Append("kept").ok());
+  env.FailNextDelete();
+  EXPECT_FALSE(wal.value()->Truncate().ok());
+  // The records are still there and still well-formed.
+  WalReadResult rr;
+  ASSERT_TRUE(WriteAheadLog::ReadAll(path, &env, &rr).ok());
+  ASSERT_EQ(rr.payloads.size(), 1u);
+  EXPECT_EQ(rr.payloads[0], "kept");
+}
+
+TEST(WalTest, MutationCodecRoundTrips) {
+  WalMutation insert;
+  insert.kind = WalMutation::Kind::kInsert;
+  insert.id = 42;
+  insert.melody = TwoNoteMelody("codec melody");
+  WalMutation decoded;
+  ASSERT_TRUE(DecodeWalMutation(EncodeWalMutation(insert), &decoded).ok());
+  EXPECT_EQ(decoded.kind, WalMutation::Kind::kInsert);
+  EXPECT_EQ(decoded.id, 42);
+  EXPECT_EQ(decoded.melody.name, insert.melody.name);
+  ASSERT_EQ(decoded.melody.notes.size(), 2u);
+  EXPECT_DOUBLE_EQ(decoded.melody.notes[1].pitch, 62.5);
+
+  WalMutation remove;
+  remove.kind = WalMutation::Kind::kRemove;
+  remove.id = 7;
+  ASSERT_TRUE(DecodeWalMutation(EncodeWalMutation(remove), &decoded).ok());
+  EXPECT_EQ(decoded.kind, WalMutation::Kind::kRemove);
+  EXPECT_EQ(decoded.id, 7);
+}
+
+TEST(WalTest, MutationDecodeRejectsMalformedPayloads) {
+  WalMutation out;
+  EXPECT_FALSE(DecodeWalMutation("", &out).ok());
+  EXPECT_FALSE(DecodeWalMutation("insert", &out).ok());
+  EXPECT_FALSE(DecodeWalMutation("insert 0\n", &out).ok());  // no melody
+  EXPECT_FALSE(DecodeWalMutation("insert -3\nmelody x\n", &out).ok());
+  EXPECT_FALSE(DecodeWalMutation("remove 1\nextra bytes", &out).ok());
+  EXPECT_FALSE(DecodeWalMutation("upsert 1\n", &out).ok());
+  EXPECT_FALSE(DecodeWalMutation("remove 99999999999999999999\n", &out).ok());
+}
+
+}  // namespace
+}  // namespace humdex
