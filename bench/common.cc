@@ -21,11 +21,16 @@ int BenchMain(int argc, char** argv, const std::function<int()>& run) {
       metrics_out = argv[i] + std::strlen(kFlag);
     }
   }
+  // A snapshot from an earlier invocation must not outlive this run: remove
+  // the target up front and write it only on success. A bench that crashes
+  // mid-run (no file) or exits non-zero (no file) can then never hand CI a
+  // stale or partial JSON to upload as if it were this run's numbers.
+  if (!metrics_out.empty()) std::remove(metrics_out.c_str());
   int rc = run();
-  if (!metrics_out.empty()) {
+  if (!metrics_out.empty() && rc == 0) {
     if (obs::WriteJsonSnapshot(obs::MetricsRegistry::Default(), metrics_out)) {
       std::printf("\nMetrics snapshot written to %s\n", metrics_out.c_str());
-    } else if (rc == 0) {
+    } else {
       rc = 1;
     }
   }

@@ -8,6 +8,7 @@
 #include "gemini/feature_index.h"
 #include "ts/dtw.h"
 #include "ts/envelope.h"
+#include "ts/kernels.h"
 #include "ts/lower_bound.h"
 #include "util/random.h"
 
@@ -62,8 +63,66 @@ void BM_LbKeogh(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(LbKeogh(d[0], env));
   }
+  // Three input streams (series, lower, upper) — the GB/s column shows how
+  // close the active kernel tier gets to memory bandwidth.
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n * 3 *
+                                                    sizeof(double)));
 }
 BENCHMARK(BM_LbKeogh)->Range(64, 1024);
+
+// Per-tier kernel benchmarks: same work routed through an explicit
+// KernelTable so scalar / SSE2 / AVX2 throughput shows up side by side
+// regardless of what ActiveKernels() dispatched to. Arg 0 is the series
+// length, arg 1 the SimdLevel.
+void BM_SqDistToBoxKernel(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto level = static_cast<SimdLevel>(state.range(1));
+  const kernels::KernelTable* table = kernels::KernelTableFor(level);
+  if (table == nullptr) {
+    state.SkipWithError("tier unsupported on this CPU/build");
+    return;
+  }
+  auto d = Data(2, n);
+  Envelope env = BuildEnvelope(d[1], n / 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->sq_dist_to_box(
+        d[0].data(), env.lower.data(), env.upper.data(), n, kInfiniteDistance));
+  }
+  state.SetLabel(table->name);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n * 3 *
+                                                    sizeof(double)));
+}
+BENCHMARK(BM_SqDistToBoxKernel)
+    ->ArgsProduct({{128, 1024}, {0, 1, 2}});
+
+void BM_LdtwRowKernel(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto level = static_cast<SimdLevel>(state.range(1));
+  const kernels::KernelTable* table = kernels::KernelTableFor(level);
+  if (table == nullptr) {
+    state.SkipWithError("tier unsupported on this CPU/build");
+    return;
+  }
+  auto d = Data(2, n);
+  // One padding slot ahead of each DP row, matching ts/dtw.cc's layout: the
+  // base pointers are offset by one so index jlo-1 == -1 reads the pad.
+  std::vector<double> prev_row(n + 1, 1.0), cur_row(n + 1, kInfiniteDistance);
+  std::vector<double> cost(n), t1(n);
+  prev_row[0] = kInfiniteDistance;
+  double* prev = prev_row.data() + 1;
+  double* cur = cur_row.data() + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->ldtw_row_update(d[0][n / 2], d[1].data(),
+                                                    prev, cur, 0, n - 1,
+                                                    cost.data(), t1.data()));
+  }
+  state.SetLabel(table->name);
+  // Per DP cell: read y[j] + prev[j] (prev[j-1] overlaps), write cur[j].
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n * 3 *
+                                                    sizeof(double)));
+}
+BENCHMARK(BM_LdtwRowKernel)
+    ->ArgsProduct({{128, 1024}, {0, 1, 2}});
 
 void BM_PaaFeatures(benchmark::State& state) {
   auto d = Data(1, 128);

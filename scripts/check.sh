@@ -6,19 +6,24 @@
 #      stress) so the thread-safety guarantees are mechanically checked;
 #   3. ASan+UBSan build (-DHUMDEX_SANITIZE=address+undefined), running the
 #      storage, corruption, fault-injection, and fuzz tests so "no corrupt
-#      input throws, aborts, or touches bad memory" is mechanically checked.
+#      input throws, aborts, or touches bad memory" is mechanically checked —
+#      plus the SIMD kernel property and cascade exactness tests, once with
+#      the dispatched tier and once under HUMDEX_FORCE_SCALAR=1, so every
+#      kernel variant runs under the sanitizers;
+#   4. HUMDEX_SIMD=OFF build, running the kernel and cascade tests to prove
+#      the scalar-only configuration stays exact and buildable.
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/3] plain build + full test suite =="
+echo "== [1/4] plain build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/3] ThreadSanitizer build + concurrency tests =="
+echo "== [2/4] ThreadSanitizer build + concurrency tests =="
 cmake -B build-tsan -S . -DHUMDEX_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   thread_pool_test parallel_query_test buffer_pool_stress_test buffer_pool_test \
@@ -26,12 +31,23 @@ cmake --build build-tsan -j "$JOBS" --target \
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ThreadPool|ParallelQuery|QbhQueryBatch|BufferPool|MetricsStress|ConcurrentWriter'
 
-echo "== [3/3] ASan+UBSan build + robustness tests =="
+echo "== [3/4] ASan+UBSan build + robustness tests =="
 cmake -B build-asan -S . -DHUMDEX_SANITIZE=address+undefined >/dev/null
 cmake --build build-asan -j "$JOBS" --target \
   env_test corruption_test deadline_test storage_test fuzz_test melody_io_test \
-  wav_io_test wal_test online_update_test
+  wav_io_test wal_test online_update_test kernel_test cascade_test
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-  -R 'PosixEnv|FaultInjectingEnv|Retry|Corruption|CrashSafety|Salvage|Deadline|Cancel|Shedding|Observability|Storage|Fuzz|MelodyIo|WavIo|WalTest|OnlineUpdate|Recovery'
+  -R 'PosixEnv|FaultInjectingEnv|Retry|Corruption|CrashSafety|Salvage|Deadline|Cancel|Shedding|Observability|Storage|Fuzz|MelodyIo|WavIo|WalTest|OnlineUpdate|Recovery|Kernel|Cascade|LbImproved'
+# Same kernel/cascade tests with the dispatcher demoted to the scalar
+# reference, so the scalar code paths also run under ASan+UBSan.
+HUMDEX_FORCE_SCALAR=1 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+  -R 'Kernel|Cascade|LbImproved'
+
+echo "== [4/4] HUMDEX_SIMD=OFF build + kernel/cascade tests =="
+cmake -B build-nosimd -S . -DHUMDEX_SIMD=OFF >/dev/null
+cmake --build build-nosimd -j "$JOBS" --target kernel_test cascade_test \
+  lower_bound_test query_engine_test
+ctest --test-dir build-nosimd --output-on-failure -j "$JOBS" \
+  -R 'Kernel|Cascade|LbImproved|LowerBound|QueryEngine'
 
 echo "All checks passed."

@@ -1,0 +1,135 @@
+#include "gemini/candidate_arena.h"
+
+#include <cstring>
+
+#include "ts/kernels.h"
+#include "util/status.h"
+
+namespace humdex {
+
+namespace {
+
+double* AllocRows(std::size_t items, std::size_t stride) {
+  // stride is a multiple of 4 doubles, so every row size is a multiple of the
+  // 32-byte alignment std::aligned_alloc requires.
+  std::size_t bytes = items * stride * sizeof(double);
+  if (bytes == 0) return nullptr;
+  void* p = std::aligned_alloc(kernels::kAlignment, bytes);
+  HUMDEX_CHECK(p != nullptr);
+  return static_cast<double*>(p);
+}
+
+}  // namespace
+
+CandidateArena::CandidateArena(std::size_t series_len, std::size_t band_k)
+    : series_len_(series_len),
+      band_k_(band_k),
+      stride_((series_len + 3) & ~static_cast<std::size_t>(3)) {
+  HUMDEX_CHECK(series_len > 0);
+}
+
+CandidateArena::~CandidateArena() {
+  std::free(series_);
+  std::free(env_lo_);
+  std::free(env_hi_);
+  std::free(meta_);
+}
+
+CandidateArena::CandidateArena(CandidateArena&& other) noexcept
+    : series_len_(other.series_len_),
+      band_k_(other.band_k_),
+      stride_(other.stride_),
+      size_(other.size_),
+      capacity_(other.capacity_),
+      series_(other.series_),
+      env_lo_(other.env_lo_),
+      env_hi_(other.env_hi_),
+      meta_(other.meta_) {
+  other.size_ = other.capacity_ = 0;
+  other.series_ = other.env_lo_ = other.env_hi_ = nullptr;
+  other.meta_ = nullptr;
+}
+
+CandidateArena& CandidateArena::operator=(CandidateArena&& other) noexcept {
+  if (this == &other) return *this;
+  std::free(series_);
+  std::free(env_lo_);
+  std::free(env_hi_);
+  std::free(meta_);
+  series_len_ = other.series_len_;
+  band_k_ = other.band_k_;
+  stride_ = other.stride_;
+  size_ = other.size_;
+  capacity_ = other.capacity_;
+  series_ = other.series_;
+  env_lo_ = other.env_lo_;
+  env_hi_ = other.env_hi_;
+  meta_ = other.meta_;
+  other.size_ = other.capacity_ = 0;
+  other.series_ = other.env_lo_ = other.env_hi_ = nullptr;
+  other.meta_ = nullptr;
+  return *this;
+}
+
+void CandidateArena::Grow(std::size_t min_items) {
+  std::size_t cap = capacity_ == 0 ? 64 : capacity_;
+  while (cap < min_items) cap *= 2;
+  auto regrow = [&](double*& arr) {
+    double* fresh = AllocRows(cap, stride_);
+    if (size_ > 0) std::memcpy(fresh, arr, size_ * stride_ * sizeof(double));
+    std::free(arr);
+    arr = fresh;
+  };
+  regrow(series_);
+  regrow(env_lo_);
+  regrow(env_hi_);
+  Meta* fresh_meta =
+      static_cast<Meta*>(std::aligned_alloc(kernels::kAlignment, cap * sizeof(Meta)));
+  HUMDEX_CHECK(fresh_meta != nullptr);
+  if (size_ > 0) std::memcpy(fresh_meta, meta_, size_ * sizeof(Meta));
+  std::free(meta_);
+  meta_ = fresh_meta;
+  capacity_ = cap;
+}
+
+void CandidateArena::Reserve(std::size_t items) {
+  if (items > capacity_) Grow(items);
+}
+
+void CandidateArena::Append(const Series& s) {
+  HUMDEX_CHECK(s.size() == series_len_);
+  if (size_ == capacity_) Grow(size_ + 1);
+  double* srow = series_ + size_ * stride_;
+  double* lrow = env_lo_ + size_ * stride_;
+  double* hrow = env_hi_ + size_ * stride_;
+  std::memcpy(srow, s.data(), series_len_ * sizeof(double));
+  Envelope env = BuildEnvelope(s, band_k_);
+  std::memcpy(lrow, env.lower.data(), series_len_ * sizeof(double));
+  std::memcpy(hrow, env.upper.data(), series_len_ * sizeof(double));
+  // Zero the pad tail so kernels reading full blocks past series_len_ (they
+  // never do today; n is passed exactly) would still touch initialized memory.
+  for (std::size_t j = series_len_; j < stride_; ++j) {
+    srow[j] = 0.0;
+    lrow[j] = 0.0;
+    hrow[j] = 0.0;
+  }
+  meta_[size_] = Meta{s.front(), s.back(), SeriesMin(s), SeriesMax(s)};
+  ++size_;
+}
+
+void CandidateArena::SwapRemove(std::size_t pos) {
+  HUMDEX_CHECK(pos < size_);
+  std::size_t last = size_ - 1;
+  if (pos != last) {
+    std::memcpy(series_ + pos * stride_, series_ + last * stride_,
+                stride_ * sizeof(double));
+    std::memcpy(env_lo_ + pos * stride_, env_lo_ + last * stride_,
+                stride_ * sizeof(double));
+    std::memcpy(env_hi_ + pos * stride_, env_hi_ + last * stride_,
+                stride_ * sizeof(double));
+    meta_[pos] = meta_[last];
+  }
+  --size_;
+}
+
+}  // namespace humdex

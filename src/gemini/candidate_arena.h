@@ -1,0 +1,84 @@
+// Contiguous SoA storage for the query cascade's per-candidate data
+// (DESIGN.md §10). The LB filter used to chase ItemFor(id) through a
+// vector<Item> of separately heap-allocated Series; the arena instead packs,
+// per stored item,
+//
+//   - the normal-form series,
+//   - its precomputed k-envelope (lower and upper), used by the symmetric
+//     Keogh bound without any per-candidate envelope build,
+//   - a 4-double meta row {first, last, min, max} for the O(1) Kim stage,
+//
+// into three flat 32-byte-aligned arrays (row stride padded to a multiple of
+// 4 doubles), so the filter streams memory in index order instead of
+// pointer-chasing. Rows mirror DtwQueryEngine::data_ positions exactly:
+// Append on Add, SwapRemove on Remove.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+
+#include "ts/envelope.h"
+#include "ts/time_series.h"
+
+namespace humdex {
+
+class CandidateArena {
+ public:
+  /// Per-item scalars for the Kim O(1) prefilter.
+  struct Meta {
+    double first;
+    double last;
+    double min;
+    double max;
+  };
+
+  /// `series_len` is the normal-form length; `band_k` the envelope radius
+  /// (the engine's band radius, fixed for its lifetime).
+  CandidateArena(std::size_t series_len, std::size_t band_k);
+  ~CandidateArena();
+  CandidateArena(const CandidateArena&) = delete;
+  CandidateArena& operator=(const CandidateArena&) = delete;
+  CandidateArena(CandidateArena&& other) noexcept;
+  CandidateArena& operator=(CandidateArena&& other) noexcept;
+
+  std::size_t size() const { return size_; }
+  std::size_t series_len() const { return series_len_; }
+  /// Padded row length in doubles (multiple of 4; rows are 32-byte aligned).
+  std::size_t stride() const { return stride_; }
+
+  void Reserve(std::size_t items);
+
+  /// Append one item (computes its envelope and meta). The new row index is
+  /// size() - 1 afterwards.
+  void Append(const Series& s);
+
+  /// Move the last row into `pos` and drop the last row — the engine's
+  /// swap-remove, applied to the mirrored storage.
+  void SwapRemove(std::size_t pos);
+
+  const double* series(std::size_t pos) const {
+    return series_ + pos * stride_;
+  }
+  const double* env_lo(std::size_t pos) const {
+    return env_lo_ + pos * stride_;
+  }
+  const double* env_hi(std::size_t pos) const {
+    return env_hi_ + pos * stride_;
+  }
+  const Meta& meta(std::size_t pos) const { return meta_[pos]; }
+
+ private:
+  void Grow(std::size_t min_items);
+
+  std::size_t series_len_;
+  std::size_t band_k_;
+  std::size_t stride_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+  double* series_ = nullptr;
+  double* env_lo_ = nullptr;
+  double* env_hi_ = nullptr;
+  Meta* meta_ = nullptr;
+};
+
+}  // namespace humdex

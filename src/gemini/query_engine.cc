@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ts/envelope.h"
+#include "ts/kernels.h"
 #include "ts/lower_bound.h"
 #include "util/status.h"
 
@@ -42,6 +45,34 @@ constexpr std::size_t kLbCheckStride = 16;
 /// the first expiry, marks the stats truncated and bumps the right counter
 /// exactly once. All checks short-circuit to zero work when no deadline or
 /// cancel token is installed.
+// Query-side scalars for the Kim prefilter, computed once per query.
+struct QueryMeta {
+  double first, last, min, max;
+};
+
+QueryMeta MetaOf(const Series& q) {
+  return {q.front(), q.back(), SeriesMin(q), SeriesMax(q)};
+}
+
+// Squared LB_Kim: the endpoints of every warping path align first with first
+// and last with last, and the global extrema of each series align with *some*
+// element of the other, so each squared difference lower-bounds the squared
+// (banded or not) DTW. O(1) per candidate against the arena's meta row.
+inline double KimSq(const QueryMeta& q, const CandidateArena::Meta& m) {
+  double d1 = q.first - m.first;
+  double d2 = q.last - m.last;
+  double d3 = q.max - m.max;
+  double d4 = q.min - m.min;
+  return std::max(std::max(d1 * d1, d2 * d2), std::max(d3 * d3, d4 * d4));
+}
+
+// The cascade compares squared bounds against epsilon^2 with a hair of
+// relative slack: kernel variants may round a boundary sum a few ulps either
+// way, and a candidate whose distance EQUALS epsilon must survive every
+// stage. The final `sqrt(d_sq) <= epsilon` acceptance stays authoritative,
+// so the slack admits no false positives.
+inline double PruneThreshold(double eps_sq) { return eps_sq + eps_sq * 1e-12; }
+
 class StopGuard {
  public:
   explicit StopGuard(const QueryOptions& qopts) : qopts_(qopts) {}
@@ -73,7 +104,8 @@ DtwQueryEngine::DtwQueryEngine(std::shared_ptr<const FeatureScheme> scheme,
     : scheme_(std::move(scheme)),
       options_(options),
       band_k_(BandRadiusForWidth(options.warping_width, options.normal_len)),
-      feature_index_(scheme_, options.index) {
+      feature_index_(scheme_, options.index),
+      arena_(options.normal_len, band_k_) {
   HUMDEX_CHECK(scheme_ != nullptr);
   HUMDEX_CHECK(scheme_->input_dim() == options_.normal_len);
 }
@@ -88,6 +120,7 @@ void DtwQueryEngine::Add(Series normal_form, std::int64_t id) {
   HUMDEX_CHECK_MSG(id_to_pos_[static_cast<std::size_t>(id)] == SIZE_MAX,
                    "duplicate id");
   id_to_pos_[static_cast<std::size_t>(id)] = data_.size();
+  arena_.Append(normal_form);
   data_.push_back({std::move(normal_form), id});
 }
 
@@ -109,10 +142,12 @@ void DtwQueryEngine::AddAll(std::vector<Series> normal_forms,
   feature_index_.AddBatch(normal_forms, ids);
   id_to_pos_.assign(static_cast<std::size_t>(max_id + 1), SIZE_MAX);
   data_.reserve(normal_forms.size());
+  arena_.Reserve(normal_forms.size());
   for (std::size_t i = 0; i < normal_forms.size(); ++i) {
     HUMDEX_CHECK_MSG(id_to_pos_[static_cast<std::size_t>(ids[i])] == SIZE_MAX,
                      "duplicate id");
     id_to_pos_[static_cast<std::size_t>(ids[i])] = i;
+    arena_.Append(normal_forms[i]);
     data_.push_back({std::move(normal_forms[i]), ids[i]});
   }
 }
@@ -123,7 +158,8 @@ bool DtwQueryEngine::Remove(std::int64_t id) {
   if (pos == SIZE_MAX) return false;
   bool removed = feature_index_.Remove(data_[pos].series, id);
   HUMDEX_CHECK_MSG(removed, "engine data and feature index out of sync");
-  // Swap-remove from the dense store.
+  // Swap-remove from the dense store and its arena mirror.
+  arena_.SwapRemove(pos);
   if (pos != data_.size() - 1) {
     data_[pos] = std::move(data_.back());
     id_to_pos_[static_cast<std::size_t>(data_[pos].id)] = pos;
@@ -150,12 +186,23 @@ std::vector<Neighbor> DtwQueryEngine::RangeQuery(const Series& query,
                                                  double epsilon,
                                                  const QueryOptions& qopts,
                                                  QueryStats* stats) const {
+  return RangeQueryImpl(query, epsilon, qopts, stats, nullptr);
+}
+
+std::vector<Neighbor> DtwQueryEngine::RangeQueryImpl(
+    const Series& query, double epsilon, const QueryOptions& qopts,
+    QueryStats* stats, const std::vector<std::int64_t>* skip_ids) const {
   HUMDEX_CHECK(query.size() == options_.normal_len);
   HUMDEX_CHECK(epsilon >= 0.0);
   QueryStats local;
   HUMDEX_SPAN(query_span, "query.range");
   const std::uint64_t t_start = obs::MonotonicNowNs();
   StopGuard guard(qopts);
+
+  const double eps_sq = epsilon * epsilon;
+  const double prune_sq = PruneThreshold(eps_sq);
+  const kernels::KernelTable& kern = kernels::ActiveKernels();
+  const std::size_t n = options_.normal_len;
 
   // Steps 2-3: transformed query envelope, feature-space range query. An
   // already-expired deadline returns before any work.
@@ -176,35 +223,96 @@ std::vector<Neighbor> DtwQueryEngine::RangeQuery(const Series& query,
   const std::uint64_t t_index = obs::MonotonicNowNs();
   local.index_ns = t_index - t_start;
 
-  // Step 4: raw-space envelope bound (tighter, uses full resolution).
-  // LbKeogh(data, Env(query)) <= DTW(query, data) by Lemma 2 + symmetry.
-  std::vector<std::int64_t> survivors;
+  // Step 4a: O(1) Kim prefilter, then the raw-space envelope bound in both
+  // directions — LbKeogh(data, Env(query)) <= DTW (Lemma 2 + symmetry) and,
+  // from the arena's precomputed per-item envelopes, LbKeogh(query,
+  // Env(data)). All in squared space with early abandoning at prune_sq; a
+  // survivor carries its exact first-pass Keogh sum into LB_Improved.
+  struct Survivor {
+    std::int64_t id;
+    std::size_t pos;
+    double keogh_sq;
+  };
+  std::vector<Survivor> survivors;
   if (!guard.Stopped(&local)) {
     HUMDEX_SPAN(span, "query.range.lb_filter");
     survivors.reserve(candidates.size());
+    const bool use_kim = options_.cascade.kim;
+    const QueryMeta qmeta = MetaOf(query);
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       if (i % kLbCheckStride == 0 && guard.Stopped(&local)) break;
-      std::int64_t id = candidates[i];
-      if (LbKeogh(ItemFor(id).series, env) <= epsilon) survivors.push_back(id);
+      const std::int64_t id = candidates[i];
+      if (skip_ids != nullptr &&
+          std::binary_search(skip_ids->begin(), skip_ids->end(), id)) {
+        continue;
+      }
+      const std::size_t pos = id_to_pos_[static_cast<std::size_t>(id)];
+      if (use_kim && KimSq(qmeta, arena_.meta(pos)) > prune_sq) {
+        ++local.kim_pruned;
+        continue;
+      }
+      double keogh_sq = kern.sq_dist_to_box(
+          arena_.series(pos), env.lower.data(), env.upper.data(), n, prune_sq);
+      if (keogh_sq > prune_sq) continue;
+      double keogh_rev_sq = kern.sq_dist_to_box(
+          query.data(), arena_.env_lo(pos), arena_.env_hi(pos), n, prune_sq);
+      if (keogh_rev_sq > prune_sq) continue;
+      survivors.push_back({id, pos, keogh_sq});
     }
-    local.lb_survivors = survivors.size();
+    HUMDEX_SPAN_ATTR(span, "kim_pruned",
+                     static_cast<double>(local.kim_pruned));
     HUMDEX_SPAN_ATTR(span, "survivors",
-                     static_cast<double>(local.lb_survivors));
+                     static_cast<double>(survivors.size()));
   }
   const std::uint64_t t_lb = obs::MonotonicNowNs();
   local.lb_ns = t_lb - t_index;
 
-  // Step 5: exact banded DTW with early abandoning. Checked per candidate:
-  // whatever verified before expiry is returned (still exact for those ids).
+  // Step 4b: Lemire's LB_Improved second pass. Part one is the Keogh sum
+  // already in hand; the second pass bounds the residual (the bound is
+  // additive in squared space), abandoning past the remaining headroom.
+  std::vector<Survivor> finalists;
+  if (!guard.stopped() && options_.cascade.improved) {
+    HUMDEX_SPAN(span, "query.range.lb_improved");
+    finalists.reserve(survivors.size());
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      if (i % kLbCheckStride == 0 && guard.Stopped(&local)) break;
+      const Survivor& s = survivors[i];
+      double part2 = SquaredLbImprovedSecondPass(
+          data_[s.pos].series, query, env, band_k_, prune_sq - s.keogh_sq);
+      if (s.keogh_sq + part2 > prune_sq) {
+        ++local.improved_pruned;
+        continue;
+      }
+      finalists.push_back(s);
+    }
+    HUMDEX_SPAN_ATTR(span, "pruned",
+                     static_cast<double>(local.improved_pruned));
+    HUMDEX_SPAN_ATTR(span, "survivors",
+                     static_cast<double>(finalists.size()));
+  } else {
+    finalists = std::move(survivors);
+  }
+  local.lb_survivors = finalists.size();
+  const std::uint64_t t_improved = obs::MonotonicNowNs();
+  local.improved_ns = t_improved - t_lb;
+
+  // Step 5: exact banded DTW, squared with early abandoning at the same
+  // slacked threshold; one sqrt per accepted candidate, and the plain-space
+  // `d <= epsilon` comparison stays the authoritative acceptance test.
+  // Checked per candidate: whatever verified before expiry is returned
+  // (still exact for those ids).
   std::vector<Neighbor> out;
   if (!guard.stopped()) {
     HUMDEX_SPAN(span, "query.range.exact_dtw");
-    for (std::int64_t id : survivors) {
+    for (const Survivor& s : finalists) {
       if (guard.Stopped(&local)) break;
       ++local.exact_dtw_calls;
-      double d =
-          LdtwDistanceEarlyAbandon(query, ItemFor(id).series, band_k_, epsilon);
-      if (d <= epsilon) out.push_back({id, d});
+      double d_sq = SquaredLdtwDistanceEarlyAbandon(query, data_[s.pos].series,
+                                                    band_k_, prune_sq);
+      if (d_sq <= prune_sq) {
+        double d = std::sqrt(d_sq);
+        if (d <= epsilon) out.push_back({s.id, d});
+      }
     }
     std::sort(out.begin(), out.end());
     local.results = out.size();
@@ -213,16 +321,18 @@ std::vector<Neighbor> DtwQueryEngine::RangeQuery(const Series& query,
     HUMDEX_SPAN_ATTR(span, "results", static_cast<double>(local.results));
   }
   const std::uint64_t t_end = obs::MonotonicNowNs();
-  local.dtw_ns = t_end - t_lb;
+  local.dtw_ns = t_end - t_improved;
   local.total_ns = t_end - t_start;
   HUMDEX_SPAN_ATTR(query_span, "truncated", local.truncated ? 1.0 : 0.0);
 
   static obs::Histogram& h_index = RangeHistogram("index_ns");
   static obs::Histogram& h_lb = RangeHistogram("lb_ns");
+  static obs::Histogram& h_improved = RangeHistogram("improved_ns");
   static obs::Histogram& h_dtw = RangeHistogram("dtw_ns");
   static obs::Histogram& h_total = RangeHistogram("total_ns");
   h_index.Record(local.index_ns);
   h_lb.Record(local.lb_ns);
+  h_improved.Record(local.improved_ns);
   h_dtw.Record(local.dtw_ns);
   h_total.Record(local.total_ns);
 
@@ -281,10 +391,18 @@ std::vector<Neighbor> DtwQueryEngine::KnnQuery(const Series& query, std::size_t 
 
   std::vector<Neighbor> in_range;
   if (!guard.stopped()) {
-    // Step 2: one guaranteed-superset range query, then rank exactly.
+    // Step 2: one guaranteed-superset range query, then rank exactly. The
+    // seed ids already have exact distances in hand, so the cascade skips
+    // them instead of re-filtering and re-verifying each one.
+    std::vector<std::int64_t> skip;
+    skip.reserve(seed_exact.size());
+    for (const Neighbor& s : seed_exact) skip.push_back(s.id);
+    std::sort(skip.begin(), skip.end());
     QueryStats range_stats;
-    in_range = RangeQuery(query, radius, qopts, &range_stats);
+    in_range = RangeQueryImpl(query, radius, qopts, &range_stats, &skip);
     local.index_candidates = range_stats.index_candidates;
+    local.kim_pruned = range_stats.kim_pruned;
+    local.improved_pruned = range_stats.improved_pruned;
     local.lb_survivors = range_stats.lb_survivors;
     local.page_accesses += range_stats.page_accesses;
     local.exact_dtw_calls += range_stats.exact_dtw_calls;
@@ -292,19 +410,15 @@ std::vector<Neighbor> DtwQueryEngine::KnnQuery(const Series& query, std::size_t 
     // The seed stage is exact-DTW-dominated; bill it to the DTW stage.
     local.index_ns = range_stats.index_ns;
     local.lb_ns = range_stats.lb_ns;
+    local.improved_ns = range_stats.improved_ns;
     local.dtw_ns = range_stats.dtw_ns + (t_seed - t_start);
   }
 
-  if (local.truncated) {
-    // Best effort: merge the exact seed distances with whatever the range
-    // query verified before the cutoff (all distances exact; dedup by id).
-    for (const Neighbor& s : seed_exact) {
-      bool seen = false;
-      for (const Neighbor& r : in_range) seen = seen || r.id == s.id;
-      if (!seen) in_range.push_back(s);
-    }
-    std::sort(in_range.begin(), in_range.end());
-  }
+  // Merge the exact seed distances back in: every seed distance is <= radius
+  // by construction, and the skip list keeps the range results disjoint from
+  // the seed set (all distances exact either way).
+  for (const Neighbor& s : seed_exact) in_range.push_back(s);
+  std::sort(in_range.begin(), in_range.end());
   if (in_range.size() > k) in_range.resize(k);
   local.results = in_range.size();
   local.total_ns = obs::MonotonicNowNs() - t_start;
@@ -415,12 +529,25 @@ std::vector<Neighbor> DtwQueryEngine::KnnQueryOptimal(const Series& query,
     stage_mark = now;
   };
   Envelope env = BuildEnvelope(query, band_k_);
+  const kernels::KernelTable& kern = kernels::ActiveKernels();
+  const std::size_t n = options_.normal_len;
+  const bool use_kim = options_.cascade.kim;
+  const bool use_improved = options_.cascade.improved;
+  const QueryMeta qmeta = MetaOf(query);
+  // First-pass Keogh sums by id. The doubling re-fetch can hand back an
+  // already-examined candidate (tie reordering between prefixes); its sum —
+  // exact, or a partial that exceeded a threshold the shrinking heap top can
+  // only tighten — stays a valid lower bound, so it is never recomputed.
+  std::unordered_map<std::int64_t, double> keogh_memo;
+  // Every id examined so far. The stream is walked by membership rather than
+  // by a prefix offset, so a backend whose top-F set is not an exact prefix
+  // of its top-2F set still has every candidate examined exactly once.
+  std::unordered_set<std::int64_t> examined;
 
   // Candidates stream in increasing feature-space lower-bound order. The
   // index is re-queried with a doubling prefix; each re-query is cheap
   // relative to the exact DTW computations it saves.
   std::priority_queue<Neighbor> best;  // max-heap: kth best exact on top
-  std::size_t consumed = 0;
   std::size_t fetch = std::max<std::size_t>(2 * k, 16);
   bool done = false;
   while (!done) {
@@ -436,44 +563,89 @@ std::vector<Neighbor> DtwQueryEngine::KnnQueryOptimal(const Series& query,
       HUMDEX_SPAN_ATTR(span, "fetch", static_cast<double>(fetch));
     }
     local.page_accesses += istats.page_accesses;
-    for (std::size_t i = consumed; i < ranked.size(); ++i) {
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
       // Per-candidate stop check: the best-so-far heap is already exact.
       if (guard.Stopped(&local)) {
         done = true;
         break;
       }
-      ++local.index_candidates;
       double lb_feature = ranked[i].distance;
+      // The stream is ascending, so the first entry — examined before or not
+      // — whose feature bound reaches the kth best exact distance proves
+      // every unexamined candidate is at least that far away.
       if (best.size() == k && lb_feature >= best.top().distance) {
         done = true;  // optimal stopping condition
         break;
       }
-      const Item& item = ItemFor(ranked[i].id);
-      // Second filter: the tighter raw-space envelope bound.
+      const std::int64_t id = ranked[i].id;
+      if (!examined.insert(id).second) continue;
+      ++local.index_candidates;
+      const std::size_t pos = id_to_pos_[static_cast<std::size_t>(id)];
+      if (best.size() < k) {
+        // Nothing to prune against yet: the heap must fill before any lower
+        // bound can reject a candidate.
+        ++local.lb_survivors;
+        ++local.exact_dtw_calls;
+        stage_mark = obs::MonotonicNowNs();
+        double d = LdtwDistance(query, data_[pos].series, band_k_);
+        bill_stage(local.dtw_ns);
+        best.push({id, d});
+        continue;
+      }
+      // The kth best exact distance prunes, squared with the usual slack so
+      // kernel rounding cannot evict a true neighbor; the exact `d < top`
+      // comparison below stays authoritative.
+      const double top = best.top().distance;
+      const double prune_sq = PruneThreshold(top * top);
       stage_mark = obs::MonotonicNowNs();
-      double lb_raw = LbKeogh(item.series, env);
+      if (use_kim && KimSq(qmeta, arena_.meta(pos)) > prune_sq) {
+        ++local.kim_pruned;
+        bill_stage(local.lb_ns);
+        continue;
+      }
+      double keogh_sq;
+      auto memo = keogh_memo.find(id);
+      if (memo != keogh_memo.end()) {
+        keogh_sq = memo->second;
+      } else {
+        keogh_sq = kern.sq_dist_to_box(arena_.series(pos), env.lower.data(),
+                                       env.upper.data(), n, prune_sq);
+        keogh_memo.emplace(id, keogh_sq);
+      }
+      if (keogh_sq > prune_sq) {
+        bill_stage(local.lb_ns);
+        continue;
+      }
+      double keogh_rev_sq = kern.sq_dist_to_box(
+          query.data(), arena_.env_lo(pos), arena_.env_hi(pos), n, prune_sq);
       bill_stage(local.lb_ns);
-      if (best.size() == k && lb_raw >= best.top().distance) continue;
+      if (keogh_rev_sq > prune_sq) continue;
+      if (use_improved) {
+        double part2 = SquaredLbImprovedSecondPass(data_[pos].series, query,
+                                                   env, band_k_,
+                                                   prune_sq - keogh_sq);
+        bill_stage(local.improved_ns);
+        if (keogh_sq + part2 > prune_sq) {
+          ++local.improved_pruned;
+          continue;
+        }
+      }
       ++local.lb_survivors;
       ++local.exact_dtw_calls;
-      double threshold =
-          best.size() == k ? best.top().distance : kInfiniteDistance;
-      double d = std::isinf(threshold)
-                     ? LdtwDistance(query, item.series, band_k_)
-                     : LdtwDistanceEarlyAbandon(query, item.series, band_k_,
-                                                threshold);
+      stage_mark = obs::MonotonicNowNs();
+      double d_sq = SquaredLdtwDistanceEarlyAbandon(query, data_[pos].series,
+                                                    band_k_, prune_sq);
       bill_stage(local.dtw_ns);
-      if (best.size() < k) {
-        if (std::isinf(d)) d = LdtwDistance(query, item.series, band_k_);
-        best.push({ranked[i].id, d});
-      } else if (d < best.top().distance) {
-        best.pop();
-        best.push({ranked[i].id, d});
+      if (d_sq <= prune_sq) {
+        double d = std::sqrt(d_sq);
+        if (d < best.top().distance) {
+          best.pop();
+          best.push({id, d});
+        }
       }
     }
     if (done) break;
     if (ranked.size() >= data_.size()) break;  // everything consumed
-    consumed = ranked.size();
     fetch = std::min(fetch * 2, data_.size());
   }
 
@@ -488,6 +660,10 @@ std::vector<Neighbor> DtwQueryEngine::KnnQueryOptimal(const Series& query,
   local.total_ns = obs::MonotonicNowNs() - t_start;
   HUMDEX_SPAN_ATTR(query_span, "candidates",
                    static_cast<double>(local.index_candidates));
+  HUMDEX_SPAN_ATTR(query_span, "kim_pruned",
+                   static_cast<double>(local.kim_pruned));
+  HUMDEX_SPAN_ATTR(query_span, "improved_pruned",
+                   static_cast<double>(local.improved_pruned));
   HUMDEX_SPAN_ATTR(query_span, "survivors",
                    static_cast<double>(local.lb_survivors));
   HUMDEX_SPAN_ATTR(query_span, "dtw_calls",

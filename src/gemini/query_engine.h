@@ -1,11 +1,20 @@
-// The end-to-end DTW query pipeline of §4.3:
+// The end-to-end DTW query pipeline of §4.3, run as a squared-space filter
+// cascade (DESIGN.md §10):
 //
 //   1. every data series is reduced to a feature vector and indexed;
 //   2. a query's k-envelope is transformed to a feature-space rectangle;
 //   3. an epsilon-range query on the index returns a candidate superset
 //      (no false negatives by Theorem 1);
-//   4. candidates are filtered by the raw-space envelope bound LB (Lemma 2);
+//   4. candidates pass an O(1) Kim prefilter (first/last/extrema), then the
+//      raw-space envelope bound LB_Keogh in both directions (Lemma 2 +
+//      symmetry), then Lemire's two-pass LB_Improved;
 //   5. survivors are verified with the exact banded DTW (early-abandoning).
+//
+// Every stage compares squared distances against epsilon^2; the single sqrt
+// per reported result happens at the very end. The cascade is exact: each
+// stage is a true lower bound, so the result set is identical to a brute
+// force scan regardless of which stages are enabled or which SIMD kernel
+// variant (ts/kernels.h) runs them.
 //
 // kNN queries use the two-step scheme of Korn et al. [17] cited by the
 // paper: a feature-space kNN seeds an upper bound, one range query with that
@@ -16,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "gemini/candidate_arena.h"
 #include "gemini/feature_index.h"
 #include "ts/dtw.h"
 #include "util/deadline.h"
@@ -30,15 +40,18 @@ namespace humdex {
 /// stage latencies into the obs metrics registry; see DESIGN.md §7.
 struct QueryStats {
   std::size_t index_candidates = 0;  ///< ids returned by the feature index
-  std::size_t lb_survivors = 0;      ///< ids surviving the raw envelope bound
+  std::size_t kim_pruned = 0;        ///< ids dropped by the O(1) Kim stage
+  std::size_t improved_pruned = 0;   ///< ids dropped by LB_Improved's 2nd pass
+  std::size_t lb_survivors = 0;      ///< ids entering exact DTW verification
   std::size_t results = 0;           ///< ids verified by exact DTW
   std::size_t page_accesses = 0;     ///< index pages touched
   std::size_t exact_dtw_calls = 0;   ///< banded DTW computations performed
 
-  std::uint64_t index_ns = 0;  ///< envelope build + feature-index probe time
-  std::uint64_t lb_ns = 0;     ///< raw-space envelope LB filter time
-  std::uint64_t dtw_ns = 0;    ///< exact banded DTW verification time
-  std::uint64_t total_ns = 0;  ///< whole-query wall time (>= the stage sum)
+  std::uint64_t index_ns = 0;     ///< envelope build + feature-index probe time
+  std::uint64_t lb_ns = 0;        ///< Kim + Keogh envelope-bound filter time
+  std::uint64_t improved_ns = 0;  ///< LB_Improved second-pass filter time
+  std::uint64_t dtw_ns = 0;       ///< exact banded DTW verification time
+  std::uint64_t total_ns = 0;     ///< whole-query wall time (>= the stage sum)
 
   /// True when the query stopped early (deadline expired, cancelled, or
   /// shed under overload) and the results are best-effort: exact for every
@@ -53,18 +66,30 @@ struct QueryStats {
   /// Accumulate another query's counters and timings (batch aggregation).
   QueryStats& operator+=(const QueryStats& other) {
     index_candidates += other.index_candidates;
+    kim_pruned += other.kim_pruned;
+    improved_pruned += other.improved_pruned;
     lb_survivors += other.lb_survivors;
     results += other.results;
     page_accesses += other.page_accesses;
     exact_dtw_calls += other.exact_dtw_calls;
     index_ns += other.index_ns;
     lb_ns += other.lb_ns;
+    improved_ns += other.improved_ns;
     dtw_ns += other.dtw_ns;
     total_ns += other.total_ns;
     truncated = truncated || other.truncated;
     rejected = rejected || other.rejected;
     return *this;
   }
+};
+
+/// Which optional lower-bound stages the filter cascade runs. Every stage is
+/// a true lower bound, so disabling one never changes the result set — it
+/// only shifts work onto the later, more expensive stages. Exposed for the
+/// ablation benches that measure each stage's pruning power.
+struct CascadeOptions {
+  bool kim = true;       ///< O(1) first/last/extrema prefilter (LB_Kim)
+  bool improved = true;  ///< Lemire's two-pass LB_Improved stage
 };
 
 /// Engine options. Data and queries must be normal forms of length
@@ -74,6 +99,7 @@ struct QueryEngineOptions {
   std::size_t normal_len = 128;
   double warping_width = 0.1;
   FeatureIndexOptions index;
+  CascadeOptions cascade;
 };
 
 /// DTW similarity search engine over a fixed corpus of normal-form series.
@@ -197,12 +223,21 @@ class DtwQueryEngine {
 
   const Item& ItemFor(std::int64_t id) const;
 
+  /// The shared range cascade. `skip_ids` (sorted ascending, may be null)
+  /// are candidates whose exact distances the caller already holds — the kNN
+  /// seed set — and are dropped before any filter work, uncounted by the
+  /// pruning counters.
+  std::vector<Neighbor> RangeQueryImpl(
+      const Series& query, double epsilon, const QueryOptions& qopts,
+      QueryStats* stats, const std::vector<std::int64_t>* skip_ids) const;
+
   std::shared_ptr<const FeatureScheme> scheme_;
   QueryEngineOptions options_;
   std::size_t band_k_;
   FeatureIndex feature_index_;
   std::vector<Item> data_;
   std::vector<std::size_t> id_to_pos_;  // dense id -> position map
+  CandidateArena arena_;  // SoA mirror of data_ for the filter cascade
 };
 
 }  // namespace humdex

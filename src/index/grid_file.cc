@@ -201,11 +201,17 @@ std::vector<Neighbor> GridFile::NearestToRect(const Rect& query, std::size_t k,
     ++pages;
     for (std::size_t i = 0; i < b.points.size(); ++i) {
       double dist = std::sqrt(query.MinDistSq(b.points[i]));
+      // Evict by Neighbor's total order (distance, then id), not distance
+      // alone: under distance ties the kept set would otherwise depend on
+      // arrival order, and the k-set must be the unique top-k so a caller
+      // fetching k then 2k sees a stable prefix (KnnQueryOptimal relies on
+      // this).
+      Neighbor cand{b.ids[i], dist};
       if (best.size() < k) {
-        best.push({b.ids[i], dist});
-      } else if (dist < best.top().distance) {
+        best.push(cand);
+      } else if (cand < best.top()) {
         best.pop();
-        best.push({b.ids[i], dist});
+        best.push(cand);
       }
     }
   }

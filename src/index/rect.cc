@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "ts/kernels.h"
 #include "util/status.h"
 
 namespace humdex {
@@ -25,17 +27,11 @@ Rect Rect::FromEnvelope(const Envelope& e) {
 
 double Rect::MinDistSq(const Series& p) const {
   HUMDEX_CHECK(p.size() == dims());
-  double s = 0.0;
-  for (std::size_t d = 0; d < dims(); ++d) {
-    double g = 0.0;
-    if (p[d] < lo[d]) {
-      g = lo[d] - p[d];
-    } else if (p[d] > hi[d]) {
-      g = p[d] - hi[d];
-    }
-    s += g * g;
-  }
-  return s;
+  // The hot candidate test of every index backend: a point's clamp-excess
+  // against the transformed-envelope rectangle, via the dispatched kernel.
+  return kernels::ActiveKernels().mindist_sq_to_rect(
+      p.data(), lo.data(), hi.data(), p.size(),
+      std::numeric_limits<double>::infinity());
 }
 
 double Rect::MinDistSq(const Rect& other) const {

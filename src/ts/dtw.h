@@ -65,4 +65,13 @@ double DtwDistanceWithPath(const Series& x, const Series& y, WarpingPath* path);
 double LdtwDistanceEarlyAbandon(const Series& x, const Series& y, std::size_t k,
                                 double threshold);
 
+/// Squared-space form of LdtwDistanceEarlyAbandon: abandons (returning
+/// kInfiniteDistance) as soon as every cell of a DP row exceeds
+/// `threshold_sq`, otherwise returns the exact squared LDTW distance. The
+/// query cascade works in squared space end-to-end and pays a single final
+/// sqrt per reported result; callers are responsible for any threshold slack
+/// (see DESIGN.md §10).
+double SquaredLdtwDistanceEarlyAbandon(const Series& x, const Series& y,
+                                       std::size_t k, double threshold_sq);
+
 }  // namespace humdex

@@ -2,10 +2,15 @@
 
 #include <cmath>
 #include <deque>
+#include <limits>
 
+#include "ts/kernels.h"
 #include "util/status.h"
 
 namespace humdex {
+namespace {
+constexpr double kInfiniteAbandon = std::numeric_limits<double>::infinity();
+}  // namespace
 
 bool Envelope::Contains(const Series& x, double eps) const {
   if (x.size() != lower.size()) return false;
@@ -50,23 +55,25 @@ Envelope BuildEnvelope(const Series& x, std::size_t k) {
   return e;
 }
 
-double SquaredDistanceToEnvelope(const Series& x, const Envelope& e) {
+double SquaredDistanceToEnvelope(const Series& x, const Envelope& e,
+                                 double abandon_at_sq) {
   HUMDEX_CHECK(x.size() == e.lower.size());
-  double s = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    double d = 0.0;
-    if (x[i] > e.upper[i]) {
-      d = x[i] - e.upper[i];
-    } else if (x[i] < e.lower[i]) {
-      d = e.lower[i] - x[i];
-    }
-    s += d * d;
-  }
-  return s;
+  return kernels::ActiveKernels().sq_dist_to_box(
+      x.data(), e.lower.data(), e.upper.data(), x.size(), abandon_at_sq);
+}
+
+double SquaredDistanceToEnvelope(const Series& x, const Envelope& e) {
+  return SquaredDistanceToEnvelope(x, e, kInfiniteAbandon);
 }
 
 double DistanceToEnvelope(const Series& x, const Envelope& e) {
   return std::sqrt(SquaredDistanceToEnvelope(x, e));
+}
+
+double DistanceToEnvelope(const Series& x, const Envelope& e,
+                          double abandon_at) {
+  return std::sqrt(
+      SquaredDistanceToEnvelope(x, e, abandon_at * abandon_at));
 }
 
 }  // namespace humdex

@@ -29,9 +29,24 @@ Envelope BuildEnvelope(const Series& x, std::size_t k);
 /// Distance between a series and an envelope (Definition 7):
 ///   min over all z inside e of D(x, z)
 /// which evaluates pointwise to the clamp distance. Lengths must match.
+/// Computed by the dispatched SIMD kernel (ts/kernels.h).
 double DistanceToEnvelope(const Series& x, const Envelope& e);
+
+/// Early-abandoning DistanceToEnvelope: once the running squared sum exceeds
+/// abandon_at^2 at a kernel checkpoint, a partial distance > abandon_at is
+/// returned without touching the rest of the series. Any return > abandon_at
+/// means "the true distance exceeds abandon_at"; any other return is exact.
+double DistanceToEnvelope(const Series& x, const Envelope& e,
+                          double abandon_at);
 
 /// Squared version of DistanceToEnvelope.
 double SquaredDistanceToEnvelope(const Series& x, const Envelope& e);
+
+/// Early-abandoning squared distance: same contract as the abandoning
+/// DistanceToEnvelope, thresholded in squared space (pass +infinity to
+/// disable). The cascade uses this form end-to-end so no sqrt is paid per
+/// candidate (DESIGN.md §10).
+double SquaredDistanceToEnvelope(const Series& x, const Envelope& e,
+                                 double abandon_at_sq);
 
 }  // namespace humdex

@@ -1,0 +1,125 @@
+#include "ts/kernels.h"
+
+#include <atomic>
+
+#include "ts/kernels_detail.h"
+
+#ifndef HUMDEX_SIMD_ENABLED
+#define HUMDEX_SIMD_ENABLED 0
+#endif
+
+namespace humdex {
+namespace kernels {
+
+using detail::kInf;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Portable scalar reference. The 4-lane blocked accumulation and the
+// checkpoint cadence mirror the SIMD variants exactly (see kernels.h).
+// ---------------------------------------------------------------------------
+
+double SqDistToBoxScalar(const double* x, const double* lo, const double* hi,
+                         std::size_t n, double abandon_at_sq) {
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  const std::size_t n4 = n & ~std::size_t{3};
+  std::size_t j = 0;
+  while (j < n4) {
+    const std::size_t block_end =
+        j + kAbandonBlock < n4 ? j + kAbandonBlock : n4;
+    for (; j < block_end; j += 4) {
+      for (std::size_t l = 0; l < 4; ++l) {
+        double d = detail::BoxExcess(x[j + l], lo[j + l], hi[j + l]);
+        acc[l] += d * d;
+      }
+    }
+    double peek = detail::HSum4(acc);
+    if (peek > abandon_at_sq) return peek;
+  }
+  return detail::SqDistTail(x, lo, hi, j, n, detail::HSum4(acc));
+}
+
+double LdtwRowUpdateScalar(double xi, const double* y, const double* prev,
+                           double* cur, std::size_t jlo, std::size_t jhi,
+                           double* cost_buf, double* t1_buf) {
+  for (std::size_t j = jlo; j <= jhi; ++j) {
+    std::size_t idx = j - jlo;
+    double diff = xi - y[j];
+    double c = diff * diff;
+    double a = detail::ScalarMin(prev[j], prev[j - 1]);
+    cost_buf[idx] = c;
+    t1_buf[idx] = a == kInf ? kInf : c + a;
+  }
+  return detail::LdtwSerialPass(cost_buf, t1_buf, cur, jlo, jhi);
+}
+
+constexpr KernelTable kScalarTable = {
+    SqDistToBoxScalar,
+    SqDistToBoxScalar,  // MINDIST-to-rect is the same clamp-excess sum
+    LdtwRowUpdateScalar,
+    "scalar",
+};
+
+std::atomic<const KernelTable*>& ActiveTableSlot() {
+  static std::atomic<const KernelTable*> slot{nullptr};
+  return slot;
+}
+
+const KernelTable* ResolveStartupTable() {
+  const KernelTable* t = KernelTableFor(ActiveSimdLevel());
+  return t != nullptr ? t : &kScalarTable;
+}
+
+}  // namespace
+
+#if HUMDEX_SIMD_ENABLED && defined(__x86_64__)
+// Defined in kernels_sse2.cc / kernels_avx2.cc (compiled with the matching
+// -m flags; never called unless util/cpu.h reports the CPU supports them).
+extern const KernelTable kSse2Table;
+extern const KernelTable kAvx2Table;
+#endif
+
+const KernelTable& ScalarKernels() { return kScalarTable; }
+
+const KernelTable* KernelTableFor(SimdLevel level) {
+  if (!SimdLevelSupported(level)) return nullptr;
+  switch (level) {
+    case SimdLevel::kScalar:
+      return &kScalarTable;
+#if HUMDEX_SIMD_ENABLED && defined(__x86_64__)
+    case SimdLevel::kSse2:
+      return &kSse2Table;
+    case SimdLevel::kAvx2:
+      return &kAvx2Table;
+#else
+    case SimdLevel::kSse2:
+    case SimdLevel::kAvx2:
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+const KernelTable& ActiveKernels() {
+  const KernelTable* t = ActiveTableSlot().load(std::memory_order_relaxed);
+  if (t == nullptr) {
+    t = ResolveStartupTable();
+    ActiveTableSlot().store(t, std::memory_order_relaxed);
+  }
+  return *t;
+}
+
+ScopedKernelOverride::ScopedKernelOverride(SimdLevel level) {
+  prev_ = &ActiveKernels();
+  const KernelTable* t = KernelTableFor(level);
+  ActiveTableSlot().store(t != nullptr ? t : &kScalarTable,
+                          std::memory_order_relaxed);
+}
+
+ScopedKernelOverride::~ScopedKernelOverride() {
+  ActiveTableSlot().store(prev_, std::memory_order_relaxed);
+}
+
+}  // namespace kernels
+}  // namespace humdex

@@ -1,0 +1,97 @@
+// Runtime-dispatched SIMD kernels for the three hot loops of the query
+// cascade (see DESIGN.md §10):
+//
+//   1. early-abandoning squared distance-to-envelope — the LB_Keogh /
+//      LB_Improved inner loop (ts/envelope.h, ts/lower_bound.h);
+//   2. the banded LDTW row update — the exact-DTW inner loop (ts/dtw.cc);
+//   3. squared MINDIST from a feature vector to a query rectangle — the
+//      feature-index candidate test (index/rect.cc). Pointwise this is the
+//      same clamp-excess computation as (1), so both entries may share an
+//      implementation.
+//
+// Variants (scalar / SSE2 / AVX2+FMA) are selected once at startup via
+// util/cpu.h. Every variant is BIT-IDENTICAL to the scalar reference on the
+// same inputs: reductions use a fixed 4-lane blocked summation order
+// (mirrored exactly by the scalar reference), element-wise operations avoid
+// reassociation and FMA contraction, and min/max use x86 minpd/maxpd operand
+// semantics. The cascade layers a relative threshold slack on top, so even
+// the blocked-vs-sequential ulp difference against pre-kernel code can never
+// produce a false dismissal (query_engine.cc).
+#pragma once
+
+#include <cstddef>
+
+#include "util/cpu.h"
+
+namespace humdex {
+namespace kernels {
+
+/// Alignment (bytes) the candidate arena guarantees for its rows. Kernels
+/// use unaligned loads, so this is a performance contract, not a safety one.
+inline constexpr std::size_t kAlignment = 32;
+
+/// Early-abandon checkpoint cadence (elements) of the reduction kernels.
+inline constexpr std::size_t kAbandonBlock = 32;
+
+/// Squared distance from x to the box [lo, hi], sum over i of
+/// max(x[i]-hi[i], lo[i]-x[i], 0)^2, with early abandoning: every
+/// kAbandonBlock elements the partial sum is tested against `abandon_at_sq`
+/// and returned as soon as it exceeds it. The return value is the exact full
+/// sum when it never tripped a checkpoint, otherwise a partial sum that is
+/// both > abandon_at_sq and a valid lower bound of the full sum. Callers
+/// must treat any return > threshold as "pruned" and anything else as the
+/// full sum. Pass +infinity to disable abandoning.
+using SqDistToBoxFn = double (*)(const double* x, const double* lo,
+                                 const double* hi, std::size_t n,
+                                 double abandon_at_sq);
+
+/// One row of the banded LDTW dynamic program (ts/dtw.cc). For j in
+/// [jlo, jhi] computes
+///   cost[j]  = (xi - y[j])^2
+///   t1[j]    = min(prev[j], prev[j-1]) + cost[j]   (inf-propagating)
+///   cur[j]   = min(t1[j], cur[j-1] + cost[j])      (inf-propagating)
+/// and returns the row minimum (for threshold early abandoning). `prev` and
+/// `cur` are base pointers indexed by absolute j; the caller guarantees
+/// index jlo-1 is readable on both (the DP rows carry one padding slot).
+/// `cost_buf` and `t1_buf` are caller scratch of at least jhi-jlo+1 doubles.
+/// Only the cost/t1 precomputation is vectorized; the cur[j-1] recurrence is
+/// a shared serial pass, so all variants produce bit-identical rows.
+using LdtwRowFn = double (*)(double xi, const double* y, const double* prev,
+                             double* cur, std::size_t jlo, std::size_t jhi,
+                             double* cost_buf, double* t1_buf);
+
+/// One dispatchable implementation set.
+struct KernelTable {
+  SqDistToBoxFn sq_dist_to_box;
+  SqDistToBoxFn mindist_sq_to_rect;  // alias of the same math, kept as its
+                                     // own entry so profiles name it
+  LdtwRowFn ldtw_row_update;
+  const char* name;
+};
+
+/// The portable scalar reference (always available).
+const KernelTable& ScalarKernels();
+
+/// Table for a tier, or nullptr when this binary/CPU cannot run it.
+const KernelTable* KernelTableFor(SimdLevel level);
+
+/// The table selected at startup (highest supported tier, demoted to scalar
+/// by HUMDEX_FORCE_SCALAR — see util/cpu.h). A single relaxed atomic read.
+const KernelTable& ActiveKernels();
+
+/// Test hook: override the active table for the lifetime of this object
+/// (e.g. force the scalar reference to A/B a whole query). Install and
+/// destroy only while no other thread is mid-query.
+class ScopedKernelOverride {
+ public:
+  explicit ScopedKernelOverride(SimdLevel level);
+  ~ScopedKernelOverride();
+  ScopedKernelOverride(const ScopedKernelOverride&) = delete;
+  ScopedKernelOverride& operator=(const ScopedKernelOverride&) = delete;
+
+ private:
+  const KernelTable* prev_;
+};
+
+}  // namespace kernels
+}  // namespace humdex

@@ -1,0 +1,95 @@
+// AVX2 kernel variants (compiled with -mavx2 -mfma; see src/CMakeLists.txt).
+// One __m256d register holds the canonical 4 accumulator lanes. FMA is part
+// of the dispatch tier but deliberately unused in the reductions: contraction
+// would break bit-equality with the scalar reference.
+#include "ts/kernels.h"
+
+#if HUMDEX_SIMD_ENABLED && defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include "ts/kernels_detail.h"
+
+namespace humdex {
+namespace kernels {
+namespace {
+
+using detail::kInf;
+
+inline double HSum256(__m256d acc) {
+  // (l0+l2, l1+l3) then low + high: the canonical HSum4 order.
+  __m128d s =
+      _mm_add_pd(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd(acc, 1));
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+inline __m256d BoxExcess4(__m256d x, __m256d lo, __m256d hi) {
+  __m256d du = _mm256_sub_pd(x, hi);
+  __m256d dl = _mm256_sub_pd(lo, x);
+  return _mm256_max_pd(_mm256_max_pd(du, dl), _mm256_setzero_pd());
+}
+
+double SqDistToBoxAvx2(const double* x, const double* lo, const double* hi,
+                       std::size_t n, double abandon_at_sq) {
+  __m256d acc = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  std::size_t j = 0;
+  while (j < n4) {
+    const std::size_t block_end =
+        j + kAbandonBlock < n4 ? j + kAbandonBlock : n4;
+    for (; j < block_end; j += 4) {
+      __m256d d = BoxExcess4(_mm256_loadu_pd(x + j), _mm256_loadu_pd(lo + j),
+                             _mm256_loadu_pd(hi + j));
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+    }
+    double peek = HSum256(acc);
+    if (peek > abandon_at_sq) return peek;
+  }
+  return detail::SqDistTail(x, lo, hi, j, n, HSum256(acc));
+}
+
+double LdtwRowUpdateAvx2(double xi, const double* y, const double* prev,
+                         double* cur, std::size_t jlo, std::size_t jhi,
+                         double* cost_buf, double* t1_buf) {
+  const __m256d xiv = _mm256_set1_pd(xi);
+  const __m256d infv = _mm256_set1_pd(kInf);
+  const std::size_t len = jhi - jlo + 1;
+  const std::size_t len4 = len & ~std::size_t{3};
+  std::size_t idx = 0;
+  for (; idx < len4; idx += 4) {
+    std::size_t j = jlo + idx;
+    __m256d diff = _mm256_sub_pd(xiv, _mm256_loadu_pd(y + j));
+    __m256d c = _mm256_mul_pd(diff, diff);
+    // min_pd(prev[j-1], prev[j]) == ScalarMin(prev[j], prev[j-1]).
+    __m256d a =
+        _mm256_min_pd(_mm256_loadu_pd(prev + j - 1), _mm256_loadu_pd(prev + j));
+    __m256d mask = _mm256_cmp_pd(a, infv, _CMP_EQ_OQ);
+    __m256d t1 = _mm256_blendv_pd(_mm256_add_pd(c, a), infv, mask);
+    _mm256_storeu_pd(cost_buf + idx, c);
+    _mm256_storeu_pd(t1_buf + idx, t1);
+  }
+  for (; idx < len; ++idx) {
+    std::size_t j = jlo + idx;
+    double diff = xi - y[j];
+    double c = diff * diff;
+    double a = detail::ScalarMin(prev[j], prev[j - 1]);
+    cost_buf[idx] = c;
+    t1_buf[idx] = a == kInf ? kInf : c + a;
+  }
+  return detail::LdtwSerialPass(cost_buf, t1_buf, cur, jlo, jhi);
+}
+
+}  // namespace
+
+extern const KernelTable kAvx2Table;
+const KernelTable kAvx2Table = {
+    SqDistToBoxAvx2,
+    SqDistToBoxAvx2,
+    LdtwRowUpdateAvx2,
+    "avx2",
+};
+
+}  // namespace kernels
+}  // namespace humdex
+
+#endif  // HUMDEX_SIMD_ENABLED && __x86_64__

@@ -1,0 +1,71 @@
+// Internal building blocks shared by the kernel variants (scalar, SSE2,
+// AVX2). Everything here defines the CANONICAL arithmetic the SIMD variants
+// must reproduce bit-for-bit:
+//
+//   - ScalarMin / ScalarMax mirror x86 minpd/maxpd operand semantics
+//     ((a OP b) ? a : b, NaN in the comparison selects b), so a vector
+//     min/max and the scalar reference pick identical bit patterns;
+//   - BoxExcess is the branchless clamp-excess max(x-hi, lo-x, 0) — the
+//     branchless form is canonical so +-inf inputs behave identically in
+//     every variant;
+//   - HSum4 fixes the 4-lane reduction order (l0+l2)+(l1+l3);
+//   - SqDistTail / LdtwSerialPass are the shared scalar epilogues.
+//
+// Not a public header: include only from ts/kernels*.cc.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace humdex {
+namespace kernels {
+namespace detail {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// maxpd(a, b): (a > b) ? a : b; NaN comparisons select b.
+inline double ScalarMax(double a, double b) { return a > b ? a : b; }
+
+/// minpd semantics matching std::min(p, q) == (q < p) ? q : p.
+inline double ScalarMin(double p, double q) { return q < p ? q : p; }
+
+/// Clamp excess of x against [lo, hi], branchless canonical form.
+inline double BoxExcess(double x, double lo, double hi) {
+  return ScalarMax(ScalarMax(x - hi, lo - x), 0.0);
+}
+
+/// Canonical 4-lane reduction order.
+inline double HSum4(const double acc[4]) {
+  return (acc[0] + acc[2]) + (acc[1] + acc[3]);
+}
+
+/// Sequential tail of the box-distance reduction, elements [j, n).
+inline double SqDistTail(const double* x, const double* lo, const double* hi,
+                         std::size_t j, std::size_t n, double s) {
+  for (; j < n; ++j) {
+    double d = BoxExcess(x[j], lo[j], hi[j]);
+    s += d * d;
+  }
+  return s;
+}
+
+/// Shared serial pass of the LDTW row update: resolves the cur[j-1]
+/// recurrence from the vectorized cost/t1 buffers. Identical in every
+/// variant, so row bit-equality reduces to cost/t1 bit-equality.
+inline double LdtwSerialPass(const double* cost_buf, const double* t1_buf,
+                             double* cur, std::size_t jlo, std::size_t jhi) {
+  double row_min = kInf;
+  for (std::size_t j = jlo; j <= jhi; ++j) {
+    std::size_t idx = j - jlo;
+    double cl = cur[j - 1];
+    double t2 = cl == kInf ? kInf : cost_buf[idx] + cl;
+    double v = ScalarMin(t1_buf[idx], t2);
+    cur[j] = v;
+    row_min = ScalarMin(row_min, v);
+  }
+  return row_min;
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace humdex

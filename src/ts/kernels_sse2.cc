@@ -1,0 +1,98 @@
+// SSE2 kernel variants. SSE2 is baseline on x86-64, so this TU needs no
+// extra -m flags. Two __m128d registers emulate the canonical 4-lane
+// accumulator layout (lanes 0-1 in A, 2-3 in B) so the reduction order is
+// bit-identical to the scalar reference and the AVX2 variant.
+#include "ts/kernels.h"
+
+#if HUMDEX_SIMD_ENABLED && defined(__x86_64__)
+
+#include <emmintrin.h>
+
+#include "ts/kernels_detail.h"
+
+namespace humdex {
+namespace kernels {
+namespace {
+
+using detail::kInf;
+
+inline double HSumPair(__m128d a, __m128d b) {
+  // (l0+l2, l1+l3) then low + high: the canonical HSum4 order.
+  __m128d s = _mm_add_pd(a, b);
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+inline __m128d BoxExcess2(__m128d x, __m128d lo, __m128d hi) {
+  __m128d du = _mm_sub_pd(x, hi);
+  __m128d dl = _mm_sub_pd(lo, x);
+  return _mm_max_pd(_mm_max_pd(du, dl), _mm_setzero_pd());
+}
+
+double SqDistToBoxSse2(const double* x, const double* lo, const double* hi,
+                       std::size_t n, double abandon_at_sq) {
+  __m128d acc_a = _mm_setzero_pd();
+  __m128d acc_b = _mm_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  std::size_t j = 0;
+  while (j < n4) {
+    const std::size_t block_end =
+        j + kAbandonBlock < n4 ? j + kAbandonBlock : n4;
+    for (; j < block_end; j += 4) {
+      __m128d da = BoxExcess2(_mm_loadu_pd(x + j), _mm_loadu_pd(lo + j),
+                              _mm_loadu_pd(hi + j));
+      __m128d db = BoxExcess2(_mm_loadu_pd(x + j + 2), _mm_loadu_pd(lo + j + 2),
+                              _mm_loadu_pd(hi + j + 2));
+      acc_a = _mm_add_pd(acc_a, _mm_mul_pd(da, da));
+      acc_b = _mm_add_pd(acc_b, _mm_mul_pd(db, db));
+    }
+    double peek = HSumPair(acc_a, acc_b);
+    if (peek > abandon_at_sq) return peek;
+  }
+  return detail::SqDistTail(x, lo, hi, j, n, HSumPair(acc_a, acc_b));
+}
+
+double LdtwRowUpdateSse2(double xi, const double* y, const double* prev,
+                         double* cur, std::size_t jlo, std::size_t jhi,
+                         double* cost_buf, double* t1_buf) {
+  const __m128d xiv = _mm_set1_pd(xi);
+  const __m128d infv = _mm_set1_pd(kInf);
+  const std::size_t len = jhi - jlo + 1;
+  const std::size_t len2 = len & ~std::size_t{1};
+  std::size_t idx = 0;
+  for (; idx < len2; idx += 2) {
+    std::size_t j = jlo + idx;
+    __m128d diff = _mm_sub_pd(xiv, _mm_loadu_pd(y + j));
+    __m128d c = _mm_mul_pd(diff, diff);
+    // min_pd(prev[j-1], prev[j]) == ScalarMin(prev[j], prev[j-1]).
+    __m128d a = _mm_min_pd(_mm_loadu_pd(prev + j - 1), _mm_loadu_pd(prev + j));
+    __m128d mask = _mm_cmpeq_pd(a, infv);
+    __m128d t1 = _mm_or_pd(_mm_and_pd(mask, infv),
+                           _mm_andnot_pd(mask, _mm_add_pd(c, a)));
+    _mm_storeu_pd(cost_buf + idx, c);
+    _mm_storeu_pd(t1_buf + idx, t1);
+  }
+  for (; idx < len; ++idx) {
+    std::size_t j = jlo + idx;
+    double diff = xi - y[j];
+    double c = diff * diff;
+    double a = detail::ScalarMin(prev[j], prev[j - 1]);
+    cost_buf[idx] = c;
+    t1_buf[idx] = a == kInf ? kInf : c + a;
+  }
+  return detail::LdtwSerialPass(cost_buf, t1_buf, cur, jlo, jhi);
+}
+
+}  // namespace
+
+extern const KernelTable kSse2Table;
+const KernelTable kSse2Table = {
+    SqDistToBoxSse2,
+    SqDistToBoxSse2,
+    LdtwRowUpdateSse2,
+    "sse2",
+};
+
+}  // namespace kernels
+}  // namespace humdex
+
+#endif  // HUMDEX_SIMD_ENABLED && __x86_64__

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/status.h"
 
@@ -42,6 +43,40 @@ double LbKeogh(const Series& x, const Series& y, std::size_t k) {
 
 double LbKeogh(const Series& x, const Envelope& env_y) {
   return DistanceToEnvelope(x, env_y);
+}
+
+Series ProjectOntoEnvelope(const Series& x, const Envelope& e) {
+  HUMDEX_CHECK(x.size() == e.lower.size());
+  Series h(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    h[i] = std::min(std::max(x[i], e.lower[i]), e.upper[i]);
+  }
+  return h;
+}
+
+double SquaredLbImprovedSecondPass(const Series& x, const Series& y,
+                                   const Envelope& env_y, std::size_t k,
+                                   double abandon_at_sq) {
+  Series h = ProjectOntoEnvelope(x, env_y);
+  Envelope env_h = BuildEnvelope(h, k);
+  return SquaredDistanceToEnvelope(y, env_h, abandon_at_sq);
+}
+
+double SquaredLbImproved(const Series& x, const Series& y,
+                         const Envelope& env_y, std::size_t k,
+                         double abandon_at_sq) {
+  double part1 = SquaredDistanceToEnvelope(x, env_y, abandon_at_sq);
+  if (part1 > abandon_at_sq) return part1;
+  double part2 =
+      SquaredLbImprovedSecondPass(x, y, env_y, k, abandon_at_sq - part1);
+  return part1 + part2;
+}
+
+double LbImproved(const Series& x, const Series& y, std::size_t k) {
+  HUMDEX_CHECK(x.size() == y.size());
+  return std::sqrt(SquaredLbImproved(
+      x, y, BuildEnvelope(y, k), k,
+      std::numeric_limits<double>::infinity()));
 }
 
 }  // namespace humdex

@@ -33,4 +33,34 @@ double LbKeogh(const Series& x, const Series& y, std::size_t k);
 /// LbKeogh against a precomputed envelope of y.
 double LbKeogh(const Series& x, const Envelope& env_y);
 
+/// Pointwise projection of x onto the envelope: h[i] = clamp(x[i] to
+/// [lower[i], upper[i]]). The "H" series of Lemire's LB_Improved; x's
+/// distance to the envelope equals its distance to h.
+Series ProjectOntoEnvelope(const Series& x, const Envelope& e);
+
+/// Lemire's two-pass LB_Improved (arXiv:0811.3301) for band radius k:
+///   LB_Improved(x, y)^2 = LB_Keogh(x, y)^2 + LB_Keogh(y, H)^2
+/// where H is x projected onto y's k-envelope. Still a lower bound of the
+/// banded LDTW distance, and never smaller than LB_Keogh — the second pass
+/// charges y for the distance it must cover to reach even the closest series
+/// inside the envelope. This is the cascade stage between LB_Keogh and the
+/// exact LDTW verification (DESIGN.md §10).
+double LbImproved(const Series& x, const Series& y, std::size_t k);
+
+/// Squared LB_Improved against a precomputed k-envelope of y, with early
+/// abandoning: any return > abandon_at_sq means the bound exceeds the
+/// threshold (the value may then be partial); any other return is the exact
+/// squared bound. Pass +infinity to disable abandoning.
+double SquaredLbImproved(const Series& x, const Series& y,
+                         const Envelope& env_y, std::size_t k,
+                         double abandon_at_sq);
+
+/// Second pass of LB_Improved alone: LB_Keogh(y, H)^2 with H the projection
+/// of x onto env_y, early-abandoning at abandon_at_sq. For callers that
+/// already hold LB_Keogh(x, env_y)^2 from an earlier cascade stage and want
+/// to add the two squared passes themselves.
+double SquaredLbImprovedSecondPass(const Series& x, const Series& y,
+                                   const Envelope& env_y, std::size_t k,
+                                   double abandon_at_sq);
+
 }  // namespace humdex

@@ -1,0 +1,77 @@
+#include "util/cpu.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#ifndef HUMDEX_SIMD_ENABLED
+#define HUMDEX_SIMD_ENABLED 0
+#endif
+
+namespace humdex {
+namespace {
+
+bool EnvForcesScalar() {
+  const char* v = std::getenv("HUMDEX_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+bool CpuSupports(SimdLevel level) {
+  if (level == SimdLevel::kScalar) return true;
+#if HUMDEX_SIMD_ENABLED && (defined(__x86_64__) || defined(__i386__))
+  // __builtin_cpu_supports reads CPUID once and caches (GCC/Clang).
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kSse2:
+      return __builtin_cpu_supports("sse2");
+    case SimdLevel::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  }
+  return false;
+#else
+  return false;
+#endif
+}
+
+struct Dispatch {
+  SimdLevel level;
+  bool forced_scalar;
+};
+
+Dispatch ResolveDispatch() {
+  Dispatch d{SimdLevel::kScalar, EnvForcesScalar()};
+  if (d.forced_scalar) return d;
+  if (CpuSupports(SimdLevel::kAvx2)) {
+    d.level = SimdLevel::kAvx2;
+  } else if (CpuSupports(SimdLevel::kSse2)) {
+    d.level = SimdLevel::kSse2;
+  }
+  return d;
+}
+
+const Dispatch& CachedDispatch() {
+  static const Dispatch d = ResolveDispatch();
+  return d;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool SimdLevelSupported(SimdLevel level) { return CpuSupports(level); }
+
+SimdLevel ActiveSimdLevel() { return CachedDispatch().level; }
+
+bool ForcedScalar() { return CachedDispatch().forced_scalar; }
+
+}  // namespace humdex

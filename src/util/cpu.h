@@ -1,0 +1,36 @@
+// Runtime CPU capability detection for the SIMD kernel dispatch (ts/kernels.h).
+//
+// The kernel layer compiles up to three variants of each hot kernel (portable
+// scalar, SSE2, AVX2+FMA) and picks one ONCE at startup:
+//
+//   - compile-time gate: -DHUMDEX_SIMD=OFF builds only the scalar variant
+//     (HUMDEX_SIMD_ENABLED=0), as does any non-x86-64 target;
+//   - runtime gate: the host CPU must actually report the feature bits;
+//   - operator gate: setting the HUMDEX_FORCE_SCALAR environment variable (to
+//     anything non-empty except "0") pins dispatch to the scalar reference,
+//     for debugging and for A/B-testing SIMD exactness in production builds.
+#pragma once
+
+namespace humdex {
+
+/// Instruction-set tiers the kernel layer knows how to exploit, ordered so
+/// that a higher value is a strict superset of the lower ones.
+enum class SimdLevel { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Human-readable tier name ("scalar", "sse2", "avx2").
+const char* SimdLevelName(SimdLevel level);
+
+/// True when this binary contains code for `level` AND the host CPU can run
+/// it. kScalar is always available.
+bool SimdLevelSupported(SimdLevel level);
+
+/// The tier dispatch selected at startup: the highest supported level, unless
+/// HUMDEX_FORCE_SCALAR demotes it to kScalar. Resolved once (first call) and
+/// cached; the environment variable is not re-read afterwards.
+SimdLevel ActiveSimdLevel();
+
+/// True when HUMDEX_FORCE_SCALAR was set (non-empty, not "0") at the time
+/// dispatch was resolved.
+bool ForcedScalar();
+
+}  // namespace humdex

@@ -1,0 +1,306 @@
+// Exactness of the squared-threshold filter cascade (DESIGN.md §10): for
+// every index backend and feature scheme, range and kNN answers must equal a
+// brute-force banded-DTW scan — same ids, distances within 1e-9 — with every
+// optional stage (Kim, LB_Improved) enabled or disabled, and identically
+// under the scalar reference kernels and every SIMD tier the machine can run
+// (whole-query A/B via ScopedKernelOverride). Also checks that the new
+// cascade counters account for every candidate and merge correctly through
+// batch aggregation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "gemini/query_engine.h"
+#include "ts/kernels.h"
+#include "ts/normal_form.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+constexpr std::size_t kLen = 64;
+constexpr std::size_t kDim = 8;
+
+std::vector<Series> RandomWalkNormalForms(std::size_t count,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Series> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Series walk(kLen);
+    double v = 0.0;
+    for (double& x : walk) {
+      v += rng.Uniform(-1.0, 1.0);
+      x = v;
+    }
+    out.push_back(NormalForm(walk, kLen));
+  }
+  return out;
+}
+
+std::vector<Series> NoisyQueries(const std::vector<Series>& corpus,
+                                 std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Series> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Series q = corpus[i % corpus.size()];
+    for (double& x : q) x += rng.Uniform(-0.3, 0.3);
+    out.push_back(NormalForm(q, kLen));
+  }
+  return out;
+}
+
+std::shared_ptr<FeatureScheme> SchemeFor(const std::string& name) {
+  if (name == "new_paa") return MakeNewPaaScheme(kLen, kDim);
+  return MakeDftScheme(kLen, kDim);
+}
+
+// The oracle: scan everything with the exact banded distance.
+std::vector<Neighbor> BruteForceRange(const std::vector<Series>& corpus,
+                                      const Series& query, double epsilon,
+                                      std::size_t band_k) {
+  std::vector<Neighbor> out;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    double d = LdtwDistance(query, corpus[i], band_k);
+    if (d <= epsilon) out.push_back({static_cast<std::int64_t>(i), d});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ExpectSameNeighbors(const std::vector<Neighbor>& got,
+                         const std::vector<Neighbor>& want,
+                         const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << what << " at " << i;
+    EXPECT_NEAR(got[i].distance, want[i].distance, 1e-9) << what << " at " << i;
+  }
+}
+
+class CascadeExactnessTest
+    : public ::testing::TestWithParam<std::tuple<IndexKind, std::string>> {};
+
+TEST_P(CascadeExactnessTest, RangeMatchesBruteForceForEveryStageCombination) {
+  auto [kind, scheme_name] = GetParam();
+  std::vector<Series> corpus = RandomWalkNormalForms(250, 21);
+  std::vector<Series> queries = NoisyQueries(corpus, 10, 87);
+
+  for (bool kim : {true, false}) {
+    for (bool improved : {true, false}) {
+      QueryEngineOptions opts;
+      opts.normal_len = kLen;
+      opts.index.kind = kind;
+      opts.cascade.kim = kim;
+      opts.cascade.improved = improved;
+      DtwQueryEngine engine(SchemeFor(scheme_name), opts);
+      engine.AddAll(corpus);
+      for (const Series& q : queries) {
+        double epsilon = engine.KnnQuery(q, 5).back().distance;
+        QueryStats stats;
+        std::vector<Neighbor> got = engine.RangeQuery(q, epsilon, &stats);
+        std::vector<Neighbor> want =
+            BruteForceRange(corpus, q, epsilon, engine.band_radius());
+        ExpectSameNeighbors(got, want,
+                            "kim=" + std::to_string(kim) +
+                                " improved=" + std::to_string(improved));
+        // Stage accounting: every index candidate is pruned by exactly one
+        // stage or reaches exact DTW.
+        EXPECT_EQ(stats.exact_dtw_calls, stats.lb_survivors);
+        EXPECT_LE(stats.kim_pruned + stats.improved_pruned + stats.lb_survivors,
+                  stats.index_candidates);
+        if (!kim) EXPECT_EQ(stats.kim_pruned, 0u);
+        if (!improved) EXPECT_EQ(stats.improved_pruned, 0u);
+        EXPECT_GE(stats.lb_survivors, stats.results);
+      }
+    }
+  }
+}
+
+TEST_P(CascadeExactnessTest, KnnMatchesBruteForceOrdering) {
+  auto [kind, scheme_name] = GetParam();
+  std::vector<Series> corpus = RandomWalkNormalForms(220, 31);
+  std::vector<Series> queries = NoisyQueries(corpus, 8, 97);
+  QueryEngineOptions opts;
+  opts.normal_len = kLen;
+  opts.index.kind = kind;
+  DtwQueryEngine engine(SchemeFor(scheme_name), opts);
+  engine.AddAll(corpus);
+
+  for (const Series& q : queries) {
+    const std::size_t k = 7;
+    std::vector<Neighbor> all =
+        BruteForceRange(corpus, q, kInfiniteDistance, engine.band_radius());
+    std::sort(all.begin(), all.end());
+    all.resize(k);
+    QueryStats stats_two_step, stats_optimal;
+    ExpectSameNeighbors(engine.KnnQuery(q, k, &stats_two_step), all,
+                        "two-step knn");
+    ExpectSameNeighbors(engine.KnnQueryOptimal(q, k, &stats_optimal), all,
+                        "optimal knn");
+    EXPECT_EQ(stats_two_step.results, k);
+    EXPECT_EQ(stats_optimal.results, k);
+  }
+}
+
+TEST_P(CascadeExactnessTest, ForcedScalarAndSimdTiersAgreeWholeQuery) {
+  auto [kind, scheme_name] = GetParam();
+  std::vector<Series> corpus = RandomWalkNormalForms(200, 41);
+  std::vector<Series> queries = NoisyQueries(corpus, 6, 107);
+  QueryEngineOptions opts;
+  opts.normal_len = kLen;
+  opts.index.kind = kind;
+  DtwQueryEngine engine(SchemeFor(scheme_name), opts);
+  engine.AddAll(corpus);
+
+  for (const Series& q : queries) {
+    double epsilon;
+    std::vector<Neighbor> range_ref, knn_ref;
+    {
+      kernels::ScopedKernelOverride force_scalar(SimdLevel::kScalar);
+      epsilon = engine.KnnQuery(q, 5).back().distance;
+      range_ref = engine.RangeQuery(q, epsilon);
+      knn_ref = engine.KnnQueryOptimal(q, 4);
+    }
+    for (SimdLevel level : {SimdLevel::kSse2, SimdLevel::kAvx2}) {
+      if (kernels::KernelTableFor(level) == nullptr) continue;
+      kernels::ScopedKernelOverride force(level);
+      std::vector<Neighbor> range_got = engine.RangeQuery(q, epsilon);
+      std::vector<Neighbor> knn_got = engine.KnnQueryOptimal(q, 4);
+      ASSERT_EQ(range_got.size(), range_ref.size()) << SimdLevelName(level);
+      for (std::size_t i = 0; i < range_got.size(); ++i) {
+        EXPECT_EQ(range_got[i].id, range_ref[i].id);
+        // The kernels are bit-identical across tiers, so so are the queries.
+        EXPECT_EQ(range_got[i].distance, range_ref[i].distance);
+      }
+      ASSERT_EQ(knn_got.size(), knn_ref.size()) << SimdLevelName(level);
+      for (std::size_t i = 0; i < knn_got.size(); ++i) {
+        EXPECT_EQ(knn_got[i].id, knn_ref[i].id);
+        EXPECT_EQ(knn_got[i].distance, knn_ref[i].distance);
+      }
+    }
+  }
+}
+
+TEST_P(CascadeExactnessTest, RemoveKeepsArenaMirrorConsistent) {
+  auto [kind, scheme_name] = GetParam();
+  std::vector<Series> corpus = RandomWalkNormalForms(120, 51);
+  std::vector<Series> queries = NoisyQueries(corpus, 4, 117);
+  QueryEngineOptions opts;
+  opts.normal_len = kLen;
+  opts.index.kind = kind;
+  DtwQueryEngine engine(SchemeFor(scheme_name), opts);
+  engine.AddAll(corpus);
+
+  // Remove a third of the corpus (hits the swap-remove path repeatedly),
+  // then re-check range answers against a brute force over the survivors.
+  Rng rng(61);
+  std::vector<bool> removed(corpus.size(), false);
+  for (int i = 0; i < 40; ++i) {
+    std::size_t id = rng.NextBounded(static_cast<std::uint32_t>(corpus.size()));
+    if (!removed[id]) {
+      ASSERT_TRUE(engine.Remove(static_cast<std::int64_t>(id)));
+      removed[id] = true;
+    }
+  }
+  for (const Series& q : queries) {
+    double epsilon = engine.KnnQuery(q, 5).back().distance;
+    std::vector<Neighbor> got = engine.RangeQuery(q, epsilon);
+    std::vector<Neighbor> want;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      if (removed[i]) continue;
+      double d = LdtwDistance(q, corpus[i], engine.band_radius());
+      if (d <= epsilon) want.push_back({static_cast<std::int64_t>(i), d});
+    }
+    std::sort(want.begin(), want.end());
+    ExpectSameNeighbors(got, want, "post-remove range");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CascadeExactnessTest,
+    ::testing::Combine(::testing::Values(IndexKind::kRStarTree,
+                                         IndexKind::kGridFile,
+                                         IndexKind::kLinearScan),
+                       ::testing::Values(std::string("new_paa"),
+                                         std::string("dft"))),
+    [](const auto& info) {
+      std::string kind;
+      switch (std::get<0>(info.param)) {
+        case IndexKind::kRStarTree: kind = "rstar"; break;
+        case IndexKind::kGridFile: kind = "grid"; break;
+        case IndexKind::kLinearScan: kind = "linear"; break;
+      }
+      return kind + "_" + std::get<1>(info.param);
+    });
+
+// Batch aggregation must sum the new counters exactly like the old ones.
+TEST(CascadeStatsTest, BatchAggregationSumsNewCounters) {
+  std::vector<Series> corpus = RandomWalkNormalForms(150, 71);
+  std::vector<Series> queries = NoisyQueries(corpus, 12, 127);
+  QueryEngineOptions opts;
+  opts.normal_len = kLen;
+  DtwQueryEngine engine(MakeNewPaaScheme(kLen, kDim), opts);
+  engine.AddAll(corpus);
+  double epsilon = engine.KnnQuery(queries[0], 5).back().distance;
+
+  QueryStats sum_serial;
+  for (const Series& q : queries) {
+    QueryStats s;
+    engine.RangeQuery(q, epsilon, &s);
+    sum_serial += s;
+  }
+  QueryStats aggregate;
+  engine.RangeQueryBatch(queries, epsilon, /*threads=*/4, &aggregate);
+  EXPECT_EQ(aggregate.kim_pruned, sum_serial.kim_pruned);
+  EXPECT_EQ(aggregate.improved_pruned, sum_serial.improved_pruned);
+  EXPECT_EQ(aggregate.lb_survivors, sum_serial.lb_survivors);
+  EXPECT_EQ(aggregate.exact_dtw_calls, sum_serial.exact_dtw_calls);
+  EXPECT_EQ(aggregate.results, sum_serial.results);
+  EXPECT_GT(aggregate.improved_ns + aggregate.lb_ns + aggregate.dtw_ns, 0u);
+}
+
+// Disabling a stage can only shift work to later stages, never change the
+// answer; enabling Kim + Improved must strictly reduce exact-DTW calls on a
+// workload where the filter has anything to do at all.
+TEST(CascadeStatsTest, StagesReduceExactDtwCallsWithoutChangingAnswers) {
+  std::vector<Series> corpus = RandomWalkNormalForms(300, 81);
+  std::vector<Series> queries = NoisyQueries(corpus, 16, 137);
+
+  auto run = [&](bool kim, bool improved, QueryStats* total) {
+    QueryEngineOptions opts;
+    opts.normal_len = kLen;
+    opts.cascade.kim = kim;
+    opts.cascade.improved = improved;
+    DtwQueryEngine engine(MakeNewPaaScheme(kLen, kDim), opts);
+    engine.AddAll(corpus);
+    std::vector<std::vector<Neighbor>> out;
+    for (const Series& q : queries) {
+      double epsilon = engine.KnnQuery(q, 3).back().distance;
+      QueryStats s;
+      out.push_back(engine.RangeQuery(q, 1.5 * epsilon, &s));
+      *total += s;
+    }
+    return out;
+  };
+
+  QueryStats off, on;
+  auto results_off = run(false, false, &off);
+  auto results_on = run(true, true, &on);
+  ASSERT_EQ(results_off.size(), results_on.size());
+  for (std::size_t i = 0; i < results_off.size(); ++i) {
+    ExpectSameNeighbors(results_on[i], results_off[i], "stage ablation");
+  }
+  EXPECT_LT(on.exact_dtw_calls, off.exact_dtw_calls)
+      << "Kim+Improved pruned nothing on a workload built to exercise them";
+  EXPECT_GT(on.kim_pruned + on.improved_pruned, 0u);
+}
+
+}  // namespace
+}  // namespace humdex

@@ -1,0 +1,246 @@
+// Equivalence properties of the dispatched SIMD kernels (ts/kernels.h): every
+// variant the binary carries must produce BIT-IDENTICAL output to the scalar
+// reference on the same inputs — the whole-query exactness argument of
+// DESIGN.md §10 rests on this. Lengths sweep 1..1024 so every lane remainder
+// of the 2-wide (SSE2) and 4-wide (AVX2) main loops is hit; inputs include
+// denormals and ±infinity, and abandoning thresholds exercise every
+// checkpoint path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "ts/dtw.h"
+#include "ts/envelope.h"
+#include "ts/kernels.h"
+#include "ts/lower_bound.h"
+#include "util/random.h"
+
+namespace humdex {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Bitwise comparison: NaN == NaN, +0 != -0. The kernels are deterministic
+// functions of their input bits, so nothing weaker is acceptable.
+::testing::AssertionResult BitEqual(double a, double b) {
+  if (std::memcmp(&a, &b, sizeof(double)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "bit mismatch: " << a << " vs " << b;
+}
+
+Series RandomSeries(Rng* rng, std::size_t n) {
+  Series x(n);
+  for (double& v : x) v = rng->Uniform(-4.0, 4.0);
+  return x;
+}
+
+// A box around a random center, occasionally degenerate (lo == hi).
+void RandomBox(Rng* rng, std::size_t n, Series* lo, Series* hi) {
+  lo->resize(n);
+  hi->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double c = rng->Uniform(-4.0, 4.0);
+    double w = rng->Bernoulli(0.1) ? 0.0 : rng->Uniform(0.0, 1.0);
+    (*lo)[i] = c - w;
+    (*hi)[i] = c + w;
+  }
+}
+
+// Sprinkle special values: denormals, ±inf, exact zeros.
+void AddSpecials(Rng* rng, Series* x) {
+  for (double& v : *x) {
+    if (rng->Bernoulli(0.05)) v = 4.9e-324;   // smallest denormal
+    if (rng->Bernoulli(0.03)) v = -2.3e-310;  // denormal
+    if (rng->Bernoulli(0.02)) v = 0.0;
+    if (rng->Bernoulli(0.02)) v = kInf;
+    if (rng->Bernoulli(0.02)) v = -kInf;
+  }
+}
+
+std::vector<SimdLevel> VariantLevels() {
+  std::vector<SimdLevel> out;
+  for (SimdLevel level : {SimdLevel::kSse2, SimdLevel::kAvx2}) {
+    if (kernels::KernelTableFor(level) != nullptr) out.push_back(level);
+  }
+  return out;
+}
+
+class KernelVariantTest : public ::testing::TestWithParam<SimdLevel> {
+ protected:
+  void SetUp() override {
+    table_ = kernels::KernelTableFor(GetParam());
+    if (table_ == nullptr) {
+      GTEST_SKIP() << "tier " << SimdLevelName(GetParam())
+                   << " not available in this binary/CPU";
+    }
+  }
+  const kernels::KernelTable* table_ = nullptr;
+};
+
+TEST_P(KernelVariantTest, SqDistToBoxMatchesScalarBitForBitAllLengths) {
+  const kernels::KernelTable& scalar = kernels::ScalarKernels();
+  Rng rng(42);
+  for (std::size_t n = 1; n <= 1024; n = n < 140 ? n + 1 : n + 97) {
+    Series x = RandomSeries(&rng, n), lo, hi;
+    RandomBox(&rng, n, &lo, &hi);
+    double ref = scalar.sq_dist_to_box(x.data(), lo.data(), hi.data(), n, kInf);
+    double got = table_->sq_dist_to_box(x.data(), lo.data(), hi.data(), n, kInf);
+    EXPECT_TRUE(BitEqual(ref, got)) << "n=" << n;
+    // The aliased MINDIST entry computes the same math.
+    EXPECT_TRUE(BitEqual(
+        ref, table_->mindist_sq_to_rect(x.data(), lo.data(), hi.data(), n, kInf)))
+        << "n=" << n;
+  }
+}
+
+TEST_P(KernelVariantTest, SqDistToBoxMatchesScalarOnSpecialValues) {
+  const kernels::KernelTable& scalar = kernels::ScalarKernels();
+  Rng rng(43);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::size_t n = 1 + rng.NextBounded(300);
+    Series x = RandomSeries(&rng, n), lo, hi;
+    RandomBox(&rng, n, &lo, &hi);
+    AddSpecials(&rng, &x);
+    double ref = scalar.sq_dist_to_box(x.data(), lo.data(), hi.data(), n, kInf);
+    double got = table_->sq_dist_to_box(x.data(), lo.data(), hi.data(), n, kInf);
+    EXPECT_TRUE(BitEqual(ref, got)) << "trial=" << trial << " n=" << n;
+  }
+}
+
+TEST_P(KernelVariantTest, SqDistToBoxAbandonMatchesScalarAndStaysLowerBound) {
+  const kernels::KernelTable& scalar = kernels::ScalarKernels();
+  Rng rng(44);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::size_t n = 1 + rng.NextBounded(400);
+    Series x = RandomSeries(&rng, n), lo, hi;
+    RandomBox(&rng, n, &lo, &hi);
+    double full = scalar.sq_dist_to_box(x.data(), lo.data(), hi.data(), n, kInf);
+    // Thresholds from 0 (abandon at the first checkpoint) through the full
+    // sum (never abandon), including exactly the full sum.
+    for (double frac : {0.0, 0.1, 0.5, 0.9, 1.0, 2.0}) {
+      double abandon = full * frac;
+      double ref =
+          scalar.sq_dist_to_box(x.data(), lo.data(), hi.data(), n, abandon);
+      double got =
+          table_->sq_dist_to_box(x.data(), lo.data(), hi.data(), n, abandon);
+      EXPECT_TRUE(BitEqual(ref, got))
+          << "trial=" << trial << " n=" << n << " frac=" << frac;
+      // Partial or not, the return is a lower bound of the full sum, and a
+      // return <= abandon implies it IS the full sum.
+      if (!std::isnan(ref)) {
+        EXPECT_LE(ref, full);
+        if (ref <= abandon) EXPECT_TRUE(BitEqual(ref, full));
+      }
+    }
+  }
+}
+
+TEST_P(KernelVariantTest, LdtwRowUpdateMatchesScalarBitForBit) {
+  const kernels::KernelTable& scalar = kernels::ScalarKernels();
+  Rng rng(45);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t m = 1 + rng.NextBounded(160);
+    const std::size_t jlo = rng.NextBounded(static_cast<std::uint32_t>(m));
+    const std::size_t jhi = jlo + rng.NextBounded(static_cast<std::uint32_t>(m - jlo));
+    Series y = RandomSeries(&rng, m);
+    const double xi = rng.Uniform(-4.0, 4.0);
+    // DP rows with the one-slot front pad the contract requires; some prev
+    // cells are infinity (outside the previous row's band).
+    std::vector<double> prev_buf(m + 1, kInf), cur_ref(m + 1, kInf),
+        cur_got(m + 1, kInf);
+    for (std::size_t j = 0; j <= m; ++j) {
+      if (!rng.Bernoulli(0.2)) prev_buf[j] = rng.Uniform(0.0, 50.0);
+    }
+    prev_buf[0] = kInf;  // the pad itself is always infinity
+    const std::size_t width = jhi - jlo + 1;
+    std::vector<double> cost_a(width), t1_a(width), cost_b(width), t1_b(width);
+    double ref = scalar.ldtw_row_update(xi, y.data(), prev_buf.data() + 1,
+                                        cur_ref.data() + 1, jlo, jhi,
+                                        cost_a.data(), t1_a.data());
+    double got = table_->ldtw_row_update(xi, y.data(), prev_buf.data() + 1,
+                                         cur_got.data() + 1, jlo, jhi,
+                                         cost_b.data(), t1_b.data());
+    EXPECT_TRUE(BitEqual(ref, got)) << "trial=" << trial;
+    for (std::size_t j = jlo; j <= jhi; ++j) {
+      EXPECT_TRUE(BitEqual(cur_ref[j + 1], cur_got[j + 1]))
+          << "trial=" << trial << " j=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, KernelVariantTest,
+                         ::testing::Values(SimdLevel::kSse2, SimdLevel::kAvx2),
+                         [](const auto& info) {
+                           return std::string(SimdLevelName(info.param));
+                         });
+
+// The kernelized entry points (envelope distance, banded DTW) agree with
+// definitional re-computation regardless of which table is active.
+TEST(KernelDispatchTest, ActiveTableMatchesScalarThroughPublicApis) {
+  Rng rng(46);
+  for (SimdLevel level : VariantLevels()) {
+    kernels::ScopedKernelOverride scalar_first(SimdLevel::kScalar);
+    Series x = RandomSeries(&rng, 96), y = RandomSeries(&rng, 96);
+    Envelope env = BuildEnvelope(y, 5);
+    double d_env = SquaredDistanceToEnvelope(x, env);
+    double d_dtw = SquaredLdtwDistance(x, y, 5);
+    {
+      kernels::ScopedKernelOverride with_simd(level);
+      EXPECT_TRUE(BitEqual(d_env, SquaredDistanceToEnvelope(x, env)));
+      EXPECT_TRUE(BitEqual(d_dtw, SquaredLdtwDistance(x, y, 5)));
+    }
+  }
+}
+
+TEST(KernelDispatchTest, ForceScalarEnvVariableIsRespectedInTableFor) {
+  // ActiveSimdLevel() caches the env lookup, so this only checks the level
+  // enumeration helpers stay consistent; the end-to-end env-var behavior is
+  // exercised by scripts/check.sh running this binary under
+  // HUMDEX_FORCE_SCALAR=1.
+  EXPECT_NE(kernels::KernelTableFor(SimdLevel::kScalar), nullptr);
+  EXPECT_STREQ(kernels::ScalarKernels().name, "scalar");
+  if (ForcedScalar()) {
+    EXPECT_EQ(&kernels::ActiveKernels(), &kernels::ScalarKernels());
+  }
+}
+
+// LB_Improved is sandwiched between LB_Keogh and the exact banded distance,
+// which is exactly why it earns its place in the cascade.
+TEST(LbImprovedTest, SandwichedBetweenKeoghAndExactDtw) {
+  Rng rng(47);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 8 + rng.NextBounded(120);
+    const std::size_t k = rng.NextBounded(8);
+    Series x = RandomSeries(&rng, n), y = RandomSeries(&rng, n);
+    double keogh = LbKeogh(x, y, k);
+    double improved = LbImproved(x, y, k);
+    double exact = LdtwDistance(x, y, k);
+    EXPECT_LE(keogh, improved + 1e-9) << "trial=" << trial;
+    EXPECT_LE(improved, exact + 1e-9) << "trial=" << trial;
+  }
+}
+
+// The two-pass decomposition used by the cascade (part1 carried from the
+// Keogh stage, abandoning second pass) reproduces the reference bound.
+TEST(LbImprovedTest, SecondPassDecompositionMatchesReference) {
+  Rng rng(48);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 8 + rng.NextBounded(120);
+    const std::size_t k = rng.NextBounded(8);
+    Series x = RandomSeries(&rng, n), y = RandomSeries(&rng, n);
+    Envelope env_y = BuildEnvelope(y, k);
+    double part1 = SquaredDistanceToEnvelope(x, env_y);
+    double part2 = SquaredLbImprovedSecondPass(x, y, env_y, k, kInf);
+    double whole = SquaredLbImproved(x, y, env_y, k, kInf);
+    EXPECT_TRUE(BitEqual(part1 + part2, whole)) << "trial=" << trial;
+    EXPECT_NEAR(std::sqrt(whole), LbImproved(x, y, k), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace humdex
