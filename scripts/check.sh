@@ -3,11 +3,14 @@
 #   1. plain RelWithDebInfo build, full ctest suite;
 #   2. ThreadSanitizer build (-DHUMDEX_SANITIZE=thread), running the
 #      parallel-read-path tests (thread pool, batch queries, buffer pool
-#      stress) so the thread-safety guarantees are mechanically checked;
+#      stress) so the thread-safety guarantees are mechanically checked —
+#      once with the dispatched SIMD tier and once under
+#      HUMDEX_FORCE_SCALAR=1, so both kernel paths race under TSan;
 #   3. ASan+UBSan build (-DHUMDEX_SANITIZE=address+undefined), running the
 #      storage, corruption, fault-injection, and fuzz tests so "no corrupt
 #      input throws, aborts, or touches bad memory" is mechanically checked —
-#      plus the SIMD kernel property and cascade exactness tests, once with
+#      plus the SIMD kernel property tests, the cascade power-set exactness
+#      harness, and the LB_Triangle property/metamorphic suites, once with
 #      the dispatched tier and once under HUMDEX_FORCE_SCALAR=1, so every
 #      kernel variant runs under the sanitizers;
 #   4. HUMDEX_SIMD=OFF build, running the kernel and cascade tests to prove
@@ -22,6 +25,9 @@ echo "== [1/4] plain build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+# Reference-point pruning gate: exits non-zero on any answer mismatch or if
+# the triangle/tau stages stop strictly reducing exact-DTW calls.
+./build/bench/ablation_triangle
 
 echo "== [2/4] ThreadSanitizer build + concurrency tests =="
 cmake -B build-tsan -S . -DHUMDEX_SANITIZE=thread >/dev/null
@@ -30,18 +36,23 @@ cmake --build build-tsan -j "$JOBS" --target \
   metrics_stress_test online_update_test
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ThreadPool|ParallelQuery|QbhQueryBatch|BufferPool|MetricsStress|ConcurrentWriter'
+# Same concurrency tests with the dispatcher demoted to the scalar
+# reference, so both kernel paths race under TSan.
+HUMDEX_FORCE_SCALAR=1 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'ThreadPool|ParallelQuery|QbhQueryBatch|BufferPool|MetricsStress|ConcurrentWriter'
 
 echo "== [3/4] ASan+UBSan build + robustness tests =="
 cmake -B build-asan -S . -DHUMDEX_SANITIZE=address+undefined >/dev/null
 cmake --build build-asan -j "$JOBS" --target \
   env_test corruption_test deadline_test storage_test fuzz_test melody_io_test \
-  wav_io_test wal_test online_update_test kernel_test cascade_test
+  wav_io_test wal_test online_update_test kernel_test cascade_test \
+  property_test metamorphic_test
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-  -R 'PosixEnv|FaultInjectingEnv|Retry|Corruption|CrashSafety|Salvage|Deadline|Cancel|Shedding|Observability|Storage|Fuzz|MelodyIo|WavIo|WalTest|OnlineUpdate|Recovery|Kernel|Cascade|LbImproved'
-# Same kernel/cascade tests with the dispatcher demoted to the scalar
-# reference, so the scalar code paths also run under ASan+UBSan.
+  -R 'PosixEnv|FaultInjectingEnv|Retry|Corruption|CrashSafety|Salvage|Deadline|Cancel|Shedding|Observability|Storage|Fuzz|MelodyIo|WavIo|WalTest|OnlineUpdate|Recovery|Kernel|Cascade|LbImproved|TriangleBound|Metamorphic'
+# Same kernel/cascade/triangle tests with the dispatcher demoted to the
+# scalar reference, so the scalar code paths also run under ASan+UBSan.
 HUMDEX_FORCE_SCALAR=1 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-  -R 'Kernel|Cascade|LbImproved'
+  -R 'Kernel|Cascade|LbImproved|TriangleBound|Metamorphic'
 
 echo "== [4/4] HUMDEX_SIMD=OFF build + kernel/cascade tests =="
 cmake -B build-nosimd -S . -DHUMDEX_SIMD=OFF >/dev/null

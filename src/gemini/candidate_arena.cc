@@ -32,6 +32,7 @@ CandidateArena::~CandidateArena() {
   std::free(series_);
   std::free(env_lo_);
   std::free(env_hi_);
+  std::free(pivots_);
   std::free(meta_);
 }
 
@@ -39,14 +40,18 @@ CandidateArena::CandidateArena(CandidateArena&& other) noexcept
     : series_len_(other.series_len_),
       band_k_(other.band_k_),
       stride_(other.stride_),
+      pivot_dims_(other.pivot_dims_),
+      pivot_stride_(other.pivot_stride_),
       size_(other.size_),
       capacity_(other.capacity_),
       series_(other.series_),
       env_lo_(other.env_lo_),
       env_hi_(other.env_hi_),
+      pivots_(other.pivots_),
       meta_(other.meta_) {
   other.size_ = other.capacity_ = 0;
-  other.series_ = other.env_lo_ = other.env_hi_ = nullptr;
+  other.pivot_dims_ = other.pivot_stride_ = 0;
+  other.series_ = other.env_lo_ = other.env_hi_ = other.pivots_ = nullptr;
   other.meta_ = nullptr;
 }
 
@@ -55,20 +60,37 @@ CandidateArena& CandidateArena::operator=(CandidateArena&& other) noexcept {
   std::free(series_);
   std::free(env_lo_);
   std::free(env_hi_);
+  std::free(pivots_);
   std::free(meta_);
   series_len_ = other.series_len_;
   band_k_ = other.band_k_;
   stride_ = other.stride_;
+  pivot_dims_ = other.pivot_dims_;
+  pivot_stride_ = other.pivot_stride_;
   size_ = other.size_;
   capacity_ = other.capacity_;
   series_ = other.series_;
   env_lo_ = other.env_lo_;
   env_hi_ = other.env_hi_;
+  pivots_ = other.pivots_;
   meta_ = other.meta_;
   other.size_ = other.capacity_ = 0;
-  other.series_ = other.env_lo_ = other.env_hi_ = nullptr;
+  other.pivot_dims_ = other.pivot_stride_ = 0;
+  other.series_ = other.env_lo_ = other.env_hi_ = other.pivots_ = nullptr;
   other.meta_ = nullptr;
   return *this;
+}
+
+void CandidateArena::ConfigurePivots(std::size_t dims) {
+  std::free(pivots_);
+  pivots_ = nullptr;
+  pivot_dims_ = dims;
+  pivot_stride_ =
+      dims == 0 ? 0 : (3 * dims + 3) & ~static_cast<std::size_t>(3);
+  if (dims != 0 && capacity_ > 0) {
+    pivots_ = AllocRows(capacity_, pivot_stride_);
+    std::memset(pivots_, 0, capacity_ * pivot_stride_ * sizeof(double));
+  }
 }
 
 void CandidateArena::Grow(std::size_t min_items) {
@@ -83,6 +105,15 @@ void CandidateArena::Grow(std::size_t min_items) {
   regrow(series_);
   regrow(env_lo_);
   regrow(env_hi_);
+  if (pivot_dims_ > 0) {
+    double* fresh = AllocRows(cap, pivot_stride_);
+    std::memset(fresh, 0, cap * pivot_stride_ * sizeof(double));
+    if (size_ > 0 && pivots_ != nullptr) {
+      std::memcpy(fresh, pivots_, size_ * pivot_stride_ * sizeof(double));
+    }
+    std::free(pivots_);
+    pivots_ = fresh;
+  }
   Meta* fresh_meta =
       static_cast<Meta*>(std::aligned_alloc(kernels::kAlignment, cap * sizeof(Meta)));
   HUMDEX_CHECK(fresh_meta != nullptr);
@@ -114,6 +145,11 @@ void CandidateArena::Append(const Series& s) {
     hrow[j] = 0.0;
   }
   meta_[size_] = Meta{s.front(), s.back(), SeriesMin(s), SeriesMax(s)};
+  if (pivot_dims_ > 0) {
+    // Zeroed placeholder; the engine overwrites it right after Append.
+    std::memset(pivots_ + size_ * pivot_stride_, 0,
+                pivot_stride_ * sizeof(double));
+  }
   ++size_;
 }
 
@@ -127,6 +163,10 @@ void CandidateArena::SwapRemove(std::size_t pos) {
                 stride_ * sizeof(double));
     std::memcpy(env_hi_ + pos * stride_, env_hi_ + last * stride_,
                 stride_ * sizeof(double));
+    if (pivot_dims_ > 0) {
+      std::memcpy(pivots_ + pos * pivot_stride_, pivots_ + last * pivot_stride_,
+                  pivot_stride_ * sizeof(double));
+    }
     meta_[pos] = meta_[last];
   }
   --size_;

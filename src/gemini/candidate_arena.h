@@ -7,11 +7,19 @@
 //   - its precomputed k-envelope (lower and upper), used by the symmetric
 //     Keogh bound without any per-candidate envelope build,
 //   - a 4-double meta row {first, last, min, max} for the O(1) Kim stage,
+//   - an optional pivot row of 3 * P doubles for the LB_Triangle stages
+//     (DESIGN.md §11): per reference series r, the Euclidean distance
+//     ed[r] = ED(item, r) (a metric upper-bound ingredient for kNN threshold
+//     seeding), the envelope distance box[r] = d(item, Env(r)) (corpus-side
+//     triangle refinement), and the envelope gap gap[r] = h(Env(r),
+//     Env(item)) (query-side triangle bound),
 //
-// into three flat 32-byte-aligned arrays (row stride padded to a multiple of
+// into flat 32-byte-aligned arrays (row stride padded to a multiple of
 // 4 doubles), so the filter streams memory in index order instead of
 // pointer-chasing. Rows mirror DtwQueryEngine::data_ positions exactly:
-// Append on Add, SwapRemove on Remove.
+// Append on Add, SwapRemove on Remove. Pivot rows are engine-written (the
+// arena does not know the references): ConfigurePivots sizes the storage and
+// the engine fills pivot_row() after every Append / ConfigurePivots.
 #pragma once
 
 #include <cstddef>
@@ -46,6 +54,14 @@ class CandidateArena {
   /// Padded row length in doubles (multiple of 4; rows are 32-byte aligned).
   std::size_t stride() const { return stride_; }
 
+  /// Number of reference (pivot) columns per item; 0 until ConfigurePivots.
+  std::size_t pivot_dims() const { return pivot_dims_; }
+
+  /// (Re)size the per-item pivot rows to `dims` references. Existing rows are
+  /// zeroed — the caller owns recomputing every live row afterwards. dims == 0
+  /// drops the storage.
+  void ConfigurePivots(std::size_t dims);
+
   void Reserve(std::size_t items);
 
   /// Append one item (computes its envelope and meta). The new row index is
@@ -67,17 +83,34 @@ class CandidateArena {
   }
   const Meta& meta(std::size_t pos) const { return meta_[pos]; }
 
+  /// Mutable pivot row for the engine to fill after Append/ConfigurePivots.
+  /// Layout: [ed_0..ed_{P-1} | box_0..box_{P-1} | gap_0..gap_{P-1} | pad].
+  /// Only valid when pivot_dims() > 0.
+  double* pivot_row(std::size_t pos) { return pivots_ + pos * pivot_stride_; }
+  const double* pivot_ed(std::size_t pos) const {
+    return pivots_ + pos * pivot_stride_;
+  }
+  const double* pivot_box(std::size_t pos) const {
+    return pivots_ + pos * pivot_stride_ + pivot_dims_;
+  }
+  const double* pivot_gap(std::size_t pos) const {
+    return pivots_ + pos * pivot_stride_ + 2 * pivot_dims_;
+  }
+
  private:
   void Grow(std::size_t min_items);
 
   std::size_t series_len_;
   std::size_t band_k_;
   std::size_t stride_;
+  std::size_t pivot_dims_ = 0;
+  std::size_t pivot_stride_ = 0;  // 3 * pivot_dims_ rounded up to 4 doubles
   std::size_t size_ = 0;
   std::size_t capacity_ = 0;
   double* series_ = nullptr;
   double* env_lo_ = nullptr;
   double* env_hi_ = nullptr;
+  double* pivots_ = nullptr;
   Meta* meta_ = nullptr;
 };
 

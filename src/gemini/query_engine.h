@@ -6,8 +6,10 @@
 //   3. an epsilon-range query on the index returns a candidate superset
 //      (no false negatives by Theorem 1);
 //   4. candidates pass an O(1) Kim prefilter (first/last/extrema), then the
-//      raw-space envelope bound LB_Keogh in both directions (Lemma 2 +
-//      symmetry), then Lemire's two-pass LB_Improved;
+//      O(P) reference-point bound LB_Triangle with its corpus-side
+//      refinement pass (DESIGN.md §11), then the raw-space envelope bound
+//      LB_Keogh in both directions (Lemma 2 + symmetry), then Lemire's
+//      two-pass LB_Improved;
 //   5. survivors are verified with the exact banded DTW (early-abandoning).
 //
 // Every stage compares squared distances against epsilon^2; the single sqrt
@@ -41,6 +43,10 @@ namespace humdex {
 struct QueryStats {
   std::size_t index_candidates = 0;  ///< ids returned by the feature index
   std::size_t kim_pruned = 0;        ///< ids dropped by the O(1) Kim stage
+  std::size_t triangle_pruned = 0;   ///< ids dropped by LB_Triangle (O(P))
+  std::size_t refine_pruned = 0;     ///< ids dropped by the corpus-side
+                                     ///< reference refinement pass
+  std::size_t keogh_pruned = 0;      ///< ids dropped by the LB_Keogh stage
   std::size_t improved_pruned = 0;   ///< ids dropped by LB_Improved's 2nd pass
   std::size_t lb_survivors = 0;      ///< ids entering exact DTW verification
   std::size_t results = 0;           ///< ids verified by exact DTW
@@ -49,6 +55,8 @@ struct QueryStats {
 
   std::uint64_t index_ns = 0;     ///< envelope build + feature-index probe time
   std::uint64_t lb_ns = 0;        ///< Kim + Keogh envelope-bound filter time
+  std::uint64_t triangle_ns = 0;  ///< LB_Triangle reference-bound filter time
+  std::uint64_t refine_ns = 0;    ///< corpus-side reference refinement time
   std::uint64_t improved_ns = 0;  ///< LB_Improved second-pass filter time
   std::uint64_t dtw_ns = 0;       ///< exact banded DTW verification time
   std::uint64_t total_ns = 0;     ///< whole-query wall time (>= the stage sum)
@@ -67,6 +75,9 @@ struct QueryStats {
   QueryStats& operator+=(const QueryStats& other) {
     index_candidates += other.index_candidates;
     kim_pruned += other.kim_pruned;
+    triangle_pruned += other.triangle_pruned;
+    refine_pruned += other.refine_pruned;
+    keogh_pruned += other.keogh_pruned;
     improved_pruned += other.improved_pruned;
     lb_survivors += other.lb_survivors;
     results += other.results;
@@ -74,6 +85,8 @@ struct QueryStats {
     exact_dtw_calls += other.exact_dtw_calls;
     index_ns += other.index_ns;
     lb_ns += other.lb_ns;
+    triangle_ns += other.triangle_ns;
+    refine_ns += other.refine_ns;
     improved_ns += other.improved_ns;
     dtw_ns += other.dtw_ns;
     total_ns += other.total_ns;
@@ -89,7 +102,22 @@ struct QueryStats {
 /// ablation benches that measure each stage's pruning power.
 struct CascadeOptions {
   bool kim = true;       ///< O(1) first/last/extrema prefilter (LB_Kim)
+  bool triangle = true;  ///< O(P) reference-point LB_Triangle stage (§11)
+  bool keogh = true;     ///< O(n) LB_Keogh envelope stage (both directions)
   bool improved = true;  ///< Lemire's two-pass LB_Improved stage
+
+  /// Second reference pass before exact LDTW: per surviving candidate c, the
+  /// precomputed d(c, Env(r)) minus the per-query h(Env(r), Env(q)) lower
+  /// bounds the forward LB_Keogh(c, Env(q)) and hence LDTW. Runs right
+  /// before the Keogh stage (after the exact forward Keogh value it can
+  /// never prune more). Ignored when `triangle` references are absent.
+  bool triangle_refine = true;
+
+  /// How many reference series the engine auto-selects at bulk build when
+  /// none were installed via SetReferences. 0 disables auto-selection (the
+  /// triangle stages are then inert until SetReferences is called before the
+  /// corpus is built).
+  std::size_t triangle_references = 4;
 };
 
 /// Engine options. Data and queries must be normal forms of length
@@ -124,6 +152,19 @@ class DtwQueryEngine {
   /// Remove a stored series by id. Returns false when the id is unknown.
   /// Subsequent queries behave as if it was never added.
   bool Remove(std::int64_t id);
+
+  /// Install the reference series driving the LB_Triangle stages (normal
+  /// forms of length options.normal_len; at most 64). Existing pivot rows
+  /// are recomputed, so this may be called at any time — but for bulk builds
+  /// call it *before* AddAll to skip the automatic selection. An empty
+  /// vector drops the references and makes the triangle stages inert.
+  /// Not thread-safe against concurrent queries (a write, like Add/Remove).
+  void SetReferences(std::vector<Series> refs);
+
+  /// Copies of the installed reference series, in pivot-column order (empty
+  /// when the triangle stages are inert). The persistence layer stores these
+  /// so reopened databases prune identically.
+  std::vector<Series> references() const;
 
   std::size_t size() const { return data_.size(); }
   std::size_t band_radius() const { return band_k_; }
@@ -221,7 +262,22 @@ class DtwQueryEngine {
     std::int64_t id;
   };
 
+  /// One LB_Triangle reference: the series and its k-envelope, immutable
+  /// once installed (pivot rows in the arena are derived from it).
+  struct Ref {
+    Series series;
+    Envelope env;
+  };
+
   const Item& ItemFor(std::int64_t id) const;
+
+  /// Compute the arena pivot row for position `pos` from refs_: per
+  /// reference r, ED(item, r), d(item, Env(r)), h(Env(r), Env(item)).
+  void FillPivotRow(std::size_t pos);
+
+  /// Farthest-first auto-selection of cascade.triangle_references references
+  /// from the freshly built corpus (bulk-build path, refs_ empty).
+  void AutoChooseReferences();
 
   /// The shared range cascade. `skip_ids` (sorted ascending, may be null)
   /// are candidates whose exact distances the caller already holds — the kNN
@@ -238,6 +294,7 @@ class DtwQueryEngine {
   std::vector<Item> data_;
   std::vector<std::size_t> id_to_pos_;  // dense id -> position map
   CandidateArena arena_;  // SoA mirror of data_ for the filter cascade
+  std::vector<Ref> refs_;  // LB_Triangle references (pivot-column order)
 };
 
 }  // namespace humdex

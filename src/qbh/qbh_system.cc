@@ -157,8 +157,30 @@ void QbhSystem::Build() {
   eopts.normal_len = options_.normal_len;
   eopts.warping_width = options_.warping_width;
   eopts.index.kind = options_.index;
+  eopts.cascade = options_.cascade;
   engine_ = std::make_unique<DtwQueryEngine>(std::move(scheme), eopts);
+  if (!pending_refs_.empty()) {
+    // A checkpoint's references, installed before the bulk build so AddAll
+    // fills pivot rows against them instead of auto-selecting a fresh set —
+    // the reopened system prunes exactly as the saved one did.
+    engine_->SetReferences(std::move(pending_refs_));
+    pending_refs_.clear();
+  }
   engine_->AddAll(std::move(normals), ids);
+}
+
+void QbhSystem::SetPendingReferences(std::vector<Series> refs) {
+  HUMDEX_CHECK_MSG(engine_ == nullptr, "SetPendingReferences after Build()");
+  for (const Series& r : refs) {
+    HUMDEX_CHECK(r.size() == options_.normal_len);
+  }
+  pending_refs_ = std::move(refs);
+}
+
+std::vector<Series> QbhSystem::References() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  if (engine_ == nullptr) return {};
+  return engine_->references();
 }
 
 Series QbhSystem::HumToNormalForm(const Series& hum_pitch) const {
@@ -398,8 +420,8 @@ Status QbhSystem::Attach(const std::string& path, Env* env) {
   }
   if (env == nullptr) env = Env::Default();
   std::unique_lock<std::shared_mutex> lock(*mu_);
-  HUMDEX_RETURN_IF_ERROR(
-      env->AtomicWriteFile(path, SerializeQbhCorpus(options_, melodies_)));
+  HUMDEX_RETURN_IF_ERROR(env->AtomicWriteFile(
+      path, SerializeQbhCorpus(options_, melodies_, engine_->references())));
   const std::string wal_path = WalPathFor(path);
   if (env->Exists(wal_path)) {
     // A stale log cannot belong to the checkpoint just written.
@@ -426,7 +448,8 @@ Status QbhSystem::Checkpoint() {
   // Step 1: persist the full corpus atomically (temp + fsync + rename). A
   // crash before the rename leaves the old checkpoint + full log.
   HUMDEX_RETURN_IF_ERROR(env_->AtomicWriteFile(
-      db_path_, SerializeQbhCorpus(options_, melodies_)));
+      db_path_,
+      SerializeQbhCorpus(options_, melodies_, engine_->references())));
   // Step 2: drop the log. A crash between the rename and here leaves the new
   // checkpoint + the full log, which replay recognizes and skips (records
   // carry explicit ids). A truncation failure is reported but not fatal to

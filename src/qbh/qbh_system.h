@@ -38,6 +38,7 @@ struct QbhOptions {
   SchemeKind scheme = SchemeKind::kNewPaa;
   IndexKind index = IndexKind::kRStarTree;
   double samples_per_beat = 8.0;   ///< melody rendering rate
+  CascadeOptions cascade;          ///< filter-cascade stage toggles
 };
 
 /// A query answer: melody id, its name, and the DTW distance to the query.
@@ -82,6 +83,18 @@ class QbhSystem {
   /// with tombstones (a checkpoint whose highest ids were all removed).
   /// Pre-Build only.
   void ReserveIds(std::int64_t next_id);
+
+  /// Storage/recovery plumbing: install the LB_Triangle reference series a
+  /// checkpoint carried, so the reopened system prunes with exactly the
+  /// references it was saved with (instead of re-selecting from the corpus).
+  /// Pre-Build only; Build() consumes them. Series must be normal forms of
+  /// length options.normal_len — the storage layer validates before calling.
+  void SetPendingReferences(std::vector<Series> refs);
+
+  /// Copies of the engine's LB_Triangle reference series, in pivot order
+  /// (empty before Build() or when the triangle stages are disabled). What
+  /// checkpoints persist.
+  std::vector<Series> References() const;
 
   /// Fit the feature scheme (SVD needs the corpus) and build the index.
   void Build();
@@ -214,6 +227,9 @@ class QbhSystem {
   void ApplyRemoveLocked(std::int64_t id);
 
   QbhOptions options_;
+  // References restored from a checkpoint, waiting for Build() to install
+  // them into the engine (empty means Build() auto-selects).
+  std::vector<Series> pending_refs_;
   // Slot == id; nullopt == tombstone (removed, id never reused).
   std::vector<std::optional<Melody>> melodies_;
   std::size_t live_count_ = 0;

@@ -1,5 +1,6 @@
 #include "qbh/storage.h"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -19,12 +20,41 @@ namespace {
 constexpr std::size_t kMaxNormalLen = 1 << 20;
 constexpr double kMaxSamplesPerBeat = 1e6;
 constexpr std::size_t kMaxNextId = 1 << 24;  // bounds the tombstone vector
+// Matches the engine's reference cap: a parsed pivot block that passes these
+// bounds can be handed to SetReferences without tripping its CHECKs.
+constexpr std::size_t kMaxPivots = 64;
 
 /// Id-space metadata for a gapped (tombstoned) corpus; absent in dense files.
 struct DbMeta {
   std::optional<std::size_t> next_id;
   std::optional<std::vector<std::size_t>> ids;
+  /// LB_Triangle reference block: `option pivots <n>` plus n `pivot ...`
+  /// lines. Both absent in files saved without references.
+  std::optional<std::size_t> pivot_count;
+  std::vector<Series> pivots;
 };
+
+/// Parse one `pivot <v0> <v1> ...` line. Every value must be a finite
+/// double; length is validated later against normal_len (the option may
+/// legally appear after the pivot lines in a crafted file).
+Status ParsePivotLine(const std::string& line, Series* out) {
+  out->clear();
+  std::istringstream fields(line.substr(6));
+  std::string tok;
+  while (fields >> tok) {
+    if (out->size() >= kMaxNormalLen) {
+      return Status::InvalidArgument("pivot line too long");
+    }
+    double v = 0.0;
+    HUMDEX_RETURN_IF_ERROR(ParseDouble(tok, &v));
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite pivot value");
+    }
+    out->push_back(v);
+  }
+  if (out->empty()) return Status::InvalidArgument("empty pivot line");
+  return Status::OK();
+}
 
 Status ParseIdList(const std::string& value, std::vector<std::size_t>* out) {
   out->clear();
@@ -235,7 +265,23 @@ Status ParseBody(std::istream& in, QbhOptions* opt, DbMeta* meta,
         meta->ids = std::move(ids);
         continue;
       }
+      if (key == "pivots") {
+        std::size_t count = 0;
+        HUMDEX_RETURN_IF_ERROR(ParseSize(value, &count));
+        if (count == 0 || count > kMaxPivots) {
+          return Status::InvalidArgument("pivots count out of range: " + value);
+        }
+        meta->pivot_count = count;
+        continue;
+      }
       HUMDEX_RETURN_IF_ERROR(ApplyOption(key, value, opt));
+    } else if (in_header && line.rfind("pivot ", 0) == 0) {
+      if (meta->pivots.size() >= kMaxPivots) {
+        return Status::InvalidArgument("too many pivot lines");
+      }
+      Series p;
+      HUMDEX_RETURN_IF_ERROR(ParsePivotLine(line, &p));
+      meta->pivots.push_back(std::move(p));
     } else {
       in_header = false;
       rest << line << '\n';
@@ -251,7 +297,25 @@ Result<QbhSystem> BuildSystem(QbhOptions opt, std::vector<Melody> corpus,
   if (opt.scheme == SchemeKind::kSvd && corpus.size() < 2) {
     return Status::InvalidArgument("SVD scheme needs at least 2 melodies");
   }
+  // Pivot block consistency: the declared count must match the pivot lines
+  // and every reference must be a normal form of the declared length. All
+  // failures are Status — a corrupt pivot block must never reach the
+  // CHECK-guarded SetReferences path.
+  if (meta.pivot_count.has_value() || !meta.pivots.empty()) {
+    if (!meta.pivot_count.has_value() ||
+        *meta.pivot_count != meta.pivots.size()) {
+      return Corruption("pivot count does not match pivot lines");
+    }
+    for (const Series& p : meta.pivots) {
+      if (p.size() != opt.normal_len) {
+        return Corruption("pivot length does not match normal_len");
+      }
+    }
+  }
   QbhSystem system(opt);
+  if (!meta.pivots.empty()) {
+    system.SetPendingReferences(std::move(meta.pivots));
+  }
   if (meta.ids.has_value()) {
     if (meta.ids->size() != corpus.size()) {
       return Corruption("id list length does not match melody count");
@@ -288,11 +352,13 @@ Status ReadFileWithRetry(Env* env, const std::string& path, std::string* out) {
 }  // namespace
 
 std::string SerializeQbhDatabase(const QbhSystem& system) {
-  return SerializeQbhCorpus(system.options(), system.CorpusSnapshot());
+  return SerializeQbhCorpus(system.options(), system.CorpusSnapshot(),
+                            system.References());
 }
 
 std::string SerializeQbhCorpus(
-    const QbhOptions& opt, const std::vector<std::optional<Melody>>& slots) {
+    const QbhOptions& opt, const std::vector<std::optional<Melody>>& slots,
+    const std::vector<Series>& pivots) {
   std::string out = "humdex-db v2\n";
   char buf[128];
   std::snprintf(buf, sizeof(buf), "option normal_len %zu\n", opt.normal_len);
@@ -309,6 +375,20 @@ std::string SerializeQbhCorpus(
   std::snprintf(buf, sizeof(buf), "option samples_per_beat %.17g\n",
                 opt.samples_per_beat);
   out += buf;
+  // LB_Triangle reference series (DESIGN.md §11). Inside the checksummed
+  // body so a reopened database prunes with exactly the saved references.
+  if (!pivots.empty()) {
+    std::snprintf(buf, sizeof(buf), "option pivots %zu\n", pivots.size());
+    out += buf;
+    for (const Series& p : pivots) {
+      out += "pivot";
+      for (double v : p) {
+        std::snprintf(buf, sizeof(buf), " %.17g", v);
+        out += buf;
+      }
+      out += '\n';
+    }
+  }
 
   std::vector<Melody> corpus;
   std::string id_list;
@@ -408,8 +488,13 @@ Result<QbhSystem> ParseQbhDatabaseSalvage(const std::string& text,
   }
 
   // Lenient header scan: malformed option lines fall back to the default
-  // value instead of failing the load.
+  // value instead of failing the load. Pivot lines are collected on the
+  // side; any inconsistency drops the whole block (Build() then re-selects
+  // references, which stays exact) instead of failing the salvage.
   QbhOptions opt;
+  std::optional<std::size_t> pivot_count;
+  std::vector<Series> pivots;
+  bool pivots_ok = true;
   std::istringstream body_in(parse_text);
   std::getline(body_in, line);  // version header
   std::ostringstream rest;
@@ -419,8 +504,27 @@ Result<QbhSystem> ParseQbhDatabaseSalvage(const std::string& text,
       std::istringstream fields(line.substr(7));
       std::string key, value;
       if (fields >> key >> value) {
+        if (key == "pivots") {
+          std::size_t count = 0;
+          if (ParseSize(value, &count).ok() && count > 0 &&
+              count <= kMaxPivots) {
+            pivot_count = count;
+          } else {
+            pivots_ok = false;
+          }
+          continue;
+        }
         QbhOptions trial = opt;
         if (ApplyOption(key, value, &trial).ok()) opt = trial;
+      }
+      continue;
+    }
+    if (in_header && line.rfind("pivot ", 0) == 0) {
+      Series p;
+      if (pivots.size() >= kMaxPivots || !ParsePivotLine(line, &p).ok()) {
+        pivots_ok = false;
+      } else {
+        pivots.push_back(std::move(p));
       }
       continue;
     }
@@ -442,7 +546,20 @@ Result<QbhSystem> ParseQbhDatabaseSalvage(const std::string& text,
   if (opt.scheme == SchemeKind::kSvd && corpus.size() < 2) {
     opt.scheme = SchemeKind::kDft;  // SVD cannot fit a 1-melody salvage
   }
-  return BuildSystem(opt, std::move(corpus));
+  // Keep the pivot block only when it is internally consistent and matches
+  // the (possibly defaulted) options; otherwise Build() re-selects.
+  DbMeta meta;
+  if (pivots_ok && pivot_count.has_value() && *pivot_count == pivots.size() &&
+      !pivots.empty()) {
+    for (const Series& p : pivots) {
+      if (p.size() != opt.normal_len) pivots_ok = false;
+    }
+    if (pivots_ok) {
+      meta.pivot_count = pivot_count;
+      meta.pivots = std::move(pivots);
+    }
+  }
+  return BuildSystem(opt, std::move(corpus), std::move(meta));
 }
 
 Status SaveQbhDatabase(const std::string& path, const QbhSystem& system,

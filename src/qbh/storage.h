@@ -25,6 +25,17 @@
 //
 // A dense corpus (no tombstones) omits both — the bytes are identical to
 // what earlier versions wrote.
+//
+// A system with LB_Triangle references (DESIGN.md §11) persists them so the
+// reopened database prunes with exactly the saved reference set:
+//
+//   option pivots <count>
+//   pivot <v0> <v1> ... <v_{normal_len-1}>     (one line per reference)
+//
+// The pivot lines live inside the checksummed body; a corrupt pivot block
+// fails with kCorruption (strict load) or is dropped wholesale (salvage —
+// Build() then re-selects references, which stays exact). Files without the
+// block load fine and re-select deterministically.
 #pragma once
 
 #include <optional>
@@ -51,9 +62,11 @@ std::string SerializeQbhDatabase(const QbhSystem& system);
 /// Serialize an id-indexed corpus (slot == id, nullopt == tombstone) with
 /// `options`. This is the checkpoint writer's entry point: it takes the raw
 /// slots so QbhSystem::Checkpoint can serialize under its own writer lock
-/// without re-entering locking accessors.
+/// without re-entering locking accessors. `pivots` are the engine's
+/// LB_Triangle reference series (normal forms; empty writes no pivot block).
 std::string SerializeQbhCorpus(const QbhOptions& options,
-                               const std::vector<std::optional<Melody>>& slots);
+                               const std::vector<std::optional<Melody>>& slots,
+                               const std::vector<Series>& pivots = {});
 
 /// Parse a database and return a *built* QbhSystem. Accepts v1 and v2;
 /// a v2 body that fails its checksum is kCorruption.

@@ -79,4 +79,29 @@ double LbImproved(const Series& x, const Series& y, std::size_t k) {
       std::numeric_limits<double>::infinity()));
 }
 
+double EnvelopeGap(const double* lo_a, const double* hi_a, const double* lo_b,
+                   const double* hi_b, std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double dlo = std::fabs(lo_a[i] - lo_b[i]);
+    double dhi = std::fabs(hi_a[i] - hi_b[i]);
+    double d = std::max(dlo, dhi);
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double EnvelopeGap(const Envelope& a, const Envelope& b) {
+  HUMDEX_CHECK(a.size() == b.size());
+  return EnvelopeGap(a.lower.data(), a.upper.data(), b.lower.data(),
+                     b.upper.data(), a.size());
+}
+
+double LbTriangle(const Series& x, const Envelope& env_ref,
+                  const Envelope& env_y) {
+  HUMDEX_CHECK(x.size() == env_ref.size() && x.size() == env_y.size());
+  return std::max(0.0,
+                  DistanceToEnvelope(x, env_ref) - EnvelopeGap(env_ref, env_y));
+}
+
 }  // namespace humdex

@@ -3,7 +3,9 @@
 // the structures must never corrupt or crash.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
+#include <vector>
 
 #include "audio/wav_io.h"
 #include "index/rstar_tree.h"
@@ -12,6 +14,7 @@
 #include "qbh/qbh_system.h"
 #include "qbh/storage.h"
 #include "qbh/wal.h"
+#include "util/crc32c.h"
 #include "util/env.h"
 #include "util/random.h"
 
@@ -187,6 +190,102 @@ TEST(FuzzTest, SalvageNeverCrashesAndKeepsItsPromises) {
       EXPECT_TRUE(r.value().built());
       EXPECT_GT(r.value().size(), 0u);
       EXPECT_EQ(r.value().size(), report.melodies_loaded);
+    }
+  }
+}
+
+// Re-stamp a v2 body with a valid trailer so the parser reaches the pivot
+// block instead of stopping at the checksum.
+std::string WithFreshCrc(std::string body) {
+  std::size_t tpos = body.rfind("\ncrc32c ");
+  if (tpos != std::string::npos) body.resize(tpos + 1);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "crc32c %08x\n", Crc32c(body));
+  return body + buf;
+}
+
+// Corrupt pivot blocks behind a VALID checksum (the adversarial case: CRC
+// passes, content lies) must fail the strict load with a clean Status —
+// never a CHECK-abort — and salvage must recover the melodies by dropping
+// the pivot block.
+TEST(FuzzTest, CorruptPivotBlocksFailWithStatusNeverAbort) {
+  const std::string good = ValidV2Database();
+  ASSERT_NE(good.find("option pivots"), std::string::npos);
+
+  auto replace_first = [](std::string text, const std::string& from,
+                          const std::string& to) {
+    std::size_t pos = text.find(from);
+    EXPECT_NE(pos, std::string::npos) << from;
+    if (pos != std::string::npos) text.replace(pos, from.size(), to);
+    return text;
+  };
+
+  std::vector<std::string> corrupt = {
+      // Count disagrees with the number of pivot lines.
+      replace_first(good, "option pivots 4", "option pivots 3"),
+      replace_first(good, "option pivots 4", "option pivots 64"),
+      // Count missing entirely but pivot lines present.
+      replace_first(good, "option pivots 4\n", ""),
+      // Absurd counts.
+      replace_first(good, "option pivots 4", "option pivots 0"),
+      replace_first(good, "option pivots 4", "option pivots 65"),
+      replace_first(good, "option pivots 4", "option pivots 18446744073709551616"),
+      replace_first(good, "option pivots 4", "option pivots -1"),
+      replace_first(good, "option pivots 4", "option pivots x"),
+      // Non-finite and malformed values inside a pivot line.
+      replace_first(good, "pivot ", "pivot nan "),
+      replace_first(good, "pivot ", "pivot inf "),
+      replace_first(good, "pivot ", "pivot zzz "),
+      // A pivot line of the wrong length (extra value -> != normal_len).
+      replace_first(good, "pivot ", "pivot 0.5 "),
+      // An empty pivot line.
+      replace_first(good, "pivot ", "pivot \npivot "),
+  };
+  for (std::size_t i = 0; i < corrupt.size(); ++i) {
+    std::string text = WithFreshCrc(corrupt[i]);
+    Result<QbhSystem> r = ParseQbhDatabase(text);
+    EXPECT_FALSE(r.ok()) << "case " << i;
+
+    // Salvage drops the bad block but keeps the corpus; triangle pruning
+    // stays exact because Build() re-selects references.
+    SalvageReport report;
+    Result<QbhSystem> s = ParseQbhDatabaseSalvage(text, &report);
+    ASSERT_TRUE(s.ok()) << "case " << i << ": " << s.status().ToString();
+    EXPECT_TRUE(report.crc_ok) << "case " << i;
+    EXPECT_EQ(s.value().size(), 4u) << "case " << i;
+  }
+}
+
+// Random garbage interleaved into the pivot block region: strict parse may
+// reject, salvage must still produce a usable system or a clean error.
+TEST(FuzzTest, FuzzedPivotBlocksNeverCrash) {
+  Rng rng(11);
+  const std::string good = ValidV2Database();
+  const std::size_t block = good.find("option pivots");
+  ASSERT_NE(block, std::string::npos);
+  static const char* kPivotTokens[] = {
+      "pivot",          "pivot 1 2 3", "pivot nan",     "option pivots 2",
+      "option pivots",  "pivot -1e308", "pivot 0",      "pivotx 1",
+      "option pivots 999999999999999999999999", "pivot inf inf"};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = good;
+    int edits = rng.UniformInt(1, 5);
+    for (int e = 0; e < edits; ++e) {
+      std::string line = kPivotTokens[rng.NextBounded(10)];
+      line.push_back('\n');
+      // Insert at a random line boundary at or after the pivot block start.
+      std::size_t pos = block + rng.NextBounded(static_cast<std::uint32_t>(
+                                    good.size() - block));
+      pos = text.find('\n', pos);
+      if (pos == std::string::npos) break;
+      text.insert(pos + 1, line);
+    }
+    ParseQbhDatabase(WithFreshCrc(text));  // any Status; no crash
+    SalvageReport report;
+    Result<QbhSystem> s = ParseQbhDatabaseSalvage(WithFreshCrc(text), &report);
+    if (s.ok()) {
+      EXPECT_TRUE(s.value().built());
+      EXPECT_EQ(s.value().size(), report.melodies_loaded);
     }
   }
 }

@@ -6,6 +6,7 @@
 
 #include "gemini/query_engine.h"
 #include "ts/dtw.h"
+#include "ts/lower_bound.h"
 #include "ts/normal_form.h"
 #include "util/random.h"
 
@@ -135,6 +136,84 @@ TEST(MetamorphicTest, BulkAndIncrementalBuildsAnswerIdentically) {
     ASSERT_EQ(ka.size(), kb.size());
     for (std::size_t i = 0; i < ka.size(); ++i) {
       EXPECT_NEAR(ka[i].distance, kb[i].distance, 1e-9);
+    }
+  }
+}
+
+// The LB_Triangle ingredients are built purely from pointwise differences,
+// so a common value shift of all three series (query, reference, candidate)
+// must leave the bound unchanged — the same transform
+// AddingFarAwaySeriesDoesNotChangeAnswers applies to whole corpora.
+TEST(MetamorphicTest, TriangleBoundInvariantUnderValueShift) {
+  Rng rng(17);
+  const std::size_t k = 6;
+  for (int trial = 0; trial < 20; ++trial) {
+    Series x = RandomWalk(&rng, 128);
+    Series r = RandomWalk(&rng, 128);
+    Series y = RandomWalk(&rng, 128);
+    double base = LbTriangle(x, BuildEnvelope(r, k), BuildEnvelope(y, k));
+    const double shift = 7.25;
+    for (Series* s : {&x, &r, &y}) {
+      for (double& v : *s) v += shift;
+    }
+    double shifted = LbTriangle(x, BuildEnvelope(r, k), BuildEnvelope(y, k));
+    EXPECT_NEAR(shifted, base, 1e-6 * (1.0 + base));
+  }
+}
+
+// Reversing all three series in time permutes every pointwise term of the
+// bound (envelopes of a reversed series are the reversed envelopes), so the
+// bound is preserved up to summation order.
+TEST(MetamorphicTest, TriangleBoundInvariantUnderTimeReversal) {
+  Rng rng(19);
+  const std::size_t k = 6;
+  for (int trial = 0; trial < 20; ++trial) {
+    Series x = RandomWalk(&rng, 128);
+    Series r = RandomWalk(&rng, 128);
+    Series y = RandomWalk(&rng, 128);
+    double base = LbTriangle(x, BuildEnvelope(r, k), BuildEnvelope(y, k));
+    for (Series* s : {&x, &r, &y}) std::reverse(s->begin(), s->end());
+    double reversed = LbTriangle(x, BuildEnvelope(r, k), BuildEnvelope(y, k));
+    EXPECT_NEAR(reversed, base, 1e-9 * (1.0 + base));
+  }
+}
+
+// The reference set is a pure accelerator: answers must not depend on which
+// references the engine prunes with, or whether it has any at all.
+TEST(MetamorphicTest, ReferenceSetIrrelevantToAnswers) {
+  Rng rng(23);
+  std::vector<Series> corpus;
+  for (int i = 0; i < 200; ++i) corpus.push_back(RandomWalk(&rng, 128));
+
+  auto make = [&](std::size_t references) {
+    QueryEngineOptions opts;
+    opts.cascade.triangle_references = references;
+    auto engine =
+        std::make_unique<DtwQueryEngine>(MakeNewPaaScheme(128, 8), opts);
+    engine->AddAll(corpus);
+    return engine;
+  };
+  auto none = make(0);
+  auto few = make(2);
+  auto many = make(16);
+
+  for (int q = 0; q < 8; ++q) {
+    Series query = RandomWalk(&rng, 128);
+    auto a = none->RangeQuery(query, 9.0);
+    for (auto* engine : {few.get(), many.get()}) {
+      auto b = engine->RangeQuery(query, 9.0);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].distance, b[i].distance);
+      }
+      auto ka = none->KnnQueryOptimal(query, 5);
+      auto kb = engine->KnnQueryOptimal(query, 5);
+      ASSERT_EQ(ka.size(), kb.size());
+      for (std::size_t i = 0; i < ka.size(); ++i) {
+        EXPECT_EQ(ka[i].id, kb[i].id);
+        EXPECT_EQ(ka[i].distance, kb[i].distance);
+      }
     }
   }
 }
