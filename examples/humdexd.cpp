@@ -1,0 +1,172 @@
+// humdexd: the sharded query-by-humming daemon.
+//
+//   humdexd [--port=N] [--shards=N] [--corpus=N] [--dir=PATH]
+//           [--repair_ms=N] [--once]
+//
+// Builds (or recovers) a sharded engine and serves the length-prefixed TCP
+// protocol of src/serve/protocol.h: ping / query / range / health / metrics.
+// With --dir the shards are durable (WAL + checkpoint per shard) and a
+// second start recovers from disk — kill -9 the process and start it again
+// to watch per-shard recovery and the health page. Background repair
+// re-opens quarantined shards without stopping reads.
+//
+// --once serves a single self-issued query and exits (smoke-test mode, used
+// by scripts/check.sh so CI exercises the real socket path headlessly).
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "music/hummer.h"
+#include "music/song_generator.h"
+#include "serve/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+std::size_t FlagValue(int argc, char** argv, const char* name,
+                      std::size_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return static_cast<std::size_t>(
+          std::strtoull(argv[i] + prefix.size(), nullptr, 10));
+    }
+  }
+  return fallback;
+}
+
+std::string FlagString(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return "";
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace humdex;
+  using namespace humdex::serve;
+
+  const std::size_t port = FlagValue(argc, argv, "port", 0);
+  const std::size_t shards = FlagValue(argc, argv, "shards", 4);
+  const std::size_t corpus_size = FlagValue(argc, argv, "corpus", 400);
+  const std::size_t repair_ms = FlagValue(argc, argv, "repair_ms", 2000);
+  const std::string dir = FlagString(argc, argv, "dir");
+  const bool once = HasFlag(argc, argv, "once");
+
+  ShardedOptions opts;
+  opts.num_shards = shards;
+  opts.attempts_per_shard = 2;
+
+  // Recover from --dir when it already holds shards; otherwise build a demo
+  // corpus, and attach it if --dir was given.
+  std::unique_ptr<ShardedEngine> engine;
+  SongGenerator gen(42);
+  std::vector<Melody> corpus = gen.GeneratePhrases(corpus_size);
+  bool recovered = false;
+  if (!dir.empty() &&
+      Env::Default()->Exists(ShardedEngine::ShardPath(dir, 0))) {
+    std::vector<RecoveryStats> recovery;
+    auto opened = ShardedEngine::Open(dir, opts, nullptr, &recovery);
+    if (opened.ok()) {
+      engine = std::move(opened).value();
+      recovered = true;
+      for (std::size_t s = 0; s < recovery.size(); ++s) {
+        std::printf("shard %zu: %s%s%s\n", s,
+                    ShardHealthName(engine->shard_status(s).health),
+                    recovery[s].torn_tail ? " (torn tail repaired)" : "",
+                    recovery[s].salvaged ? " (salvaged)" : "");
+      }
+    } else {
+      std::fprintf(stderr, "recovery failed (%s), rebuilding\n",
+                   opened.status().ToString().c_str());
+    }
+  }
+  if (engine == nullptr) {
+    auto created = ShardedEngine::Create(corpus, opts);
+    if (!created.ok()) {
+      std::fprintf(stderr, "engine: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    engine = std::move(created).value();
+    if (!dir.empty()) {
+      Status st = engine->AttachAll(dir);
+      if (!st.ok()) {
+        std::fprintf(stderr, "attach %s: %s\n", dir.c_str(),
+                     st.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  std::printf("humdexd: %zu melodies on %zu shards (%zu serving)%s%s\n",
+              engine->size(), engine->num_shards(), engine->serving_shards(),
+              dir.empty() ? ", in-memory" : (", durable in " + dir).c_str(),
+              recovered ? ", recovered" : "");
+
+  ServerOptions sopts;
+  sopts.port = static_cast<int>(port);
+  HumdexServer server(engine.get(), sopts);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%d\n", server.port());
+  if (repair_ms > 0) engine->StartBackgroundRepair(repair_ms);
+
+  if (once) {
+    // Smoke mode: one query through the full dispatch path, then exit.
+    Hummer hummer(HummerProfile::Good(), 7);
+    Request request;
+    request.kind = Request::Kind::kQuery;
+    request.top_k = 3;
+    request.pitch = hummer.Hum(corpus[corpus.size() / 2]);
+    Response response;
+    Status parsed =
+        ParseResponse(server.HandlePayload(EncodeRequest(request)), &response);
+    server.Stop();
+    if (!parsed.ok() || !response.ok || response.matches.empty()) {
+      std::fprintf(stderr, "smoke query failed\n");
+      return 1;
+    }
+    std::printf("smoke query: top match id=%lld name=%s\n",
+                static_cast<long long>(response.matches[0].id),
+                response.matches[0].name.c_str());
+    return 0;
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("shutting down (%zu connections served)\n",
+              server.connections_served());
+  server.Stop();
+  if (!dir.empty()) {
+    st = engine->CheckpointAll();
+    if (!st.ok()) {
+      std::fprintf(stderr, "final checkpoint: %s\n", st.ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,185 @@
+// Load generator for humdexd: opens N connections to a running daemon and
+// drives hummed queries through the wire protocol, reporting throughput,
+// latency percentiles, and the partial/error counts that surface shard
+// degradation on the server side.
+//
+//   humdexd_load --port=N [--connections=N] [--queries=N] [--corpus=N]
+//                [--deadline_ms=N]
+//
+// The hums come from the same generator family as humdexd's demo corpus
+// (seed 42), so answers are meaningful matches, not noise.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "music/hummer.h"
+#include "music/song_generator.h"
+#include "serve/protocol.h"
+
+namespace {
+
+std::size_t FlagValue(int argc, char** argv, const char* name,
+                      std::size_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return static_cast<std::size_t>(
+          std::strtoull(argv[i] + prefix.size(), nullptr, 10));
+    }
+  }
+  return fallback;
+}
+
+int Dial(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t r = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (r <= 0) return false;
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool RecvFrame(int fd, std::string* payload) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    std::size_t consumed = 0;
+    bool complete = false;
+    if (!humdex::serve::DecodeFrame(buffer, payload, &consumed, &complete)
+             .ok()) {
+      return false;
+    }
+    if (complete) return true;
+    const ssize_t r = ::read(fd, chunk, sizeof(chunk));
+    if (r <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(r));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace humdex;
+  using namespace humdex::serve;
+
+  const std::size_t port = FlagValue(argc, argv, "port", 0);
+  const std::size_t connections = FlagValue(argc, argv, "connections", 4);
+  const std::size_t queries = FlagValue(argc, argv, "queries", 200);
+  const std::size_t corpus_size = FlagValue(argc, argv, "corpus", 400);
+  const std::size_t deadline_ms = FlagValue(argc, argv, "deadline_ms", 250);
+  if (port == 0) {
+    std::fprintf(stderr, "usage: humdexd_load --port=N [--connections=N] "
+                         "[--queries=N] [--deadline_ms=N]\n");
+    return 2;
+  }
+
+  SongGenerator gen(42);
+  std::vector<Melody> corpus = gen.GeneratePhrases(corpus_size);
+  Hummer hummer(HummerProfile::Good(), 1234);
+  std::vector<Series> hums;
+  hums.reserve(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    hums.push_back(hummer.Hum(corpus[(i * 17) % corpus.size()]));
+  }
+
+  std::atomic<std::size_t> sent{0}, ok{0}, partial{0}, errors{0},
+      truncated{0};
+  std::vector<std::uint64_t> all_latencies_ns(queries, 0);
+  std::atomic<std::size_t> latency_slot{0};
+
+  auto worker = [&](std::size_t worker_id) {
+    const int fd = Dial(static_cast<int>(port));
+    if (fd < 0) {
+      errors.fetch_add(1);
+      return;
+    }
+    std::size_t i = worker_id;
+    while (true) {
+      const std::size_t n = sent.fetch_add(1);
+      if (n >= queries) break;
+      Request request;
+      request.kind = Request::Kind::kQuery;
+      request.top_k = 5;
+      request.deadline_ms = deadline_ms;
+      request.pitch = hums[i++ % hums.size()];
+      const auto t0 = std::chrono::steady_clock::now();
+      std::string payload;
+      if (!SendAll(fd, EncodeFrame(EncodeRequest(request))) ||
+          !RecvFrame(fd, &payload)) {
+        errors.fetch_add(1);
+        break;  // connection is gone
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      Response response;
+      if (!ParseResponse(payload, &response).ok() || !response.ok) {
+        errors.fetch_add(1);
+        continue;
+      }
+      ok.fetch_add(1);
+      if (response.partial) partial.fetch_add(1);
+      if (response.truncated) truncated.fetch_add(1);
+      const std::size_t slot = latency_slot.fetch_add(1);
+      if (slot < all_latencies_ns.size()) {
+        all_latencies_ns[slot] = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+      }
+    }
+    ::close(fd);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back(worker, c);
+  }
+  for (std::thread& t : threads) t.join();
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+
+  const std::size_t completed = ok.load();
+  all_latencies_ns.resize(std::min(latency_slot.load(),
+                                   all_latencies_ns.size()));
+  std::sort(all_latencies_ns.begin(), all_latencies_ns.end());
+  auto pct = [&](double p) -> double {
+    if (all_latencies_ns.empty()) return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(all_latencies_ns.size() - 1));
+    return static_cast<double>(all_latencies_ns[idx]) / 1e6;
+  };
+
+  std::printf("%zu queries over %zu connections in %.3fs: %.1f q/s\n",
+              completed, connections, seconds,
+              static_cast<double>(completed) / seconds);
+  std::printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f\n", pct(50), pct(95),
+              pct(99));
+  std::printf("partial %zu, truncated %zu, errors %zu\n", partial.load(),
+              truncated.load(), errors.load());
+  return errors.load() == 0 ? 0 : 1;
+}

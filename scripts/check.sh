@@ -14,14 +14,17 @@
 #      the dispatched tier and once under HUMDEX_FORCE_SCALAR=1, so every
 #      kernel variant runs under the sanitizers;
 #   4. HUMDEX_SIMD=OFF build, running the kernel and cascade tests to prove
-#      the scalar-only configuration stays exact and buildable.
+#      the scalar-only configuration stays exact and buildable;
+#   5. chaos stage: the sharded serving engine's fault-injection harness and
+#      the serving ablation gate (healthy-path answers bit-identical to one
+#      unsharded engine) under ASan+UBSan, plus a humdexd socket smoke run.
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/4] plain build + full test suite =="
+echo "== [1/5] plain build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
@@ -29,7 +32,7 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 # the triangle/tau stages stop strictly reducing exact-DTW calls.
 ./build/bench/ablation_triangle
 
-echo "== [2/4] ThreadSanitizer build + concurrency tests =="
+echo "== [2/5] ThreadSanitizer build + concurrency tests =="
 cmake -B build-tsan -S . -DHUMDEX_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   thread_pool_test parallel_query_test buffer_pool_stress_test buffer_pool_test \
@@ -41,7 +44,7 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
 HUMDEX_FORCE_SCALAR=1 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ThreadPool|ParallelQuery|QbhQueryBatch|BufferPool|MetricsStress|ConcurrentWriter'
 
-echo "== [3/4] ASan+UBSan build + robustness tests =="
+echo "== [3/5] ASan+UBSan build + robustness tests =="
 cmake -B build-asan -S . -DHUMDEX_SANITIZE=address+undefined >/dev/null
 cmake --build build-asan -j "$JOBS" --target \
   env_test corruption_test deadline_test storage_test fuzz_test melody_io_test \
@@ -54,11 +57,22 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
 HUMDEX_FORCE_SCALAR=1 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
   -R 'Kernel|Cascade|LbImproved|TriangleBound|Metamorphic'
 
-echo "== [4/4] HUMDEX_SIMD=OFF build + kernel/cascade tests =="
+echo "== [4/5] HUMDEX_SIMD=OFF build + kernel/cascade tests =="
 cmake -B build-nosimd -S . -DHUMDEX_SIMD=OFF >/dev/null
 cmake --build build-nosimd -j "$JOBS" --target kernel_test cascade_test \
   lower_bound_test query_engine_test
 ctest --test-dir build-nosimd --output-on-failure -j "$JOBS" \
   -R 'Kernel|Cascade|LbImproved|LowerBound|QueryEngine'
+
+echo "== [5/5] chaos: sharded serving under ASan+UBSan =="
+cmake --build build-asan -j "$JOBS" --target \
+  chaos_test serve_test protocol_test server_test ablation_serving humdexd
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+  -R 'Chaos|ShardedEngine|ShardedDurability|ShardRecovery|Protocol|HumdexServer'
+./build-asan/examples/humdexd --once --shards=3 --corpus=120
+# Serving ablation gate: exits non-zero when any healthy-path sharded answer
+# diverges from the unsharded engine or the scaling check fails (the scaling
+# half only arms on multi-core hosts).
+./build-asan/bench/ablation_serving
 
 echo "All checks passed."

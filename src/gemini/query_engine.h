@@ -71,6 +71,19 @@ struct QueryStats {
   /// is empty by construction, and the process did not abort.
   bool rejected = false;
 
+  /// Sharded serving (src/serve): how many shards could not contribute to
+  /// this answer — quarantined and excluded from the fan-out, or failed
+  /// mid-query. 0 on a single engine.
+  std::size_t shards_failed = 0;
+
+  /// True when the answer is known to cover less than the full corpus: one
+  /// or more shards were excluded (shards_failed > 0) or a serving shard is
+  /// missing salvage-dropped data. A partial answer is still exact for every
+  /// melody on the shards that did answer — degraded, never wrong. False on
+  /// a single engine and on a fully healthy sharded fan-out, whose answers
+  /// are bit-identical.
+  bool partial = false;
+
   /// Accumulate another query's counters and timings (batch aggregation).
   QueryStats& operator+=(const QueryStats& other) {
     index_candidates += other.index_candidates;
@@ -92,6 +105,8 @@ struct QueryStats {
     total_ns += other.total_ns;
     truncated = truncated || other.truncated;
     rejected = rejected || other.rejected;
+    shards_failed += other.shards_failed;
+    partial = partial || other.partial;
     return *this;
   }
 };

@@ -97,22 +97,27 @@ std::string SerializeMelodies(const std::vector<Melody>& melodies) {
 }
 
 void ParseMelodiesSalvage(const std::string& text, std::vector<Melody>* out,
-                          std::size_t* dropped) {
+                          std::size_t* dropped,
+                          std::vector<std::size_t>* kept_blocks) {
   HUMDEX_CHECK(out != nullptr);
   HUMDEX_CHECK(dropped != nullptr);
   out->clear();
   *dropped = 0;
+  if (kept_blocks != nullptr) kept_blocks->clear();
   std::istringstream in(text);
   std::string line, block;
   bool in_block = false;
+  std::size_t block_index = 0;
 
   auto close_block = [&]() {
     std::vector<Melody> one;
     if (ParseMelodies(block, &one).ok() && one.size() == 1) {
       out->push_back(std::move(one[0]));
+      if (kept_blocks != nullptr) kept_blocks->push_back(block_index);
     } else {
       ++*dropped;
     }
+    ++block_index;
     block.clear();
     in_block = false;
   };

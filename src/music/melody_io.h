@@ -28,9 +28,14 @@ Status ParseMelodies(const std::string& text, std::vector<Melody>* out);
 /// Best-effort parse of a damaged corpus: each melody block is parsed
 /// independently; blocks that fail (bad notes, missing 'end', ...) are
 /// skipped and counted in `*dropped` instead of failing the whole parse.
-/// Content outside melody blocks is ignored.
+/// Content outside melody blocks is ignored. When `kept_blocks` is non-null
+/// it receives, for each recovered melody, the 0-based index of its block in
+/// the file — the hook that lets the storage layer keep original melody ids
+/// stable across a salvage (a dropped block becomes a tombstone instead of
+/// renumbering every melody after it).
 void ParseMelodiesSalvage(const std::string& text, std::vector<Melody>* out,
-                          std::size_t* dropped);
+                          std::size_t* dropped,
+                          std::vector<std::size_t>* kept_blocks = nullptr);
 
 /// Serialize a corpus to the textual format; round-trips through
 /// ParseMelodies bit-exactly for finite pitches/durations.

@@ -224,30 +224,67 @@ std::vector<QbhMatch> QbhSystem::Query(const Series& hum_pitch, std::size_t top_
     HUMDEX_SPAN(span, "qbh.normal_form");
     q = HumToNormalForm(hum_pitch);
   }
-  if (q.empty()) {
+  std::vector<QbhMatch> out = QueryNormal(q, top_k, qopts, stats);
+  HUMDEX_SPAN_ATTR(query_span, "top_k", static_cast<double>(top_k));
+  HUMDEX_SPAN_ATTR(query_span, "matches", static_cast<double>(out.size()));
+  static obs::Histogram& h_total =
+      obs::MetricsRegistry::Default().GetHistogram("qbh.query.total_ns");
+  h_total.Record(obs::MonotonicNowNs() - t_start);
+  return out;
+}
+
+std::vector<QbhMatch> QbhSystem::RangeQuery(const Series& hum_pitch,
+                                            double epsilon,
+                                            const QueryOptions& qopts,
+                                            QueryStats* stats) const {
+  HUMDEX_CHECK_MSG(engine_ != nullptr, "RangeQuery before Build()");
+  return RangeQueryNormal(HumToNormalForm(hum_pitch), epsilon, qopts, stats);
+}
+
+std::vector<QbhMatch> QbhSystem::QueryNormal(const Series& normal_query,
+                                             std::size_t top_k,
+                                             const QueryOptions& qopts,
+                                             QueryStats* stats) const {
+  HUMDEX_CHECK_MSG(engine_ != nullptr, "QueryNormal before Build()");
+  if (normal_query.empty()) {
     // Unservable input (no voiced frames / non-finite samples): reject, never
     // abort the process over user data.
     MarkRejected(stats);
     return {};
   }
   std::vector<QbhMatch> out;
-  {
-    // Reader epoch: the whole cascade plus the name lookup observes one
-    // consistent corpus snapshot against concurrent Insert/Remove.
-    std::shared_lock<std::shared_mutex> lock(*mu_);
-    std::vector<Neighbor> nn = engine_->KnnQuery(q, top_k, qopts, stats);
-    out.reserve(nn.size());
-    for (const Neighbor& n : nn) {
-      const std::optional<Melody>& m = melodies_[static_cast<std::size_t>(n.id)];
-      HUMDEX_CHECK(m.has_value());  // the engine only returns live ids
-      out.push_back({n.id, m->name, n.distance});
-    }
+  // Reader epoch: the whole cascade plus the name lookup observes one
+  // consistent corpus snapshot against concurrent Insert/Remove.
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  std::vector<Neighbor> nn = engine_->KnnQuery(normal_query, top_k, qopts, stats);
+  out.reserve(nn.size());
+  for (const Neighbor& n : nn) {
+    const std::optional<Melody>& m = melodies_[static_cast<std::size_t>(n.id)];
+    HUMDEX_CHECK(m.has_value());  // the engine only returns live ids
+    out.push_back({n.id, m->name, n.distance});
   }
-  HUMDEX_SPAN_ATTR(query_span, "top_k", static_cast<double>(top_k));
-  HUMDEX_SPAN_ATTR(query_span, "matches", static_cast<double>(out.size()));
-  static obs::Histogram& h_total =
-      obs::MetricsRegistry::Default().GetHistogram("qbh.query.total_ns");
-  h_total.Record(obs::MonotonicNowNs() - t_start);
+  return out;
+}
+
+std::vector<QbhMatch> QbhSystem::RangeQueryNormal(const Series& normal_query,
+                                                  double epsilon,
+                                                  const QueryOptions& qopts,
+                                                  QueryStats* stats) const {
+  HUMDEX_CHECK_MSG(engine_ != nullptr, "RangeQueryNormal before Build()");
+  if (normal_query.empty()) {
+    MarkRejected(stats);
+    return {};
+  }
+  std::vector<QbhMatch> out;
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  std::vector<Neighbor> nn =
+      engine_->RangeQuery(normal_query, epsilon, qopts, stats);
+  out.reserve(nn.size());
+  for (const Neighbor& n : nn) {
+    const std::optional<Melody>& m = melodies_[static_cast<std::size_t>(n.id)];
+    HUMDEX_CHECK(m.has_value());  // the engine only returns live ids
+    out.push_back({n.id, m->name, n.distance});
+  }
   return out;
 }
 
@@ -269,9 +306,13 @@ std::vector<std::vector<QbhMatch>> QbhSystem::QueryBatch(
   futures.reserve(hum_pitches.size());
   for (std::size_t i = 0; i < hum_pitches.size(); ++i) {
     // Overload shedding: refuse work the pool is too far behind on, rather
-    // than queueing it to miss its deadline anyway.
+    // than queueing it to miss its deadline anyway. The depth comes from the
+    // injectable probe when one is set (deterministic tests), otherwise from
+    // the live pool.
     if (qopts.max_queue_depth > 0 &&
-        pool.queue_depth() >= qopts.max_queue_depth) {
+        (qopts.queue_depth_probe ? qopts.queue_depth_probe()
+                                 : pool.queue_depth()) >=
+            qopts.max_queue_depth) {
       stats[i].truncated = true;
       shed_counter.Increment();
       continue;
@@ -459,14 +500,10 @@ Status QbhSystem::Checkpoint() {
   return st;
 }
 
-Result<QbhSystem> QbhSystem::Open(const std::string& path, Env* env,
-                                  RecoveryStats* stats) {
-  if (env == nullptr) env = Env::Default();
-  if (stats != nullptr) *stats = RecoveryStats();
-  Result<QbhSystem> loaded = LoadQbhDatabase(path, env);
-  HUMDEX_RETURN_IF_ERROR(loaded.status());
-  QbhSystem system = std::move(loaded).value();
-
+Status QbhSystem::ReplayLogAndAttach(QbhSystem* system_ptr,
+                                     const std::string& path, Env* env,
+                                     RecoveryStats* stats) {
+  QbhSystem& system = *system_ptr;
   const std::string wal_path = WalPathFor(path);
   WalReadResult log;
   HUMDEX_RETURN_IF_ERROR(WriteAheadLog::ReadAll(wal_path, env, &log));
@@ -478,7 +515,7 @@ Result<QbhSystem> QbhSystem::Open(const std::string& path, Env* env,
   // dropped, exactly as for a torn frame.
   const std::int64_t start_next_id =
       static_cast<std::int64_t>(system.melodies_.size());
-  RecoveryStats local;
+  RecoveryStats& local = *stats;
   std::size_t keep_bytes = 0;
   bool tail_corrupt = false;
   for (const std::string& payload : log.payloads) {
@@ -558,8 +595,76 @@ Result<QbhSystem> QbhSystem::Open(const std::string& path, Env* env,
   system.env_ = env;
   system.db_path_ = path;
   system.wal_ = std::move(wal).value();
+  return Status::OK();
+}
+
+Result<QbhSystem> QbhSystem::Open(const std::string& path, Env* env,
+                                  RecoveryStats* stats) {
+  if (env == nullptr) env = Env::Default();
+  Result<QbhSystem> loaded = LoadQbhDatabase(path, env);
+  HUMDEX_RETURN_IF_ERROR(loaded.status());
+  QbhSystem system = std::move(loaded).value();
+  RecoveryStats local;
+  HUMDEX_RETURN_IF_ERROR(ReplayLogAndAttach(&system, path, env, &local));
   if (stats != nullptr) *stats = local;
   return system;
+}
+
+Result<QbhSystem> QbhSystem::OpenSalvage(const std::string& path, Env* env,
+                                         RecoveryStats* stats) {
+  if (env == nullptr) env = Env::Default();
+  SalvageReport rep;
+  Result<QbhSystem> loaded = LoadQbhDatabaseSalvage(path, &rep, env);
+  HUMDEX_RETURN_IF_ERROR(loaded.status());
+  QbhSystem system = std::move(loaded).value();
+  RecoveryStats local;
+  local.salvaged = true;
+  local.melodies_dropped = rep.melodies_dropped;
+  local.ids_stable = rep.ids_stable;
+  if (!rep.ids_stable) {
+    // The salvage renumbered the corpus; the log's explicit ids would attach
+    // mutations to the wrong melodies, so it is discarded wholesale. The
+    // caller sees ids_stable=false and must treat this state as id-unsafe.
+    const std::string wal_path = WalPathFor(path);
+    if (env->Exists(wal_path)) {
+      Status st = env->Delete(wal_path);
+      if (!st.ok() && st.code() != Status::Code::kNotFound) return st;
+    }
+    Result<std::unique_ptr<WriteAheadLog>> wal =
+        WriteAheadLog::Open(wal_path, env);
+    HUMDEX_RETURN_IF_ERROR(wal.status());
+    system.env_ = env;
+    system.db_path_ = path;
+    system.wal_ = std::move(wal).value();
+  } else {
+    HUMDEX_RETURN_IF_ERROR(ReplayLogAndAttach(&system, path, env, &local));
+  }
+  if (stats != nullptr) *stats = local;
+  return system;
+}
+
+Status QbhSystem::PadIdSpace(std::int64_t next_id) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("PadIdSpace before Build()");
+  }
+  // Matches the storage layer's kMaxNextId bound: padding past it would
+  // produce a checkpoint that refuses to load.
+  if (next_id < 0 || next_id > (std::int64_t{1} << 24)) {
+    return Status::InvalidArgument("next_id out of range: " +
+                                   std::to_string(next_id));
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(*mu_);
+    if (static_cast<std::size_t>(next_id) <= melodies_.size()) {
+      return Status::OK();  // id space already covers it
+    }
+    melodies_.resize(static_cast<std::size_t>(next_id));
+  }
+  // Durable systems persist the padding at once: replay requires
+  // consecutively allocated ids, so an insert at the padded frontier must
+  // never land in a log whose checkpoint still has the old, shorter space.
+  if (wal_ != nullptr) return Checkpoint();
+  return Status::OK();
 }
 
 }  // namespace humdex

@@ -48,12 +48,20 @@ struct QbhMatch {
   double distance;
 };
 
-/// What QbhSystem::Open had to do to bring the corpus back.
+/// What QbhSystem::Open / OpenSalvage had to do to bring the corpus back.
 struct RecoveryStats {
   std::size_t records_replayed = 0;  ///< log mutations applied
   std::size_t records_skipped = 0;   ///< already in the checkpoint (idempotent)
   std::size_t dropped_bytes = 0;     ///< torn/corrupt log tail discarded
   bool torn_tail = false;
+
+  // OpenSalvage only (Open leaves these at their defaults):
+  bool salvaged = false;  ///< checkpoint needed best-effort parsing
+  std::size_t melodies_dropped = 0;  ///< checkpoint blocks lost to salvage
+  /// Salvage kept every survivor's original id (see SalvageReport). When
+  /// false the ids were dense-renumbered and the log was discarded — callers
+  /// that key on ids (the sharded engine) must not serve this state.
+  bool ids_stable = true;
 };
 
 /// Query-by-humming database. Add melodies, Build(), then Query(); after
@@ -144,6 +152,25 @@ class QbhSystem {
   static Result<QbhSystem> Open(const std::string& path, Env* env = nullptr,
                                 RecoveryStats* stats = nullptr);
 
+  /// Last-resort recovery: like Open, but the checkpoint is parsed
+  /// best-effort (corrupt melody blocks become tombstones, a failed checksum
+  /// is tolerated). When the salvage kept the id space stable the log is
+  /// replayed exactly as in Open; when it could not (`stats->ids_stable`
+  /// false) the log is discarded — renumbered ids would attach its explicit
+  /// ids to the wrong melodies — and the caller must treat the recovered
+  /// state as lossy and id-unsafe. Fails only when nothing is recoverable.
+  static Result<QbhSystem> OpenSalvage(const std::string& path,
+                                       Env* env = nullptr,
+                                       RecoveryStats* stats = nullptr);
+
+  /// Extend the id space to `next_id` with tombstones after Build(): future
+  /// Inserts allocate ids from `next_id` upward. No-op when the space is
+  /// already that large. A durable system checkpoints immediately so the
+  /// padding survives recovery (replay requires consecutively allocated
+  /// ids); the sharded engine uses this to re-align a recovered shard whose
+  /// lost log tail left its id frontier behind its peers'.
+  Status PadIdSpace(std::int64_t next_id);
+
   /// True when mutations are write-ahead logged (after Attach/Open).
   bool durable() const { return wal_ != nullptr; }
 
@@ -173,6 +200,28 @@ class QbhSystem {
                               const QueryOptions& qopts,
                               QueryStats* stats = nullptr) const;
 
+  /// Every melody within DTW distance `epsilon` of the hum, ascending by
+  /// (distance, id). Exact, like Query; same rejection and serving-control
+  /// semantics.
+  std::vector<QbhMatch> RangeQuery(const Series& hum_pitch, double epsilon,
+                                   const QueryOptions& qopts = QueryOptions(),
+                                   QueryStats* stats = nullptr) const;
+
+  /// Query with an already-derived normal form (HumToNormalForm): the
+  /// sharded engine runs the hum pipeline once and fans the normal form out
+  /// instead of re-deriving it per shard. An empty series is the rejection
+  /// signal, exactly as for Query.
+  std::vector<QbhMatch> QueryNormal(const Series& normal_query,
+                                    std::size_t top_k,
+                                    const QueryOptions& qopts = QueryOptions(),
+                                    QueryStats* stats = nullptr) const;
+
+  /// RangeQuery on an already-derived normal form; see QueryNormal.
+  std::vector<QbhMatch> RangeQueryNormal(
+      const Series& normal_query, double epsilon,
+      const QueryOptions& qopts = QueryOptions(),
+      QueryStats* stats = nullptr) const;
+
   /// Batch form of Query: hums fan out across `pool`'s workers; the i-th
   /// result is exactly Query(hum_pitches[i], top_k) regardless of worker
   /// count. `aggregate`, when non-null, receives the per-query stats summed
@@ -185,8 +234,10 @@ class QbhSystem {
   /// cancel token, `qopts.max_queue_depth` enables overload shedding: a
   /// query whose submission would push `pool`'s queue past the bound is not
   /// run at all — its slot returns an empty, truncated result and the
-  /// `qbh.queries_shed` counter is incremented. Shedding is load-dependent
-  /// and therefore non-deterministic; leave max_queue_depth at 0 for the
+  /// `qbh.queries_shed` counter is incremented. By default the decision
+  /// reads the live pool depth (load-dependent); tests pin it down by
+  /// setting `qopts.queue_depth_probe`, which replaces the pool read with an
+  /// injected, fully deterministic depth. Leave max_queue_depth at 0 for the
   /// exactness guarantees of the plain overload.
   std::vector<std::vector<QbhMatch>> QueryBatch(
       const std::vector<Series>& hum_pitches, std::size_t top_k,
@@ -225,6 +276,13 @@ class QbhSystem {
   // Mutation appliers: the caller holds the writer lock; no WAL involved.
   void ApplyInsertLocked(Melody melody, std::int64_t id, Series normal);
   void ApplyRemoveLocked(std::int64_t id);
+
+  // Shared tail of Open/OpenSalvage: replay `path`.wal into `system` (torn
+  // or corrupt tails dropped and repaired on disk) and attach it for further
+  // mutation. Accumulates into `stats` without resetting fields the caller
+  // already filled.
+  static Status ReplayLogAndAttach(QbhSystem* system, const std::string& path,
+                                   Env* env, RecoveryStats* stats);
 
   QbhOptions options_;
   // References restored from a checkpoint, waiting for Build() to install

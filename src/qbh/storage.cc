@@ -1,5 +1,6 @@
 #include "qbh/storage.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -495,6 +496,9 @@ Result<QbhSystem> ParseQbhDatabaseSalvage(const std::string& text,
   std::optional<std::size_t> pivot_count;
   std::vector<Series> pivots;
   bool pivots_ok = true;
+  std::optional<std::size_t> salvage_next_id;
+  std::optional<std::vector<std::size_t>> salvage_ids;
+  bool ids_ok = true;
   std::istringstream body_in(parse_text);
   std::getline(body_in, line);  // version header
   std::ostringstream rest;
@@ -504,6 +508,24 @@ Result<QbhSystem> ParseQbhDatabaseSalvage(const std::string& text,
       std::istringstream fields(line.substr(7));
       std::string key, value;
       if (fields >> key >> value) {
+        if (key == "next_id") {
+          std::size_t v = 0;
+          if (ParseSize(value, &v).ok() && v > 0 && v <= kMaxNextId) {
+            salvage_next_id = v;
+          } else {
+            ids_ok = false;
+          }
+          continue;
+        }
+        if (key == "ids") {
+          std::vector<std::size_t> parsed;
+          if (ParseIdList(value, &parsed).ok()) {
+            salvage_ids = std::move(parsed);
+          } else {
+            ids_ok = false;
+          }
+          continue;
+        }
         if (key == "pivots") {
           std::size_t count = 0;
           if (ParseSize(value, &count).ok() && count > 0 &&
@@ -516,6 +538,8 @@ Result<QbhSystem> ParseQbhDatabaseSalvage(const std::string& text,
         }
         QbhOptions trial = opt;
         if (ApplyOption(key, value, &trial).ok()) opt = trial;
+      } else if (key == "next_id" || key == "ids") {
+        ids_ok = false;  // id metadata present but valueless: untrustworthy
       }
       continue;
     }
@@ -535,20 +559,62 @@ Result<QbhSystem> ParseQbhDatabaseSalvage(const std::string& text,
 
   std::vector<Melody> corpus;
   std::size_t dropped = 0;
-  ParseMelodiesSalvage(rest.str(), &corpus, &dropped);
+  std::vector<std::size_t> kept_blocks;
+  ParseMelodiesSalvage(rest.str(), &corpus, &dropped, &kept_blocks);
   local.melodies_loaded = corpus.size();
   local.melodies_dropped = dropped;
   if (dropped > 0) SalvagedCounter().Increment(dropped);
-  if (report != nullptr) *report = local;
   if (corpus.empty()) {
+    if (report != nullptr) *report = local;
     return Status::InvalidArgument("salvage recovered no melodies");
   }
   if (opt.scheme == SchemeKind::kSvd && corpus.size() < 2) {
     opt.scheme = SchemeKind::kDft;  // SVD cannot fit a 1-melody salvage
   }
+
+  // Reconstruct the id space so every survivor keeps the id the file
+  // assigned it: block b's id is ids[b] (gapped file) or b (dense file),
+  // and a dropped block becomes a tombstone instead of shifting every
+  // melody after it. Only when the id metadata itself is unrecoverable
+  // (truncated or duplicated id list, malformed next_id) do we fall back
+  // to dense renumbering — and say so via ids_stable, because renumbered
+  // ids must not be served by anything that keys on them.
+  const std::size_t total_blocks = corpus.size() + dropped;
+  if (salvage_ids.has_value()) {
+    if (salvage_ids->size() != total_blocks) {
+      ids_ok = false;
+    } else {
+      std::vector<std::size_t> sorted = *salvage_ids;
+      std::sort(sorted.begin(), sorted.end());
+      if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+        ids_ok = false;
+      }
+    }
+  }
+
   // Keep the pivot block only when it is internally consistent and matches
   // the (possibly defaulted) options; otherwise Build() re-selects.
   DbMeta meta;
+  if (ids_ok) {
+    std::size_t file_max = total_blocks;  // dense: ids are block indices
+    if (salvage_ids.has_value() && !salvage_ids->empty()) {
+      file_max =
+          1 + *std::max_element(salvage_ids->begin(), salvage_ids->end());
+    }
+    const std::size_t next_id = std::max(salvage_next_id.value_or(0), file_max);
+    if (dropped > 0 || salvage_ids.has_value() || next_id != corpus.size()) {
+      std::vector<std::size_t> survivor_ids;
+      survivor_ids.reserve(kept_blocks.size());
+      for (std::size_t b : kept_blocks) {
+        survivor_ids.push_back(salvage_ids.has_value() ? (*salvage_ids)[b]
+                                                       : b);
+      }
+      meta.ids = std::move(survivor_ids);
+      meta.next_id = next_id;
+    }
+  }
+  local.ids_stable = ids_ok;
+  if (report != nullptr) *report = local;
   if (pivots_ok && pivot_count.has_value() && *pivot_count == pivots.size() &&
       !pivots.empty()) {
     for (const Series& p : pivots) {

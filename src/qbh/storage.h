@@ -54,6 +54,14 @@ struct SalvageReport {
   std::size_t melodies_loaded = 0;
   std::size_t melodies_dropped = 0;  ///< unparsable melody blocks skipped
   bool crc_ok = false;  ///< v2 trailer present and valid (false for v1)
+
+  /// True when every recovered melody kept the id the file assigned it
+  /// (dropped blocks become tombstones instead of renumbering the corpus).
+  /// False only when the id metadata itself was unrecoverable — then ids
+  /// are dense-renumbered and must not be trusted by any layer that keys
+  /// on them (the sharded engine quarantines such a shard instead of
+  /// rejoining it with remapped ids).
+  bool ids_stable = true;
 };
 
 /// Serialize a built or unbuilt system's corpus and options (v2 format).

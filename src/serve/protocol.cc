@@ -1,0 +1,244 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/parse_number.h"
+
+namespace humdex {
+namespace serve {
+
+namespace {
+
+// Upper bounds on parsed request fields: a hostile frame must not be able to
+// request a gigabyte top-k allocation or a year-long deadline.
+constexpr std::size_t kMaxTopK = 1u << 20;
+constexpr std::uint64_t kMaxDeadlineMs = 24ull * 3600 * 1000;
+constexpr std::size_t kMaxPitchValues = kMaxFrameBytes / 2;
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string EncodeFrame(const std::string& payload) {
+  HUMDEX_CHECK(payload.size() <= kMaxFrameBytes);
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>(n & 0xff));
+  out.push_back(static_cast<char>((n >> 8) & 0xff));
+  out.push_back(static_cast<char>((n >> 16) & 0xff));
+  out.push_back(static_cast<char>((n >> 24) & 0xff));
+  out += payload;
+  return out;
+}
+
+Status DecodeFrame(const std::string& buffer, std::string* payload,
+                   std::size_t* consumed, bool* complete) {
+  *complete = false;
+  *consumed = 0;
+  if (buffer.size() < 4) return Status::OK();
+  const std::uint32_t n =
+      static_cast<std::uint32_t>(static_cast<unsigned char>(buffer[0])) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(buffer[1])) << 8) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(buffer[2]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(buffer[3]))
+       << 24);
+  if (n > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame length " + std::to_string(n) +
+                                   " exceeds the " +
+                                   std::to_string(kMaxFrameBytes) +
+                                   "-byte bound");
+  }
+  if (buffer.size() < 4 + static_cast<std::size_t>(n)) return Status::OK();
+  *payload = buffer.substr(4, n);
+  *consumed = 4 + static_cast<std::size_t>(n);
+  *complete = true;
+  return Status::OK();
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string out;
+  switch (request.kind) {
+    case Request::Kind::kPing:
+      out = "ping\n";
+      break;
+    case Request::Kind::kHealth:
+      out = "health\n";
+      break;
+    case Request::Kind::kMetrics:
+      out = "metrics\n";
+      break;
+    case Request::Kind::kQuery:
+      out = "query " + std::to_string(request.top_k) + " " +
+            std::to_string(request.deadline_ms) + "\n";
+      break;
+    case Request::Kind::kRange:
+      out = "range " + FormatDouble(request.epsilon) + " " +
+            std::to_string(request.deadline_ms) + "\n";
+      break;
+  }
+  if (request.kind == Request::Kind::kQuery ||
+      request.kind == Request::Kind::kRange) {
+    out += "pitch";
+    for (double v : request.pitch) out += " " + FormatDouble(v);
+    out += "\n";
+  }
+  return out;
+}
+
+Status ParseRequest(const std::string& payload, Request* out) {
+  *out = Request();
+  std::istringstream in(payload);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty request");
+  }
+  std::istringstream head(line);
+  std::string verb;
+  head >> verb;
+  bool wants_pitch = false;
+  if (verb == "ping") {
+    out->kind = Request::Kind::kPing;
+  } else if (verb == "health") {
+    out->kind = Request::Kind::kHealth;
+  } else if (verb == "metrics") {
+    out->kind = Request::Kind::kMetrics;
+  } else if (verb == "query") {
+    out->kind = Request::Kind::kQuery;
+    wants_pitch = true;
+    std::string top_k, deadline;
+    if (!(head >> top_k >> deadline)) {
+      return Status::InvalidArgument("query needs <top_k> <deadline_ms>");
+    }
+    HUMDEX_RETURN_IF_ERROR(ParseSize(top_k, &out->top_k));
+    if (out->top_k == 0 || out->top_k > kMaxTopK) {
+      return Status::InvalidArgument("top_k out of range: " + top_k);
+    }
+    std::size_t ms = 0;
+    HUMDEX_RETURN_IF_ERROR(ParseSize(deadline, &ms));
+    if (ms > kMaxDeadlineMs) {
+      return Status::InvalidArgument("deadline_ms out of range: " + deadline);
+    }
+    out->deadline_ms = ms;
+  } else if (verb == "range") {
+    out->kind = Request::Kind::kRange;
+    wants_pitch = true;
+    std::string eps, deadline;
+    if (!(head >> eps >> deadline)) {
+      return Status::InvalidArgument("range needs <epsilon> <deadline_ms>");
+    }
+    HUMDEX_RETURN_IF_ERROR(ParseDouble(eps, &out->epsilon));
+    if (!std::isfinite(out->epsilon) || out->epsilon < 0.0) {
+      return Status::InvalidArgument("epsilon out of range: " + eps);
+    }
+    std::size_t ms = 0;
+    HUMDEX_RETURN_IF_ERROR(ParseSize(deadline, &ms));
+    if (ms > kMaxDeadlineMs) {
+      return Status::InvalidArgument("deadline_ms out of range: " + deadline);
+    }
+    out->deadline_ms = ms;
+  } else {
+    return Status::InvalidArgument("unknown request verb '" + verb + "'");
+  }
+  if (wants_pitch) {
+    if (!std::getline(in, line) || line.rfind("pitch", 0) != 0) {
+      return Status::InvalidArgument("missing pitch line");
+    }
+    std::istringstream fields(line.substr(5));
+    std::string tok;
+    while (fields >> tok) {
+      if (out->pitch.size() >= kMaxPitchValues) {
+        return Status::InvalidArgument("pitch series too long");
+      }
+      double v = 0.0;
+      HUMDEX_RETURN_IF_ERROR(ParseDouble(tok, &v));
+      out->pitch.push_back(v);
+    }
+    // An empty pitch series is legal on the wire: the engine rejects it as
+    // unservable input, which is the answer the client should see.
+  }
+  return Status::OK();
+}
+
+std::string EncodeResponse(const Response& response) {
+  if (!response.ok) {
+    std::string msg = response.error;
+    for (char& c : msg) {
+      if (c == '\n') c = ' ';  // errors are one line by construction
+    }
+    return "err " + msg + "\n";
+  }
+  std::string out = "ok " + std::to_string(response.matches.size()) + " " +
+                    std::string(response.partial ? "1" : "0") + " " +
+                    std::string(response.truncated ? "1" : "0") + " " +
+                    std::to_string(response.shards_failed) + "\n";
+  for (const QbhMatch& m : response.matches) {
+    out += "match " + std::to_string(m.id) + " " + FormatDouble(m.distance) +
+           " " + m.name + "\n";
+  }
+  out += response.text;
+  return out;
+}
+
+Status ParseResponse(const std::string& payload, Response* out) {
+  *out = Response();
+  std::istringstream in(payload);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty response");
+  }
+  if (line.rfind("err ", 0) == 0) {
+    out->ok = false;
+    out->error = line.substr(4);
+    return Status::OK();
+  }
+  std::istringstream head(line);
+  std::string tag, matches, partial, truncated, failed;
+  if (!(head >> tag >> matches >> partial >> truncated >> failed) ||
+      tag != "ok") {
+    return Status::InvalidArgument("malformed response header: '" + line + "'");
+  }
+  std::size_t n = 0;
+  HUMDEX_RETURN_IF_ERROR(ParseSize(matches, &n));
+  if (n > kMaxTopK) {
+    return Status::InvalidArgument("match count out of range: " + matches);
+  }
+  out->ok = true;
+  out->partial = partial == "1";
+  out->truncated = truncated == "1";
+  HUMDEX_RETURN_IF_ERROR(ParseSize(failed, &out->shards_failed));
+  out->matches.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::getline(in, line) || line.rfind("match ", 0) != 0) {
+      return Status::InvalidArgument("missing match line " + std::to_string(i));
+    }
+    std::istringstream fields(line.substr(6));
+    std::string id, distance;
+    if (!(fields >> id >> distance)) {
+      return Status::InvalidArgument("malformed match line: '" + line + "'");
+    }
+    QbhMatch m;
+    std::size_t id_value = 0;
+    HUMDEX_RETURN_IF_ERROR(ParseSize(id, &id_value));
+    m.id = static_cast<std::int64_t>(id_value);
+    HUMDEX_RETURN_IF_ERROR(ParseDouble(distance, &m.distance));
+    // The name is everything after the distance token (it may hold spaces).
+    std::getline(fields >> std::ws, m.name);
+    out->matches.push_back(std::move(m));
+  }
+  // Whatever follows the match lines is the free-form body.
+  std::string text;
+  while (std::getline(in, line)) text += line + "\n";
+  out->text = std::move(text);
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace humdex

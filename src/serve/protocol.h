@@ -1,0 +1,80 @@
+// humdexd wire protocol: length-prefixed frames over a byte stream, with a
+// line-oriented text payload. The framing is binary (4-byte little-endian
+// payload length, bounded by kMaxFrameBytes) so a slow or malicious peer can
+// never make the server buffer unbounded input or mis-split requests; the
+// payload is text so a captured frame is directly debuggable.
+//
+// Requests (first line, then an optional `pitch ...` line):
+//
+//   ping
+//   health
+//   metrics
+//   query <top_k> <deadline_ms>
+//   pitch <v0> <v1> ...
+//   range <epsilon> <deadline_ms>
+//   pitch <v0> <v1> ...
+//
+// Responses:
+//
+//   ok <matches> <partial> <truncated> <shards_failed>
+//   match <id> <distance> <name>            (x matches)
+//   <free-form text body>                   (health page / metrics page)
+// or
+//   err <message>
+//
+// Encode/parse run on both sides of the socket, so the unit tests round-trip
+// the protocol without opening one. Parsing is Status-based and bounds every
+// size field: malformed frames produce an error response, never an abort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qbh/qbh_system.h"
+#include "util/status.h"
+
+namespace humdex {
+namespace serve {
+
+/// Upper bound on one frame's payload; a header announcing more is a
+/// protocol error (the connection is dropped, nothing is allocated).
+constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// 4-byte little-endian length + payload.
+std::string EncodeFrame(const std::string& payload);
+
+/// Try to pop one frame off the front of `buffer`. Sets `*complete` when a
+/// full frame was available (then `*payload` holds it and `*consumed` how
+/// many buffer bytes it used); an announced length past kMaxFrameBytes is an
+/// error. With an incomplete frame, returns OK with `*complete` false.
+Status DecodeFrame(const std::string& buffer, std::string* payload,
+                   std::size_t* consumed, bool* complete);
+
+struct Request {
+  enum class Kind { kPing, kQuery, kRange, kHealth, kMetrics };
+  Kind kind = Kind::kPing;
+  std::size_t top_k = 10;       // kQuery
+  double epsilon = 0.0;         // kRange
+  std::uint64_t deadline_ms = 0;  // 0 = no deadline
+  Series pitch;                 // kQuery / kRange hum
+};
+
+std::string EncodeRequest(const Request& request);
+Status ParseRequest(const std::string& payload, Request* out);
+
+struct Response {
+  bool ok = false;
+  std::string error;  // set when !ok
+  std::vector<QbhMatch> matches;
+  bool partial = false;
+  bool truncated = false;
+  std::size_t shards_failed = 0;
+  std::string text;  // health / metrics / ping body
+};
+
+std::string EncodeResponse(const Response& response);
+Status ParseResponse(const std::string& payload, Response* out);
+
+}  // namespace serve
+}  // namespace humdex

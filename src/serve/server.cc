@@ -1,0 +1,251 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace humdex {
+namespace serve {
+
+namespace {
+
+obs::Counter& ConnectionsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("serve.connections");
+  return c;
+}
+
+obs::Counter& BadFramesCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("serve.bad_frames");
+  return c;
+}
+
+/// read() until `n` bytes or EOF/error. False = connection is done.
+bool ReadFull(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r == 0) return false;  // peer closed
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const char* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::write(fd, buf + sent, n - sent);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+/// One frame off the wire: 4-byte header, bounded payload.
+bool ReadFrame(int fd, std::string* payload) {
+  char header[4];
+  if (!ReadFull(fd, header, 4)) return false;
+  const std::uint32_t n =
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[0])) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1]))
+       << 8) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]))
+       << 24);
+  if (n > kMaxFrameBytes) {
+    BadFramesCounter().Increment();
+    return false;  // drop the connection; nothing was allocated
+  }
+  payload->resize(n);
+  return n == 0 || ReadFull(fd, payload->data(), n);
+}
+
+bool WriteFrame(int fd, const std::string& payload) {
+  const std::string frame = EncodeFrame(payload);
+  return WriteFull(fd, frame.data(), frame.size());
+}
+
+}  // namespace
+
+HumdexServer::HumdexServer(ShardedEngine* engine, ServerOptions opts)
+    : engine_(engine), opts_(std::move(opts)) {
+  HUMDEX_CHECK(engine_ != nullptr);
+}
+
+HumdexServer::~HumdexServer() { Stop(); }
+
+Status HumdexServer::Start() {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("server already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host '" + opts_.host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st =
+        Status::IoError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, opts_.backlog) < 0) {
+    const Status st =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HumdexServer::Stop() {
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) {
+    // Shutdown wakes the blocked accept(); close alone does not on all
+    // platforms.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  conn_fds_.clear();
+}
+
+void HumdexServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (Stop) or fatal
+    }
+    if (stopping_.load(std::memory_order_relaxed) ||
+        open_connections_.load(std::memory_order_relaxed) >=
+            opts_.max_connections) {
+      // Admission control at the socket layer: past the bound the client
+      // sees an immediate EOF and backs off, and the server never spawns
+      // unbounded threads.
+      ::close(fd);
+      continue;
+    }
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void HumdexServer::ServeConnection(int fd) {
+  ConnectionsCounter().Increment();
+  served_.fetch_add(1, std::memory_order_relaxed);
+  std::string payload;
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         ReadFrame(fd, &payload)) {
+    const std::string response = HandlePayload(payload);
+    if (!WriteFrame(fd, response)) break;
+  }
+  ::close(fd);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::string HumdexServer::HandlePayload(const std::string& payload) const {
+  Request request;
+  Response response;
+  Status st = ParseRequest(payload, &request);
+  if (!st.ok()) {
+    response.ok = false;
+    response.error = st.message();
+    return EncodeResponse(response);
+  }
+  switch (request.kind) {
+    case Request::Kind::kPing: {
+      response.ok = true;
+      response.text = "pong\n";
+      break;
+    }
+    case Request::Kind::kQuery:
+    case Request::Kind::kRange: {
+      QueryOptions qopts;
+      if (request.deadline_ms > 0) {
+        qopts.deadline = Deadline::FromNowMillis(request.deadline_ms);
+      }
+      QueryStats stats;
+      response.matches =
+          request.kind == Request::Kind::kQuery
+              ? engine_->Query(request.pitch, request.top_k, qopts, &stats)
+              : engine_->RangeQuery(request.pitch, request.epsilon, qopts,
+                                    &stats);
+      response.ok = true;
+      response.partial = stats.partial;
+      response.truncated = stats.truncated || stats.rejected;
+      response.shards_failed = stats.shards_failed;
+      break;
+    }
+    case Request::Kind::kHealth: {
+      response.ok = true;
+      std::string text = "shards " + std::to_string(engine_->num_shards()) +
+                         " serving " +
+                         std::to_string(engine_->serving_shards()) + "\n";
+      for (std::size_t s = 0; s < engine_->num_shards(); ++s) {
+        const ShardStatus status = engine_->shard_status(s);
+        text += "shard " + std::to_string(s) + " " +
+                ShardHealthName(status.health) +
+                " read_only=" + (status.read_only ? "1" : "0") +
+                " lossy=" + (status.lossy ? "1" : "0") + " melodies=" +
+                std::to_string(status.live_melodies) + "\n";
+      }
+      response.text = std::move(text);
+      break;
+    }
+    case Request::Kind::kMetrics: {
+      response.ok = true;
+      response.text = obs::ExportPrometheus(obs::MetricsRegistry::Default());
+      break;
+    }
+  }
+  return EncodeResponse(response);
+}
+
+}  // namespace serve
+}  // namespace humdex

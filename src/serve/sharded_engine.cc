@@ -1,0 +1,772 @@
+#include "serve/sharded_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+
+#include "music/pitch_tracker.h"
+#include "obs/metrics.h"
+#include "ts/normal_form.h"
+
+namespace humdex {
+namespace serve {
+
+namespace {
+
+obs::Counter& QueriesCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("serve.queries");
+  return c;
+}
+
+obs::Counter& PartialCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("serve.queries_partial");
+  return c;
+}
+
+obs::Counter& ShardsFailedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("serve.shards_failed");
+  return c;
+}
+
+obs::Counter& HedgeCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("serve.hedged_attempts");
+  return c;
+}
+
+obs::Counter& ShedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("serve.queries_shed");
+  return c;
+}
+
+obs::Counter& QuarantineCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("serve.quarantines");
+  return c;
+}
+
+obs::Counter& RepairCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("serve.repairs");
+  return c;
+}
+
+obs::Counter& RejectedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("serve.queries_rejected");
+  return c;
+}
+
+void MarkRejected(QueryStats* stats) {
+  RejectedCounter().Increment();
+  if (stats != nullptr) {
+    *stats = QueryStats();
+    stats->rejected = true;
+  }
+}
+
+/// Merge order: (distance, global id) — the same total order a single
+/// engine's Neighbor uses, applied to translated ids.
+bool MatchLess(const QbhMatch& a, const QbhMatch& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+const char* ShardHealthName(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kHealthy:
+      return "healthy";
+    case ShardHealth::kDegraded:
+      return "degraded";
+    case ShardHealth::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+ShardedEngine::ShardedEngine(ShardedOptions opts)
+    : opts_(std::move(opts)),
+      pool_(opts_.query_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                     : opts_.query_threads) {
+  HUMDEX_CHECK(opts_.num_shards >= 1);
+  shards_.reserve(opts_.num_shards);
+  for (std::size_t s = 0; s < opts_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedEngine::~ShardedEngine() { StopBackgroundRepair(); }
+
+std::string ShardedEngine::ShardPath(const std::string& dir,
+                                     std::size_t shard) {
+  return dir + "/shard-" + std::to_string(shard) + ".humdex";
+}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
+    std::vector<Melody> corpus, ShardedOptions opts) {
+  if (opts.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be at least 1");
+  }
+  if (corpus.size() < opts.num_shards) {
+    return Status::InvalidArgument(
+        "need at least one melody per shard (" +
+        std::to_string(corpus.size()) + " melodies, " +
+        std::to_string(opts.num_shards) + " shards)");
+  }
+  std::unique_ptr<ShardedEngine> engine(new ShardedEngine(std::move(opts)));
+  const std::size_t n = engine->shards_.size();
+  std::vector<QbhSystem> systems;
+  systems.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    systems.emplace_back(engine->opts_.qbh);
+  }
+  // Round robin: global id g -> shard g % n, local id g / n. AddMelody
+  // allocates local ids densely in call order, which matches g / n exactly.
+  for (std::size_t g = 0; g < corpus.size(); ++g) {
+    systems[g % n].AddMelody(std::move(corpus[g]));
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    systems[s].Build();
+    engine->shards_[s]->system =
+        std::make_shared<QbhSystem>(std::move(systems[s]));
+  }
+  engine->global_next_id_ = static_cast<std::int64_t>(corpus.size());
+  return engine;
+}
+
+Status ShardedEngine::AttachAll(const std::string& dir, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  env_ = env;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = *shards_[s];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.path = ShardPath(dir, s);
+    if (sh.system == nullptr) continue;
+    HUMDEX_RETURN_IF_ERROR(sh.system->Attach(sh.path, env));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
+    const std::string& dir, ShardedOptions opts, Env* env,
+    std::vector<RecoveryStats>* recovery) {
+  if (opts.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be at least 1");
+  }
+  if (env == nullptr) env = Env::Default();
+  std::unique_ptr<ShardedEngine> engine(new ShardedEngine(std::move(opts)));
+  engine->env_ = env;
+  const std::size_t n = engine->shards_.size();
+  if (recovery != nullptr) {
+    recovery->assign(n, RecoveryStats());
+  }
+  std::size_t serving = 0;
+  std::int64_t frontier = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    Shard& sh = *engine->shards_[s];
+    sh.path = ShardPath(dir, s);
+    RecoveryStats rs;
+    Result<QbhSystem> opened = QbhSystem::Open(sh.path, env, &rs);
+    if (opened.ok()) {
+      sh.system = std::make_shared<QbhSystem>(std::move(opened).value());
+      // A torn tail means the disk lost a (possibly empty) log suffix: the
+      // shard serves exactly what recovery produced, but stays degraded
+      // until the next successful checkpoint re-establishes durability.
+      sh.health = rs.torn_tail ? ShardHealth::kDegraded : ShardHealth::kHealthy;
+    } else {
+      Result<QbhSystem> salvaged = QbhSystem::OpenSalvage(sh.path, env, &rs);
+      if (salvaged.ok() && rs.ids_stable) {
+        sh.system = std::make_shared<QbhSystem>(std::move(salvaged).value());
+        sh.health = ShardHealth::kDegraded;
+        sh.lossy = rs.melodies_dropped > 0;
+      } else {
+        // Unrecoverable here (or the ids cannot be trusted): quarantine and
+        // keep serving from the other shards. RepairShard / ReseedShard can
+        // bring it back later.
+        sh.system = nullptr;
+        sh.health = ShardHealth::kQuarantined;
+        QuarantineCounter().Increment();
+        rs = RecoveryStats();
+      }
+    }
+    if (recovery != nullptr) (*recovery)[s] = rs;
+    if (sh.system != nullptr) {
+      ++serving;
+      const std::int64_t local_next = sh.system->next_id();
+      if (local_next > 0) {
+        frontier = std::max(
+            frontier, (local_next - 1) * static_cast<std::int64_t>(n) +
+                          static_cast<std::int64_t>(s) + 1);
+      }
+    }
+  }
+  if (serving == 0) {
+    return Status::Corruption("no shard in '" + dir + "' is recoverable");
+  }
+  engine->global_next_id_ = frontier;
+  return engine;
+}
+
+Series ShardedEngine::HumToNormalForm(const Series& hum_pitch) const {
+  // Same pipeline as QbhSystem::HumToNormalForm, run once per query instead
+  // of once per shard (it depends only on the options, not on any corpus).
+  Series voiced = RemoveSilence(hum_pitch);
+  if (voiced.empty()) return Series();
+  for (double v : voiced) {
+    if (!std::isfinite(v)) return Series();
+  }
+  return NormalForm(voiced, opts_.qbh.normal_len);
+}
+
+std::vector<ShardedEngine::ShardSnapshot> ShardedEngine::Snapshot(
+    QueryStats* stats) const {
+  std::vector<ShardSnapshot> snaps(shards_.size());
+  std::size_t failed = 0;
+  bool lossy = false;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = *shards_[s];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (sh.health == ShardHealth::kQuarantined || sh.system == nullptr) {
+      ++failed;
+      continue;
+    }
+    snaps[s].system = sh.system;
+    snaps[s].lossy = sh.lossy;
+    lossy = lossy || sh.lossy;
+  }
+  if (stats != nullptr) {
+    stats->shards_failed += failed;
+    if (failed > 0 || lossy) stats->partial = true;
+  }
+  return snaps;
+}
+
+std::vector<QbhMatch> ShardedEngine::ShardQuery(
+    std::size_t shard, const ShardSnapshot& snap, const Series& normal,
+    bool knn, std::size_t top_k, double epsilon, const QueryOptions& qopts,
+    QueryStats* stats, bool* ok) const {
+  const int attempts = std::max(1, opts_.attempts_per_shard);
+  for (int a = 0; a < attempts; ++a) {
+    QueryOptions per = qopts;
+    per.max_queue_depth = 0;  // admission control is engine-level
+    per.queue_depth_probe = nullptr;
+    if (!qopts.deadline.infinite()) {
+      // Budget splitting: attempt a gets an equal slice of what is left, so
+      // one slow attempt cannot eat the budget of the retries behind it.
+      const std::uint64_t remaining = qopts.deadline.remaining_ns();
+      per.deadline = Deadline::FromNowNs(
+          remaining / static_cast<std::uint64_t>(attempts - a));
+    }
+    if (opts_.fail_attempt_hook && opts_.fail_attempt_hook(shard, a)) {
+      HedgeCounter().Increment();
+      continue;  // simulated slow/failed attempt
+    }
+    QueryStats attempt_stats;
+    std::vector<QbhMatch> out =
+        knn ? snap.system->QueryNormal(normal, top_k, per, &attempt_stats)
+            : snap.system->RangeQueryNormal(normal, epsilon, per,
+                                            &attempt_stats);
+    // Hedge: an attempt that blew its slice (truncated) is retried with the
+    // next slice, unless the overall deadline is spent — then the truncated
+    // answer (exact for everything it examined) is the best we can return.
+    if (attempt_stats.truncated && a + 1 < attempts && !qopts.ShouldStop()) {
+      HedgeCounter().Increment();
+      continue;
+    }
+    if (stats != nullptr) *stats += attempt_stats;
+    // Translate local -> global ids; order is preserved (l1 < l2 implies
+    // l1*N+s < l2*N+s), so each shard's answer stays sorted.
+    const std::int64_t n = static_cast<std::int64_t>(shards_.size());
+    for (QbhMatch& m : out) {
+      m.id = m.id * n + static_cast<std::int64_t>(shard);
+    }
+    *ok = true;
+    return out;
+  }
+  *ok = false;
+  return {};
+}
+
+std::vector<QbhMatch> ShardedEngine::ScatterGather(
+    const Series& normal, bool knn, std::size_t top_k, double epsilon,
+    const QueryOptions& qopts, QueryStats* stats, bool parallel) const {
+  QueriesCounter().Increment();
+  if (normal.empty()) {
+    MarkRejected(stats);
+    return {};
+  }
+  QueryStats local;
+  std::vector<ShardSnapshot> snaps = Snapshot(&local);
+
+  std::vector<std::vector<QbhMatch>> per_shard(snaps.size());
+  std::vector<QueryStats> shard_stats(snaps.size());
+  std::vector<char> shard_ok(snaps.size(), 0);
+  auto run_shard = [&](std::size_t s) {
+    if (snaps[s].system == nullptr) return;  // already counted failed
+    bool ok = false;
+    per_shard[s] = ShardQuery(s, snaps[s], normal, knn, top_k, epsilon, qopts,
+                              &shard_stats[s], &ok);
+    shard_ok[s] = ok ? 1 : 0;
+  };
+  if (parallel && pool_.size() > 1 && snaps.size() > 1) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(snaps.size());
+    for (std::size_t s = 0; s < snaps.size(); ++s) {
+      futures.push_back(pool_.Submit([&run_shard, s] { run_shard(s); }));
+    }
+    for (std::future<void>& f : futures) f.get();
+  } else {
+    for (std::size_t s = 0; s < snaps.size(); ++s) run_shard(s);
+  }
+
+  std::vector<QbhMatch> merged;
+  for (std::size_t s = 0; s < snaps.size(); ++s) {
+    if (snaps[s].system == nullptr) continue;
+    if (!shard_ok[s]) {
+      // Every attempt failed at query time: the shard stays in the engine
+      // (its state is fine) but this answer does not cover it.
+      ++local.shards_failed;
+      local.partial = true;
+      continue;
+    }
+    local += shard_stats[s];
+    merged.insert(merged.end(), per_shard[s].begin(), per_shard[s].end());
+  }
+  std::sort(merged.begin(), merged.end(), MatchLess);
+  if (knn && merged.size() > top_k) merged.resize(top_k);
+
+  if (local.partial) PartialCounter().Increment();
+  if (local.shards_failed > 0) {
+    ShardsFailedCounter().Increment(local.shards_failed);
+  }
+  if (stats != nullptr) *stats = local;
+  return merged;
+}
+
+std::vector<QbhMatch> ShardedEngine::Query(const Series& hum_pitch,
+                                           std::size_t top_k,
+                                           const QueryOptions& qopts,
+                                           QueryStats* stats) const {
+  return ScatterGather(HumToNormalForm(hum_pitch), /*knn=*/true, top_k, 0.0,
+                       qopts, stats, /*parallel=*/true);
+}
+
+std::vector<QbhMatch> ShardedEngine::RangeQuery(const Series& hum_pitch,
+                                                double epsilon,
+                                                const QueryOptions& qopts,
+                                                QueryStats* stats) const {
+  return ScatterGather(HumToNormalForm(hum_pitch), /*knn=*/false, 0, epsilon,
+                       qopts, stats, /*parallel=*/true);
+}
+
+std::vector<std::vector<QbhMatch>> ShardedEngine::QueryBatch(
+    const std::vector<Series>& hum_pitches, std::size_t top_k,
+    const QueryOptions& qopts, QueryStats* aggregate) const {
+  std::vector<std::vector<QbhMatch>> results(hum_pitches.size());
+  std::vector<QueryStats> stats(hum_pitches.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(hum_pitches.size());
+  for (std::size_t i = 0; i < hum_pitches.size(); ++i) {
+    // Admission control: refuse queries the pool is too far behind on
+    // instead of queueing them to miss their deadline anyway.
+    if (qopts.max_queue_depth > 0 &&
+        (qopts.queue_depth_probe ? qopts.queue_depth_probe()
+                                 : pool_.queue_depth()) >=
+            qopts.max_queue_depth) {
+      stats[i].truncated = true;
+      ShedCounter().Increment();
+      continue;
+    }
+    futures.push_back(pool_.Submit([this, &hum_pitches, &results, &stats,
+                                    &qopts, top_k, i] {
+      // Inline scatter: this task already runs on the pool, so fanning the
+      // shards back into the same pool could deadlock a full pool of tasks
+      // all waiting for sub-tasks no worker is free to run.
+      results[i] = ScatterGather(HumToNormalForm(hum_pitches[i]),
+                                 /*knn=*/true, top_k, 0.0, qopts, &stats[i],
+                                 /*parallel=*/false);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  if (aggregate != nullptr) {
+    QueryStats total;
+    for (const QueryStats& s : stats) total += s;
+    *aggregate = total;
+  }
+  return results;
+}
+
+// --- Mutation ----------------------------------------------------------------
+
+std::int64_t ShardedEngine::LocalNextFor(std::int64_t global_next,
+                                         std::size_t shard) const {
+  // Number of global ids < global_next that map to `shard`:
+  // ceil((global_next - shard) / n) for global_next > shard, else 0.
+  const std::int64_t n = static_cast<std::int64_t>(shards_.size());
+  const std::int64_t s = static_cast<std::int64_t>(shard);
+  if (global_next <= s) return 0;
+  return (global_next - s + n - 1) / n;
+}
+
+void ShardedEngine::NoteIoErrorLocked(Shard& shard) {
+  ++shard.io_errors;
+  shard.read_only = true;
+  if (shard.health == ShardHealth::kHealthy) {
+    shard.health = ShardHealth::kDegraded;
+  }
+  if (shard.health != ShardHealth::kQuarantined &&
+      shard.io_errors >= opts_.quarantine_after_io_errors) {
+    shard.health = ShardHealth::kQuarantined;
+    QuarantineCounter().Increment();
+  }
+}
+
+Result<std::int64_t> ShardedEngine::Insert(Melody melody) {
+  std::lock_guard<std::mutex> alloc(alloc_mu_);
+  Status last = Status::FailedPrecondition("no shard can take writes");
+  for (std::size_t tries = 0; tries < shards_.size(); ++tries) {
+    const std::int64_t g = global_next_id_;
+    const std::size_t s =
+        static_cast<std::size_t>(g % static_cast<std::int64_t>(shards_.size()));
+    Shard& sh = *shards_[s];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (sh.health == ShardHealth::kQuarantined || sh.read_only ||
+        sh.system == nullptr) {
+      // Burn this frontier id (ids are never reused) and let the next
+      // writable shard take the melody. The skipped shard is re-aligned by
+      // PadIdSpace when it rejoins.
+      ++global_next_id_;
+      continue;
+    }
+    Result<std::int64_t> local = sh.system->Insert(std::move(melody));
+    if (!local.ok()) {
+      NoteIoErrorLocked(sh);
+      // The melody was consumed by the move only on success; on failure the
+      // shard's memory is untouched but our argument is gone — report the
+      // error rather than retrying with a moved-from melody.
+      return last = local.status();
+    }
+    sh.io_errors = 0;
+    const std::int64_t expected = LocalNextFor(g, s);
+    if (local.value() != expected) {
+      // Id skew: this shard's frontier no longer matches the global
+      // allocator — a bug or an unrepaired rejoin. Quarantine it; serving
+      // wrong global ids is the one thing the engine must never do.
+      sh.health = ShardHealth::kQuarantined;
+      QuarantineCounter().Increment();
+      return Status::Internal(
+          "shard " + std::to_string(s) + " allocated local id " +
+          std::to_string(local.value()) + ", expected " +
+          std::to_string(expected));
+    }
+    ++global_next_id_;
+    return g;
+  }
+  return last;
+}
+
+Status ShardedEngine::Remove(std::int64_t global_id) {
+  if (global_id < 0) {
+    return Status::InvalidArgument("negative melody id");
+  }
+  const std::int64_t n = static_cast<std::int64_t>(shards_.size());
+  const std::size_t s = static_cast<std::size_t>(global_id % n);
+  const std::int64_t local = global_id / n;
+  Shard& sh = *shards_[s];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  if (sh.health == ShardHealth::kQuarantined || sh.system == nullptr) {
+    return Status::FailedPrecondition("shard " + std::to_string(s) +
+                               " is quarantined");
+  }
+  if (sh.read_only) {
+    return Status::FailedPrecondition("shard " + std::to_string(s) + " is read-only");
+  }
+  Status st = sh.system->Remove(local);
+  if (!st.ok() && st.code() == Status::Code::kIoError) NoteIoErrorLocked(sh);
+  if (st.ok()) sh.io_errors = 0;
+  return st;
+}
+
+Status ShardedEngine::CheckpointAll() {
+  Status first = Status::OK();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = *shards_[s];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (sh.system == nullptr || sh.health == ShardHealth::kQuarantined ||
+        !sh.system->durable()) {
+      continue;
+    }
+    Status st = sh.system->Checkpoint();
+    if (!st.ok()) {
+      NoteIoErrorLocked(sh);
+      if (first.ok()) first = st;
+      continue;
+    }
+    sh.io_errors = 0;
+    sh.read_only = false;
+    // A durable checkpoint clears durability suspicion; data lost to a
+    // salvage (lossy) is still lost, so those shards stay degraded until
+    // reseeded.
+    if (sh.health == ShardHealth::kDegraded && !sh.lossy) {
+      sh.health = ShardHealth::kHealthy;
+    }
+  }
+  return first;
+}
+
+// --- Introspection -----------------------------------------------------------
+
+std::size_t ShardedEngine::size() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Shard>& shp : shards_) {
+    Shard& sh = *shp;
+    std::shared_ptr<QbhSystem> sys;
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      if (sh.health == ShardHealth::kQuarantined) continue;
+      sys = sh.system;
+    }
+    if (sys != nullptr) total += sys->size();
+  }
+  return total;
+}
+
+std::int64_t ShardedEngine::next_id() const {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  return global_next_id_;
+}
+
+std::size_t ShardedEngine::serving_shards() const {
+  std::size_t n = 0;
+  for (const std::unique_ptr<Shard>& shp : shards_) {
+    std::lock_guard<std::mutex> lock(shp->mu);
+    if (shp->health != ShardHealth::kQuarantined && shp->system != nullptr) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+ShardStatus ShardedEngine::shard_status(std::size_t shard) const {
+  HUMDEX_CHECK(shard < shards_.size());
+  Shard& sh = *shards_[shard];
+  ShardStatus out;
+  std::shared_ptr<QbhSystem> sys;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    out.health = sh.health;
+    out.read_only = sh.read_only;
+    out.lossy = sh.lossy;
+    out.io_errors = sh.io_errors;
+    out.repairs = sh.repairs;
+    sys = sh.system;
+  }
+  if (sys != nullptr) out.live_melodies = sys->size();
+  return out;
+}
+
+std::optional<Melody> ShardedEngine::melody(std::int64_t global_id) const {
+  if (global_id < 0) return std::nullopt;
+  const std::int64_t n = static_cast<std::int64_t>(shards_.size());
+  Shard& sh = *shards_[static_cast<std::size_t>(global_id % n)];
+  std::shared_ptr<QbhSystem> sys;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (sh.health == ShardHealth::kQuarantined) return std::nullopt;
+    sys = sh.system;
+  }
+  if (sys == nullptr) return std::nullopt;
+  return sys->melody(global_id / n);
+}
+
+// --- Fault handling ----------------------------------------------------------
+
+void ShardedEngine::QuarantineShard(std::size_t shard) {
+  HUMDEX_CHECK(shard < shards_.size());
+  Shard& sh = *shards_[shard];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  if (sh.health != ShardHealth::kQuarantined) {
+    sh.health = ShardHealth::kQuarantined;
+    QuarantineCounter().Increment();
+  }
+}
+
+Status ShardedEngine::RepairShard(std::size_t shard) {
+  HUMDEX_CHECK(shard < shards_.size());
+  std::lock_guard<std::mutex> repair_lock(repair_mu_);
+  Shard& sh = *shards_[shard];
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (sh.health != ShardHealth::kQuarantined) {
+      return Status::FailedPrecondition("shard " + std::to_string(shard) +
+                                        " is not quarantined");
+    }
+    path = sh.path;
+  }
+  if (path.empty()) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(shard) +
+        " has no storage to repair from (not durable)");
+  }
+
+  // Build the replacement entirely offline; readers keep draining the other
+  // shards (and whatever snapshot pointers they already copied).
+  RecoveryStats rs;
+  ShardHealth health;
+  bool lossy = false;
+  Result<QbhSystem> opened = QbhSystem::Open(path, env_, &rs);
+  if (opened.ok()) {
+    health = rs.torn_tail ? ShardHealth::kDegraded : ShardHealth::kHealthy;
+  } else {
+    opened = QbhSystem::OpenSalvage(path, env_, &rs);
+    if (!opened.ok()) {
+      return Status::Corruption("shard " + std::to_string(shard) +
+                                " is beyond salvage: " +
+                                opened.status().message());
+    }
+    if (!rs.ids_stable) {
+      return Status::Corruption(
+          "shard " + std::to_string(shard) +
+          " salvage could not keep ids stable; reseed it instead");
+    }
+    health = ShardHealth::kDegraded;
+    lossy = rs.melodies_dropped > 0;
+  }
+  QbhSystem system = std::move(opened).value();
+
+  // Re-align the shard's id frontier with the global allocator: ids this
+  // shard missed while quarantined become tombstones, so its next local
+  // allocation matches the next global id routed to it.
+  std::int64_t global_next;
+  {
+    std::lock_guard<std::mutex> alloc(alloc_mu_);
+    global_next = global_next_id_;
+  }
+  bool pad_failed = false;
+  Status pad = system.PadIdSpace(LocalNextFor(global_next, shard));
+  if (!pad.ok()) pad_failed = true;  // serve reads; refuse writes
+
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.system = std::make_shared<QbhSystem>(std::move(system));
+    sh.health = health;
+    sh.lossy = lossy;
+    sh.read_only = pad_failed;
+    sh.io_errors = 0;
+    ++sh.repairs;
+  }
+  RepairCounter().Increment();
+  return Status::OK();
+}
+
+Status ShardedEngine::ReseedShard(
+    std::size_t shard, std::vector<std::pair<std::int64_t, Melody>> rows) {
+  HUMDEX_CHECK(shard < shards_.size());
+  std::lock_guard<std::mutex> repair_lock(repair_mu_);
+  if (rows.empty()) {
+    return Status::InvalidArgument("reseed needs at least one melody");
+  }
+  const std::int64_t n = static_cast<std::int64_t>(shards_.size());
+  Shard& sh = *shards_[shard];
+  // Take writes away from the old instance first so a racing Insert cannot
+  // land a melody in a system about to be replaced.
+  QuarantineShard(shard);
+
+  QbhSystem system(opts_.qbh);
+  for (std::pair<std::int64_t, Melody>& row : rows) {
+    if (row.first < 0 || row.first % n != static_cast<std::int64_t>(shard)) {
+      return Status::InvalidArgument(
+          "melody id " + std::to_string(row.first) + " does not map to shard " +
+          std::to_string(shard));
+    }
+    HUMDEX_RETURN_IF_ERROR(
+        system.AddMelodyWithId(std::move(row.second), row.first / n));
+  }
+  std::int64_t global_next;
+  {
+    std::lock_guard<std::mutex> alloc(alloc_mu_);
+    global_next = global_next_id_;
+  }
+  system.ReserveIds(LocalNextFor(global_next, shard));
+  system.Build();
+
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    path = sh.path;
+  }
+  if (!path.empty()) {
+    // Fresh checkpoint + empty log: the reseeded state is durable before it
+    // serves (env errors leave the shard quarantined, nothing half-swapped).
+    HUMDEX_RETURN_IF_ERROR(system.Attach(path, env_));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.system = std::make_shared<QbhSystem>(std::move(system));
+    sh.health = ShardHealth::kHealthy;
+    sh.read_only = false;
+    sh.lossy = false;
+    sh.io_errors = 0;
+    ++sh.repairs;
+  }
+  RepairCounter().Increment();
+  return Status::OK();
+}
+
+void ShardedEngine::RepairLoop(std::uint64_t interval_ms) {
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  while (!bg_stop_) {
+    bg_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                    [this] { return bg_stop_; });
+    if (bg_stop_) break;
+    lock.unlock();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      bool quarantined;
+      {
+        std::lock_guard<std::mutex> shard_lock(shards_[s]->mu);
+        quarantined = shards_[s]->health == ShardHealth::kQuarantined;
+      }
+      // Best effort: a shard that stays broken is retried next tick.
+      if (quarantined) { Status st = RepairShard(s); (void)st; }
+    }
+    lock.lock();
+  }
+}
+
+void ShardedEngine::StartBackgroundRepair(std::uint64_t interval_ms) {
+  std::lock_guard<std::mutex> lock(bg_mu_);
+  if (bg_thread_.joinable()) return;  // already running
+  bg_stop_ = false;
+  bg_thread_ = std::thread([this, interval_ms] { RepairLoop(interval_ms); });
+}
+
+void ShardedEngine::StopBackgroundRepair() {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    if (!bg_thread_.joinable()) return;
+    bg_stop_ = true;
+  }
+  bg_cv_.notify_all();
+  bg_thread_.join();
+  std::lock_guard<std::mutex> lock(bg_mu_);
+  bg_thread_ = std::thread();
+}
+
+}  // namespace serve
+}  // namespace humdex

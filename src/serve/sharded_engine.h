@@ -1,0 +1,282 @@
+// Sharded serving engine (DESIGN.md §12): the corpus partitioned across N
+// independent QbhSystem shards, each owning its own index, WAL, and
+// checkpoint, queried scatter-gather and merged back into the single-engine
+// answer.
+//
+// Id mapping is fixed round robin: global id g lives on shard g % N under
+// local id g / N (g = l*N + s). Within a shard, local id order equals global
+// id order, so each shard's top-k by (distance, local id) translates
+// directly to (distance, global id) — and any member of the global top-k is
+// by definition in its own shard's top-k. Merging the per-shard answers by
+// (distance, global id) is therefore *bit-identical* to running the query on
+// one unsharded engine, whenever every shard answers.
+//
+// Fault isolation is the point of the partitioning: each shard carries a
+// health state
+//
+//   kHealthy     serving reads, accepting durable writes
+//   kDegraded    serving reads exactly; durability or completeness suspect
+//                (read_only: mutations refused; lossy: salvage dropped data)
+//   kQuarantined excluded from the fan-out entirely
+//
+// driven by recovery outcomes (torn WAL tail -> degraded; salvaged
+// checkpoint -> degraded+lossy; unrecoverable or id-unstable -> quarantined)
+// and by runtime IO errors (a failing mutation degrades to read-only;
+// repeated failures quarantine). A query that any shard cannot serve still
+// answers from the rest — exact for every melody on the shards that did
+// answer — with QueryStats::shards_failed / partial flagged. Degraded, never
+// wrong; the process never aborts.
+//
+// Repair runs without stopping reads: RepairShard re-opens a quarantined
+// shard offline (strict recovery, then salvage) and atomically swaps the
+// rebuilt system in under a light per-shard mutex that readers only hold to
+// copy a shared_ptr. ReseedShard restores a shard from authoritative
+// (global id, melody) rows — the "copy from a replica" path that brings a
+// destroyed shard back to bit-exact answers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "qbh/qbh_system.h"
+#include "util/deadline.h"
+#include "util/env.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace humdex {
+namespace serve {
+
+enum class ShardHealth { kHealthy, kDegraded, kQuarantined };
+
+const char* ShardHealthName(ShardHealth health);
+
+/// Point-in-time view of one shard's state (for health endpoints and tests).
+struct ShardStatus {
+  ShardHealth health = ShardHealth::kHealthy;
+  bool read_only = false;  ///< mutations refused (storage failing)
+  bool lossy = false;      ///< salvage dropped melodies: answers are partial
+  std::size_t live_melodies = 0;
+  std::size_t io_errors = 0;  ///< consecutive mutation/checkpoint IO failures
+  std::size_t repairs = 0;    ///< successful RepairShard/ReseedShard runs
+};
+
+struct ShardedOptions {
+  std::size_t num_shards = 4;
+  QbhOptions qbh;  ///< per-shard system options (must match on reopen)
+
+  /// Worker threads for the scatter-gather fan-out and batch queries
+  /// (0 = ThreadPool::DefaultThreadCount()).
+  std::size_t query_threads = 0;
+
+  /// Hedged retry: per-shard attempt budget. With k attempts and a query
+  /// deadline, attempt i gets remaining/(k-i) of the budget; an attempt that
+  /// exhausts its slice (truncated) is retried with the next slice instead
+  /// of eating the whole deadline on one slow shard. 1 disables hedging.
+  int attempts_per_shard = 1;
+
+  /// Consecutive mutation/checkpoint IO failures before a shard is
+  /// quarantined outright (the first failure already degrades it to
+  /// read-only).
+  std::size_t quarantine_after_io_errors = 3;
+
+  /// Test hook: when set, called as (shard, attempt); returning true makes
+  /// that attempt fail without touching the shard — a deterministic stand-in
+  /// for a slow or hung shard, exercising the hedge/partial paths.
+  std::function<bool(std::size_t, int)> fail_attempt_hook;
+};
+
+class ShardedEngine {
+ public:
+  /// Partition `corpus` round robin across num_shards fresh shards and build
+  /// them. Needs at least one melody per shard (an empty shard has no valid
+  /// index). The resulting answers are bit-identical to a single QbhSystem
+  /// built from the same corpus in the same order.
+  static Result<std::unique_ptr<ShardedEngine>> Create(
+      std::vector<Melody> corpus, ShardedOptions opts);
+
+  /// Make every shard durable under `dir` (shard i at ShardPath(dir, i)).
+  Status AttachAll(const std::string& dir, Env* env = nullptr);
+
+  /// Recover a sharded engine from `dir`. Each shard recovers independently:
+  /// strict Open first, salvage next, quarantine last — one destroyed shard
+  /// never stops the others from serving. Fails only when not a single
+  /// shard is recoverable. Per-shard recovery stats land in `*recovery`
+  /// (quarantined shards report default stats).
+  static Result<std::unique_ptr<ShardedEngine>> Open(
+      const std::string& dir, ShardedOptions opts, Env* env = nullptr,
+      std::vector<RecoveryStats>* recovery = nullptr);
+
+  static std::string ShardPath(const std::string& dir, std::size_t shard);
+
+  ~ShardedEngine();
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // --- Queries (scatter-gather) -------------------------------------------
+
+  /// Top-k across all serving shards, merged by (distance, global id).
+  /// Bit-identical to the unsharded answer when every shard serves; with
+  /// failed shards the answer is exact over the shards that answered and
+  /// `stats->partial` / `stats->shards_failed` say so.
+  std::vector<QbhMatch> Query(const Series& hum_pitch, std::size_t top_k,
+                              const QueryOptions& qopts = QueryOptions(),
+                              QueryStats* stats = nullptr) const;
+
+  /// Range query across all serving shards, ascending (distance, global id).
+  std::vector<QbhMatch> RangeQuery(const Series& hum_pitch, double epsilon,
+                                   const QueryOptions& qopts = QueryOptions(),
+                                   QueryStats* stats = nullptr) const;
+
+  /// Batch queries fan out across the engine's pool (one task per query;
+  /// each task scatters its shards inline — no nested pool waits). With
+  /// `qopts.max_queue_depth` set, queries whose submission would push the
+  /// pool past that depth are shed (empty, truncated result) instead of
+  /// queued to miss their deadline; `qopts.queue_depth_probe` makes the
+  /// decision deterministic in tests.
+  std::vector<std::vector<QbhMatch>> QueryBatch(
+      const std::vector<Series>& hum_pitches, std::size_t top_k,
+      const QueryOptions& qopts = QueryOptions(),
+      QueryStats* aggregate = nullptr) const;
+
+  // --- Mutation ------------------------------------------------------------
+
+  /// Insert at the global id frontier. The target shard is frontier % N; a
+  /// shard that cannot take writes (quarantined / read-only) is skipped and
+  /// its frontier id is burned — ids are never reused, so the hole stays a
+  /// tombstone and the next writable shard takes the melody. Fails when no
+  /// shard can take writes.
+  Result<std::int64_t> Insert(Melody melody);
+
+  /// Remove a global id; routed to its shard. kUnavailable when that shard
+  /// is quarantined or read-only.
+  Status Remove(std::int64_t global_id);
+
+  /// Checkpoint every writable shard. A shard whose checkpoint succeeds and
+  /// whose degradation was only durability-suspicion (torn tail, earlier IO
+  /// errors — not lossy) is promoted back to healthy. Returns the first
+  /// error but keeps checkpointing the rest.
+  Status CheckpointAll();
+
+  // --- Introspection -------------------------------------------------------
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t size() const;          ///< live melodies across serving shards
+  std::int64_t next_id() const;      ///< global id frontier
+  ShardStatus shard_status(std::size_t shard) const;
+  std::size_t serving_shards() const;  ///< shards not quarantined
+  std::optional<Melody> melody(std::int64_t global_id) const;
+  const ShardedOptions& options() const { return opts_; }
+
+  // --- Fault handling ------------------------------------------------------
+
+  /// Ops/chaos hook: exclude a shard from the fan-out immediately.
+  void QuarantineShard(std::size_t shard);
+
+  /// Re-open a quarantined shard from its own storage and swap it back in
+  /// without stopping reads: strict recovery first (healthy, or degraded on
+  /// a torn tail), salvage second (degraded + lossy), and if even the
+  /// salvage cannot keep ids stable the shard stays quarantined and an error
+  /// is returned. The rejoined shard's id frontier is re-aligned (padded) to
+  /// the global allocator.
+  Status RepairShard(std::size_t shard);
+
+  /// Rebuild a shard from authoritative (global id, melody) rows — the
+  /// replica-reseed path for a shard whose local storage is beyond salvage.
+  /// Every id must map to this shard (id % N == shard). The shard rejoins
+  /// healthy with a fresh checkpoint, and answers are bit-exact again.
+  Status ReseedShard(std::size_t shard,
+                     std::vector<std::pair<std::int64_t, Melody>> rows);
+
+  /// Run RepairShard over quarantined shards every `interval_ms` on a
+  /// background thread until StopBackgroundRepair (or destruction). Reads
+  /// never stop while repairs run.
+  void StartBackgroundRepair(std::uint64_t interval_ms);
+  void StopBackgroundRepair();
+
+  /// The hum -> normal-form front half of a query (shared by all shards; the
+  /// sharded engine derives it once per query). Empty = unservable input.
+  Series HumToNormalForm(const Series& hum_pitch) const;
+
+ private:
+  struct Shard {
+    // Guards health fields and the system pointer. Readers hold it only to
+    // copy the shared_ptr; repair swaps the pointer under it. Mutations hold
+    // it across the (already per-shard-serialized) QbhSystem call so a
+    // repair swap cannot race a write into a doomed instance.
+    mutable std::mutex mu;
+    std::shared_ptr<QbhSystem> system;  // null while quarantined-unloadable
+    ShardHealth health = ShardHealth::kHealthy;
+    bool read_only = false;
+    bool lossy = false;
+    std::size_t io_errors = 0;
+    std::size_t repairs = 0;
+    std::string path;  // empty until AttachAll/Open
+  };
+
+  struct ShardSnapshot {
+    std::shared_ptr<QbhSystem> system;  // null: shard failed for this query
+    bool lossy = false;
+  };
+
+  explicit ShardedEngine(ShardedOptions opts);
+
+  /// Copy every shard's system pointer + flags under its mutex. Fills
+  /// stats->shards_failed/partial for the excluded ones.
+  std::vector<ShardSnapshot> Snapshot(QueryStats* stats) const;
+
+  /// One shard's contribution, with hedged attempts and per-attempt deadline
+  /// slices. Local ids are translated to global before returning. `*ok`
+  /// false = every attempt failed (shard counts as failed for this query).
+  std::vector<QbhMatch> ShardQuery(std::size_t shard,
+                                   const ShardSnapshot& snap,
+                                   const Series& normal, bool knn,
+                                   std::size_t top_k, double epsilon,
+                                   const QueryOptions& qopts,
+                                   QueryStats* stats, bool* ok) const;
+
+  /// Scatter `normal` over the snapshots (in parallel on pool_ when
+  /// `parallel`; inline when already running on a pool worker), merge by
+  /// (distance, global id).
+  std::vector<QbhMatch> ScatterGather(const Series& normal, bool knn,
+                                      std::size_t top_k, double epsilon,
+                                      const QueryOptions& qopts,
+                                      QueryStats* stats, bool parallel) const;
+
+  /// Local ids this shard needs allocated to cover global frontier `g`.
+  std::int64_t LocalNextFor(std::int64_t global_next, std::size_t shard) const;
+
+  void NoteIoErrorLocked(Shard& shard);
+  void RepairLoop(std::uint64_t interval_ms);
+
+  ShardedOptions opts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable ThreadPool pool_;
+  Env* env_ = nullptr;
+
+  // Global id allocator: next never-used global id. Guarded by alloc_mu_;
+  // alloc_mu_ is always taken before any shard mutex.
+  mutable std::mutex alloc_mu_;
+  std::int64_t global_next_id_ = 0;
+
+  // Serializes RepairShard/ReseedShard (repairs are rare and slow; two
+  // racing repairs of one shard would double-swap).
+  std::mutex repair_mu_;
+
+  // Background repair thread.
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool bg_stop_ = false;
+  std::thread bg_thread_;
+};
+
+}  // namespace serve
+}  // namespace humdex

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 
 namespace humdex {
 
@@ -61,6 +63,14 @@ struct QueryOptions {
   /// queue past this depth (they return empty, truncated results instead of
   /// adding load). 0 disables shedding.
   std::size_t max_queue_depth = 0;
+
+  /// Where the shedding decision reads the queue depth from. When unset, the
+  /// batch path reads the live pool's queue_depth() — correct in production
+  /// but load-dependent, so a test asserting "these queries are shed" would
+  /// have to race the pool into the right state. Setting the probe makes the
+  /// observed depth, and therefore the shed/run decision, fully
+  /// deterministic.
+  std::function<std::size_t()> queue_depth_probe;
 
   /// True when the query should stop now (cancelled or past deadline).
   bool ShouldStop() const {

@@ -1,5 +1,6 @@
 #include "util/retry.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -15,6 +16,22 @@ obs::Counter& RetriesCounter() {
   return c;
 }
 
+// splitmix64: small, fast, and good enough for backoff spreading. Not
+// shared state — each RetryWithBackoff call owns its stream, so concurrent
+// retriers never contend (or correlate, which is the whole point).
+std::uint64_t NextRandom(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t UniformBetween(std::uint64_t* state, std::uint64_t lo,
+                             std::uint64_t hi) {
+  if (hi <= lo) return lo;
+  return lo + NextRandom(state) % (hi - lo + 1);
+}
+
 }  // namespace
 
 bool IsTransient(const Status& status) {
@@ -24,20 +41,45 @@ bool IsTransient(const Status& status) {
 Status RetryWithBackoff(const RetryPolicy& policy,
                         const std::function<Status()>& op) {
   HUMDEX_CHECK(policy.max_attempts >= 1);
+  std::uint64_t jitter_state =
+      policy.jitter_seed != 0
+          ? policy.jitter_seed
+          : static_cast<std::uint64_t>(
+                std::chrono::steady_clock::now().time_since_epoch().count());
+  // Deterministic schedule state: the next un-jittered sleep. Jittered
+  // schedule state: the previous sleep (decorrelated jitter feeds on it).
   std::uint64_t backoff = policy.initial_backoff_ns;
+  std::uint64_t prev_sleep = policy.initial_backoff_ns;
   Status st;
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
     if (attempt > 0) {
       RetriesCounter().Increment();
-      if (policy.sleep) {
-        policy.sleep(backoff);
+      std::uint64_t this_sleep;
+      if (policy.jitter) {
+        // Decorrelated jitter: uniform(initial, 3 * previous), capped. The
+        // upper bound grows roughly exponentially while the lower bound
+        // stays at the floor, so two clients that failed together drift
+        // apart instead of hammering the disk in lockstep.
+        const std::uint64_t lo = policy.initial_backoff_ns;
+        const std::uint64_t hi =
+            std::min(policy.max_backoff_ns,
+                     std::max(lo, 3 * std::max<std::uint64_t>(prev_sleep, 1)));
+        this_sleep = policy.uniform ? policy.uniform(lo, hi)
+                                    : UniformBetween(&jitter_state, lo, hi);
+        this_sleep = std::min(this_sleep, policy.max_backoff_ns);
+        prev_sleep = this_sleep;
       } else {
-        std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+        this_sleep = backoff;
+        backoff = std::min(
+            policy.max_backoff_ns,
+            static_cast<std::uint64_t>(static_cast<double>(backoff) *
+                                       policy.multiplier));
       }
-      backoff = std::min(
-          policy.max_backoff_ns,
-          static_cast<std::uint64_t>(static_cast<double>(backoff) *
-                                     policy.multiplier));
+      if (policy.sleep) {
+        policy.sleep(this_sleep);
+      } else {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(this_sleep));
+      }
     }
     st = op();
     if (st.ok() || !IsTransient(st)) return st;

@@ -2,6 +2,14 @@
 // kIoError is considered transient: a kNotFound, kCorruption, or parse error
 // will not change on a second attempt, so retrying it only adds latency.
 // Every re-attempt increments the `io.retries` registry counter.
+//
+// Backoff is jittered by default ("decorrelated jitter": each sleep is drawn
+// uniformly from [initial, 3 * previous_sleep], capped). Without jitter,
+// every client that failed at the same instant — e.g. all shards of a
+// sharded engine hitting one recovering disk — retries at the same instant
+// again, and the synchronized retry storm keeps the disk saturated. The
+// random stream is injectable (`uniform`), so tests get deterministic
+// schedules without disabling the jitter logic they are testing.
 #pragma once
 
 #include <cstdint>
@@ -11,13 +19,29 @@
 
 namespace humdex {
 
-/// Backoff schedule: attempt i (0-based) sleeps initial * multiplier^i
-/// before retrying, capped at max_backoff_ns.
+/// Backoff schedule. With jitter (the default), attempt i sleeps
+/// uniform(initial_backoff_ns, 3 * previous_sleep) capped at max_backoff_ns;
+/// without it, initial * multiplier^i, capped.
 struct RetryPolicy {
   int max_attempts = 3;                       ///< total tries, not re-tries
   std::uint64_t initial_backoff_ns = 1000000;  ///< 1ms before the 2nd try
   double multiplier = 2.0;
   std::uint64_t max_backoff_ns = 100000000;   ///< 100ms cap
+
+  /// Decorrelated jitter (on by default). Turn off only where a reproducible
+  /// un-jittered schedule is itself the point (e.g. asserting the classic
+  /// exponential sequence).
+  bool jitter = true;
+
+  /// Seed for the default jitter stream. 0 draws a per-call seed from the
+  /// monotonic clock (independent clients decorrelate); any other value
+  /// makes the schedule reproducible.
+  std::uint64_t jitter_seed = 0;
+
+  /// Test hook: when set, called as uniform(lo, hi) for each jittered
+  /// backoff instead of the internal seeded stream. Must return a value in
+  /// [lo, hi].
+  std::function<std::uint64_t(std::uint64_t, std::uint64_t)> uniform;
 
   /// Test hook: when set, called with each backoff instead of sleeping.
   std::function<void(std::uint64_t)> sleep;

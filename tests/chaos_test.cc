@@ -1,0 +1,412 @@
+// Chaos harness for the sharded serving engine: fault injection (torn WAL
+// appends, checkpoint crashes at every write step, read errors, destroyed
+// shard files) while queries keep flowing. The three invariants under test:
+//
+//   1. the process never aborts — every fault is a Status or a health
+//      transition;
+//   2. answers are never wrong — any result the engine does return is
+//      bit-identical to the oracle restricted to the shards that answered,
+//      and reduced coverage is always flagged via QueryStats::partial;
+//   3. after repair (or reseed) the engine re-converges to answers
+//      bit-identical to a never-faulted single engine.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "music/hummer.h"
+#include "music/song_generator.h"
+#include "serve/sharded_engine.h"
+#include "util/env.h"
+
+namespace humdex {
+namespace serve {
+namespace {
+
+constexpr std::size_t kShards = 3;
+
+std::vector<Melody> Corpus(std::size_t count, std::uint64_t seed = 11) {
+  SongGenerator gen(seed);
+  return gen.GeneratePhrases(count);
+}
+
+std::string FreshDir(const std::string& name, Env* env) {
+  std::string dir = ::testing::TempDir() + name;
+  ::mkdir(dir.c_str(), 0755);
+  for (std::size_t s = 0; s < kShards + 1; ++s) {
+    const std::string p = ShardedEngine::ShardPath(dir, s);
+    for (const std::string& f : {p, QbhSystem::WalPathFor(p)}) {
+      if (env->Exists(f)) {
+        Status st = env->Delete(f);
+        (void)st;
+      }
+    }
+  }
+  return dir;
+}
+
+void ExpectSameMatches(const std::vector<QbhMatch>& a,
+                       const std::vector<QbhMatch>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].distance, b[i].distance);
+    EXPECT_EQ(a[i].name, b[i].name);
+  }
+}
+
+/// The "never wrong" oracle check: at a quiescent point, the sharded answer
+/// must equal the single-engine ranking restricted to serving shards. When
+/// nothing is excluded that is the full bit-identical answer.
+void ExpectExactOverServingShards(ShardedEngine& sharded,
+                                  const QbhSystem& oracle, const Series& hum,
+                                  std::size_t top_k) {
+  std::vector<bool> serving(sharded.num_shards());
+  std::size_t excluded = 0;
+  for (std::size_t s = 0; s < sharded.num_shards(); ++s) {
+    serving[s] =
+        sharded.shard_status(s).health != ShardHealth::kQuarantined;
+    if (!serving[s]) ++excluded;
+  }
+  QueryStats stats;
+  auto got = sharded.Query(hum, top_k, QueryOptions(), &stats);
+  auto full = oracle.Query(hum, oracle.size());
+  std::vector<QbhMatch> expect;
+  for (const QbhMatch& m : full) {
+    if (serving[static_cast<std::size_t>(m.id) % sharded.num_shards()]) {
+      expect.push_back(m);
+    }
+    if (expect.size() == top_k) break;
+  }
+  ExpectSameMatches(got, expect);
+  if (excluded > 0) {
+    EXPECT_TRUE(stats.partial);
+    EXPECT_EQ(stats.shards_failed, excluded);
+  } else {
+    EXPECT_FALSE(stats.partial);
+  }
+}
+
+struct ChaosRig {
+  FaultInjectingEnv env{Env::Default()};
+  std::vector<Melody> corpus;
+  QbhSystem oracle;
+  std::unique_ptr<ShardedEngine> engine;
+  std::vector<Series> hums;
+  std::string dir;
+
+  explicit ChaosRig(const std::string& name, std::size_t melodies = 18)
+      : corpus(Corpus(melodies)) {
+    dir = FreshDir(name, Env::Default());
+    for (const Melody& m : corpus) oracle.AddMelody(m);
+    oracle.Build();
+    ShardedOptions opts;
+    opts.num_shards = kShards;
+    auto r = ShardedEngine::Create(corpus, opts);
+    EXPECT_TRUE(r.ok());
+    engine = std::move(r).value();
+    EXPECT_TRUE(engine->AttachAll(dir, &env).ok());
+    Hummer hummer(HummerProfile::Good(), 42);
+    for (std::size_t i = 0; i < 4; ++i) {
+      hums.push_back(hummer.Hum(corpus[(i * 5) % corpus.size()]));
+    }
+  }
+};
+
+/// Queries hammering the engine from another thread while faults land. The
+/// readers assert only invariants that hold at every instant: results are
+/// well-formed, distances finite, ids route to real shards, and coverage
+/// loss is flagged. (Exact oracle equality is checked at quiescent points by
+/// the main thread — mid-mutation equality would race the mutation itself.)
+class ReaderThreads {
+ public:
+  ReaderThreads(ShardedEngine& engine, std::vector<Series> hums)
+      : engine_(engine), hums_(std::move(hums)) {
+    for (int t = 0; t < 2; ++t) {
+      threads_.emplace_back([this, t] { Run(t); });
+    }
+  }
+
+  ~ReaderThreads() {
+    stop_.store(true, std::memory_order_relaxed);
+    for (std::thread& t : threads_) t.join();
+  }
+
+  std::size_t queries() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  bool saw_violation() const {
+    return violation_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run(int t) {
+    std::size_t i = static_cast<std::size_t>(t);
+    while (!stop_.load(std::memory_order_relaxed)) {
+      const Series& hum = hums_[i++ % hums_.size()];
+      QueryStats stats;
+      auto got = engine_.Query(hum, 5, QueryOptions(), &stats);
+      queries_.fetch_add(1, std::memory_order_relaxed);
+      if (got.size() > 5) violation_.store(true);
+      for (const QbhMatch& m : got) {
+        if (!std::isfinite(m.distance) || m.id < 0) violation_.store(true);
+        if (static_cast<std::size_t>(m.id) % engine_.num_shards() >=
+            engine_.num_shards()) {
+          violation_.store(true);
+        }
+      }
+      // Coverage loss must always be flagged.
+      if (stats.shards_failed > 0 && !stats.partial) violation_.store(true);
+    }
+  }
+
+  ShardedEngine& engine_;
+  std::vector<Series> hums_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> violation_{false};
+  std::atomic<std::size_t> queries_{0};
+};
+
+TEST(ChaosTest, TornWalAppendDegradesTheShardButServingContinues) {
+  ChaosRig rig("chaos_torn_append");
+  ReaderThreads readers(*rig.engine, rig.hums);
+
+  // Next insert routes to shard 0 (18 % 3); its WAL append tears mid-write.
+  rig.env.CrashNextAppendAt(3);
+  Melody extra = Corpus(1, 70)[0];
+  auto id = rig.engine->Insert(extra);
+  EXPECT_FALSE(id.ok());  // the write failed loudly, no abort
+
+  // The shard is degraded read-only but still answering exactly: no data was
+  // acknowledged, so answers still match the oracle in full.
+  const ShardStatus status = rig.engine->shard_status(0);
+  EXPECT_EQ(status.health, ShardHealth::kDegraded);
+  EXPECT_TRUE(status.read_only);
+  for (const Series& hum : rig.hums) {
+    ExpectExactOverServingShards(*rig.engine, rig.oracle, hum, 5);
+  }
+
+  // Faults cleared, a successful checkpoint re-proves durability.
+  rig.env.ClearFaults();
+  ASSERT_TRUE(rig.engine->CheckpointAll().ok());
+  EXPECT_EQ(rig.engine->shard_status(0).health, ShardHealth::kHealthy);
+  EXPECT_FALSE(rig.engine->shard_status(0).read_only);
+  EXPECT_GT(readers.queries(), 0u);
+  EXPECT_FALSE(readers.saw_violation());
+}
+
+TEST(ChaosTest, CheckpointCrashAtEveryStepNeverAbortsOrCorruptsAnswers) {
+  ChaosRig rig("chaos_ckpt_steps");
+  using WriteStep = FaultInjectingEnv::WriteStep;
+  for (WriteStep step : {WriteStep::kOpenTemp, WriteStep::kWriteBody,
+                         WriteStep::kSync, WriteStep::kRename}) {
+    rig.env.CrashNextWriteAt(step, 5);
+    Status st = rig.engine->CheckpointAll();
+    EXPECT_FALSE(st.ok());  // the crashed checkpoint reported its failure
+
+    // Still serving, still exact (checkpoints never touch the in-memory
+    // index), with the failed shard degraded but not quarantined.
+    for (const Series& hum : rig.hums) {
+      ExpectExactOverServingShards(*rig.engine, rig.oracle, hum, 5);
+    }
+    rig.env.ClearFaults();
+    ASSERT_TRUE(rig.engine->CheckpointAll().ok());
+    for (std::size_t s = 0; s < kShards; ++s) {
+      EXPECT_EQ(rig.engine->shard_status(s).health, ShardHealth::kHealthy);
+    }
+  }
+}
+
+TEST(ChaosTest, RepeatedIoFailuresEscalateToQuarantine) {
+  ChaosRig rig("chaos_escalate");
+  const std::size_t limit = rig.engine->options().quarantine_after_io_errors;
+  // Every checkpoint write fails; after `limit` consecutive failures the
+  // shard moves from degraded to quarantined rather than flapping forever.
+  for (std::size_t i = 0; i < limit; ++i) {
+    rig.env.CrashNextWriteAt(FaultInjectingEnv::WriteStep::kSync, 0);
+    Status st = rig.engine->CheckpointAll();
+    EXPECT_FALSE(st.ok());
+    rig.env.ClearFaults();
+  }
+  bool any_quarantined = false;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    any_quarantined = any_quarantined ||
+                      rig.engine->shard_status(s).health ==
+                          ShardHealth::kQuarantined;
+  }
+  EXPECT_TRUE(any_quarantined);
+  // Still degraded, never wrong.
+  for (const Series& hum : rig.hums) {
+    ExpectExactOverServingShards(*rig.engine, rig.oracle, hum, 5);
+  }
+}
+
+TEST(ChaosTest, DestroyedShardReconvergesBitExactAfterRepairOrReseed) {
+  ChaosRig rig("chaos_destroyed");
+  ReaderThreads readers(*rig.engine, rig.hums);
+
+  // Checkpoint everything, then destroy shard 1's checkpoint on disk and
+  // quarantine it (the ops path a scrubber would take on CRC failure).
+  ASSERT_TRUE(rig.engine->CheckpointAll().ok());
+  ASSERT_TRUE(Env::Default()
+                  ->AtomicWriteFile(ShardedEngine::ShardPath(rig.dir, 1),
+                                    "not a humdex file at all")
+                  .ok());
+  {
+    const std::string wal =
+        QbhSystem::WalPathFor(ShardedEngine::ShardPath(rig.dir, 1));
+    if (Env::Default()->Exists(wal)) {
+      Status st = Env::Default()->Delete(wal);
+      (void)st;
+    }
+  }
+  rig.engine->QuarantineShard(1);
+
+  // Mid-outage: flagged partial, exact over the survivors.
+  for (const Series& hum : rig.hums) {
+    ExpectExactOverServingShards(*rig.engine, rig.oracle, hum, 5);
+  }
+
+  // Repair from local storage cannot work (the file is garbage), so the
+  // shard stays quarantined; reseed from authoritative rows brings it back.
+  EXPECT_FALSE(rig.engine->RepairShard(1).ok());
+  EXPECT_EQ(rig.engine->shard_status(1).health, ShardHealth::kQuarantined);
+
+  std::vector<std::pair<std::int64_t, Melody>> rows;
+  for (std::size_t g = 1; g < rig.corpus.size(); g += kShards) {
+    rows.emplace_back(static_cast<std::int64_t>(g), rig.corpus[g]);
+  }
+  ASSERT_TRUE(rig.engine->ReseedShard(1, std::move(rows)).ok());
+  EXPECT_EQ(rig.engine->shard_status(1).health, ShardHealth::kHealthy);
+
+  // Re-converged: bit-identical to the never-faulted oracle, full coverage.
+  for (const Series& hum : rig.hums) {
+    ExpectExactOverServingShards(*rig.engine, rig.oracle, hum, 5);
+  }
+  EXPECT_GT(readers.queries(), 0u);
+  EXPECT_FALSE(readers.saw_violation());
+}
+
+TEST(ChaosTest, TornCheckpointRepairsFromItsOwnStorage) {
+  ChaosRig rig("chaos_torn_ckpt");
+  ASSERT_TRUE(rig.engine->CheckpointAll().ok());
+
+  // Truncate shard 2's checkpoint: the CRC trailer (and possibly the last
+  // melody block) is gone. Strict recovery refuses it; salvage keeps every
+  // melody whose block survived, with ids stable.
+  const std::string path = ShardedEngine::ShardPath(rig.dir, 2);
+  std::string bytes;
+  ASSERT_TRUE(Env::Default()->ReadFile(path, &bytes).ok());
+  ASSERT_GT(bytes.size(), 20u);
+  ASSERT_TRUE(
+      Env::Default()
+          ->AtomicWriteFile(path, bytes.substr(0, bytes.size() - 15))
+          .ok());
+  {
+    const std::string wal = QbhSystem::WalPathFor(path);
+    if (Env::Default()->Exists(wal)) {
+      Status st = Env::Default()->Delete(wal);
+      (void)st;
+    }
+  }
+  rig.engine->QuarantineShard(2);
+
+  Status st = rig.engine->RepairShard(2);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const ShardStatus status = rig.engine->shard_status(2);
+  EXPECT_NE(status.health, ShardHealth::kQuarantined);
+  EXPECT_EQ(status.repairs, 1u);
+
+  // Whatever salvage kept is served with the right global ids: every
+  // returned id's distance matches the oracle's distance for that same id.
+  for (const Series& hum : rig.hums) {
+    QueryStats stats;
+    auto got = rig.engine->Query(hum, 5, QueryOptions(), &stats);
+    auto full = rig.oracle.Query(hum, rig.oracle.size());
+    for (const QbhMatch& m : got) {
+      bool found = false;
+      for (const QbhMatch& o : full) {
+        if (o.id == m.id) {
+          EXPECT_EQ(o.distance, m.distance);
+          EXPECT_EQ(o.name, m.name);
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "id " << m.id << " is not in the oracle corpus";
+    }
+    // If salvage dropped anything the shard is lossy and answers say so.
+    if (status.lossy) EXPECT_TRUE(stats.partial);
+  }
+}
+
+TEST(ChaosTest, BackgroundRepairRejoinsAQuarantinedShardUnderTraffic) {
+  ChaosRig rig("chaos_bg_repair");
+  ASSERT_TRUE(rig.engine->CheckpointAll().ok());
+  ReaderThreads readers(*rig.engine, rig.hums);
+
+  rig.engine->QuarantineShard(0);
+  rig.engine->StartBackgroundRepair(1);
+  // The shard's storage is intact, so the background pass rejoins it.
+  for (int i = 0; i < 2000; ++i) {
+    if (rig.engine->shard_status(0).health == ShardHealth::kHealthy) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  rig.engine->StopBackgroundRepair();
+  EXPECT_EQ(rig.engine->shard_status(0).health, ShardHealth::kHealthy);
+
+  for (const Series& hum : rig.hums) {
+    ExpectExactOverServingShards(*rig.engine, rig.oracle, hum, 5);
+  }
+  EXPECT_GT(readers.queries(), 0u);
+  EXPECT_FALSE(readers.saw_violation());
+}
+
+TEST(ChaosTest, RandomReadFaultsDuringOpenQuarantineButNeverAbort) {
+  ChaosRig rig("chaos_open_faults");
+  auto extra = Corpus(3, 71);
+  for (Melody& m : extra) {
+    ASSERT_TRUE(rig.engine->Insert(m).ok());
+    ASSERT_TRUE(rig.oracle.Insert(m).ok());
+  }
+  ASSERT_TRUE(rig.engine->CheckpointAll().ok());
+  rig.engine.reset();
+
+  // Reopen under injected read failures: some shards may quarantine, the
+  // engine must still come up if any shard survives, and whatever serves is
+  // exact. Exercise several fault phases.
+  for (std::uint64_t phase = 1; phase <= 4; ++phase) {
+    FaultInjectingEnv flaky(Env::Default());
+    flaky.FailReadsRandomly(phase, 3);
+    ShardedOptions opts;
+    opts.num_shards = kShards;
+    std::vector<RecoveryStats> recovery;
+    auto r = ShardedEngine::Open(rig.dir, opts, &flaky, &recovery);
+    flaky.ClearFaults();
+    if (!r.ok()) continue;  // every shard failed to load: also legal
+    auto& engine = *r.value();
+    for (const Series& hum : rig.hums) {
+      ExpectExactOverServingShards(engine, rig.oracle, hum, 5);
+    }
+  }
+
+  // And with no faults, recovery is total and bit-exact.
+  ShardedOptions opts;
+  opts.num_shards = kShards;
+  auto r = ShardedEngine::Open(rig.dir, opts, &rig.env);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (const Series& hum : rig.hums) {
+    ExpectExactOverServingShards(*r.value(), rig.oracle, hum, 5);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace humdex

@@ -252,6 +252,59 @@ TEST(SheddingTest, OverloadedPoolShedsDeterministically) {
   }
 }
 
+TEST(SheddingTest, InjectedDepthProbeShedsDeterministically) {
+  // No pool jamming, no races: the probe dictates the depth each submission
+  // observes, so exactly the intended queries are shed — on any host, under
+  // any load, first try.
+  QbhSystem system = MakeQbhSystem(20);
+  Hummer hummer(HummerProfile::Good(), 5);
+  std::vector<Series> hums = {hummer.Hum(*system.melody(0)),
+                              hummer.Hum(*system.melody(1)),
+                              hummer.Hum(*system.melody(2))};
+
+  obs::Counter& shed =
+      obs::MetricsRegistry::Default().GetCounter("qbh.queries_shed");
+  ThreadPool pool(2);
+
+  // Scripted depths: the first submission sees an overloaded pool, the rest
+  // see an idle one — so query 0 is shed and queries 1, 2 run.
+  std::size_t probes = 0;
+  QueryOptions qopts;
+  qopts.max_queue_depth = 4;
+  qopts.queue_depth_probe = [&probes]() -> std::size_t {
+    return probes++ == 0 ? 10 : 0;
+  };
+
+  std::uint64_t before = shed.value();
+  QueryStats aggregate;
+  auto results = system.QueryBatch(hums, 3, pool, qopts, &aggregate);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].empty());
+  EXPECT_FALSE(results[1].empty());
+  EXPECT_FALSE(results[2].empty());
+  EXPECT_TRUE(aggregate.truncated);
+  EXPECT_EQ(shed.value(), before + 1);
+  EXPECT_EQ(probes, 3u);  // one decision per query, in submission order
+
+  // The queries that ran are bit-identical to their serial answers: shedding
+  // neighbors never perturbs survivors.
+  for (std::size_t i = 1; i < hums.size(); ++i) {
+    auto serial = system.Query(hums[i], 3);
+    ASSERT_EQ(results[i].size(), serial.size());
+    for (std::size_t j = 0; j < serial.size(); ++j) {
+      EXPECT_EQ(results[i][j].id, serial[j].id);
+      EXPECT_EQ(results[i][j].distance, serial[j].distance);
+    }
+  }
+
+  // Probe saying "always overloaded" sheds everything.
+  qopts.queue_depth_probe = [] { return std::size_t{100}; };
+  QueryStats all_shed;
+  auto none = system.QueryBatch(hums, 3, pool, qopts, &all_shed);
+  for (const auto& r : none) EXPECT_TRUE(r.empty());
+  EXPECT_EQ(shed.value(), before + 1 + hums.size());
+}
+
 TEST(SheddingTest, ZeroMaxQueueDepthNeverSheds) {
   QbhSystem system = MakeQbhSystem(10);
   Hummer hummer(HummerProfile::Good(), 5);

@@ -2,7 +2,9 @@
 // and the retry-with-backoff layer that absorbs transient faults.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -159,6 +161,7 @@ TEST(RetryTest, TransientFaultsAreAbsorbed) {
 
   RetryPolicy policy;
   policy.max_attempts = 3;
+  policy.jitter = false;  // assert the classic exponential schedule
   std::vector<std::uint64_t> slept;
   policy.sleep = [&](std::uint64_t ns) { slept.push_back(ns); };
 
@@ -206,6 +209,7 @@ TEST(RetryTest, NonTransientErrorsReturnImmediately) {
 TEST(RetryTest, BackoffIsCapped) {
   RetryPolicy policy;
   policy.max_attempts = 8;
+  policy.jitter = false;
   policy.initial_backoff_ns = 40000000;  // 40ms, doubling
   policy.max_backoff_ns = 100000000;     // 100ms cap
   std::vector<std::uint64_t> slept;
@@ -215,6 +219,73 @@ TEST(RetryTest, BackoffIsCapped) {
   EXPECT_EQ(slept[0], 40000000u);
   EXPECT_EQ(slept[1], 80000000u);
   for (std::size_t i = 2; i < slept.size(); ++i) EXPECT_EQ(slept[i], 100000000u);
+}
+
+TEST(RetryTest, DecorrelatedJitterDrawsInsideTheEnvelope) {
+  // The jittered schedule must stay inside [initial, min(cap, 3*prev)]: the
+  // lower bound pins the floor, the upper bound is what decorrelates two
+  // clients that failed at the same instant.
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_ns = 1000000;   // 1ms floor
+  policy.max_backoff_ns = 50000000;      // 50ms cap
+  policy.jitter_seed = 42;               // reproducible stream
+  std::vector<std::uint64_t> slept;
+  policy.sleep = [&](std::uint64_t ns) { slept.push_back(ns); };
+  RetryWithBackoff(policy, [] { return Status::IoError("always"); });
+  ASSERT_EQ(slept.size(), 9u);
+  std::uint64_t prev = policy.initial_backoff_ns;
+  for (std::uint64_t ns : slept) {
+    EXPECT_GE(ns, policy.initial_backoff_ns);
+    EXPECT_LE(ns, std::min<std::uint64_t>(policy.max_backoff_ns, 3 * prev));
+    prev = ns;
+  }
+  // Same seed => same schedule (the policy is injectable and deterministic).
+  std::vector<std::uint64_t> again;
+  policy.sleep = [&](std::uint64_t ns) { again.push_back(ns); };
+  RetryWithBackoff(policy, [] { return Status::IoError("always"); });
+  EXPECT_EQ(slept, again);
+}
+
+TEST(RetryTest, JitterSeedsDecorrelateClients) {
+  // Two retriers with different seeds must not share a schedule — that is
+  // the retry-storm scenario jitter exists to break.
+  auto schedule = [](std::uint64_t seed) {
+    RetryPolicy policy;
+    policy.max_attempts = 8;
+    policy.jitter_seed = seed;
+    std::vector<std::uint64_t> slept;
+    policy.sleep = [&](std::uint64_t ns) { slept.push_back(ns); };
+    RetryWithBackoff(policy, [] { return Status::IoError("always"); });
+    return slept;
+  };
+  EXPECT_NE(schedule(1), schedule(2));
+}
+
+TEST(RetryTest, UniformHookMakesJitterFullyInjectable) {
+  // Deterministic tests can dictate every draw: pinning the hook to the
+  // upper bound reproduces the fastest-growing legal schedule.
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_ns = 1000000;
+  policy.max_backoff_ns = 100000000;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+  policy.uniform = [&](std::uint64_t lo, std::uint64_t hi) {
+    ranges.emplace_back(lo, hi);
+    return hi;
+  };
+  std::vector<std::uint64_t> slept;
+  policy.sleep = [&](std::uint64_t ns) { slept.push_back(ns); };
+  RetryWithBackoff(policy, [] { return Status::IoError("always"); });
+  ASSERT_EQ(slept.size(), 4u);
+  EXPECT_EQ(slept[0], 3000000u);    // 3 * initial
+  EXPECT_EQ(slept[1], 9000000u);    // 3 * previous
+  EXPECT_EQ(slept[2], 27000000u);
+  EXPECT_EQ(slept[3], 81000000u);
+  for (const auto& [lo, hi] : ranges) {
+    EXPECT_EQ(lo, policy.initial_backoff_ns);
+    EXPECT_LE(hi, policy.max_backoff_ns);
+  }
 }
 
 }  // namespace

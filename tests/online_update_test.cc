@@ -4,6 +4,8 @@
 // injection, and writer/reader concurrency (the TSan target).
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
 #include <atomic>
 #include <cmath>
 #include <limits>
@@ -17,6 +19,7 @@
 #include "qbh/qbh_system.h"
 #include "qbh/storage.h"
 #include "qbh/wal.h"
+#include "serve/sharded_engine.h"
 #include "util/env.h"
 
 namespace humdex {
@@ -709,6 +712,152 @@ TEST(ConcurrentWriterTest, DurableWriterRacesReaders) {
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ(reopened.value().size(), system.size());
   ExpectSameAnswers(system, reopened.value(), {corpus[3], corpus[19]});
+}
+
+// --- Sharded crash matrix ----------------------------------------------------
+//
+// Each shard of a sharded engine crashes at a *different* WAL/checkpoint
+// step, and the recovered engine's merged answers must match a never-crashed
+// single-engine oracle that applied exactly the acknowledged mutations.
+
+TEST(ShardRecoveryTest, EachShardCrashesAtADifferentStepAndRecoversMerged) {
+  FaultInjectingEnv env(Env::Default());
+  const std::string dir = ::testing::TempDir() + "shard_matrix";
+  ::mkdir(dir.c_str(), 0755);
+  constexpr std::size_t kShards = 3;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    CleanDb(Env::Default(), serve::ShardedEngine::ShardPath(dir, s));
+  }
+
+  auto corpus = SmallCorpus(18);
+  QbhSystem oracle = BuildSystem(corpus);  // never crashes, never durable
+  serve::ShardedOptions opts;
+  opts.num_shards = kShards;
+  auto created = serve::ShardedEngine::Create(corpus, opts);
+  ASSERT_TRUE(created.ok());
+  {
+    auto& engine = *created.value();
+    ASSERT_TRUE(engine.AttachAll(dir, &env).ok());
+
+    // Round one: acknowledged inserts on every shard, checkpointed.
+    auto extra = SmallCorpus(6, 300);
+    for (Melody& m : extra) {
+      auto id = engine.Insert(m);
+      ASSERT_TRUE(id.ok());
+      ASSERT_TRUE(oracle.Insert(std::move(m)).ok());
+    }
+    ASSERT_TRUE(engine.CheckpointAll().ok());
+
+    // Shard 0 (next insert routes there: 24 % 3 == 0) crashes mid WAL
+    // append: torn tail, mutation not acknowledged, so the oracle does not
+    // apply it either. A clean checkpoint then restores its writability so
+    // the next acknowledged inserts stay dense (ids equal on both sides).
+    env.CrashNextAppendAt(4);
+    EXPECT_FALSE(engine.Insert(SmallCorpus(1, 301)[0]).ok());
+    env.ClearFaults();
+    ASSERT_TRUE(engine.CheckpointAll().ok());
+
+    // Acknowledged inserts land in every shard's WAL (ids 24..27 -> shards
+    // 0,1,2,0); the crashes below hit only checkpoint rewrites, which must
+    // never lose acknowledged data.
+    auto more = SmallCorpus(4, 302);
+    for (Melody& m : more) {
+      auto id = engine.Insert(m);
+      ASSERT_TRUE(id.ok());
+      ASSERT_TRUE(oracle.Insert(std::move(m)).ok());
+    }
+
+    // CheckpointAll visits shards in order and skips quarantined ones, so
+    // quarantining the earlier shards aims each armed crash at a specific
+    // later shard: shard 1 dies mid checkpoint body, shard 2 at the rename.
+    // Their on-disk files (stale checkpoint + intact WAL, plus whatever the
+    // crash tore) are exactly what a killed process leaves behind.
+    engine.QuarantineShard(0);
+    env.CrashNextWriteAt(FaultInjectingEnv::WriteStep::kWriteBody, 7);
+    EXPECT_FALSE(engine.CheckpointAll().ok());  // shard 1 crashes
+    env.ClearFaults();
+    engine.QuarantineShard(1);
+    env.CrashNextWriteAt(FaultInjectingEnv::WriteStep::kRename, 0);
+    EXPECT_FALSE(engine.CheckpointAll().ok());  // shard 2 crashes
+    env.ClearFaults();
+  }  // drop the engine: a process kill with torn files left behind
+
+  // Recovery: every shard comes back from whatever mix of stale checkpoint,
+  // torn temp file, and WAL tail its crash left, and the merged answers are
+  // bit-identical to the oracle that saw only acknowledged mutations.
+  std::vector<RecoveryStats> recovery;
+  auto reopened = serve::ShardedEngine::Open(dir, opts, &env, &recovery);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto& engine = *reopened.value();
+  EXPECT_EQ(engine.serving_shards(), kShards);
+  EXPECT_EQ(engine.size(), oracle.size());
+  EXPECT_EQ(engine.next_id(), oracle.next_id());
+
+  Hummer hummer(HummerProfile::Good(), 99);
+  for (const Melody& target : {corpus[2], corpus[7], corpus[11], corpus[16]}) {
+    Series hum = hummer.Hum(target);
+    QueryStats stats;
+    auto got = engine.Query(hum, 5, QueryOptions(), &stats);
+    auto want = oracle.Query(hum, 5);
+    EXPECT_FALSE(stats.partial);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id);
+      EXPECT_EQ(got[i].name, want[i].name);
+      EXPECT_EQ(got[i].distance, want[i].distance);
+    }
+  }
+}
+
+TEST(ShardRecoveryTest, CrashAtEveryWalStepOnEveryShardStaysConsistent) {
+  // The full matrix: for each shard index and each append tear length, crash
+  // one shard's WAL there, recover the whole engine, and check the merged
+  // answer against the oracle of acknowledged mutations.
+  constexpr std::size_t kShards = 2;
+  for (std::size_t victim = 0; victim < kShards; ++victim) {
+    for (std::size_t torn : {0u, 1u, 8u}) {
+      FaultInjectingEnv env(Env::Default());
+      const std::string dir = ::testing::TempDir() + "shard_matrix2";
+      ::mkdir(dir.c_str(), 0755);
+      for (std::size_t s = 0; s < kShards; ++s) {
+        CleanDb(Env::Default(), serve::ShardedEngine::ShardPath(dir, s));
+      }
+      auto corpus = SmallCorpus(10);
+      QbhSystem oracle = BuildSystem(corpus);
+      serve::ShardedOptions opts;
+      opts.num_shards = kShards;
+      auto created = serve::ShardedEngine::Create(corpus, opts);
+      ASSERT_TRUE(created.ok());
+      {
+        auto& engine = *created.value();
+        ASSERT_TRUE(engine.AttachAll(dir, &env).ok());
+        // Walk the insert frontier to the victim shard, then tear its WAL.
+        auto filler = SmallCorpus(4, 400 + victim);
+        std::size_t i = 0;
+        while (engine.next_id() % kShards != static_cast<std::int64_t>(victim)) {
+          ASSERT_LT(i, filler.size());
+          ASSERT_TRUE(engine.Insert(filler[i]).ok());
+          ASSERT_TRUE(oracle.Insert(std::move(filler[i])).ok());
+          ++i;
+        }
+        env.CrashNextAppendAt(torn);
+        EXPECT_FALSE(engine.Insert(SmallCorpus(1, 500)[0]).ok());
+        env.ClearFaults();
+      }
+      std::vector<RecoveryStats> recovery;
+      auto reopened = serve::ShardedEngine::Open(dir, opts, &env, &recovery);
+      ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+      EXPECT_EQ(reopened.value()->size(), oracle.size());
+      Series hum = Hummer(HummerProfile::Good(), 17).Hum(corpus[3]);
+      auto got = reopened.value()->Query(hum, 4);
+      auto want = oracle.Query(hum, 4);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t k = 0; k < got.size(); ++k) {
+        EXPECT_EQ(got[k].id, want[k].id);
+        EXPECT_EQ(got[k].distance, want[k].distance);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,184 @@
+// Wire protocol: framing and request/response round trips, plus the
+// hostile-input paths — every malformed payload must come back as a Status
+// error (which the server turns into an `err` response), never an abort.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace humdex {
+namespace serve {
+namespace {
+
+std::string Framed(const std::string& payload) { return EncodeFrame(payload); }
+
+TEST(ProtocolFrameTest, RoundTripsPayloads) {
+  for (const std::string payload : {std::string(), std::string("x"),
+                                    std::string(1000, 'q')}) {
+    const std::string buffer = Framed(payload);
+    std::string got;
+    std::size_t consumed = 0;
+    bool complete = false;
+    ASSERT_TRUE(DecodeFrame(buffer, &got, &consumed, &complete).ok());
+    EXPECT_TRUE(complete);
+    EXPECT_EQ(consumed, buffer.size());
+    EXPECT_EQ(got, payload);
+  }
+}
+
+TEST(ProtocolFrameTest, IncompleteFramesWaitForMoreBytes) {
+  const std::string buffer = Framed("hello world");
+  for (std::size_t cut = 0; cut < buffer.size(); ++cut) {
+    std::string got;
+    std::size_t consumed = 9;
+    bool complete = true;
+    ASSERT_TRUE(
+        DecodeFrame(buffer.substr(0, cut), &got, &consumed, &complete).ok());
+    EXPECT_FALSE(complete);
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(ProtocolFrameTest, TwoFramesDecodeInSequence) {
+  const std::string buffer = Framed("first") + Framed("second");
+  std::string got;
+  std::size_t consumed = 0;
+  bool complete = false;
+  ASSERT_TRUE(DecodeFrame(buffer, &got, &consumed, &complete).ok());
+  ASSERT_TRUE(complete);
+  EXPECT_EQ(got, "first");
+  ASSERT_TRUE(
+      DecodeFrame(buffer.substr(consumed), &got, &consumed, &complete).ok());
+  ASSERT_TRUE(complete);
+  EXPECT_EQ(got, "second");
+}
+
+TEST(ProtocolFrameTest, OversizedLengthHeaderIsAnError) {
+  std::string buffer = Framed("");
+  buffer[3] = static_cast<char>(0xff);  // announce ~4GB
+  std::string got;
+  std::size_t consumed = 0;
+  bool complete = false;
+  EXPECT_FALSE(DecodeFrame(buffer, &got, &consumed, &complete).ok());
+}
+
+TEST(ProtocolRequestTest, QueryRoundTrips) {
+  Request request;
+  request.kind = Request::Kind::kQuery;
+  request.top_k = 7;
+  request.deadline_ms = 250;
+  request.pitch = {60.0, 62.5, -1.0, 64.000000001};
+  Request parsed;
+  ASSERT_TRUE(ParseRequest(EncodeRequest(request), &parsed).ok());
+  EXPECT_EQ(parsed.kind, Request::Kind::kQuery);
+  EXPECT_EQ(parsed.top_k, 7u);
+  EXPECT_EQ(parsed.deadline_ms, 250u);
+  ASSERT_EQ(parsed.pitch.size(), request.pitch.size());
+  for (std::size_t i = 0; i < request.pitch.size(); ++i) {
+    EXPECT_EQ(parsed.pitch[i], request.pitch[i]);  // %.17g is bit-exact
+  }
+}
+
+TEST(ProtocolRequestTest, RangeAndControlVerbsRoundTrip) {
+  Request range;
+  range.kind = Request::Kind::kRange;
+  range.epsilon = 3.25;
+  range.pitch = {1.0, 2.0};
+  Request parsed;
+  ASSERT_TRUE(ParseRequest(EncodeRequest(range), &parsed).ok());
+  EXPECT_EQ(parsed.kind, Request::Kind::kRange);
+  EXPECT_EQ(parsed.epsilon, 3.25);
+
+  for (Request::Kind kind : {Request::Kind::kPing, Request::Kind::kHealth,
+                             Request::Kind::kMetrics}) {
+    Request control;
+    control.kind = kind;
+    ASSERT_TRUE(ParseRequest(EncodeRequest(control), &parsed).ok());
+    EXPECT_EQ(parsed.kind, kind);
+  }
+}
+
+TEST(ProtocolRequestTest, HostileRequestsAreStatusErrorsNotAborts) {
+  Request parsed;
+  for (const std::string payload : {
+           std::string(),                        // empty
+           std::string("launch missiles\n"),     // unknown verb
+           std::string("query\n"),               // missing args
+           std::string("query 0 10\npitch 1\n"),  // top_k = 0
+           std::string("query 99999999999 0\npitch 1\n"),  // absurd top_k
+           std::string("query 5 999999999999999\npitch 1\n"),  // absurd ms
+           std::string("query 5 10\n"),          // missing pitch line
+           std::string("query 5 10\npitch 1 2 nan_garbage\n"),
+           std::string("range inf 0\npitch 1\n"),  // non-finite epsilon
+           std::string("range -1 0\npitch 1\n"),
+       }) {
+    EXPECT_FALSE(ParseRequest(payload, &parsed).ok()) << payload;
+  }
+  // An empty pitch series parses: the engine rejects it downstream.
+  EXPECT_TRUE(ParseRequest("query 5 0\npitch\n", &parsed).ok());
+  EXPECT_TRUE(parsed.pitch.empty());
+}
+
+TEST(ProtocolResponseTest, MatchListRoundTrips) {
+  Response response;
+  response.ok = true;
+  response.partial = true;
+  response.truncated = false;
+  response.shards_failed = 2;
+  QbhMatch a;
+  a.id = 41;
+  a.distance = 1.25e-3;
+  a.name = "song with spaces in the name";
+  QbhMatch b;
+  b.id = 7;
+  b.distance = 2.0;
+  b.name = "plain";
+  response.matches = {a, b};
+  Response parsed;
+  ASSERT_TRUE(ParseResponse(EncodeResponse(response), &parsed).ok());
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_TRUE(parsed.partial);
+  EXPECT_FALSE(parsed.truncated);
+  EXPECT_EQ(parsed.shards_failed, 2u);
+  ASSERT_EQ(parsed.matches.size(), 2u);
+  EXPECT_EQ(parsed.matches[0].id, 41);
+  EXPECT_EQ(parsed.matches[0].distance, 1.25e-3);
+  EXPECT_EQ(parsed.matches[0].name, "song with spaces in the name");
+  EXPECT_EQ(parsed.matches[1].id, 7);
+}
+
+TEST(ProtocolResponseTest, ErrorAndBodyRoundTrip) {
+  Response err;
+  err.ok = false;
+  err.error = "shard exploded\nwith a newline";
+  Response parsed;
+  ASSERT_TRUE(ParseResponse(EncodeResponse(err), &parsed).ok());
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.error, "shard exploded with a newline");
+
+  Response body;
+  body.ok = true;
+  body.text = "shards 4 serving 3\nshard 0 healthy read_only=0 lossy=0\n";
+  ASSERT_TRUE(ParseResponse(EncodeResponse(body), &parsed).ok());
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.text, body.text);
+}
+
+TEST(ProtocolResponseTest, HostileResponsesAreStatusErrors) {
+  Response parsed;
+  for (const std::string payload : {
+           std::string(),
+           std::string("yo 1 0 0 0\n"),
+           std::string("ok 2 0 0 0\nmatch 1 1.0 a\n"),  // count lies
+           std::string("ok 1 0 0 0\nnot_a_match\n"),
+           std::string("ok 99999999999999 0 0 0\n"),  // absurd count
+       }) {
+    EXPECT_FALSE(ParseResponse(payload, &parsed).ok()) << payload;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace humdex

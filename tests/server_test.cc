@@ -1,0 +1,258 @@
+// humdexd server: full dispatch through HandlePayload (socket-free), then a
+// real loopback TCP round trip. Every hostile payload must produce an `err`
+// response or a dropped connection — the daemon never aborts.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "music/hummer.h"
+#include "music/song_generator.h"
+#include "serve/server.h"
+
+namespace humdex {
+namespace serve {
+namespace {
+
+struct Fixture {
+  std::vector<Melody> corpus;
+  std::unique_ptr<ShardedEngine> engine;
+  Series hum;
+
+  Fixture() {
+    SongGenerator gen(7);
+    corpus = gen.GeneratePhrases(16);
+    ShardedOptions opts;
+    opts.num_shards = 2;
+    auto r = ShardedEngine::Create(corpus, opts);
+    EXPECT_TRUE(r.ok());
+    engine = std::move(r).value();
+    hum = Hummer(HummerProfile::Good(), 3).Hum(corpus[4]);
+  }
+};
+
+Response Dispatch(const HumdexServer& server, const Request& request) {
+  Response response;
+  Status st =
+      ParseResponse(server.HandlePayload(EncodeRequest(request)), &response);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return response;
+}
+
+TEST(HumdexServerTest, PingQueryHealthMetricsDispatch) {
+  Fixture fx;
+  HumdexServer server(fx.engine.get(), ServerOptions());
+
+  Request ping;
+  ping.kind = Request::Kind::kPing;
+  Response response = Dispatch(server, ping);
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.text, "pong\n");
+
+  Request query;
+  query.kind = Request::Kind::kQuery;
+  query.top_k = 5;
+  query.pitch = fx.hum;
+  response = Dispatch(server, query);
+  ASSERT_TRUE(response.ok);
+  EXPECT_FALSE(response.partial);
+  auto expect = fx.engine->Query(fx.hum, 5);
+  ASSERT_EQ(response.matches.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(response.matches[i].id, expect[i].id);
+    EXPECT_EQ(response.matches[i].distance, expect[i].distance);
+    EXPECT_EQ(response.matches[i].name, expect[i].name);
+  }
+
+  Request range;
+  range.kind = Request::Kind::kRange;
+  range.epsilon = expect.empty() ? 1.0 : expect.back().distance;
+  range.pitch = fx.hum;
+  response = Dispatch(server, range);
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.matches.size(),
+            fx.engine->RangeQuery(fx.hum, range.epsilon).size());
+
+  Request health;
+  health.kind = Request::Kind::kHealth;
+  response = Dispatch(server, health);
+  ASSERT_TRUE(response.ok);
+  EXPECT_NE(response.text.find("shards 2 serving 2"), std::string::npos);
+  EXPECT_NE(response.text.find("shard 0 healthy"), std::string::npos);
+
+  Request metrics;
+  metrics.kind = Request::Kind::kMetrics;
+  response = Dispatch(server, metrics);
+  ASSERT_TRUE(response.ok);
+  EXPECT_NE(response.text.find("serve_queries"), std::string::npos);
+}
+
+TEST(HumdexServerTest, HealthPageReflectsQuarantine) {
+  Fixture fx;
+  HumdexServer server(fx.engine.get(), ServerOptions());
+  fx.engine->QuarantineShard(1);
+
+  Request health;
+  health.kind = Request::Kind::kHealth;
+  Response response = Dispatch(server, health);
+  ASSERT_TRUE(response.ok);
+  EXPECT_NE(response.text.find("shards 2 serving 1"), std::string::npos);
+  EXPECT_NE(response.text.find("shard 1 quarantined"), std::string::npos);
+
+  Request query;
+  query.kind = Request::Kind::kQuery;
+  query.top_k = 3;
+  query.pitch = fx.hum;
+  response = Dispatch(server, query);
+  ASSERT_TRUE(response.ok);
+  EXPECT_TRUE(response.partial);
+  EXPECT_EQ(response.shards_failed, 1u);
+}
+
+TEST(HumdexServerTest, HostilePayloadsGetErrorResponsesNeverAborts) {
+  Fixture fx;
+  HumdexServer server(fx.engine.get(), ServerOptions());
+  for (const std::string payload :
+       {std::string(), std::string("garbage\n"), std::string("query\n"),
+        std::string("query 0 0\npitch 1\n"),
+        std::string("\x00\x01\x02\x03", 4)}) {
+    const std::string response = server.HandlePayload(payload);
+    EXPECT_EQ(response.rfind("err ", 0), 0u) << payload;
+  }
+  // Unservable (empty) hum: a well-formed request the engine rejects.
+  const std::string response = server.HandlePayload("query 5 0\npitch\n");
+  Response parsed;
+  ASSERT_TRUE(ParseResponse(response, &parsed).ok());
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_TRUE(parsed.matches.empty());
+  EXPECT_TRUE(parsed.truncated);  // flagged, not served
+}
+
+// --- Real sockets ------------------------------------------------------------
+
+int DialLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t r = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (r <= 0) return false;
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+/// Read one response frame (blocking reads until a full frame decodes).
+bool RecvFrame(int fd, std::string* payload) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    std::size_t consumed = 0;
+    bool complete = false;
+    if (!DecodeFrame(buffer, payload, &consumed, &complete).ok()) return false;
+    if (complete) return true;
+    const ssize_t r = ::read(fd, chunk, sizeof(chunk));
+    if (r <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(r));
+  }
+}
+
+TEST(HumdexServerTest, ServesQueriesOverLoopbackTcp) {
+  Fixture fx;
+  HumdexServer server(fx.engine.get(), ServerOptions());
+  Status st = server.Start();
+  if (!st.ok()) GTEST_SKIP() << "no loopback sockets here: " << st.ToString();
+  ASSERT_GT(server.port(), 0);
+
+  const int fd = DialLoopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  // Two requests on one connection: ping, then a real query.
+  Request ping;
+  ping.kind = Request::Kind::kPing;
+  ASSERT_TRUE(SendAll(fd, EncodeFrame(EncodeRequest(ping))));
+  std::string payload;
+  ASSERT_TRUE(RecvFrame(fd, &payload));
+  Response response;
+  ASSERT_TRUE(ParseResponse(payload, &response).ok());
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.text, "pong\n");
+
+  Request query;
+  query.kind = Request::Kind::kQuery;
+  query.top_k = 4;
+  query.pitch = fx.hum;
+  ASSERT_TRUE(SendAll(fd, EncodeFrame(EncodeRequest(query))));
+  ASSERT_TRUE(RecvFrame(fd, &payload));
+  ASSERT_TRUE(ParseResponse(payload, &response).ok());
+  ASSERT_TRUE(response.ok);
+  auto expect = fx.engine->Query(fx.hum, 4);
+  ASSERT_EQ(response.matches.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(response.matches[i].id, expect[i].id);
+    EXPECT_EQ(response.matches[i].distance, expect[i].distance);
+  }
+
+  ::close(fd);
+  server.Stop();
+  EXPECT_GE(server.connections_served(), 1u);
+}
+
+TEST(HumdexServerTest, OversizedFrameHeaderDropsTheConnection) {
+  Fixture fx;
+  HumdexServer server(fx.engine.get(), ServerOptions());
+  Status st = server.Start();
+  if (!st.ok()) GTEST_SKIP() << "no loopback sockets here: " << st.ToString();
+
+  const int fd = DialLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  // A header announcing 4GB: the server must drop us without allocating.
+  ASSERT_TRUE(SendAll(fd, std::string("\xff\xff\xff\xff", 4)));
+  char byte;
+  EXPECT_LE(::read(fd, &byte, 1), 0);  // EOF: connection dropped
+  ::close(fd);
+
+  // The server is still alive and serving.
+  const int fd2 = DialLoopback(server.port());
+  ASSERT_GE(fd2, 0);
+  Request ping;
+  ping.kind = Request::Kind::kPing;
+  ASSERT_TRUE(SendAll(fd2, EncodeFrame(EncodeRequest(ping))));
+  std::string payload;
+  ASSERT_TRUE(RecvFrame(fd2, &payload));
+  ::close(fd2);
+  server.Stop();
+}
+
+TEST(HumdexServerTest, StartStopIsIdempotentAndRestartable) {
+  Fixture fx;
+  HumdexServer server(fx.engine.get(), ServerOptions());
+  Status st = server.Start();
+  if (!st.ok()) GTEST_SKIP() << "no loopback sockets here: " << st.ToString();
+  EXPECT_FALSE(server.Start().ok());  // already running
+  server.Stop();
+  server.Stop();  // idempotent
+  ASSERT_TRUE(server.Start().ok());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace humdex
