@@ -1,0 +1,250 @@
+// Ablation (replication layer, DESIGN.md §13): replica groups versus one
+// unsharded QbhSystem, and the price of read failover.
+//
+// Correctness gates (always enforced, exit non-zero on violation):
+//   A. exactness under replica loss — healthy answers and answers with any
+//      R-1 replicas of every group dead are bit-identical to the unsharded
+//      engine (and never flagged partial: the groups still serve);
+//   B. snapshot shipping — a replica whose storage is destroyed mid-run is
+//      rebuilt from its peer (checkpoint + WAL tail) and rejoins
+//      digest-identical to its group, including writes it missed;
+//   C. failover latency — per-query latency with every group's first
+//      attempt failing (forced failover to a peer replica) stays within a
+//      generous bound of the healthy path: one extra attempt, not a stall.
+//
+// Performance: p50/p95/p99 per-query latency, healthy vs forced-failover.
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "music/hummer.h"
+#include "obs/metrics.h"
+#include "serve/sharded_engine.h"
+#include "util/env.h"
+
+namespace humdex::bench {
+namespace {
+
+constexpr std::size_t kShards = 3;
+constexpr std::size_t kReplicas = 2;
+
+bool SameMatches(const std::vector<QbhMatch>& a,
+                 const std::vector<QbhMatch>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].distance != b[i].distance ||
+        a[i].name != b[i].name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// Per-query latencies (seconds) over `rounds` passes of the panel.
+std::vector<double> MeasureLatencies(const serve::ShardedEngine& engine,
+                                     const std::vector<Series>& hums,
+                                     std::size_t top_k, std::size_t rounds) {
+  std::vector<double> seconds;
+  seconds.reserve(hums.size() * rounds);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (const Series& hum : hums) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto got = engine.Query(hum, top_k);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (got.size() > top_k) return {};  // malformed: fail the gate
+      seconds.push_back(std::chrono::duration<double>(t1 - t0).count());
+    }
+  }
+  return seconds;
+}
+
+int Run() {
+  const std::size_t kCorpusSize = 240;
+  const std::size_t kQueries = 24;
+  const std::size_t kTopK = 10;
+  const std::size_t kRounds = 4;
+
+  PrintBanner(
+      "Ablation: replica groups (R=" + std::to_string(kReplicas) +
+          ") vs one unsharded QbhSystem",
+      std::to_string(kCorpusSize) + " phrases, " + std::to_string(kShards) +
+          " shards, k=" + std::to_string(kTopK) + ", " +
+          std::to_string(kQueries) + " queries x " + std::to_string(kRounds) +
+          " rounds");
+
+  std::vector<Melody> corpus = PhraseCorpus(kCorpusSize, /*seed=*/535353);
+  QbhSystem single;
+  for (const Melody& m : corpus) single.AddMelody(m);
+  single.Build();
+
+  Hummer hummer(HummerProfile::Good(), 37);
+  std::vector<Series> hums;
+  hums.reserve(kQueries);
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    hums.push_back(hummer.Hum(corpus[(i * 13) % corpus.size()]));
+  }
+  std::vector<std::vector<QbhMatch>> reference;
+  reference.reserve(hums.size());
+  for (const Series& hum : hums) reference.push_back(single.Query(hum, kTopK));
+
+  serve::ShardedOptions opts;
+  opts.num_shards = kShards;
+  opts.replication = kReplicas;
+  opts.attempts_per_shard = 2;
+
+  // --- Gate A: exactness, healthy and with R-1 replicas dead per group ---
+  auto created = serve::ShardedEngine::Create(corpus, opts);
+  if (!created.ok()) {
+    std::printf("Create failed: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  auto& engine = *created.value();
+  bool exact_healthy = true;
+  for (std::size_t i = 0; i < hums.size(); ++i) {
+    QueryStats stats;
+    auto got = engine.Query(hums[i], kTopK, QueryOptions(), &stats);
+    exact_healthy =
+        exact_healthy && !stats.partial && SameMatches(got, reference[i]);
+  }
+  for (std::size_t s = 0; s < kShards; ++s) {
+    engine.QuarantineReplica(s, s % kReplicas);  // a different victim each
+  }
+  bool exact_degraded = engine.serving_shards() == kShards;
+  for (std::size_t i = 0; i < hums.size(); ++i) {
+    QueryStats stats;
+    auto got = engine.Query(hums[i], kTopK, QueryOptions(), &stats);
+    exact_degraded =
+        exact_degraded && !stats.partial && SameMatches(got, reference[i]);
+  }
+  std::printf("Gate A (exactness): healthy %s, R-1 replicas dead %s\n",
+              exact_healthy ? "bit-identical" : "DIVERGED",
+              exact_degraded ? "bit-identical" : "DIVERGED");
+
+  // --- Gate B: snapshot shipping reconverges a destroyed replica ---
+  const std::string dir = "/tmp/humdex_ablation_replication";
+  ::mkdir(dir.c_str(), 0755);
+  Env* env = Env::Default();
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (std::size_t r = 0; r < kReplicas; ++r) {
+      const std::string p = serve::ShardedEngine::ReplicaPath(dir, s, r);
+      for (const std::string& f : {p, QbhSystem::WalPathFor(p)}) {
+        if (env->Exists(f)) {
+          Status st = env->Delete(f);
+          (void)st;
+        }
+      }
+    }
+  }
+  bool ship_ok = true;
+  auto durable = serve::ShardedEngine::Create(corpus, opts);
+  if (!durable.ok() || !durable.value()->AttachAll(dir).ok()) {
+    std::printf("Gate B setup failed\n");
+    return 1;
+  }
+  {
+    auto& dengine = *durable.value();
+    const std::string victim = serve::ShardedEngine::ReplicaPath(dir, 0, 1);
+    ship_ok = env->AtomicWriteFile(victim, "destroyed").ok();
+    dengine.QuarantineReplica(0, 1);
+    // Writes keep flowing while the replica is out; the ship must carry
+    // them over (checkpoint + WAL tail).
+    for (Melody& m : PhraseCorpus(6, /*seed=*/616161)) {
+      auto id1 = single.Insert(m);
+      auto id2 = dengine.Insert(std::move(m));
+      ship_ok = ship_ok && id1.ok() && id2.ok() && id1.value() == id2.value();
+    }
+    ship_ok = ship_ok && dengine.RepairReplica(0, 1).ok();
+    for (std::size_t s = 0; s < kShards && ship_ok; ++s) {
+      auto d0 = dengine.ReplicaDigest(s, 0);
+      auto d1 = dengine.ReplicaDigest(s, 1);
+      ship_ok = d0.ok() && d1.ok() && d0.value() == d1.value();
+    }
+    // And the rebuilt replica answers for its group: kill the sources.
+    for (std::size_t s = 0; s < kShards; ++s) dengine.QuarantineReplica(s, 0);
+    for (const Series& hum : hums) {
+      QueryStats stats;
+      auto got = dengine.Query(hum, kTopK, QueryOptions(), &stats);
+      ship_ok = ship_ok && !stats.partial &&
+                SameMatches(got, single.Query(hum, kTopK));
+    }
+  }
+  std::printf("Gate B (snapshot ship): %s\n",
+              ship_ok ? "reconverged digest-identical" : "FAILED");
+
+  // --- Gate C: failover latency ---
+  auto healthy = serve::ShardedEngine::Create(corpus, opts);
+  serve::ShardedOptions fopts = opts;
+  // Every group's first attempt fails: each query pays one failed attempt
+  // and is answered by the second-ranked replica.
+  fopts.fail_attempt_hook = [](std::size_t, int attempt) {
+    return attempt == 0;
+  };
+  auto failover = serve::ShardedEngine::Create(corpus, fopts);
+  if (!healthy.ok() || !failover.ok()) return 1;
+  const std::vector<double> base =
+      MeasureLatencies(*healthy.value(), hums, kTopK, kRounds);
+  const std::vector<double> failed =
+      MeasureLatencies(*failover.value(), hums, kTopK, kRounds);
+  if (base.empty() || failed.empty()) return 1;
+  QueryStats fstats;
+  auto fgot = failover.value()->Query(hums[0], kTopK, QueryOptions(), &fstats);
+  const bool failover_exact =
+      SameMatches(fgot, reference[0]) && fstats.failovers == kShards;
+
+  Table table({"path", "p50 ms", "p95 ms", "p99 ms"});
+  const double p50b = Percentile(base, 0.50) * 1e3;
+  const double p95b = Percentile(base, 0.95) * 1e3;
+  const double p99b = Percentile(base, 0.99) * 1e3;
+  const double p50f = Percentile(failed, 0.50) * 1e3;
+  const double p95f = Percentile(failed, 0.95) * 1e3;
+  const double p99f = Percentile(failed, 0.99) * 1e3;
+  table.AddRow({"healthy", Table::Num(p50b, 3), Table::Num(p95b, 3),
+                Table::Num(p99b, 3)});
+  table.AddRow({"forced failover", Table::Num(p50f, 3), Table::Num(p95f, 3),
+                Table::Num(p99f, 3)});
+  table.Print();
+
+  obs::MetricsRegistry::Default()
+      .GetGauge("bench.replication.p50_healthy_us")
+      .Set(static_cast<std::int64_t>(p50b * 1e3));
+  obs::MetricsRegistry::Default()
+      .GetGauge("bench.replication.p50_failover_us")
+      .Set(static_cast<std::int64_t>(p50f * 1e3));
+  obs::MetricsRegistry::Default()
+      .GetGauge("bench.replication.p99_failover_us")
+      .Set(static_cast<std::int64_t>(p99f * 1e3));
+
+  // A failover costs one wasted attempt slice, never a stall: generous
+  // bound to absorb scheduler noise on loaded CI hosts.
+  const bool latency_ok = p50f <= 25.0 + 20.0 * p50b;
+  std::printf(
+      "Gate C (failover): answers %s via a peer (%zu failovers/query), "
+      "p50 %.3f ms vs healthy %.3f ms -> %s\n",
+      failover_exact ? "bit-identical" : "DIVERGED", fstats.failovers, p50f,
+      p50b, latency_ok ? "ok" : "FAIL");
+
+  return (exact_healthy && exact_degraded && ship_ok && failover_exact &&
+          latency_ok)
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace humdex::bench
+
+int main(int argc, char** argv) {
+  return humdex::bench::BenchMain(argc, argv, humdex::bench::Run);
+}

@@ -1,14 +1,17 @@
 // humdexd: the sharded query-by-humming daemon.
 //
-//   humdexd [--port=N] [--shards=N] [--corpus=N] [--dir=PATH]
-//           [--repair_ms=N] [--once]
+//   humdexd [--port=N] [--shards=N] [--replicas=N] [--corpus=N] [--dir=PATH]
+//           [--repair_ms=N] [--idle_ms=N] [--once]
 //
 // Builds (or recovers) a sharded engine and serves the length-prefixed TCP
 // protocol of src/serve/protocol.h: ping / query / range / health / metrics.
-// With --dir the shards are durable (WAL + checkpoint per shard) and a
-// second start recovers from disk — kill -9 the process and start it again
-// to watch per-shard recovery and the health page. Background repair
-// re-opens quarantined shards without stopping reads.
+// With --replicas=R every shard is an R-member replica group: reads fail
+// over inside a group, writes fan out to every member, and the background
+// maintenance loop re-ships a snapshot to any replica that falls out. With
+// --dir every replica is durable (its own WAL + checkpoint) and a second
+// start recovers from disk — kill -9 the process and start it again to
+// watch per-replica recovery on the health page. --idle_ms bounds how long
+// a silent client may pin a connection thread.
 //
 // --once serves a single self-issued query and exits (smoke-test mode, used
 // by scripts/check.sh so CI exercises the real socket path headlessly).
@@ -67,13 +70,16 @@ int main(int argc, char** argv) {
 
   const std::size_t port = FlagValue(argc, argv, "port", 0);
   const std::size_t shards = FlagValue(argc, argv, "shards", 4);
+  const std::size_t replicas = FlagValue(argc, argv, "replicas", 1);
   const std::size_t corpus_size = FlagValue(argc, argv, "corpus", 400);
   const std::size_t repair_ms = FlagValue(argc, argv, "repair_ms", 2000);
+  const std::size_t idle_ms = FlagValue(argc, argv, "idle_ms", 60000);
   const std::string dir = FlagString(argc, argv, "dir");
   const bool once = HasFlag(argc, argv, "once");
 
   ShardedOptions opts;
   opts.num_shards = shards;
+  opts.replication = replicas == 0 ? 1 : replicas;
   opts.attempts_per_shard = 2;
 
   // Recover from --dir when it already holds shards; otherwise build a demo
@@ -117,13 +123,16 @@ int main(int argc, char** argv) {
       }
     }
   }
-  std::printf("humdexd: %zu melodies on %zu shards (%zu serving)%s%s\n",
-              engine->size(), engine->num_shards(), engine->serving_shards(),
-              dir.empty() ? ", in-memory" : (", durable in " + dir).c_str(),
-              recovered ? ", recovered" : "");
+  std::printf(
+      "humdexd: %zu melodies on %zu shards x %zu replicas (%zu serving)%s%s\n",
+      engine->size(), engine->num_shards(), engine->replication(),
+      engine->serving_shards(),
+      dir.empty() ? ", in-memory" : (", durable in " + dir).c_str(),
+      recovered ? ", recovered" : "");
 
   ServerOptions sopts;
   sopts.port = static_cast<int>(port);
+  sopts.idle_timeout_ms = idle_ms;
   HumdexServer server(engine.get(), sopts);
   Status st = server.Start();
   if (!st.ok()) {

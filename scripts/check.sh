@@ -15,9 +15,13 @@
 #      kernel variant runs under the sanitizers;
 #   4. HUMDEX_SIMD=OFF build, running the kernel and cascade tests to prove
 #      the scalar-only configuration stays exact and buildable;
-#   5. chaos stage: the sharded serving engine's fault-injection harness and
-#      the serving ablation gate (healthy-path answers bit-identical to one
-#      unsharded engine) under ASan+UBSan, plus a humdexd socket smoke run.
+#   5. chaos stage: the sharded serving engine's fault-injection harness
+#      (including the replica-group suite: append crashes, mid-ship crashes,
+#      destroyed replicas, anti-entropy) and the serving + replication
+#      ablation gates (healthy-path answers bit-identical to one unsharded
+#      engine; exactness with R-1 replicas of every group dead; snapshot-ship
+#      reconvergence; bounded failover latency) under ASan+UBSan, plus
+#      humdexd socket smoke runs with and without replication.
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 set -euo pipefail
 
@@ -64,15 +68,22 @@ cmake --build build-nosimd -j "$JOBS" --target kernel_test cascade_test \
 ctest --test-dir build-nosimd --output-on-failure -j "$JOBS" \
   -R 'Kernel|Cascade|LbImproved|LowerBound|QueryEngine'
 
-echo "== [5/5] chaos: sharded serving under ASan+UBSan =="
+echo "== [5/5] chaos: sharded + replicated serving under ASan+UBSan =="
 cmake --build build-asan -j "$JOBS" --target \
-  chaos_test serve_test protocol_test server_test ablation_serving humdexd
+  chaos_test serve_test protocol_test server_test replication_test \
+  ablation_serving ablation_replication humdexd
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-  -R 'Chaos|ShardedEngine|ShardedDurability|ShardRecovery|Protocol|HumdexServer'
+  -R 'Chaos|ShardedEngine|ShardedDurability|ShardRecovery|Replication|Protocol|HumdexServer'
 ./build-asan/examples/humdexd --once --shards=3 --corpus=120
+./build-asan/examples/humdexd --once --shards=3 --replicas=2 --corpus=120
 # Serving ablation gate: exits non-zero when any healthy-path sharded answer
 # diverges from the unsharded engine or the scaling check fails (the scaling
 # half only arms on multi-core hosts).
 ./build-asan/bench/ablation_serving
+# Replication ablation gate: exits non-zero when answers with R-1 replicas
+# of every group dead diverge from the unsharded engine, when a snapshot
+# ship fails to reconverge a destroyed replica digest-identical, or when
+# forced-failover latency blows its bound.
+./build-asan/bench/ablation_replication
 
 echo "All checks passed."

@@ -84,6 +84,12 @@ struct QueryStats {
   /// are bit-identical.
   bool partial = false;
 
+  /// Replicated serving (src/serve): how many per-shard attempts were served
+  /// by a replica other than the group's preferred one — read failover after
+  /// a dead or slow preferred replica, or a hedged retry routed to a peer.
+  /// 0 on a single engine and on an unreplicated (R=1) fan-out.
+  std::size_t failovers = 0;
+
   /// Accumulate another query's counters and timings (batch aggregation).
   QueryStats& operator+=(const QueryStats& other) {
     index_candidates += other.index_candidates;
@@ -107,6 +113,7 @@ struct QueryStats {
     rejected = rejected || other.rejected;
     shards_failed += other.shards_failed;
     partial = partial || other.partial;
+    failovers += other.failovers;
     return *this;
   }
 };

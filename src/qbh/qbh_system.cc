@@ -1,6 +1,8 @@
 #include "qbh/qbh_system.h"
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <mutex>
 #include <utility>
 
@@ -11,6 +13,7 @@
 #include "qbh/storage.h"
 #include "qbh/wal.h"
 #include "ts/normal_form.h"
+#include "util/crc32c.h"
 #include "util/status.h"
 
 namespace humdex {
@@ -114,6 +117,50 @@ std::optional<Melody> QbhSystem::melody(std::int64_t id) const {
 std::vector<std::optional<Melody>> QbhSystem::CorpusSnapshot() const {
   std::shared_lock<std::shared_mutex> lock(*mu_);
   return melodies_;
+}
+
+std::string QbhSystem::ExportSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  return SerializeQbhCorpus(options_, melodies_,
+                            engine_ == nullptr ? std::vector<Series>()
+                                               : engine_->references());
+}
+
+namespace {
+
+inline std::uint32_t DigestU64(std::uint32_t crc, std::uint64_t v) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xffu);
+  }
+  return Crc32cExtend(crc, reinterpret_cast<const char*>(bytes), 8);
+}
+
+inline std::uint32_t DigestDouble(std::uint32_t crc, double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return DigestU64(crc, bits);
+}
+
+}  // namespace
+
+std::uint32_t QbhSystem::Digest() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  std::uint32_t crc = 0;
+  crc = DigestU64(crc, static_cast<std::uint64_t>(melodies_.size()));
+  for (std::size_t i = 0; i < melodies_.size(); ++i) {
+    if (!melodies_[i].has_value()) continue;
+    const Melody& m = *melodies_[i];
+    crc = DigestU64(crc, static_cast<std::uint64_t>(i));
+    crc = DigestU64(crc, static_cast<std::uint64_t>(m.name.size()));
+    crc = Crc32cExtend(crc, m.name.data(), m.name.size());
+    crc = DigestU64(crc, static_cast<std::uint64_t>(m.notes.size()));
+    for (const Note& n : m.notes) {
+      crc = DigestDouble(crc, n.pitch);
+      crc = DigestDouble(crc, n.duration);
+    }
+  }
+  return crc;
 }
 
 void QbhSystem::Build() {

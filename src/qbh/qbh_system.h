@@ -183,6 +183,19 @@ class QbhSystem {
   /// SerializeQbhDatabase persists.
   std::vector<std::optional<Melody>> CorpusSnapshot() const;
 
+  /// The full corpus serialized to checkpoint bytes (v2 format: options,
+  /// id-stable melody blocks, pivots, CRC32C trailer) — the unit snapshot
+  /// shipping moves between replicas. Consistent: serialized under the
+  /// reader lock, so it observes all or none of any concurrent mutation.
+  std::string ExportSnapshot() const;
+
+  /// Anti-entropy digest: CRC32C over the id space and every live melody's
+  /// bytes (id, name, notes). Two systems hold bit-identical corpora iff
+  /// their digests match, regardless of how each was built (Build, WAL
+  /// recovery, salvage, snapshot import) — replica groups compare digests to
+  /// detect divergence without shipping any data.
+  std::uint32_t Digest() const;
+
   // --- Queries -------------------------------------------------------------
 
   /// Top-k melodies for a hummed pitch series (silent frames tolerated).

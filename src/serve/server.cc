@@ -2,10 +2,12 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 
 #include "obs/export.h"
@@ -28,25 +30,50 @@ obs::Counter& BadFramesCounter() {
   return c;
 }
 
-/// read() until `n` bytes or EOF/error. False = connection is done.
-bool ReadFull(int fd, char* buf, std::size_t n) {
+obs::Counter& IdleDisconnectsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("server.idle_disconnects");
+  return c;
+}
+
+enum class ReadOutcome { kOk, kClosed, kIdle };
+
+/// read() until `n` bytes, EOF/error, or `idle_timeout_ms` with no byte
+/// arriving (0 = wait forever). kIdle means the peer went silent — the
+/// caller should drop the connection rather than pin this thread on it.
+ReadOutcome ReadFull(int fd, char* buf, std::size_t n,
+                     std::uint64_t idle_timeout_ms) {
   std::size_t got = 0;
   while (got < n) {
+    if (idle_timeout_ms > 0) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int p = ::poll(&pfd, 1, static_cast<int>(idle_timeout_ms));
+      if (p == 0) return ReadOutcome::kIdle;
+      if (p < 0) {
+        if (errno == EINTR) continue;
+        return ReadOutcome::kClosed;
+      }
+    }
     const ssize_t r = ::read(fd, buf + got, n - got);
-    if (r == 0) return false;  // peer closed
+    if (r == 0) return ReadOutcome::kClosed;  // peer closed
     if (r < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return ReadOutcome::kClosed;
     }
     got += static_cast<std::size_t>(r);
   }
-  return true;
+  return ReadOutcome::kOk;
 }
 
 bool WriteFull(int fd, const char* buf, std::size_t n) {
   std::size_t sent = 0;
   while (sent < n) {
-    const ssize_t r = ::write(fd, buf + sent, n - sent);
+    // MSG_NOSIGNAL: a client that disconnects mid-response must produce
+    // EPIPE here, not a process-killing SIGPIPE (Start also ignores the
+    // signal process-wide as a second line of defense).
+    const ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
     if (r < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -57,9 +84,11 @@ bool WriteFull(int fd, const char* buf, std::size_t n) {
 }
 
 /// One frame off the wire: 4-byte header, bounded payload.
-bool ReadFrame(int fd, std::string* payload) {
+ReadOutcome ReadFrame(int fd, std::string* payload,
+                      std::uint64_t idle_timeout_ms) {
   char header[4];
-  if (!ReadFull(fd, header, 4)) return false;
+  ReadOutcome ro = ReadFull(fd, header, 4, idle_timeout_ms);
+  if (ro != ReadOutcome::kOk) return ro;
   const std::uint32_t n =
       static_cast<std::uint32_t>(static_cast<unsigned char>(header[0])) |
       (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1]))
@@ -70,10 +99,11 @@ bool ReadFrame(int fd, std::string* payload) {
        << 24);
   if (n > kMaxFrameBytes) {
     BadFramesCounter().Increment();
-    return false;  // drop the connection; nothing was allocated
+    return ReadOutcome::kClosed;  // drop the connection; nothing allocated
   }
   payload->resize(n);
-  return n == 0 || ReadFull(fd, payload->data(), n);
+  if (n == 0) return ReadOutcome::kOk;
+  return ReadFull(fd, payload->data(), n, idle_timeout_ms);
 }
 
 bool WriteFrame(int fd, const std::string& payload) {
@@ -94,6 +124,10 @@ Status HumdexServer::Start() {
   if (listen_fd_ >= 0) {
     return Status::FailedPrecondition("server already started");
   }
+  // A client that resets its connection mid-response must not kill the
+  // daemon: without this (plus MSG_NOSIGNAL on the send path) the default
+  // SIGPIPE disposition terminates the process.
+  std::signal(SIGPIPE, SIG_IGN);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
@@ -180,8 +214,13 @@ void HumdexServer::ServeConnection(int fd) {
   ConnectionsCounter().Increment();
   served_.fetch_add(1, std::memory_order_relaxed);
   std::string payload;
-  while (!stopping_.load(std::memory_order_relaxed) &&
-         ReadFrame(fd, &payload)) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const ReadOutcome ro = ReadFrame(fd, &payload, opts_.idle_timeout_ms);
+    if (ro == ReadOutcome::kIdle) {
+      IdleDisconnectsCounter().Increment();
+      break;
+    }
+    if (ro != ReadOutcome::kOk) break;
     const std::string response = HandlePayload(payload);
     if (!WriteFrame(fd, response)) break;
   }
@@ -226,14 +265,26 @@ std::string HumdexServer::HandlePayload(const std::string& payload) const {
       response.ok = true;
       std::string text = "shards " + std::to_string(engine_->num_shards()) +
                          " serving " +
-                         std::to_string(engine_->serving_shards()) + "\n";
+                         std::to_string(engine_->serving_shards()) +
+                         " replication " +
+                         std::to_string(engine_->replication()) + "\n";
       for (std::size_t s = 0; s < engine_->num_shards(); ++s) {
         const ShardStatus status = engine_->shard_status(s);
         text += "shard " + std::to_string(s) + " " +
                 ShardHealthName(status.health) +
                 " read_only=" + (status.read_only ? "1" : "0") +
                 " lossy=" + (status.lossy ? "1" : "0") + " melodies=" +
-                std::to_string(status.live_melodies) + "\n";
+                std::to_string(status.live_melodies) + " replicas=" +
+                std::to_string(status.serving_replicas) + "/" +
+                std::to_string(status.replicas) + "\n";
+        for (std::size_t r = 0; r < engine_->replication(); ++r) {
+          const ShardStatus rs = engine_->replica_status(s, r);
+          text += " replica " + std::to_string(s) + "/" + std::to_string(r) +
+                  " " + ShardHealthName(rs.health) +
+                  " read_only=" + (rs.read_only ? "1" : "0") +
+                  " lossy=" + (rs.lossy ? "1" : "0") + " melodies=" +
+                  std::to_string(rs.live_melodies) + "\n";
+        }
       }
       response.text = std::move(text);
       break;

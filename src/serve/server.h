@@ -33,6 +33,10 @@ struct ServerOptions {
   /// Connections past this bound are accepted and immediately closed (the
   /// client sees EOF and backs off) instead of spawning unbounded threads.
   std::size_t max_connections = 64;
+  /// A connection that sends no byte for this long is closed and counted in
+  /// `server.idle_disconnects` — a silent client must not pin a handler
+  /// thread forever. 0 disables the timeout.
+  std::uint64_t idle_timeout_ms = 60000;
 };
 
 class HumdexServer {

@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cmath>
 #include <future>
+#include <map>
 
 #include "music/pitch_tracker.h"
 #include "obs/metrics.h"
+#include "qbh/storage.h"
 #include "ts/normal_form.h"
 
 namespace humdex {
@@ -38,6 +40,12 @@ obs::Counter& HedgeCounter() {
   return c;
 }
 
+obs::Counter& FailoverCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("serve.failovers");
+  return c;
+}
+
 obs::Counter& ShedCounter() {
   static obs::Counter& c =
       obs::MetricsRegistry::Default().GetCounter("serve.queries_shed");
@@ -47,6 +55,18 @@ obs::Counter& ShedCounter() {
 obs::Counter& QuarantineCounter() {
   static obs::Counter& c =
       obs::MetricsRegistry::Default().GetCounter("serve.quarantines");
+  return c;
+}
+
+obs::Counter& DivergedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("serve.replica_diverged");
+  return c;
+}
+
+obs::Counter& ShipCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("serve.snapshot_ships");
   return c;
 }
 
@@ -77,6 +97,13 @@ bool MatchLess(const QbhMatch& a, const QbhMatch& b) {
   return a.id < b.id;
 }
 
+/// Failover rank: healthy before degraded, complete before lossy. Lower is
+/// preferred; ties break toward the lower replica index (with rotation for
+/// load spread applied by Snapshot).
+int ReplicaRank(ShardHealth health, bool lossy) {
+  return (health == ShardHealth::kHealthy ? 0 : 2) + (lossy ? 1 : 0);
+}
+
 }  // namespace
 
 const char* ShardHealthName(ShardHealth health) {
@@ -96,9 +123,15 @@ ShardedEngine::ShardedEngine(ShardedOptions opts)
       pool_(opts_.query_threads == 0 ? ThreadPool::DefaultThreadCount()
                                      : opts_.query_threads) {
   HUMDEX_CHECK(opts_.num_shards >= 1);
-  shards_.reserve(opts_.num_shards);
+  HUMDEX_CHECK(opts_.replication >= 1);
+  groups_.reserve(opts_.num_shards);
   for (std::size_t s = 0; s < opts_.num_shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>());
+    auto group = std::make_unique<Group>();
+    group->replicas.reserve(opts_.replication);
+    for (std::size_t r = 0; r < opts_.replication; ++r) {
+      group->replicas.push_back(std::make_unique<Replica>());
+    }
+    groups_.push_back(std::move(group));
   }
 }
 
@@ -109,10 +142,23 @@ std::string ShardedEngine::ShardPath(const std::string& dir,
   return dir + "/shard-" + std::to_string(shard) + ".humdex";
 }
 
+std::string ShardedEngine::ReplicaPath(const std::string& dir,
+                                       std::size_t shard,
+                                       std::size_t replica) {
+  // Replica 0 keeps the unreplicated file name, so an R=1 layout written by
+  // an older engine reopens byte-for-byte and vice versa.
+  if (replica == 0) return ShardPath(dir, shard);
+  return dir + "/shard-" + std::to_string(shard) + ".r" +
+         std::to_string(replica) + ".humdex";
+}
+
 Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
     std::vector<Melody> corpus, ShardedOptions opts) {
   if (opts.num_shards < 1) {
     return Status::InvalidArgument("num_shards must be at least 1");
+  }
+  if (opts.replication < 1) {
+    return Status::InvalidArgument("replication must be at least 1");
   }
   if (corpus.size() < opts.num_shards) {
     return Status::InvalidArgument(
@@ -121,21 +167,29 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
         std::to_string(opts.num_shards) + " shards)");
   }
   std::unique_ptr<ShardedEngine> engine(new ShardedEngine(std::move(opts)));
-  const std::size_t n = engine->shards_.size();
-  std::vector<QbhSystem> systems;
-  systems.reserve(n);
-  for (std::size_t s = 0; s < n; ++s) {
-    systems.emplace_back(engine->opts_.qbh);
-  }
+  const std::size_t n = engine->groups_.size();
+  const std::size_t rep = engine->opts_.replication;
   // Round robin: global id g -> shard g % n, local id g / n. AddMelody
   // allocates local ids densely in call order, which matches g / n exactly.
+  std::vector<std::vector<Melody>> per_shard(n);
   for (std::size_t g = 0; g < corpus.size(); ++g) {
-    systems[g % n].AddMelody(std::move(corpus[g]));
+    per_shard[g % n].push_back(std::move(corpus[g]));
   }
   for (std::size_t s = 0; s < n; ++s) {
-    systems[s].Build();
-    engine->shards_[s]->system =
-        std::make_shared<QbhSystem>(std::move(systems[s]));
+    for (std::size_t r = 0; r < rep; ++r) {
+      QbhSystem system(engine->opts_.qbh);
+      for (Melody& m : per_shard[s]) {
+        // The last replica may consume the rows; earlier ones copy.
+        if (r + 1 == rep) {
+          system.AddMelody(std::move(m));
+        } else {
+          system.AddMelody(m);
+        }
+      }
+      system.Build();
+      engine->groups_[s]->replicas[r]->system =
+          std::make_shared<QbhSystem>(std::move(system));
+    }
   }
   engine->global_next_id_ = static_cast<std::int64_t>(corpus.size());
   return engine;
@@ -144,12 +198,14 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
 Status ShardedEngine::AttachAll(const std::string& dir, Env* env) {
   if (env == nullptr) env = Env::Default();
   env_ = env;
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    Shard& sh = *shards_[s];
-    std::lock_guard<std::mutex> lock(sh.mu);
-    sh.path = ShardPath(dir, s);
-    if (sh.system == nullptr) continue;
-    HUMDEX_RETURN_IF_ERROR(sh.system->Attach(sh.path, env));
+  for (std::size_t s = 0; s < groups_.size(); ++s) {
+    for (std::size_t r = 0; r < groups_[s]->replicas.size(); ++r) {
+      Replica& rep = *groups_[s]->replicas[r];
+      std::lock_guard<std::mutex> lock(rep.mu);
+      rep.path = ReplicaPath(dir, s, r);
+      if (rep.system == nullptr) continue;
+      HUMDEX_RETURN_IF_ERROR(rep.system->Attach(rep.path, env));
+    }
   }
   return Status::OK();
 }
@@ -160,54 +216,66 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
   if (opts.num_shards < 1) {
     return Status::InvalidArgument("num_shards must be at least 1");
   }
+  if (opts.replication < 1) {
+    return Status::InvalidArgument("replication must be at least 1");
+  }
   if (env == nullptr) env = Env::Default();
   std::unique_ptr<ShardedEngine> engine(new ShardedEngine(std::move(opts)));
   engine->env_ = env;
-  const std::size_t n = engine->shards_.size();
+  const std::size_t n = engine->groups_.size();
   if (recovery != nullptr) {
     recovery->assign(n, RecoveryStats());
   }
-  std::size_t serving = 0;
+  std::size_t serving_groups = 0;
   std::int64_t frontier = 0;
   for (std::size_t s = 0; s < n; ++s) {
-    Shard& sh = *engine->shards_[s];
-    sh.path = ShardPath(dir, s);
-    RecoveryStats rs;
-    Result<QbhSystem> opened = QbhSystem::Open(sh.path, env, &rs);
-    if (opened.ok()) {
-      sh.system = std::make_shared<QbhSystem>(std::move(opened).value());
-      // A torn tail means the disk lost a (possibly empty) log suffix: the
-      // shard serves exactly what recovery produced, but stays degraded
-      // until the next successful checkpoint re-establishes durability.
-      sh.health = rs.torn_tail ? ShardHealth::kDegraded : ShardHealth::kHealthy;
-    } else {
-      Result<QbhSystem> salvaged = QbhSystem::OpenSalvage(sh.path, env, &rs);
-      if (salvaged.ok() && rs.ids_stable) {
-        sh.system = std::make_shared<QbhSystem>(std::move(salvaged).value());
-        sh.health = ShardHealth::kDegraded;
-        sh.lossy = rs.melodies_dropped > 0;
+    bool group_serving = false;
+    bool group_recovery_reported = false;
+    for (std::size_t r = 0; r < engine->groups_[s]->replicas.size(); ++r) {
+      Replica& rep = *engine->groups_[s]->replicas[r];
+      rep.path = ReplicaPath(dir, s, r);
+      RecoveryStats rs;
+      Result<QbhSystem> opened = QbhSystem::Open(rep.path, env, &rs);
+      if (opened.ok()) {
+        rep.system = std::make_shared<QbhSystem>(std::move(opened).value());
+        // A torn tail means the disk lost a (possibly empty) log suffix: the
+        // replica serves exactly what recovery produced, but stays degraded
+        // until the next successful checkpoint re-establishes durability.
+        rep.health =
+            rs.torn_tail ? ShardHealth::kDegraded : ShardHealth::kHealthy;
       } else {
-        // Unrecoverable here (or the ids cannot be trusted): quarantine and
-        // keep serving from the other shards. RepairShard / ReseedShard can
-        // bring it back later.
-        sh.system = nullptr;
-        sh.health = ShardHealth::kQuarantined;
-        QuarantineCounter().Increment();
-        rs = RecoveryStats();
+        Result<QbhSystem> salvaged = QbhSystem::OpenSalvage(rep.path, env, &rs);
+        if (salvaged.ok() && rs.ids_stable) {
+          rep.system = std::make_shared<QbhSystem>(std::move(salvaged).value());
+          rep.health = ShardHealth::kDegraded;
+          rep.lossy = rs.melodies_dropped > 0;
+        } else {
+          // Unrecoverable here (or the ids cannot be trusted): quarantine
+          // this replica and keep serving from its peers. The background
+          // loop ships it a fresh snapshot later.
+          rep.system = nullptr;
+          rep.health = ShardHealth::kQuarantined;
+          QuarantineCounter().Increment();
+          rs = RecoveryStats();
+        }
+      }
+      if (rep.system != nullptr) {
+        group_serving = true;
+        if (recovery != nullptr && !group_recovery_reported) {
+          (*recovery)[s] = rs;
+          group_recovery_reported = true;
+        }
+        const std::int64_t local_next = rep.system->next_id();
+        if (local_next > 0) {
+          frontier = std::max(
+              frontier, (local_next - 1) * static_cast<std::int64_t>(n) +
+                            static_cast<std::int64_t>(s) + 1);
+        }
       }
     }
-    if (recovery != nullptr) (*recovery)[s] = rs;
-    if (sh.system != nullptr) {
-      ++serving;
-      const std::int64_t local_next = sh.system->next_id();
-      if (local_next > 0) {
-        frontier = std::max(
-            frontier, (local_next - 1) * static_cast<std::int64_t>(n) +
-                          static_cast<std::int64_t>(s) + 1);
-      }
-    }
+    if (group_serving) ++serving_groups;
   }
-  if (serving == 0) {
+  if (serving_groups == 0) {
     return Status::Corruption("no shard in '" + dir + "' is recoverable");
   }
   engine->global_next_id_ = frontier;
@@ -225,21 +293,54 @@ Series ShardedEngine::HumToNormalForm(const Series& hum_pitch) const {
   return NormalForm(voiced, opts_.qbh.normal_len);
 }
 
-std::vector<ShardedEngine::ShardSnapshot> ShardedEngine::Snapshot(
+std::vector<ShardedEngine::GroupSnapshot> ShardedEngine::Snapshot(
     QueryStats* stats) const {
-  std::vector<ShardSnapshot> snaps(shards_.size());
+  std::vector<GroupSnapshot> snaps(groups_.size());
   std::size_t failed = 0;
   bool lossy = false;
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    Shard& sh = *shards_[s];
-    std::lock_guard<std::mutex> lock(sh.mu);
-    if (sh.health == ShardHealth::kQuarantined || sh.system == nullptr) {
+  for (std::size_t s = 0; s < groups_.size(); ++s) {
+    Group& g = *groups_[s];
+    struct Candidate {
+      int rank;
+      std::size_t idx;
+      std::shared_ptr<QbhSystem> system;
+      bool lossy;
+    };
+    std::vector<Candidate> cands;
+    cands.reserve(g.replicas.size());
+    for (std::size_t r = 0; r < g.replicas.size(); ++r) {
+      Replica& rep = *g.replicas[r];
+      std::lock_guard<std::mutex> lock(rep.mu);
+      if (rep.health == ShardHealth::kQuarantined || rep.system == nullptr) {
+        continue;
+      }
+      cands.push_back(
+          {ReplicaRank(rep.health, rep.lossy), r, rep.system, rep.lossy});
+    }
+    if (cands.empty()) {
+      // The whole group is down: the one case the answer cannot cover.
       ++failed;
       continue;
     }
-    snaps[s].system = sh.system;
-    snaps[s].lossy = sh.lossy;
-    lossy = lossy || sh.lossy;
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.rank != b.rank) return a.rank < b.rank;
+                return a.idx < b.idx;
+              });
+    // Rotate equal-rank preferred replicas so read load spreads across the
+    // group instead of pinning replica 0. Serving replicas are
+    // bit-identical, so rotation cannot change any answer.
+    std::size_t best = 1;
+    while (best < cands.size() && cands[best].rank == cands[0].rank) ++best;
+    if (best > 1) {
+      const std::size_t start = static_cast<std::size_t>(
+          g.read_rr.fetch_add(1, std::memory_order_relaxed) % best);
+      std::rotate(cands.begin(), cands.begin() + start, cands.begin() + best);
+    }
+    snaps[s].systems.reserve(cands.size());
+    for (Candidate& c : cands) snaps[s].systems.push_back(std::move(c.system));
+    snaps[s].lossy = cands[0].lossy;
+    lossy = lossy || cands[0].lossy;
   }
   if (stats != nullptr) {
     stats->shards_failed += failed;
@@ -249,7 +350,7 @@ std::vector<ShardedEngine::ShardSnapshot> ShardedEngine::Snapshot(
 }
 
 std::vector<QbhMatch> ShardedEngine::ShardQuery(
-    std::size_t shard, const ShardSnapshot& snap, const Series& normal,
+    std::size_t shard, const GroupSnapshot& snap, const Series& normal,
     bool knn, std::size_t top_k, double epsilon, const QueryOptions& qopts,
     QueryStats* stats, bool* ok) const {
   const int attempts = std::max(1, opts_.attempts_per_shard);
@@ -268,11 +369,16 @@ std::vector<QbhMatch> ShardedEngine::ShardQuery(
       HedgeCounter().Increment();
       continue;  // simulated slow/failed attempt
     }
+    // Failover routing: attempt a is served by the group's a-th ranked
+    // replica (mod serving count), so a retry after a slow or dead preferred
+    // replica lands on a different copy of the same data.
+    const std::size_t pick =
+        static_cast<std::size_t>(a) % snap.systems.size();
+    const std::shared_ptr<QbhSystem>& system = snap.systems[pick];
     QueryStats attempt_stats;
     std::vector<QbhMatch> out =
-        knn ? snap.system->QueryNormal(normal, top_k, per, &attempt_stats)
-            : snap.system->RangeQueryNormal(normal, epsilon, per,
-                                            &attempt_stats);
+        knn ? system->QueryNormal(normal, top_k, per, &attempt_stats)
+            : system->RangeQueryNormal(normal, epsilon, per, &attempt_stats);
     // Hedge: an attempt that blew its slice (truncated) is retried with the
     // next slice, unless the overall deadline is spent — then the truncated
     // answer (exact for everything it examined) is the best we can return.
@@ -280,10 +386,14 @@ std::vector<QbhMatch> ShardedEngine::ShardQuery(
       HedgeCounter().Increment();
       continue;
     }
+    if (pick != 0) {
+      attempt_stats.failovers += 1;
+      FailoverCounter().Increment();
+    }
     if (stats != nullptr) *stats += attempt_stats;
     // Translate local -> global ids; order is preserved (l1 < l2 implies
     // l1*N+s < l2*N+s), so each shard's answer stays sorted.
-    const std::int64_t n = static_cast<std::int64_t>(shards_.size());
+    const std::int64_t n = static_cast<std::int64_t>(groups_.size());
     for (QbhMatch& m : out) {
       m.id = m.id * n + static_cast<std::int64_t>(shard);
     }
@@ -303,13 +413,13 @@ std::vector<QbhMatch> ShardedEngine::ScatterGather(
     return {};
   }
   QueryStats local;
-  std::vector<ShardSnapshot> snaps = Snapshot(&local);
+  std::vector<GroupSnapshot> snaps = Snapshot(&local);
 
   std::vector<std::vector<QbhMatch>> per_shard(snaps.size());
   std::vector<QueryStats> shard_stats(snaps.size());
   std::vector<char> shard_ok(snaps.size(), 0);
   auto run_shard = [&](std::size_t s) {
-    if (snaps[s].system == nullptr) return;  // already counted failed
+    if (snaps[s].systems.empty()) return;  // already counted failed
     bool ok = false;
     per_shard[s] = ShardQuery(s, snaps[s], normal, knn, top_k, epsilon, qopts,
                               &shard_stats[s], &ok);
@@ -328,9 +438,9 @@ std::vector<QbhMatch> ShardedEngine::ScatterGather(
 
   std::vector<QbhMatch> merged;
   for (std::size_t s = 0; s < snaps.size(); ++s) {
-    if (snaps[s].system == nullptr) continue;
+    if (snaps[s].systems.empty()) continue;
     if (!shard_ok[s]) {
-      // Every attempt failed at query time: the shard stays in the engine
+      // Every attempt failed at query time: the group stays in the engine
       // (its state is fine) but this answer does not cover it.
       ++local.shards_failed;
       local.partial = true;
@@ -417,62 +527,109 @@ std::int64_t ShardedEngine::LocalNextFor(std::int64_t global_next,
                                          std::size_t shard) const {
   // Number of global ids < global_next that map to `shard`:
   // ceil((global_next - shard) / n) for global_next > shard, else 0.
-  const std::int64_t n = static_cast<std::int64_t>(shards_.size());
+  const std::int64_t n = static_cast<std::int64_t>(groups_.size());
   const std::int64_t s = static_cast<std::int64_t>(shard);
   if (global_next <= s) return 0;
   return (global_next - s + n - 1) / n;
 }
 
-void ShardedEngine::NoteIoErrorLocked(Shard& shard) {
-  ++shard.io_errors;
-  shard.read_only = true;
-  if (shard.health == ShardHealth::kHealthy) {
-    shard.health = ShardHealth::kDegraded;
+void ShardedEngine::NoteIoErrorLocked(Replica& replica) {
+  ++replica.io_errors;
+  replica.read_only = true;
+  if (replica.health == ShardHealth::kHealthy) {
+    replica.health = ShardHealth::kDegraded;
   }
-  if (shard.health != ShardHealth::kQuarantined &&
-      shard.io_errors >= opts_.quarantine_after_io_errors) {
-    shard.health = ShardHealth::kQuarantined;
+  if (replica.health != ShardHealth::kQuarantined &&
+      replica.io_errors >= opts_.quarantine_after_io_errors) {
+    replica.health = ShardHealth::kQuarantined;
+    QuarantineCounter().Increment();
+  }
+}
+
+void ShardedEngine::QuarantineReplicaLocked(Replica& replica) {
+  if (replica.health != ShardHealth::kQuarantined) {
+    replica.health = ShardHealth::kQuarantined;
     QuarantineCounter().Increment();
   }
 }
 
 Result<std::int64_t> ShardedEngine::Insert(Melody melody) {
+  // alloc_mu_ serializes every mutation besides guarding the id allocator:
+  // snapshot shipping's catch-up phase holds it to freeze writes.
   std::lock_guard<std::mutex> alloc(alloc_mu_);
   Status last = Status::FailedPrecondition("no shard can take writes");
-  for (std::size_t tries = 0; tries < shards_.size(); ++tries) {
+  for (std::size_t tries = 0; tries < groups_.size(); ++tries) {
     const std::int64_t g = global_next_id_;
     const std::size_t s =
-        static_cast<std::size_t>(g % static_cast<std::int64_t>(shards_.size()));
-    Shard& sh = *shards_[s];
-    std::lock_guard<std::mutex> lock(sh.mu);
-    if (sh.health == ShardHealth::kQuarantined || sh.read_only ||
-        sh.system == nullptr) {
-      // Burn this frontier id (ids are never reused) and let the next
-      // writable shard take the melody. The skipped shard is re-aligned by
-      // PadIdSpace when it rejoins.
-      ++global_next_id_;
-      continue;
-    }
-    Result<std::int64_t> local = sh.system->Insert(std::move(melody));
-    if (!local.ok()) {
-      NoteIoErrorLocked(sh);
-      // The melody was consumed by the move only on success; on failure the
-      // shard's memory is untouched but our argument is gone — report the
-      // error rather than retrying with a moved-from melody.
-      return last = local.status();
-    }
-    sh.io_errors = 0;
+        static_cast<std::size_t>(g % static_cast<std::int64_t>(groups_.size()));
+    Group& group = *groups_[s];
     const std::int64_t expected = LocalNextFor(g, s);
-    if (local.value() != expected) {
-      // Id skew: this shard's frontier no longer matches the global
-      // allocator — a bug or an unrepaired rejoin. Quarantine it; serving
-      // wrong global ids is the one thing the engine must never do.
-      sh.health = ShardHealth::kQuarantined;
-      QuarantineCounter().Increment();
-      return Status::Internal(
-          "shard " + std::to_string(s) + " allocated local id " +
-          std::to_string(local.value()) + ", expected " +
-          std::to_string(expected));
+
+    // Fan the write out to every serving replica of the group. A serving
+    // replica that does not apply a write its peers applied is diverged —
+    // it must leave the fan-out, or reads that fail over to it would
+    // silently miss data.
+    std::size_t applied = 0;
+    bool any_writable = false;
+    Status first_error = Status::OK();
+    std::vector<Replica*> missed;  // serving replicas without the write
+    for (std::size_t r = 0; r < group.replicas.size(); ++r) {
+      Replica& rep = *group.replicas[r];
+      std::lock_guard<std::mutex> lock(rep.mu);
+      if (rep.health == ShardHealth::kQuarantined || rep.system == nullptr) {
+        continue;
+      }
+      if (rep.read_only) {
+        missed.push_back(&rep);
+        continue;
+      }
+      any_writable = true;
+      Result<std::int64_t> local = rep.system->Insert(Melody(melody));
+      if (!local.ok()) {
+        NoteIoErrorLocked(rep);
+        if (first_error.ok()) first_error = local.status();
+        missed.push_back(&rep);
+        continue;
+      }
+      if (local.value() != expected) {
+        // Id skew: this replica's frontier no longer matches the global
+        // allocator — a bug or an unrepaired rejoin. Serving wrong global
+        // ids is the one thing the engine must never do.
+        if (first_error.ok()) {
+          first_error = Status::Internal(
+              "shard " + std::to_string(s) + " replica " + std::to_string(r) +
+              " allocated local id " + std::to_string(local.value()) +
+              ", expected " + std::to_string(expected));
+        }
+        missed.push_back(&rep);
+        continue;
+      }
+      rep.io_errors = 0;
+      ++applied;
+    }
+
+    if (applied == 0) {
+      if (!any_writable) {
+        // The whole group is unwritable: burn this frontier id (ids are
+        // never reused) and let the next writable group take the melody.
+        // The group is re-aligned by PadIdSpace when a replica rejoins.
+        ++global_next_id_;
+        continue;
+      }
+      // Writable replicas existed but none applied: the write failed and no
+      // replica state diverged from its peers (they all still lack the
+      // melody), so report the error without burning the id.
+      return first_error.ok() ? last : first_error;
+    }
+
+    // The group took the write. Any serving replica that missed it —
+    // read-only, failed append, id skew — is now behind its peers:
+    // quarantine it so it never serves, and let re-replication bring it
+    // back digest-identical.
+    for (Replica* rep : missed) {
+      std::lock_guard<std::mutex> lock(rep->mu);
+      DivergedCounter().Increment();
+      QuarantineReplicaLocked(*rep);
     }
     ++global_next_id_;
     return g;
@@ -484,46 +641,94 @@ Status ShardedEngine::Remove(std::int64_t global_id) {
   if (global_id < 0) {
     return Status::InvalidArgument("negative melody id");
   }
-  const std::int64_t n = static_cast<std::int64_t>(shards_.size());
+  std::lock_guard<std::mutex> alloc(alloc_mu_);
+  const std::int64_t n = static_cast<std::int64_t>(groups_.size());
   const std::size_t s = static_cast<std::size_t>(global_id % n);
   const std::int64_t local = global_id / n;
-  Shard& sh = *shards_[s];
-  std::lock_guard<std::mutex> lock(sh.mu);
-  if (sh.health == ShardHealth::kQuarantined || sh.system == nullptr) {
+  Group& group = *groups_[s];
+
+  std::size_t serving = 0;
+  std::size_t writable = 0;
+  for (std::size_t r = 0; r < group.replicas.size(); ++r) {
+    Replica& rep = *group.replicas[r];
+    std::lock_guard<std::mutex> lock(rep.mu);
+    if (rep.health == ShardHealth::kQuarantined || rep.system == nullptr) {
+      continue;
+    }
+    ++serving;
+    if (!rep.read_only) ++writable;
+  }
+  if (serving == 0) {
     return Status::FailedPrecondition("shard " + std::to_string(s) +
-                               " is quarantined");
+                                      " is quarantined");
   }
-  if (sh.read_only) {
-    return Status::FailedPrecondition("shard " + std::to_string(s) + " is read-only");
+  if (writable == 0) {
+    return Status::FailedPrecondition("shard " + std::to_string(s) +
+                                      " is read-only");
   }
-  Status st = sh.system->Remove(local);
-  if (!st.ok() && st.code() == Status::Code::kIoError) NoteIoErrorLocked(sh);
-  if (st.ok()) sh.io_errors = 0;
-  return st;
+
+  std::size_t applied = 0;
+  Status first_error = Status::OK();
+  std::vector<Replica*> missed;
+  for (std::size_t r = 0; r < group.replicas.size(); ++r) {
+    Replica& rep = *group.replicas[r];
+    std::lock_guard<std::mutex> lock(rep.mu);
+    if (rep.health == ShardHealth::kQuarantined || rep.system == nullptr) {
+      continue;
+    }
+    if (rep.read_only) {
+      missed.push_back(&rep);
+      continue;
+    }
+    Status st = rep.system->Remove(local);
+    if (!st.ok()) {
+      if (st.code() == Status::Code::kIoError) NoteIoErrorLocked(rep);
+      if (first_error.ok()) first_error = st;
+      missed.push_back(&rep);
+      continue;
+    }
+    rep.io_errors = 0;
+    ++applied;
+  }
+  if (applied == 0) {
+    // Uniform refusal (bad id, last-live-melody guard, every append failing):
+    // no replica changed state, so nothing diverged.
+    return first_error;
+  }
+  // Same divergence rule as Insert: a serving replica that still holds a
+  // melody its peers removed must leave the fan-out.
+  for (Replica* rep : missed) {
+    std::lock_guard<std::mutex> lock(rep->mu);
+    DivergedCounter().Increment();
+    QuarantineReplicaLocked(*rep);
+  }
+  return Status::OK();
 }
 
 Status ShardedEngine::CheckpointAll() {
   Status first = Status::OK();
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    Shard& sh = *shards_[s];
-    std::lock_guard<std::mutex> lock(sh.mu);
-    if (sh.system == nullptr || sh.health == ShardHealth::kQuarantined ||
-        !sh.system->durable()) {
-      continue;
-    }
-    Status st = sh.system->Checkpoint();
-    if (!st.ok()) {
-      NoteIoErrorLocked(sh);
-      if (first.ok()) first = st;
-      continue;
-    }
-    sh.io_errors = 0;
-    sh.read_only = false;
-    // A durable checkpoint clears durability suspicion; data lost to a
-    // salvage (lossy) is still lost, so those shards stay degraded until
-    // reseeded.
-    if (sh.health == ShardHealth::kDegraded && !sh.lossy) {
-      sh.health = ShardHealth::kHealthy;
+  for (std::size_t s = 0; s < groups_.size(); ++s) {
+    for (std::size_t r = 0; r < groups_[s]->replicas.size(); ++r) {
+      Replica& rep = *groups_[s]->replicas[r];
+      std::lock_guard<std::mutex> lock(rep.mu);
+      if (rep.system == nullptr || rep.health == ShardHealth::kQuarantined ||
+          !rep.system->durable()) {
+        continue;
+      }
+      Status st = rep.system->Checkpoint();
+      if (!st.ok()) {
+        NoteIoErrorLocked(rep);
+        if (first.ok()) first = st;
+        continue;
+      }
+      rep.io_errors = 0;
+      rep.read_only = false;
+      // A durable checkpoint clears durability suspicion; data lost to a
+      // salvage (lossy) is still lost, so those replicas stay degraded until
+      // re-shipped.
+      if (rep.health == ShardHealth::kDegraded && !rep.lossy) {
+        rep.health = ShardHealth::kHealthy;
+      }
     }
   }
   return first;
@@ -533,15 +738,24 @@ Status ShardedEngine::CheckpointAll() {
 
 std::size_t ShardedEngine::size() const {
   std::size_t total = 0;
-  for (const std::unique_ptr<Shard>& shp : shards_) {
-    Shard& sh = *shp;
-    std::shared_ptr<QbhSystem> sys;
-    {
-      std::lock_guard<std::mutex> lock(sh.mu);
-      if (sh.health == ShardHealth::kQuarantined) continue;
-      sys = sh.system;
+  for (const std::unique_ptr<Group>& group : groups_) {
+    // Count from the group's preferred serving replica; serving replicas are
+    // bit-identical, so any of them reports the same size.
+    std::shared_ptr<QbhSystem> best;
+    int best_rank = 0;
+    for (const std::unique_ptr<Replica>& repp : group->replicas) {
+      Replica& rep = *repp;
+      std::lock_guard<std::mutex> lock(rep.mu);
+      if (rep.health == ShardHealth::kQuarantined || rep.system == nullptr) {
+        continue;
+      }
+      const int rank = ReplicaRank(rep.health, rep.lossy);
+      if (best == nullptr || rank < best_rank) {
+        best = rep.system;
+        best_rank = rank;
+      }
     }
-    if (sys != nullptr) total += sys->size();
+    if (best != nullptr) total += best->size();
   }
   return total;
 }
@@ -553,42 +767,101 @@ std::int64_t ShardedEngine::next_id() const {
 
 std::size_t ShardedEngine::serving_shards() const {
   std::size_t n = 0;
-  for (const std::unique_ptr<Shard>& shp : shards_) {
-    std::lock_guard<std::mutex> lock(shp->mu);
-    if (shp->health != ShardHealth::kQuarantined && shp->system != nullptr) {
-      ++n;
+  for (const std::unique_ptr<Group>& group : groups_) {
+    for (const std::unique_ptr<Replica>& repp : group->replicas) {
+      std::lock_guard<std::mutex> lock(repp->mu);
+      if (repp->health != ShardHealth::kQuarantined &&
+          repp->system != nullptr) {
+        ++n;
+        break;
+      }
     }
   }
   return n;
 }
 
 ShardStatus ShardedEngine::shard_status(std::size_t shard) const {
-  HUMDEX_CHECK(shard < shards_.size());
-  Shard& sh = *shards_[shard];
+  HUMDEX_CHECK(shard < groups_.size());
+  const Group& group = *groups_[shard];
   ShardStatus out;
+  out.replicas = group.replicas.size();
+  out.serving_replicas = 0;
+  out.health = ShardHealth::kQuarantined;
+  out.io_errors = 0;
+  out.repairs = 0;
+  bool all_read_only = true;
+  std::shared_ptr<QbhSystem> best;
+  int best_rank = 0;
+  bool best_lossy = false;
+  for (const std::unique_ptr<Replica>& repp : group.replicas) {
+    Replica& rep = *repp;
+    std::lock_guard<std::mutex> lock(rep.mu);
+    out.io_errors += rep.io_errors;
+    out.repairs += rep.repairs;
+    if (rep.health == ShardHealth::kQuarantined || rep.system == nullptr) {
+      continue;
+    }
+    ++out.serving_replicas;
+    all_read_only = all_read_only && rep.read_only;
+    // Group health is the best replica's: one healthy replica means the
+    // group serves complete, durable answers.
+    if (rep.health == ShardHealth::kHealthy) out.health = ShardHealth::kHealthy;
+    else if (out.health == ShardHealth::kQuarantined) {
+      out.health = ShardHealth::kDegraded;
+    }
+    const int rank = ReplicaRank(rep.health, rep.lossy);
+    if (best == nullptr || rank < best_rank) {
+      best = rep.system;
+      best_rank = rank;
+      best_lossy = rep.lossy;
+    }
+  }
+  out.read_only = out.serving_replicas > 0 && all_read_only;
+  out.lossy = best_lossy;
+  if (best != nullptr) out.live_melodies = best->size();
+  return out;
+}
+
+ShardStatus ShardedEngine::replica_status(std::size_t shard,
+                                          std::size_t replica) const {
+  HUMDEX_CHECK(shard < groups_.size());
+  HUMDEX_CHECK(replica < groups_[shard]->replicas.size());
+  Replica& rep = *groups_[shard]->replicas[replica];
+  ShardStatus out;
+  out.replicas = groups_[shard]->replicas.size();
   std::shared_ptr<QbhSystem> sys;
   {
-    std::lock_guard<std::mutex> lock(sh.mu);
-    out.health = sh.health;
-    out.read_only = sh.read_only;
-    out.lossy = sh.lossy;
-    out.io_errors = sh.io_errors;
-    out.repairs = sh.repairs;
-    sys = sh.system;
+    std::lock_guard<std::mutex> lock(rep.mu);
+    out.health = rep.health;
+    out.read_only = rep.read_only;
+    out.lossy = rep.lossy;
+    out.io_errors = rep.io_errors;
+    out.repairs = rep.repairs;
+    sys = rep.system;
   }
+  out.serving_replicas =
+      (out.health != ShardHealth::kQuarantined && sys != nullptr) ? 1 : 0;
   if (sys != nullptr) out.live_melodies = sys->size();
   return out;
 }
 
 std::optional<Melody> ShardedEngine::melody(std::int64_t global_id) const {
   if (global_id < 0) return std::nullopt;
-  const std::int64_t n = static_cast<std::int64_t>(shards_.size());
-  Shard& sh = *shards_[static_cast<std::size_t>(global_id % n)];
+  const std::int64_t n = static_cast<std::int64_t>(groups_.size());
+  const Group& group = *groups_[static_cast<std::size_t>(global_id % n)];
   std::shared_ptr<QbhSystem> sys;
-  {
-    std::lock_guard<std::mutex> lock(sh.mu);
-    if (sh.health == ShardHealth::kQuarantined) return std::nullopt;
-    sys = sh.system;
+  int best_rank = 0;
+  for (const std::unique_ptr<Replica>& repp : group.replicas) {
+    Replica& rep = *repp;
+    std::lock_guard<std::mutex> lock(rep.mu);
+    if (rep.health == ShardHealth::kQuarantined || rep.system == nullptr) {
+      continue;
+    }
+    const int rank = ReplicaRank(rep.health, rep.lossy);
+    if (sys == nullptr || rank < best_rank) {
+      sys = rep.system;
+      best_rank = rank;
+    }
   }
   if (sys == nullptr) return std::nullopt;
   return sys->melody(global_id / n);
@@ -597,36 +870,280 @@ std::optional<Melody> ShardedEngine::melody(std::int64_t global_id) const {
 // --- Fault handling ----------------------------------------------------------
 
 void ShardedEngine::QuarantineShard(std::size_t shard) {
-  HUMDEX_CHECK(shard < shards_.size());
-  Shard& sh = *shards_[shard];
-  std::lock_guard<std::mutex> lock(sh.mu);
-  if (sh.health != ShardHealth::kQuarantined) {
-    sh.health = ShardHealth::kQuarantined;
-    QuarantineCounter().Increment();
+  HUMDEX_CHECK(shard < groups_.size());
+  for (const std::unique_ptr<Replica>& repp : groups_[shard]->replicas) {
+    std::lock_guard<std::mutex> lock(repp->mu);
+    QuarantineReplicaLocked(*repp);
   }
 }
 
-Status ShardedEngine::RepairShard(std::size_t shard) {
-  HUMDEX_CHECK(shard < shards_.size());
+void ShardedEngine::QuarantineReplica(std::size_t shard, std::size_t replica) {
+  HUMDEX_CHECK(shard < groups_.size());
+  HUMDEX_CHECK(replica < groups_[shard]->replicas.size());
+  Replica& rep = *groups_[shard]->replicas[replica];
+  std::lock_guard<std::mutex> lock(rep.mu);
+  QuarantineReplicaLocked(rep);
+}
+
+Result<std::uint32_t> ShardedEngine::ReplicaDigest(std::size_t shard,
+                                                   std::size_t replica) const {
+  HUMDEX_CHECK(shard < groups_.size());
+  HUMDEX_CHECK(replica < groups_[shard]->replicas.size());
+  Replica& rep = *groups_[shard]->replicas[replica];
+  std::shared_ptr<QbhSystem> sys;
+  {
+    std::lock_guard<std::mutex> lock(rep.mu);
+    if (rep.health == ShardHealth::kQuarantined || rep.system == nullptr) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(shard) + " replica " +
+          std::to_string(replica) + " is not serving");
+    }
+    sys = rep.system;
+  }
+  return sys->Digest();
+}
+
+std::size_t ShardedEngine::CheckGroupDivergence(std::size_t shard) {
+  HUMDEX_CHECK(shard < groups_.size());
+  Group& group = *groups_[shard];
+  struct Entry {
+    std::size_t idx;
+    std::shared_ptr<QbhSystem> system;
+    std::uint32_t digest = 0;
+  };
+  std::vector<Entry> entries;
+  for (std::size_t r = 0; r < group.replicas.size(); ++r) {
+    Replica& rep = *group.replicas[r];
+    std::lock_guard<std::mutex> lock(rep.mu);
+    if (rep.health == ShardHealth::kQuarantined || rep.system == nullptr) {
+      continue;
+    }
+    entries.push_back({r, rep.system, 0});
+  }
+  if (entries.size() < 2) return 0;
+  // Digests are computed outside the replica locks (each QbhSystem has its
+  // own reader lock); the write path serializes on alloc_mu_, so two
+  // replicas that are in sync cannot be caught mid-divergence here —
+  // a mismatch is a real one.
+  for (Entry& e : entries) e.digest = e.system->Digest();
+
+  // Authority: the digest held by most serving replicas wins; ties break
+  // toward the set containing the lowest replica index.
+  std::map<std::uint32_t, std::pair<std::size_t, std::size_t>> votes;
+  for (const Entry& e : entries) {
+    auto it = votes.find(e.digest);
+    if (it == votes.end()) {
+      votes.emplace(e.digest, std::make_pair(std::size_t{1}, e.idx));
+    } else {
+      ++it->second.first;
+    }
+  }
+  std::uint32_t winner = entries[0].digest;
+  std::size_t winner_count = 0;
+  std::size_t winner_low = 0;
+  for (const auto& [digest, count_low] : votes) {
+    const auto& [count, low] = count_low;
+    if (count > winner_count ||
+        (count == winner_count && low < winner_low)) {
+      winner = digest;
+      winner_count = count;
+      winner_low = low;
+    }
+  }
+  std::size_t quarantined = 0;
+  for (const Entry& e : entries) {
+    if (e.digest == winner) continue;
+    Replica& rep = *group.replicas[e.idx];
+    std::lock_guard<std::mutex> lock(rep.mu);
+    // Only quarantine if it still serves the instance we digested; a
+    // concurrent repair swap means our verdict is stale.
+    if (rep.system == e.system &&
+        rep.health != ShardHealth::kQuarantined) {
+      DivergedCounter().Increment();
+      QuarantineReplicaLocked(rep);
+      ++quarantined;
+    }
+  }
+  return quarantined;
+}
+
+std::size_t ShardedEngine::AntiEntropySweep() {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < groups_.size(); ++s) {
+    total += CheckGroupDivergence(s);
+  }
+  return total;
+}
+
+std::vector<std::size_t> ShardedEngine::RankedPeers(std::size_t shard,
+                                                    std::size_t except) const {
+  struct Peer {
+    int rank;
+    std::size_t idx;
+  };
+  std::vector<Peer> peers;
+  const Group& group = *groups_[shard];
+  for (std::size_t r = 0; r < group.replicas.size(); ++r) {
+    if (r == except) continue;
+    Replica& rep = *group.replicas[r];
+    std::lock_guard<std::mutex> lock(rep.mu);
+    if (rep.health == ShardHealth::kQuarantined || rep.system == nullptr) {
+      continue;
+    }
+    peers.push_back({ReplicaRank(rep.health, rep.lossy), r});
+  }
+  std::sort(peers.begin(), peers.end(), [](const Peer& a, const Peer& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.idx < b.idx;
+  });
+  std::vector<std::size_t> out;
+  out.reserve(peers.size());
+  for (const Peer& p : peers) out.push_back(p.idx);
+  return out;
+}
+
+void ShardedEngine::InstallReplica(Replica& replica, QbhSystem system,
+                                   ShardHealth health, bool read_only,
+                                   bool lossy) {
+  std::lock_guard<std::mutex> lock(replica.mu);
+  replica.system = std::make_shared<QbhSystem>(std::move(system));
+  replica.health = health;
+  replica.read_only = read_only;
+  replica.lossy = lossy;
+  replica.io_errors = 0;
+  ++replica.repairs;
+}
+
+Status ShardedEngine::ShipSnapshot(std::size_t shard, std::size_t from,
+                                   std::size_t to) {
   std::lock_guard<std::mutex> repair_lock(repair_mu_);
-  Shard& sh = *shards_[shard];
+  return ShipSnapshotLocked(shard, from, to);
+}
+
+Status ShardedEngine::ShipSnapshotLocked(std::size_t shard, std::size_t from,
+                                         std::size_t to) {
+  HUMDEX_CHECK(shard < groups_.size());
+  HUMDEX_CHECK(from < groups_[shard]->replicas.size());
+  HUMDEX_CHECK(to < groups_[shard]->replicas.size());
+  if (from == to) {
+    return Status::InvalidArgument("cannot ship a replica to itself");
+  }
+  Group& group = *groups_[shard];
+  Replica& src = *group.replicas[from];
+  Replica& dst = *group.replicas[to];
+
+  std::shared_ptr<QbhSystem> src_sys;
+  std::string src_path;
+  bool src_lossy = false;
+  {
+    std::lock_guard<std::mutex> lock(src.mu);
+    if (src.health == ShardHealth::kQuarantined || src.system == nullptr) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(shard) + " replica " +
+          std::to_string(from) + " is not serving; cannot be a ship source");
+    }
+    src_sys = src.system;
+    src_path = src.path;
+    src_lossy = src.lossy;
+  }
+  std::string dst_path;
+  {
+    std::lock_guard<std::mutex> lock(dst.mu);
+    if (dst.health != ShardHealth::kQuarantined) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(shard) + " replica " + std::to_string(to) +
+          " is serving; quarantine it before shipping over it");
+    }
+    dst_path = dst.path;
+  }
+  ShipCounter().Increment();
+
+  const bool durable = src_sys->durable() && !src_path.empty() &&
+                       !dst_path.empty() && env_ != nullptr;
+  if (durable) {
+    // Phase A — writes keep flowing. Checkpoint the source (its WAL
+    // truncates: everything up to now is in the checkpoint file) and copy
+    // the checkpoint bytes through Env, where FaultInjectingEnv can fail the
+    // read or crash the write at any step. Any failure leaves the
+    // destination quarantined and its in-memory state untouched.
+    HUMDEX_RETURN_IF_ERROR(src_sys->Checkpoint());
+    std::string bytes;
+    HUMDEX_RETURN_IF_ERROR(env_->ReadFile(src_path, &bytes));
+    HUMDEX_RETURN_IF_ERROR(env_->AtomicWriteFile(dst_path, bytes));
+
+    // Phase B — freeze writes (every mutation holds alloc_mu_) and catch
+    // up: writes that landed between phase A and here are exactly the
+    // source's WAL tail (WAL-before-apply), so copying that tail and
+    // replaying it on open reproduces the source bit-for-bit.
+    std::lock_guard<std::mutex> freeze(alloc_mu_);
+    const std::string src_wal = QbhSystem::WalPathFor(src_path);
+    const std::string dst_wal = QbhSystem::WalPathFor(dst_path);
+    if (env_->Exists(src_wal)) {
+      std::string wal_bytes;
+      HUMDEX_RETURN_IF_ERROR(env_->ReadFile(src_wal, &wal_bytes));
+      HUMDEX_RETURN_IF_ERROR(env_->AtomicWriteFile(dst_wal, wal_bytes));
+    } else {
+      // No tail — but a stale log from the destination's previous life
+      // would replay garbage over the shipped checkpoint.
+      Status st = env_->Delete(dst_wal);
+      if (!st.ok() && st.code() != Status::Code::kNotFound) return st;
+    }
+    RecoveryStats rs;
+    Result<QbhSystem> opened = QbhSystem::Open(dst_path, env_, &rs);
+    HUMDEX_RETURN_IF_ERROR(opened.status());
+    QbhSystem system = std::move(opened).value();
+
+    // Prove the rebuild before it serves: checkpoint + replayed tail must
+    // reproduce the source bit-for-bit — including its id frontier, so no
+    // re-padding is needed (or allowed: it could only introduce skew). A
+    // shipped replica re-enters the fan-out digest-identical or not at all.
+    if (system.Digest() != src_sys->Digest()) {
+      return Status::Internal(
+          "snapshot ship of shard " + std::to_string(shard) + " replica " +
+          std::to_string(from) + " -> " + std::to_string(to) +
+          " diverged from its source; destination stays quarantined");
+    }
+    InstallReplica(dst, std::move(system),
+                   src_lossy ? ShardHealth::kDegraded : ShardHealth::kHealthy,
+                   /*read_only=*/false, src_lossy);
+  } else {
+    // In-memory ship (no storage attached): freeze writes for the whole
+    // export + rebuild, so the serialized bytes are the source's final word.
+    std::lock_guard<std::mutex> freeze(alloc_mu_);
+    Result<QbhSystem> parsed = ParseQbhDatabase(src_sys->ExportSnapshot());
+    HUMDEX_RETURN_IF_ERROR(parsed.status());
+    QbhSystem system = std::move(parsed).value();
+    if (system.Digest() != src_sys->Digest()) {
+      return Status::Internal(
+          "snapshot ship of shard " + std::to_string(shard) + " replica " +
+          std::to_string(from) + " -> " + std::to_string(to) +
+          " diverged from its source; destination stays quarantined");
+    }
+    InstallReplica(dst, std::move(system),
+                   src_lossy ? ShardHealth::kDegraded : ShardHealth::kHealthy,
+                   /*read_only=*/false, src_lossy);
+  }
+  RepairCounter().Increment();
+  return Status::OK();
+}
+
+Status ShardedEngine::RepairFromOwnStorage(std::size_t shard,
+                                           std::size_t replica) {
+  Replica& rep = *groups_[shard]->replicas[replica];
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(sh.mu);
-    if (sh.health != ShardHealth::kQuarantined) {
-      return Status::FailedPrecondition("shard " + std::to_string(shard) +
-                                        " is not quarantined");
-    }
-    path = sh.path;
+    std::lock_guard<std::mutex> lock(rep.mu);
+    path = rep.path;
   }
   if (path.empty()) {
     return Status::FailedPrecondition(
-        "shard " + std::to_string(shard) +
+        "shard " + std::to_string(shard) + " replica " +
+        std::to_string(replica) +
         " has no storage to repair from (not durable)");
   }
 
   // Build the replacement entirely offline; readers keep draining the other
-  // shards (and whatever snapshot pointers they already copied).
+  // replicas (and whatever snapshot pointers they already copied).
   RecoveryStats rs;
   ShardHealth health;
   bool lossy = false;
@@ -637,21 +1154,23 @@ Status ShardedEngine::RepairShard(std::size_t shard) {
     opened = QbhSystem::OpenSalvage(path, env_, &rs);
     if (!opened.ok()) {
       return Status::Corruption("shard " + std::to_string(shard) +
+                                " replica " + std::to_string(replica) +
                                 " is beyond salvage: " +
                                 opened.status().message());
     }
     if (!rs.ids_stable) {
       return Status::Corruption(
-          "shard " + std::to_string(shard) +
-          " salvage could not keep ids stable; reseed it instead");
+          "shard " + std::to_string(shard) + " replica " +
+          std::to_string(replica) +
+          " salvage could not keep ids stable; ship or reseed it instead");
     }
     health = ShardHealth::kDegraded;
     lossy = rs.melodies_dropped > 0;
   }
   QbhSystem system = std::move(opened).value();
 
-  // Re-align the shard's id frontier with the global allocator: ids this
-  // shard missed while quarantined become tombstones, so its next local
+  // Re-align the replica's id frontier with the global allocator: ids this
+  // replica missed while quarantined become tombstones, so its next local
   // allocation matches the next global id routed to it.
   std::int64_t global_next;
   {
@@ -662,68 +1181,143 @@ Status ShardedEngine::RepairShard(std::size_t shard) {
   Status pad = system.PadIdSpace(LocalNextFor(global_next, shard));
   if (!pad.ok()) pad_failed = true;  // serve reads; refuse writes
 
-  {
-    std::lock_guard<std::mutex> lock(sh.mu);
-    sh.system = std::make_shared<QbhSystem>(std::move(system));
-    sh.health = health;
-    sh.lossy = lossy;
-    sh.read_only = pad_failed;
-    sh.io_errors = 0;
-    ++sh.repairs;
+  // A rejoining replica with serving peers must also match them: its own
+  // storage may be a stale snapshot of the group. Peerless groups accept
+  // the rebuild as-is (it is the only copy there is).
+  const std::vector<std::size_t> peers = RankedPeers(shard, replica);
+  if (!peers.empty()) {
+    std::shared_ptr<QbhSystem> peer_sys;
+    {
+      Replica& peer = *groups_[shard]->replicas[peers[0]];
+      std::lock_guard<std::mutex> lock(peer.mu);
+      peer_sys = peer.system;
+    }
+    if (peer_sys != nullptr) {
+      std::lock_guard<std::mutex> freeze(alloc_mu_);
+      if (system.Digest() != peer_sys->Digest()) {
+        return Status::Corruption(
+            "shard " + std::to_string(shard) + " replica " +
+            std::to_string(replica) +
+            " recovered from its own storage but diverges from its group; "
+            "ship a snapshot instead");
+      }
+    }
   }
+
+  InstallReplica(rep, std::move(system), health, pad_failed, lossy);
   RepairCounter().Increment();
   return Status::OK();
 }
 
+Status ShardedEngine::RepairReplica(std::size_t shard, std::size_t replica) {
+  HUMDEX_CHECK(shard < groups_.size());
+  HUMDEX_CHECK(replica < groups_[shard]->replicas.size());
+  std::lock_guard<std::mutex> repair_lock(repair_mu_);
+  {
+    Replica& rep = *groups_[shard]->replicas[replica];
+    std::lock_guard<std::mutex> lock(rep.mu);
+    if (rep.health != ShardHealth::kQuarantined) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(shard) + " replica " +
+          std::to_string(replica) + " is not quarantined");
+    }
+  }
+  // Replica-driven reseed: prefer a fresh snapshot from a serving peer —
+  // it is authoritative by construction. Fall back to this replica's own
+  // storage only when the group has no peer to ship from.
+  Status first_ship = Status::OK();
+  for (std::size_t peer : RankedPeers(shard, replica)) {
+    Status st = ShipSnapshotLocked(shard, peer, replica);
+    if (st.ok()) return st;
+    if (first_ship.ok()) first_ship = st;
+  }
+  Status own = RepairFromOwnStorage(shard, replica);
+  if (own.ok()) return own;
+  return first_ship.ok() ? own : first_ship;
+}
+
+Status ShardedEngine::RepairShard(std::size_t shard) {
+  HUMDEX_CHECK(shard < groups_.size());
+  const std::size_t rep_count = groups_[shard]->replicas.size();
+  bool any_quarantined = false;
+  Status first = Status::OK();
+  for (std::size_t r = 0; r < rep_count; ++r) {
+    {
+      Replica& rep = *groups_[shard]->replicas[r];
+      std::lock_guard<std::mutex> lock(rep.mu);
+      if (rep.health != ShardHealth::kQuarantined) continue;
+    }
+    any_quarantined = true;
+    Status st = RepairReplica(shard, r);
+    if (!st.ok() && first.ok()) first = st;
+  }
+  if (!any_quarantined) {
+    return Status::FailedPrecondition("shard " + std::to_string(shard) +
+                                      " is not quarantined");
+  }
+  return first;
+}
+
 Status ShardedEngine::ReseedShard(
     std::size_t shard, std::vector<std::pair<std::int64_t, Melody>> rows) {
-  HUMDEX_CHECK(shard < shards_.size());
+  HUMDEX_CHECK(shard < groups_.size());
   std::lock_guard<std::mutex> repair_lock(repair_mu_);
   if (rows.empty()) {
     return Status::InvalidArgument("reseed needs at least one melody");
   }
-  const std::int64_t n = static_cast<std::int64_t>(shards_.size());
-  Shard& sh = *shards_[shard];
-  // Take writes away from the old instance first so a racing Insert cannot
+  const std::int64_t n = static_cast<std::int64_t>(groups_.size());
+  Group& group = *groups_[shard];
+  // Take writes away from the old instances first so a racing Insert cannot
   // land a melody in a system about to be replaced.
   QuarantineShard(shard);
 
-  QbhSystem system(opts_.qbh);
-  for (std::pair<std::int64_t, Melody>& row : rows) {
-    if (row.first < 0 || row.first % n != static_cast<std::int64_t>(shard)) {
-      return Status::InvalidArgument(
-          "melody id " + std::to_string(row.first) + " does not map to shard " +
-          std::to_string(shard));
+  // Freeze the id allocator for the whole rebuild: every replica reserves
+  // the same frontier and no id for this shard can burn mid-reseed.
+  std::lock_guard<std::mutex> freeze(alloc_mu_);
+  const std::int64_t local_next = LocalNextFor(global_next_id_, shard);
+  std::uint32_t first_digest = 0;
+  for (std::size_t r = 0; r < group.replicas.size(); ++r) {
+    QbhSystem system(opts_.qbh);
+    for (std::pair<std::int64_t, Melody>& row : rows) {
+      if (row.first < 0 || row.first % n != static_cast<std::int64_t>(shard)) {
+        return Status::InvalidArgument(
+            "melody id " + std::to_string(row.first) +
+            " does not map to shard " + std::to_string(shard));
+      }
+      // Copies for every replica but the last, which may consume the rows.
+      if (r + 1 == group.replicas.size()) {
+        HUMDEX_RETURN_IF_ERROR(
+            system.AddMelodyWithId(std::move(row.second), row.first / n));
+      } else {
+        HUMDEX_RETURN_IF_ERROR(
+            system.AddMelodyWithId(row.second, row.first / n));
+      }
     }
-    HUMDEX_RETURN_IF_ERROR(
-        system.AddMelodyWithId(std::move(row.second), row.first / n));
-  }
-  std::int64_t global_next;
-  {
-    std::lock_guard<std::mutex> alloc(alloc_mu_);
-    global_next = global_next_id_;
-  }
-  system.ReserveIds(LocalNextFor(global_next, shard));
-  system.Build();
+    system.ReserveIds(local_next);
+    system.Build();
+    const std::uint32_t digest = system.Digest();
+    if (r == 0) {
+      first_digest = digest;
+    } else if (digest != first_digest) {
+      return Status::Internal("reseed of shard " + std::to_string(shard) +
+                              " produced diverging replicas");
+    }
 
-  std::string path;
-  {
-    std::lock_guard<std::mutex> lock(sh.mu);
-    path = sh.path;
-  }
-  if (!path.empty()) {
-    // Fresh checkpoint + empty log: the reseeded state is durable before it
-    // serves (env errors leave the shard quarantined, nothing half-swapped).
-    HUMDEX_RETURN_IF_ERROR(system.Attach(path, env_));
-  }
-  {
-    std::lock_guard<std::mutex> lock(sh.mu);
-    sh.system = std::make_shared<QbhSystem>(std::move(system));
-    sh.health = ShardHealth::kHealthy;
-    sh.read_only = false;
-    sh.lossy = false;
-    sh.io_errors = 0;
-    ++sh.repairs;
+    std::string path;
+    {
+      Replica& rep = *group.replicas[r];
+      std::lock_guard<std::mutex> lock(rep.mu);
+      path = rep.path;
+    }
+    if (!path.empty()) {
+      // Fresh checkpoint + empty log: the reseeded state is durable before
+      // it serves (env errors leave this replica quarantined, nothing
+      // half-swapped; replicas already installed keep serving).
+      HUMDEX_RETURN_IF_ERROR(system.Attach(path, env_));
+    }
+    InstallReplica(*group.replicas[r], std::move(system),
+                   ShardHealth::kHealthy, /*read_only=*/false,
+                   /*lossy=*/false);
   }
   RepairCounter().Increment();
   return Status::OK();
@@ -736,14 +1330,24 @@ void ShardedEngine::RepairLoop(std::uint64_t interval_ms) {
                     [this] { return bg_stop_; });
     if (bg_stop_) break;
     lock.unlock();
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      bool quarantined;
-      {
-        std::lock_guard<std::mutex> shard_lock(shards_[s]->mu);
-        quarantined = shards_[s]->health == ShardHealth::kQuarantined;
+    // Maintenance pass: first catch silent divergence (quarantining the
+    // minority side), then bring every quarantined replica back — by
+    // snapshot ship from a peer when one exists, else from its own storage.
+    AntiEntropySweep();
+    for (std::size_t s = 0; s < groups_.size(); ++s) {
+      for (std::size_t r = 0; r < groups_[s]->replicas.size(); ++r) {
+        bool quarantined;
+        {
+          Replica& rep = *groups_[s]->replicas[r];
+          std::lock_guard<std::mutex> replica_lock(rep.mu);
+          quarantined = rep.health == ShardHealth::kQuarantined;
+        }
+        // Best effort: a replica that stays broken is retried next tick.
+        if (quarantined) {
+          Status st = RepairReplica(s, r);
+          (void)st;
+        }
       }
-      // Best effort: a shard that stays broken is retried next tick.
-      if (quarantined) { Status st = RepairShard(s); (void)st; }
     }
     lock.lock();
   }

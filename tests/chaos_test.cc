@@ -407,6 +407,257 @@ TEST(ChaosTest, RandomReadFaultsDuringOpenQuarantineButNeverAbort) {
   }
 }
 
+// --- Replication chaos -------------------------------------------------------
+//
+// The same storm, aimed at replica groups: crash a replica at every WAL
+// tear point and every checkpoint write step, fail reads mid-ship, destroy
+// a replica's storage outright — the engine must never abort, never answer
+// wrong, flag partial only when a *whole group* is down, and after
+// re-replication the replicas must be digest-identical with answers
+// bit-identical to a never-failed single engine.
+
+/// ChaosRig with replication = 2 and a dir cleared of every replica's files.
+struct ReplicatedChaosRig {
+  FaultInjectingEnv env{Env::Default()};
+  std::vector<Melody> corpus;
+  QbhSystem oracle;
+  std::unique_ptr<ShardedEngine> engine;
+  std::vector<Series> hums;
+  std::string dir;
+
+  explicit ReplicatedChaosRig(const std::string& name,
+                              std::size_t melodies = 18)
+      : corpus(Corpus(melodies)) {
+    dir = ::testing::TempDir() + name;
+    ::mkdir(dir.c_str(), 0755);
+    Env* base = Env::Default();
+    for (std::size_t s = 0; s < kShards + 1; ++s) {
+      for (std::size_t r = 0; r < 3; ++r) {
+        const std::string p = ShardedEngine::ReplicaPath(dir, s, r);
+        for (const std::string& f : {p, QbhSystem::WalPathFor(p)}) {
+          if (base->Exists(f)) {
+            Status st = base->Delete(f);
+            (void)st;
+          }
+        }
+      }
+    }
+    for (const Melody& m : corpus) oracle.AddMelody(m);
+    oracle.Build();
+    ShardedOptions opts;
+    opts.num_shards = kShards;
+    opts.replication = 2;
+    auto r = ShardedEngine::Create(corpus, opts);
+    EXPECT_TRUE(r.ok());
+    engine = std::move(r).value();
+    EXPECT_TRUE(engine->AttachAll(dir, &env).ok());
+    Hummer hummer(HummerProfile::Good(), 42);
+    for (std::size_t i = 0; i < 4; ++i) {
+      hums.push_back(hummer.Hum(corpus[(i * 5) % corpus.size()]));
+    }
+  }
+
+  void ExpectGroupsDigestIdentical() {
+    for (std::size_t s = 0; s < engine->num_shards(); ++s) {
+      std::vector<std::uint32_t> digests;
+      for (std::size_t r = 0; r < engine->replication(); ++r) {
+        auto d = engine->ReplicaDigest(s, r);
+        if (d.ok()) digests.push_back(d.value());
+      }
+      ASSERT_FALSE(digests.empty());
+      for (std::uint32_t d : digests) EXPECT_EQ(d, digests[0]);
+    }
+  }
+};
+
+TEST(ReplicationChaosTest, AppendCrashAtEveryTearPointQuarantinesOnlyTheVictim) {
+  ReplicatedChaosRig rig("chaos_rep_torn_append");
+  ReaderThreads readers(*rig.engine, rig.hums);
+
+  auto extra = Corpus(4, 61);
+  const std::size_t torn[] = {0, 3, 8, 256};
+  for (std::size_t i = 0; i < 4; ++i) {
+    // The fan-out hits replica 0 of the target group first; its WAL append
+    // crashes with a torn tail. The write must still succeed via replica 1,
+    // the victim must be quarantined as diverged (never silently behind),
+    // and no answer may go partial — the group still serves.
+    rig.env.CrashNextAppendAt(torn[i]);
+    auto id = rig.engine->Insert(extra[i]);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ASSERT_TRUE(rig.oracle.Insert(extra[i]).ok());
+    const std::size_t s = static_cast<std::size_t>(id.value()) % kShards;
+    EXPECT_EQ(rig.engine->replica_status(s, 0).health,
+              ShardHealth::kQuarantined);
+    EXPECT_EQ(rig.engine->shard_status(s).serving_replicas, 1u);
+    EXPECT_EQ(rig.engine->serving_shards(), kShards);
+    for (const Series& hum : rig.hums) {
+      ExpectExactOverServingShards(*rig.engine, rig.oracle, hum, 5);
+    }
+
+    // Re-replicate from the surviving peer and converge.
+    rig.env.ClearFaults();
+    ASSERT_TRUE(rig.engine->RepairShard(s).ok());
+    EXPECT_EQ(rig.engine->shard_status(s).serving_replicas, 2u);
+    rig.ExpectGroupsDigestIdentical();
+  }
+  for (const Series& hum : rig.hums) {
+    ExpectExactOverServingShards(*rig.engine, rig.oracle, hum, 5);
+  }
+  EXPECT_GT(readers.queries(), 0u);
+  EXPECT_FALSE(readers.saw_violation());
+}
+
+TEST(ReplicationChaosTest, ShipCrashAtEveryWriteStepFailsCleanAndRetries) {
+  ReplicatedChaosRig rig("chaos_rep_ship_crash");
+  ReaderThreads readers(*rig.engine, rig.hums);
+
+  for (int step = 0; step < FaultInjectingEnv::kWriteStepCount; ++step) {
+    rig.engine->QuarantineReplica(1, 1);
+    // The ship's first durable write crashes at this step. The attempt must
+    // fail as a Status (never an abort), the destination must stay
+    // quarantined with nothing half-swapped, and the group keeps serving.
+    rig.env.CrashNextWriteAt(
+        static_cast<FaultInjectingEnv::WriteStep>(step),
+        step == static_cast<int>(FaultInjectingEnv::WriteStep::kWriteBody)
+            ? 7
+            : 0);
+    Status st = rig.engine->ShipSnapshot(1, 0, 1);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(rig.engine->replica_status(1, 1).health,
+              ShardHealth::kQuarantined);
+    EXPECT_EQ(rig.engine->serving_shards(), kShards);
+    for (const Series& hum : rig.hums) {
+      ExpectExactOverServingShards(*rig.engine, rig.oracle, hum, 5);
+    }
+
+    // The crash consumed, the same ship succeeds.
+    rig.env.ClearFaults();
+    ASSERT_TRUE(rig.engine->ShipSnapshot(1, 0, 1).ok());
+    EXPECT_EQ(rig.engine->shard_status(1).serving_replicas, 2u);
+    rig.ExpectGroupsDigestIdentical();
+  }
+  EXPECT_GT(readers.queries(), 0u);
+  EXPECT_FALSE(readers.saw_violation());
+}
+
+TEST(ReplicationChaosTest, ReadFaultsDuringShipFailCleanAndRetry) {
+  ReplicatedChaosRig rig("chaos_rep_ship_read");
+  rig.engine->QuarantineReplica(2, 0);
+
+  // A failed read of the source checkpoint aborts the ship cleanly.
+  rig.env.FailNextReads(1);
+  Status st = rig.engine->ShipSnapshot(2, 1, 0);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(rig.engine->replica_status(2, 0).health,
+            ShardHealth::kQuarantined);
+
+  // A truncated read ships corrupt bytes: the rebuild fails its open or its
+  // digest proof, and the destination still never serves them.
+  rig.env.ClearFaults();
+  rig.env.TruncateNextRead(24);
+  st = rig.engine->ShipSnapshot(2, 1, 0);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(rig.engine->replica_status(2, 0).health,
+            ShardHealth::kQuarantined);
+
+  rig.env.ClearFaults();
+  ASSERT_TRUE(rig.engine->ShipSnapshot(2, 1, 0).ok());
+  EXPECT_EQ(rig.engine->shard_status(2).serving_replicas, 2u);
+  rig.ExpectGroupsDigestIdentical();
+  for (const Series& hum : rig.hums) {
+    ExpectExactOverServingShards(*rig.engine, rig.oracle, hum, 5);
+  }
+}
+
+TEST(ReplicationChaosTest, DestroyedReplicaStorageReplicatesFromItsPeer) {
+  ReplicatedChaosRig rig("chaos_rep_destroyed");
+  Env* base = Env::Default();
+  {
+    // Readers hammer the engine through the destruction + re-ship below;
+    // they must drain before the engine is torn down for the reopen.
+    ReaderThreads readers(*rig.engine, rig.hums);
+
+    // Replica 0 of shard 0 loses its storage to garbage; its WAL vanishes.
+    const std::string victim = ShardedEngine::ReplicaPath(rig.dir, 0, 0);
+    ASSERT_TRUE(base->AtomicWriteFile(victim, "\x00\xff garbage").ok());
+    Status deleted = base->Delete(QbhSystem::WalPathFor(victim));
+    (void)deleted;
+    rig.engine->QuarantineReplica(0, 0);
+
+    // Writes keep flowing to the survivor while the victim is out.
+    auto extra = Corpus(3, 67);
+    for (Melody& m : extra) {
+      ASSERT_TRUE(rig.engine->Insert(m).ok());
+      ASSERT_TRUE(rig.oracle.Insert(m).ok());
+    }
+
+    // Repair ships from the peer (own storage is garbage) and converges —
+    // including the writes the victim missed.
+    ASSERT_TRUE(rig.engine->RepairReplica(0, 0).ok());
+    EXPECT_EQ(rig.engine->shard_status(0).serving_replicas, 2u);
+    rig.ExpectGroupsDigestIdentical();
+    for (const Series& hum : rig.hums) {
+      ExpectExactOverServingShards(*rig.engine, rig.oracle, hum, 5);
+    }
+    EXPECT_FALSE(readers.saw_violation());
+  }
+
+  // The shipped replica is durable: reopen from disk, kill the *other* side
+  // everywhere, and the rebuilt copies alone must answer bit-exact.
+  rig.engine.reset();
+  ShardedOptions opts;
+  opts.num_shards = kShards;
+  opts.replication = 2;
+  auto reopened = ShardedEngine::Open(rig.dir, opts, &rig.env);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  rig.engine = std::move(reopened).value();
+  for (std::size_t s = 0; s < kShards; ++s) {
+    rig.engine->QuarantineReplica(s, 1);
+  }
+  for (const Series& hum : rig.hums) {
+    QueryStats stats;
+    ExpectSameMatches(rig.engine->Query(hum, 5, QueryOptions(), &stats),
+                      rig.oracle.Query(hum, 5));
+    EXPECT_FALSE(stats.partial);
+  }
+}
+
+TEST(ReplicationChaosTest, EveryGroupDownToOneReplicaStaysExactUnderTraffic) {
+  ReplicatedChaosRig rig("chaos_rep_rminus1");
+  ReaderThreads readers(*rig.engine, rig.hums);
+
+  // R-1 replicas of every group die — a different one per group.
+  for (std::size_t s = 0; s < kShards; ++s) {
+    rig.engine->QuarantineReplica(s, s % 2);
+  }
+  EXPECT_EQ(rig.engine->serving_shards(), kShards);
+  for (const Series& hum : rig.hums) {
+    QueryStats stats;
+    ExpectSameMatches(rig.engine->Query(hum, 5, QueryOptions(), &stats),
+                      rig.oracle.Query(hum, 5));
+    EXPECT_FALSE(stats.partial);
+    EXPECT_EQ(stats.shards_failed, 0u);
+  }
+
+  // Background maintenance re-ships every fallen replica from its survivor.
+  rig.engine->StartBackgroundRepair(1);
+  for (int i = 0; i < 2000; ++i) {
+    bool all = true;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      all = all && rig.engine->shard_status(s).serving_replicas == 2u;
+    }
+    if (all) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  rig.engine->StopBackgroundRepair();
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(rig.engine->shard_status(s).serving_replicas, 2u);
+  }
+  rig.ExpectGroupsDigestIdentical();
+  EXPECT_GT(readers.queries(), 0u);
+  EXPECT_FALSE(readers.saw_violation());
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace humdex

@@ -14,6 +14,7 @@
 #include "qbh/qbh_system.h"
 #include "qbh/storage.h"
 #include "qbh/wal.h"
+#include "serve/protocol.h"
 #include "util/crc32c.h"
 #include "util/env.h"
 #include "util/random.h"
@@ -444,6 +445,157 @@ TEST(FuzzTest, RStarTreeAdversarialInsertOrders) {
     IndexStats stats;
     auto all = tree.RangeQuery(Rect(Series(3, -1e7), Series(3, 1e7)), 0.0, &stats);
     EXPECT_EQ(all.size(), 3000u) << "mode=" << mode;
+  }
+}
+
+// --- Wire protocol -----------------------------------------------------------
+//
+// The serving daemon's wire surface: length-prefixed frames and the text
+// request/response grammar. Hostile bytes — bad announced lengths, truncated
+// bodies, non-UTF8 verbs, mutated real frames — must always come back as a
+// Status (or a clean parse), never an abort: the daemon outlives any client.
+
+TEST(FuzzTest, DecodeFrameNeverCrashesOnGarbage) {
+  Rng rng(13);
+  for (int trial = 0; trial < 800; ++trial) {
+    const std::string buffer =
+        RandomBytes(&rng, static_cast<std::size_t>(rng.UniformInt(0, 64)));
+    std::string payload;
+    std::size_t consumed = 0;
+    bool complete = false;
+    Status st = serve::DecodeFrame(buffer, &payload, &consumed, &complete);
+    if (st.ok() && complete) {
+      EXPECT_LE(consumed, buffer.size());
+      EXPECT_LE(payload.size(), serve::kMaxFrameBytes);
+    }
+  }
+}
+
+TEST(FuzzTest, DecodeFrameRejectsHostileAnnouncedLengths) {
+  // Headers announcing more than kMaxFrameBytes (up to 4GB) must be refused
+  // before any allocation; truncated bodies must simply read as incomplete.
+  for (std::uint32_t n :
+       {serve::kMaxFrameBytes + 1, 0x7fffffffu, 0xffffffffu}) {
+    std::string buffer;
+    buffer.push_back(static_cast<char>(n & 0xff));
+    buffer.push_back(static_cast<char>((n >> 8) & 0xff));
+    buffer.push_back(static_cast<char>((n >> 16) & 0xff));
+    buffer.push_back(static_cast<char>((n >> 24) & 0xff));
+    buffer += "body";
+    std::string payload;
+    std::size_t consumed = 0;
+    bool complete = false;
+    EXPECT_FALSE(
+        serve::DecodeFrame(buffer, &payload, &consumed, &complete).ok());
+  }
+  // An honest header with a short body: incomplete, not an error.
+  std::string truncated = serve::EncodeFrame("hello world");
+  truncated.resize(truncated.size() - 5);
+  std::string payload;
+  std::size_t consumed = 0;
+  bool complete = false;
+  EXPECT_TRUE(
+      serve::DecodeFrame(truncated, &payload, &consumed, &complete).ok());
+  EXPECT_FALSE(complete);
+}
+
+TEST(FuzzTest, ParseRequestNeverCrashesOnGarbage) {
+  Rng rng(14);
+  serve::Request request;
+  for (int trial = 0; trial < 800; ++trial) {
+    const std::string payload =
+        RandomBytes(&rng, static_cast<std::size_t>(rng.UniformInt(0, 200)));
+    Status st = serve::ParseRequest(payload, &request);  // never aborts
+    (void)st;
+  }
+  // Non-UTF8 verbs and embedded NULs are errors, not crashes.
+  for (const std::string payload :
+       {std::string("\xc3\x28 5 0\npitch 1 2\n"),
+        std::string("qu\x00" "ery 5 0\n", 10),
+        std::string("\xff\xfe\xfd\n"), std::string("query \xf0\x9f 0\n")}) {
+    EXPECT_FALSE(serve::ParseRequest(payload, &request).ok());
+  }
+}
+
+TEST(FuzzTest, ParseRequestOnMutatedValidFrames) {
+  Rng rng(15);
+  serve::Request seed;
+  seed.kind = serve::Request::Kind::kQuery;
+  seed.top_k = 5;
+  seed.deadline_ms = 40;
+  for (double v : {60.0, 62.5, 59.1, 64.0, 61.2}) seed.pitch.push_back(v);
+  const std::string valid = serve::EncodeRequest(seed);
+  serve::Request out;
+  for (int trial = 0; trial < 800; ++trial) {
+    std::string text = valid;
+    const int mutations = rng.UniformInt(1, 6);
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng.NextBounded(3)) {
+        case 0:  // flip a byte (possibly to a non-ASCII value)
+          text[static_cast<std::size_t>(rng.NextBounded(
+              static_cast<std::uint64_t>(text.size())))] =
+              static_cast<char>(rng.NextBounded(256));
+          break;
+        case 1:  // truncate
+          text.resize(static_cast<std::size_t>(rng.NextBounded(
+              static_cast<std::uint64_t>(text.size()) + 1)));
+          break;
+        default:  // duplicate a tail chunk
+          text += text.substr(text.size() / 2);
+          break;
+      }
+      if (text.empty()) break;
+    }
+    Status st = serve::ParseRequest(text, &out);  // Status or parse, only
+    (void)st;
+  }
+}
+
+TEST(FuzzTest, ParseResponseNeverCrashesOnGarbageOrMutations) {
+  Rng rng(16);
+  serve::Response seed;
+  seed.ok = true;
+  seed.partial = true;
+  seed.shards_failed = 1;
+  for (int i = 0; i < 4; ++i) {
+    QbhMatch m;
+    m.id = i;
+    m.distance = 1.5 * i;
+    m.name = "melody-" + std::to_string(i);
+    seed.matches.push_back(m);
+  }
+  const std::string valid = serve::EncodeResponse(seed);
+  serve::Response out;
+  for (int trial = 0; trial < 800; ++trial) {
+    std::string text =
+        trial % 2 == 0
+            ? RandomBytes(&rng,
+                          static_cast<std::size_t>(rng.UniformInt(0, 200)))
+            : valid;
+    if (trial % 2 == 1 && !text.empty()) {
+      text[static_cast<std::size_t>(rng.NextBounded(
+          static_cast<std::uint64_t>(text.size())))] =
+          static_cast<char>(rng.NextBounded(256));
+    }
+    Status st = serve::ParseResponse(text, &out);
+    (void)st;
+  }
+}
+
+TEST(FuzzTest, FrameRoundTripSurvivesRandomPayloads) {
+  Rng rng(17);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string payload =
+        RandomBytes(&rng, static_cast<std::size_t>(rng.UniformInt(0, 300)));
+    const std::string frame = serve::EncodeFrame(payload);
+    std::string decoded;
+    std::size_t consumed = 0;
+    bool complete = false;
+    ASSERT_TRUE(
+        serve::DecodeFrame(frame, &decoded, &consumed, &complete).ok());
+    ASSERT_TRUE(complete);
+    EXPECT_EQ(consumed, frame.size());
+    EXPECT_EQ(decoded, payload);
   }
 }
 

@@ -1,0 +1,526 @@
+// Replica groups: bit-exactness with any R-1 replicas of each group dead,
+// write fan-out with divergence quarantine, read failover and hedged
+// routing, snapshot shipping (durable and in-memory), anti-entropy digests,
+// and the replicated durable open/repair lifecycle.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "music/hummer.h"
+#include "music/song_generator.h"
+#include "serve/sharded_engine.h"
+#include "util/env.h"
+
+namespace humdex {
+namespace serve {
+namespace {
+
+std::vector<Melody> Corpus(std::size_t count, std::uint64_t seed = 1) {
+  SongGenerator gen(seed);
+  return gen.GeneratePhrases(count);
+}
+
+QbhSystem SingleEngine(const std::vector<Melody>& corpus,
+                       QbhOptions opt = QbhOptions()) {
+  QbhSystem system(opt);
+  for (const Melody& m : corpus) system.AddMelody(m);
+  system.Build();
+  return system;
+}
+
+std::unique_ptr<ShardedEngine> Replicated(
+    const std::vector<Melody>& corpus, std::size_t shards,
+    std::size_t replicas, ShardedOptions opts = ShardedOptions()) {
+  opts.num_shards = shards;
+  opts.replication = replicas;
+  auto r = ShardedEngine::Create(corpus, std::move(opts));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+std::vector<Series> HumPanel(const std::vector<Melody>& corpus,
+                             std::size_t count) {
+  Hummer hummer(HummerProfile::Good(), 99);
+  std::vector<Series> hums;
+  for (std::size_t i = 0; i < count; ++i) {
+    hums.push_back(hummer.Hum(corpus[(i * 7) % corpus.size()]));
+  }
+  return hums;
+}
+
+void ExpectSameMatches(const std::vector<QbhMatch>& a,
+                       const std::vector<QbhMatch>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].distance, b[i].distance);  // bit-identical
+  }
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + name;
+  ::mkdir(dir.c_str(), 0755);
+  Env* env = Env::Default();
+  for (std::size_t s = 0; s < 8; ++s) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      const std::string p = ShardedEngine::ReplicaPath(dir, s, r);
+      for (const std::string& f : {p, QbhSystem::WalPathFor(p)}) {
+        if (env->Exists(f)) {
+          Status st = env->Delete(f);
+          (void)st;
+        }
+      }
+    }
+  }
+  return dir;
+}
+
+/// Every group's serving replicas must agree on the anti-entropy digest.
+void ExpectGroupsDigestIdentical(const ShardedEngine& engine) {
+  for (std::size_t s = 0; s < engine.num_shards(); ++s) {
+    std::vector<std::uint32_t> digests;
+    for (std::size_t r = 0; r < engine.replication(); ++r) {
+      auto d = engine.ReplicaDigest(s, r);
+      if (d.ok()) digests.push_back(d.value());
+    }
+    ASSERT_FALSE(digests.empty()) << "shard " << s << " has no serving replica";
+    for (std::uint32_t d : digests) {
+      EXPECT_EQ(d, digests[0]) << "shard " << s << " replicas diverge";
+    }
+  }
+}
+
+// --- Healthy path -----------------------------------------------------------
+
+TEST(ReplicationTest, ReplicatedAnswersAreBitIdenticalToSingleEngine) {
+  auto corpus = Corpus(36);
+  QbhSystem single = SingleEngine(corpus);
+  for (std::size_t replicas : {2u, 3u}) {
+    auto engine = Replicated(corpus, 3, replicas);
+    for (const Series& hum : HumPanel(corpus, 5)) {
+      QueryStats stats;
+      ExpectSameMatches(engine->Query(hum, 5, QueryOptions(), &stats),
+                        single.Query(hum, 5));
+      EXPECT_FALSE(stats.partial);
+      EXPECT_EQ(stats.shards_failed, 0u);
+    }
+    ExpectGroupsDigestIdentical(*engine);
+  }
+}
+
+TEST(ReplicationTest, GroupStatusRollsUpReplicas) {
+  auto corpus = Corpus(24);
+  auto engine = Replicated(corpus, 3, 2);
+  ShardStatus st = engine->shard_status(0);
+  EXPECT_EQ(st.replicas, 2u);
+  EXPECT_EQ(st.serving_replicas, 2u);
+  EXPECT_EQ(st.health, ShardHealth::kHealthy);
+
+  engine->QuarantineReplica(0, 0);
+  st = engine->shard_status(0);
+  EXPECT_EQ(st.serving_replicas, 1u);
+  EXPECT_EQ(st.health, ShardHealth::kHealthy);  // the survivor is healthy
+  EXPECT_EQ(engine->serving_shards(), 3u);      // the group still serves
+
+  const ShardStatus rs = engine->replica_status(0, 0);
+  EXPECT_EQ(rs.health, ShardHealth::kQuarantined);
+  EXPECT_EQ(engine->replica_status(0, 1).health, ShardHealth::kHealthy);
+}
+
+// --- Read failover ----------------------------------------------------------
+
+TEST(ReplicationTest, AnyRMinusOneReplicasDeadStaysExactAndComplete) {
+  auto corpus = Corpus(36);
+  QbhSystem single = SingleEngine(corpus);
+  const std::size_t replicas = 3;
+  auto engine = Replicated(corpus, 3, replicas);
+
+  // Kill a different R-1 subset in every group: only replica (s % R)
+  // survives shard s.
+  for (std::size_t s = 0; s < engine->num_shards(); ++s) {
+    for (std::size_t r = 0; r < replicas; ++r) {
+      if (r != s % replicas) engine->QuarantineReplica(s, r);
+    }
+    EXPECT_EQ(engine->shard_status(s).serving_replicas, 1u);
+  }
+  EXPECT_EQ(engine->serving_shards(), engine->num_shards());
+
+  for (const Series& hum : HumPanel(corpus, 6)) {
+    QueryStats stats;
+    ExpectSameMatches(engine->Query(hum, 5, QueryOptions(), &stats),
+                      single.Query(hum, 5));
+    EXPECT_FALSE(stats.partial);
+    EXPECT_EQ(stats.shards_failed, 0u);
+  }
+}
+
+TEST(ReplicationTest, WholeGroupDownIsPartialAndExactOverTheRest) {
+  auto corpus = Corpus(30);
+  QbhSystem single = SingleEngine(corpus);
+  auto engine = Replicated(corpus, 3, 2);
+  engine->QuarantineShard(1);  // every replica of the group
+
+  for (const Series& hum : HumPanel(corpus, 4)) {
+    QueryStats stats;
+    auto got = engine->Query(hum, 5, QueryOptions(), &stats);
+    EXPECT_TRUE(stats.partial);
+    EXPECT_EQ(stats.shards_failed, 1u);
+    // Exact over the serving groups: the single-engine answer with shard 1's
+    // melodies removed.
+    auto oracle = single.Query(hum, 5 + corpus.size() / 3 + 1);
+    std::vector<QbhMatch> expected;
+    for (const QbhMatch& m : oracle) {
+      if (m.id % 3 != 1) expected.push_back(m);
+    }
+    if (expected.size() > 5) expected.resize(5);
+    ExpectSameMatches(got, expected);
+  }
+}
+
+TEST(ReplicationTest, HedgedRetryFailsOverToAPeerReplica) {
+  auto corpus = Corpus(24);
+  QbhSystem single = SingleEngine(corpus);
+  ShardedOptions opts;
+  opts.attempts_per_shard = 2;
+  // Every group's first attempt "hangs"; the retry must land on a peer.
+  opts.fail_attempt_hook = [](std::size_t, int attempt) {
+    return attempt == 0;
+  };
+  auto engine = Replicated(corpus, 3, 2, opts);
+
+  for (const Series& hum : HumPanel(corpus, 4)) {
+    QueryStats stats;
+    ExpectSameMatches(engine->Query(hum, 5, QueryOptions(), &stats),
+                      single.Query(hum, 5));
+    EXPECT_FALSE(stats.partial);
+    // Each of the 3 groups answered on its second attempt, served by the
+    // other replica.
+    EXPECT_EQ(stats.failovers, 3u);
+  }
+}
+
+TEST(ReplicationTest, UnreplicatedEngineNeverCountsFailovers) {
+  auto corpus = Corpus(24);
+  ShardedOptions opts;
+  opts.attempts_per_shard = 2;
+  opts.fail_attempt_hook = [](std::size_t, int attempt) {
+    return attempt == 0;
+  };
+  auto engine = Replicated(corpus, 3, 1, opts);
+  QueryStats stats;
+  (void)engine->Query(HumPanel(corpus, 1)[0], 5, QueryOptions(), &stats);
+  EXPECT_EQ(stats.failovers, 0u);  // retried on the same lone replica
+}
+
+// --- Write fan-out ----------------------------------------------------------
+
+TEST(ReplicationTest, MutationsApplyToEveryReplicaAndStayDigestIdentical) {
+  auto corpus = Corpus(24, 3);
+  auto extra = Corpus(9, 77);
+  QbhSystem single = SingleEngine(corpus);
+  auto engine = Replicated(corpus, 3, 2);
+
+  for (Melody m : extra) {
+    auto single_id = single.Insert(m);
+    ASSERT_TRUE(single_id.ok());
+    auto sharded_id = engine->Insert(std::move(m));
+    ASSERT_TRUE(sharded_id.ok()) << sharded_id.status().ToString();
+    EXPECT_EQ(sharded_id.value(), single_id.value());
+  }
+  ASSERT_TRUE(single.Remove(4).ok());
+  ASSERT_TRUE(engine->Remove(4).ok());
+
+  ExpectGroupsDigestIdentical(*engine);
+  EXPECT_EQ(engine->AntiEntropySweep(), 0u);
+  EXPECT_EQ(engine->size(), single.size());
+
+  // Answers stay bit-identical no matter which replica of each group serves:
+  // check with each side of every group killed in turn.
+  auto panel = HumPanel(corpus, 4);
+  for (std::size_t kill = 0; kill < 2; ++kill) {
+    auto probe = Replicated(corpus, 3, 2);
+    // Rebuild the same state, then kill one side everywhere.
+    for (Melody m : extra) ASSERT_TRUE(probe->Insert(std::move(m)).ok());
+    ASSERT_TRUE(probe->Remove(4).ok());
+    for (std::size_t s = 0; s < probe->num_shards(); ++s) {
+      probe->QuarantineReplica(s, kill);
+    }
+    for (const Series& hum : panel) {
+      QueryStats stats;
+      ExpectSameMatches(probe->Query(hum, 5, QueryOptions(), &stats),
+                        single.Query(hum, 5));
+      EXPECT_FALSE(stats.partial);
+    }
+  }
+}
+
+TEST(ReplicationTest, FailedReplicaAppendDivergesItWhileTheWriteSucceeds) {
+  FaultInjectingEnv env;
+  auto corpus = Corpus(24, 5);
+  auto engine = Replicated(corpus, 3, 2);
+  const std::string dir = FreshDir("replication_diverge");
+  ASSERT_TRUE(engine->AttachAll(dir, &env).ok());
+
+  // The next WAL append crashes: the insert's fan-out hits replica 0 of the
+  // target group first, fails there, and succeeds on replica 1.
+  auto extra = Corpus(2, 88);
+  env.CrashNextAppendAt(3);
+  auto id = engine->Insert(extra[0]);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  const std::size_t s = static_cast<std::size_t>(id.value() % 3);
+
+  // The replica that missed the write is out of the fan-out, not silently
+  // behind; its peer serves the new melody.
+  EXPECT_EQ(engine->replica_status(s, 0).health, ShardHealth::kQuarantined);
+  EXPECT_EQ(engine->replica_status(s, 1).health, ShardHealth::kHealthy);
+  EXPECT_EQ(engine->shard_status(s).serving_replicas, 1u);
+  ASSERT_TRUE(engine->melody(id.value()).has_value());
+
+  // Replica-driven reseed: repair ships a snapshot from the surviving peer
+  // and the group converges digest-identical.
+  env.ClearFaults();
+  ASSERT_TRUE(engine->RepairReplica(s, 0).ok());
+  EXPECT_EQ(engine->replica_status(s, 0).health, ShardHealth::kHealthy);
+  ExpectGroupsDigestIdentical(*engine);
+  EXPECT_EQ(engine->CheckGroupDivergence(s), 0u);
+}
+
+// --- Snapshot shipping ------------------------------------------------------
+
+TEST(ReplicationTest, InMemoryShipRebuildsAReplicaWithoutStorage) {
+  auto corpus = Corpus(24, 9);
+  auto engine = Replicated(corpus, 3, 2);
+  engine->QuarantineReplica(2, 0);
+  ASSERT_TRUE(engine->RepairReplica(2, 0).ok());
+  EXPECT_EQ(engine->shard_status(2).serving_replicas, 2u);
+  ExpectGroupsDigestIdentical(*engine);
+}
+
+TEST(ReplicationTest, ShipRefusesASourceThatIsNotServing) {
+  auto corpus = Corpus(24);
+  auto engine = Replicated(corpus, 3, 2);
+  engine->QuarantineReplica(0, 0);
+  engine->QuarantineReplica(0, 1);
+  Status st = engine->ShipSnapshot(0, 1, 0);
+  EXPECT_EQ(st.code(), Status::Code::kFailedPrecondition);
+  // And a destination that is still serving must be quarantined first.
+  auto healthy = Replicated(corpus, 3, 2);
+  st = healthy->ShipSnapshot(0, 0, 1);
+  EXPECT_EQ(st.code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(ReplicationDurabilityTest, ShipRebuildsADestroyedReplicaFromItsPeer) {
+  auto corpus = Corpus(27, 11);
+  QbhSystem single = SingleEngine(corpus);
+  auto engine = Replicated(corpus, 3, 2);
+  const std::string dir = FreshDir("replication_ship");
+  ASSERT_TRUE(engine->AttachAll(dir).ok());
+
+  // Replica 1 of shard 0 loses its storage entirely.
+  Env* env = Env::Default();
+  const std::string victim = ShardedEngine::ReplicaPath(dir, 0, 1);
+  ASSERT_TRUE(env->AtomicWriteFile(victim, "not a database").ok());
+  Status deleted = env->Delete(QbhSystem::WalPathFor(victim));
+  (void)deleted;
+  engine->QuarantineReplica(0, 1);
+
+  // Repair prefers the peer's snapshot over the (destroyed) own storage.
+  ASSERT_TRUE(engine->RepairReplica(0, 1).ok());
+  EXPECT_EQ(engine->replica_status(0, 1).health, ShardHealth::kHealthy);
+  EXPECT_EQ(engine->replica_status(0, 1).repairs, 1u);
+  ExpectGroupsDigestIdentical(*engine);
+
+  // The shipped checkpoint is durable: a fresh engine recovers both
+  // replicas and answers bit-exact.
+  engine.reset();
+  ShardedOptions opts;
+  opts.num_shards = 3;
+  opts.replication = 2;
+  auto reopened = ShardedEngine::Open(dir, opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(reopened.value()->shard_status(s).serving_replicas, 2u);
+  }
+  for (const Series& hum : HumPanel(corpus, 4)) {
+    ExpectSameMatches(reopened.value()->Query(hum, 5), single.Query(hum, 5));
+  }
+}
+
+TEST(ReplicationDurabilityTest, ShipCatchesUpTheWalTail) {
+  auto corpus = Corpus(24, 13);
+  QbhSystem single = SingleEngine(corpus);
+  auto engine = Replicated(corpus, 3, 2);
+  const std::string dir = FreshDir("replication_tail");
+  ASSERT_TRUE(engine->AttachAll(dir).ok());
+
+  // One side of every group falls out, then writes keep flowing: the
+  // surviving replicas take them through their WALs.
+  for (std::size_t s = 0; s < 3; ++s) engine->QuarantineReplica(s, 1);
+  for (Melody m : Corpus(6, 99)) {
+    auto single_id = single.Insert(m);
+    ASSERT_TRUE(single_id.ok());
+    auto id = engine->Insert(std::move(m));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(id.value(), single_id.value());
+  }
+
+  // Re-replicate every fallen replica from its peer (checkpoint + tail).
+  for (std::size_t s = 0; s < 3; ++s) {
+    ASSERT_TRUE(engine->RepairReplica(s, 1).ok());
+  }
+  ExpectGroupsDigestIdentical(*engine);
+  for (const Series& hum : HumPanel(corpus, 4)) {
+    // Kill the original side: the rebuilt replicas alone must answer
+    // bit-exact, including the writes they missed.
+    QueryStats stats;
+    ExpectSameMatches(engine->Query(hum, 5, QueryOptions(), &stats),
+                      single.Query(hum, 5));
+    EXPECT_FALSE(stats.partial);
+  }
+  for (std::size_t s = 0; s < 3; ++s) engine->QuarantineReplica(s, 0);
+  for (const Series& hum : HumPanel(corpus, 4)) {
+    QueryStats stats;
+    ExpectSameMatches(engine->Query(hum, 5, QueryOptions(), &stats),
+                      single.Query(hum, 5));
+    EXPECT_FALSE(stats.partial);
+  }
+}
+
+// --- Anti-entropy -----------------------------------------------------------
+
+TEST(ReplicationDurabilityTest, AntiEntropyQuarantinesAndReshipsTheMinority) {
+  Env* env = Env::Default();
+  auto corpus = Corpus(24, 21);
+  const std::string dir = FreshDir("replication_entropy");
+  {
+    auto engine = Replicated(corpus, 3, 2);
+    ASSERT_TRUE(engine->AttachAll(dir).ok());
+    ASSERT_TRUE(engine->CheckpointAll().ok());
+  }
+  // Silent divergence no write observed: replica 1 of shard 0 is replaced on
+  // disk with a same-shape checkpoint of *different* melodies.
+  const std::string other_dir = FreshDir("replication_entropy_other");
+  {
+    auto other = Replicated(Corpus(24, 22), 3, 2);
+    ASSERT_TRUE(other->AttachAll(other_dir).ok());
+    ASSERT_TRUE(other->CheckpointAll().ok());
+  }
+  std::string bytes;
+  ASSERT_TRUE(
+      env->ReadFile(ShardedEngine::ReplicaPath(other_dir, 0, 1), &bytes).ok());
+  ASSERT_TRUE(
+      env->AtomicWriteFile(ShardedEngine::ReplicaPath(dir, 0, 1), bytes).ok());
+
+  ShardedOptions opts;
+  opts.num_shards = 3;
+  opts.replication = 2;
+  auto reopened = ShardedEngine::Open(dir, opts);
+  ASSERT_TRUE(reopened.ok());
+  ShardedEngine& engine = *reopened.value();
+
+  // Both replicas serve (each is individually consistent) but disagree; the
+  // sweep catches it and sides with the lowest replica index on a 1-1 tie.
+  const auto d0 = engine.ReplicaDigest(0, 0);
+  const auto d1 = engine.ReplicaDigest(0, 1);
+  ASSERT_TRUE(d0.ok() && d1.ok());
+  EXPECT_NE(d0.value(), d1.value());
+  EXPECT_EQ(engine.AntiEntropySweep(), 1u);
+  EXPECT_EQ(engine.replica_status(0, 1).health, ShardHealth::kQuarantined);
+  EXPECT_EQ(engine.replica_status(0, 0).health, ShardHealth::kHealthy);
+
+  // Re-ship converges the group back to digest-identical.
+  ASSERT_TRUE(engine.RepairReplica(0, 1).ok());
+  ExpectGroupsDigestIdentical(engine);
+  EXPECT_EQ(engine.AntiEntropySweep(), 0u);
+}
+
+// --- Replicated durable lifecycle -------------------------------------------
+
+TEST(ReplicationDurabilityTest, OpenServesWhenOneReplicaOfAGroupIsDestroyed) {
+  Env* env = Env::Default();
+  auto corpus = Corpus(24, 31);
+  QbhSystem single = SingleEngine(corpus);
+  const std::string dir = FreshDir("replication_open");
+  {
+    auto engine = Replicated(corpus, 3, 2);
+    ASSERT_TRUE(engine->AttachAll(dir).ok());
+  }
+  const std::string victim = ShardedEngine::ReplicaPath(dir, 1, 0);
+  ASSERT_TRUE(env->AtomicWriteFile(victim, "@@corrupt@@").ok());
+  Status deleted = env->Delete(QbhSystem::WalPathFor(victim));
+  (void)deleted;
+
+  ShardedOptions opts;
+  opts.num_shards = 3;
+  opts.replication = 2;
+  std::vector<RecoveryStats> recovery;
+  auto reopened = ShardedEngine::Open(dir, opts, nullptr, &recovery);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ShardedEngine& engine = *reopened.value();
+  ASSERT_EQ(recovery.size(), 3u);
+
+  EXPECT_EQ(engine.replica_status(1, 0).health, ShardHealth::kQuarantined);
+  EXPECT_EQ(engine.shard_status(1).serving_replicas, 1u);
+  EXPECT_EQ(engine.serving_shards(), 3u);
+  for (const Series& hum : HumPanel(corpus, 4)) {
+    QueryStats stats;
+    ExpectSameMatches(engine.Query(hum, 5, QueryOptions(), &stats),
+                      single.Query(hum, 5));
+    EXPECT_FALSE(stats.partial);  // the group still answers in full
+  }
+
+  // Self-service recovery: the destroyed replica rejoins from its peer.
+  ASSERT_TRUE(engine.RepairReplica(1, 0).ok());
+  EXPECT_EQ(engine.shard_status(1).serving_replicas, 2u);
+  ExpectGroupsDigestIdentical(engine);
+}
+
+TEST(ReplicationDurabilityTest, BackgroundMaintenanceReshipsAFallenReplica) {
+  auto corpus = Corpus(24, 41);
+  auto engine = Replicated(corpus, 3, 2);
+  const std::string dir = FreshDir("replication_bg");
+  ASSERT_TRUE(engine->AttachAll(dir).ok());
+
+  engine->QuarantineReplica(0, 1);
+  engine->StartBackgroundRepair(1);
+  for (int i = 0; i < 2000; ++i) {
+    if (engine->shard_status(0).serving_replicas == 2u) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  engine->StopBackgroundRepair();
+  EXPECT_EQ(engine->shard_status(0).serving_replicas, 2u);
+  ExpectGroupsDigestIdentical(*engine);
+}
+
+TEST(ReplicationDurabilityTest, ReseedRebuildsEveryReplicaOfAGroup) {
+  auto corpus = Corpus(24, 51);
+  QbhSystem single = SingleEngine(corpus);
+  auto engine = Replicated(corpus, 3, 2);
+  const std::string dir = FreshDir("replication_reseed");
+  ASSERT_TRUE(engine->AttachAll(dir).ok());
+
+  engine->QuarantineShard(2);
+  std::vector<std::pair<std::int64_t, Melody>> rows;
+  for (std::size_t g = 2; g < corpus.size(); g += 3) {
+    rows.emplace_back(static_cast<std::int64_t>(g), corpus[g]);
+  }
+  ASSERT_TRUE(engine->ReseedShard(2, std::move(rows)).ok());
+  EXPECT_EQ(engine->shard_status(2).serving_replicas, 2u);
+  ExpectGroupsDigestIdentical(*engine);
+  for (const Series& hum : HumPanel(corpus, 4)) {
+    QueryStats stats;
+    ExpectSameMatches(engine->Query(hum, 5, QueryOptions(), &stats),
+                      single.Query(hum, 5));
+    EXPECT_FALSE(stats.partial);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace humdex

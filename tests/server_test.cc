@@ -8,11 +8,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "music/hummer.h"
 #include "music/song_generator.h"
+#include "obs/metrics.h"
 #include "serve/server.h"
 
 namespace humdex {
@@ -239,6 +242,105 @@ TEST(HumdexServerTest, OversizedFrameHeaderDropsTheConnection) {
   ASSERT_TRUE(RecvFrame(fd2, &payload));
   ::close(fd2);
   server.Stop();
+}
+
+TEST(HumdexServerTest, ClientDisconnectMidResponseDoesNotKillTheServer) {
+  Fixture fx;
+  HumdexServer server(fx.engine.get(), ServerOptions());
+  Status st = server.Start();
+  if (!st.ok()) GTEST_SKIP() << "no loopback sockets here: " << st.ToString();
+
+  // Pipeline several large responses and slam the connection shut with an
+  // RST before draining them: the server's writes hit a dead socket. The
+  // default SIGPIPE disposition would kill the whole process here; the
+  // server must shrug (EPIPE) and keep serving other clients.
+  const int fd = DialLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  Request metrics;
+  metrics.kind = Request::Kind::kMetrics;
+  std::string burst;
+  for (int i = 0; i < 16; ++i) burst += EncodeFrame(EncodeRequest(metrics));
+  ASSERT_TRUE(SendAll(fd, burst));
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;  // close() sends RST, not FIN
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  ::close(fd);
+
+  // Give the handler thread time to run into the reset socket.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const int fd2 = DialLoopback(server.port());
+  ASSERT_GE(fd2, 0);
+  Request ping;
+  ping.kind = Request::Kind::kPing;
+  ASSERT_TRUE(SendAll(fd2, EncodeFrame(EncodeRequest(ping))));
+  std::string payload;
+  ASSERT_TRUE(RecvFrame(fd2, &payload));
+  Response response;
+  ASSERT_TRUE(ParseResponse(payload, &response).ok());
+  EXPECT_TRUE(response.ok);
+  ::close(fd2);
+  server.Stop();
+}
+
+TEST(HumdexServerTest, IdleConnectionIsDisconnectedAndCounted) {
+  Fixture fx;
+  ServerOptions opts;
+  opts.idle_timeout_ms = 100;
+  HumdexServer server(fx.engine.get(), opts);
+  Status st = server.Start();
+  if (!st.ok()) GTEST_SKIP() << "no loopback sockets here: " << st.ToString();
+  const std::uint64_t idle_before =
+      obs::MetricsRegistry::Default()
+          .GetCounter("server.idle_disconnects")
+          .value();
+
+  // Connect and send nothing: the server must hang up on us (EOF) instead
+  // of pinning a handler thread forever, and count the disconnect.
+  const int fd = DialLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  char byte;
+  EXPECT_LE(::read(fd, &byte, 1), 0);  // blocks until the server gives up
+  ::close(fd);
+  EXPECT_GT(obs::MetricsRegistry::Default()
+                .GetCounter("server.idle_disconnects")
+                .value(),
+            idle_before);
+
+  // A live connection with traffic is unaffected mid-exchange.
+  const int fd2 = DialLoopback(server.port());
+  ASSERT_GE(fd2, 0);
+  Request ping;
+  ping.kind = Request::Kind::kPing;
+  ASSERT_TRUE(SendAll(fd2, EncodeFrame(EncodeRequest(ping))));
+  std::string payload;
+  ASSERT_TRUE(RecvFrame(fd2, &payload));
+  ::close(fd2);
+  server.Stop();
+}
+
+TEST(HumdexServerTest, HealthPageListsReplicas) {
+  SongGenerator gen(7);
+  std::vector<Melody> corpus = gen.GeneratePhrases(16);
+  ShardedOptions opts;
+  opts.num_shards = 2;
+  opts.replication = 2;
+  auto r = ShardedEngine::Create(corpus, opts);
+  ASSERT_TRUE(r.ok());
+  auto engine = std::move(r).value();
+  HumdexServer server(engine.get(), ServerOptions());
+  engine->QuarantineReplica(1, 0);
+
+  Request health;
+  health.kind = Request::Kind::kHealth;
+  Response response = Dispatch(server, health);
+  ASSERT_TRUE(response.ok);
+  EXPECT_NE(response.text.find("replication 2"), std::string::npos);
+  EXPECT_NE(response.text.find("replicas=2/2"), std::string::npos);
+  EXPECT_NE(response.text.find("replicas=1/2"), std::string::npos);
+  EXPECT_NE(response.text.find("replica 1/0 quarantined"), std::string::npos);
+  EXPECT_NE(response.text.find("replica 1/1 healthy"), std::string::npos);
 }
 
 TEST(HumdexServerTest, StartStopIsIdempotentAndRestartable) {
