@@ -4,8 +4,11 @@
 // cascade replaces O(kn) DTW calls with O(N) feature-space tests.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "common.h"
 #include "gemini/feature_index.h"
+#include "ts/codec.h"
 #include "ts/dtw.h"
 #include "ts/envelope.h"
 #include "ts/kernels.h"
@@ -123,6 +126,81 @@ void BM_LdtwRowKernel(benchmark::State& state) {
 }
 BENCHMARK(BM_LdtwRowKernel)
     ->ArgsProduct({{128, 1024}, {0, 1, 2}});
+
+// Delta+bitpack series codec (ts/codec.h), the v3 checkpoint payload format.
+// Encode verifies losslessness inline (it decodes what it packed), so its
+// row prices the full write-side cost; decode is routed through an explicit
+// kernel tier and gated on bit-identity with the scalar reference — a tier
+// that drifts is a corruption bug, not a performance result.
+Series PitchWalk(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Series s(n);
+  double v = 60.0;
+  for (double& x : s) {
+    v += (static_cast<double>(rng.NextBounded(9)) - 4.0) * 0.5;
+    x = v;
+  }
+  return s;
+}
+
+void BM_CodecEncode(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  Series s = PitchWalk(n, 17);
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    benchmark::DoNotOptimize(codec::EncodeSeries(s, &buf));
+  }
+  state.SetLabel(buf.empty() ? "raw"
+                 : buf[0] == 1 ? "packed"
+                 : buf[0] == 2 ? "packed+ex"
+                               : "raw");
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * n * sizeof(double)));
+}
+BENCHMARK(BM_CodecEncode)->Range(128, 8192);
+
+void BM_CodecDecodeKernel(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto level = static_cast<SimdLevel>(state.range(1));
+  if (kernels::KernelTableFor(level) == nullptr) {
+    state.SkipWithError("tier unsupported on this CPU/build");
+    return;
+  }
+  Series s = PitchWalk(n, 17);
+  std::string buf;
+  codec::EncodeSeries(s, &buf);
+
+  // Bit-identity gate: this tier's decode must reproduce the scalar
+  // reference exactly before its throughput row counts for anything.
+  Series scalar_out(n), tier_out(n);
+  {
+    kernels::ScopedKernelOverride scalar(SimdLevel::kScalar);
+    std::size_t pos = 0;
+    if (!codec::DecodeSeries(buf, &pos, n, scalar_out.data()).ok()) {
+      state.SkipWithError("scalar decode failed");
+      return;
+    }
+  }
+  kernels::ScopedKernelOverride with_tier(level);
+  std::size_t pos = 0;
+  if (!codec::DecodeSeries(buf, &pos, n, tier_out.data()).ok() ||
+      std::memcmp(scalar_out.data(), tier_out.data(), n * sizeof(double)) !=
+          0) {
+    state.SkipWithError("tier decode is not bit-identical to scalar");
+    return;
+  }
+  for (auto _ : state) {
+    pos = 0;
+    codec::DecodeSeries(buf, &pos, n, tier_out.data());
+    benchmark::DoNotOptimize(tier_out.data());
+  }
+  state.SetLabel(kernels::KernelTableFor(level)->name);
+  // Decoded output stream; the packed input is a fraction of it.
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * n * sizeof(double)));
+}
+BENCHMARK(BM_CodecDecodeKernel)->ArgsProduct({{128, 1024, 8192}, {0, 1, 2}});
 
 void BM_PaaFeatures(benchmark::State& state) {
   auto d = Data(1, 128);

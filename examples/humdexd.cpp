@@ -1,7 +1,7 @@
 // humdexd: the sharded query-by-humming daemon.
 //
 //   humdexd [--port=N] [--shards=N] [--replicas=N] [--corpus=N] [--dir=PATH]
-//           [--repair_ms=N] [--idle_ms=N] [--once]
+//           [--repair_ms=N] [--idle_ms=N] [--format=v3|v2] [--once]
 //
 // Builds (or recovers) a sharded engine and serves the length-prefixed TCP
 // protocol of src/serve/protocol.h: ping / query / range / health / metrics.
@@ -25,6 +25,7 @@
 
 #include "music/hummer.h"
 #include "music/song_generator.h"
+#include "obs/metrics.h"
 #include "serve/server.h"
 
 namespace {
@@ -76,11 +77,17 @@ int main(int argc, char** argv) {
   const std::size_t idle_ms = FlagValue(argc, argv, "idle_ms", 60000);
   const std::string dir = FlagString(argc, argv, "dir");
   const bool once = HasFlag(argc, argv, "once");
+  const std::string format = FlagString(argc, argv, "format");
 
   ShardedOptions opts;
   opts.num_shards = shards;
   opts.replication = replicas == 0 ? 1 : replicas;
   opts.attempts_per_shard = 2;
+  // Checkpoints default to the v3 binary format: replicas reopen by mapping
+  // the file instead of rebuilding their index (--format=v2 for the text
+  // format; files in either format always load).
+  opts.qbh.format =
+      format == "v2" ? CheckpointFormat::kV2Text : CheckpointFormat::kV3Binary;
 
   // Recover from --dir when it already holds shards; otherwise build a demo
   // corpus, and attach it if --dir was given.
@@ -96,10 +103,23 @@ int main(int argc, char** argv) {
       engine = std::move(opened).value();
       recovered = true;
       for (std::size_t s = 0; s < recovery.size(); ++s) {
-        std::printf("shard %zu: %s%s%s\n", s,
+        std::printf("shard %zu: %s, opened in %.2f ms%s%s\n", s,
                     ShardHealthName(engine->shard_status(s).health),
+                    static_cast<double>(recovery[s].open_ns) / 1e6,
                     recovery[s].torn_tail ? " (torn tail repaired)" : "",
                     recovery[s].salvaged ? " (salvaged)" : "");
+      }
+      // Every replica's checkpoint load + WAL replay records into the
+      // storage.open_ns histogram, including the followers the per-shard
+      // stats above don't cover.
+      const obs::Histogram& open_hist =
+          obs::MetricsRegistry::Default().GetHistogram("storage.open_ns");
+      const obs::HistogramSnapshot snap = open_hist.Snapshot();
+      if (snap.count > 0) {
+        std::printf("replica opens: %llu totaling %.2f ms (p99 %.2f ms)\n",
+                    static_cast<unsigned long long>(snap.count),
+                    static_cast<double>(snap.sum) / 1e6,
+                    snap.Percentile(99.0) / 1e6);
       }
     } else {
       std::fprintf(stderr, "recovery failed (%s), rebuilding\n",

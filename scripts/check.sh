@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the concurrency and robustness gates:
-#   1. plain RelWithDebInfo build, full ctest suite;
+#   1. plain RelWithDebInfo build, full ctest suite, plus the exactness-gated
+#      ablations (reference-point pruning; mapped v3 checkpoint open);
 #   2. ThreadSanitizer build (-DHUMDEX_SANITIZE=thread), running the
 #      parallel-read-path tests (thread pool, batch queries, buffer pool
 #      stress) so the thread-safety guarantees are mechanically checked —
@@ -35,6 +36,11 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 # Reference-point pruning gate: exits non-zero on any answer mismatch or if
 # the triangle/tau stages stop strictly reducing exact-DTW calls.
 ./build/bench/ablation_triangle
+# Mapped-checkpoint gate: exits non-zero unless the v3 binary open is >=10x
+# faster than the v2 text rebuild at 100k melodies, the melody payload is
+# >=2x smaller on disk, and range/kNN answers served from the mapped corpus
+# are bit-identical to a freshly built engine's.
+./build/bench/ablation_mmap
 
 echo "== [2/5] ThreadSanitizer build + concurrency tests =="
 cmake -B build-tsan -S . -DHUMDEX_SANITIZE=thread >/dev/null

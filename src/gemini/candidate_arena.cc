@@ -28,13 +28,21 @@ CandidateArena::CandidateArena(std::size_t series_len, std::size_t band_k)
   HUMDEX_CHECK(series_len > 0);
 }
 
-CandidateArena::~CandidateArena() {
-  std::free(series_);
-  std::free(env_lo_);
-  std::free(env_hi_);
-  std::free(pivots_);
-  std::free(meta_);
+void CandidateArena::FreeAll() {
+  if (!borrowed_) {
+    std::free(series_);
+    std::free(env_lo_);
+    std::free(env_hi_);
+    std::free(pivots_);
+    std::free(meta_);
+  }
+  series_ = env_lo_ = env_hi_ = pivots_ = nullptr;
+  meta_ = nullptr;
+  borrowed_ = false;
+  borrow_owner_.reset();
 }
+
+CandidateArena::~CandidateArena() { FreeAll(); }
 
 CandidateArena::CandidateArena(CandidateArena&& other) noexcept
     : series_len_(other.series_len_),
@@ -48,20 +56,19 @@ CandidateArena::CandidateArena(CandidateArena&& other) noexcept
       env_lo_(other.env_lo_),
       env_hi_(other.env_hi_),
       pivots_(other.pivots_),
-      meta_(other.meta_) {
+      meta_(other.meta_),
+      borrowed_(other.borrowed_),
+      borrow_owner_(std::move(other.borrow_owner_)) {
   other.size_ = other.capacity_ = 0;
   other.pivot_dims_ = other.pivot_stride_ = 0;
   other.series_ = other.env_lo_ = other.env_hi_ = other.pivots_ = nullptr;
   other.meta_ = nullptr;
+  other.borrowed_ = false;
 }
 
 CandidateArena& CandidateArena::operator=(CandidateArena&& other) noexcept {
   if (this == &other) return *this;
-  std::free(series_);
-  std::free(env_lo_);
-  std::free(env_hi_);
-  std::free(pivots_);
-  std::free(meta_);
+  FreeAll();
   series_len_ = other.series_len_;
   band_k_ = other.band_k_;
   stride_ = other.stride_;
@@ -74,14 +81,18 @@ CandidateArena& CandidateArena::operator=(CandidateArena&& other) noexcept {
   env_hi_ = other.env_hi_;
   pivots_ = other.pivots_;
   meta_ = other.meta_;
+  borrowed_ = other.borrowed_;
+  borrow_owner_ = std::move(other.borrow_owner_);
   other.size_ = other.capacity_ = 0;
   other.pivot_dims_ = other.pivot_stride_ = 0;
   other.series_ = other.env_lo_ = other.env_hi_ = other.pivots_ = nullptr;
   other.meta_ = nullptr;
+  other.borrowed_ = false;
   return *this;
 }
 
 void CandidateArena::ConfigurePivots(std::size_t dims) {
+  EnsureOwned();
   std::free(pivots_);
   pivots_ = nullptr;
   pivot_dims_ = dims;
@@ -124,11 +135,14 @@ void CandidateArena::Grow(std::size_t min_items) {
 }
 
 void CandidateArena::Reserve(std::size_t items) {
+  if (items <= capacity_) return;
+  EnsureOwned();
   if (items > capacity_) Grow(items);
 }
 
 void CandidateArena::Append(const Series& s) {
   HUMDEX_CHECK(s.size() == series_len_);
+  EnsureOwned();
   if (size_ == capacity_) Grow(size_ + 1);
   double* srow = series_ + size_ * stride_;
   double* lrow = env_lo_ + size_ * stride_;
@@ -155,6 +169,7 @@ void CandidateArena::Append(const Series& s) {
 
 void CandidateArena::SwapRemove(std::size_t pos) {
   HUMDEX_CHECK(pos < size_);
+  EnsureOwned();
   std::size_t last = size_ - 1;
   if (pos != last) {
     std::memcpy(series_ + pos * stride_, series_ + last * stride_,
@@ -170,6 +185,55 @@ void CandidateArena::SwapRemove(std::size_t pos) {
     meta_[pos] = meta_[last];
   }
   --size_;
+}
+
+void CandidateArena::AttachPrebuilt(std::size_t n, const double* series,
+                                    const double* env_lo, const double* env_hi,
+                                    const Meta* meta, const double* pivot_rows,
+                                    std::size_t dims,
+                                    std::shared_ptr<const void> owner) {
+  HUMDEX_CHECK(size_ == 0 && capacity_ == 0 && !borrowed_);
+  HUMDEX_CHECK(dims == 0 || pivot_rows != nullptr);
+  if (n == 0) {
+    // Nothing to borrow; an empty arena stays an ordinary owned arena.
+    ConfigurePivots(dims);
+    return;
+  }
+  pivot_dims_ = dims;
+  pivot_stride_ =
+      dims == 0 ? 0 : (3 * dims + 3) & ~static_cast<std::size_t>(3);
+  size_ = capacity_ = n;
+  // Readers only ever load through these pointers while borrowed_; the
+  // const_cast is confined to storage, never to a store instruction.
+  series_ = const_cast<double*>(series);
+  env_lo_ = const_cast<double*>(env_lo);
+  env_hi_ = const_cast<double*>(env_hi);
+  pivots_ = const_cast<double*>(pivot_rows);
+  meta_ = const_cast<Meta*>(meta);
+  borrowed_ = true;
+  borrow_owner_ = std::move(owner);
+}
+
+void CandidateArena::EnsureOwned() {
+  if (!borrowed_) return;
+  const std::size_t n = size_;
+  auto copy_rows = [&](double*& arr, std::size_t stride) {
+    double* fresh = AllocRows(n, stride);
+    std::memcpy(fresh, arr, n * stride * sizeof(double));
+    arr = fresh;
+  };
+  copy_rows(series_, stride_);
+  copy_rows(env_lo_, stride_);
+  copy_rows(env_hi_, stride_);
+  if (pivot_dims_ > 0) copy_rows(pivots_, pivot_stride_);
+  Meta* fresh_meta = static_cast<Meta*>(
+      std::aligned_alloc(kernels::kAlignment, n * sizeof(Meta)));
+  HUMDEX_CHECK(fresh_meta != nullptr);
+  std::memcpy(fresh_meta, meta_, n * sizeof(Meta));
+  meta_ = fresh_meta;
+  capacity_ = n;
+  borrowed_ = false;
+  borrow_owner_.reset();
 }
 
 }  // namespace humdex

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdlib>
+#include <memory>
 
 #include "ts/envelope.h"
 #include "ts/time_series.h"
@@ -72,6 +73,24 @@ class CandidateArena {
   /// swap-remove, applied to the mirrored storage.
   void SwapRemove(std::size_t pos);
 
+  /// v3 fast-open (DESIGN.md §14): adopt `n` prebuilt rows without copying.
+  /// Every array is borrowed from `owner` — typically a checkpoint file
+  /// mapping plus the series decode buffer — and must already use this
+  /// arena's layout: series/env rows of stride() doubles with a zeroed pad
+  /// tail, `n` Meta entries, and (when `dims` > 0) pivot rows of
+  /// 3 * dims rounded up to 4 doubles. The arena is purely a reader of the
+  /// borrowed memory: the first mutation (Append, SwapRemove, Reserve,
+  /// ConfigurePivots) materializes private owned copies, so a mapping-backed
+  /// arena never writes through — or frees — the borrowed pointers.
+  /// Valid only on an empty arena; `pivot_rows` may be null iff dims == 0.
+  void AttachPrebuilt(std::size_t n, const double* series,
+                      const double* env_lo, const double* env_hi,
+                      const Meta* meta, const double* pivot_rows,
+                      std::size_t dims, std::shared_ptr<const void> owner);
+
+  /// True while the arrays are still borrowed from an AttachPrebuilt owner.
+  bool borrowed() const { return borrowed_; }
+
   const double* series(std::size_t pos) const {
     return series_ + pos * stride_;
   }
@@ -85,8 +104,12 @@ class CandidateArena {
 
   /// Mutable pivot row for the engine to fill after Append/ConfigurePivots.
   /// Layout: [ed_0..ed_{P-1} | box_0..box_{P-1} | gap_0..gap_{P-1} | pad].
-  /// Only valid when pivot_dims() > 0.
-  double* pivot_row(std::size_t pos) { return pivots_ + pos * pivot_stride_; }
+  /// Only valid when pivot_dims() > 0. A write is a mutation, so borrowed
+  /// storage is materialized first.
+  double* pivot_row(std::size_t pos) {
+    EnsureOwned();
+    return pivots_ + pos * pivot_stride_;
+  }
   const double* pivot_ed(std::size_t pos) const {
     return pivots_ + pos * pivot_stride_;
   }
@@ -99,6 +122,10 @@ class CandidateArena {
 
  private:
   void Grow(std::size_t min_items);
+  /// Copy every borrowed array into owned aligned storage and drop the
+  /// owner keepalive. No-op when already owned.
+  void EnsureOwned();
+  void FreeAll();
 
   std::size_t series_len_;
   std::size_t band_k_;
@@ -107,11 +134,15 @@ class CandidateArena {
   std::size_t pivot_stride_ = 0;  // 3 * pivot_dims_ rounded up to 4 doubles
   std::size_t size_ = 0;
   std::size_t capacity_ = 0;
+  // While borrowed_, these point into borrow_owner_'s memory (const in
+  // spirit; never written or freed until EnsureOwned replaces them).
   double* series_ = nullptr;
   double* env_lo_ = nullptr;
   double* env_hi_ = nullptr;
   double* pivots_ = nullptr;
   Meta* meta_ = nullptr;
+  bool borrowed_ = false;
+  std::shared_ptr<const void> borrow_owner_;
 };
 
 }  // namespace humdex

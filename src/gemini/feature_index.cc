@@ -44,6 +44,28 @@ void FeatureIndex::AddBatch(const std::vector<Series>& series,
   for (std::size_t i = 0; i < series.size(); ++i) Add(series[i], ids[i]);
 }
 
+void FeatureIndex::AddBatchFeatures(const std::vector<Series>& features,
+                                    const std::vector<std::int64_t>& ids) {
+  HUMDEX_CHECK(features.size() == ids.size());
+  HUMDEX_CHECK_MSG(index_->size() == 0, "AddBatchFeatures on a non-empty index");
+  if (dynamic_cast<RStarTree*>(index_.get()) != nullptr) {
+    index_ =
+        RStarTree::BulkLoad(scheme_->output_dim(), features, ids, rstar_options_);
+    return;
+  }
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    index_->Insert(features[i], ids[i]);
+  }
+}
+
+void FeatureIndex::AttachRStarTree(std::unique_ptr<RStarTree> tree) {
+  HUMDEX_CHECK(tree != nullptr);
+  HUMDEX_CHECK_MSG(index_->size() == 0, "AttachRStarTree on a non-empty index");
+  HUMDEX_CHECK_MSG(dynamic_cast<RStarTree*>(index_.get()) != nullptr,
+                   "AttachRStarTree on a non-R*-tree backend");
+  index_ = std::move(tree);
+}
+
 std::vector<std::int64_t> FeatureIndex::CandidatesForEnvelope(
     const Envelope& raw_envelope, double radius, IndexStats* stats) const {
   Envelope fe = scheme_->ReduceEnvelope(raw_envelope);

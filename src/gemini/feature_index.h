@@ -46,6 +46,23 @@ class FeatureIndex {
   void AddBatch(const std::vector<Series>& series,
                 const std::vector<std::int64_t>& ids);
 
+  /// AddBatch over already-computed feature vectors (each of output_dim) —
+  /// the v3 fast-open path, which persists features precisely so reopening
+  /// skips the per-series scheme transform. Only valid while empty.
+  void AddBatchFeatures(const std::vector<Series>& features,
+                        const std::vector<std::int64_t>& ids);
+
+  /// The backing R*-tree, or nullptr on other backends — the persistence
+  /// layer's hook for page-level serialization (RStarTree::SerializePages).
+  const RStarTree* rstar_tree() const {
+    return dynamic_cast<const RStarTree*>(index_.get());
+  }
+
+  /// Replace the (empty) backing index with a tree restored from serialized
+  /// pages (RStarTree::FromPages) — the v3 fast-open path for the R*-tree
+  /// backend. The tree must have been built over this scheme's features.
+  void AttachRStarTree(std::unique_ptr<RStarTree> tree);
+
   /// Ids whose features lie within `radius` of the reduced query envelope.
   /// By Theorem 1 this is a superset of every id with DTW distance <= radius
   /// from the query the envelope was built from.

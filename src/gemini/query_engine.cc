@@ -2,10 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
+#include <memory>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
 
 #include "gemini/fastmap.h"
 #include "obs/metrics.h"
@@ -35,6 +42,29 @@ obs::Counter& QueryCancelledCounter() {
   static obs::Counter& c =
       obs::MetricsRegistry::Default().GetCounter("query.cancelled");
   return c;
+}
+
+// A 100k-melody reopen packs a ~100MB series-row block; demand paging that
+// costs a kernel fault per 4KB page on first touch. For large blocks,
+// MAP_POPULATE prefaults the whole range in one syscall — about half the
+// cost of the fault-per-page path — before the memcpy pass writes it warm.
+std::shared_ptr<double> AllocateSeriesRows(std::size_t bytes) {
+#if defined(__linux__)
+  constexpr std::size_t kPopulateThreshold = std::size_t{8} << 20;
+  if (bytes >= kPopulateThreshold) {
+    void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_POPULATE, -1, 0);
+    if (p != MAP_FAILED) {
+      return std::shared_ptr<double>(
+          static_cast<double*>(p),
+          [bytes](double* q) { ::munmap(q, bytes); });
+    }
+  }
+#endif
+  double* p = static_cast<double*>(
+      std::aligned_alloc(kernels::kAlignment, bytes));
+  HUMDEX_CHECK(p != nullptr);
+  return std::shared_ptr<double>(p, std::free);
 }
 
 // The LB filter checks the clock only every kLbCheckStride candidates: an
@@ -165,6 +195,75 @@ void DtwQueryEngine::AddAll(std::vector<Series> normal_forms,
   } else if (options_.cascade.triangle_references > 0 && !data_.empty()) {
     AutoChooseReferences();
   }
+}
+
+void DtwQueryEngine::AddAllPrebuilt(std::vector<Series> normal_forms,
+                                    const std::vector<std::int64_t>& ids,
+                                    std::vector<Series> refs,
+                                    const double* env_lo, const double* env_hi,
+                                    const CandidateArena::Meta* meta,
+                                    const double* pivot_rows,
+                                    std::shared_ptr<const void> owner) {
+  HUMDEX_CHECK_MSG(data_.empty(), "AddAllPrebuilt on a non-empty engine");
+  HUMDEX_CHECK(normal_forms.size() == ids.size());
+  HUMDEX_CHECK_MSG(refs.size() <= kMaxTriangleReferences,
+                   "too many LB_Triangle references");
+  HUMDEX_CHECK(refs.empty() || pivot_rows != nullptr);
+  refs_.clear();
+  refs_.reserve(refs.size());
+  for (Series& r : refs) {
+    HUMDEX_CHECK(r.size() == options_.normal_len);
+    Ref ref;
+    ref.env = BuildEnvelope(r, band_k_);
+    ref.series = std::move(r);
+    refs_.push_back(std::move(ref));
+  }
+  const std::size_t n = normal_forms.size();
+  std::int64_t max_id = -1;
+  for (std::int64_t id : ids) {
+    HUMDEX_CHECK(id >= 0);
+    max_id = std::max(max_id, id);
+  }
+  id_to_pos_.assign(static_cast<std::size_t>(max_id + 1), SIZE_MAX);
+  // The series rows are the one arena array copied rather than borrowed:
+  // they arrive freshly decoded as Series objects (data_ keeps those), so we
+  // pack one owned aligned block and bundle it with the caller's mapping
+  // keepalive, giving the arena a single owner for all borrowed storage.
+  struct Bundle {
+    std::shared_ptr<double> series_rows;
+    std::shared_ptr<const void> mapping;
+  };
+  auto bundle = std::make_shared<Bundle>();
+  bundle->mapping = std::move(owner);
+  const std::size_t stride = arena_.stride();
+  if (n > 0) {
+    bundle->series_rows = AllocateSeriesRows(n * stride * sizeof(double));
+    double* rows = bundle->series_rows.get();
+    for (std::size_t i = 0; i < n; ++i) {
+      HUMDEX_CHECK(normal_forms[i].size() == options_.normal_len);
+      double* row = rows + i * stride;
+      std::memcpy(row, normal_forms[i].data(),
+                  options_.normal_len * sizeof(double));
+      for (std::size_t j = options_.normal_len; j < stride; ++j) row[j] = 0.0;
+    }
+  }
+  const double* series_rows = bundle->series_rows.get();
+  arena_.AttachPrebuilt(n, series_rows, env_lo, env_hi, meta, pivot_rows,
+                        refs_.size(), std::move(bundle));
+  data_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    HUMDEX_CHECK_MSG(id_to_pos_[static_cast<std::size_t>(ids[i])] == SIZE_MAX,
+                     "duplicate id");
+    id_to_pos_[static_cast<std::size_t>(ids[i])] = i;
+    data_.push_back({std::move(normal_forms[i]), ids[i]});
+  }
+}
+
+std::size_t DtwQueryEngine::PosForId(std::int64_t id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= id_to_pos_.size()) {
+    return SIZE_MAX;
+  }
+  return id_to_pos_[static_cast<std::size_t>(id)];
 }
 
 void DtwQueryEngine::SetReferences(std::vector<Series> refs) {

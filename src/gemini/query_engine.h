@@ -171,6 +171,22 @@ class DtwQueryEngine {
   void AddAll(std::vector<Series> normal_forms,
               const std::vector<std::int64_t>& ids);
 
+  /// v3 fast-open bulk build (DESIGN.md §14): adopt decoded normal forms
+  /// plus the checkpoint's prebuilt cascade data — per-item envelopes, Kim
+  /// meta rows, and (when `refs` is non-empty) LB_Triangle pivot rows —
+  /// borrowed zero-copy from `owner` (a file mapping) instead of recomputed.
+  /// Array layouts are CandidateArena::AttachPrebuilt's; rows follow the
+  /// order of `normal_forms`, pivot columns the order of `refs`. Deliberately
+  /// leaves the feature index empty: the caller restores it next, from
+  /// serialized pages or stored feature vectors (mutable_feature_index()).
+  /// Only valid while the engine is empty.
+  void AddAllPrebuilt(std::vector<Series> normal_forms,
+                      const std::vector<std::int64_t>& ids,
+                      std::vector<Series> refs, const double* env_lo,
+                      const double* env_hi, const CandidateArena::Meta* meta,
+                      const double* pivot_rows,
+                      std::shared_ptr<const void> owner);
+
   /// Remove a stored series by id. Returns false when the id is unknown.
   /// Subsequent queries behave as if it was never added.
   bool Remove(std::int64_t id);
@@ -190,6 +206,19 @@ class DtwQueryEngine {
 
   std::size_t size() const { return data_.size(); }
   std::size_t band_radius() const { return band_k_; }
+
+  /// Read access for the persistence layer: the SoA arena (envelopes, meta,
+  /// pivot rows are serialized straight out of it) and per-position rows.
+  const CandidateArena& arena() const { return arena_; }
+  /// Arena/data position of `id`, or SIZE_MAX when absent.
+  std::size_t PosForId(std::int64_t id) const;
+  const Series& SeriesAt(std::size_t pos) const { return data_[pos].series; }
+  std::int64_t IdAt(std::size_t pos) const { return data_[pos].id; }
+
+  /// The backing feature index — persistence hooks (page serialization on
+  /// the way out, AttachRStarTree / AddBatchFeatures after AddAllPrebuilt).
+  const FeatureIndex& feature_index() const { return feature_index_; }
+  FeatureIndex* mutable_feature_index() { return &feature_index_; }
 
   /// All ids with DTW_k(query, data) <= epsilon, with exact distances,
   /// ascending. Exact: no false positives, no false negatives.

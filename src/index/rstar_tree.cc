@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <queue>
 
@@ -598,6 +599,153 @@ std::vector<Neighbor> RStarTree::NearestToRect(const Rect& query, std::size_t k,
   }
   if (stats != nullptr) stats->page_accesses = pages;
   return out;
+}
+
+void RStarTree::SerializePages(std::string* out) const {
+  auto put = [&](const void* p, std::size_t n) {
+    out->append(static_cast<const char*>(p), n);
+  };
+  auto put_u64 = [&](std::uint64_t v) { put(&v, 8); };
+  put_u64(size_);
+  put_u64(next_page_id_);
+  out->push_back(bulk_loaded_ ? 1 : 0);
+  auto walk = [&](auto&& self, const Node* n) -> void {
+    put_u64(n->page_id);
+    std::uint32_t lvl = static_cast<std::uint32_t>(n->level);
+    std::uint32_t cnt = static_cast<std::uint32_t>(n->entries.size());
+    put(&lvl, 4);
+    put(&cnt, 4);
+    for (const Entry& e : n->entries) {
+      put(e.mbr.lo.data(), dims_ * sizeof(double));
+      put(e.mbr.hi.data(), dims_ * sizeof(double));
+      if (n->IsLeaf()) {
+        put(&e.id, 8);
+      } else {
+        self(self, e.child.get());
+      }
+    }
+  };
+  walk(walk, root_.get());
+}
+
+namespace {
+
+/// Bounds-checked little-endian cursor for FromPages.
+struct PageReader {
+  std::string_view in;
+  std::size_t pos = 0;
+
+  bool Read(void* out, std::size_t n) {
+    if (in.size() - pos < n) return false;
+    std::memcpy(out, in.data() + pos, n);
+    pos += n;
+    return true;
+  }
+};
+
+}  // namespace
+
+Status RStarTree::FromPages(std::size_t dims, std::string_view in,
+                            RStarOptions options,
+                            std::unique_ptr<RStarTree>* out) {
+  auto bad = [](const char* what) { return Status::Corruption(what); };
+  PageReader r{in};
+  std::uint64_t size = 0, next_page = 0;
+  std::uint8_t bulk = 0;
+  if (!r.Read(&size, 8) || !r.Read(&next_page, 8) || !r.Read(&bulk, 1)) {
+    return bad("index page header truncated");
+  }
+  auto tree = std::make_unique<RStarTree>(dims, options);
+  std::uint64_t leaf_entries = 0;
+  Status err;
+  auto parse = [&](auto&& self, int expect_level,
+                   Node* parent) -> std::unique_ptr<Node> {
+    std::uint64_t pid = 0;
+    std::uint32_t lvl = 0, cnt = 0;
+    if (!r.Read(&pid, 8) || !r.Read(&lvl, 4) || !r.Read(&cnt, 4)) {
+      err = bad("index page truncated");
+      return nullptr;
+    }
+    // 64 levels of fanout >= 2 exceed any storable tree; the cap also bounds
+    // the parse recursion on adversarial input.
+    if (lvl > 64) {
+      err = bad("index page level out of range");
+      return nullptr;
+    }
+    if (expect_level >= 0 && static_cast<int>(lvl) != expect_level) {
+      err = bad("index page level mismatch");
+      return nullptr;
+    }
+    if (cnt > options.max_entries) {
+      err = bad("overfull index page");
+      return nullptr;
+    }
+    if (cnt == 0 && (parent != nullptr || size != 0)) {
+      err = bad("empty non-root index page");
+      return nullptr;
+    }
+    if (pid >= next_page) {
+      err = bad("index page id out of range");
+      return nullptr;
+    }
+    auto node = std::make_unique<Node>();
+    node->page_id = pid;
+    node->level = static_cast<int>(lvl);
+    node->parent = parent;
+    node->entries.reserve(cnt);
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      Series lo(dims), hi(dims);
+      if (!r.Read(lo.data(), dims * sizeof(double)) ||
+          !r.Read(hi.data(), dims * sizeof(double))) {
+        err = bad("index entry truncated");
+        return nullptr;
+      }
+      for (std::size_t d = 0; d < dims; ++d) {
+        // Validate before Rect's constructor would abort on inversion.
+        if (!std::isfinite(lo[d]) || !std::isfinite(hi[d]) || lo[d] > hi[d]) {
+          err = bad("invalid index entry rectangle");
+          return nullptr;
+        }
+      }
+      Entry e;
+      e.mbr = Rect(std::move(lo), std::move(hi));
+      if (node->IsLeaf()) {
+        if (!r.Read(&e.id, 8)) {
+          err = bad("index entry truncated");
+          return nullptr;
+        }
+        if (++leaf_entries > size) {
+          err = bad("index leaf entries exceed recorded size");
+          return nullptr;
+        }
+      } else {
+        e.child = self(self, static_cast<int>(lvl) - 1, node.get());
+        if (e.child == nullptr) return nullptr;
+        for (std::size_t d = 0; d < dims; ++d) {
+          if (e.mbr.lo[d] != e.child->mbr.lo[d] ||
+              e.mbr.hi[d] != e.child->mbr.hi[d]) {
+            err = bad("index parent/child MBR disagreement");
+            return nullptr;
+          }
+        }
+      }
+      node->entries.push_back(std::move(e));
+    }
+    node->RecomputeMbr();
+    return node;
+  };
+  auto root = parse(parse, -1, nullptr);
+  if (root == nullptr) return err;
+  if (leaf_entries != size) {
+    return bad("index leaf entries disagree with recorded size");
+  }
+  if (r.pos != in.size()) return bad("trailing bytes after index pages");
+  tree->root_ = std::move(root);
+  tree->size_ = static_cast<std::size_t>(size);
+  tree->next_page_id_ = next_page;
+  tree->bulk_loaded_ = bulk != 0;
+  *out = std::move(tree);
+  return Status::OK();
 }
 
 std::size_t RStarTree::Height() const {

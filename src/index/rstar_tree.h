@@ -10,10 +10,13 @@
 #include <cstdint>
 #include <memory>
 #include <set>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "index/buffer_pool.h"
 #include "index/rect.h"
+#include "util/status.h"
 
 namespace humdex {
 
@@ -71,6 +74,22 @@ class RStarTree : public SpatialIndex {
   /// Validates the structural invariants (MBR containment, entry counts,
   /// uniform leaf depth). Aborts via HUMDEX_CHECK on violation. Test hook.
   void CheckInvariants() const;
+
+  /// Append the tree's pages to `out` in preorder for the v3 binary
+  /// checkpoint (DESIGN.md §14): a {size, next_page_id, bulk_loaded} header,
+  /// then per node {page_id, level, entry_count} and per entry its exact MBR
+  /// doubles plus a leaf id or the child page recursively. FromPages restores
+  /// the identical tree — same page ids, same node boundaries, same query
+  /// page-access counts — without re-running STR packing.
+  void SerializePages(std::string* out) const;
+
+  /// Rebuild a tree from SerializePages bytes. Every structural property is
+  /// re-validated (entry counts, uniform leaf depth, exact parent/child MBR
+  /// agreement, finite non-inverted rectangles, trailing bytes): malformed
+  /// input returns kCorruption and never aborts or reads out of bounds.
+  static Status FromPages(std::size_t dims, std::string_view in,
+                          RStarOptions options,
+                          std::unique_ptr<RStarTree>* out);
 
   /// Route every node visit of subsequent queries through `pool` (each node
   /// is one page, pinned while it is scanned). Pass nullptr to detach. The

@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "qbh/storage.h"
+#include "qbh/storage_v3.h"
 #include "qbh/wal.h"
 #include "ts/normal_form.h"
 #include "util/crc32c.h"
@@ -50,6 +51,19 @@ void MarkRejected(QueryStats* stats) {
     *stats = QueryStats();
     stats->rejected = true;
   }
+}
+
+/// Checkpoint bytes in the format the options select. The caller holds a
+/// lock covering `slots` and `engine`.
+std::string SerializeCheckpoint(const QbhOptions& opt,
+                                const std::vector<std::optional<Melody>>& slots,
+                                const DtwQueryEngine* engine) {
+  if (opt.format == CheckpointFormat::kV3Binary && engine != nullptr) {
+    return SerializeQbhCorpusV3(opt, slots, *engine);
+  }
+  return SerializeQbhCorpus(opt, slots,
+                            engine == nullptr ? std::vector<Series>()
+                                              : engine->references());
 }
 
 }  // namespace
@@ -121,9 +135,7 @@ std::vector<std::optional<Melody>> QbhSystem::CorpusSnapshot() const {
 
 std::string QbhSystem::ExportSnapshot() const {
   std::shared_lock<std::shared_mutex> lock(*mu_);
-  return SerializeQbhCorpus(options_, melodies_,
-                            engine_ == nullptr ? std::vector<Series>()
-                                               : engine_->references());
+  return SerializeCheckpoint(options_, melodies_, engine_.get());
 }
 
 namespace {
@@ -214,6 +226,16 @@ void QbhSystem::Build() {
     pending_refs_.clear();
   }
   engine_->AddAll(std::move(normals), ids);
+}
+
+void QbhSystem::InstallPrebuiltEngine(std::unique_ptr<DtwQueryEngine> engine) {
+  HUMDEX_CHECK_MSG(engine_ == nullptr, "InstallPrebuiltEngine after Build()");
+  HUMDEX_CHECK_MSG(live_count_ > 0, "empty database");
+  HUMDEX_CHECK(engine != nullptr);
+  HUMDEX_CHECK_MSG(engine->size() == live_count_,
+                   "prebuilt engine does not hold exactly the live melodies");
+  pending_refs_.clear();  // the prebuilt engine carries its own references
+  engine_ = std::move(engine);
 }
 
 void QbhSystem::SetPendingReferences(std::vector<Series> refs) {
@@ -509,7 +531,7 @@ Status QbhSystem::Attach(const std::string& path, Env* env) {
   if (env == nullptr) env = Env::Default();
   std::unique_lock<std::shared_mutex> lock(*mu_);
   HUMDEX_RETURN_IF_ERROR(env->AtomicWriteFile(
-      path, SerializeQbhCorpus(options_, melodies_, engine_->references())));
+      path, SerializeCheckpoint(options_, melodies_, engine_.get())));
   const std::string wal_path = WalPathFor(path);
   if (env->Exists(wal_path)) {
     // A stale log cannot belong to the checkpoint just written.
@@ -536,8 +558,7 @@ Status QbhSystem::Checkpoint() {
   // Step 1: persist the full corpus atomically (temp + fsync + rename). A
   // crash before the rename leaves the old checkpoint + full log.
   HUMDEX_RETURN_IF_ERROR(env_->AtomicWriteFile(
-      db_path_,
-      SerializeQbhCorpus(options_, melodies_, engine_->references())));
+      db_path_, SerializeCheckpoint(options_, melodies_, engine_.get())));
   // Step 2: drop the log. A crash between the rename and here leaves the new
   // checkpoint + the full log, which replay recognizes and skips (records
   // carry explicit ids). A truncation failure is reported but not fatal to
@@ -645,14 +666,27 @@ Status QbhSystem::ReplayLogAndAttach(QbhSystem* system_ptr,
   return Status::OK();
 }
 
+namespace {
+
+obs::Histogram& OpenHistogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Default().GetHistogram("storage.open_ns");
+  return h;
+}
+
+}  // namespace
+
 Result<QbhSystem> QbhSystem::Open(const std::string& path, Env* env,
                                   RecoveryStats* stats) {
   if (env == nullptr) env = Env::Default();
+  const std::uint64_t t_start = obs::MonotonicNowNs();
   Result<QbhSystem> loaded = LoadQbhDatabase(path, env);
   HUMDEX_RETURN_IF_ERROR(loaded.status());
   QbhSystem system = std::move(loaded).value();
   RecoveryStats local;
   HUMDEX_RETURN_IF_ERROR(ReplayLogAndAttach(&system, path, env, &local));
+  local.open_ns = obs::MonotonicNowNs() - t_start;
+  OpenHistogram().Record(local.open_ns);
   if (stats != nullptr) *stats = local;
   return system;
 }
@@ -660,6 +694,7 @@ Result<QbhSystem> QbhSystem::Open(const std::string& path, Env* env,
 Result<QbhSystem> QbhSystem::OpenSalvage(const std::string& path, Env* env,
                                          RecoveryStats* stats) {
   if (env == nullptr) env = Env::Default();
+  const std::uint64_t t_start = obs::MonotonicNowNs();
   SalvageReport rep;
   Result<QbhSystem> loaded = LoadQbhDatabaseSalvage(path, &rep, env);
   HUMDEX_RETURN_IF_ERROR(loaded.status());
@@ -686,6 +721,8 @@ Result<QbhSystem> QbhSystem::OpenSalvage(const std::string& path, Env* env,
   } else {
     HUMDEX_RETURN_IF_ERROR(ReplayLogAndAttach(&system, path, env, &local));
   }
+  local.open_ns = obs::MonotonicNowNs() - t_start;
+  OpenHistogram().Record(local.open_ns);
   if (stats != nullptr) *stats = local;
   return system;
 }

@@ -31,6 +31,12 @@ class WriteAheadLog;
 /// Which dimensionality-reduction scheme the system indexes with.
 enum class SchemeKind { kNewPaa, kKeoghPaa, kDft, kDwt, kSvd };
 
+/// On-disk checkpoint format (DESIGN.md §14). kV2Text is the line-oriented
+/// text format with a CRC32C trailer; kV3Binary the page-aligned,
+/// section-tabled binary image that Open() maps and serves zero-copy. Both
+/// load transparently — this option only selects what Checkpoint() writes.
+enum class CheckpointFormat { kV2Text, kV3Binary };
+
 struct QbhOptions {
   std::size_t normal_len = 128;    ///< UTW normal form length
   double warping_width = 0.1;      ///< delta (Table 3 tunes this)
@@ -39,6 +45,10 @@ struct QbhOptions {
   IndexKind index = IndexKind::kRStarTree;
   double samples_per_beat = 8.0;   ///< melody rendering rate
   CascadeOptions cascade;          ///< filter-cascade stage toggles
+  /// Checkpoint format. Not persisted as an option line (v2 files stay
+  /// byte-stable); loading sets it to the format the file was found in, so a
+  /// reopened database checkpoints back in kind.
+  CheckpointFormat format = CheckpointFormat::kV2Text;
 };
 
 /// A query answer: melody id, its name, and the DTW distance to the query.
@@ -62,6 +72,11 @@ struct RecoveryStats {
   /// false the ids were dense-renumbered and the log was discarded — callers
   /// that key on ids (the sharded engine) must not serve this state.
   bool ids_stable = true;
+
+  /// Wall-clock nanoseconds Open/OpenSalvage spent bringing the corpus back
+  /// (checkpoint load + WAL replay). Also fed to the `storage.open_ns`
+  /// histogram; the mmap ablation and humdexd's startup log read this.
+  std::uint64_t open_ns = 0;
 };
 
 /// Query-by-humming database. Add melodies, Build(), then Query(); after
@@ -106,6 +121,18 @@ class QbhSystem {
 
   /// Fit the feature scheme (SVD needs the corpus) and build the index.
   void Build();
+
+  /// v3 fast-open plumbing: adopt an engine the storage layer assembled from
+  /// a checkpoint's prebuilt sections (AddAllPrebuilt + restored index)
+  /// instead of running Build(). Valid once, on an unbuilt system whose
+  /// melodies are all registered; the engine must hold exactly the system's
+  /// live melodies. The engine may borrow memory from a file mapping — its
+  /// arena materializes owned copies on first mutation.
+  void InstallPrebuiltEngine(std::unique_ptr<DtwQueryEngine> engine);
+
+  /// The built engine, for the persistence layer (serializing arenas and
+  /// index pages straight out of it). Null before Build().
+  const DtwQueryEngine* engine() const { return engine_.get(); }
 
   bool built() const { return engine_ != nullptr; }
 

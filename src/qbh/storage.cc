@@ -3,77 +3,22 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "music/melody_io.h"
 #include "obs/metrics.h"
+#include "qbh/storage_detail.h"
+#include "qbh/storage_v3.h"
 #include "util/crc32c.h"
 #include "util/parse_number.h"
 #include "util/retry.h"
 
 namespace humdex {
 
-namespace {
-
-// Sanity bounds on parsed options: a corrupt v1 file (no checksum) must not
-// be able to request a multi-gigabyte normal form or a NaN width and drive
-// Build() into an abort or OOM.
-constexpr std::size_t kMaxNormalLen = 1 << 20;
-constexpr double kMaxSamplesPerBeat = 1e6;
-constexpr std::size_t kMaxNextId = 1 << 24;  // bounds the tombstone vector
-// Matches the engine's reference cap: a parsed pivot block that passes these
-// bounds can be handed to SetReferences without tripping its CHECKs.
-constexpr std::size_t kMaxPivots = 64;
-
-/// Id-space metadata for a gapped (tombstoned) corpus; absent in dense files.
-struct DbMeta {
-  std::optional<std::size_t> next_id;
-  std::optional<std::vector<std::size_t>> ids;
-  /// LB_Triangle reference block: `option pivots <n>` plus n `pivot ...`
-  /// lines. Both absent in files saved without references.
-  std::optional<std::size_t> pivot_count;
-  std::vector<Series> pivots;
-};
-
-/// Parse one `pivot <v0> <v1> ...` line. Every value must be a finite
-/// double; length is validated later against normal_len (the option may
-/// legally appear after the pivot lines in a crafted file).
-Status ParsePivotLine(const std::string& line, Series* out) {
-  out->clear();
-  std::istringstream fields(line.substr(6));
-  std::string tok;
-  while (fields >> tok) {
-    if (out->size() >= kMaxNormalLen) {
-      return Status::InvalidArgument("pivot line too long");
-    }
-    double v = 0.0;
-    HUMDEX_RETURN_IF_ERROR(ParseDouble(tok, &v));
-    if (!std::isfinite(v)) {
-      return Status::InvalidArgument("non-finite pivot value");
-    }
-    out->push_back(v);
-  }
-  if (out->empty()) return Status::InvalidArgument("empty pivot line");
-  return Status::OK();
-}
-
-Status ParseIdList(const std::string& value, std::vector<std::size_t>* out) {
-  out->clear();
-  std::size_t start = 0;
-  while (start <= value.size()) {
-    std::size_t comma = value.find(',', start);
-    if (comma == std::string::npos) comma = value.size();
-    std::size_t id = 0;
-    HUMDEX_RETURN_IF_ERROR(
-        ParseSize(value.substr(start, comma - start), &id));
-    if (id >= kMaxNextId) {
-      return Status::InvalidArgument("melody id out of range");
-    }
-    out->push_back(id);
-    start = comma + 1;
-  }
-  return Status::OK();
-}
+// Definitions for the internals shared with the v3 binary format
+// (storage_detail.h). The metric references are immortal registry entries.
+namespace storage_detail {
 
 obs::Counter& CorruptionCounter() {
   static obs::Counter& c =
@@ -150,9 +95,6 @@ bool IndexFromName(const std::string& name, IndexKind* out) {
   return true;
 }
 
-/// Apply one `option <key> <value>` pair to `opt`. Exception-free: numeric
-/// values go through the checked parsers and out-of-range values are
-/// rejected here, before they can reach a HUMDEX_CHECK in QbhSystem.
 Status ApplyOption(const std::string& key, const std::string& value,
                    QbhOptions* opt) {
   if (key == "normal_len") {
@@ -190,8 +132,6 @@ Status ApplyOption(const std::string& key, const std::string& value,
   return Status::OK();
 }
 
-/// The inter-option constraints QbhSystem::Build() CHECKs: a corrupt file
-/// must fail here with a Status, not abort inside a scheme constructor.
 Status ValidateOptions(const QbhOptions& opt) {
   if (opt.normal_len < opt.feature_dim) {
     return Status::InvalidArgument("normal_len < feature_dim");
@@ -212,6 +152,91 @@ Status ValidateOptions(const QbhOptions& opt) {
     case SchemeKind::kDft:
     case SchemeKind::kSvd:
       break;
+  }
+  return Status::OK();
+}
+
+std::string SerializeOptionLines(const QbhOptions& opt) {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "option normal_len %zu\n", opt.normal_len);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "option warping_width %.17g\n",
+                opt.warping_width);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "option feature_dim %zu\n", opt.feature_dim);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "option scheme %s\n", SchemeName(opt.scheme));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "option index %s\n", IndexName(opt.index));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "option samples_per_beat %.17g\n",
+                opt.samples_per_beat);
+  out += buf;
+  return out;
+}
+
+}  // namespace storage_detail
+
+namespace {
+
+using storage_detail::ApplyOption;
+using storage_detail::Corruption;
+using storage_detail::CorruptionCounter;
+using storage_detail::IndexName;
+using storage_detail::kMaxNextId;
+using storage_detail::kMaxNormalLen;
+using storage_detail::kMaxPivots;
+using storage_detail::SalvagedCounter;
+using storage_detail::SchemeName;
+using storage_detail::ValidateOptions;
+
+/// Id-space metadata for a gapped (tombstoned) corpus; absent in dense files.
+struct DbMeta {
+  std::optional<std::size_t> next_id;
+  std::optional<std::vector<std::size_t>> ids;
+  /// LB_Triangle reference block: `option pivots <n>` plus n `pivot ...`
+  /// lines. Both absent in files saved without references.
+  std::optional<std::size_t> pivot_count;
+  std::vector<Series> pivots;
+};
+
+/// Parse one `pivot <v0> <v1> ...` line. Every value must be a finite
+/// double; length is validated later against normal_len (the option may
+/// legally appear after the pivot lines in a crafted file).
+Status ParsePivotLine(const std::string& line, Series* out) {
+  out->clear();
+  std::istringstream fields(line.substr(6));
+  std::string tok;
+  while (fields >> tok) {
+    if (out->size() >= kMaxNormalLen) {
+      return Status::InvalidArgument("pivot line too long");
+    }
+    double v = 0.0;
+    HUMDEX_RETURN_IF_ERROR(ParseDouble(tok, &v));
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite pivot value");
+    }
+    out->push_back(v);
+  }
+  if (out->empty()) return Status::InvalidArgument("empty pivot line");
+  return Status::OK();
+}
+
+Status ParseIdList(const std::string& value, std::vector<std::size_t>* out) {
+  out->clear();
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    std::size_t comma = value.find(',', start);
+    if (comma == std::string::npos) comma = value.size();
+    std::size_t id = 0;
+    HUMDEX_RETURN_IF_ERROR(
+        ParseSize(value.substr(start, comma - start), &id));
+    if (id >= kMaxNextId) {
+      return Status::InvalidArgument("melody id out of range");
+    }
+    out->push_back(id);
+    start = comma + 1;
   }
   return Status::OK();
 }
@@ -343,16 +368,31 @@ Result<QbhSystem> BuildSystem(QbhOptions opt, std::vector<Melody> corpus,
   return system;
 }
 
-Status ReadFileWithRetry(Env* env, const std::string& path, std::string* out) {
+Status MapFileWithRetry(Env* env, const std::string& path,
+                        MemorySource* out) {
   if (env == nullptr) env = Env::Default();
   RetryPolicy policy;
-  return RetryWithBackoff(policy,
-                          [&] { return env->ReadFile(path, out); });
+  return RetryWithBackoff(policy, [&] { return env->MapFile(path, out); });
+}
+
+/// A v3 image arriving as in-memory bytes (snapshot shipping, tests) is
+/// copied into a page-aligned owned source, so the same aligned zero-copy
+/// parse path serves both mapped files and shipped strings.
+std::shared_ptr<MemorySource> OwnedSourceFrom(std::string_view bytes) {
+  auto source =
+      std::make_shared<MemorySource>(MemorySource::AllocateOwned(bytes.size()));
+  std::memcpy(source->mutable_data(), bytes.data(), bytes.size());
+  return source;
 }
 
 }  // namespace
 
 std::string SerializeQbhDatabase(const QbhSystem& system) {
+  if (system.options().format == CheckpointFormat::kV3Binary &&
+      system.engine() != nullptr) {
+    return SerializeQbhCorpusV3(system.options(), system.CorpusSnapshot(),
+                                *system.engine());
+  }
   return SerializeQbhCorpus(system.options(), system.CorpusSnapshot(),
                             system.References());
 }
@@ -362,20 +402,7 @@ std::string SerializeQbhCorpus(
     const std::vector<Series>& pivots) {
   std::string out = "humdex-db v2\n";
   char buf[128];
-  std::snprintf(buf, sizeof(buf), "option normal_len %zu\n", opt.normal_len);
-  out += buf;
-  std::snprintf(buf, sizeof(buf), "option warping_width %.17g\n",
-                opt.warping_width);
-  out += buf;
-  std::snprintf(buf, sizeof(buf), "option feature_dim %zu\n", opt.feature_dim);
-  out += buf;
-  std::snprintf(buf, sizeof(buf), "option scheme %s\n", SchemeName(opt.scheme));
-  out += buf;
-  std::snprintf(buf, sizeof(buf), "option index %s\n", IndexName(opt.index));
-  out += buf;
-  std::snprintf(buf, sizeof(buf), "option samples_per_beat %.17g\n",
-                opt.samples_per_beat);
-  out += buf;
+  out += storage_detail::SerializeOptionLines(opt);
   // LB_Triangle reference series (DESIGN.md §11). Inside the checksummed
   // body so a reopened database prunes with exactly the saved references.
   if (!pivots.empty()) {
@@ -415,6 +442,9 @@ std::string SerializeQbhCorpus(
 }
 
 Result<QbhSystem> ParseQbhDatabase(const std::string& text) {
+  if (LooksLikeV3(text)) {
+    return ParseQbhDatabaseV3(OwnedSourceFrom(text));
+  }
   std::istringstream in(text);
   std::string line;
   if (!std::getline(in, line)) {
@@ -465,6 +495,9 @@ Result<QbhSystem> ParseQbhDatabase(const std::string& text) {
 
 Result<QbhSystem> ParseQbhDatabaseSalvage(const std::string& text,
                                           SalvageReport* report) {
+  if (LooksLikeV3(text)) {
+    return ParseQbhDatabaseV3Salvage(OwnedSourceFrom(text), report);
+  }
   SalvageReport local;
   std::istringstream in(text);
   std::string line;
@@ -635,16 +668,25 @@ Status SaveQbhDatabase(const std::string& path, const QbhSystem& system,
 }
 
 Result<QbhSystem> LoadQbhDatabase(const std::string& path, Env* env) {
-  std::string text;
-  HUMDEX_RETURN_IF_ERROR(ReadFileWithRetry(env, path, &text));
-  return ParseQbhDatabase(text);
+  // One mapped (or page-aligned buffered) view serves both formats: a v3
+  // image parses zero-copy straight out of it; text formats copy out once,
+  // exactly as the old whole-file read did.
+  auto source = std::make_shared<MemorySource>();
+  HUMDEX_RETURN_IF_ERROR(MapFileWithRetry(env, path, source.get()));
+  if (LooksLikeV3(source->view())) {
+    return ParseQbhDatabaseV3(std::move(source));
+  }
+  return ParseQbhDatabase(std::string(source->view()));
 }
 
 Result<QbhSystem> LoadQbhDatabaseSalvage(const std::string& path,
                                          SalvageReport* report, Env* env) {
-  std::string text;
-  HUMDEX_RETURN_IF_ERROR(ReadFileWithRetry(env, path, &text));
-  return ParseQbhDatabaseSalvage(text, report);
+  auto source = std::make_shared<MemorySource>();
+  HUMDEX_RETURN_IF_ERROR(MapFileWithRetry(env, path, source.get()));
+  if (LooksLikeV3(source->view())) {
+    return ParseQbhDatabaseV3Salvage(std::move(source), report);
+  }
+  return ParseQbhDatabaseSalvage(std::string(source->view()), report);
 }
 
 }  // namespace humdex

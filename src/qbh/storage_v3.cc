@@ -1,0 +1,907 @@
+#include "qbh/storage_v3.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <string_view>
+
+#include "gemini/query_engine.h"
+#include "index/rstar_tree.h"
+#include "qbh/storage_detail.h"
+#include "transform/feature_scheme.h"
+#include "transform/linear_transform.h"
+#include "ts/codec.h"
+#include "util/crc32c.h"
+#include "util/matrix.h"
+#include "util/thread_pool.h"
+
+namespace humdex {
+namespace {
+
+using storage_detail::ApplyOption;
+using storage_detail::Corruption;
+using storage_detail::CorruptionCounter;
+using storage_detail::kMaxNextId;
+using storage_detail::kMaxPivots;
+using storage_detail::SalvagedCounter;
+using storage_detail::ValidateOptions;
+
+constexpr char kMagic[16] = {'h', 'u', 'm', 'd', 'e', 'x', '-', 'd',
+                             'b', ' ', 'v', '3', '\n', 0,   0,   0};
+constexpr std::size_t kMagicLen = 13;  // match on the text prefix
+constexpr std::size_t kPage = 4096;
+constexpr std::size_t kHeaderSize = kPage;
+constexpr std::size_t kTableStart = 64;
+constexpr std::size_t kEntrySize = 32;
+constexpr std::size_t kMaxSections = 64;
+
+// Section types, in their on-disk order.
+enum SectionType : std::uint32_t {
+  kSecOptions = 1,    ///< the v2 `option k v` lines, verbatim
+  kSecIds = 2,        ///< u64 n, then n ascending unique u64 ids
+  kSecMelodies = 3,   ///< n per-frame-checksummed melody frames
+  kSecPivots = 4,     ///< u32 count, count codec-encoded reference series
+  kSecNormals = 5,    ///< n codec-encoded normal forms, id order
+  kSecEnvelopes = 6,  ///< n*stride lo doubles, then n*stride hi (zero-copy)
+  kSecMeta = 7,       ///< n CandidateArena::Meta rows (zero-copy)
+  kSecPivotRows = 8,  ///< n pivot rows of (3p+3)&~3 doubles (zero-copy)
+  kSecFeatures = 9,   ///< n * feature_dim raw doubles (non-R*-tree backends)
+  kSecIndex = 10,     ///< RStarTree::SerializePages blob (R*-tree backend)
+  kSecScheme = 11,    ///< u64 rows, u64 cols, fitted coefficients (SVD)
+};
+constexpr std::uint32_t kMaxSectionType = kSecScheme;
+
+// Bounds against decode amplification: a tiny packed payload must not be
+// able to request gigabytes of decoded doubles.
+constexpr std::size_t kMaxNameLen = 1 << 20;
+constexpr std::size_t kMaxNotesPerMelody = 1 << 22;
+constexpr std::size_t kMaxTotalNotes = 1 << 26;
+constexpr std::size_t kMaxDecodedDoubles = std::size_t{1} << 31;
+
+inline std::size_t RowStride(std::size_t len) {
+  return (len + 3) & ~static_cast<std::size_t>(3);
+}
+
+inline std::size_t PivotStride(std::size_t dims) {
+  return (3 * dims + 3) & ~static_cast<std::size_t>(3);
+}
+
+void PutU32(std::string* out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
+}
+
+void StoreU32(char* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void StoreU64(char* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+
+/// LEB128, for the small integers in per-melody frames (id, name length,
+/// note count): one byte in the common case instead of four or eight.
+void PutVarint(std::string* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+std::uint32_t LoadU32(std::string_view in, std::size_t pos) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, in.data() + pos, 4);
+  return v;
+}
+
+std::uint64_t LoadU64(std::string_view in, std::size_t pos) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, in.data() + pos, 8);
+  return v;
+}
+
+/// Bounds-checked forward reader over a section's bytes.
+struct Cursor {
+  std::string_view in;
+  std::size_t pos = 0;
+
+  std::size_t remaining() const { return in.size() - pos; }
+  bool done() const { return pos == in.size(); }
+  bool ReadBytes(void* dst, std::size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(dst, in.data() + pos, n);
+    pos += n;
+    return true;
+  }
+  bool ReadU32(std::uint32_t* v) { return ReadBytes(v, 4); }
+  bool ReadU64(std::uint64_t* v) { return ReadBytes(v, 8); }
+  bool ReadVarint(std::uint64_t* v) {
+    *v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos >= in.size()) return false;
+      const std::uint8_t b = static_cast<std::uint8_t>(in[pos++]);
+      if (shift == 63 && (b & 0x7e) != 0) return false;  // > 64 bits
+      *v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) {
+        // Reject non-canonical padding so every value has one wire form.
+        return b != 0 || shift == 0;
+      }
+    }
+    return false;
+  }
+  bool Skip(std::size_t n) {
+    if (remaining() < n) return false;
+    pos += n;
+    return true;
+  }
+};
+
+/// One melody frame's payload (the bytes covered by its per-frame CRC).
+std::string EncodeMelodyPayload(std::uint64_t id, const Melody& m) {
+  std::string payload;
+  PutVarint(&payload, id);
+  PutVarint(&payload, m.name.size());
+  payload += m.name;
+  PutVarint(&payload, m.notes.size());
+  Series track(m.notes.size());
+  for (std::size_t i = 0; i < m.notes.size(); ++i) track[i] = m.notes[i].pitch;
+  codec::EncodeSeries(track, &payload);
+  for (std::size_t i = 0; i < m.notes.size(); ++i) {
+    track[i] = m.notes[i].duration;
+  }
+  codec::EncodeSeries(track, &payload);
+  return payload;
+}
+
+/// Strict payload parse. `total_notes` accumulates across frames (bounded).
+Status DecodeMelodyPayload(std::string_view payload, std::uint64_t* id,
+                           Melody* out, std::size_t* total_notes) {
+  Cursor c{payload};
+  std::uint64_t name_len = 0;
+  std::uint64_t note_count = 0;
+  if (!c.ReadVarint(id) || !c.ReadVarint(&name_len)) {
+    return Status::Corruption("melody frame header truncated");
+  }
+  if (name_len > kMaxNameLen || name_len > c.remaining()) {
+    return Status::Corruption("melody name length out of range");
+  }
+  out->name.assign(payload.data() + c.pos, static_cast<std::size_t>(name_len));
+  c.pos += static_cast<std::size_t>(name_len);
+  if (!c.ReadVarint(&note_count) || note_count == 0 ||
+      note_count > kMaxNotesPerMelody ||
+      *total_notes + note_count > kMaxTotalNotes) {
+    return Status::Corruption("melody note count out of range");
+  }
+  *total_notes += note_count;
+  Series pitches, durations;
+  HUMDEX_RETURN_IF_ERROR(
+      codec::DecodeSeries(payload, &c.pos, note_count, &pitches));
+  HUMDEX_RETURN_IF_ERROR(
+      codec::DecodeSeries(payload, &c.pos, note_count, &durations));
+  if (!c.done()) {
+    return Status::Corruption("trailing bytes in melody frame");
+  }
+  out->notes.resize(note_count);
+  for (std::size_t i = 0; i < note_count; ++i) {
+    if (!std::isfinite(pitches[i]) || !std::isfinite(durations[i]) ||
+        durations[i] <= 0.0) {
+      return Status::Corruption("melody note out of domain");
+    }
+    out->notes[i] = Note{pitches[i], durations[i]};
+  }
+  return Status::OK();
+}
+
+/// Parse the OPTIONS section (strict): every line must be a valid
+/// `option k v`. Returns validated options.
+Status ParseOptionsSection(std::string_view text, QbhOptions* opt) {
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t eol = text.find('\n', start);
+    if (eol == std::string_view::npos) {
+      return Status::Corruption("unterminated option line");
+    }
+    std::string line(text.substr(start, eol - start));
+    start = eol + 1;
+    if (line.rfind("option ", 0) != 0) {
+      return Status::Corruption("malformed option line: '" + line + "'");
+    }
+    std::size_t sp = line.find(' ', 7);
+    if (sp == std::string::npos || sp + 1 >= line.size()) {
+      return Status::Corruption("malformed option line: '" + line + "'");
+    }
+    HUMDEX_RETURN_IF_ERROR(
+        ApplyOption(line.substr(7, sp - 7), line.substr(sp + 1), opt));
+  }
+  return ValidateOptions(*opt);
+}
+
+struct SectionEntry {
+  bool present = false;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint32_t crc = 0;
+  std::string_view bytes;  // filled once validated
+};
+
+bool RangeIsZero(std::string_view in, std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (in[i] != 0) return false;
+  }
+  return true;
+}
+
+/// Strict header + section-table parse shared by the strict loader; fills
+/// `secs` (indexed by type) with validated, CRC-checked section views.
+Status ParseSectionTable(std::string_view in,
+                         SectionEntry (&secs)[kMaxSectionType + 1],
+                         std::uint64_t* next_id, std::uint64_t* melody_count) {
+  if (in.size() < kHeaderSize) {
+    return Corruption("v3 file shorter than its header page");
+  }
+  const std::uint32_t count = LoadU32(in, 16);
+  if (count == 0 || count > kMaxSections) {
+    return Corruption("v3 section count out of range");
+  }
+  const std::uint64_t file_size = LoadU64(in, 24);
+  *next_id = LoadU64(in, 32);
+  *melody_count = LoadU64(in, 40);
+  const std::uint32_t stored_crc = LoadU32(in, 56);
+  std::uint32_t actual = Crc32cExtend(0, in.data(), 56);
+  actual = Crc32cExtend(actual, in.data() + kTableStart, count * kEntrySize);
+  if (actual != stored_crc) {
+    return Corruption("v3 header checksum mismatch");
+  }
+  // Bytes [60, 64) sit between the checksum and the table, outside the
+  // checksummed span — they must be zero so every header bit is verified.
+  if (LoadU32(in, 60) != 0) {
+    return Corruption("v3 reserved header bytes set");
+  }
+  if (file_size != in.size()) {
+    return Corruption("v3 file size does not match header");
+  }
+  if (!RangeIsZero(in, kTableStart + count * kEntrySize, kHeaderSize)) {
+    return Corruption("v3 header page has nonzero padding");
+  }
+  std::uint64_t prev_end = kHeaderSize;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t e = kTableStart + i * kEntrySize;
+    const std::uint32_t type = LoadU32(in, e);
+    const std::uint32_t flags = LoadU32(in, e + 4);
+    const std::uint64_t offset = LoadU64(in, e + 8);
+    const std::uint64_t length = LoadU64(in, e + 16);
+    const std::uint32_t crc = LoadU32(in, e + 24);
+    const std::uint32_t reserved = LoadU32(in, e + 28);
+    if (type == 0 || type > kMaxSectionType) {
+      return Corruption("v3 unknown section type");
+    }
+    if (flags != 0 || reserved != 0) {
+      return Corruption("v3 reserved section bits set");
+    }
+    if (secs[type].present) return Corruption("v3 duplicate section");
+    if (offset % kPage != 0 || offset < prev_end ||
+        length > in.size() - offset) {
+      return Corruption("v3 section out of bounds");
+    }
+    if (!RangeIsZero(in, prev_end, offset)) {
+      return Corruption("v3 inter-section gap has nonzero bytes");
+    }
+    // Section CRCs are deliberately NOT verified here: the strict parse
+    // overlaps that scan (the whole file's bytes) with decoding on a worker
+    // thread, and the salvage parse runs its own lenient version.
+    secs[type] = {true, offset, length, crc, in.substr(offset, length)};
+    prev_end = offset + length;
+  }
+  if (prev_end != in.size()) {
+    return Corruption("v3 trailing bytes after the last section");
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<FeatureScheme> MakeFixedScheme(const QbhOptions& opt) {
+  switch (opt.scheme) {
+    case SchemeKind::kNewPaa:
+      return MakeNewPaaScheme(opt.normal_len, opt.feature_dim);
+    case SchemeKind::kKeoghPaa:
+      return MakeKeoghPaaScheme(opt.normal_len, opt.feature_dim);
+    case SchemeKind::kDft:
+      return MakeDftScheme(opt.normal_len, opt.feature_dim);
+    case SchemeKind::kDwt:
+      return MakeDwtScheme(opt.normal_len, opt.feature_dim);
+    case SchemeKind::kSvd:
+      break;  // rebuilt from the SCHEME section's fitted coefficients
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool LooksLikeV3(std::string_view data) {
+  return data.size() >= kMagicLen &&
+         std::memcmp(data.data(), kMagic, kMagicLen) == 0;
+}
+
+std::string SerializeQbhCorpusV3(
+    const QbhOptions& opt, const std::vector<std::optional<Melody>>& slots,
+    const DtwQueryEngine& engine) {
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].has_value()) ids.push_back(i);
+  }
+  const std::size_t n = ids.size();
+  HUMDEX_CHECK_MSG(engine.size() == n,
+                   "v3 serializer: engine does not mirror the corpus");
+  const CandidateArena& arena = engine.arena();
+  const std::size_t stride = arena.stride();
+
+  std::vector<std::pair<std::uint32_t, std::string>> sections;
+  sections.emplace_back(kSecOptions, storage_detail::SerializeOptionLines(opt));
+
+  {
+    std::string s;
+    PutU64(&s, n);
+    for (std::uint64_t id : ids) PutU64(&s, id);
+    sections.emplace_back(kSecIds, std::move(s));
+  }
+
+  {
+    std::string s;
+    for (std::uint64_t id : ids) {
+      std::string payload = EncodeMelodyPayload(id, *slots[id]);
+      PutU32(&s, static_cast<std::uint32_t>(payload.size()));
+      PutU32(&s, Crc32c(payload));
+      s += payload;
+    }
+    sections.emplace_back(kSecMelodies, std::move(s));
+  }
+
+  const std::vector<Series> refs = engine.references();
+  if (!refs.empty()) {
+    std::string s;
+    PutU32(&s, static_cast<std::uint32_t>(refs.size()));
+    for (const Series& r : refs) codec::EncodeSeries(r, &s);
+    sections.emplace_back(kSecPivots, std::move(s));
+  }
+
+  // Per-id arena positions, reused by every id-ordered section below.
+  std::vector<std::size_t> pos(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[i] = engine.PosForId(static_cast<std::int64_t>(ids[i]));
+    HUMDEX_CHECK(pos[i] != static_cast<std::size_t>(-1));
+  }
+
+  {
+    std::string s;
+    for (std::size_t i = 0; i < n; ++i) {
+      codec::EncodeSeries(engine.SeriesAt(pos[i]), &s);
+    }
+    sections.emplace_back(kSecNormals, std::move(s));
+  }
+
+  {
+    std::string s;
+    s.reserve(2 * n * stride * sizeof(double));
+    for (std::size_t i = 0; i < n; ++i) {
+      s.append(reinterpret_cast<const char*>(arena.env_lo(pos[i])),
+               stride * sizeof(double));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      s.append(reinterpret_cast<const char*>(arena.env_hi(pos[i])),
+               stride * sizeof(double));
+    }
+    sections.emplace_back(kSecEnvelopes, std::move(s));
+  }
+
+  {
+    static_assert(sizeof(CandidateArena::Meta) == 32,
+                  "META section layout is 4 doubles per row");
+    std::string s;
+    s.reserve(n * sizeof(CandidateArena::Meta));
+    for (std::size_t i = 0; i < n; ++i) {
+      s.append(reinterpret_cast<const char*>(&arena.meta(pos[i])),
+               sizeof(CandidateArena::Meta));
+    }
+    sections.emplace_back(kSecMeta, std::move(s));
+  }
+
+  if (!refs.empty()) {
+    const std::size_t ps = PivotStride(refs.size());
+    std::string s;
+    s.reserve(n * ps * sizeof(double));
+    for (std::size_t i = 0; i < n; ++i) {
+      s.append(reinterpret_cast<const char*>(arena.pivot_ed(pos[i])),
+               ps * sizeof(double));
+    }
+    sections.emplace_back(kSecPivotRows, std::move(s));
+  }
+
+  if (opt.index == IndexKind::kRStarTree) {
+    const RStarTree* tree = engine.feature_index().rstar_tree();
+    HUMDEX_CHECK_MSG(tree != nullptr, "R*-tree backend without an R*-tree");
+    std::string s;
+    tree->SerializePages(&s);
+    sections.emplace_back(kSecIndex, std::move(s));
+  } else {
+    std::string s;
+    s.reserve(n * opt.feature_dim * sizeof(double));
+    const FeatureScheme& scheme = engine.feature_index().scheme();
+    for (std::size_t i = 0; i < n; ++i) {
+      Series f = scheme.Features(engine.SeriesAt(pos[i]));
+      HUMDEX_CHECK(f.size() == opt.feature_dim);
+      s.append(reinterpret_cast<const char*>(f.data()),
+               f.size() * sizeof(double));
+    }
+    sections.emplace_back(kSecFeatures, std::move(s));
+  }
+
+  if (opt.scheme == SchemeKind::kSvd) {
+    const auto* linear =
+        dynamic_cast<const LinearScheme*>(&engine.feature_index().scheme());
+    HUMDEX_CHECK_MSG(linear != nullptr, "SVD scheme is not linear");
+    const Matrix& m = linear->transform()->coefficients();
+    std::string s;
+    PutU64(&s, m.rows());
+    PutU64(&s, m.cols());
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      s.append(reinterpret_cast<const char*>(m.Row(r)),
+               m.cols() * sizeof(double));
+    }
+    sections.emplace_back(kSecScheme, std::move(s));
+  }
+
+  // Lay the sections out at ascending page-aligned offsets and assemble the
+  // image: header page, zero-filled gaps, file size ending exactly at the
+  // last section's last byte.
+  struct Placed {
+    std::uint32_t type;
+    std::uint64_t offset;
+    std::uint64_t length;
+    std::uint32_t crc;
+  };
+  std::vector<Placed> table;
+  std::uint64_t offset = kHeaderSize;
+  for (const auto& [type, bytes] : sections) {
+    table.push_back({type, offset, bytes.size(), Crc32c(bytes)});
+    offset = (offset + bytes.size() + kPage - 1) & ~(kPage - 1);
+  }
+  const std::uint64_t file_size = table.back().offset + table.back().length;
+
+  std::string out(file_size, '\0');
+  std::memcpy(&out[0], kMagic, sizeof(kMagic));
+  StoreU32(&out[16], static_cast<std::uint32_t>(sections.size()));
+  StoreU64(&out[24], file_size);
+  StoreU64(&out[32], static_cast<std::uint64_t>(slots.size()));
+  StoreU64(&out[40], n);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    char* e = &out[kTableStart + i * kEntrySize];
+    StoreU32(e, table[i].type);
+    StoreU32(e + 4, 0);
+    StoreU64(e + 8, table[i].offset);
+    StoreU64(e + 16, table[i].length);
+    StoreU32(e + 24, table[i].crc);
+    StoreU32(e + 28, 0);
+  }
+  std::uint32_t crc = Crc32cExtend(0, out.data(), 56);
+  crc = Crc32cExtend(crc, out.data() + kTableStart,
+                     table.size() * kEntrySize);
+  StoreU32(&out[56], crc);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    std::memcpy(&out[table[i].offset], sections[i].second.data(),
+                sections[i].second.size());
+  }
+  return out;
+}
+
+Result<QbhSystem> ParseQbhDatabaseV3(std::shared_ptr<MemorySource> source) {
+  const std::string_view in = source->view();
+  if (!LooksLikeV3(in)) {
+    return Status::InvalidArgument("missing 'humdex-db v3' magic");
+  }
+  SectionEntry secs[kMaxSectionType + 1] = {};
+  std::uint64_t next_id = 0;
+  std::uint64_t melody_count = 0;
+  HUMDEX_RETURN_IF_ERROR(
+      ParseSectionTable(in, secs, &next_id, &melody_count));
+  for (std::uint32_t t :
+       {kSecOptions, kSecIds, kSecMelodies, kSecNormals, kSecEnvelopes,
+        kSecMeta}) {
+    if (!secs[t].present) return Corruption("v3 required section missing");
+  }
+
+  QbhOptions opt;
+  HUMDEX_RETURN_IF_ERROR(ParseOptionsSection(secs[kSecOptions].bytes, &opt));
+  opt.format = CheckpointFormat::kV3Binary;
+
+  // Section presence must agree with the configuration the options declare.
+  if (secs[kSecPivots].present != secs[kSecPivotRows].present) {
+    return Corruption("v3 pivot sections must appear together");
+  }
+  const bool rstar = opt.index == IndexKind::kRStarTree;
+  if (secs[kSecIndex].present != rstar ||
+      secs[kSecFeatures].present == rstar) {
+    return Corruption("v3 index sections do not match the index option");
+  }
+  if (secs[kSecScheme].present != (opt.scheme == SchemeKind::kSvd)) {
+    return Corruption("v3 scheme section does not match the scheme option");
+  }
+
+  // IDS: n ascending unique ids below the id-space bound.
+  Cursor ids_in{secs[kSecIds].bytes};
+  std::uint64_t n64 = 0;
+  if (!ids_in.ReadU64(&n64) || n64 == 0 || n64 != melody_count ||
+      n64 > kMaxNextId) {
+    return Corruption("v3 melody count out of range");
+  }
+  const std::size_t n = static_cast<std::size_t>(n64);
+  std::vector<std::int64_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t id = 0;
+    if (!ids_in.ReadU64(&id) || id >= kMaxNextId ||
+        (i > 0 && id <= static_cast<std::uint64_t>(ids[i - 1]))) {
+      return Corruption("v3 id list is not ascending and in range");
+    }
+    ids[i] = static_cast<std::int64_t>(id);
+  }
+  if (!ids_in.done()) return Corruption("trailing bytes in v3 id section");
+  if (next_id <= static_cast<std::uint64_t>(ids.back()) ||
+      next_id > kMaxNextId) {
+    return Corruption("v3 next_id out of range");
+  }
+
+  // Two workers carry the file-sized but independent scans while this thread
+  // decodes the normals and assembles the engine:
+  //   - verification of every section's CRC (every data byte in the file),
+  //   - the per-frame-checksummed MELODIES section decode.
+  // Decoding bytes whose section CRC has not been verified YET is safe: the
+  // decoders are exhaustively bounds-checked (corruption_test flips every
+  // bit of an image), and both verdicts gate success before anything is
+  // returned. `melodies` and `ids` must outlive `pool` — the pool's
+  // destructor drains submitted tasks on every early-return path.
+  std::vector<Melody> melodies(n);
+  ThreadPool pool(2);
+  std::future<Status> crc_done = pool.Submit([&secs]() -> Status {
+    for (std::uint32_t t = 1; t <= kMaxSectionType; ++t) {
+      if (secs[t].present && Crc32c(secs[t].bytes) != secs[t].crc) {
+        return Corruption("v3 section checksum mismatch");
+      }
+    }
+    return Status::OK();
+  });
+  std::future<Status> melodies_done =
+      pool.Submit([&secs, &ids, &melodies, n]() -> Status {
+        Cursor c{secs[kSecMelodies].bytes};
+        std::size_t total_notes = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          std::uint32_t len = 0, crc = 0;
+          if (!c.ReadU32(&len) || !c.ReadU32(&crc) || len > c.remaining()) {
+            return Corruption("v3 melody frame truncated");
+          }
+          std::string_view payload = c.in.substr(c.pos, len);
+          c.pos += len;
+          if (Crc32c(payload) != crc) {
+            return Corruption("v3 melody frame checksum mismatch");
+          }
+          std::uint64_t id = 0;
+          Status st =
+              DecodeMelodyPayload(payload, &id, &melodies[i], &total_notes);
+          if (!st.ok()) return Corruption(st.message());
+          if (id != static_cast<std::uint64_t>(ids[i])) {
+            return Corruption("v3 melody frame id does not match the id list");
+          }
+        }
+        if (!c.done()) {
+          return Corruption("trailing bytes in v3 melody section");
+        }
+        return Status::OK();
+      });
+
+  // PIVOTS: the engine's LB_Triangle references, codec-encoded.
+  std::vector<Series> pivots;
+  if (secs[kSecPivots].present) {
+    Cursor c{secs[kSecPivots].bytes};
+    std::uint32_t count = 0;
+    if (!c.ReadU32(&count) || count == 0 || count > kMaxPivots) {
+      return Corruption("v3 pivot count out of range");
+    }
+    pivots.resize(count);
+    for (Series& p : pivots) {
+      Status st = codec::DecodeSeries(c.in, &c.pos, opt.normal_len, &p);
+      if (!st.ok()) return Corruption(st.message());
+      for (double v : p) {
+        if (!std::isfinite(v)) return Corruption("non-finite v3 pivot value");
+      }
+    }
+    if (!c.done()) return Corruption("trailing bytes in v3 pivot section");
+  }
+
+  // NORMALS: the decoded normal forms (the only non-zero-copy bulk data).
+  if (n * opt.normal_len > kMaxDecodedDoubles) {
+    return Corruption("v3 normal-form payload too large");
+  }
+  std::vector<Series> normals(n);
+  {
+    Cursor c{secs[kSecNormals].bytes};
+    for (Series& s : normals) {
+      Status st = codec::DecodeSeries(c.in, &c.pos, opt.normal_len, &s);
+      if (!st.ok()) return Corruption(st.message());
+      for (double v : s) {
+        if (!std::isfinite(v)) {
+          return Corruption("non-finite v3 normal-form value");
+        }
+      }
+    }
+    if (!c.done()) return Corruption("trailing bytes in v3 normals section");
+  }
+
+  // ENVELOPES / META / PIVOTROWS are served zero-copy from the source. Their
+  // offsets are page-aligned (verified above), so the casts are aligned.
+  const std::size_t stride = RowStride(opt.normal_len);
+  if (secs[kSecEnvelopes].length != 2 * n * stride * sizeof(double)) {
+    return Corruption("v3 envelope section has the wrong size");
+  }
+  const double* env_lo =
+      reinterpret_cast<const double*>(secs[kSecEnvelopes].bytes.data());
+  const double* env_hi = env_lo + n * stride;
+  if (secs[kSecMeta].length != n * sizeof(CandidateArena::Meta)) {
+    return Corruption("v3 meta section has the wrong size");
+  }
+  const auto* meta = reinterpret_cast<const CandidateArena::Meta*>(
+      secs[kSecMeta].bytes.data());
+  const double* pivot_rows = nullptr;
+  if (!pivots.empty()) {
+    const std::size_t ps = PivotStride(pivots.size());
+    if (secs[kSecPivotRows].length != n * ps * sizeof(double)) {
+      return Corruption("v3 pivot-row section has the wrong size");
+    }
+    pivot_rows =
+        reinterpret_cast<const double*>(secs[kSecPivotRows].bytes.data());
+  }
+
+  // Scheme: data-independent kinds are rebuilt from the options; SVD from
+  // its fitted coefficient matrix, which fully determines its behavior.
+  std::shared_ptr<FeatureScheme> scheme = MakeFixedScheme(opt);
+  if (scheme == nullptr) {
+    Cursor c{secs[kSecScheme].bytes};
+    std::uint64_t rows = 0, cols = 0;
+    if (!c.ReadU64(&rows) || !c.ReadU64(&cols) || rows != opt.feature_dim ||
+        cols != opt.normal_len ||
+        c.remaining() != rows * cols * sizeof(double)) {
+      return Corruption("v3 scheme section has the wrong shape");
+    }
+    Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      c.ReadBytes(m.Row(r), cols * sizeof(double));
+      for (std::size_t j = 0; j < cols; ++j) {
+        if (!std::isfinite(m(r, j))) {
+          return Corruption("non-finite v3 scheme coefficient");
+        }
+      }
+    }
+    scheme = std::make_shared<LinearScheme>(
+        std::make_shared<LinearTransform>(std::move(m), "svd"), "svd");
+  }
+
+  QueryEngineOptions eopts;
+  eopts.normal_len = opt.normal_len;
+  eopts.warping_width = opt.warping_width;
+  eopts.index.kind = opt.index;
+  eopts.cascade = opt.cascade;
+  auto engine = std::make_unique<DtwQueryEngine>(scheme, eopts);
+  engine->AddAllPrebuilt(std::move(normals), ids, std::move(pivots), env_lo,
+                         env_hi, meta, pivot_rows, source);
+
+  if (rstar) {
+    std::unique_ptr<RStarTree> tree;
+    Status st = RStarTree::FromPages(opt.feature_dim, secs[kSecIndex].bytes,
+                                     RStarOptions(), &tree);
+    if (!st.ok()) return Corruption(st.message());
+    if (tree->size() != n) {
+      return Corruption("v3 index entry count does not match the corpus");
+    }
+    engine->mutable_feature_index()->AttachRStarTree(std::move(tree));
+  } else {
+    if (secs[kSecFeatures].length != n * opt.feature_dim * sizeof(double)) {
+      return Corruption("v3 feature section has the wrong size");
+    }
+    const double* fp =
+        reinterpret_cast<const double*>(secs[kSecFeatures].bytes.data());
+    std::vector<Series> features(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      features[i].assign(fp + i * opt.feature_dim,
+                         fp + (i + 1) * opt.feature_dim);
+    }
+    engine->mutable_feature_index()->AddBatchFeatures(features, ids);
+  }
+
+  Status melodies_st = melodies_done.get();
+  if (!melodies_st.ok()) return melodies_st;
+  QbhSystem system(opt);
+  for (std::size_t i = 0; i < n; ++i) {
+    Status st = system.AddMelodyWithId(std::move(melodies[i]), ids[i]);
+    if (!st.ok()) return Corruption(st.message());
+  }
+  system.ReserveIds(static_cast<std::int64_t>(next_id));
+  system.InstallPrebuiltEngine(std::move(engine));
+  Status crc_st = crc_done.get();
+  if (!crc_st.ok()) return crc_st;
+  return system;
+}
+
+Result<QbhSystem> ParseQbhDatabaseV3Salvage(
+    std::shared_ptr<MemorySource> source, SalvageReport* report) {
+  SalvageReport local;
+  const std::string_view in = source->view();
+  if (!LooksLikeV3(in) || in.size() < kHeaderSize) {
+    if (report != nullptr) *report = local;
+    return Status::InvalidArgument("not a v3 image");
+  }
+
+  // Lenient table scan: the header checksum is advisory; any entry whose
+  // type and byte range are sane is used (first occurrence per type).
+  std::uint32_t count = LoadU32(in, 16);
+  const std::uint64_t header_next_id = LoadU64(in, 32);
+  const std::uint64_t header_count = LoadU64(in, 40);
+  {
+    std::uint32_t crc = Crc32cExtend(0, in.data(), 56);
+    const std::uint32_t table_len =
+        std::min<std::uint32_t>(count, kMaxSections) * kEntrySize;
+    crc = Crc32cExtend(crc, in.data() + kTableStart, table_len);
+    local.crc_ok = count > 0 && count <= kMaxSections &&
+                   crc == LoadU32(in, 56) && LoadU64(in, 24) == in.size();
+    if (!local.crc_ok) CorruptionCounter().Increment();
+  }
+  if (count > kMaxSections) count = kMaxSections;
+  SectionEntry secs[kMaxSectionType + 1] = {};
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t e = kTableStart + i * kEntrySize;
+    const std::uint32_t type = LoadU32(in, e);
+    const std::uint64_t offset = LoadU64(in, e + 8);
+    const std::uint64_t length = LoadU64(in, e + 16);
+    if (type == 0 || type > kMaxSectionType || secs[type].present) continue;
+    if (offset < kHeaderSize || offset > in.size() ||
+        length > in.size() - offset) {
+      continue;
+    }
+    secs[type] = {true, offset, length, LoadU32(in, e + 24),
+                  in.substr(offset, length)};
+  }
+
+  // crc_ok reports "the image was fully intact", the v3 analog of the v2
+  // whole-body trailer: any section whose bytes fail their CRC (including a
+  // damaged melody frame — it breaks its section's CRC too) clears it.
+  for (std::uint32_t t = 1; t <= kMaxSectionType; ++t) {
+    if (secs[t].present && Crc32c(secs[t].bytes) != secs[t].crc) {
+      if (local.crc_ok) CorruptionCounter().Increment();
+      local.crc_ok = false;
+    }
+  }
+
+  // Options: lenient per-line (bad lines fall back to defaults).
+  QbhOptions opt;
+  if (secs[kSecOptions].present) {
+    std::string_view text = secs[kSecOptions].bytes;
+    std::size_t start = 0;
+    while (start < text.size()) {
+      std::size_t eol = text.find('\n', start);
+      if (eol == std::string_view::npos) break;
+      std::string line(text.substr(start, eol - start));
+      start = eol + 1;
+      if (line.rfind("option ", 0) != 0) continue;
+      std::size_t sp = line.find(' ', 7);
+      if (sp == std::string::npos || sp + 1 >= line.size()) continue;
+      QbhOptions trial = opt;
+      if (ApplyOption(line.substr(7, sp - 7), line.substr(sp + 1), &trial)
+              .ok()) {
+        opt = trial;
+      }
+    }
+  }
+  if (!ValidateOptions(opt).ok()) opt = QbhOptions();
+  opt.format = CheckpointFormat::kV3Binary;
+
+  // Melodies: every frame stands alone behind its own CRC, so a damaged
+  // frame (or a truncated section tail) drops only itself.
+  if (!secs[kSecMelodies].present) {
+    if (report != nullptr) *report = local;
+    return Status::InvalidArgument("salvage recovered no melodies");
+  }
+  std::vector<std::uint64_t> frame_ids;
+  std::vector<Melody> melodies;
+  std::size_t dropped = 0;
+  {
+    Cursor c{secs[kSecMelodies].bytes};
+    std::size_t total_notes = 0;
+    while (c.remaining() >= 8) {
+      std::uint32_t len = 0, crc = 0;
+      c.ReadU32(&len);
+      c.ReadU32(&crc);
+      if (len > c.remaining()) {
+        ++dropped;  // truncated tail: at least this frame is gone
+        break;
+      }
+      std::string_view payload = c.in.substr(c.pos, len);
+      c.pos += len;
+      std::uint64_t id = 0;
+      Melody m;
+      if (Crc32c(payload) != crc ||
+          !DecodeMelodyPayload(payload, &id, &m, &total_notes).ok() ||
+          id >= kMaxNextId) {
+        ++dropped;
+        continue;
+      }
+      frame_ids.push_back(id);
+      melodies.push_back(std::move(m));
+    }
+  }
+  if (header_count <= kMaxNextId &&
+      header_count > frame_ids.size() + dropped) {
+    dropped = static_cast<std::size_t>(header_count) - frame_ids.size();
+  }
+  local.melodies_loaded = melodies.size();
+  local.melodies_dropped = dropped;
+  if (dropped > 0) SalvagedCounter().Increment(dropped);
+  if (melodies.empty()) {
+    if (report != nullptr) *report = local;
+    return Status::InvalidArgument("salvage recovered no melodies");
+  }
+
+  // Ids come from the frames themselves; only when they collide do we
+  // renumber (and say so — renumbered ids must not be served).
+  {
+    std::vector<std::uint64_t> sorted = frame_ids;
+    std::sort(sorted.begin(), sorted.end());
+    local.ids_stable = std::adjacent_find(sorted.begin(), sorted.end()) ==
+                       sorted.end();
+  }
+
+  if (opt.scheme == SchemeKind::kSvd && melodies.size() < 2) {
+    opt.scheme = SchemeKind::kDft;  // SVD cannot fit a 1-melody salvage
+  }
+
+  // References: all-or-nothing on the pivot section's own CRC and shape;
+  // a dropped block just means Build() re-selects (still exact).
+  std::vector<Series> pivots;
+  if (secs[kSecPivots].present &&
+      Crc32c(secs[kSecPivots].bytes) == secs[kSecPivots].crc) {
+    Cursor c{secs[kSecPivots].bytes};
+    std::uint32_t pcount = 0;
+    bool ok = c.ReadU32(&pcount) && pcount > 0 && pcount <= kMaxPivots;
+    for (std::uint32_t i = 0; ok && i < pcount; ++i) {
+      Series p;
+      ok = codec::DecodeSeries(c.in, &c.pos, opt.normal_len, &p).ok();
+      for (std::size_t j = 0; ok && j < p.size(); ++j) {
+        ok = std::isfinite(p[j]);
+      }
+      if (ok) pivots.push_back(std::move(p));
+    }
+    if (!ok || !c.done()) pivots.clear();
+  }
+
+  QbhSystem system(opt);
+  if (!pivots.empty()) system.SetPendingReferences(std::move(pivots));
+  std::uint64_t max_id = 0;
+  if (local.ids_stable) {
+    for (std::size_t i = 0; i < melodies.size(); ++i) {
+      max_id = std::max(max_id, frame_ids[i]);
+      Status st = system.AddMelodyWithId(
+          std::move(melodies[i]), static_cast<std::int64_t>(frame_ids[i]));
+      HUMDEX_CHECK(st.ok());  // ids unique + in range, melodies non-empty
+    }
+    std::uint64_t next_id = max_id + 1;
+    if (header_next_id > next_id && header_next_id <= kMaxNextId) {
+      next_id = header_next_id;
+    }
+    system.ReserveIds(static_cast<std::int64_t>(next_id));
+  } else {
+    for (Melody& m : melodies) system.AddMelody(std::move(m));
+  }
+  system.Build();
+  if (report != nullptr) *report = local;
+  return system;
+}
+
+}  // namespace humdex

@@ -50,6 +50,13 @@ class LinearScheme : public FeatureScheme {
     return transform_->ApplyToEnvelope(e);
   }
 
+  /// The wrapped transform — the persistence layer stores its coefficient
+  /// matrix for data-fitted schemes (SVD), whose behavior is fully captured
+  /// by the fitted coefficients.
+  const std::shared_ptr<const LinearTransform>& transform() const {
+    return transform_;
+  }
+
  private:
   std::shared_ptr<const LinearTransform> transform_;
   std::string name_;

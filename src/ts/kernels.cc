@@ -54,10 +54,16 @@ double LdtwRowUpdateScalar(double xi, const double* y, const double* prev,
   return detail::LdtwSerialPass(cost_buf, t1_buf, cur, jlo, jhi);
 }
 
+void DeltaDecodeScalar(const std::int64_t* m, std::size_t n, double v0,
+                       double scale, double* out) {
+  detail::DeltaDecodeTail(m, 0, n, v0, scale, out);
+}
+
 constexpr KernelTable kScalarTable = {
     SqDistToBoxScalar,
     SqDistToBoxScalar,  // MINDIST-to-rect is the same clamp-excess sum
     LdtwRowUpdateScalar,
+    DeltaDecodeScalar,
     "scalar",
 };
 

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "util/cpu.h"
 
@@ -60,12 +61,24 @@ using LdtwRowFn = double (*)(double xi, const double* y, const double* prev,
                              double* cur, std::size_t jlo, std::size_t jhi,
                              double* cost_buf, double* t1_buf);
 
+/// Value reconstruction pass of the delta+bitpack series codec (ts/codec.h):
+///   out[i] = v0 + static_cast<double>(m[i]) * scale    for i in [0, n)
+/// where m[i] is the exact integer prefix sum of the decoded deltas. Exact
+/// and variant-independent by construction: the encoder bounds |m[i]| <=
+/// 2^50 so the int64 -> double conversion is exact in every variant
+/// (including the SIMD magic-number form), `scale` is a power of two (exact
+/// multiply), and each output therefore involves exactly one rounded
+/// addition — the same in scalar, SSE2, and AVX2.
+using DeltaDecodeFn = void (*)(const std::int64_t* m, std::size_t n, double v0,
+                               double scale, double* out);
+
 /// One dispatchable implementation set.
 struct KernelTable {
   SqDistToBoxFn sq_dist_to_box;
   SqDistToBoxFn mindist_sq_to_rect;  // alias of the same math, kept as its
                                      // own entry so profiles name it
   LdtwRowFn ldtw_row_update;
+  DeltaDecodeFn delta_decode;
   const char* name;
 };
 

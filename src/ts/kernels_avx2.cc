@@ -79,6 +79,26 @@ double LdtwRowUpdateAvx2(double xi, const double* y, const double* prev,
   return detail::LdtwSerialPass(cost_buf, t1_buf, cur, jlo, jhi);
 }
 
+void DeltaDecodeAvx2(const std::int64_t* m, std::size_t n, double v0,
+                     double scale, double* out) {
+  const __m256i magic_i = _mm256_castpd_si256(_mm256_set1_pd(detail::kI64Magic));
+  const __m256d magic_d = _mm256_set1_pd(detail::kI64Magic);
+  const __m256d v0v = _mm256_set1_pd(v0);
+  const __m256d sv = _mm256_set1_pd(scale);
+  const std::size_t n4 = n & ~std::size_t{3};
+  std::size_t j = 0;
+  for (; j < n4; j += 4) {
+    __m256i mi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m + j));
+    // Exact int64 -> double for |m| < 2^51 (encoder bounds |m| <= 2^50).
+    // mul + add, not FMA: this TU is -ffp-contract=off and the scalar
+    // reference rounds the product, so the pairing must too.
+    __m256d md = _mm256_sub_pd(_mm256_castsi256_pd(_mm256_add_epi64(mi, magic_i)),
+                               magic_d);
+    _mm256_storeu_pd(out + j, _mm256_add_pd(v0v, _mm256_mul_pd(md, sv)));
+  }
+  detail::DeltaDecodeTail(m, j, n, v0, scale, out);
+}
+
 }  // namespace
 
 extern const KernelTable kAvx2Table;
@@ -86,6 +106,7 @@ const KernelTable kAvx2Table = {
     SqDistToBoxAvx2,
     SqDistToBoxAvx2,
     LdtwRowUpdateAvx2,
+    DeltaDecodeAvx2,
     "avx2",
 };
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 
 namespace humdex {
@@ -64,6 +65,19 @@ inline double LdtwSerialPass(const double* cost_buf, const double* t1_buf,
     row_min = ScalarMin(row_min, v);
   }
   return row_min;
+}
+
+/// The SIMD variants' int64 -> double magic constant, 2^52 + 2^51: adding it
+/// as an integer places |m| < 2^51 inside the double mantissa, so
+/// reinterpreting and subtracting it back recovers (double)m exactly.
+inline constexpr double kI64Magic = 6755399441055744.0;  // 0x4338000000000000
+
+/// Elementwise tail of the delta-decode reconstruction, elements [j, n) —
+/// the canonical per-element arithmetic every variant reproduces.
+inline void DeltaDecodeTail(const std::int64_t* m, std::size_t j,
+                            std::size_t n, double v0, double scale,
+                            double* out) {
+  for (; j < n; ++j) out[j] = v0 + static_cast<double>(m[j]) * scale;
 }
 
 }  // namespace detail

@@ -82,6 +82,24 @@ double LdtwRowUpdateSse2(double xi, const double* y, const double* prev,
   return detail::LdtwSerialPass(cost_buf, t1_buf, cur, jlo, jhi);
 }
 
+void DeltaDecodeSse2(const std::int64_t* m, std::size_t n, double v0,
+                     double scale, double* out) {
+  const __m128i magic_i = _mm_castpd_si128(_mm_set1_pd(detail::kI64Magic));
+  const __m128d magic_d = _mm_set1_pd(detail::kI64Magic);
+  const __m128d v0v = _mm_set1_pd(v0);
+  const __m128d sv = _mm_set1_pd(scale);
+  const std::size_t n2 = n & ~std::size_t{1};
+  std::size_t j = 0;
+  for (; j < n2; j += 2) {
+    __m128i mi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(m + j));
+    // Exact int64 -> double for |m| < 2^51 (encoder bounds |m| <= 2^50).
+    __m128d md = _mm_sub_pd(_mm_castsi128_pd(_mm_add_epi64(mi, magic_i)),
+                            magic_d);
+    _mm_storeu_pd(out + j, _mm_add_pd(v0v, _mm_mul_pd(md, sv)));
+  }
+  detail::DeltaDecodeTail(m, j, n, v0, scale, out);
+}
+
 }  // namespace
 
 extern const KernelTable kSse2Table;
@@ -89,6 +107,7 @@ const KernelTable kSse2Table = {
     SqDistToBoxSse2,
     SqDistToBoxSse2,
     LdtwRowUpdateSse2,
+    DeltaDecodeSse2,
     "sse2",
 };
 

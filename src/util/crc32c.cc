@@ -1,6 +1,16 @@
 #include "util/crc32c.h"
 
 #include <array>
+#include <cstring>
+
+#include "util/cpu.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+#define HUMDEX_CRC32C_HW 1
+#else
+#define HUMDEX_CRC32C_HW 0
+#endif
 
 namespace humdex {
 
@@ -8,28 +18,148 @@ namespace {
 
 constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
 
-std::array<std::uint32_t, 256> BuildTable() {
-  std::array<std::uint32_t, 256> table{};
+// Slice-by-8 tables: table[0] is the classic byte-at-a-time table, table[k]
+// advances a byte that sits k positions deeper in the 8-byte window.
+using SliceTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+SliceTables BuildTables() {
+  SliceTables t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t crc = i;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
     }
-    table[i] = crc;
+    t[0][i] = crc;
   }
-  return table;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = t[0][i];
+    for (std::size_t k = 1; k < 8; ++k) {
+      crc = t[0][crc & 0xff] ^ (crc >> 8);
+      t[k][i] = crc;
+    }
+  }
+  return t;
+}
+
+std::uint32_t ExtendPortable(std::uint32_t crc, const unsigned char* p,
+                             std::size_t n) {
+  static const SliceTables kTables = BuildTables();
+  const auto& t = kTables;
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;  // little-endian: the low 4 bytes absorb the running crc
+    crc = t[7][word & 0xff] ^ t[6][(word >> 8) & 0xff] ^
+          t[5][(word >> 16) & 0xff] ^ t[4][(word >> 24) & 0xff] ^
+          t[3][(word >> 32) & 0xff] ^ t[2][(word >> 40) & 0xff] ^
+          t[1][(word >> 48) & 0xff] ^ t[0][word >> 56];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#if HUMDEX_CRC32C_HW
+// The CRC32C instruction has 3-cycle latency but single-cycle throughput: a
+// serial chain runs at ~2.7 bytes/cycle while three independent chains run
+// at ~8. Lanes B and C start from a zero register; folding them back into
+// the running CRC needs the linear operator "advance a CRC register through
+// kLane zero bytes", which we precompute as its images on the 32 basis bits.
+constexpr std::size_t kLane = 4096;
+
+struct ZeroShiftOp {
+  std::uint32_t basis[32];
+};
+
+ZeroShiftOp BuildZeroShift(std::size_t zeros) {
+  ZeroShiftOp op;
+  for (int bit = 0; bit < 32; ++bit) {
+    std::uint32_t c = std::uint32_t{1} << bit;
+    for (std::size_t i = 0; i < zeros; ++i) {
+      c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+      // one zero byte = eight zero bits
+      for (int k = 0; k < 7; ++k) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+    }
+    op.basis[bit] = c;
+  }
+  return op;
+}
+
+inline std::uint32_t ApplyZeroShift(const ZeroShiftOp& op, std::uint32_t c) {
+  std::uint32_t r = 0;
+  while (c != 0) {
+    r ^= op.basis[__builtin_ctz(c)];
+    c &= c - 1;
+  }
+  return r;
+}
+
+__attribute__((target("sse4.2"))) std::uint32_t ExtendHardware(
+    std::uint32_t crc, const unsigned char* p, std::size_t n) {
+  static const ZeroShiftOp kShiftLane = BuildZeroShift(kLane);
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  while (n >= 3 * kLane) {
+    std::uint64_t a = crc, b = 0, c = 0;
+    const unsigned char* pb = p + kLane;
+    const unsigned char* pc = p + 2 * kLane;
+    for (std::size_t i = 0; i < kLane; i += 8) {
+      std::uint64_t wa, wb, wc;
+      std::memcpy(&wa, p + i, 8);
+      std::memcpy(&wb, pb + i, 8);
+      std::memcpy(&wc, pc + i, 8);
+      a = _mm_crc32_u64(a, wa);
+      b = _mm_crc32_u64(b, wb);
+      c = _mm_crc32_u64(c, wc);
+    }
+    const std::uint32_t a2 =
+        ApplyZeroShift(kShiftLane,
+                       ApplyZeroShift(kShiftLane, static_cast<std::uint32_t>(a)));
+    crc = a2 ^ ApplyZeroShift(kShiftLane, static_cast<std::uint32_t>(b)) ^
+          static_cast<std::uint32_t>(c);
+    p += 3 * kLane;
+    n -= 3 * kLane;
+  }
+  std::uint64_t crc64 = crc;
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<std::uint32_t>(crc64);
+  while (n-- > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+  }
+  return crc;
+}
+#endif
+
+using ExtendFn = std::uint32_t (*)(std::uint32_t, const unsigned char*,
+                                   std::size_t);
+
+ExtendFn ResolveExtend() {
+#if HUMDEX_CRC32C_HW
+  // HUMDEX_FORCE_SCALAR pins the portable path, same operator gate as the
+  // SIMD kernel dispatch; either path computes the identical CRC32C.
+  if (!ForcedScalar() && __builtin_cpu_supports("sse4.2")) {
+    return &ExtendHardware;
+  }
+#endif
+  return &ExtendPortable;
 }
 
 }  // namespace
 
 std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data, std::size_t n) {
-  static const std::array<std::uint32_t, 256> kTable = BuildTable();
-  const auto* p = static_cast<const unsigned char*>(data);
-  crc = ~crc;
-  for (std::size_t i = 0; i < n; ++i) {
-    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
-  }
-  return ~crc;
+  static const ExtendFn kExtend = ResolveExtend();
+  return ~kExtend(~crc, static_cast<const unsigned char*>(data), n);
 }
 
 }  // namespace humdex

@@ -20,6 +20,49 @@
 
 namespace humdex {
 
+/// An immutable byte range backing a loaded file: either a real mmap(2)
+/// region (released on destruction) or a page-aligned owned buffer the bytes
+/// were read into — the fallback every Env can provide, and the form fault
+/// injection and sanitizer builds exercise. Move-only. The v3 binary storage
+/// layer keeps one alive per open database so zero-copy sections (envelopes,
+/// meta, pivot rows) stay valid for the system's lifetime.
+class MemorySource {
+ public:
+  MemorySource() = default;
+  ~MemorySource();
+  MemorySource(const MemorySource&) = delete;
+  MemorySource& operator=(const MemorySource&) = delete;
+  MemorySource(MemorySource&& other) noexcept;
+  MemorySource& operator=(MemorySource&& other) noexcept;
+
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::string_view view() const { return {data_, size_}; }
+  bool empty() const { return size_ == 0; }
+  /// True when backed by a real file mapping (false: owned buffer).
+  bool mapped() const { return kind_ == Kind::kMapped; }
+
+  /// Owned buffer of `size` bytes, zero-initialized and aligned to a 4096
+  /// page so in-file alignment guarantees survive the read-into-buffer
+  /// fallback. Writable through mutable_data() (owned sources only).
+  static MemorySource AllocateOwned(std::size_t size);
+  char* mutable_data();
+
+  /// Adopt an mmap'd region; munmap'd on destruction. `addr` may be null
+  /// only when `len` is 0.
+  static MemorySource AdoptMapping(void* addr, std::size_t len);
+
+ private:
+  enum class Kind { kEmpty, kOwned, kMapped };
+
+  void Release();
+
+  Kind kind_ = Kind::kEmpty;
+  char* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t map_len_ = 0;  // munmap length (kMapped only)
+};
+
 /// A file open for appending — the write-ahead log's primitive. Unlike
 /// AtomicWriteFile, an append is durable only after Sync() returns OK; a
 /// crash in between may leave any prefix of the appended bytes on disk (a
@@ -65,6 +108,24 @@ class Env {
   /// Remove a file. Deleting a missing file is kNotFound.
   virtual Status Delete(const std::string& path) = 0;
 
+  /// Size of an existing file in bytes. A missing file is kNotFound.
+  virtual Status FileSize(const std::string& path, std::uint64_t* size) = 0;
+
+  /// Read exactly [offset, offset + len) into caller storage `out`. A read
+  /// that cannot deliver all `len` bytes (EOF, I/O error) is kIoError — a
+  /// short range is never silently returned as success. len == 0 is a no-op.
+  /// Together with FileSize this lets loaders read straight into their final
+  /// buffer instead of double-buffering the whole file through a string.
+  virtual Status ReadFileRange(const std::string& path, std::uint64_t offset,
+                               std::size_t len, char* out) = 0;
+
+  /// Make a whole file's bytes available as one immutable MemorySource. The
+  /// base implementation reads it into a page-aligned owned buffer via
+  /// FileSize + ReadFileRange — so FaultInjectingEnv and sanitizer builds
+  /// exercise every failure path of the read route — while PosixEnv maps the
+  /// file with mmap(2) (set HUMDEX_NO_MMAP to force the buffer fallback).
+  virtual Status MapFile(const std::string& path, MemorySource* out);
+
   /// The process-wide PosixEnv. Storage APIs use it when no Env is given.
   static Env* Default();
 };
@@ -79,6 +140,10 @@ class PosixEnv : public Env {
                            std::unique_ptr<AppendableFile>* out) override;
   bool Exists(const std::string& path) override;
   Status Delete(const std::string& path) override;
+  Status FileSize(const std::string& path, std::uint64_t* size) override;
+  Status ReadFileRange(const std::string& path, std::uint64_t offset,
+                       std::size_t len, char* out) override;
+  Status MapFile(const std::string& path, MemorySource* out) override;
 };
 
 /// Test double that delegates to a base Env but injects faults at
@@ -176,6 +241,15 @@ class FaultInjectingEnv : public Env {
                            std::unique_ptr<AppendableFile>* out) override;
   bool Exists(const std::string& path) override { return base_->Exists(path); }
   Status Delete(const std::string& path) override;
+  Status FileSize(const std::string& path, std::uint64_t* size) override;
+  /// Range reads share ReadFile's fault schedule (each counts as one read;
+  /// FailNextReads / periodic / random faults apply). TruncateNextRead
+  /// models silent truncation: only the prefix is written, the tail stays as
+  /// the caller left it, and the call still returns OK.
+  Status ReadFileRange(const std::string& path, std::uint64_t offset,
+                       std::size_t len, char* out) override;
+  // MapFile is inherited from Env: it routes through this env's FileSize and
+  // ReadFileRange overrides, so mapped opens see every injected fault.
 
  private:
   friend class FaultInjectingAppendableFile;

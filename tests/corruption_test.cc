@@ -39,6 +39,23 @@ std::string ToV1(const std::string& v2_text) {
   return "humdex-db v1" + body.substr(header_end);
 }
 
+// A small v3 binary image (DESIGN.md §14) with every derived section
+// populated: the corruption matrix below must detect damage to any of them.
+std::string SmallDbV3Bytes() {
+  static const std::string image = [] {
+    QbhOptions opt;
+    opt.format = CheckpointFormat::kV3Binary;
+    SongGenerator gen(3);
+    QbhSystem system(opt);
+    for (Melody& m : gen.GeneratePhrases(3)) {
+      system.AddMelody(std::move(m));
+    }
+    system.Build();
+    return SerializeQbhDatabase(system);
+  }();
+  return image;
+}
+
 TEST(CorruptionMatrixTest, EverysingleBitFlipIsDetected) {
   const std::string good = SmallDbText();
   ASSERT_TRUE(ParseQbhDatabase(good).ok());
@@ -66,6 +83,57 @@ TEST(CorruptionMatrixTest, EveryTruncationIsDetected) {
   Result<QbhSystem> no_final_newline =
       ParseQbhDatabase(good.substr(0, good.size() - 1));
   EXPECT_TRUE(no_final_newline.ok());
+}
+
+TEST(CorruptionMatrixTest, V3EverySingleBitFlipIsDetected) {
+  // Every header byte (magic, counts, reserved slots, table, zero padding),
+  // every section byte, and every alignment-gap byte is covered by a check:
+  // the table CRC, a per-section CRC, or an explicit must-be-zero scan.
+  const std::string good = SmallDbV3Bytes();
+  ASSERT_TRUE(ParseQbhDatabase(good).ok());
+
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = good;
+      bad[i] = static_cast<char>(bad[i] ^ (1 << bit));
+      Result<QbhSystem> r = ParseQbhDatabase(bad);  // must not throw or abort
+      EXPECT_FALSE(r.ok()) << "undetected flip: byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(CorruptionMatrixTest, V3EveryTruncationIsDetected) {
+  // The header records the exact file size, so unlike v2 (whose final
+  // newline is slack) every proper prefix of a v3 image must be rejected.
+  const std::string good = SmallDbV3Bytes();
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    Result<QbhSystem> r = ParseQbhDatabase(good.substr(0, len));
+    EXPECT_FALSE(r.ok()) << "undetected truncation at byte " << len;
+  }
+}
+
+TEST(CorruptionMatrixTest, V3GarbageAppendedIsDetected) {
+  EXPECT_FALSE(ParseQbhDatabase(SmallDbV3Bytes() + "trailing junk").ok());
+  EXPECT_FALSE(ParseQbhDatabase(SmallDbV3Bytes() + std::string(4096, '\0')).ok());
+}
+
+TEST(CorruptionMatrixTest, V3SalvageNeverAbortsUnderBitFlips) {
+  // Salvage on a strided sample of single-bit flips: any outcome is
+  // acceptable (full recovery, partial recovery, or a clean failure Status)
+  // except a throw, an abort, or recovering more melodies than exist.
+  const std::string good = SmallDbV3Bytes();
+  for (std::size_t i = 0; i < good.size(); i += 487) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = good;
+      bad[i] = static_cast<char>(bad[i] ^ (1 << bit));
+      SalvageReport report;
+      Result<QbhSystem> r = ParseQbhDatabaseSalvage(bad, &report);
+      if (r.ok()) {
+        EXPECT_LE(r.value().size(), 3u) << "byte " << i << " bit " << bit;
+        EXPECT_LE(report.melodies_loaded, 3u);
+      }
+    }
+  }
 }
 
 TEST(CorruptionMatrixTest, GarbageAppendedAfterTrailerIsDetected) {

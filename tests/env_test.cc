@@ -63,6 +63,83 @@ TEST(PosixEnvTest, AtomicWriteLeavesNoTempFileBehind) {
   env->Delete(path);
 }
 
+TEST(PosixEnvTest, FileSizeAndRangeReads) {
+  Env* env = Env::Default();
+  std::string path = TempPath("env_range.txt");
+  ASSERT_TRUE(env->AtomicWriteFile(path, "0123456789").ok());
+
+  std::uint64_t size = 0;
+  ASSERT_TRUE(env->FileSize(path, &size).ok());
+  EXPECT_EQ(size, 10u);
+  EXPECT_EQ(env->FileSize(TempPath("no_such_file"), &size).code(),
+            Status::Code::kNotFound);
+
+  char buf[4] = {};
+  ASSERT_TRUE(env->ReadFileRange(path, 3, 4, buf).ok());
+  EXPECT_EQ(std::string(buf, 4), "3456");
+  ASSERT_TRUE(env->ReadFileRange(path, 0, 0, nullptr).ok());  // empty range
+  // A range past EOF is an error, not a silent short read.
+  EXPECT_FALSE(env->ReadFileRange(path, 8, 4, buf).ok());
+  env->Delete(path);
+}
+
+TEST(PosixEnvTest, MapFileServesTheExactBytes) {
+  Env* env = Env::Default();
+  std::string path = TempPath("env_map.bin");
+  std::string data(8192, '\0');
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i * 131);
+  }
+  ASSERT_TRUE(env->AtomicWriteFile(path, data).ok());
+
+  MemorySource src;
+  ASSERT_TRUE(env->MapFile(path, &src).ok());
+  EXPECT_EQ(src.size(), data.size());
+  EXPECT_EQ(src.view(), data);
+  EXPECT_EQ(env->MapFile(TempPath("no_such_file"), &src).code(),
+            Status::Code::kNotFound);
+  env->Delete(path);
+}
+
+TEST(PosixEnvTest, MapFileOfEmptyFileIsEmptySource) {
+  Env* env = Env::Default();
+  std::string path = TempPath("env_map_empty.bin");
+  ASSERT_TRUE(env->AtomicWriteFile(path, "").ok());
+  MemorySource src;
+  ASSERT_TRUE(env->MapFile(path, &src).ok());
+  EXPECT_TRUE(src.empty());
+  env->Delete(path);
+}
+
+TEST(MemorySourceTest, AllocateOwnedIsZeroedAndPageAligned) {
+  MemorySource src = MemorySource::AllocateOwned(10000);
+  ASSERT_EQ(src.size(), 10000u);
+  EXPECT_FALSE(src.mapped());
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(src.data()) % 4096, 0u);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ASSERT_EQ(src.data()[i], 0) << "byte " << i;
+  }
+  src.mutable_data()[17] = 'x';
+  EXPECT_EQ(src.view()[17], 'x');
+}
+
+TEST(FaultInjectingEnvTest, MapFileSeesInjectedReadFaults) {
+  // FaultInjectingEnv inherits the base Env::MapFile, which routes through
+  // its FileSize/ReadFileRange overrides — so a mapped open hits the same
+  // fault schedule as plain reads (and sanitizers see every access).
+  FaultInjectingEnv env;
+  std::string path = TempPath("fault_map.bin");
+  ASSERT_TRUE(env.AtomicWriteFile(path, std::string(4096, 'a')).ok());
+
+  env.FailNextReads(1);
+  MemorySource src;
+  EXPECT_EQ(env.MapFile(path, &src).code(), Status::Code::kIoError);
+  ASSERT_TRUE(env.MapFile(path, &src).ok());  // fault consumed
+  EXPECT_EQ(src.size(), 4096u);
+  EXPECT_FALSE(src.mapped());  // read-into-buffer, not an mmap
+  env.Delete(path);
+}
+
 TEST(FaultInjectingEnvTest, FailNextReadsInjectsTransientIoErrors) {
   FaultInjectingEnv env;
   std::string path = TempPath("fault_reads.txt");

@@ -7,6 +7,7 @@
 // checkpoint path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -14,6 +15,7 @@
 
 #include "ts/dtw.h"
 #include "ts/envelope.h"
+#include "ts/codec.h"
 #include "ts/kernels.h"
 #include "ts/lower_bound.h"
 #include "util/random.h"
@@ -173,6 +175,28 @@ TEST_P(KernelVariantTest, LdtwRowUpdateMatchesScalarBitForBit) {
   }
 }
 
+TEST_P(KernelVariantTest, DeltaDecodeMatchesScalarBitForBitAllLengths) {
+  const kernels::KernelTable& scalar = kernels::ScalarKernels();
+  Rng rng(48);
+  for (std::size_t n = 1; n <= 1024; n = n < 140 ? n + 1 : n + 97) {
+    std::vector<std::int64_t> m(n);
+    for (std::int64_t& v : m) {
+      // Stay within the encoder's |m[i]| <= 2^50 bound that makes the
+      // int64 -> double conversion exact in every variant.
+      v = static_cast<std::int64_t>(rng.NextBounded(1u << 20)) - (1 << 19);
+      if (rng.Bernoulli(0.05)) v <<= 30;
+    }
+    const double v0 = rng.Uniform(-100.0, 100.0);
+    const double scale = std::ldexp(1.0, -20);
+    std::vector<double> ref(n), got(n);
+    scalar.delta_decode(m.data(), n, v0, scale, ref.data());
+    table_->delta_decode(m.data(), n, v0, scale, got.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(BitEqual(ref[i], got[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllVariants, KernelVariantTest,
                          ::testing::Values(SimdLevel::kSse2, SimdLevel::kAvx2),
                          [](const auto& info) {
@@ -239,6 +263,194 @@ TEST(LbImprovedTest, SecondPassDecompositionMatchesReference) {
     double whole = SquaredLbImproved(x, y, env_y, k, kInf);
     EXPECT_TRUE(BitEqual(part1 + part2, whole)) << "trial=" << trial;
     EXPECT_NEAR(std::sqrt(whole), LbImproved(x, y, k), 1e-12);
+  }
+}
+
+// The delta+bitpack series codec (ts/codec.h) that the v3 binary format
+// persists pitch-like series with: losslessness is verified per series at
+// encode time, and decode runs through the dispatched delta_decode kernel.
+::testing::AssertionResult SeriesBitEqual(const Series& a, const Series& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size mismatch";
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto r = BitEqual(a[i], b[i]);
+    if (!r) return r << " at index " << i;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+Series PitchLikeSeries(Rng* rng, std::size_t n) {
+  Series s(n);
+  double v = 60.0;
+  for (double& x : s) {
+    v += (static_cast<double>(rng->NextBounded(9)) - 4.0) * 0.5;
+    x = v;
+  }
+  return s;
+}
+
+TEST(CodecTest, PitchLikeSeriesRoundTripBitExactlyAndCompress) {
+  Rng rng(49);
+  for (std::size_t n : {1u, 2u, 3u, 64u, 128u, 1000u}) {
+    Series s = PitchLikeSeries(&rng, n);
+    std::string buf;
+    std::size_t written = codec::EncodeSeries(s, &buf);
+    EXPECT_EQ(written, buf.size());
+    if (n >= 64) {
+      EXPECT_LT(buf.size(), n * sizeof(double) / 2);  // at least 2x smaller
+    }
+    Series back;
+    std::size_t pos = 0;
+    ASSERT_TRUE(codec::DecodeSeries(buf, &pos, n, &back).ok()) << "n=" << n;
+    EXPECT_EQ(pos, buf.size());
+    EXPECT_TRUE(SeriesBitEqual(s, back)) << "n=" << n;
+  }
+}
+
+TEST(CodecTest, UnpackableSeriesFallBackToRawAndStillRoundTrip) {
+  // Values off the 2^-20 grid, huge ranges, specials: the encoder must fall
+  // back to the raw block, and the round trip stays bit-exact regardless.
+  Rng rng(50);
+  Series s(37);
+  for (double& v : s) v = rng.Uniform(-1e9, 1e9) * 1e-7;
+  s[3] = 1e-300;                                      // denormal territory
+  s[5] = std::numeric_limits<double>::quiet_NaN();    // raw preserves bits
+  s[7] = kInf;
+  std::string buf;
+  codec::EncodeSeries(s, &buf);
+  Series back;
+  std::size_t pos = 0;
+  ASSERT_TRUE(codec::DecodeSeries(buf, &pos, s.size(), &back).ok());
+  EXPECT_TRUE(SeriesBitEqual(s, back));
+}
+
+TEST(CodecTest, DecodeIsBitIdenticalAcrossKernelTiers) {
+  Rng rng(51);
+  Series s = PitchLikeSeries(&rng, 512);
+  std::string buf;
+  codec::EncodeSeries(s, &buf);
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 1u);  // packed mode
+
+  Series scalar_out;
+  {
+    kernels::ScopedKernelOverride scalar(SimdLevel::kScalar);
+    std::size_t pos = 0;
+    ASSERT_TRUE(codec::DecodeSeries(buf, &pos, s.size(), &scalar_out).ok());
+  }
+  EXPECT_TRUE(SeriesBitEqual(s, scalar_out));
+  for (SimdLevel level : VariantLevels()) {
+    kernels::ScopedKernelOverride with_simd(level);
+    Series out;
+    std::size_t pos = 0;
+    ASSERT_TRUE(codec::DecodeSeries(buf, &pos, s.size(), &out).ok());
+    EXPECT_TRUE(SeriesBitEqual(scalar_out, out))
+        << "tier " << SimdLevelName(level);
+  }
+}
+
+TEST(CodecTest, TruncatedOrMalformedInputIsCorruptionNeverAbort) {
+  Rng rng(52);
+  Series s = PitchLikeSeries(&rng, 96);
+  std::string buf;
+  codec::EncodeSeries(s, &buf);
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    Series out;
+    std::size_t pos = 0;
+    Status st = codec::DecodeSeries(buf.substr(0, len), &pos, s.size(), &out);
+    EXPECT_EQ(st.code(), Status::Code::kCorruption) << "len=" << len;
+  }
+  // Unknown mode byte and an over-wide bit width are rejected.
+  Series out;
+  std::size_t pos = 0;
+  EXPECT_FALSE(codec::DecodeSeries(std::string("\x07junk"), &pos, 2, &out).ok());
+  std::string wide = buf;
+  wide[1] = 60;  // bit width > 53
+  pos = 0;
+  EXPECT_FALSE(codec::DecodeSeries(wide, &pos, s.size(), &out).ok());
+}
+
+TEST(CodecTest, OutlierBecomesExceptionNotRawFallback) {
+  // One full-precision value (the fermata-duration case: every generated
+  // melody ends on one) must not force the whole series to 8 bytes/value.
+  Rng rng(53);
+  Series s = PitchLikeSeries(&rng, 128);
+  s[77] = 2.0 + 0.123456789012345678;  // off every power-of-two grid
+  std::string buf;
+  codec::EncodeSeries(s, &buf);
+  ASSERT_EQ(static_cast<unsigned char>(buf[0]), 2u);  // packed + exceptions
+  EXPECT_LT(buf.size(), s.size() * sizeof(double) / 2);
+  Series back;
+  std::size_t pos = 0;
+  ASSERT_TRUE(codec::DecodeSeries(buf, &pos, s.size(), &back).ok());
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_TRUE(SeriesBitEqual(s, back));
+
+  // A NaN outlier rides the same path and keeps its exact payload bits.
+  s[12] = std::numeric_limits<double>::quiet_NaN();
+  buf.clear();
+  codec::EncodeSeries(s, &buf);
+  ASSERT_EQ(static_cast<unsigned char>(buf[0]), 2u);
+  Series back2;
+  pos = 0;
+  ASSERT_TRUE(codec::DecodeSeries(buf, &pos, s.size(), &back2).ok());
+  EXPECT_TRUE(SeriesBitEqual(s, back2));
+}
+
+TEST(CodecTest, ExceptionModeSurvivesTruncationAndBadIndexes) {
+  Rng rng(54);
+  Series s = PitchLikeSeries(&rng, 64);
+  s[10] = 1.0 / 3.0;
+  s[40] = 2.0 / 7.0;
+  std::string buf;
+  codec::EncodeSeries(s, &buf);
+  ASSERT_EQ(static_cast<unsigned char>(buf[0]), 2u);
+  // Every strict prefix is corruption, never an abort or over-read.
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    Series out;
+    std::size_t pos = 0;
+    Status st = codec::DecodeSeries(buf.substr(0, len), &pos, s.size(), &out);
+    EXPECT_EQ(st.code(), Status::Code::kCorruption) << "len=" << len;
+  }
+  // Exception indexes must be strictly ascending and in range.
+  const std::size_t first_idx = buf.size() - 2 * 12;  // two (u32, double) pairs
+  std::string swapped = buf;
+  std::swap_ranges(swapped.begin() + static_cast<std::ptrdiff_t>(first_idx),
+                   swapped.begin() + static_cast<std::ptrdiff_t>(first_idx + 12),
+                   swapped.begin() + static_cast<std::ptrdiff_t>(first_idx + 12));
+  Series out;
+  std::size_t pos = 0;
+  EXPECT_EQ(codec::DecodeSeries(swapped, &pos, s.size(), &out).code(),
+            Status::Code::kCorruption);
+  std::string oob = buf;
+  const std::uint32_t big = 1u << 20;
+  std::memcpy(&oob[first_idx], &big, sizeof big);
+  pos = 0;
+  EXPECT_EQ(codec::DecodeSeries(oob, &pos, s.size(), &out).code(),
+            Status::Code::kCorruption);
+}
+
+TEST(CodecTest, ExceptionModeBitIdenticalAcrossKernelTiers) {
+  Rng rng(55);
+  Series s = PitchLikeSeries(&rng, 256);
+  s[100] = 0.1;  // off-grid
+  std::string buf;
+  codec::EncodeSeries(s, &buf);
+  ASSERT_EQ(static_cast<unsigned char>(buf[0]), 2u);
+  Series scalar_out;
+  {
+    kernels::ScopedKernelOverride scalar(SimdLevel::kScalar);
+    std::size_t pos = 0;
+    ASSERT_TRUE(codec::DecodeSeries(buf, &pos, s.size(), &scalar_out).ok());
+  }
+  EXPECT_TRUE(SeriesBitEqual(s, scalar_out));
+  for (SimdLevel level : VariantLevels()) {
+    kernels::ScopedKernelOverride with_simd(level);
+    Series out;
+    std::size_t pos = 0;
+    ASSERT_TRUE(codec::DecodeSeries(buf, &pos, s.size(), &out).ok());
+    EXPECT_TRUE(SeriesBitEqual(scalar_out, out))
+        << "tier " << SimdLevelName(level);
   }
 }
 

@@ -1,0 +1,441 @@
+// The v3 binary checkpoint format (DESIGN.md §14): round trips across every
+// scheme/index combination, bit-identical answers from a mapped corpus,
+// durable Attach/Open/Checkpoint/WAL interplay, snapshot shipping, salvage,
+// and mapped opens under injected IO faults. Corruption exhaustiveness (the
+// all-bits-flip / all-truncations matrix) lives in corruption_test.cc.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "music/hummer.h"
+#include "music/song_generator.h"
+#include "qbh/storage.h"
+#include "qbh/storage_v3.h"
+#include "util/env.h"
+
+namespace humdex {
+namespace {
+
+QbhSystem MakeSystem(QbhOptions opt, std::size_t corpus_size,
+                     std::uint64_t seed = 3) {
+  SongGenerator gen(seed);
+  QbhSystem system(opt);
+  for (Melody& m : gen.GeneratePhrases(corpus_size)) {
+    system.AddMelody(std::move(m));
+  }
+  system.Build();
+  return system;
+}
+
+QbhOptions V3Options() {
+  QbhOptions opt;
+  opt.format = CheckpointFormat::kV3Binary;
+  return opt;
+}
+
+// Minimal reader for the documented header/table layout (storage_v3.h), so
+// tests can aim damage at a specific section without replicating the parser.
+std::uint32_t LoadU32(const std::string& s, std::size_t off) {
+  std::uint32_t v;
+  std::memcpy(&v, s.data() + off, sizeof v);
+  return v;
+}
+std::uint64_t LoadU64(const std::string& s, std::size_t off) {
+  std::uint64_t v;
+  std::memcpy(&v, s.data() + off, sizeof v);
+  return v;
+}
+struct SectionSpan {
+  std::uint32_t type;
+  std::uint64_t offset;
+  std::uint64_t length;
+};
+std::vector<SectionSpan> SectionsOf(const std::string& image) {
+  std::vector<SectionSpan> out;
+  std::uint32_t count = LoadU32(image, 16);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::size_t e = 64 + 32 * static_cast<std::size_t>(i);
+    out.push_back({LoadU32(image, e), LoadU64(image, e + 8),
+                   LoadU64(image, e + 16)});
+  }
+  return out;
+}
+SectionSpan FindSection(const std::string& image, std::uint32_t type) {
+  for (const SectionSpan& s : SectionsOf(image)) {
+    if (s.type == type) return s;
+  }
+  ADD_FAILURE() << "section type " << type << " not present";
+  return {};
+}
+
+void ExpectSameAnswers(const QbhSystem& a, const QbhSystem& b,
+                       std::uint64_t hum_seed, std::size_t hums) {
+  Hummer hummer(HummerProfile::Good(), hum_seed);
+  for (std::size_t q = 0; q < hums; ++q) {
+    std::int64_t target = static_cast<std::int64_t>(q * 7 % a.size());
+    Series hum = hummer.Hum(*a.melody(target));
+    auto ma = a.Query(hum, 5);
+    auto mb = b.Query(hum, 5);
+    ASSERT_EQ(ma.size(), mb.size()) << "hum " << q;
+    for (std::size_t i = 0; i < ma.size(); ++i) {
+      EXPECT_EQ(ma[i].id, mb[i].id) << "hum " << q << " rank " << i;
+      // Bit-identical, not approximately equal: the mapped corpus serves the
+      // same envelopes/meta/features the builder computed.
+      EXPECT_EQ(ma[i].distance, mb[i].distance) << "hum " << q << " rank " << i;
+    }
+    if (!ma.empty()) {
+      double eps = ma.back().distance * 1.5 + 1.0;
+      auto ra = a.RangeQuery(hum, eps);
+      auto rb = b.RangeQuery(hum, eps);
+      ASSERT_EQ(ra.size(), rb.size()) << "range hum " << q;
+      for (std::size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(ra[i].id, rb[i].id);
+        EXPECT_EQ(ra[i].distance, rb[i].distance);
+      }
+    }
+  }
+}
+
+TEST(StorageV3Test, MagicIsRecognizedOnlyOnV3Images) {
+  QbhSystem v3 = MakeSystem(V3Options(), 5);
+  QbhSystem v2 = MakeSystem(QbhOptions(), 5);
+  EXPECT_TRUE(LooksLikeV3(SerializeQbhDatabase(v3)));
+  EXPECT_FALSE(LooksLikeV3(SerializeQbhDatabase(v2)));
+  EXPECT_FALSE(LooksLikeV3(""));
+  EXPECT_FALSE(LooksLikeV3("humdex-db v2\n"));
+}
+
+TEST(StorageV3Test, RoundTripPreservesCorpusOptionsAndFormat) {
+  QbhOptions opt = V3Options();
+  opt.normal_len = 64;
+  opt.warping_width = 0.15;
+  opt.feature_dim = 4;
+  QbhSystem original = MakeSystem(opt, 30);
+  std::string image = SerializeQbhDatabase(original);
+  ASSERT_TRUE(LooksLikeV3(image));
+
+  Result<QbhSystem> loaded = ParseQbhDatabase(image);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const QbhSystem& sys = loaded.value();
+  EXPECT_TRUE(sys.built());
+  EXPECT_EQ(sys.size(), original.size());
+  EXPECT_EQ(sys.next_id(), original.next_id());
+  EXPECT_EQ(sys.Digest(), original.Digest());
+  EXPECT_EQ(sys.options().normal_len, 64u);
+  EXPECT_DOUBLE_EQ(sys.options().warping_width, 0.15);
+  EXPECT_EQ(sys.options().feature_dim, 4u);
+  // Loading a v3 file sets the format so the system checkpoints back in kind.
+  EXPECT_EQ(sys.options().format, CheckpointFormat::kV3Binary);
+  EXPECT_EQ(sys.melody(7)->name, original.melody(7)->name);
+}
+
+TEST(StorageV3Test, RoundTripsEverySchemeAndIndexKind) {
+  const SchemeKind schemes[] = {SchemeKind::kNewPaa, SchemeKind::kKeoghPaa,
+                                SchemeKind::kDft, SchemeKind::kDwt,
+                                SchemeKind::kSvd};
+  const IndexKind indexes[] = {IndexKind::kRStarTree, IndexKind::kGridFile,
+                               IndexKind::kLinearScan};
+  for (SchemeKind scheme : schemes) {
+    for (IndexKind index : indexes) {
+      QbhOptions opt = V3Options();
+      opt.normal_len = 64;
+      opt.feature_dim = 4;
+      opt.scheme = scheme;
+      opt.index = index;
+      QbhSystem original = MakeSystem(opt, 24);
+      Result<QbhSystem> loaded =
+          ParseQbhDatabase(SerializeQbhDatabase(original));
+      ASSERT_TRUE(loaded.ok())
+          << "scheme " << static_cast<int>(scheme) << " index "
+          << static_cast<int>(index) << ": " << loaded.status().ToString();
+      EXPECT_EQ(loaded.value().Digest(), original.Digest());
+      EXPECT_EQ(loaded.value().options().scheme, scheme);
+      EXPECT_EQ(loaded.value().options().index, index);
+      ExpectSameAnswers(original, loaded.value(), /*hum_seed=*/5, /*hums=*/2);
+    }
+  }
+}
+
+TEST(StorageV3Test, MappedCorpusAnswersBitIdenticallyToFreshEngine) {
+  QbhSystem original = MakeSystem(V3Options(), 80, /*seed=*/9);
+  Result<QbhSystem> loaded = ParseQbhDatabase(SerializeQbhDatabase(original));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameAnswers(original, loaded.value(), /*hum_seed=*/11, /*hums=*/8);
+}
+
+TEST(StorageV3Test, V2TextPathIsUnchangedByDefault) {
+  QbhSystem system = MakeSystem(QbhOptions(), 8);
+  std::string text = SerializeQbhDatabase(system);
+  EXPECT_EQ(text.rfind("humdex-db v2\n", 0), 0u);
+  Result<QbhSystem> loaded = ParseQbhDatabase(text);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().options().format, CheckpointFormat::kV2Text);
+  // And a reloaded v3 system re-serializes as v3.
+  Result<QbhSystem> v3 =
+      ParseQbhDatabase(SerializeQbhDatabase(MakeSystem(V3Options(), 8)));
+  ASSERT_TRUE(v3.ok());
+  EXPECT_TRUE(LooksLikeV3(SerializeQbhDatabase(v3.value())));
+}
+
+TEST(StorageV3Test, AttachWritesV3AndOpenMapsItBack) {
+  Env* env = Env::Default();
+  std::string path = ::testing::TempDir() + "/v3_attach.db";
+  QbhSystem original = MakeSystem(V3Options(), 20, /*seed=*/7);
+  ASSERT_TRUE(original.Attach(path, env).ok());
+
+  std::string raw;
+  ASSERT_TRUE(env->ReadFile(path, &raw).ok());
+  EXPECT_TRUE(LooksLikeV3(raw));
+
+  RecoveryStats stats;
+  Result<QbhSystem> reopened = QbhSystem::Open(path, env, &stats);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().Digest(), original.Digest());
+  EXPECT_TRUE(reopened.value().durable());
+  EXPECT_EQ(stats.records_replayed, 0u);
+  EXPECT_GT(stats.open_ns, 0u);
+  env->Delete(path);
+  env->Delete(QbhSystem::WalPathFor(path));
+}
+
+TEST(StorageV3Test, WalMutationsAfterMappedOpenSurviveReopen) {
+  Env* env = Env::Default();
+  std::string path = ::testing::TempDir() + "/v3_wal.db";
+  {
+    QbhSystem system = MakeSystem(V3Options(), 10, /*seed=*/4);
+    ASSERT_TRUE(system.Attach(path, env).ok());
+  }
+  std::uint32_t mutated_digest;
+  {
+    Result<QbhSystem> r = QbhSystem::Open(path, env);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    QbhSystem& system = r.value();
+    // Mutating a system whose engine borrows the file mapping must
+    // materialize owned copies, never write through the mapped image.
+    SongGenerator gen(77);
+    for (Melody& m : gen.GeneratePhrases(2)) {
+      ASSERT_TRUE(system.Insert(std::move(m)).ok());
+    }
+    ASSERT_TRUE(system.Remove(3).ok());
+    mutated_digest = system.Digest();
+  }
+  RecoveryStats stats;
+  Result<QbhSystem> reopened = QbhSystem::Open(path, env, &stats);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(stats.records_replayed, 3u);
+  EXPECT_EQ(reopened.value().Digest(), mutated_digest);
+  EXPECT_EQ(reopened.value().melody(3), std::nullopt);
+
+  // Checkpoint the replayed state: still v3, WAL truncated, digest stable.
+  ASSERT_TRUE(reopened.value().Checkpoint().ok());
+  std::string raw;
+  ASSERT_TRUE(env->ReadFile(path, &raw).ok());
+  EXPECT_TRUE(LooksLikeV3(raw));
+  RecoveryStats stats2;
+  Result<QbhSystem> again = QbhSystem::Open(path, env, &stats2);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(stats2.records_replayed, 0u);
+  EXPECT_EQ(again.value().Digest(), mutated_digest);
+  env->Delete(path);
+  env->Delete(QbhSystem::WalPathFor(path));
+}
+
+TEST(StorageV3Test, TombstonesAndNextIdSurviveTheBinaryRoundTrip) {
+  std::string path = ::testing::TempDir() + "/v3_tombstones.db";
+  Env* env = Env::Default();
+  QbhSystem system = MakeSystem(V3Options(), 6, /*seed=*/13);
+  ASSERT_TRUE(system.Attach(path, env).ok());
+  ASSERT_TRUE(system.Remove(2).ok());
+  SongGenerator gen(99);
+  for (Melody& m : gen.GeneratePhrases(1)) {
+    ASSERT_TRUE(system.Insert(std::move(m)).ok());
+  }
+  ASSERT_TRUE(system.Checkpoint().ok());
+
+  Result<QbhSystem> reopened = QbhSystem::Open(path, env);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().size(), 6u);
+  EXPECT_EQ(reopened.value().next_id(), 7);
+  EXPECT_EQ(reopened.value().melody(2), std::nullopt);
+  EXPECT_EQ(reopened.value().Digest(), system.Digest());
+  env->Delete(path);
+  env->Delete(QbhSystem::WalPathFor(path));
+}
+
+TEST(StorageV3Test, SnapshotShipIsDigestEqual) {
+  QbhSystem primary = MakeSystem(V3Options(), 25, /*seed=*/21);
+  std::string snapshot = primary.ExportSnapshot();
+  EXPECT_TRUE(LooksLikeV3(snapshot));
+  // The shipped string is not page-aligned memory; the parser must still
+  // serve it (it copies into an aligned owned buffer).
+  Result<QbhSystem> replica = ParseQbhDatabase(snapshot);
+  ASSERT_TRUE(replica.ok()) << replica.status().ToString();
+  EXPECT_EQ(replica.value().Digest(), primary.Digest());
+  // Ship the replica's own snapshot onward: still digest-equal.
+  Result<QbhSystem> second = ParseQbhDatabase(replica.value().ExportSnapshot());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().Digest(), primary.Digest());
+}
+
+TEST(StorageV3Test, SalvageDropsOnlyTheDamagedMelodyFrame) {
+  QbhSystem original = MakeSystem(V3Options(), 6, /*seed=*/31);
+  std::string image = SerializeQbhDatabase(original);
+  // Damage melody 1 by flipping a byte of its name, which is stored raw
+  // inside its checksummed frame in the MELODIES section.
+  const std::string& name = original.melody(1)->name;
+  std::size_t at = image.find(name, 4096);
+  ASSERT_NE(at, std::string::npos);
+  image[at] = static_cast<char>(image[at] ^ 0x40);
+
+  EXPECT_FALSE(ParseQbhDatabase(image).ok());
+  SalvageReport report;
+  Result<QbhSystem> r = ParseQbhDatabaseSalvage(image, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(report.crc_ok);
+  EXPECT_TRUE(report.ids_stable);
+  EXPECT_EQ(report.melodies_loaded, 5u);
+  EXPECT_EQ(report.melodies_dropped, 1u);
+  EXPECT_EQ(r.value().melody(1), std::nullopt);
+  EXPECT_EQ(r.value().melody(2)->name, original.melody(2)->name);
+  EXPECT_EQ(r.value().next_id(), original.next_id());
+}
+
+TEST(StorageV3Test, SalvageRebuildsDamagedDerivedSections) {
+  // Damage in a derived section (envelopes here) loses nothing: salvage
+  // rebuilds every derived structure from the per-frame-checksummed
+  // melodies, and the rebuilt system answers exactly like the original.
+  QbhSystem original = MakeSystem(V3Options(), 12, /*seed=*/41);
+  std::string image = SerializeQbhDatabase(original);
+  SectionSpan env_sec = FindSection(image, /*kSecEnvelopes=*/6);
+  ASSERT_GT(env_sec.length, 0u);
+  std::size_t at = static_cast<std::size_t>(env_sec.offset + env_sec.length / 2);
+  image[at] = static_cast<char>(image[at] ^ 0x01);
+
+  EXPECT_FALSE(ParseQbhDatabase(image).ok());
+  SalvageReport report;
+  Result<QbhSystem> r = ParseQbhDatabaseSalvage(image, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(report.melodies_loaded, 12u);
+  EXPECT_EQ(report.melodies_dropped, 0u);
+  EXPECT_EQ(r.value().Digest(), original.Digest());
+  ExpectSameAnswers(original, r.value(), /*hum_seed=*/17, /*hums=*/3);
+}
+
+TEST(StorageV3Test, SalvageSurvivesADestroyedSectionTable) {
+  QbhSystem original = MakeSystem(V3Options(), 5, /*seed=*/51);
+  std::string image = SerializeQbhDatabase(original);
+  image[56] = static_cast<char>(image[56] ^ 0xff);  // table_crc byte
+
+  EXPECT_FALSE(ParseQbhDatabase(image).ok());
+  SalvageReport report;
+  Result<QbhSystem> r = ParseQbhDatabaseSalvage(image, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(report.crc_ok);
+  EXPECT_EQ(report.melodies_loaded, 5u);
+  EXPECT_EQ(r.value().Digest(), original.Digest());
+}
+
+TEST(StorageV3Test, OpenSalvageRecoversADamagedV3Checkpoint) {
+  Env* env = Env::Default();
+  std::string path = ::testing::TempDir() + "/v3_salvage.db";
+  QbhSystem original = MakeSystem(V3Options(), 6, /*seed=*/61);
+  ASSERT_TRUE(original.Attach(path, env).ok());
+
+  std::string image;
+  ASSERT_TRUE(env->ReadFile(path, &image).ok());
+  const std::string& name = original.melody(4)->name;
+  std::size_t at = image.find(name, 4096);
+  ASSERT_NE(at, std::string::npos);
+  image[at] = static_cast<char>(image[at] ^ 0x20);
+  ASSERT_TRUE(env->AtomicWriteFile(path, image).ok());
+
+  ASSERT_FALSE(QbhSystem::Open(path, env).ok());
+  RecoveryStats stats;
+  Result<QbhSystem> r = QbhSystem::OpenSalvage(path, env, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(stats.salvaged);
+  EXPECT_TRUE(stats.ids_stable);
+  EXPECT_EQ(stats.melodies_dropped, 1u);
+  EXPECT_GT(stats.open_ns, 0u);
+  EXPECT_EQ(r.value().size(), 5u);
+  EXPECT_EQ(r.value().melody(4), std::nullopt);
+  env->Delete(path);
+  env->Delete(QbhSystem::WalPathFor(path));
+}
+
+TEST(StorageV3Test, MappedOpenRetriesTransientReadFaults) {
+  FaultInjectingEnv env;
+  std::string path = ::testing::TempDir() + "/v3_transient.db";
+  QbhSystem original = MakeSystem(V3Options(), 8, /*seed=*/71);
+  ASSERT_TRUE(SaveQbhDatabase(path, original, &env).ok());
+
+  env.FailNextReads(2);  // default policy retries up to 3 attempts
+  Result<QbhSystem> r = LoadQbhDatabase(path, &env);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().Digest(), original.Digest());
+  env.Delete(path);
+}
+
+TEST(StorageV3Test, TruncatedMappedReadSurfacesAsCorruption) {
+  FaultInjectingEnv env;
+  std::string path = ::testing::TempDir() + "/v3_truncated.db";
+  QbhSystem original = MakeSystem(V3Options(), 8, /*seed=*/81);
+  ASSERT_TRUE(SaveQbhDatabase(path, original, &env).ok());
+  std::string image = SerializeQbhDatabase(original);
+
+  env.TruncateNextRead(image.size() / 2);
+  Result<QbhSystem> r = LoadQbhDatabase(path, &env);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  env.Delete(path);
+}
+
+TEST(StorageV3Test, CrashAtEveryWriteStepPreservesTheOldV3Database) {
+  FaultInjectingEnv env;
+  std::string path = ::testing::TempDir() + "/v3_crash.db";
+  QbhSystem db1 = MakeSystem(V3Options(), 4, /*seed=*/91);
+  QbhSystem db2 = MakeSystem(V3Options(), 7, /*seed=*/92);
+  ASSERT_TRUE(SaveQbhDatabase(path, db1, &env).ok());
+  std::string db1_bytes;
+  ASSERT_TRUE(env.ReadFile(path, &db1_bytes).ok());
+  ASSERT_TRUE(LooksLikeV3(db1_bytes));
+
+  using WS = FaultInjectingEnv::WriteStep;
+  for (WS step : {WS::kOpenTemp, WS::kWriteBody, WS::kSync, WS::kRename}) {
+    env.CrashNextWriteAt(step, /*torn_bytes=*/db1_bytes.size() / 3);
+    EXPECT_EQ(SaveQbhDatabase(path, db2, &env).code(),
+              Status::Code::kIoError)
+        << "crash step " << static_cast<int>(step);
+    std::string after;
+    ASSERT_TRUE(env.ReadFile(path, &after).ok());
+    EXPECT_EQ(after, db1_bytes) << "crash step " << static_cast<int>(step);
+    Result<QbhSystem> r = LoadQbhDatabase(path, &env);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().Digest(), db1.Digest());
+  }
+  env.Delete(path);
+  env.Delete(path + ".tmp");
+}
+
+TEST(StorageV3Test, SectionsArePageAlignedAndExactlySized) {
+  QbhSystem system = MakeSystem(V3Options(), 10);
+  std::string image = SerializeQbhDatabase(system);
+  ASSERT_GE(image.size(), 4096u);
+  EXPECT_EQ(LoadU64(image, 24), image.size());  // header file_size is exact
+  EXPECT_EQ(LoadU64(image, 40), 10u);           // melody_count
+  std::vector<SectionSpan> secs = SectionsOf(image);
+  ASSERT_FALSE(secs.empty());
+  std::uint64_t prev_end = 4096;
+  for (const SectionSpan& s : secs) {
+    EXPECT_EQ(s.offset % 4096, 0u) << "section type " << s.type;
+    EXPECT_GE(s.offset, prev_end);
+    prev_end = s.offset + s.length;
+  }
+  EXPECT_EQ(prev_end, image.size());  // no trailing pad after the last section
+}
+
+}  // namespace
+}  // namespace humdex

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "util/crc32c.h"
 #include "util/matrix.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -223,6 +228,81 @@ TEST(MatrixTest, MultiplyVector) {
   ASSERT_EQ(out.size(), 2u);
   EXPECT_DOUBLE_EQ(out[0], -2.0);
   EXPECT_DOUBLE_EQ(out[1], 24.0);
+}
+
+// Bit-at-a-time CRC32C, independent of the slice-by-8 / SSE4.2 / 3-lane
+// implementations under test — slow but trivially auditable.
+std::uint32_t ReferenceCrc32c(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~0u;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc ^= p[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+  }
+  return ~crc;
+}
+
+TEST(Crc32cTest, Rfc3720KnownVectors) {
+  // Test vectors from RFC 3720 appendix B.4 (iSCSI CRC32C).
+  EXPECT_EQ(Crc32c(""), 0u);
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<char>(i);
+  EXPECT_EQ(Crc32c(ascending), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, ExtendSplitsAnywhere) {
+  Rng rng(4242);
+  std::string buf(257, '\0');
+  for (char& c : buf) c = static_cast<char>(rng.NextBounded(256));
+  const std::uint32_t whole = Crc32c(buf);
+  for (std::size_t split = 0; split <= buf.size(); ++split) {
+    std::uint32_t crc = Crc32cExtend(0, buf.data(), split);
+    crc = Crc32cExtend(crc, buf.data() + split, buf.size() - split);
+    ASSERT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, AlignmentInvariant) {
+  Rng rng(777);
+  std::vector<unsigned char> storage(4096 + 16);
+  for (auto& b : storage) b = static_cast<unsigned char>(rng.NextBounded(256));
+  // The same byte sequence must hash identically from any start alignment
+  // (the hardware path peels to 8-byte alignment before its wide loop).
+  std::vector<unsigned char> copy(storage.begin(), storage.begin() + 4096);
+  const std::uint32_t want = Crc32cExtend(0, copy.data(), copy.size());
+  for (std::size_t off = 1; off < 16; ++off) {
+    std::memmove(storage.data() + off, copy.data(), copy.size());
+    EXPECT_EQ(Crc32cExtend(0, storage.data() + off, copy.size()), want)
+        << "offset " << off;
+  }
+}
+
+TEST(Crc32cTest, LargeBufferMatchesReferenceAndChunking) {
+  // Large enough to engage the interleaved 3-lane hardware path (3 x 4KB
+  // blocks) several times over, plus unaligned head and tail remainders.
+  Rng rng(31337);
+  std::string buf(64 * 1024 + 37, '\0');
+  for (char& c : buf) c = static_cast<char>(rng.NextBounded(256));
+  const std::uint32_t whole = Crc32c(buf);
+  EXPECT_EQ(whole, ReferenceCrc32c(buf.data(), buf.size()));
+  // Incremental extension over odd-sized chunks must agree with one shot.
+  std::uint32_t crc = 0;
+  std::size_t pos = 0;
+  std::size_t step = 1;
+  while (pos < buf.size()) {
+    const std::size_t take = std::min(step, buf.size() - pos);
+    crc = Crc32cExtend(crc, buf.data() + pos, take);
+    pos += take;
+    step = step * 3 + 1;  // 1, 4, 13, 40, ... crosses lane boundaries oddly
+  }
+  EXPECT_EQ(crc, whole);
 }
 
 }  // namespace
